@@ -1,0 +1,300 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section, plus Bechamel micro-benchmarks of the algorithmic
+   kernels behind each table.
+
+   Usage:
+     dune exec bench/main.exe                        # everything
+     dune exec bench/main.exe -- table3 fig3 timing  # selected artifacts
+     dune exec bench/main.exe -- --cut-runs 5 all    # faster Table III
+   Options: --cut-runs N (Table III bipartitions per circuit, default 20),
+            --kway-runs N (k-way multi-starts, default 5), --seed N. *)
+
+let cut_runs = ref 20
+let kway_runs = ref 5
+let seed = ref 7
+let selected : string list ref = ref []
+
+let progress fmt =
+  Format.kfprintf
+    (fun f -> Format.pp_print_newline f ())
+    Format.err_formatter fmt
+
+let section title = Format.printf "@.=== %s ===@.@." title
+
+(* The k-way campaign feeds Tables IV-VII; run it once. *)
+let campaign =
+  lazy
+    (List.map
+       (fun e ->
+         progress "k-way campaign: %s..." e.Experiments.Suite.display;
+         Experiments.Kway_campaign.run ~runs:!kway_runs ~seed:!seed e)
+       (Experiments.Suite.all ()))
+
+let table1 () =
+  section "Table I: the XC3000 device library";
+  Format.printf "%a@." Fpga.Library.pp Fpga.Library.xc3000;
+  Format.printf
+    "(capacities and terminals are the real XC3000 values; prices are \
+     reconstructed - see DESIGN.md)@."
+
+let table2 () =
+  section "Table II: benchmark circuit characteristics (after mapping)";
+  Format.printf "%a@." Experiments.Table2.pp (Experiments.Table2.run_all ());
+  Format.printf
+    "(* = profile-matched synthetic reconstructions of the ISCAS circuits)@."
+
+let fig3 () =
+  section "Figure 3: cell distribution vs replication potential";
+  Format.printf "%a@." Experiments.Fig3.pp (Experiments.Fig3.run_all ())
+
+let table3 () =
+  section
+    (Printf.sprintf
+       "Table III: best/average cut, F-M min-cut vs + functional replication \
+        (%d runs/circuit)"
+       !cut_runs);
+  let rows =
+    List.map
+      (fun e ->
+        progress "Table III: %s..." e.Experiments.Suite.display;
+        Experiments.Table3.run ~runs:!cut_runs ~seed:!seed e)
+      (Experiments.Suite.all ())
+  in
+  Format.printf "%a@." Experiments.Table3.pp rows
+
+let table4 () =
+  section "Table IV: percentage of replicated cells and CPU cost";
+  Format.printf "%a@." Experiments.Kway_campaign.pp_table4 (Lazy.force campaign)
+
+let table5 () =
+  section "Table V: average CLB utilization after partitioning";
+  Format.printf "%a@." Experiments.Kway_campaign.pp_table5 (Lazy.force campaign)
+
+let table6 () =
+  section "Table VI: total design cost after partitioning";
+  Format.printf "%a@." Experiments.Kway_campaign.pp_table6 (Lazy.force campaign)
+
+let table7 () =
+  section "Table VII: average IOB utilization after partitioning";
+  Format.printf "%a@." Experiments.Kway_campaign.pp_table7 (Lazy.force campaign)
+
+let timing () =
+  section "Extension: partition-aware static timing (baseline vs T=1)";
+  let rows =
+    List.filter_map
+      (fun e ->
+        progress "timing: %s..." e.Experiments.Suite.display;
+        Experiments.Timing_eval.run ~runs:!kway_runs ~seed:!seed e)
+      (Experiments.Suite.all ())
+  in
+  Format.printf "%a@." Experiments.Timing_eval.pp rows
+
+let ablation () =
+  section "Ablation A: functional vs traditional replication (min-cut)";
+  let rows =
+    List.map
+      (fun e ->
+        progress "ablation A: %s..." e.Experiments.Suite.display;
+        Experiments.Ablation.replication_model ~runs:10 ~seed:!seed e)
+      (Experiments.Suite.all ())
+  in
+  Format.printf "%a@." Experiments.Ablation.pp_replication_model rows;
+  section "Ablation B: CLB output pairing on/off";
+  let rows =
+    List.map
+      (fun e ->
+        progress "ablation B: %s..." e.Experiments.Suite.display;
+        Experiments.Ablation.pairing ~runs:10 ~seed:!seed e)
+      (Experiments.Suite.all ())
+  in
+  Format.printf "%a@." Experiments.Ablation.pp_pairing rows;
+  section "Ablation C: flat vs multilevel initial solutions";
+  let rows =
+    List.map
+      (fun e ->
+        progress "ablation C: %s..." e.Experiments.Suite.display;
+        Experiments.Ablation.multilevel ~runs:5 ~seed:!seed e)
+      (Experiments.Suite.all ())
+  in
+  Format.printf "%a@." Experiments.Ablation.pp_multilevel rows
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                          *)
+(* ------------------------------------------------------------------ *)
+
+let perf_tests () =
+  let open Bechamel in
+  let entry name =
+    match Experiments.Suite.find name with
+    | Some e -> e
+    | None -> assert false
+  in
+  let h_mid = Lazy.force (entry "s9234").Experiments.Suite.hypergraph in
+  let total_mid = Hypergraph.total_area h_mid in
+  let circuit_small = Lazy.force (entry "c1355").Experiments.Suite.circuit in
+  (* Pre-built state for kernel benches. *)
+  let st = Partition_state.create h_mid ~init_on_b:(fun c -> c mod 2 = 0) in
+  let kernel_eval =
+    Test.make ~name:"kernel/gain-eval"
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           for c = 0 to 99 do
+             let d =
+               Partition_state.eval st c
+                 (Bitvec.complement
+                    (Bitvec.norm (Partition_state.full_mask st c))
+                    (Partition_state.mask st c))
+             in
+             acc := !acc + d.Partition_state.d_cut
+           done;
+           !acc))
+  in
+  let kernel_apply =
+    Test.make ~name:"kernel/apply-undo"
+      (Staged.stage (fun () ->
+           for c = 0 to 99 do
+             let old_mask = Partition_state.mask st c in
+             let flip =
+               Bitvec.complement
+                 (Bitvec.norm (Partition_state.full_mask st c))
+                 old_mask
+             in
+             ignore (Partition_state.apply st c flip);
+             ignore (Partition_state.apply st c old_mask)
+           done))
+  in
+  let t2_mapping =
+    Test.make ~name:"table2/technology-mapping"
+      (Staged.stage (fun () -> Techmap.Mapper.map circuit_small))
+  in
+  let f3_distribution =
+    Test.make ~name:"fig3/psi-distribution"
+      (Staged.stage (fun () -> Core.Replication_potential.distribution h_mid))
+  in
+  let t3_plain =
+    let cfg = Core.Fm.balance_config ~total_area:total_mid () in
+    Test.make ~name:"table3/fm-mincut"
+      (Staged.stage (fun () ->
+           let st = Core.Fm.random_state (Netlist.Rng.create 1) h_mid in
+           Core.Fm.run cfg st))
+  in
+  let t3_repl =
+    let cfg =
+      Core.Fm.balance_config ~replication:(`Functional 0) ~total_area:total_mid
+        ()
+    in
+    Test.make ~name:"table3/fm-mincut+func-repl"
+      (Staged.stage (fun () ->
+           let st = Core.Fm.random_state (Netlist.Rng.create 1) h_mid in
+           Core.Fm.run cfg st))
+  in
+  let kway options name =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           match
+             Core.Kway.partition ~options ~library:Fpga.Library.xc3000 h_mid
+           with
+           | Ok r -> r.Core.Kway.summary.Fpga.Cost.total_cost
+           | Error _ -> nan))
+  in
+  let t4567_base =
+    kway { Core.Kway.default_options with runs = 1 } "table4-7/kway-baseline"
+  in
+  let t4567_repl =
+    kway
+      { Core.Kway.default_options with runs = 1; replication = `Functional 0 }
+      "table4-7/kway+func-repl(T=0)"
+  in
+  [
+    kernel_eval;
+    kernel_apply;
+    t2_mapping;
+    f3_distribution;
+    t3_plain;
+    t3_repl;
+    t4567_base;
+    t4567_repl;
+  ]
+
+let perf () =
+  section "Bechamel micro-benchmarks (one kernel per table)";
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+  let grouped = Test.make_grouped ~name:"paper" (perf_tests ()) in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let t =
+          match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan
+        in
+        (name, t) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Format.printf "%-42s %16s@." "kernel" "time/run";
+  List.iter
+    (fun (name, t) ->
+      let pretty =
+        if Float.is_nan t then "-"
+        else if t > 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
+        else if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+        else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+        else Printf.sprintf "%.0f ns" t
+      in
+      Format.printf "%-42s %16s@." name pretty)
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let artifacts =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("fig3", fig3);
+    ("table3", table3);
+    ("table4", table4);
+    ("table5", table5);
+    ("table6", table6);
+    ("table7", table7);
+    ("ablation", ablation);
+    ("timing", timing);
+    ("perf", perf);
+  ]
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [all|table1..table7|fig3|ablation|timing|perf]* \
+     [--cut-runs N] [--kway-runs N] [--seed N]";
+  exit 2
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--cut-runs" :: v :: rest ->
+        cut_runs := int_of_string v;
+        parse rest
+    | "--kway-runs" :: v :: rest ->
+        kway_runs := int_of_string v;
+        parse rest
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        parse rest
+    | "all" :: rest ->
+        selected := !selected @ List.map fst artifacts;
+        parse rest
+    | name :: rest when List.mem_assoc name artifacts ->
+        selected := !selected @ [ name ];
+        parse rest
+    | _ -> usage ()
+  in
+  (match Array.to_list Sys.argv with _ :: args -> parse args | [] -> ());
+  let names = if !selected = [] then List.map fst artifacts else !selected in
+  let t0 = Sys.time () in
+  List.iter (fun name -> (List.assoc name artifacts) ()) names;
+  progress "total CPU time: %.1fs" (Sys.time () -. t0)

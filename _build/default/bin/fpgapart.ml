@@ -1,0 +1,336 @@
+(* fpgapart: command-line front end for the partitioning library.
+
+   Subcommands:
+     stats      circuit statistics before and after technology mapping
+     map        write the mapped-CLB view of a circuit
+     bipartition   equal-halves min-cut bipartition (Table III style)
+     partition  k-way partitioning into the XC3000 library (the paper's
+                main flow), with optional functional replication
+     psi        replication-potential distribution (Figure 3 style)
+
+   Circuits come from an ISCAS .bench file (--bench FILE) or from a named
+   built-in benchmark (--circuit NAME, see `fpgapart list`). *)
+
+open Cmdliner
+
+(* Netlist format, usually inferred from a file extension. *)
+type format = Bench | Blif | Verilog
+
+let format_of_path path =
+  match Filename.extension path with
+  | ".bench" -> Ok Bench
+  | ".blif" -> Ok Blif
+  | ".v" | ".verilog" -> Ok Verilog
+  | ext -> Error ("cannot infer netlist format from extension '" ^ ext ^ "'")
+
+let read_netlist path =
+  match format_of_path path with
+  | Error _ as e -> e
+  | Ok Bench -> Netlist.Bench_format.parse_file path
+  | Ok Blif -> Netlist.Blif.parse_file path
+  | Ok Verilog -> Netlist.Verilog.parse_file path
+
+let write_netlist path c =
+  match format_of_path path with
+  | Error _ as e -> e
+  | Ok Bench -> Ok (Netlist.Bench_format.write_file path c)
+  | Ok Blif -> Ok (Netlist.Blif.write_file path c)
+  | Ok Verilog -> Ok (Netlist.Verilog.write_file path c)
+
+(* ------------------------------------------------------------------ *)
+(* Circuit sources                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let load_circuit bench_file builtin =
+  match (bench_file, builtin) with
+  | Some path, None -> (
+      match read_netlist path with
+      | Ok c -> Ok c
+      | Error msg -> Error (path ^ ": " ^ msg))
+  | None, Some name -> (
+      match Experiments.Suite.find name with
+      | Some e -> Ok (Lazy.force e.Experiments.Suite.circuit)
+      | None -> Error ("unknown built-in circuit: " ^ name))
+  | None, None -> Error "need --bench FILE or --circuit NAME"
+  | Some _, Some _ -> Error "--bench and --circuit are mutually exclusive"
+
+let bench_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "bench"; "netlist" ] ~docv:"FILE"
+        ~doc:
+          "Read a netlist file; the format is inferred from the extension \
+           (.bench, .blif, .v).")
+
+let circuit_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "circuit" ] ~docv:"NAME"
+        ~doc:"Use a built-in benchmark circuit (see $(b,fpgapart list).)")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let threshold_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "replicate"; "T" ] ~docv:"T"
+        ~doc:
+          "Enable functional replication with threshold replication \
+           potential $(docv) (0 = replicate any multi-output cell).")
+
+let runs_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "runs" ] ~docv:"N" ~doc:"Multi-start runs (default 5).")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "verbose"; "v" ] ~doc:"Print driver progress (Logs debug level).")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("fpgapart: " ^ msg);
+      exit 1
+
+let mapped_of c = Techmap.Mapper.map c
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let doc = "List built-in benchmark circuits." in
+  let run () =
+    List.iter
+      (fun e ->
+        Format.printf "%-8s  %s@." e.Experiments.Suite.name
+          e.Experiments.Suite.description)
+      (Experiments.Suite.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let stats_cmd =
+  let doc = "Circuit statistics before and after XC3000 mapping." in
+  let run bench builtin =
+    let c = or_die (load_circuit bench builtin) in
+    Format.printf "%a@." Netlist.Stats.pp (Netlist.Stats.compute c);
+    let m = mapped_of c in
+    Format.printf "after mapping: %a@." Techmap.Mapped.pp_stats
+      (Techmap.Mapped.stats m)
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ bench_arg $ circuit_arg)
+
+let map_cmd =
+  let doc = "Map a circuit into XC3000 CLBs and describe every CLB." in
+  let run bench builtin =
+    let c = or_die (load_circuit bench builtin) in
+    let m = mapped_of c in
+    Format.printf "%a@." Techmap.Mapped.pp_stats (Techmap.Mapped.stats m);
+    Array.iter
+      (fun clb ->
+        let outs =
+          Array.to_list clb.Techmap.Mapped.outputs
+          |> List.map (fun o ->
+                 Printf.sprintf "%s%s"
+                   m.Techmap.Mapped.net_names.(o.Techmap.Mapped.net)
+                   (if o.Techmap.Mapped.registered then " (reg)" else ""))
+          |> String.concat ", "
+        in
+        let ins =
+          Array.to_list clb.Techmap.Mapped.inputs
+          |> List.map (fun n -> m.Techmap.Mapped.net_names.(n))
+          |> String.concat ", "
+        in
+        Format.printf "CLB %-24s in: %-40s out: %s@." clb.Techmap.Mapped.name
+          ins outs)
+      m.Techmap.Mapped.clbs
+  in
+  Cmd.v (Cmd.info "map" ~doc) Term.(const run $ bench_arg $ circuit_arg)
+
+let psi_cmd =
+  let doc = "Replication-potential (psi) distribution of the mapped cells." in
+  let run bench builtin =
+    let c = or_die (load_circuit bench builtin) in
+    let h = Techmap.Mapper.to_hypergraph (mapped_of c) in
+    Format.printf "%a@." Core.Replication_potential.pp_distribution
+      (Core.Replication_potential.distribution h)
+  in
+  Cmd.v (Cmd.info "psi" ~doc) Term.(const run $ bench_arg $ circuit_arg)
+
+let bipartition_cmd =
+  let doc =
+    "Equal-halves min-cut bipartition, optionally with functional \
+     replication (the paper's first experiment)."
+  in
+  let run bench builtin seed threshold runs =
+    let c = or_die (load_circuit bench builtin) in
+    let h = Techmap.Mapper.to_hypergraph (mapped_of c) in
+    let total = Hypergraph.total_area h in
+    let replication =
+      match threshold with None -> `None | Some t -> `Functional t
+    in
+    let cfg = Core.Fm.balance_config ~replication ~total_area:total () in
+    let best = ref None in
+    for r = 0 to runs - 1 do
+      let st =
+        Core.Fm.random_state (Netlist.Rng.create (seed + (r * 65537))) h
+      in
+      let _, cut, _ = Core.Fm.run_staged cfg st in
+      match !best with
+      | Some (c, _) when c <= cut -> ()
+      | _ -> best := Some (cut, st)
+    done;
+    match !best with
+    | None -> prerr_endline "no bipartition found"
+    | Some (cut, st) ->
+        Format.printf "cut: %d nets (best of %d runs)@." cut runs;
+        Format.printf "side A: %d CLBs, side B: %d CLBs, %d replicated cells@."
+          (Partition_state.area st Partition_state.A)
+          (Partition_state.area st Partition_state.B)
+          (Partition_state.num_replicated st)
+  in
+  Cmd.v
+    (Cmd.info "bipartition" ~doc)
+    Term.(
+      const run $ bench_arg $ circuit_arg $ seed_arg $ threshold_arg $ runs_arg)
+
+let partition_cmd =
+  let doc =
+    "Partition a circuit into a heterogeneous XC3000 set minimising total \
+     device cost and interconnect (the paper's main flow)."
+  in
+  let run bench builtin seed threshold runs verbose =
+    setup_logs verbose;
+    let c = or_die (load_circuit bench builtin) in
+    let h = Techmap.Mapper.to_hypergraph (mapped_of c) in
+    let replication =
+      match threshold with None -> `None | Some t -> `Functional t
+    in
+    let options = { Core.Kway.default_options with runs; seed; replication } in
+    match Core.Kway.partition ~options ~library:Fpga.Library.xc3000 h with
+    | Error msg ->
+        prerr_endline ("fpgapart: " ^ msg);
+        exit 1
+    | Ok r ->
+        (match Core.Kway.check h r with
+        | Ok () -> ()
+        | Error msg ->
+            prerr_endline ("fpgapart: internal: unsound partition: " ^ msg);
+            exit 2);
+        Format.printf "%a@." Core.Kway.pp_result r
+  in
+  Cmd.v
+    (Cmd.info "partition" ~doc)
+    Term.(
+      const run $ bench_arg $ circuit_arg $ seed_arg $ threshold_arg $ runs_arg
+      $ verbose_arg)
+
+
+let convert_cmd =
+  let doc =
+    "Convert a netlist between the supported formats (.bench, .blif, .v); \
+     the formats are inferred from the file extensions."
+  in
+  let input_pos =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT")
+  in
+  let output_pos =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUTPUT")
+  in
+  let opt_flag =
+    Arg.(
+      value & flag
+      & info [ "optimize" ]
+          ~doc:"Run the clean-up transforms (constants, buffers, structural \
+                hashing, dead sweep) before writing.")
+  in
+  let run input output optimize =
+    let c = or_die (Result.map_error (fun m -> input ^ ": " ^ m) (read_netlist input)) in
+    let c = if optimize then Netlist.Transform.optimize c else c in
+    or_die (write_netlist output c);
+    Format.printf "%a -> %s@." Netlist.Circuit.pp_summary c output
+  in
+  Cmd.v (Cmd.info "convert" ~doc)
+    Term.(const run $ input_pos $ output_pos $ opt_flag)
+
+let generate_cmd =
+  let doc = "Write a built-in benchmark circuit to a netlist file." in
+  let circuit_pos =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT")
+  in
+  let output_pos =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUTPUT")
+  in
+  let run name output =
+    match Experiments.Suite.find name with
+    | None ->
+        prerr_endline ("fpgapart: unknown circuit " ^ name ^ " (see 'fpgapart list')");
+        exit 1
+    | Some e ->
+        let c = Lazy.force e.Experiments.Suite.circuit in
+        or_die (write_netlist output c);
+        Format.printf "%a -> %s@." Netlist.Circuit.pp_summary c output
+  in
+  Cmd.v (Cmd.info "generate" ~doc) Term.(const run $ circuit_pos $ output_pos)
+
+let optimize_cmd =
+  let doc = "Report the effect of the netlist clean-up transforms." in
+  let run bench builtin =
+    let c = or_die (load_circuit bench builtin) in
+    let c' = Netlist.Transform.optimize c in
+    Format.printf "before: %a@.after:  %a@." Netlist.Circuit.pp_summary c
+      Netlist.Circuit.pp_summary c'
+  in
+  Cmd.v (Cmd.info "optimize" ~doc) Term.(const run $ bench_arg $ circuit_arg)
+
+let timing_cmd =
+  let doc =
+    "Partition a circuit and report the partition-aware static critical \
+     path, with and without functional replication."
+  in
+  let run bench builtin seed threshold runs =
+    let c = or_die (load_circuit bench builtin) in
+    let m = mapped_of c in
+    let h = Techmap.Mapper.to_hypergraph m in
+    let analyze label replication =
+      let options = { Core.Kway.default_options with runs; seed; replication } in
+      match Core.Kway.partition ~options ~library:Fpga.Library.xc3000 h with
+      | Error msg -> Format.printf "%-26s: failed (%s)@." label msg
+      | Ok r ->
+          let report = Experiments.Timing_eval.of_result m r in
+          Format.printf "%-26s: delay %6.1f, %2d device hops (k=%d, $%.0f)@."
+            label report.Techmap.Timing.critical_delay
+            report.Techmap.Timing.critical_crossings
+            r.Core.Kway.summary.Fpga.Cost.num_partitions
+            r.Core.Kway.summary.Fpga.Cost.total_cost
+    in
+    analyze "baseline" `None;
+    let t = Option.value threshold ~default:1 in
+    analyze (Printf.sprintf "functional replication T=%d" t) (`Functional t)
+  in
+  Cmd.v (Cmd.info "timing" ~doc)
+    Term.(
+      const run $ bench_arg $ circuit_arg $ seed_arg $ threshold_arg $ runs_arg)
+
+let main =
+  let doc =
+    "Multi-way netlist partitioning into heterogeneous FPGAs with \
+     functional replication (Kuznar-Brglez-Zajc, DAC 1994)"
+  in
+  Cmd.group (Cmd.info "fpgapart" ~doc)
+    [
+      list_cmd; stats_cmd; map_cmd; psi_cmd; bipartition_cmd; partition_cmd;
+      convert_cmd; generate_cmd; optimize_cmd; timing_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

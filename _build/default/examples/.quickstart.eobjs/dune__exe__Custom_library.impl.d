@@ -1,0 +1,1 @@
+examples/custom_library.ml: Core Format Fpga Hypergraph List Netlist Techmap

@@ -1,0 +1,1 @@
+examples/multiplier_partition.ml: Core Experiments Format Fpga Hypergraph List Netlist Techmap

@@ -1,0 +1,1 @@
+examples/multiplier_partition.mli:

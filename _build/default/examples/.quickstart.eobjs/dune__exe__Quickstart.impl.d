@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bitvec Core Format Fpga Hypergraph Netlist Partition_state Techmap

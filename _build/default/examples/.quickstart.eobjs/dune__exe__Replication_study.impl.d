@@ -1,0 +1,1 @@
+examples/replication_study.ml: Core Format Fpga Hypergraph List Netlist Printf Techmap

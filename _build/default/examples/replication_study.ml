@@ -1,0 +1,76 @@
+(* Threshold study: how the threshold replication potential T (eq. 6)
+   trades circuit expansion against interconnect, on a clustered sequential
+   circuit of the kind where the paper reports the largest gains.
+
+   For each T the example reports: how many cells are allowed to replicate
+   (r_T), the best equal-halves cut, and the k-way cost / CLB / IOB
+   figures. T = none is the ref. [3] baseline; T = 0 is maximum
+   replication.
+
+   Run with: dune exec examples/replication_study.exe *)
+
+let () =
+  let circuit =
+    Netlist.Generator.clustered
+      {
+        Netlist.Generator.default_clustered with
+        clusters = 12;
+        gates_per_cluster = 110;
+        dffs_per_cluster = 26;
+        num_pi = 34;
+        num_po = 45;
+        seed = 5;
+      }
+  in
+  Format.printf "circuit: %a@." Netlist.Circuit.pp_summary circuit;
+  let h = Techmap.Mapper.to_hypergraph (Techmap.Mapper.map circuit) in
+  let dist = Core.Replication_potential.distribution h in
+  Format.printf "@.cell distribution over psi (Fig. 3 for this circuit):@.%a@."
+    Core.Replication_potential.pp_distribution dist;
+
+  let total = Hypergraph.total_area h in
+  let best_cut replication =
+    let cfg = Core.Fm.balance_config ~replication ~total_area:total () in
+    let best = ref max_int in
+    for seed = 1 to 10 do
+      let st = Core.Fm.random_state (Netlist.Rng.create seed) h in
+      let _, cut, _ = Core.Fm.run_staged cfg st in
+      best := min !best cut
+    done;
+    !best
+  in
+  let kway replication =
+    let options = { Core.Kway.default_options with replication } in
+    Core.Kway.partition ~options ~library:Fpga.Library.xc3000 h
+  in
+  Format.printf "@.%-8s %6s %10s %10s %10s %10s %8s@." "T" "r_T" "best cut"
+    "cost $" "CLB util" "IOB util" "repl";
+  List.iter
+    (fun setting ->
+      let label, replication =
+        match setting with
+        | None -> ("none", `None)
+        | Some t -> (Printf.sprintf "%d" t, `Functional t)
+      in
+      let r_t =
+        match setting with
+        | None -> 0
+        | Some t ->
+            Core.Replication_potential.max_replication_factor dist ~threshold:t
+      in
+      let cut = best_cut replication in
+      match kway replication with
+      | Error msg -> Format.printf "%-8s %6d %10d   (k-way failed: %s)@." label r_t cut msg
+      | Ok r ->
+          let s = r.Core.Kway.summary in
+          Format.printf "%-8s %6d %10d %10.0f %9.0f%% %9.0f%% %7.1f%%@." label
+            r_t cut s.Fpga.Cost.total_cost
+            (100.0 *. s.Fpga.Cost.avg_clb_utilization)
+            (100.0 *. s.Fpga.Cost.avg_iob_utilization)
+            (100.0
+            *. float_of_int r.Core.Kway.replicated_cells
+            /. float_of_int r.Core.Kway.total_cells))
+    [ None; Some 0; Some 1; Some 2; Some 3; Some 4 ];
+  Format.printf
+    "@.(r_T = cells allowed to replicate, eq. 6; cut = best of 10 \
+     equal-halves bipartitions; the k-way columns use the XC3000 library)@."

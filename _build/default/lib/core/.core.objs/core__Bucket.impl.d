@@ -1,0 +1,1 @@
+lib/core/bucket.ml: Array

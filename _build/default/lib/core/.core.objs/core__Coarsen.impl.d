@@ -1,0 +1,1 @@
+lib/core/coarsen.ml: Array Bitvec Fm Fun Hashtbl Hypergraph List Netlist Partition_state Printf

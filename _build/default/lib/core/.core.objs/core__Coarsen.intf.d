@@ -1,0 +1,1 @@
+lib/core/coarsen.mli: Fm Hypergraph Netlist Partition_state

@@ -1,0 +1,1 @@
+lib/core/fm.ml: Array Bitvec Bucket Fun Gain Hypergraph List Netlist Option Partition_state

@@ -1,0 +1,1 @@
+lib/core/fm.mli: Hypergraph Netlist Partition_state

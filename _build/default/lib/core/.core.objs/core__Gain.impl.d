@@ -1,0 +1,1 @@
+lib/core/gain.ml: Array Bitvec Hypergraph List Partition_state Replication_potential

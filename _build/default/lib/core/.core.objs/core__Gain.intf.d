@@ -1,0 +1,1 @@
+lib/core/gain.mli: Bitvec Partition_state

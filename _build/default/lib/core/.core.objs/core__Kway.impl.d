@@ -1,0 +1,1 @@
+lib/core/kway.ml: Array Bitvec Fm Format Fpga Fun Hashtbl Hypergraph List Logs Netlist Option Partition_state Printf Sys

@@ -1,0 +1,1 @@
+lib/core/kway.mli: Bitvec Format Fpga Hypergraph Stdlib

@@ -1,0 +1,1 @@
+lib/core/replication_potential.ml: Array Bitvec Format Hashtbl Hypergraph List

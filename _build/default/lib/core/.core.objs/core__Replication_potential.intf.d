@@ -1,0 +1,1 @@
+lib/core/replication_potential.mli: Bitvec Format Hypergraph

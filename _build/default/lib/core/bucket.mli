@@ -1,0 +1,35 @@
+(** Gain buckets — the Fiduccia–Mattheyses selection structure.
+
+    A doubly-linked list per gain value plus a moving maximum pointer gives
+    O(1) insert/remove/update and near-O(1) extraction of the best
+    candidate. Items are dense integers (cell ids). Gains outside the
+    declared range are clamped (safe because selection only needs the
+    ordering at the top). *)
+
+type t
+
+val create : num_items:int -> max_gain:int -> t
+(** Gains live in [\[-max_gain, +max_gain\]]. *)
+
+val insert : t -> int -> int -> unit
+(** [insert t item gain]. Raises [Invalid_argument] if present. *)
+
+val remove : t -> int -> unit
+(** No-op when absent. *)
+
+val update : t -> int -> int -> unit
+(** Change an item's gain (inserts when absent). *)
+
+val mem : t -> int -> bool
+val gain : t -> int -> int
+(** Raises [Not_found] when absent. *)
+
+val cardinal : t -> int
+
+val find_best : t -> (int -> bool) -> int option
+(** Highest-gain item satisfying the predicate; scans downward, so a
+    prefix of rejections at the top costs O(rejections). Ties broken by
+    most-recently-updated (LIFO within a gain level, the classic F-M
+    choice). *)
+
+val clear : t -> unit

@@ -1,0 +1,187 @@
+(* Heavy-edge matching coarsening and the multilevel V-cycle. *)
+
+let coarsen ~rng (h : Hypergraph.t) =
+  let n = Hypergraph.num_cells h in
+  (* Connectivity scores between cells sharing nets: the classic
+     1/(pins-1) weighting so huge nets contribute little. *)
+  let score_with cell =
+    let scores = Hashtbl.create 16 in
+    Array.iter
+      (fun net ->
+        let others = h.Hypergraph.net_cells.(net) in
+        let pins = Array.length others in
+        if pins > 1 then begin
+          let w = 1.0 /. float_of_int (pins - 1) in
+          Array.iter
+            (fun o ->
+              if o <> cell then
+                Hashtbl.replace scores o
+                  (w +. try Hashtbl.find scores o with Not_found -> 0.0))
+            others
+        end)
+      (Hypergraph.cell_nets (Hypergraph.cell h cell));
+    scores
+  in
+  let cluster_of = Array.make n (-1) in
+  let order = Array.init n Fun.id in
+  Netlist.Rng.shuffle rng order;
+  let next_cluster = ref 0 in
+  Array.iter
+    (fun cell ->
+      if cluster_of.(cell) < 0 then begin
+        let scores = score_with cell in
+        let pins c =
+          let cc = Hypergraph.cell h c in
+          ( Array.length cc.Hypergraph.inputs,
+            Array.length cc.Hypergraph.outputs )
+        in
+        let in0, out0 = pins cell in
+        let best = ref None in
+        Hashtbl.iter
+          (fun other w ->
+            (* Merged clusters must stay within the bit-mask pin budget
+               (inputs can only shrink from the sum when nets are shared,
+               so the sum is a safe over-approximation). *)
+            let in1, out1 = pins other in
+            if
+              cluster_of.(other) < 0
+              && in0 + in1 <= Bitvec.max_width
+              && out0 + out1 <= Bitvec.max_width
+            then
+              match !best with
+              | Some (_, bw) when bw >= w -> ()
+              | _ -> best := Some (other, w))
+          scores;
+        let id = !next_cluster in
+        incr next_cluster;
+        cluster_of.(cell) <- id;
+        match !best with
+        | Some (mate, _) -> cluster_of.(mate) <- id
+        | None -> ()
+      end)
+    order;
+  let num_clusters = !next_cluster in
+  (* Nets falling entirely inside one cluster vanish from the coarse
+     graph: they can never be cut again, and dropping them keeps cluster
+     pin counts (and F-M gain evaluation) small. *)
+  let internal net =
+    (not h.Hypergraph.net_external.(net))
+    &&
+    match h.Hypergraph.net_cells.(net) with
+    | [||] -> true
+    | cells ->
+        let k = cluster_of.(cells.(0)) in
+        Array.for_all (fun c -> cluster_of.(c) = k) cells
+  in
+  (* Build cluster cells; surviving nets are renumbered densely. *)
+  let members = Array.make num_clusters [] in
+  for cell = n - 1 downto 0 do
+    members.(cluster_of.(cell)) <- cell :: members.(cluster_of.(cell))
+  done;
+  let net_map = Array.make h.Hypergraph.num_nets (-1) in
+  let new_names = Netlist.Vec.create () in
+  let map_net net =
+    if net_map.(net) < 0 then
+      net_map.(net) <-
+        Netlist.Vec.push new_names h.Hypergraph.net_names.(net);
+    net_map.(net)
+  in
+  let specs =
+    Array.to_list
+      (Array.mapi
+         (fun k cells ->
+           let outputs = Netlist.Vec.create () in
+           let driven = Hashtbl.create 8 in
+           List.iter
+             (fun c ->
+               Array.iter
+                 (fun net ->
+                   Hashtbl.replace driven net ();
+                   if not (internal net) then
+                     ignore (Netlist.Vec.push outputs (map_net net)))
+                 (Hypergraph.cell h c).Hypergraph.outputs)
+             cells;
+           (* A cluster whose driven nets are all internal still needs one
+              output pin to be a well-formed cell; an internal net touches
+              only this cluster, so exposing it cannot create cut. *)
+           if Netlist.Vec.length outputs = 0 then
+             (match Hashtbl.fold (fun net () _ -> Some net) driven None with
+             | Some net -> ignore (Netlist.Vec.push outputs (map_net net))
+             | None -> ());
+           let inputs = Netlist.Vec.create () in
+           let seen = Hashtbl.create 8 in
+           List.iter
+             (fun c ->
+               Array.iter
+                 (fun net ->
+                   if not (Hashtbl.mem driven net || Hashtbl.mem seen net)
+                   then begin
+                     Hashtbl.add seen net ();
+                     ignore (Netlist.Vec.push inputs (map_net net))
+                   end)
+                 (Hypergraph.cell h c).Hypergraph.inputs)
+             cells;
+           let n_in = Netlist.Vec.length inputs in
+           let area =
+             List.fold_left
+               (fun acc c -> acc + (Hypergraph.cell h c).Hypergraph.area)
+               0 cells
+           in
+           {
+             Hypergraph.s_name = Printf.sprintf "cl%d" k;
+             s_area = area;
+             s_inputs = Netlist.Vec.to_array inputs;
+             s_outputs = Netlist.Vec.to_array outputs;
+             (* Clusters are opaque: every output depends on every input. *)
+             s_supports =
+               Array.make (Netlist.Vec.length outputs) (Bitvec.full n_in);
+           })
+         members)
+  in
+  let externals = ref [] in
+  Array.iteri
+    (fun net ext ->
+      (* External nets always survive: every cell pin on them was kept
+         (external nets are never internal). Only externals actually
+         touched by cells exist in the coarse graph. *)
+      if ext && net_map.(net) >= 0 then externals := net_map.(net) :: !externals)
+    h.Hypergraph.net_external;
+  let coarse =
+    Hypergraph.create
+      ~net_names:(Netlist.Vec.to_array new_names)
+      ~num_nets:(Netlist.Vec.length new_names)
+      ~external_nets:!externals specs
+  in
+  (coarse, cluster_of)
+
+let multilevel_init ?(coarsest = 150) ?(max_levels = 12) ~rng cfg h =
+  let plain_cfg = { cfg with Fm.replication = `None } in
+  (* Coarsening phase. *)
+  let rec build levels h_cur depth =
+    if Hypergraph.num_cells h_cur <= coarsest || depth >= max_levels then
+      (levels, h_cur)
+    else begin
+      let coarse, map = coarsen ~rng h_cur in
+      if Hypergraph.num_cells coarse >= Hypergraph.num_cells h_cur * 9 / 10
+      then (levels, h_cur) (* matching stalled *)
+      else build ((h_cur, map) :: levels) coarse (depth + 1)
+    end
+  in
+  let levels, coarsest_h = build [] h 0 in
+  (* Initial partition of the coarsest graph: random halves + F-M. *)
+  let st = Fm.random_state rng coarsest_h in
+  ignore (Fm.run plain_cfg st);
+  (* Uncoarsening: project the assignment, refine at each level. *)
+  let rec project st_coarse = function
+    | [] -> st_coarse
+    | (h_fine, map) :: rest ->
+        let st_fine =
+          Partition_state.create h_fine ~init_on_b:(fun c ->
+              match Partition_state.single_side st_coarse map.(c) with
+              | Some Partition_state.B -> true
+              | _ -> false)
+        in
+        ignore (Fm.run plain_cfg st_fine);
+        project st_fine rest
+  in
+  project st levels

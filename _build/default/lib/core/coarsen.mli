@@ -1,0 +1,38 @@
+(** Multilevel bipartitioning (extension).
+
+    The paper's 1994 flat F-M struggles on the largest circuits; the
+    multilevel scheme that later became standard (coarsen by heavy-edge
+    matching, partition the small graph, project and refine level by
+    level) is implemented here as an extension and ablation baseline. It
+    composes with the paper's contribution: the multilevel phase produces
+    a high-quality {e plain} bipartition, and functional replication then
+    runs on the fine graph as usual ({!Fm.run_staged}).
+
+    Coarse cells are clusters: their area is the summed CLB count and
+    their per-output supports are widened to all inputs (clusters are
+    never replicated — replication happens only at the finest level, where
+    the real adjacency vectors live). *)
+
+val coarsen :
+  rng:Netlist.Rng.t -> Hypergraph.t -> Hypergraph.t * int array
+(** One level of heavy-edge matching: each cell merges with its most
+    connected unmatched neighbour (connectivity = sum over shared nets of
+    [1 / (pins - 1)]). Returns the coarse hypergraph and the fine-to-coarse
+    cell map. The coarse graph has at least half as many... at most the
+    same number of cells; callers should stop when the reduction stalls. *)
+
+val multilevel_init :
+  ?coarsest:int ->
+  ?max_levels:int ->
+  rng:Netlist.Rng.t ->
+  Fm.config ->
+  Hypergraph.t ->
+  Partition_state.t
+(** Build an initial bipartition of the fine hypergraph by the multilevel
+    scheme: coarsen until at most [coarsest] cells (default 150) or
+    [max_levels] (default 12) levels, random-partition and F-M the
+    coarsest graph, then project and F-M-refine upward. The given config's
+    [score]/[area_ok] are reused at every level (areas are preserved by
+    the cluster weights); replication is disabled during the multilevel
+    phase regardless of the config. The returned state belongs to the
+    original hypergraph and is ready for {!Fm.run} or {!Fm.run_staged}. *)

@@ -1,0 +1,204 @@
+type objective = Cut | Terminals
+
+let objective_value obj st =
+  match obj with
+  | Cut -> Partition_state.cut st
+  | Terminals ->
+      Partition_state.terminals st Partition_state.A
+      + Partition_state.terminals st Partition_state.B
+
+type score = int * int * int
+
+type config = {
+  objective : objective;
+  replication : [ `None | `Functional of int ];
+  max_passes : int;
+  area_ok : int -> int -> bool;
+  score : Partition_state.t -> score;
+}
+
+let balance_config ?(objective = Cut) ?(replication = `None) ?(max_passes = 12)
+    ?(slack = 0.10) ~total_area () =
+  let cap =
+    int_of_float (ceil ((1.0 +. slack) *. float_of_int total_area /. 2.0))
+  in
+  {
+    objective;
+    replication;
+    max_passes;
+    area_ok = (fun a b -> a <= cap && b <= cap);
+    score =
+      (fun st ->
+        let a = Partition_state.area st Partition_state.A in
+        let b = Partition_state.area st Partition_state.B in
+        (max 0 (max a b - cap), objective_value objective st, 0));
+  }
+
+type device_bounds = {
+  min_clbs : int;
+  max_clbs : int;
+  max_terminals : int;
+}
+
+let device_config ?(objective = Cut) ?(replication = `None) ?(max_passes = 12)
+    ~bounds () =
+  {
+    objective;
+    replication;
+    max_passes;
+    (* Hard cap keeps side A from overshooting the device wildly; the rest
+       of the feasibility hunt happens through the penalty. *)
+    area_ok = (fun a _b -> a <= bounds.max_clbs + (bounds.max_clbs / 4) + 1);
+    score =
+      (fun st ->
+        let a = Partition_state.area st Partition_state.A in
+        let ta = Partition_state.terminals st Partition_state.A in
+        let pen =
+          max 0 (bounds.min_clbs - a)
+          + max 0 (a - bounds.max_clbs)
+          + max 0 (ta - bounds.max_terminals)
+        in
+        (* Prefer a smaller remainder at equal cut: it fills the split-off
+           device (fewer, better-used devices cost less — objective 1)
+           without rewarding gratuitous replication into side A. *)
+        (pen, objective_value objective st, Partition_state.area st Partition_state.B));
+  }
+
+let two_device_config ?(objective = Terminals) ?(replication = `None)
+    ?(max_passes = 12) ~bounds_a ~bounds_b () =
+  let slack bounds = bounds.max_clbs + (bounds.max_clbs / 4) + 1 in
+  {
+    objective;
+    replication;
+    max_passes;
+    area_ok = (fun a b -> a <= slack bounds_a && b <= slack bounds_b);
+    score =
+      (fun st ->
+        let a = Partition_state.area st Partition_state.A in
+        let b = Partition_state.area st Partition_state.B in
+        let ta = Partition_state.terminals st Partition_state.A in
+        let tb = Partition_state.terminals st Partition_state.B in
+        let pen_of bounds clbs terms =
+          max 0 (bounds.min_clbs - clbs)
+          + max 0 (clbs - bounds.max_clbs)
+          + max 0 (terms - bounds.max_terminals)
+        in
+        ( pen_of bounds_a a ta + pen_of bounds_b b tb,
+          objective_value objective st,
+          a + b (* prefer shedding replicas at equal objective *) ));
+  }
+
+let random_state rng hg =
+  let n = Hypergraph.num_cells hg in
+  let order = Array.init n Fun.id in
+  Netlist.Rng.shuffle rng order;
+  let on_b = Array.make n false in
+  Array.iteri (fun k c -> if k < n / 2 then on_b.(c) <- true) order;
+  Partition_state.create hg ~init_on_b:(fun c -> on_b.(c))
+
+(* The objective component of a delta. *)
+let delta_obj obj (d : Partition_state.delta) =
+  match obj with
+  | Cut -> d.Partition_state.d_cut
+  | Terminals -> d.Partition_state.d_term_a + d.Partition_state.d_term_b
+
+(* Best candidate operation for a cell: maximise gain, tie-break on the
+   smallest area growth (prefer plain moves over creating replicas when
+   equal), then on un-replication. *)
+let best_op cfg st cell =
+  let candidates = Gain.best_mask_change st ~replication:cfg.replication cell in
+  let key (_, d) =
+    ( -delta_obj cfg.objective d,
+      -(d.Partition_state.d_area_a + d.Partition_state.d_area_b) )
+  in
+  match candidates with
+  | [] -> None
+  | first :: rest ->
+      let best =
+        List.fold_left
+          (fun acc c -> if key c > key acc then c else acc)
+          first rest
+      in
+      Some best
+
+let run cfg st =
+  let hg = Partition_state.hypergraph st in
+  let n = Hypergraph.num_cells hg in
+  let max_gain = (2 * Hypergraph.max_cell_degree hg) + 2 in
+  let bucket = Bucket.create ~num_items:n ~max_gain in
+  let ops : (Bitvec.t * Partition_state.delta) option array = Array.make n None in
+  let locked = Array.make n false in
+  let rescore cell =
+    if not locked.(cell) then begin
+      ops.(cell) <- best_op cfg st cell;
+      match ops.(cell) with
+      | None -> Bucket.remove bucket cell
+      | Some (_, d) -> Bucket.update bucket cell (-delta_obj cfg.objective d)
+    end
+  in
+  let legal cell =
+    match ops.(cell) with
+    | None -> false
+    | Some (_, d) ->
+        cfg.area_ok
+          (Partition_state.area st Partition_state.A + d.Partition_state.d_area_a)
+          (Partition_state.area st Partition_state.B + d.Partition_state.d_area_b)
+  in
+  let one_pass () =
+    Bucket.clear bucket;
+    Array.fill locked 0 n false;
+    for cell = 0 to n - 1 do
+      rescore cell
+    done;
+    let trail = ref [] in
+    let trail_len = ref 0 in
+    let start_score = cfg.score st in
+    let best = ref start_score in
+    let best_prefix = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match Bucket.find_best bucket legal with
+      | None -> continue := false
+      | Some cell ->
+          let mask, _ = Option.get ops.(cell) in
+          let old_mask = Partition_state.mask st cell in
+          ignore (Partition_state.apply st cell mask);
+          locked.(cell) <- true;
+          Bucket.remove bucket cell;
+          trail := (cell, old_mask) :: !trail;
+          incr trail_len;
+          (* Re-score neighbours whose nets may have changed state. *)
+          let c = Hypergraph.cell hg cell in
+          Array.iter
+            (fun net ->
+              Array.iter rescore hg.Hypergraph.net_cells.(net))
+            (Hypergraph.cell_nets c);
+          let s = cfg.score st in
+          if s < !best then begin
+            best := s;
+            best_prefix := !trail_len
+          end
+    done;
+    (* Roll back to the best prefix. *)
+    let to_undo = !trail_len - !best_prefix in
+    let rec undo k = function
+      | (cell, old_mask) :: rest when k > 0 ->
+          ignore (Partition_state.apply st cell old_mask);
+          undo (k - 1) rest
+      | _ -> ()
+    in
+    undo to_undo !trail;
+    !best < start_score
+  in
+  let passes = ref 0 in
+  while !passes < cfg.max_passes && one_pass () do
+    incr passes
+  done;
+  cfg.score st
+
+let run_staged cfg st =
+  match cfg.replication with
+  | `None -> run cfg st
+  | `Functional _ ->
+      ignore (run { cfg with replication = `None } st);
+      run cfg st

@@ -1,0 +1,103 @@
+(** Fiduccia–Mattheyses bipartitioning, with optional functional
+    replication (Section III.D of the paper).
+
+    The engine runs F-M passes over a {!Partition_state}: each pass
+    tentatively applies the best legal operation per cell at most once
+    (operations are mask changes: moves, output migrations,
+    un-replications — see {!Gain.best_mask_change}), then rolls back to the
+    best prefix. Gains are exact deltas from {!Partition_state.eval}; after
+    each applied operation only the cells sharing a net with the moved cell
+    are re-scored, preserving the F-M cost profile (the paper reports a
+    34% CPU surcharge for replication; this implementation is in the same
+    regime).
+
+    With [replication = `None] and [objective = Cut] this is the classic
+    min-cut F-M of the paper's first experiment; [`Functional T] enables
+    replication for cells with [psi >= T]. *)
+
+type objective = Cut | Terminals
+
+val objective_value : objective -> Partition_state.t -> int
+(** [Cut]: nets spanning both sides. [Terminals]: total IOBs consumed by
+    the two sides ([terminals A + terminals B]), the k-way driver's view of
+    eq. (2). *)
+
+type score = int * int * int
+(** [(penalty, objective, preference)]; lexicographically smaller is
+    better. A prefix with penalty 0 satisfies the caller's feasibility
+    constraints; [preference] breaks ties between equally good prefixes
+    (the device-window config uses it to prefer fuller devices, which
+    lowers total cost). *)
+
+type config = {
+  objective : objective;
+  replication : [ `None | `Functional of int ];
+  max_passes : int;
+  area_ok : int -> int -> bool;
+      (** hard legality of intermediate states: [area_ok area_a area_b] *)
+  score : Partition_state.t -> score;
+      (** prefix quality; the pass rolls back to the best-scoring prefix *)
+}
+
+val balance_config :
+  ?objective:objective ->
+  ?replication:[ `None | `Functional of int ] ->
+  ?max_passes:int ->
+  ?slack:float ->
+  total_area:int ->
+  unit ->
+  config
+(** The paper's first experiment: minimise [objective] subject to
+    [max (area A) (area B) <= ceil ((1 + slack) * total_area / 2)]
+    (slack defaults to 0.10; replication can grow the total, so exact
+    halves are not attainable in general). *)
+
+type device_bounds = {
+  min_clbs : int;
+  max_clbs : int;
+  max_terminals : int;
+}
+
+val device_config :
+  ?objective:objective ->
+  ?replication:[ `None | `Functional of int ] ->
+  ?max_passes:int ->
+  bounds:device_bounds ->
+  unit ->
+  config
+(** k-way inner bipartition: side [A] must fit a device window
+    ([min_clbs <= area A <= max_clbs], [terminals A <= max_terminals]);
+    penalty measures the violation, so passes hill-climb into
+    feasibility. *)
+
+val two_device_config :
+  ?objective:objective ->
+  ?replication:[ `None | `Functional of int ] ->
+  ?max_passes:int ->
+  bounds_a:device_bounds ->
+  bounds_b:device_bounds ->
+  unit ->
+  config
+(** Pairwise refinement between two already-assigned devices: both sides
+    must stay inside their device windows. Defaults the objective to
+    [Terminals] — with the devices fixed, total IOB usage is exactly what
+    eq. (2) charges for the pair. *)
+
+val run : config -> Partition_state.t -> score
+(** Improve the state in place until a pass brings no improvement (or
+    [max_passes]); returns the final score. The state is left at the best
+    prefix found. Each pass rolls back to its best prefix, so the score
+    never worsens. *)
+
+val run_staged : config -> Partition_state.t -> score
+(** Replication as the paper deploys it: an {e extension} of the
+    traditional F-M heuristic. First converge with plain moves
+    ([replication = `None]), then continue with the configured replication
+    operations from that solution. Since passes never worsen the score,
+    the staged result is never worse than plain F-M alone. Equivalent to
+    {!run} when the config has no replication. *)
+
+val random_state : Netlist.Rng.t -> Hypergraph.t -> Partition_state.t
+(** Fresh state with a uniformly random half/half assignment (by cell
+    count), the multi-start initialisation of the paper's 20-run
+    experiments. *)

@@ -1,0 +1,495 @@
+let log_src = Logs.Src.create "fpgapart.kway" ~doc:"heterogeneous k-way driver"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type part = {
+  device : Fpga.Device.t;
+  members : (int * Bitvec.t) list;
+  clbs : int;
+  iobs : int;
+}
+
+type result = {
+  parts : part list;
+  summary : Fpga.Cost.summary;
+  replicated_cells : int;
+  total_cells : int;
+  elapsed : float;
+  runs : int;
+  feasible_runs : int;
+}
+
+type options = {
+  runs : int;
+  seed : int;
+  replication : [ `None | `Functional of int ];
+  max_passes : int;
+  fm_attempts : int;
+  refine_rounds : int;
+}
+
+let default_options =
+  {
+    runs = 5;
+    seed = 1;
+    replication = `None;
+    max_passes = 10;
+    fm_attempts = 3;
+    refine_rounds = 1;
+  }
+
+let count_external (h : Hypergraph.t) =
+  Array.fold_left (fun acc e -> if e then acc + 1 else acc) 0 h.Hypergraph.net_external
+
+(* Translate copies expressed in a sub-hypergraph's coordinates back to the
+   original hypergraph. [orig_of.(c)] = (original cell, per-output index
+   map). *)
+let translate orig_of members =
+  List.map
+    (fun (c, m) ->
+      let orig, out_map = orig_of.(c) in
+      let om =
+        Bitvec.fold (fun o acc -> Bitvec.add out_map.(o) acc) m Bitvec.empty
+      in
+      (orig, om))
+    members
+
+(* One feasible split attempt: side A must fit the device window. Returns
+   the best feasible state over [attempts] random restarts. *)
+let try_device ~opts ~rng rest (dev : Fpga.Device.t) =
+  let area = Hypergraph.total_area rest in
+  let bounds =
+    {
+      Fm.min_clbs = max 1 (Fpga.Device.min_clbs dev);
+      max_clbs = min (Fpga.Device.max_clbs dev) (area - 1);
+      max_terminals = dev.Fpga.Device.terminals;
+    }
+  in
+  if bounds.Fm.max_clbs < bounds.Fm.min_clbs then None
+  else begin
+    let cfg =
+      Fm.device_config ~objective:Fm.Cut ~replication:opts.replication
+        ~max_passes:opts.max_passes ~bounds ()
+    in
+    (* Aim near the top of the window: fuller devices mean fewer devices
+       and lower total cost (objective 1). *)
+    let target = max bounds.Fm.min_clbs (bounds.Fm.max_clbs * 9 / 10) in
+    let p_a = float_of_int target /. float_of_int area in
+    let best = ref None in
+    for _ = 1 to opts.fm_attempts do
+      let st =
+        Partition_state.create rest ~init_on_b:(fun _ ->
+            Netlist.Rng.float rng 1.0 >= p_a)
+      in
+      match Fm.run_staged cfg st with
+      | 0, cut, neg_area -> (
+          match !best with
+          | Some (k, _) when k <= (cut, neg_area) -> ()
+          | _ -> best := Some ((cut, neg_area), st))
+      | _ -> ()
+    done;
+    Option.map snd !best
+  end
+
+let run_once ~library ~opts ~rng hg =
+  let num_orig = Hypergraph.num_cells hg in
+  let identity =
+    Array.init num_orig (fun c ->
+        ( c,
+          Array.init
+            (Array.length (Hypergraph.cell hg c).Hypergraph.outputs)
+            Fun.id ))
+  in
+  let rec loop rest orig_of parts guard =
+    if guard > Hypergraph.total_area hg + 8 then
+      Error "k-way driver failed to terminate (internal)"
+    else if Hypergraph.num_cells rest = 0 then Ok (List.rev parts)
+    else begin
+      let area = Hypergraph.total_area rest in
+      let ext = count_external rest in
+      match
+        Fpga.Library.smallest_fitting ~relax_low:true library ~clbs:area
+          ~iobs:ext
+      with
+      | Some dev ->
+          (* The whole remainder fits one device. *)
+          Log.debug (fun m ->
+              m "remainder fits %s: %d CLBs / %d IOBs" dev.Fpga.Device.name
+                area ext);
+          let members =
+            translate orig_of
+              (List.init (Hypergraph.num_cells rest) (fun c ->
+                   ( c,
+                     Bitvec.full
+                       (Array.length
+                          (Hypergraph.cell rest c).Hypergraph.outputs) )))
+          in
+          Ok (List.rev ({ device = dev; members; clbs = area; iobs = ext } :: parts))
+      | None -> (
+          (* Split off one device: evaluate every candidate device and keep
+             the split with the best local cost efficiency (price of the
+             device actually used per CLB covered), ties by cut. *)
+          let candidates =
+            List.filter_map
+              (fun dev ->
+                match try_device ~opts ~rng rest dev with
+                | None -> None
+                | Some st ->
+                    let clbs = Partition_state.area st Partition_state.A in
+                    let iobs =
+                      Partition_state.terminals st Partition_state.A
+                    in
+                    (* Right-size: the split was shaped for [dev], but a
+                       cheaper device may accept the same subcircuit. *)
+                    let dev =
+                      match
+                        Fpga.Library.smallest_fitting library ~clbs ~iobs
+                      with
+                      | Some d
+                        when d.Fpga.Device.price < dev.Fpga.Device.price ->
+                          d
+                      | _ -> dev
+                    in
+                    let rate =
+                      dev.Fpga.Device.price /. float_of_int (max 1 clbs)
+                    in
+                    Some ((rate, Partition_state.cut st), (dev, st, clbs, iobs)))
+              (Fpga.Library.by_efficiency library)
+          in
+          match
+            List.sort (fun (ka, _) (kb, _) -> compare ka kb) candidates
+          with
+          | [] -> Error "no feasible split for the remainder"
+          | (_, (dev, st, clbs, iobs)) :: _ ->
+              Log.debug (fun m ->
+                  m "split: %s takes %d CLBs / %d IOBs; %d CLBs remain"
+                    dev.Fpga.Device.name clbs iobs
+                    (Partition_state.area st Partition_state.B));
+              let members_a =
+                Partition_state.side_copies st Partition_state.A
+              in
+              let part =
+                { device = dev; members = translate orig_of members_a; clbs; iobs }
+              in
+              let specs_b = Partition_state.side_copies st Partition_state.B in
+              let rest', spec_arr = Hypergraph.induce_copies rest specs_b in
+              let orig_of' =
+                Array.map
+                  (fun (old_c, mask) ->
+                    let orig, out_map = orig_of.(old_c) in
+                    let out_map' =
+                      Array.of_list
+                        (List.map (fun o -> out_map.(o)) (Bitvec.to_list mask))
+                    in
+                    (orig, out_map'))
+                  spec_arr
+              in
+              loop rest' orig_of' (part :: parts) (guard + 1))
+    end
+  in
+  loop hg identity [] 0
+
+
+(* ------------------------------------------------------------------ *)
+(* Pairwise refinement                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-bipartition the union of two finished parts under both device
+   windows, optimising total terminal usage (eq. 2 restricted to the
+   pair). Cells of other parts appear as external context, so their IOB
+   counts cannot change. Returns the improved pair or [None]. *)
+let refine_pair ~opts hg library (pi : part) (pj : part) =
+  let masks_of p =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun (c, m) -> Hashtbl.replace tbl c m) p.members;
+    tbl
+  in
+  let mi = masks_of pi and mj = masks_of pj in
+  let union = Hashtbl.create 128 in
+  let add tbl =
+    Hashtbl.iter
+      (fun c m ->
+        Hashtbl.replace union c
+          (Bitvec.union m (try Hashtbl.find union c with Not_found -> Bitvec.empty)))
+      tbl
+  in
+  add mi;
+  add mj;
+  let specs =
+    Hashtbl.fold (fun c m acc -> (c, m) :: acc) union []
+    |> List.sort compare
+  in
+  let hu, spec_arr = Hypergraph.induce_copies hg specs in
+  (* Initial assignment: part j's share of each cell sits on side B. *)
+  let init k =
+    let orig, um = spec_arr.(k) in
+    let mask_j = try Hashtbl.find mj orig with Not_found -> Bitvec.empty in
+    let bit = ref 0 and acc = ref Bitvec.empty in
+    Bitvec.iter
+      (fun o ->
+        if Bitvec.mem o mask_j then acc := Bitvec.add !bit !acc;
+        incr bit)
+      um;
+    !acc
+  in
+  let st = Partition_state.create_with_masks hu ~masks:init in
+  let bounds (p : part) =
+    {
+      Fm.min_clbs = 1;
+      max_clbs = Fpga.Device.max_clbs p.device;
+      max_terminals = p.device.Fpga.Device.terminals;
+    }
+  in
+  let cfg =
+    Fm.two_device_config ~replication:opts.replication
+      ~max_passes:opts.max_passes ~bounds_a:(bounds pi) ~bounds_b:(bounds pj)
+      ()
+  in
+  let s0 = cfg.Fm.score st in
+  let s1 = Fm.run_staged cfg st in
+  let pen, _, _ = s1 in
+  if pen <> 0 || s1 >= s0 then None
+  else begin
+    let translate_side side =
+      Partition_state.side_copies st side
+      |> List.map (fun (k, m) ->
+             let orig, um = spec_arr.(k) in
+             let outs = Bitvec.to_list um in
+             let om =
+               Bitvec.fold
+                 (fun pos acc -> Bitvec.add (List.nth outs pos) acc)
+                 m Bitvec.empty
+             in
+             (orig, om))
+    in
+    let rebuild side (p : part) =
+      let clbs = Partition_state.area st side in
+      let iobs = Partition_state.terminals st side in
+      (* Keep the device unless a cheaper one now accepts the side. *)
+      let device =
+        match Fpga.Library.smallest_fitting ~relax_low:true library ~clbs ~iobs with
+        | Some d when d.Fpga.Device.price < p.device.Fpga.Device.price -> d
+        | _ -> p.device
+      in
+      { device; members = translate_side side; clbs; iobs }
+    in
+    Some (rebuild Partition_state.A pi, rebuild Partition_state.B pj)
+  end
+
+(* Refinement driver: repeatedly sweep the part pairs that share nets,
+   most-connected first. *)
+let refine ~opts hg library parts =
+  let parts = Array.of_list parts in
+  let k = Array.length parts in
+  if k < 2 then Array.to_list parts
+  else begin
+    for _round = 1 to opts.refine_rounds do
+      (* Shared-net counts per pair. *)
+      let touch = Array.make hg.Hypergraph.num_nets [] in
+      Array.iteri
+        (fun j p ->
+          List.iter
+            (fun (c, m) ->
+              Array.iter
+                (fun n ->
+                  match touch.(n) with
+                  | x :: _ when x = j -> ()
+                  | l -> touch.(n) <- j :: l)
+                (Hypergraph.connected_nets (Hypergraph.cell hg c) ~out_mask:m))
+            p.members)
+        parts;
+      let shared = Hashtbl.create 32 in
+      Array.iter
+        (fun l ->
+          let l = List.sort_uniq compare l in
+          List.iteri
+            (fun a i ->
+              List.iteri
+                (fun b j ->
+                  if b > a then
+                    Hashtbl.replace shared (i, j)
+                      (1 + try Hashtbl.find shared (i, j) with Not_found -> 0))
+                l)
+            l)
+        touch;
+      (* Most-connected pairs first; cap the sweep so refinement stays a
+         small fraction of the driver's own cost on many-part results. *)
+      let pairs =
+        Hashtbl.fold (fun p n acc -> (n, p) :: acc) shared []
+        |> List.sort (fun a b -> compare b a)
+        |> List.map snd
+        |> List.filteri (fun i _ -> i < 4 * k)
+      in
+      List.iter
+        (fun (i, j) ->
+          match refine_pair ~opts hg library parts.(i) parts.(j) with
+          | Some (pi, pj) ->
+              parts.(i) <- pi;
+              parts.(j) <- pj
+          | None -> ())
+        pairs
+    done;
+    Array.to_list parts
+  end
+
+let summarize_parts hg parts =
+  let placements =
+    List.map
+      (fun p -> { Fpga.Cost.device = p.device; clbs = p.clbs; iobs = p.iobs })
+      parts
+  in
+  let summary = Fpga.Cost.summarize placements in
+  let appearances = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (c, _) ->
+          Hashtbl.replace appearances c
+            (1 + try Hashtbl.find appearances c with Not_found -> 0))
+        p.members)
+    parts;
+  let replicated =
+    Hashtbl.fold (fun _ n acc -> if n > 1 then acc + 1 else acc) appearances 0
+  in
+  (summary, replicated, Hypergraph.num_cells hg)
+
+let partition ?(options = default_options) ~library hg =
+  let t0 = Sys.time () in
+  let best = ref None in
+  let feasible = ref 0 in
+  for r = 0 to options.runs - 1 do
+    let rng = Netlist.Rng.create (options.seed + (r * 7919)) in
+    match run_once ~library ~opts:options ~rng hg with
+    | Error _ -> ()
+    | Ok parts ->
+        incr feasible;
+        let summary, replicated, total = summarize_parts hg parts in
+        let key =
+          (summary.Fpga.Cost.total_cost, summary.Fpga.Cost.avg_iob_utilization)
+        in
+        let better =
+          match !best with Some (k, _) -> key < k | None -> true
+        in
+        if better then best := Some (key, (parts, summary, replicated, total))
+  done;
+  let elapsed = Sys.time () -. t0 in
+  (* Pairwise refinement is applied once, to the winning run (it never
+     worsens a partition, so the winner stays at least as good). *)
+  let best =
+    match !best with
+    | Some (_, (parts, _, _, _)) when options.refine_rounds > 0 ->
+        let parts = refine ~opts:options hg library parts in
+        let summary, replicated, total = summarize_parts hg parts in
+        Some (parts, summary, replicated, total)
+    | Some (_, v) -> Some v
+    | None -> None
+  in
+  match best with
+  | None -> Error "no feasible k-way partition found in any run"
+  | Some (parts, summary, replicated, total) ->
+      Log.info (fun m ->
+          m "best of %d runs (%d feasible): %a" options.runs !feasible
+            Fpga.Cost.pp_summary summary);
+      Ok
+        {
+          parts;
+          summary;
+          replicated_cells = replicated;
+          total_cells = total;
+          elapsed;
+          runs = options.runs;
+          feasible_runs = !feasible;
+        }
+
+let check hg result =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let num = Hypergraph.num_cells hg in
+  (* 1. Output masks partition every cell's outputs. *)
+  let seen = Array.make num Bitvec.empty in
+  let overlap = ref None in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (c, m) ->
+          if not (Bitvec.is_empty (Bitvec.inter seen.(c) m)) then
+            overlap := Some c;
+          seen.(c) <- Bitvec.union seen.(c) m)
+        p.members)
+    result.parts;
+  match !overlap with
+  | Some c -> err "cell %d: an output is driven by two parts" c
+  | None -> (
+      let missing = ref None in
+      for c = 0 to num - 1 do
+        let full =
+          Bitvec.full (Array.length (Hypergraph.cell hg c).Hypergraph.outputs)
+        in
+        if not (Bitvec.equal seen.(c) full) then missing := Some c
+      done;
+      match !missing with
+      | Some c -> err "cell %d: some output is driven by no part" c
+      | None -> (
+          (* 2. Per-part areas and terminal counts match the members, and
+             fit the device. Terminals recomputed from the original
+             hypergraph: a net consumes an IOB of a part iff the part
+             touches it and it also lives outside the part. *)
+          let net_touchers = Array.make hg.Hypergraph.num_nets [] in
+          List.iteri
+            (fun j p ->
+              List.iter
+                (fun (c, m) ->
+                  Array.iter
+                    (fun n ->
+                      match net_touchers.(n) with
+                      | k :: _ when k = j -> ()
+                      | l -> net_touchers.(n) <- j :: l)
+                    (Hypergraph.connected_nets (Hypergraph.cell hg c)
+                       ~out_mask:m))
+                p.members)
+            result.parts;
+          let rec check_parts j = function
+            | [] -> Ok ()
+            | p :: rest ->
+                let clbs =
+                  List.fold_left
+                    (fun acc (c, _) -> acc + (Hypergraph.cell hg c).Hypergraph.area)
+                    0 p.members
+                in
+                let iobs = ref 0 in
+                Array.iteri
+                  (fun n touchers ->
+                    if List.mem j touchers then
+                      let outside =
+                        hg.Hypergraph.net_external.(n)
+                        || List.exists (fun k -> k <> j) touchers
+                      in
+                      if outside then incr iobs)
+                  net_touchers;
+                if clbs <> p.clbs then
+                  err "part %d: recorded %d CLBs, members sum to %d" j p.clbs
+                    clbs
+                else if !iobs <> p.iobs then
+                  err "part %d: recorded %d IOBs, recomputed %d" j p.iobs !iobs
+                else if
+                  not
+                    (Fpga.Device.fits ~relax_low:true p.device ~clbs
+                       ~iobs:!iobs)
+                then err "part %d: violates device %s" j p.device.Fpga.Device.name
+                else check_parts (j + 1) rest
+          in
+          check_parts 0 result.parts))
+
+let pp_result fmt r =
+  Format.fprintf fmt "@[<v>%a@,replicated cells: %d / %d (%.1f%%)@,runs: %d (%d feasible), %.2fs@,"
+    Fpga.Cost.pp_summary r.summary r.replicated_cells r.total_cells
+    (100.0 *. float_of_int r.replicated_cells /. float_of_int (max 1 r.total_cells))
+    r.runs r.feasible_runs r.elapsed;
+  List.iteri
+    (fun j p ->
+      Format.fprintf fmt "  part %d: %-8s %4d CLBs (%3.0f%%), %3d IOBs (%3.0f%%)@,"
+        j p.device.Fpga.Device.name p.clbs
+        (100.0 *. Fpga.Device.clb_utilization p.device ~clbs:p.clbs)
+        p.iobs
+        (100.0 *. Fpga.Device.iob_utilization p.device ~iobs:p.iobs))
+    r.parts;
+  Format.fprintf fmt "@]"

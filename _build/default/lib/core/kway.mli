@@ -1,0 +1,66 @@
+(** k-way partitioning into a heterogeneous FPGA library (Sections I and
+    IV; the recursive-bipartitioning driver of ref. [3] extended with
+    functional replication).
+
+    The driver repeatedly splits off one feasible single-device subcircuit:
+    at each step it either places the whole remainder on the cheapest
+    device that accepts it, or runs device-window F-M bipartitions
+    (candidate devices in cost-efficiency order, multi-start) until a
+    feasible split emerges, then recurses on the remainder. A multi-start
+    outer loop collects several feasible k-way partitions and keeps the
+    best by (total cost, then average IOB utilization) — the paper's twin
+    objectives (1) and (2). *)
+
+type part = {
+  device : Fpga.Device.t;
+  members : (int * Bitvec.t) list;
+      (** cells of the original hypergraph in this partition, with the
+          output mask their copy carries (whole mask when not
+          replicated) *)
+  clbs : int;
+  iobs : int;  (** terminals used: nets leaving this device *)
+}
+
+type result = {
+  parts : part list;
+  summary : Fpga.Cost.summary;
+  replicated_cells : int;  (** original cells present in more than one part *)
+  total_cells : int;
+  elapsed : float;         (** CPU seconds for the whole multi-start call *)
+  runs : int;
+  feasible_runs : int;
+}
+
+type options = {
+  runs : int;          (** multi-start count (the paper generates 5
+                           feasible partitions per run) *)
+  seed : int;
+  replication : [ `None | `Functional of int ];
+  max_passes : int;    (** F-M passes per bipartition *)
+  fm_attempts : int;   (** random restarts per split step and device *)
+  refine_rounds : int;
+      (** pairwise-refinement sweeps applied to the winning run's parts:
+          each sweep re-bipartitions the most net-sharing part pairs (up to
+          4k of them) under both device windows to shed terminals (and
+          possibly shrink devices); refinement never worsens a partition;
+          0 disables *)
+}
+
+val default_options : options
+(** 5 runs, seed 1, no replication, 10 passes, 3 attempts, 1 refinement
+    sweep. *)
+
+val partition :
+  ?options:options ->
+  library:Fpga.Library.t ->
+  Hypergraph.t ->
+  (result, string) Stdlib.result
+(** [Error] when no run produces a fully feasible k-way partition. *)
+
+val check : Hypergraph.t -> result -> (unit, string) Stdlib.result
+(** Soundness of a result: every output of every original cell is driven
+    by exactly one part (masks partition each cell's outputs), every part
+    obeys its device's size and terminal constraints, and the recorded
+    CLB/IOB numbers match the members. Used by tests and assertions. *)
+
+val pp_result : Format.formatter -> result -> unit

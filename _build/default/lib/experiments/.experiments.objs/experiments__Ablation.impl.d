@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Core Format Fun Hypergraph Lazy List Netlist Partition_state Suite Techmap

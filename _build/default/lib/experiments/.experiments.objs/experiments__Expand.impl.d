@@ -1,0 +1,1 @@
+lib/experiments/expand.ml: Array Bitvec Core Hashtbl List Printf Techmap

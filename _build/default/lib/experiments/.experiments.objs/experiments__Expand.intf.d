@@ -1,0 +1,1 @@
+lib/experiments/expand.mli: Core Netlist Techmap

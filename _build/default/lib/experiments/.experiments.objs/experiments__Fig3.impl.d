@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Core Format Lazy List Suite

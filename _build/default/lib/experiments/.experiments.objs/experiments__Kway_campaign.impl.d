@@ -1,0 +1,1 @@
+lib/experiments/kway_campaign.ml: Core Float Format Fpga Lazy List Printf Suite Sys

@@ -1,0 +1,1 @@
+lib/experiments/kway_campaign.mli: Format Fpga Suite

@@ -1,0 +1,1 @@
+lib/experiments/suite.ml: Hypergraph Lazy List Netlist String Techmap

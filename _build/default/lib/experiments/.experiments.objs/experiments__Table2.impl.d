@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Format Lazy List Suite Techmap

@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Core Format Hypergraph Lazy List Netlist Suite Sys

@@ -1,0 +1,1 @@
+lib/experiments/table3.mli: Format Suite

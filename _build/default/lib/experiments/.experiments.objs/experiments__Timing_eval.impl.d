@@ -1,0 +1,1 @@
+lib/experiments/timing_eval.ml: Array Core Expand Float Format Fpga Hypergraph Lazy List Suite Techmap

@@ -1,0 +1,1 @@
+lib/experiments/timing_eval.mli: Core Format Hypergraph Suite Techmap

@@ -1,0 +1,67 @@
+let to_mapped (m : Techmap.Mapped.t) (r : Core.Kway.result) =
+  let num_cells = Array.length m.Techmap.Mapped.clbs in
+  let clbs = ref [] in
+  let covered = Array.make num_cells Bitvec.empty in
+  List.iteri
+    (fun part_idx part ->
+      List.iter
+        (fun (cell, mask) ->
+          if cell < 0 || cell >= num_cells then
+            invalid_arg "Expand.to_mapped: cell id out of range";
+          covered.(cell) <- Bitvec.union covered.(cell) mask;
+          let clb = m.Techmap.Mapped.clbs.(cell) in
+          (* Input pins needed by the outputs this copy carries. *)
+          let in_mask =
+            Bitvec.fold
+              (fun o acc -> Bitvec.union acc (Techmap.Mapped.support_mask clb o))
+              mask Bitvec.empty
+          in
+          let old_pins = Bitvec.to_list in_mask in
+          let new_index = Hashtbl.create 8 in
+          List.iteri (fun k p -> Hashtbl.add new_index p k) old_pins;
+          let inputs =
+            Array.of_list
+              (List.map (fun p -> clb.Techmap.Mapped.inputs.(p)) old_pins)
+          in
+          let outputs =
+            Bitvec.to_list mask
+            |> List.map (fun o ->
+                   let out = clb.Techmap.Mapped.outputs.(o) in
+                   {
+                     out with
+                     Techmap.Mapped.pins =
+                       Array.map
+                         (fun p -> Hashtbl.find new_index p)
+                         out.Techmap.Mapped.pins;
+                   })
+            |> Array.of_list
+          in
+          clbs :=
+            {
+              Techmap.Mapped.name =
+                Printf.sprintf "%s@p%d" clb.Techmap.Mapped.name part_idx;
+              inputs;
+              outputs;
+            }
+            :: !clbs)
+        part.Core.Kway.members)
+    r.Core.Kway.parts;
+  Array.iteri
+    (fun cell mask ->
+      let full =
+        Bitvec.full (Array.length m.Techmap.Mapped.clbs.(cell).Techmap.Mapped.outputs)
+      in
+      if not (Bitvec.equal mask full) then
+        invalid_arg "Expand.to_mapped: partition does not cover every output")
+    covered;
+  { m with Techmap.Mapped.clbs = Array.of_list (List.rev !clbs) }
+
+let verify circuit m r =
+  match to_mapped m r with
+  | exception Invalid_argument msg -> Error msg
+  | expanded -> (
+      match Techmap.Mapped.validate expanded with
+      | Error msg -> Error ("expanded netlist invalid: " ^ msg)
+      | Ok () ->
+          if Techmap.Mapped.equivalent circuit expanded then Ok ()
+          else Error "expanded netlist is not equivalent to the source")

@@ -1,0 +1,21 @@
+(** Materialise a k-way partition back into a mapped netlist.
+
+    Functional replication leaves some cells present in several devices,
+    each copy driving a subset of the original outputs and reading only the
+    nets those outputs depend on. [to_mapped] rebuilds the full multi-FPGA
+    system as one {!Techmap.Mapped.t} — one CLB per copy — so the result
+    can be simulated and compared against the original circuit. This is
+    the strongest soundness check in the repository: it proves end-to-end
+    that partitioning with functional replication preserves the circuit's
+    function (combinational and sequential). *)
+
+val to_mapped : Techmap.Mapped.t -> Core.Kway.result -> Techmap.Mapped.t
+(** [to_mapped m r] expands result [r] (obtained on
+    [Techmap.Mapper.to_hypergraph m]) over the netlist [m]. CLB names gain
+    an [@p<i>] suffix identifying their device. Raises [Invalid_argument]
+    if the result does not cover [m]'s cells. *)
+
+val verify : Netlist.Circuit.t -> Techmap.Mapped.t -> Core.Kway.result ->
+  (unit, string) result
+(** Expand and check: the expanded netlist must validate and be
+    functionally equivalent to the source circuit on random stimulus. *)

@@ -1,0 +1,56 @@
+type row = {
+  name : string;
+  total_cells : int;
+  pct_single_output : float;
+  pct_multi_psi0 : float;
+  by_psi : (int * float) list;
+}
+
+let run (e : Suite.entry) =
+  let h = Lazy.force e.Suite.hypergraph in
+  let d = Core.Replication_potential.distribution h in
+  let total = float_of_int (max 1 d.Core.Replication_potential.total) in
+  let pct n = 100.0 *. float_of_int n /. total in
+  let psi0 =
+    match List.assoc_opt 0 d.Core.Replication_potential.multi_by_psi with
+    | Some n -> n
+    | None -> 0
+  in
+  {
+    name = e.Suite.display;
+    total_cells = d.Core.Replication_potential.total;
+    pct_single_output = pct d.Core.Replication_potential.single_output;
+    pct_multi_psi0 = pct psi0;
+    by_psi =
+      List.filter_map
+        (fun (psi, n) -> if psi >= 1 then Some (psi, pct n) else None)
+        d.Core.Replication_potential.multi_by_psi;
+  }
+
+let run_all () = List.map run (Suite.all ())
+
+let pp fmt rows =
+  (* Columns: single-output, multi psi=0, psi buckets 1..9, psi >= 10. *)
+  Format.fprintf fmt "@[<v>%-10s %6s | %5s %5s" "Circuit" "cells" "1-out"
+    "psi0";
+  for psi = 1 to 9 do
+    Format.fprintf fmt " %5d" psi
+  done;
+  Format.fprintf fmt "  >=10@,";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-10s %6d | %5.1f %5.1f" r.name r.total_cells
+        r.pct_single_output r.pct_multi_psi0;
+      for psi = 1 to 9 do
+        let v = try List.assoc psi r.by_psi with Not_found -> 0.0 in
+        Format.fprintf fmt " %5.1f" v
+      done;
+      let tail =
+        List.fold_left
+          (fun acc (psi, v) -> if psi >= 10 then acc +. v else acc)
+          0.0 r.by_psi
+      in
+      Format.fprintf fmt " %5.1f@," tail)
+    rows;
+  Format.fprintf fmt "(percent of all mapped cells; 1-out = single-output \
+                      cells, psi0 = multi-output cells with psi = 0)@]"

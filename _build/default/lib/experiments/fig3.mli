@@ -1,0 +1,16 @@
+(** Figure 3 — distribution of mapped cells over the replication potential
+    psi, per circuit. The paper's observation to reproduce: slightly under
+    half of the cells are single-output (psi = 0 by definition), a small
+    share of multi-output cells have psi = 0, and the rest have psi >= 1. *)
+
+type row = {
+  name : string;
+  total_cells : int;
+  pct_single_output : float;
+  pct_multi_psi0 : float;
+  by_psi : (int * float) list;  (** psi >= 1 buckets, percentage of cells *)
+}
+
+val run : Suite.entry -> row
+val run_all : unit -> row list
+val pp : Format.formatter -> row list -> unit

@@ -1,0 +1,71 @@
+type entry = {
+  name : string;
+  display : string;
+  description : string;
+  sequential : bool;
+  circuit : Netlist.Circuit.t Lazy.t;
+  mapped : Techmap.Mapped.t Lazy.t;
+  hypergraph : Hypergraph.t Lazy.t;
+}
+
+let make name ~sequential ~description gen =
+  let circuit = lazy (gen ()) in
+  let mapped = lazy (Techmap.Mapper.map (Lazy.force circuit)) in
+  let hypergraph = lazy (Techmap.Mapper.to_hypergraph (Lazy.force mapped)) in
+  {
+    name;
+    display = name ^ "*";
+    description;
+    sequential;
+    circuit;
+    mapped;
+    hypergraph;
+  }
+
+let clustered ~clusters ~gates ~dffs ~seed name =
+  Netlist.Generator.clustered ~name
+    {
+      Netlist.Generator.default_clustered with
+      clusters;
+      gates_per_cluster = gates;
+      dffs_per_cluster = dffs;
+      num_pi = 35;
+      num_po = 49;
+      seed;
+    }
+
+let suite =
+  lazy
+    [
+      make "c1355" ~sequential:false
+        ~description:"32-bit single-error-correcting network (ECC)"
+        (fun () -> Netlist.Generator.ecc ~name:"c1355" ~data_bits:32 ());
+      make "c5315" ~sequential:false
+        ~description:"64-bit ALU with carry chain and zero detect" (fun () ->
+          Netlist.Generator.alu ~name:"c5315" ~bits:64 ());
+      make "c6288" ~sequential:false ~description:"16x16 array multiplier"
+        (fun () -> Netlist.Generator.multiplier ~name:"c6288" ~bits:16 ());
+      make "c7552" ~sequential:false
+        ~description:"48-bit adder + magnitude comparator + parity" (fun () ->
+          Netlist.Generator.adder_comparator ~name:"c7552" ~bits:48 ());
+      make "s5378" ~sequential:true
+        ~description:"clustered sequential logic, 180 flip-flops" (fun () ->
+          clustered ~clusters:10 ~gates:90 ~dffs:18 ~seed:11 "s5378");
+      make "s9234" ~sequential:true
+        ~description:"clustered sequential logic, 216 flip-flops" (fun () ->
+          clustered ~clusters:9 ~gates:80 ~dffs:24 ~seed:12 "s9234");
+      make "s13207" ~sequential:true
+        ~description:"clustered sequential logic, 644 flip-flops" (fun () ->
+          clustered ~clusters:14 ~gates:100 ~dffs:46 ~seed:13 "s13207");
+      make "s15850" ~sequential:true
+        ~description:"clustered sequential logic, 544 flip-flops" (fun () ->
+          clustered ~clusters:16 ~gates:110 ~dffs:34 ~seed:14 "s15850");
+      make "s38584" ~sequential:true
+        ~description:"clustered sequential logic, 1428 flip-flops" (fun () ->
+          clustered ~clusters:28 ~gates:120 ~dffs:51 ~seed:15 "s38584");
+    ]
+
+let all () = Lazy.force suite
+
+let find name =
+  List.find_opt (fun e -> String.equal e.name name) (all ())

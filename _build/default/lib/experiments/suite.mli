@@ -1,0 +1,29 @@
+(** The benchmark suite.
+
+    The paper evaluates on four ISCAS'85 and five ISCAS'89 circuits mapped
+    into the XC3000 family (Table II). Those netlists are not
+    redistributable, so each entry here is a {e profile-matched synthetic
+    reconstruction}: structural generators for the circuits whose function
+    is documented (c6288 is a 16x16 array multiplier, c1355 a 32-bit
+    single-error-correcting network, c5315 an ALU, c7552 an
+    adder/comparator) and clustered sequential circuits reproducing the
+    ISCAS'89 flip-flop counts and pad counts. All entries are deterministic.
+    Names carry a [*] suffix in reports to mark the substitution. *)
+
+type entry = {
+  name : string;          (** e.g. ["c6288"] *)
+  display : string;       (** e.g. ["c6288*"] *)
+  description : string;
+  sequential : bool;
+  circuit : Netlist.Circuit.t Lazy.t;
+  mapped : Techmap.Mapped.t Lazy.t;
+  hypergraph : Hypergraph.t Lazy.t;
+}
+
+val all : unit -> entry list
+(** The nine circuits, in the paper's Table II order. Construction and
+    mapping are lazy and memoised, so repeated experiment runners share the
+    work. *)
+
+val find : string -> entry option
+(** Look up by [name] (without the [*]). *)

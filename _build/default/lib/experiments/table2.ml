@@ -1,0 +1,31 @@
+type row = {
+  name : string;
+  clbs : int;
+  iobs : int;
+  dffs : int;
+  nets : int;
+  pins : int;
+}
+
+let run (e : Suite.entry) =
+  let s = Techmap.Mapped.stats (Lazy.force e.Suite.mapped) in
+  {
+    name = e.Suite.display;
+    clbs = s.Techmap.Mapped.clbs;
+    iobs = s.Techmap.Mapped.iobs;
+    dffs = s.Techmap.Mapped.dffs;
+    nets = s.Techmap.Mapped.nets;
+    pins = s.Techmap.Mapped.pins;
+  }
+
+let run_all () = List.map run (Suite.all ())
+
+let pp fmt rows =
+  Format.fprintf fmt "@[<v>%-10s %7s %7s %7s %7s %7s@," "Circuit" "#CLBs"
+    "#IOBs" "#DFF" "#NETs" "#PINs";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-10s %7d %7d %7d %7d %7d@," r.name r.clbs r.iobs
+        r.dffs r.nets r.pins)
+    rows;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,15 @@
+(** Table II — benchmark circuit characteristics after XC3000 mapping:
+    #CLBs, #IOBs, #DFF, #NETs, #PINs per circuit. *)
+
+type row = {
+  name : string;
+  clbs : int;
+  iobs : int;
+  dffs : int;
+  nets : int;
+  pins : int;
+}
+
+val run : Suite.entry -> row
+val run_all : unit -> row list
+val pp : Format.formatter -> row list -> unit

@@ -1,0 +1,64 @@
+let crossing_nets hg (r : Core.Kway.result) =
+  let crossing = Array.copy hg.Hypergraph.net_external in
+  let touched_by = Array.make hg.Hypergraph.num_nets (-1) in
+  List.iteri
+    (fun j p ->
+      List.iter
+        (fun (c, m) ->
+          Array.iter
+            (fun n ->
+              if touched_by.(n) < 0 then touched_by.(n) <- j
+              else if touched_by.(n) <> j then crossing.(n) <- true)
+            (Hypergraph.connected_nets (Hypergraph.cell hg c) ~out_mask:m))
+        p.Core.Kway.members)
+    r.Core.Kway.parts;
+  crossing
+
+let of_result ?model m (r : Core.Kway.result) =
+  let hg = Techmap.Mapper.to_hypergraph m in
+  let crossing = crossing_nets hg r in
+  let expanded = Expand.to_mapped m r in
+  Techmap.Timing.analyze ?model ~crossing:(fun n -> crossing.(n)) expanded
+
+type row = {
+  name : string;
+  baseline_delay : float;
+  baseline_crossings : int;
+  repl_delay : float;
+  repl_crossings : int;
+}
+
+let run ?(runs = 5) ?(seed = 1) ?(threshold = 1) (e : Suite.entry) =
+  let m = Lazy.force e.Suite.mapped in
+  let h = Lazy.force e.Suite.hypergraph in
+  let partition replication =
+    let options = { Core.Kway.default_options with runs; seed; replication } in
+    match Core.Kway.partition ~options ~library:Fpga.Library.xc3000 h with
+    | Ok r -> Some (of_result m r)
+    | Error _ -> None
+  in
+  match (partition `None, partition (`Functional threshold)) with
+  | Some base, Some repl ->
+      Some
+        {
+          name = e.Suite.display;
+          baseline_delay = base.Techmap.Timing.critical_delay;
+          baseline_crossings = base.Techmap.Timing.critical_crossings;
+          repl_delay = repl.Techmap.Timing.critical_delay;
+          repl_crossings = repl.Techmap.Timing.critical_crossings;
+        }
+  | _ -> None
+
+let pp fmt rows =
+  Format.fprintf fmt "@[<v>%-10s | %9s %6s | %9s %6s | %7s@," "Circuit"
+    "base dly" "hops" "repl dly" "hops" "speedup";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-10s | %9.1f %6d | %9.1f %6d | %6.2fx@," r.name
+        r.baseline_delay r.baseline_crossings r.repl_delay r.repl_crossings
+        (r.baseline_delay /. Float.max 1e-9 r.repl_delay))
+    rows;
+  Format.fprintf fmt
+    "(static critical-path delay under the default model: CLB 1.0, \
+     intra-device net 0.2, board net 8.0; hops = device crossings on one \
+     critical path)@]"

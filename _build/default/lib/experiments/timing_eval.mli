@@ -1,0 +1,33 @@
+(** Timing evaluation of k-way partitions (extension experiment).
+
+    The paper motivates multi-FPGA partitioning quality partly by
+    performance. This runner makes that concrete: expand a partition
+    (replicas included) into a mapped netlist, mark every net that leaves
+    a device (or comes from a chip pad) as board-delayed, and run static
+    timing. Functional replication removes board hops from paths, so its
+    interconnect gains should show up as critical-delay gains. *)
+
+val crossing_nets : Hypergraph.t -> Core.Kway.result -> bool array
+(** Per net of the original hypergraph: does it cross a device boundary
+    (touched by several parts) or reach a chip pad? *)
+
+val of_result :
+  ?model:Techmap.Timing.delay_model ->
+  Techmap.Mapped.t ->
+  Core.Kway.result ->
+  Techmap.Timing.report
+(** Expand [result] over the mapped netlist and analyze. *)
+
+type row = {
+  name : string;
+  baseline_delay : float;
+  baseline_crossings : int;
+  repl_delay : float;
+  repl_crossings : int;
+}
+
+val run : ?runs:int -> ?seed:int -> ?threshold:int -> Suite.entry -> row option
+(** Partition with and without replication (threshold defaults to 1) and
+    compare critical delays; [None] when either partitioning fails. *)
+
+val pp : Format.formatter -> row list -> unit

@@ -1,0 +1,1 @@
+lib/fpga/cost.ml: Device Format Fun Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/fpga/cost.mli: Device Format

@@ -1,0 +1,1 @@
+lib/fpga/device.ml: Format

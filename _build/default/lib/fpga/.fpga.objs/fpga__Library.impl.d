@@ -1,0 +1,1 @@
+lib/fpga/library.ml: Array Device Float Format List String

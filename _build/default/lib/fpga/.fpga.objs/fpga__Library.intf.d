@@ -1,0 +1,1 @@
+lib/fpga/library.mli: Device Format

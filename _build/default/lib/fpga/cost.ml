@@ -1,0 +1,72 @@
+type placement = {
+  device : Device.t;
+  clbs : int;
+  iobs : int;
+}
+
+type summary = {
+  num_partitions : int;
+  total_cost : float;
+  avg_iob_utilization : float;
+  avg_clb_utilization : float;
+  total_clbs : int;
+  total_iobs : int;
+  device_counts : (string * int) list;
+}
+
+let summarize placements =
+  if placements = [] then invalid_arg "Cost.summarize: no placements";
+  let total_cost =
+    List.fold_left (fun acc p -> acc +. p.device.Device.price) 0.0 placements
+  in
+  let total_clbs = List.fold_left (fun acc p -> acc + p.clbs) 0 placements in
+  let total_iobs = List.fold_left (fun acc p -> acc + p.iobs) 0 placements in
+  let cap_clbs =
+    List.fold_left (fun acc p -> acc + p.device.Device.capacity) 0 placements
+  in
+  let cap_iobs =
+    List.fold_left (fun acc p -> acc + p.device.Device.terminals) 0 placements
+  in
+  let counts = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun p ->
+      let name = p.device.Device.name in
+      match Hashtbl.find_opt counts name with
+      | Some n -> Hashtbl.replace counts name (n + 1)
+      | None ->
+          Hashtbl.add counts name 1;
+          order := name :: !order)
+    placements;
+  {
+    num_partitions = List.length placements;
+    total_cost;
+    avg_iob_utilization = float_of_int total_iobs /. float_of_int cap_iobs;
+    avg_clb_utilization = float_of_int total_clbs /. float_of_int cap_clbs;
+    total_clbs;
+    total_iobs;
+    device_counts =
+      List.rev_map (fun name -> (name, Hashtbl.find counts name)) !order;
+  }
+
+let placement_feasible ?relax_low p =
+  Device.fits ?relax_low p.device ~clbs:p.clbs ~iobs:p.iobs
+
+let all_feasible ?(relax_low_last = false) placements =
+  let n = List.length placements in
+  List.for_all2
+    (fun i p -> placement_feasible ~relax_low:(relax_low_last && i = n - 1) p)
+    (List.init n Fun.id) placements
+
+let pp_summary fmt s =
+  let devices =
+    s.device_counts
+    |> List.map (fun (name, n) -> Printf.sprintf "%dx %s" n name)
+    |> String.concat ", "
+  in
+  Format.fprintf fmt
+    "k=%d, cost $%.0f, CLB util %.0f%%, IOB util %.0f%% (%s)"
+    s.num_partitions s.total_cost
+    (100.0 *. s.avg_clb_utilization)
+    (100.0 *. s.avg_iob_utilization)
+    devices

@@ -1,0 +1,34 @@
+(** The paper's two objective functions.
+
+    Eq. (1): total device cost [$ _k = sum_i d_i n_i] over the devices used
+    by a k-way partition. Eq. (2): average IOB utilization
+    [lambda_k = sum_j t_{P_j} / sum_i t_i n_i], the paper's measure of
+    inter-device interconnect. *)
+
+type placement = {
+  device : Device.t;
+  clbs : int;  (** CLBs of the partition implemented on this device *)
+  iobs : int;  (** terminals (used IOBs) of that partition *)
+}
+
+type summary = {
+  num_partitions : int;             (** [k] *)
+  total_cost : float;               (** eq. (1) *)
+  avg_iob_utilization : float;      (** eq. (2) *)
+  avg_clb_utilization : float;      (** aggregate: used CLBs / capacity *)
+  total_clbs : int;
+  total_iobs : int;
+  device_counts : (string * int) list;  (** per device type, library order *)
+}
+
+val summarize : placement list -> summary
+(** Raises [Invalid_argument] on an empty placement list. *)
+
+val placement_feasible : ?relax_low:bool -> placement -> bool
+(** Size and terminal constraints of Section I. *)
+
+val all_feasible : ?relax_low_last:bool -> placement list -> bool
+(** Every placement feasible; [relax_low_last] relaxes the lower
+    utilization bound on the final (remainder) placement only. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,35 @@
+type t = {
+  name : string;
+  capacity : int;
+  terminals : int;
+  price : float;
+  util_low : float;
+  util_high : float;
+}
+
+let make ~name ~capacity ~terminals ~price ?(util_low = 0.0) ?(util_high = 1.0)
+    () =
+  if capacity <= 0 then invalid_arg "Device.make: capacity must be positive";
+  if terminals <= 0 then invalid_arg "Device.make: terminals must be positive";
+  if price <= 0.0 then invalid_arg "Device.make: price must be positive";
+  if not (0.0 <= util_low && util_low <= util_high && util_high <= 1.0) then
+    invalid_arg "Device.make: need 0 <= util_low <= util_high <= 1";
+  { name; capacity; terminals; price; util_low; util_high }
+
+let min_clbs d = int_of_float (ceil (d.util_low *. float_of_int d.capacity))
+let max_clbs d = int_of_float (floor (d.util_high *. float_of_int d.capacity))
+
+let fits ?(relax_low = false) d ~clbs ~iobs =
+  clbs <= max_clbs d
+  && (relax_low || clbs >= min_clbs d)
+  && clbs >= 1
+  && iobs <= d.terminals
+
+let price_per_clb d = d.price /. float_of_int d.capacity
+
+let clb_utilization d ~clbs = float_of_int clbs /. float_of_int d.capacity
+let iob_utilization d ~iobs = float_of_int iobs /. float_of_int d.terminals
+
+let pp fmt d =
+  Format.fprintf fmt "%s (%d CLB, %d IOB, $%.0f, util %.2f-%.2f)" d.name
+    d.capacity d.terminals d.price d.util_low d.util_high

@@ -1,0 +1,41 @@
+(** FPGA device types.
+
+    A device [D_i = (c_i, t_i, d_i, l_i, u_i)] as in Table I of the paper:
+    CLB capacity, terminal (IOB) count, unit price, and lower/upper bounds
+    on CLB utilization for a feasible assignment. *)
+
+type t = {
+  name : string;
+  capacity : int;     (** [c_i]: configurable logic blocks *)
+  terminals : int;    (** [t_i]: I/O blocks *)
+  price : float;      (** [d_i]: unit cost (normalised dollars) *)
+  util_low : float;   (** [l_i]: minimum CLB utilization of a feasible use *)
+  util_high : float;  (** [u_i]: maximum CLB utilization *)
+}
+
+val make :
+  name:string -> capacity:int -> terminals:int -> price:float ->
+  ?util_low:float -> ?util_high:float -> unit -> t
+(** Defaults: [util_low = 0.0], [util_high = 1.0]. Raises
+    [Invalid_argument] on non-positive capacity/terminals/price or bounds
+    outside [0 <= l <= u <= 1]. *)
+
+val min_clbs : t -> int
+(** Smallest CLB count satisfying the lower utilization bound
+    ([ceil (l_i * c_i)]). *)
+
+val max_clbs : t -> int
+(** Largest CLB count satisfying the upper bound ([floor (u_i * c_i)]). *)
+
+val fits : ?relax_low:bool -> t -> clbs:int -> iobs:int -> bool
+(** Feasibility of one partition on this device: CLB count within the
+    utilization window and IOB count within the terminal budget.
+    [relax_low] ignores the lower bound (used for the final remainder
+    partition of a k-way decomposition). *)
+
+val price_per_clb : t -> float
+
+val clb_utilization : t -> clbs:int -> float
+val iob_utilization : t -> iobs:int -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,93 @@
+type t = Device.t array
+
+let make devices =
+  match devices with
+  | [] -> invalid_arg "Library.make: empty library"
+  | _ ->
+      let arr = Array.of_list devices in
+      let names = List.map (fun d -> d.Device.name) devices in
+      let sorted_names = List.sort_uniq compare names in
+      if List.length sorted_names <> List.length names then
+        invalid_arg "Library.make: duplicate device names";
+      Array.sort
+        (fun a b -> compare a.Device.capacity b.Device.capacity)
+        arr;
+      arr
+
+(* Capacities and terminal counts are the Xilinx XC3000 family data used by
+   the paper; prices are reconstructed (see .mli). Utilization windows: the
+   paper reports partitions at 70-90% CLB utilization, so feasible uses must
+   land in [0.50, 0.95] of capacity except on the smallest device, which
+   also mops up remainders. *)
+let xc3000 =
+  make
+    [
+      Device.make ~name:"XC3020" ~capacity:64 ~terminals:64 ~price:100.0
+        ~util_low:0.0 ~util_high:0.95 ();
+      Device.make ~name:"XC3030" ~capacity:100 ~terminals:80 ~price:150.0
+        ~util_low:0.50 ~util_high:0.95 ();
+      Device.make ~name:"XC3042" ~capacity:144 ~terminals:96 ~price:210.0
+        ~util_low:0.50 ~util_high:0.95 ();
+      Device.make ~name:"XC3064" ~capacity:224 ~terminals:120 ~price:315.0
+        ~util_low:0.50 ~util_high:0.95 ();
+      Device.make ~name:"XC3090" ~capacity:320 ~terminals:144 ~price:435.0
+        ~util_low:0.50 ~util_high:0.95 ();
+    ]
+
+let xc4000 =
+  make
+    [
+      Device.make ~name:"XC4003" ~capacity:100 ~terminals:80 ~price:160.0
+        ~util_low:0.0 ~util_high:0.95 ();
+      Device.make ~name:"XC4005" ~capacity:196 ~terminals:112 ~price:290.0
+        ~util_low:0.50 ~util_high:0.95 ();
+      Device.make ~name:"XC4008" ~capacity:324 ~terminals:144 ~price:450.0
+        ~util_low:0.50 ~util_high:0.95 ();
+      Device.make ~name:"XC4010" ~capacity:400 ~terminals:160 ~price:540.0
+        ~util_low:0.50 ~util_high:0.95 ();
+      Device.make ~name:"XC4013" ~capacity:576 ~terminals:192 ~price:750.0
+        ~util_low:0.50 ~util_high:0.95 ();
+    ]
+
+let devices t = Array.to_list t
+
+let find t name =
+  Array.find_opt (fun d -> String.equal d.Device.name name) t
+
+let smallest_fitting ?relax_low t ~clbs ~iobs =
+  Array.to_list t
+  |> List.filter (fun d -> Device.fits ?relax_low d ~clbs ~iobs)
+  |> List.sort (fun a b ->
+         match compare a.Device.price b.Device.price with
+         | 0 -> compare a.Device.capacity b.Device.capacity
+         | c -> c)
+  |> function
+  | [] -> None
+  | d :: _ -> Some d
+
+let largest t = t.(Array.length t - 1)
+
+let by_efficiency t =
+  Array.to_list t
+  |> List.sort (fun a b ->
+         compare (Device.price_per_clb a) (Device.price_per_clb b))
+
+let min_feasible_cost t ~clbs =
+  let cheapest =
+    Array.fold_left (fun acc d -> min acc d.Device.price) infinity t
+  in
+  let best_rate =
+    Array.fold_left (fun acc d -> min acc (Device.price_per_clb d)) infinity t
+  in
+  Float.max cheapest (best_rate *. float_of_int clbs)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%-8s %5s %5s %7s %5s %5s %9s@,"
+    "Device" "c_i" "t_i" "d_i" "l_i" "u_i" "d_i/c_i";
+  Array.iter
+    (fun d ->
+      Format.fprintf fmt "%-8s %5d %5d %7.0f %5.2f %5.2f %9.2f@,"
+        d.Device.name d.Device.capacity d.Device.terminals d.Device.price
+        d.Device.util_low d.Device.util_high (Device.price_per_clb d))
+    t;
+  Format.fprintf fmt "@]"

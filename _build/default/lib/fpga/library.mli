@@ -1,0 +1,43 @@
+(** Device libraries.
+
+    A library is a set of device types a partition may be implemented with;
+    any number of each type may be used. The XC3000 library reproduces
+    Table I of the paper: capacities and terminal counts are the real
+    Xilinx XC3000 values; the price column of the original table is not
+    recoverable from the available copy, so prices are reconstructed with
+    the qualitative structure the paper relies on (larger devices cheaper
+    per CLB, poorer in terminals per CLB). *)
+
+type t = private Device.t array
+(** Sorted by ascending capacity. *)
+
+val make : Device.t list -> t
+(** Raises [Invalid_argument] on an empty list or duplicate device names. *)
+
+val xc3000 : t
+(** Table I: XC3020, XC3030, XC3042, XC3064, XC3090. *)
+
+val xc4000 : t
+(** The successor family (XC4003 … XC4013), offered as an alternative
+    target for sensitivity studies. Capacities and terminal counts are the
+    real XC4000 values; prices are reconstructed on the same principles as
+    {!xc3000}. Note the CLB counts are not directly comparable with XC3000
+    CLBs (the XC4000 CLB is larger), so use one family per experiment. *)
+
+val devices : t -> Device.t list
+val find : t -> string -> Device.t option
+val smallest_fitting : ?relax_low:bool -> t -> clbs:int -> iobs:int -> Device.t option
+(** Cheapest device that can host the given partition (ties by capacity). *)
+
+val largest : t -> Device.t
+val by_efficiency : t -> Device.t list
+(** Devices sorted by ascending price per CLB (most cost-efficient
+    first). *)
+
+val min_feasible_cost : t -> clbs:int -> float
+(** A lower bound on the cost of hosting [clbs] CLBs: fractional covering
+    by the most cost-efficient device, but never below the cheapest single
+    device. Used for reporting, and as an optimistic bound in search. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders the library as the paper's Table I. *)

@@ -1,0 +1,1 @@
+lib/hypergraph/bitvec.ml: Format List Sys

@@ -1,0 +1,1 @@
+lib/hypergraph/bitvec.mli: Format

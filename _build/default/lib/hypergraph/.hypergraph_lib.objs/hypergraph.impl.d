@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph.ml: Array Bitvec Format Hashtbl List Netlist Printf

@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph.mli: Bitvec Format

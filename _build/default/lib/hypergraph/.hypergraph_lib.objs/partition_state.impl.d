@@ -1,0 +1,1 @@
+lib/hypergraph/partition_state.ml: Array Bitvec Hypergraph Printf

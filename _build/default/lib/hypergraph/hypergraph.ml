@@ -1,0 +1,330 @@
+type cell = {
+  id : int;
+  name : string;
+  area : int;
+  inputs : int array;
+  outputs : int array;
+  supports : Bitvec.t array;
+  conn_cache : int array array;
+  full_nets : int array;
+}
+
+type t = {
+  cells : cell array;
+  num_nets : int;
+  net_cells : int array array;
+  net_external : bool array;
+  net_names : string array;
+}
+
+type cell_spec = {
+  s_name : string;
+  s_area : int;
+  s_inputs : int array;
+  s_outputs : int array;
+  s_supports : Bitvec.t array;
+}
+
+let sort_dedup arr =
+  let arr = Array.copy arr in
+  Array.sort compare arr;
+  let n = Array.length arr in
+  if n <= 1 then arr
+  else begin
+    let out = ref [] and count = ref 0 in
+    for i = n - 1 downto 0 do
+      if i = 0 || arr.(i) <> arr.(i - 1) then begin
+        out := arr.(i) :: !out;
+        incr count
+      end
+    done;
+    Array.of_list !out
+  end
+
+let cell_nets c = sort_dedup (Array.append c.inputs c.outputs)
+
+let connected_nets_uncached c ~out_mask =
+  if Bitvec.is_empty out_mask then [||]
+  else begin
+    let nets = Netlist.Vec.create () in
+    let in_mask = ref Bitvec.empty in
+    Bitvec.iter
+      (fun o ->
+        ignore (Netlist.Vec.push nets c.outputs.(o));
+        in_mask := Bitvec.union !in_mask c.supports.(o))
+      out_mask;
+    Bitvec.iter (fun i -> ignore (Netlist.Vec.push nets c.inputs.(i))) !in_mask;
+    sort_dedup (Netlist.Vec.to_array nets)
+  end
+
+let connected_nets c ~out_mask =
+  if out_mask >= 0 && out_mask < Array.length c.conn_cache then
+    c.conn_cache.(out_mask)
+  else if Bitvec.equal out_mask (Bitvec.full (Array.length c.outputs)) then
+    c.full_nets
+  else connected_nets_uncached c ~out_mask
+
+let connected_nets_traditional c ~out_mask =
+  if Bitvec.is_empty out_mask then [||]
+  else begin
+    let nets = Netlist.Vec.create () in
+    Bitvec.iter (fun o -> ignore (Netlist.Vec.push nets c.outputs.(o))) out_mask;
+    Array.iter (fun n -> ignore (Netlist.Vec.push nets n)) c.inputs;
+    sort_dedup (Netlist.Vec.to_array nets)
+  end
+
+(* Cells with few outputs (every mapped CLB) get a per-mask memo table;
+   every cell gets the full-mask entry. *)
+let fill_conn_cache c =
+  let m = Array.length c.outputs in
+  let c =
+    { c with full_nets = connected_nets_uncached c ~out_mask:(Bitvec.full m) }
+  in
+  if m > 4 then c
+  else begin
+    let table =
+      Array.init (1 lsl m) (fun mask -> connected_nets_uncached c ~out_mask:mask)
+    in
+    { c with conn_cache = table }
+  end
+
+let check_cell ~num_nets c =
+  let n_in = Array.length c.inputs in
+  let bad msg = Error (Printf.sprintf "cell %s: %s" c.name msg) in
+  if c.area < 1 then bad "area must be >= 1"
+  else if Array.length c.outputs = 0 then bad "cell has no outputs"
+  else if Array.length c.supports <> Array.length c.outputs then
+    bad "one support mask per output required"
+  else if
+    Array.exists (fun n -> n < 0 || n >= num_nets) c.inputs
+    || Array.exists (fun n -> n < 0 || n >= num_nets) c.outputs
+  then bad "net id out of range"
+  else if n_in > Bitvec.max_width then bad "too many input pins"
+  else if
+    Array.exists (fun s -> not (Bitvec.subset s (Bitvec.full n_in))) c.supports
+  then bad "support refers to a missing input pin"
+  else if
+    n_in > 0
+    && not
+         (Bitvec.equal
+            (Array.fold_left Bitvec.union Bitvec.empty c.supports)
+            (Bitvec.full n_in))
+  then bad "some input pin supports no output"
+  else if n_in = 0 && Array.exists (fun s -> not (Bitvec.is_empty s)) c.supports
+  then bad "support of an input-less cell must be empty"
+  else Ok ()
+
+let validate h =
+  let num = Array.length h.cells in
+  let rec check_cells i =
+    if i >= num then Ok ()
+    else if h.cells.(i).id <> i then Error "cell id mismatch"
+    else
+      match check_cell ~num_nets:h.num_nets h.cells.(i) with
+      | Error _ as e -> e
+      | Ok () -> check_cells (i + 1)
+  in
+  match check_cells 0 with
+  | Error _ as e -> e
+  | Ok () -> (
+      (* Exactly one driver per net among the cells, unless external. *)
+      let drivers = Array.make h.num_nets 0 in
+      Array.iter
+        (fun c -> Array.iter (fun n -> drivers.(n) <- drivers.(n) + 1) c.outputs)
+        h.cells;
+      let rec check_nets n =
+        if n >= h.num_nets then Ok ()
+        else if drivers.(n) > 1 then
+          Error (Printf.sprintf "net %d has %d drivers" n drivers.(n))
+        else if drivers.(n) = 0 && not h.net_external.(n) then
+          Error (Printf.sprintf "net %d has no driver and is not external" n)
+        else check_nets (n + 1)
+      in
+      check_nets 0)
+
+let create ?net_names ~num_nets ~external_nets specs =
+  let cells =
+    List.mapi
+      (fun id s ->
+        fill_conn_cache
+          {
+            id;
+            name = s.s_name;
+            area = s.s_area;
+            inputs = s.s_inputs;
+            outputs = s.s_outputs;
+            supports = s.s_supports;
+            conn_cache = [||];
+            full_nets = [||];
+          })
+      specs
+    |> Array.of_list
+  in
+  let net_external = Array.make num_nets false in
+  List.iter
+    (fun n ->
+      if n < 0 || n >= num_nets then
+        invalid_arg "Hypergraph.create: external net id out of range";
+      net_external.(n) <- true)
+    external_nets;
+  let net_cell_lists = Array.make num_nets [] in
+  Array.iter
+    (fun c ->
+      Array.iter
+        (fun n ->
+          if n >= 0 && n < num_nets then
+            match net_cell_lists.(n) with
+            | x :: _ when x = c.id -> ()
+            | l -> net_cell_lists.(n) <- c.id :: l)
+        (cell_nets c))
+    cells;
+  let net_names =
+    match net_names with
+    | Some a ->
+        if Array.length a <> num_nets then
+          invalid_arg "Hypergraph.create: net_names length mismatch";
+        a
+    | None -> Array.init num_nets (fun n -> Printf.sprintf "net%d" n)
+  in
+  let h =
+    {
+      cells;
+      num_nets;
+      net_cells = Array.map (fun l -> Array.of_list (List.rev l)) net_cell_lists;
+      net_external;
+      net_names;
+    }
+  in
+  match validate h with
+  | Ok () -> h
+  | Error msg -> invalid_arg ("Hypergraph.create: " ^ msg)
+
+let num_cells h = Array.length h.cells
+let cell h i = h.cells.(i)
+let total_area h = Array.fold_left (fun acc c -> acc + c.area) 0 h.cells
+
+let max_cell_degree h =
+  Array.fold_left (fun acc c -> max acc (Array.length (cell_nets c))) 0 h.cells
+
+let pins h =
+  Array.fold_left
+    (fun acc c -> acc + Array.length c.inputs + Array.length c.outputs)
+    0 h.cells
+
+(* Restrict to copies: each (cell id, out_mask) becomes a new cell carrying
+   exactly those outputs and the inputs they depend on. A net becomes
+   external when it was external before or when some incidence of the
+   original hypergraph is not covered by the kept copies. *)
+let induce_copies h specs =
+  let kept_mask = Array.make (num_cells h) Bitvec.empty in
+  List.iter
+    (fun (id, m) ->
+      if id < 0 || id >= num_cells h then
+        invalid_arg "Hypergraph.induce_copies: cell id out of range";
+      if Bitvec.is_empty m then
+        invalid_arg "Hypergraph.induce_copies: empty output mask";
+      if not (Bitvec.subset m (Bitvec.full (Array.length h.cells.(id).outputs)))
+      then invalid_arg "Hypergraph.induce_copies: mask out of range";
+      if not (Bitvec.is_empty kept_mask.(id)) then
+        invalid_arg "Hypergraph.induce_copies: duplicate cell";
+      kept_mask.(id) <- m)
+    specs;
+  (* Net renumbering: nets touched by kept copies survive. *)
+  let net_map = Array.make h.num_nets (-1) in
+  let new_nets = Netlist.Vec.create () in
+  let map_net n =
+    if net_map.(n) < 0 then
+      net_map.(n) <- Netlist.Vec.push new_nets n;
+    net_map.(n)
+  in
+  let specs = Array.of_list specs in
+  Array.iter
+    (fun (id, m) ->
+      Array.iter
+        (fun n -> ignore (map_net n))
+        (connected_nets h.cells.(id) ~out_mask:m))
+    specs;
+  let num_new_nets = Netlist.Vec.length new_nets in
+  (* External detection: walk original incidences. *)
+  let external_flags = Array.make num_new_nets false in
+  for n = 0 to h.num_nets - 1 do
+    if net_map.(n) >= 0 then begin
+      let ext = ref h.net_external.(n) in
+      Array.iter
+        (fun cid ->
+          let cell = h.cells.(cid) in
+          let kept = kept_mask.(cid) in
+          let touches m =
+            (not (Bitvec.is_empty m))
+            && Array.exists (fun n' -> n' = n) (connected_nets cell ~out_mask:m)
+          in
+          (* The cell touches n (it is in net_cells). The net leaks outside
+             when the kept copy does not cover that incidence, or when the
+             dropped copy (the complement of the kept outputs, e.g. the
+             other half of a replicated cell) also touches it. *)
+          let dropped =
+            Bitvec.diff (Bitvec.full (Array.length cell.outputs)) kept
+          in
+          if (not (touches kept)) || touches dropped then ext := true)
+        h.net_cells.(n);
+      external_flags.(net_map.(n)) <- !ext
+    end
+  done;
+  let new_specs =
+    Array.to_list specs
+    |> List.map (fun (id, m) ->
+           let c = h.cells.(id) in
+           let in_mask =
+             Bitvec.fold
+               (fun o acc -> Bitvec.union acc c.supports.(o))
+               m Bitvec.empty
+           in
+           let in_pins = Bitvec.to_list in_mask in
+           let new_index = Hashtbl.create 8 in
+           List.iteri (fun k p -> Hashtbl.add new_index p k) in_pins;
+           let s_inputs =
+             Array.of_list (List.map (fun p -> net_map.(c.inputs.(p))) in_pins)
+           in
+           let out_pins = Bitvec.to_list m in
+           let s_outputs =
+             Array.of_list (List.map (fun o -> net_map.(c.outputs.(o))) out_pins)
+           in
+           let s_supports =
+             Array.of_list
+               (List.map
+                  (fun o ->
+                    Bitvec.fold
+                      (fun p acc -> Bitvec.add (Hashtbl.find new_index p) acc)
+                      c.supports.(o) Bitvec.empty)
+                  out_pins)
+           in
+           { s_name = c.name; s_area = c.area; s_inputs; s_outputs; s_supports })
+  in
+  let net_names =
+    Array.init num_new_nets (fun k -> h.net_names.(Netlist.Vec.get new_nets k))
+  in
+  let externals = ref [] in
+  Array.iteri (fun k e -> if e then externals := k :: !externals) external_flags;
+  let h' =
+    create ~net_names ~num_nets:num_new_nets ~external_nets:!externals new_specs
+  in
+  (h', specs)
+
+let induce h ~keep =
+  if Array.length keep <> num_cells h then
+    invalid_arg "Hypergraph.induce: keep length mismatch";
+  let specs = ref [] in
+  for id = num_cells h - 1 downto 0 do
+    if keep.(id) then
+      specs :=
+        (id, Bitvec.full (Array.length h.cells.(id).outputs)) :: !specs
+  done;
+  let h', spec_arr = induce_copies h !specs in
+  (h', Array.map fst spec_arr)
+
+let pp_summary fmt h =
+  let n_ext =
+    Array.fold_left (fun acc e -> if e then acc + 1 else acc) 0 h.net_external
+  in
+  Format.fprintf fmt "%d cells (area %d), %d nets (%d external), %d pins"
+    (num_cells h) (total_area h) h.num_nets n_ext (pins h)

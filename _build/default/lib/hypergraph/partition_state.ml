@@ -1,0 +1,386 @@
+type side = A | B
+
+let opposite = function A -> B | B -> A
+let side_to_string = function A -> "A" | B -> "B"
+
+type model = Functional | Traditional
+
+type t = {
+  hg : Hypergraph.t;
+  model : model;
+  out_on_b : Bitvec.t array;
+  conn_a : int array;  (* per net: copies connected on side A *)
+  conn_b : int array;
+  mutable cut : int;
+  mutable term_a : int;
+  mutable term_b : int;
+  mutable area_a : int;
+  mutable area_b : int;
+  (* Scratch buffers for the per-operation net deltas (F-M evaluates one
+     candidate operation per neighbouring cell after every applied move, so
+     this path must not allocate). s1/s2 hold the per-side delta streams
+     (ascending net order); they are merged into s_nets/s_da/s_db. *)
+  mutable s_nets : int array;
+  mutable s_da : int array;
+  mutable s_db : int array;
+  mutable s_len : int;
+  mutable s1_nets : int array;
+  mutable s1_d : int array;
+  mutable s1_len : int;
+  mutable s2_nets : int array;
+  mutable s2_d : int array;
+  mutable s2_len : int;
+}
+
+type delta = {
+  d_cut : int;
+  d_term_a : int;
+  d_term_b : int;
+  d_area_a : int;
+  d_area_b : int;
+}
+
+let zero_delta = { d_cut = 0; d_term_a = 0; d_term_b = 0; d_area_a = 0; d_area_b = 0 }
+
+let hypergraph t = t.hg
+let model t = t.model
+
+(* Nets a copy touches under the state's replication model. *)
+let conn_nets t cell ~out_mask =
+  match t.model with
+  | Functional -> Hypergraph.connected_nets cell ~out_mask
+  | Traditional -> Hypergraph.connected_nets_traditional cell ~out_mask
+
+let full_mask t c = Bitvec.full (Array.length (Hypergraph.cell t.hg c).Hypergraph.outputs)
+let mask t c = t.out_on_b.(c)
+
+let is_replicated t c =
+  let m = t.out_on_b.(c) in
+  (not (Bitvec.is_empty m)) && not (Bitvec.equal m (full_mask t c))
+
+let num_replicated t =
+  let n = ref 0 in
+  for c = 0 to Hypergraph.num_cells t.hg - 1 do
+    if is_replicated t c then incr n
+  done;
+  !n
+
+let cut t = t.cut
+let terminals t = function A -> t.term_a | B -> t.term_b
+let area t = function A -> t.area_a | B -> t.area_b
+
+let single_side t c =
+  let m = t.out_on_b.(c) in
+  if Bitvec.is_empty m then Some A
+  else if Bitvec.equal m (full_mask t c) then Some B
+  else None
+
+let connections t side n =
+  match side with A -> t.conn_a.(n) | B -> t.conn_b.(n)
+
+let net_cut t n = t.conn_a.(n) > 0 && t.conn_b.(n) > 0
+
+let mask_on t c = function
+  | B -> t.out_on_b.(c)
+  | A -> Bitvec.diff (full_mask t c) t.out_on_b.(c)
+
+let side_copies t side =
+  let acc = ref [] in
+  for c = Hypergraph.num_cells t.hg - 1 downto 0 do
+    let m = mask_on t c side in
+    if not (Bitvec.is_empty m) then acc := (c, m) :: !acc
+  done;
+  !acc
+
+(* Per-net contributions to the tracked counters. *)
+let cut_of ca cb = if ca > 0 && cb > 0 then 1 else 0
+
+let term_of ~ext ca cb =
+  let ta = if ca > 0 && (cb > 0 || ext) then 1 else 0 in
+  let tb = if cb > 0 && (ca > 0 || ext) then 1 else 0 in
+  (ta, tb)
+
+let recompute t =
+  let hg = t.hg in
+  let ca = Array.make hg.Hypergraph.num_nets 0 in
+  let cb = Array.make hg.Hypergraph.num_nets 0 in
+  let area_a = ref 0 and area_b = ref 0 in
+  for c = 0 to Hypergraph.num_cells hg - 1 do
+    let cell = Hypergraph.cell hg c in
+    let m_a = mask_on t c A and m_b = mask_on t c B in
+    if not (Bitvec.is_empty m_a) then begin
+      area_a := !area_a + cell.Hypergraph.area;
+      Array.iter (fun n -> ca.(n) <- ca.(n) + 1) (conn_nets t cell ~out_mask:m_a)
+    end;
+    if not (Bitvec.is_empty m_b) then begin
+      area_b := !area_b + cell.Hypergraph.area;
+      Array.iter (fun n -> cb.(n) <- cb.(n) + 1) (conn_nets t cell ~out_mask:m_b)
+    end
+  done;
+  let cut = ref 0 and term_a = ref 0 and term_b = ref 0 in
+  for n = 0 to hg.Hypergraph.num_nets - 1 do
+    cut := !cut + cut_of ca.(n) cb.(n);
+    let ta, tb = term_of ~ext:hg.Hypergraph.net_external.(n) ca.(n) cb.(n) in
+    term_a := !term_a + ta;
+    term_b := !term_b + tb
+  done;
+  (!cut, !term_a, !term_b, !area_a, !area_b)
+
+let create_with_masks ?(model = Functional) hg ~masks =
+  let n_cells = Hypergraph.num_cells hg in
+  let out_on_b =
+    Array.init n_cells (fun c ->
+        let full =
+          Bitvec.full (Array.length (Hypergraph.cell hg c).Hypergraph.outputs)
+        in
+        let m = masks c in
+        if not (Bitvec.subset m full) then
+          invalid_arg "Partition_state.create_with_masks: mask out of range";
+        m)
+  in
+  let t =
+    {
+      hg;
+      model;
+      out_on_b;
+      conn_a = Array.make hg.Hypergraph.num_nets 0;
+      conn_b = Array.make hg.Hypergraph.num_nets 0;
+      cut = 0;
+      term_a = 0;
+      term_b = 0;
+      area_a = 0;
+      area_b = 0;
+      s_nets = Array.make 32 0;
+      s_da = Array.make 32 0;
+      s_db = Array.make 32 0;
+      s_len = 0;
+      s1_nets = Array.make 32 0;
+      s1_d = Array.make 32 0;
+      s1_len = 0;
+      s2_nets = Array.make 32 0;
+      s2_d = Array.make 32 0;
+      s2_len = 0;
+    }
+  in
+  (* Fill the connection counts from scratch. *)
+  for c = 0 to n_cells - 1 do
+    let cell = Hypergraph.cell hg c in
+    let m_a = mask_on t c A and m_b = mask_on t c B in
+    if not (Bitvec.is_empty m_a) then begin
+      t.area_a <- t.area_a + cell.Hypergraph.area;
+      Array.iter
+        (fun n -> t.conn_a.(n) <- t.conn_a.(n) + 1)
+        (conn_nets t cell ~out_mask:m_a)
+    end;
+    if not (Bitvec.is_empty m_b) then begin
+      t.area_b <- t.area_b + cell.Hypergraph.area;
+      Array.iter
+        (fun n -> t.conn_b.(n) <- t.conn_b.(n) + 1)
+        (conn_nets t cell ~out_mask:m_b)
+    end
+  done;
+  for n = 0 to hg.Hypergraph.num_nets - 1 do
+    t.cut <- t.cut + cut_of t.conn_a.(n) t.conn_b.(n);
+    let ta, tb =
+      term_of ~ext:hg.Hypergraph.net_external.(n) t.conn_a.(n) t.conn_b.(n)
+    in
+    t.term_a <- t.term_a + ta;
+    t.term_b <- t.term_b + tb
+  done;
+  t
+
+let create ?model hg ~init_on_b =
+  create_with_masks ?model hg ~masks:(fun c ->
+      if init_on_b c then
+        Bitvec.full (Array.length (Hypergraph.cell hg c).Hypergraph.outputs)
+      else Bitvec.empty)
+
+let copy t =
+  {
+    t with
+    out_on_b = Array.copy t.out_on_b;
+    conn_a = Array.copy t.conn_a;
+    conn_b = Array.copy t.conn_b;
+    s_nets = Array.make 32 0;
+    s_da = Array.make 32 0;
+    s_db = Array.make 32 0;
+    s_len = 0;
+    s1_nets = Array.make 32 0;
+    s1_d = Array.make 32 0;
+    s1_len = 0;
+    s2_nets = Array.make 32 0;
+    s2_d = Array.make 32 0;
+    s2_len = 0;
+  }
+
+(* Aggregate per-net connection deltas of a mask change into the scratch
+   buffers: entries (net, da, db) with da/db in {-1, 0, +1}. Sorted-array
+   merges over the old/new connected-net sets of each side; the handful of
+   touched nets is scanned linearly. *)
+let net_deltas t c new_mask =
+  let cell = Hypergraph.cell t.hg c in
+  let old_b = t.out_on_b.(c) in
+  let full = full_mask t c in
+  let old_a = Bitvec.diff full old_b and new_a = Bitvec.diff full new_mask in
+  let nets_of m = conn_nets t cell ~out_mask:m in
+  let old_na = nets_of old_a and new_na = nets_of new_a in
+  let old_nb = nets_of old_b and new_nb = nets_of new_mask in
+  let grow a = Array.append a (Array.make (max 32 (Array.length a)) 0) in
+  t.s1_len <- 0;
+  t.s2_len <- 0;
+  let push1 n v =
+    if t.s1_len = Array.length t.s1_nets then begin
+      t.s1_nets <- grow t.s1_nets;
+      t.s1_d <- grow t.s1_d
+    end;
+    t.s1_nets.(t.s1_len) <- n;
+    t.s1_d.(t.s1_len) <- v;
+    t.s1_len <- t.s1_len + 1
+  in
+  let push2 n v =
+    if t.s2_len = Array.length t.s2_nets then begin
+      t.s2_nets <- grow t.s2_nets;
+      t.s2_d <- grow t.s2_d
+    end;
+    t.s2_nets.(t.s2_len) <- n;
+    t.s2_d.(t.s2_len) <- v;
+    t.s2_len <- t.s2_len + 1
+  in
+  let diff_sorted removed added on_removed on_added =
+    (* Both arrays sorted ascending and deduplicated; emissions are in
+       ascending net order. *)
+    let i = ref 0 and j = ref 0 in
+    let nr = Array.length removed and na = Array.length added in
+    while !i < nr || !j < na do
+      if !i >= nr then begin
+        on_added added.(!j);
+        incr j
+      end
+      else if !j >= na then begin
+        on_removed removed.(!i);
+        incr i
+      end
+      else if removed.(!i) = added.(!j) then begin
+        incr i;
+        incr j
+      end
+      else if removed.(!i) < added.(!j) then begin
+        on_removed removed.(!i);
+        incr i
+      end
+      else begin
+        on_added added.(!j);
+        incr j
+      end
+    done
+  in
+  diff_sorted old_na new_na (fun n -> push1 n (-1)) (fun n -> push1 n 1);
+  diff_sorted old_nb new_nb (fun n -> push2 n (-1)) (fun n -> push2 n 1);
+  (* Merge the two sorted streams into (net, da, db) triples. *)
+  t.s_len <- 0;
+  let need = t.s1_len + t.s2_len in
+  if need > Array.length t.s_nets then begin
+    let size = max 32 need in
+    t.s_nets <- Array.make size 0;
+    t.s_da <- Array.make size 0;
+    t.s_db <- Array.make size 0
+  end;
+  let out n da db =
+    t.s_nets.(t.s_len) <- n;
+    t.s_da.(t.s_len) <- da;
+    t.s_db.(t.s_len) <- db;
+    t.s_len <- t.s_len + 1
+  in
+  let i = ref 0 and j = ref 0 in
+  while !i < t.s1_len || !j < t.s2_len do
+    if !i >= t.s1_len then begin
+      out t.s2_nets.(!j) 0 t.s2_d.(!j);
+      incr j
+    end
+    else if !j >= t.s2_len then begin
+      out t.s1_nets.(!i) t.s1_d.(!i) 0;
+      incr i
+    end
+    else if t.s1_nets.(!i) = t.s2_nets.(!j) then begin
+      out t.s1_nets.(!i) t.s1_d.(!i) t.s2_d.(!j);
+      incr i;
+      incr j
+    end
+    else if t.s1_nets.(!i) < t.s2_nets.(!j) then begin
+      out t.s1_nets.(!i) t.s1_d.(!i) 0;
+      incr i
+    end
+    else begin
+      out t.s2_nets.(!j) 0 t.s2_d.(!j);
+      incr j
+    end
+  done
+
+(* Fold the scratch deltas into a [delta] record (scratch must hold the
+   deltas of changing cell [c] to [new_mask]). *)
+let delta_of_scratch t c new_mask =
+  let cell = Hypergraph.cell t.hg c in
+  let d_cut = ref 0 and d_ta = ref 0 and d_tb = ref 0 in
+  for i = 0 to t.s_len - 1 do
+    let n = t.s_nets.(i) and da = t.s_da.(i) and db = t.s_db.(i) in
+    let ca = t.conn_a.(n) and cb = t.conn_b.(n) in
+    let ext = t.hg.Hypergraph.net_external.(n) in
+    let ta0, tb0 = term_of ~ext ca cb in
+    let ta1, tb1 = term_of ~ext (ca + da) (cb + db) in
+    d_cut := !d_cut + cut_of (ca + da) (cb + db) - cut_of ca cb;
+    d_ta := !d_ta + ta1 - ta0;
+    d_tb := !d_tb + tb1 - tb0
+  done;
+  let old_b = t.out_on_b.(c) in
+  let full = full_mask t c in
+  let exists m = if Bitvec.is_empty m then 0 else 1 in
+  let d_area_a =
+    cell.Hypergraph.area
+    * (exists (Bitvec.diff full new_mask) - exists (Bitvec.diff full old_b))
+  in
+  let d_area_b = cell.Hypergraph.area * (exists new_mask - exists old_b) in
+  { d_cut = !d_cut; d_term_a = !d_ta; d_term_b = !d_tb; d_area_a; d_area_b }
+
+let check_mask t c m =
+  if not (Bitvec.subset m (full_mask t c)) then
+    invalid_arg "Partition_state: mask not a subset of the cell's outputs"
+
+let eval t c new_mask =
+  check_mask t c new_mask;
+  if Bitvec.equal new_mask t.out_on_b.(c) then zero_delta
+  else begin
+    net_deltas t c new_mask;
+    delta_of_scratch t c new_mask
+  end
+
+let apply t c new_mask =
+  check_mask t c new_mask;
+  if Bitvec.equal new_mask t.out_on_b.(c) then zero_delta
+  else begin
+    net_deltas t c new_mask;
+    let d = delta_of_scratch t c new_mask in
+    for i = 0 to t.s_len - 1 do
+      let n = t.s_nets.(i) in
+      t.conn_a.(n) <- t.conn_a.(n) + t.s_da.(i);
+      t.conn_b.(n) <- t.conn_b.(n) + t.s_db.(i)
+    done;
+    t.out_on_b.(c) <- new_mask;
+    t.cut <- t.cut + d.d_cut;
+    t.term_a <- t.term_a + d.d_term_a;
+    t.term_b <- t.term_b + d.d_term_b;
+    t.area_a <- t.area_a + d.d_area_a;
+    t.area_b <- t.area_b + d.d_area_b;
+    d
+  end
+
+let check_consistency t =
+  let cut, ta, tb, aa, ab = recompute t in
+  let pair name got want =
+    if got = want then Ok ()
+    else Error (Printf.sprintf "%s: tracked %d, recomputed %d" name got want)
+  in
+  let ( >>= ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  pair "cut" t.cut cut >>= fun () ->
+  pair "term_a" t.term_a ta >>= fun () ->
+  pair "term_b" t.term_b tb >>= fun () ->
+  pair "area_a" t.area_a aa >>= fun () -> pair "area_b" t.area_b ab

@@ -1,0 +1,115 @@
+(** Bipartition state with functional replication.
+
+    Every cell's placement is a single bit mask [out_on_b]: the set of its
+    outputs currently realised on side [B]. The three situations of the
+    paper are all mask values:
+
+    - mask empty: the cell lives entirely on side [A] (a {e single} cell);
+    - mask full: entirely on side [B];
+    - anything else: the cell is {e functionally replicated} — a copy on
+      each side, each copy carrying its mask's outputs and connecting only
+      the input nets those outputs depend on (their adjacency vectors).
+
+    Moving a cell, creating a replica (one output migrates), adjusting a
+    replica's output split, and un-replicating are all "change the mask"
+    operations, so the unified gain model of Section III reduces to one
+    primitive: {!eval} the exact cut/terminal/area deltas of a mask change,
+    computed in O(cell degree) from per-net side-connection counts.
+
+    Tracked quantities:
+    - [cut]: nets with connections on both sides (external pins do not make
+      a net cut — at bipartition level they are already paid for);
+    - [terminals s]: nets that would consume an IOB on side [s]: incident to
+      [s] and leaving it (to the other side or to an external pin);
+    - [area s]: total CLB area of the copies on side [s] (a replicated
+      cell pays area on both sides). *)
+
+type side = A | B
+
+val opposite : side -> side
+val side_to_string : side -> string
+
+type t
+
+type model = Functional | Traditional
+(** How a replicated copy connects to input nets: [Functional] uses the
+    per-output adjacency vectors (the paper's contribution); [Traditional]
+    connects every copy to all inputs (the Kring–Newton model the paper's
+    eq. 8 scores), kept as an ablation baseline. With single cells the two
+    models coincide. *)
+
+val create :
+  ?model:model -> Hypergraph.t -> init_on_b:(int -> bool) -> t
+(** Fresh state with every cell single, on the side given by [init_on_b].
+    [model] defaults to [Functional]. *)
+
+val create_with_masks :
+  ?model:model -> Hypergraph.t -> masks:(int -> Bitvec.t) -> t
+(** Fresh state with an arbitrary initial output assignment: [masks c] is
+    the set of cell [c]'s outputs starting on side [B] (so cells may start
+    replicated). Raises [Invalid_argument] if a mask exceeds the cell's
+    outputs. *)
+
+val model : t -> model
+
+val copy : t -> t
+(** Deep copy (for snapshotting the best solution of a pass). *)
+
+val hypergraph : t -> Hypergraph.t
+
+(** {1 Observations} *)
+
+val mask : t -> int -> Bitvec.t
+(** Current [out_on_b] mask of a cell. *)
+
+val full_mask : t -> int -> Bitvec.t
+(** The all-outputs mask of a cell. *)
+
+val is_replicated : t -> int -> bool
+val num_replicated : t -> int
+val cut : t -> int
+val terminals : t -> side -> int
+val area : t -> side -> int
+val side_copies : t -> side -> (int * Bitvec.t) list
+(** Cells present on a side with the output mask their copy carries there
+    (relative to the cell's own output numbering). *)
+
+val single_side : t -> int -> side option
+(** [Some s] when the cell is entirely on [s]. *)
+
+val connections : t -> side -> int -> int
+(** [connections t s n] — number of cell copies connected to net [n] on
+    side [s] (the per-net counters behind cut and terminal tracking). *)
+
+val net_cut : t -> int -> bool
+(** Whether a net currently has connections on both sides. *)
+
+(** {1 Mask changes} *)
+
+type delta = {
+  d_cut : int;
+  d_term_a : int;
+  d_term_b : int;
+  d_area_a : int;
+  d_area_b : int;
+}
+
+val zero_delta : delta
+
+val eval : t -> int -> Bitvec.t -> delta
+(** [eval t c m] — exact effect of setting cell [c]'s mask to [m], without
+    applying it. The paper's gains are recovered as [- d_cut]. Raises
+    [Invalid_argument] if [m] is not a subset of {!full_mask}. *)
+
+val apply : t -> int -> Bitvec.t -> delta
+(** Commit a mask change and return its delta (equal to what {!eval} would
+    have returned). *)
+
+(** {1 Verification support} *)
+
+val recompute : t -> int * int * int * int * int
+(** [(cut, term_a, term_b, area_a, area_b)] recomputed from scratch. *)
+
+val check_consistency : t -> (unit, string) result
+(** Compare the incrementally maintained counters against {!recompute};
+    used by the property-based tests after random operation sequences. *)

@@ -1,0 +1,1 @@
+lib/netlist/bench_format.ml: Array Buffer Circuit Gate Hashtbl In_channel List Out_channel Printf String Vec

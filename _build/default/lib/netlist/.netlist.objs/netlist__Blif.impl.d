@@ -1,0 +1,1 @@
+lib/netlist/blif.ml: Array Buffer Circuit Gate Hashtbl In_channel List Option Out_channel Printf String Vec

@@ -1,0 +1,1 @@
+lib/netlist/blif.mli: Circuit

@@ -1,0 +1,1 @@
+lib/netlist/circuit.ml: Array Format Gate Hashtbl List Printf String Vec

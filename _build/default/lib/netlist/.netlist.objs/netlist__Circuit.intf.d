@@ -1,0 +1,1 @@
+lib/netlist/circuit.mli: Format Gate

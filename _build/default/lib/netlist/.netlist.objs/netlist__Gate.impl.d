@@ -1,0 +1,1 @@
+lib/netlist/gate.ml: Array Format String

@@ -1,0 +1,1 @@
+lib/netlist/generator.ml: Array Circuit Fun Gate Hashtbl List Option Printf Rng Seq Vec

@@ -1,0 +1,1 @@
+lib/netlist/generator.mli: Circuit Rng

@@ -1,0 +1,1 @@
+lib/netlist/rng.ml: Array Int64

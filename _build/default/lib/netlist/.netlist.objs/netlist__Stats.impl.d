@@ -1,0 +1,1 @@
+lib/netlist/stats.ml: Array Circuit Format

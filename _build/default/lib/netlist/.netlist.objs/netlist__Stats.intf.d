@@ -1,0 +1,1 @@
+lib/netlist/stats.mli: Circuit Format

@@ -1,0 +1,1 @@
+lib/netlist/transform.ml: Array Circuit Fun Gate Hashtbl List Printf String

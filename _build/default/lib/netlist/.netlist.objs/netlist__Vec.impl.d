@@ -1,0 +1,1 @@
+lib/netlist/vec.ml: Array

@@ -1,0 +1,206 @@
+let strip s = String.trim s
+
+let is_ident_char ch =
+  (ch >= 'a' && ch <= 'z')
+  || (ch >= 'A' && ch <= 'Z')
+  || (ch >= '0' && ch <= '9')
+  || ch = '_' || ch = '.' || ch = '[' || ch = ']' || ch = '$'
+
+let is_ident s = String.length s > 0 && String.for_all is_ident_char s
+
+(* A parsed statement, before name resolution. *)
+type stmt =
+  | Input_decl of string
+  | Output_decl of string
+  | Assign of string * Gate.kind * string list
+
+let parse_line lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = strip line in
+  if String.length line = 0 then Ok None
+  else
+    let err msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+    let parse_call s =
+      match String.index_opt s '(' with
+      | None -> err "expected '('"
+      | Some lp ->
+          if s.[String.length s - 1] <> ')' then err "expected ')'"
+          else
+            let head = strip (String.sub s 0 lp) in
+            let inner = String.sub s (lp + 1) (String.length s - lp - 2) in
+            let args =
+              String.split_on_char ',' inner
+              |> List.map strip
+              |> List.filter (fun a -> String.length a > 0)
+            in
+            Ok (head, args)
+    in
+    match String.index_opt line '=' with
+    | Some eq -> (
+        let target = strip (String.sub line 0 eq) in
+        let rhs = strip (String.sub line (eq + 1) (String.length line - eq - 1)) in
+        if not (is_ident target) then err ("bad signal name: " ^ target)
+        else
+          match parse_call rhs with
+          | Error _ as e -> e
+          | Ok (g, args) -> (
+              if not (List.for_all is_ident args) then err "bad argument name"
+              else
+                match Gate.of_string g with
+                | None -> err ("unknown gate type: " ^ g)
+                | Some kind -> Ok (Some (Assign (target, kind, args)))))
+    | None -> (
+        match parse_call line with
+        | Error _ as e -> e
+        | Ok (head, args) -> (
+            match (String.uppercase_ascii head, args) with
+            | "INPUT", [ a ] -> Ok (Some (Input_decl a))
+            | "OUTPUT", [ a ] -> Ok (Some (Output_decl a))
+            | ("INPUT" | "OUTPUT"), _ -> err "INPUT/OUTPUT take one argument"
+            | _ -> err ("unknown statement: " ^ head)))
+
+(* Name resolution. Signals may be used before their defining line, and a
+   flip-flop's D cone may read its own Q (sequential feedback), so gates are
+   resolved by depth-first search and DFFs get placeholder nodes wired at
+   the end. *)
+let build stmts =
+  let decls = Hashtbl.create 256 in
+  (* name -> kind * args *)
+  let order = Vec.create () in
+  (* declaration order of names *)
+  let outputs = Vec.create () in
+  let declare name kind args =
+    if Hashtbl.mem decls name then Error ("duplicate definition of " ^ name)
+    else begin
+      Hashtbl.add decls name (kind, args);
+      ignore (Vec.push order name);
+      Ok ()
+    end
+  in
+  let rec scan = function
+    | [] -> Ok ()
+    | Input_decl n :: rest -> (
+        match declare n Gate.Input [] with Error _ as e -> e | Ok () -> scan rest)
+    | Output_decl n :: rest ->
+        ignore (Vec.push outputs n);
+        scan rest
+    | Assign (target, kind, args) :: rest -> (
+        match declare target kind args with Error _ as e -> e | Ok () -> scan rest)
+  in
+  match scan stmts with
+  | Error _ as e -> e
+  | Ok () -> (
+      let b = Circuit.Builder.create ~name:"bench" () in
+      let ids = Hashtbl.create 256 in
+      let visiting = Hashtbl.create 16 in
+      let exception Fail of string in
+      let rec resolve name =
+        match Hashtbl.find_opt ids name with
+        | Some id -> id
+        | None -> (
+            if Hashtbl.mem visiting name then
+              raise (Fail ("combinational cycle at " ^ name));
+            match Hashtbl.find_opt decls name with
+            | None -> raise (Fail ("undefined signal: " ^ name))
+            | Some (kind, args) ->
+                let id =
+                  match kind with
+                  | Gate.Input -> Circuit.Builder.input b name
+                  | Gate.Dff ->
+                      (* Q is a sequential source; D wired after the pass. *)
+                      Circuit.Builder.dff_placeholder b name
+                  | _ ->
+                      Hashtbl.replace visiting name ();
+                      let fanins = List.map resolve args in
+                      Hashtbl.remove visiting name;
+                      Circuit.Builder.gate b ~name kind fanins
+                in
+                Hashtbl.replace ids name id;
+                id)
+      in
+      try
+        Vec.iter (fun name -> ignore (resolve name)) order;
+        (* Wire flip-flop D pins. *)
+        Vec.iter
+          (fun name ->
+            match Hashtbl.find_opt decls name with
+            | Some (Gate.Dff, [ d ]) ->
+                Circuit.Builder.connect_dff b (Hashtbl.find ids name) (resolve d)
+            | Some (Gate.Dff, _) -> raise (Fail ("DFF " ^ name ^ " needs one fanin"))
+            | _ -> ())
+          order;
+        Vec.iter
+          (fun name ->
+            match Hashtbl.find_opt ids name with
+            | Some id -> Circuit.Builder.mark_output b id
+            | None -> raise (Fail ("undefined output signal: " ^ name)))
+          outputs;
+        Ok (Circuit.Builder.finish b)
+      with
+      | Fail msg -> Error msg
+      | Invalid_argument msg -> Error msg)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec collect lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line lineno line with
+        | Error _ as e -> e
+        | Ok None -> collect (lineno + 1) acc rest
+        | Ok (Some s) -> collect (lineno + 1) (s :: acc) rest)
+  in
+  match collect 1 [] lines with Error _ as e -> e | Ok stmts -> build stmts
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> parse text
+
+let to_string c =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" c.Circuit.name);
+  Array.iter
+    (fun i ->
+      Buffer.add_string buf
+        (Printf.sprintf "INPUT(%s)\n" (Circuit.node c i).Circuit.name))
+    c.Circuit.inputs;
+  Array.iter
+    (fun i ->
+      Buffer.add_string buf
+        (Printf.sprintf "OUTPUT(%s)\n" (Circuit.node c i).Circuit.name))
+    c.Circuit.outputs;
+  let emit i =
+    let nd = Circuit.node c i in
+    match nd.Circuit.kind with
+    | Gate.Input -> ()
+    | kind ->
+        let args =
+          Array.to_list nd.Circuit.fanins
+          |> List.map (fun f -> (Circuit.node c f).Circuit.name)
+          |> String.concat ", "
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s = %s(%s)\n" nd.Circuit.name (Gate.to_string kind)
+             args)
+  in
+  let order = Circuit.topological_order c in
+  (* Topological order lists DFFs among sources; emit them last for
+     readability. *)
+  Array.iter
+    (fun i ->
+      if not (Gate.equal (Circuit.node c i).Circuit.kind Gate.Dff) then emit i)
+    order;
+  Array.iter
+    (fun i ->
+      if Gate.equal (Circuit.node c i).Circuit.kind Gate.Dff then emit i)
+    order;
+  Buffer.contents buf
+
+let write_file path c =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string c))

@@ -1,0 +1,24 @@
+(** Reader and writer for the ISCAS [.bench] netlist format.
+
+    This is the textual format of the ISCAS'85/'89 benchmark suites the
+    paper evaluates on. Grammar (comments start with [#]):
+    {v
+      INPUT(a)
+      OUTPUT(z)
+      g = NAND(a, b)
+      q = DFF(g)
+    v} *)
+
+val parse : string -> (Circuit.t, string) result
+(** Parse from the contents of a [.bench] file. The error message carries a
+    line number. *)
+
+val parse_file : string -> (Circuit.t, string) result
+(** Read and parse a file; errors include I/O failures. *)
+
+val to_string : Circuit.t -> string
+(** Render a circuit back to [.bench] text, inputs first, then gates in
+    topological order. [parse (to_string c)] is structurally identical to
+    [c] up to node numbering. *)
+
+val write_file : string -> Circuit.t -> unit

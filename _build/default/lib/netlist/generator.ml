@@ -1,0 +1,398 @@
+module B = Circuit.Builder
+
+(* Shared small combinational building blocks. *)
+
+let full_adder b a bb cin =
+  let axb = B.gate b Gate.Xor [ a; bb ] in
+  let sum = B.gate b Gate.Xor [ axb; cin ] in
+  let t1 = B.gate b Gate.And [ a; bb ] in
+  let t2 = B.gate b Gate.And [ axb; cin ] in
+  let cout = B.gate b Gate.Or [ t1; t2 ] in
+  (sum, cout)
+
+let half_adder b a bb =
+  let sum = B.gate b Gate.Xor [ a; bb ] in
+  let cout = B.gate b Gate.And [ a; bb ] in
+  (sum, cout)
+
+(* 2-to-1 multiplexer: [s] = 0 picks [a]. *)
+let mux2 b s a bb =
+  let ns = B.gate b Gate.Not [ s ] in
+  let ta = B.gate b Gate.And [ ns; a ] in
+  let tb = B.gate b Gate.And [ s; bb ] in
+  B.gate b Gate.Or [ ta; tb ]
+
+(* Balanced gate tree over [ids] (arity folded to 2). *)
+let rec tree b kind ids =
+  match ids with
+  | [] -> invalid_arg "Generator.tree: empty"
+  | [ x ] -> x
+  | _ ->
+      let rec pair = function
+        | x :: y :: rest -> B.gate b kind [ x; y ] :: pair rest
+        | rest -> rest
+      in
+      tree b kind (pair ids)
+
+let c17 () =
+  let b = B.create ~name:"c17" () in
+  let g1 = B.input b "1" in
+  let g2 = B.input b "2" in
+  let g3 = B.input b "3" in
+  let g6 = B.input b "6" in
+  let g7 = B.input b "7" in
+  let g10 = B.gate b ~name:"10" Gate.Nand [ g1; g3 ] in
+  let g11 = B.gate b ~name:"11" Gate.Nand [ g3; g6 ] in
+  let g16 = B.gate b ~name:"16" Gate.Nand [ g2; g11 ] in
+  let g19 = B.gate b ~name:"19" Gate.Nand [ g11; g7 ] in
+  let g22 = B.gate b ~name:"22" Gate.Nand [ g10; g16 ] in
+  let g23 = B.gate b ~name:"23" Gate.Nand [ g16; g19 ] in
+  B.mark_output b g22;
+  B.mark_output b g23;
+  B.finish b
+
+let ripple_adder ?(name = "adder") ~bits () =
+  if bits < 1 then invalid_arg "Generator.ripple_adder: bits >= 1";
+  let b = B.create ~name () in
+  let a = Array.init bits (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let bb = Array.init bits (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  let cin = B.input b "cin" in
+  let carry = ref cin in
+  for i = 0 to bits - 1 do
+    let s, c = full_adder b a.(i) bb.(i) !carry in
+    B.mark_output b s;
+    carry := c
+  done;
+  B.mark_output b !carry;
+  B.finish b
+
+let multiplier ?(name = "multiplier") ~bits () =
+  if bits < 2 then invalid_arg "Generator.multiplier: bits >= 2";
+  let b = B.create ~name () in
+  let a = Array.init bits (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let bb = Array.init bits (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  (* Array multiplier: partial-product row i is a_j AND b_i shifted left by
+     i; rows are accumulated into [acc] with ripple-carry adder rows, the
+     same adder-array structure as c6288. *)
+  let pp i j = B.gate b Gate.And [ a.(j); bb.(i) ] in
+  let width = 2 * bits in
+  let acc = Array.make width None in
+  for j = 0 to bits - 1 do
+    acc.(j) <- Some (pp 0 j)
+  done;
+  for i = 1 to bits - 1 do
+    let carry = ref None in
+    for j = 0 to bits - 1 do
+      let pos = i + j in
+      let bit = pp i j in
+      match (acc.(pos), !carry) with
+      | None, None -> acc.(pos) <- Some bit
+      | Some x, None ->
+          let s, c = half_adder b bit x in
+          acc.(pos) <- Some s;
+          carry := Some c
+      | None, Some cy ->
+          let s, c = half_adder b bit cy in
+          acc.(pos) <- Some s;
+          carry := Some c
+      | Some x, Some cy ->
+          let s, c = full_adder b bit x cy in
+          acc.(pos) <- Some s;
+          carry := Some c
+    done;
+    (* Propagate the row's final carry into the upper accumulator bits. *)
+    (* The product fits in [width] bits, so any carry signal generated out
+       of the top position is identically 0 and may be dropped. *)
+    let pos = ref (i + bits) in
+    while !carry <> None && !pos < width do
+      let cy = Option.get !carry in
+      (match acc.(!pos) with
+      | None ->
+          acc.(!pos) <- Some cy;
+          carry := None
+      | Some x ->
+          let s, c = half_adder b x cy in
+          acc.(!pos) <- Some s;
+          carry := Some c);
+      incr pos
+    done
+  done;
+  Array.iter (function Some s -> B.mark_output b s | None -> ()) acc;
+  B.finish b
+
+let alu ?(name = "alu") ~bits () =
+  if bits < 1 then invalid_arg "Generator.alu: bits >= 1";
+  let b = B.create ~name () in
+  let a = Array.init bits (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let bb = Array.init bits (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  let s0 = B.input b "s0" in
+  let s1 = B.input b "s1" in
+  let cin = B.input b "cin" in
+  let carry = ref cin in
+  let outs = ref [] in
+  for i = 0 to bits - 1 do
+    let f_and = B.gate b Gate.And [ a.(i); bb.(i) ] in
+    let f_or = B.gate b Gate.Or [ a.(i); bb.(i) ] in
+    let f_xor = B.gate b Gate.Xor [ a.(i); bb.(i) ] in
+    let f_sum, c = full_adder b a.(i) bb.(i) !carry in
+    carry := c;
+    let lo = mux2 b s0 f_and f_or in
+    let hi = mux2 b s0 f_xor f_sum in
+    let out = mux2 b s1 lo hi in
+    B.mark_output b out;
+    outs := out :: !outs
+  done;
+  B.mark_output b !carry;
+  (* Zero detect over the selected outputs. *)
+  let zero = B.gate b Gate.Nor !outs in
+  B.mark_output b zero;
+  B.finish b
+
+(* Number of Hamming check bits needed to cover [data_bits] data bits. *)
+let check_bits_for data_bits =
+  let rec loop r = if (1 lsl r) - r - 1 >= data_bits then r else loop (r + 1) in
+  loop 2
+
+let ecc ?(name = "ecc") ~data_bits () =
+  if data_bits < 4 then invalid_arg "Generator.ecc: data_bits >= 4";
+  let r = check_bits_for data_bits in
+  let b = B.create ~name () in
+  let data = Array.init data_bits (fun i -> B.input b (Printf.sprintf "d%d" i)) in
+  let check = Array.init r (fun i -> B.input b (Printf.sprintf "c%d" i)) in
+  (* Hamming positions: data bit i sits at the i-th non-power-of-two code
+     position (1-based); check bit j guards positions with bit j set. *)
+  let positions = Array.make data_bits 0 in
+  let pos = ref 1 and k = ref 0 in
+  while !k < data_bits do
+    let p = !pos in
+    if p land (p - 1) <> 0 then begin
+      positions.(!k) <- p;
+      incr k
+    end;
+    incr pos
+  done;
+  (* Syndrome bit j = received check bit XOR parity of guarded data bits. *)
+  let syndrome =
+    Array.init r (fun j ->
+        let guarded =
+          Array.to_list
+            (Array.of_seq
+               (Seq.filter_map
+                  (fun i ->
+                    if positions.(i) land (1 lsl j) <> 0 then Some data.(i)
+                    else None)
+                  (Seq.init data_bits Fun.id)))
+        in
+        tree b Gate.Xor (check.(j) :: guarded))
+  in
+  Array.iter (fun s -> B.mark_output b s) syndrome;
+  let not_syndrome = Array.map (fun s -> B.gate b Gate.Not [ s ]) syndrome in
+  (* Corrected data bit i = data_i XOR (syndrome == position_i). *)
+  for i = 0 to data_bits - 1 do
+    let literals =
+      List.init r (fun j ->
+          if positions.(i) land (1 lsl j) <> 0 then syndrome.(j)
+          else not_syndrome.(j))
+    in
+    let hit = tree b Gate.And literals in
+    let corrected = B.gate b Gate.Xor [ data.(i); hit ] in
+    B.mark_output b corrected
+  done;
+  B.finish b
+
+let adder_comparator ?(name = "addcmp") ~bits () =
+  if bits < 2 then invalid_arg "Generator.adder_comparator: bits >= 2";
+  let b = B.create ~name () in
+  let a = Array.init bits (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let bb = Array.init bits (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  let cin = B.input b "cin" in
+  (* Sum. *)
+  let carry = ref cin in
+  for i = 0 to bits - 1 do
+    let s, c = full_adder b a.(i) bb.(i) !carry in
+    B.mark_output b s;
+    carry := c
+  done;
+  B.mark_output b !carry;
+  (* Magnitude comparator: gt_i = a_i AND NOT b_i; eq_i = XNOR. *)
+  let eq = Array.init bits (fun i -> B.gate b Gate.Xnor [ a.(i); bb.(i) ]) in
+  let gt_terms =
+    List.init bits (fun i ->
+        let nb = B.gate b Gate.Not [ bb.(i) ] in
+        let head = B.gate b Gate.And [ a.(i); nb ] in
+        (* ANDed with equality of all higher bits. *)
+        let highers = List.init (bits - 1 - i) (fun k -> eq.(i + 1 + k)) in
+        match highers with
+        | [] -> head
+        | _ -> B.gate b Gate.And (head :: highers))
+  in
+  let gt = tree b Gate.Or gt_terms in
+  let all_eq = tree b Gate.And (Array.to_list eq) in
+  B.mark_output b gt;
+  B.mark_output b all_eq;
+  (* Parity of each operand. *)
+  B.mark_output b (tree b Gate.Xor (Array.to_list a));
+  B.mark_output b (tree b Gate.Xor (Array.to_list bb));
+  B.finish b
+
+type clustered_params = {
+  clusters : int;
+  gates_per_cluster : int;
+  dffs_per_cluster : int;
+  cluster_inputs : int;
+  foreign_fraction : float;
+  num_pi : int;
+  num_po : int;
+  seed : int;
+}
+
+let default_clustered =
+  {
+    clusters = 8;
+    gates_per_cluster = 64;
+    dffs_per_cluster = 8;
+    cluster_inputs = 10;
+    foreign_fraction = 0.25;
+    num_pi = 24;
+    num_po = 24;
+    seed = 1;
+  }
+
+let comb_kinds = [| Gate.And; Gate.Nand; Gate.Or; Gate.Nor; Gate.Xor; Gate.Xnor |]
+
+let clustered ?(name = "clustered") p =
+  if p.clusters < 1 || p.num_pi < 2 || p.num_po < 1 then
+    invalid_arg "Generator.clustered: bad parameters";
+  let rng = Rng.create p.seed in
+  let b = B.create ~name () in
+  let pis = Array.init p.num_pi (fun i -> B.input b (Printf.sprintf "pi%d" i)) in
+  (* All flip-flops exist up front so any cluster can read any Q, giving
+     cross-cluster sequential feedback without combinational cycles. *)
+  let dffs =
+    Array.init p.clusters (fun c ->
+        Array.init p.dffs_per_cluster (fun k ->
+            B.dff_placeholder b (Printf.sprintf "q_%d_%d" c k)))
+  in
+  let exported = Vec.create () in
+  (* combinational signals visible to later clusters *)
+  let used = Hashtbl.create 256 in
+  let cluster_signals = Array.make p.clusters [||] in
+  for c = 0 to p.clusters - 1 do
+    (* Import pool: own flip-flops, a slice of the primary inputs, and a few
+       foreign signals (earlier clusters' exports or other clusters' Qs). *)
+    let pool = Vec.create () in
+    Array.iter (fun q -> ignore (Vec.push pool q)) dffs.(c);
+    let pi_share = max 2 (p.num_pi / p.clusters) in
+    for _ = 1 to pi_share do
+      ignore (Vec.push pool (Rng.pick rng pis))
+    done;
+    for _ = 1 to p.cluster_inputs do
+      let foreign =
+        Rng.float rng 1.0 < p.foreign_fraction
+        && (Vec.length exported > 0 || p.clusters > 1)
+      in
+      let s =
+        if foreign && Vec.length exported > 0 then
+          Vec.get exported (Rng.int rng (Vec.length exported))
+        else if foreign then
+          (* no exports yet: read a foreign flip-flop *)
+          let oc = Rng.int rng p.clusters in
+          if Array.length dffs.(oc) > 0 then Rng.pick rng dffs.(oc)
+          else Rng.pick rng pis
+        else Rng.pick rng pis
+      in
+      ignore (Vec.push pool s)
+    done;
+    (* Local random DAG with a bias toward recent signals (locality). *)
+    let gates = Vec.create () in
+    let pick_operand () =
+      let n_pool = Vec.length pool and n_gates = Vec.length gates in
+      let total = n_pool + n_gates in
+      (* Quadratic bias toward the most recently created signals. *)
+      let r = Rng.int rng total in
+      let r2 = Rng.int rng total in
+      let idx = max r r2 in
+      let s = if idx < n_pool then Vec.get pool idx else Vec.get gates (idx - n_pool) in
+      Hashtbl.replace used s ();
+      s
+    in
+    for _ = 1 to p.gates_per_cluster do
+      let kind = Rng.pick rng comb_kinds in
+      let arity = Rng.int_in rng 2 4 in
+      let fanins = List.init arity (fun _ -> pick_operand ()) in
+      let g = B.gate b kind fanins in
+      ignore (Vec.push gates g)
+    done;
+    (* Wire flip-flop D pins to local signals; fold any still-unused pool
+       imports into the first D so that every import is genuinely read. *)
+    let unused =
+      Vec.fold_left
+        (fun acc s -> if Hashtbl.mem used s then acc else s :: acc)
+        [] pool
+    in
+    List.iter (fun s -> Hashtbl.replace used s ()) unused;
+    Array.iteri
+      (fun k q ->
+        let local =
+          if Vec.length gates > 0 then Vec.get gates (Rng.int rng (Vec.length gates))
+          else Rng.pick rng pis
+        in
+        let d =
+          if k = 0 && unused <> [] then tree b Gate.Xor (local :: unused) else local
+        in
+        B.connect_dff b q d)
+      dffs.(c);
+    let signals = Vec.to_array gates in
+    cluster_signals.(c) <- signals;
+    (* Export a handful of signals for later clusters. *)
+    let n_export = max 1 (Array.length signals / 8) in
+    for _ = 1 to n_export do
+      if Array.length signals > 0 then
+        ignore (Vec.push exported signals.(Rng.int rng (Array.length signals)))
+    done
+  done;
+  (* Primary outputs: spread across clusters. *)
+  let all_gates = Array.concat (Array.to_list cluster_signals) in
+  if Array.length all_gates = 0 then invalid_arg "Generator.clustered: no gates";
+  for k = 0 to p.num_po - 1 do
+    let g = all_gates.(Rng.int rng (Array.length all_gates)) in
+    ignore k;
+    B.mark_output b g;
+    Hashtbl.replace used g ()
+  done;
+  (* Guarantee every primary input is read: fold strays into one extra
+     parity output. *)
+  let stray = Array.to_list (Array.of_seq (Seq.filter (fun pi -> not (Hashtbl.mem used pi)) (Array.to_seq pis))) in
+  (match stray with
+  | [] -> ()
+  | [ s ] -> B.mark_output b (B.gate b Gate.Buf [ s ])
+  | _ -> B.mark_output b (tree b Gate.Xor stray));
+  B.finish b
+
+let random ~rng ?(name = "random") ~num_inputs ~num_gates ~num_dff ~num_outputs () =
+  if num_inputs < 1 || num_gates < 1 || num_outputs < 1 || num_dff < 0 then
+    invalid_arg "Generator.random: bad parameters";
+  let b = B.create ~name () in
+  let pis = Array.init num_inputs (fun i -> B.input b (Printf.sprintf "pi%d" i)) in
+  let dffs = Array.init num_dff (fun k -> B.dff_placeholder b (Printf.sprintf "q%d" k)) in
+  let pool = Vec.create () in
+  Array.iter (fun s -> ignore (Vec.push pool s)) pis;
+  Array.iter (fun s -> ignore (Vec.push pool s)) dffs;
+  let gates = Vec.create () in
+  for _ = 1 to num_gates do
+    let kind = Rng.pick rng comb_kinds in
+    let arity = Rng.int_in rng 1 4 in
+    let kind = if arity = 1 then (if Rng.bool rng then Gate.Not else Gate.Buf) else kind in
+    let fanins = List.init arity (fun _ -> Vec.get pool (Rng.int rng (Vec.length pool))) in
+    let g = B.gate b kind fanins in
+    ignore (Vec.push pool g);
+    ignore (Vec.push gates g)
+  done;
+  Array.iter
+    (fun q ->
+      B.connect_dff b q (Vec.get pool (Rng.int rng (Vec.length pool))))
+    dffs;
+  for _ = 1 to num_outputs do
+    B.mark_output b (Vec.get gates (Rng.int rng (Vec.length gates)))
+  done;
+  B.finish b

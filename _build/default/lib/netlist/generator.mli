@@ -1,0 +1,66 @@
+(** Structural and statistical circuit generators.
+
+    The paper evaluates on the ISCAS'85/'89 suites mapped into XC3000
+    devices. Those netlists are not redistributable here, so the benchmark
+    suite is regenerated: structural generators reproduce the circuits whose
+    function is documented (c6288 is a 16x16 array multiplier, c1355 a
+    32-bit single-error-correcting network, c7552 an adder/comparator,
+    c5315 an ALU), and a clustered sequential generator reproduces the
+    ISCAS'89 profile (gate count, flip-flop count, clustering) that the
+    paper credits for the larger replication gains. All generators are
+    deterministic in their parameters and seed. *)
+
+(** {1 Structural generators} *)
+
+val c17 : unit -> Circuit.t
+(** The classic 6-NAND ISCAS'85 toy circuit, reproduced exactly. *)
+
+val ripple_adder : ?name:string -> bits:int -> unit -> Circuit.t
+(** [bits]-wide ripple-carry adder: inputs [a0..], [b0..], [cin]; outputs
+    [s0..], [cout]. *)
+
+val multiplier : ?name:string -> bits:int -> unit -> Circuit.t
+(** [bits] x [bits] array multiplier built from AND partial products and
+    carry-save full-adder rows — the c6288 structure ([bits = 16]). *)
+
+val alu : ?name:string -> bits:int -> unit -> Circuit.t
+(** A [bits]-wide ALU slice array: AND / OR / XOR / ADD selected by two
+    control inputs through per-bit multiplexers, with a carry chain and
+    zero-detect — the c5315 flavour of logic. *)
+
+val ecc : ?name:string -> data_bits:int -> unit -> Circuit.t
+(** Single-error-correcting network over [data_bits] data inputs and the
+    corresponding Hamming check inputs: syndrome XOR trees plus per-bit
+    correction — the c1355 structure ([data_bits = 32]). *)
+
+val adder_comparator : ?name:string -> bits:int -> unit -> Circuit.t
+(** Adder + magnitude comparator + input parity network — the c7552
+    flavour. *)
+
+(** {1 Statistical generators} *)
+
+type clustered_params = {
+  clusters : int;           (** number of tightly-connected clusters *)
+  gates_per_cluster : int;  (** combinational gates per cluster (mean) *)
+  dffs_per_cluster : int;   (** flip-flops per cluster *)
+  cluster_inputs : int;     (** signals imported into each cluster's pool *)
+  foreign_fraction : float; (** share of imports taken from other clusters *)
+  num_pi : int;
+  num_po : int;
+  seed : int;
+}
+
+val default_clustered : clustered_params
+(** A mid-sized starting point (8 clusters x 64 gates). *)
+
+val clustered : ?name:string -> clustered_params -> Circuit.t
+(** Random clustered sequential circuit: every cluster is a local random
+    DAG over its imports and its own flip-flop outputs; sequential feedback
+    (including cross-cluster feedback) flows through flip-flop [D] pins, so
+    the result is always combinationally acyclic. Every primary input is
+    used and every declared output is driven. *)
+
+val random : rng:Rng.t -> ?name:string -> num_inputs:int -> num_gates:int ->
+  num_dff:int -> num_outputs:int -> unit -> Circuit.t
+(** Unstructured random circuit for property-based tests: arbitrary gate
+    kinds and arities 1-4, combinationally acyclic by construction. *)

@@ -1,0 +1,47 @@
+type state = bool array
+(* Indexed by node id; meaningful only at DFF nodes. *)
+
+let initial_state c = Array.make (Circuit.num_nodes c) false
+
+let eval c st pi =
+  let num_inputs = Array.length c.Circuit.inputs in
+  if Array.length pi <> num_inputs then
+    invalid_arg "Simulate.eval: wrong input vector length";
+  let values = Array.make (Circuit.num_nodes c) false in
+  Array.iteri (fun k i -> values.(i) <- pi.(k)) c.Circuit.inputs;
+  let order = Circuit.topological_order c in
+  Array.iter
+    (fun i ->
+      let nd = Circuit.node c i in
+      match nd.Circuit.kind with
+      | Gate.Input -> ()
+      | Gate.Dff -> values.(i) <- st.(i)
+      | kind ->
+          let ins = Array.map (fun f -> values.(f)) nd.Circuit.fanins in
+          values.(i) <- Gate.eval kind ins)
+    order;
+  values
+
+let step c st pi =
+  let values = eval c st pi in
+  let outs = Array.map (fun o -> values.(o)) c.Circuit.outputs in
+  let st' = Array.copy st in
+  for i = 0 to Circuit.num_nodes c - 1 do
+    let nd = Circuit.node c i in
+    if Gate.equal nd.Circuit.kind Gate.Dff then
+      st'.(i) <- values.(nd.Circuit.fanins.(0))
+  done;
+  (outs, st')
+
+let run c vectors =
+  let st = ref (initial_state c) in
+  Array.map
+    (fun pi ->
+      let outs, st' = step c !st pi in
+      st := st';
+      outs)
+    vectors
+
+let random_vectors rng c n =
+  let width = Array.length c.Circuit.inputs in
+  Array.init n (fun _ -> Array.init width (fun _ -> Rng.bool rng))

@@ -1,0 +1,29 @@
+(** Cycle-accurate logic simulation.
+
+    Used to validate the technology mapper (the mapped netlist must be
+    functionally equivalent to the source circuit) and to sanity-check the
+    structural circuit generators. Flip-flops power up at 0. *)
+
+type state
+(** Flip-flop contents for one circuit. *)
+
+val initial_state : Circuit.t -> state
+(** All flip-flops at 0. *)
+
+val eval : Circuit.t -> state -> bool array -> bool array
+(** [eval c st pi] computes the value of every node combinationally from
+    primary-input values [pi] (in the order of [c.inputs]) and current
+    flip-flop values, without clocking. Result is indexed by node id.
+    Raises [Invalid_argument] if [pi] has the wrong length. *)
+
+val step : Circuit.t -> state -> bool array -> bool array * state
+(** [step c st pi] evaluates one clock cycle: returns the primary-output
+    values (in the order of [c.outputs]) observed before the edge, and the
+    post-edge state. *)
+
+val run : Circuit.t -> bool array array -> bool array array
+(** [run c vectors] clocks the circuit through [vectors] from the initial
+    state; element [i] of the result is the output vector of cycle [i]. *)
+
+val random_vectors : Rng.t -> Circuit.t -> int -> bool array array
+(** [random_vectors rng c n] draws [n] uniformly random input vectors. *)

@@ -1,0 +1,32 @@
+(** Netlist clean-up transforms.
+
+    Standard structural optimizations applied before technology mapping.
+    Every transform preserves the circuit's function (checked by the
+    property-based tests), never touches primary input/output names, and
+    keeps flip-flop count except where a flip-flop is provably dead.
+
+    [optimize] composes them to a fixpoint:
+    constants → buffers → structural hashing → dead sweep. *)
+
+val propagate_constants : Circuit.t -> Circuit.t
+(** Fold [Const0]/[Const1] through gates: an AND with a 0 input becomes
+    constant 0, an XOR with a 1 input becomes an inverter of the rest, a
+    gate whose fanins are all constants becomes a constant, etc.
+    Constants feeding primary outputs or flip-flops survive as constant
+    nodes. *)
+
+val collapse_buffers : Circuit.t -> Circuit.t
+(** Re-wire readers of [Buf] gates (and of double inverters) to the
+    underlying signal. A buffer that drives a primary output is kept so the
+    output name survives. *)
+
+val strash : Circuit.t -> Circuit.t
+(** Structural hashing: merge gates of equal kind and identical (ordered)
+    fanin lists. Commutative kinds are matched up to fanin order. *)
+
+val sweep : Circuit.t -> Circuit.t
+(** Remove logic (including flip-flops) from which no primary output is
+    reachable. *)
+
+val optimize : Circuit.t -> Circuit.t
+(** Fixpoint of the transforms above. *)

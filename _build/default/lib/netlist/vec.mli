@@ -1,0 +1,37 @@
+(** Growable arrays.
+
+    OCaml 5.1's standard library has no dynamic array (it appears in 5.2 as
+    [Dynarray]); this is the small subset the library needs: amortized O(1)
+    push, O(1) random access, and conversion to a plain array. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** A fresh empty vector. *)
+
+val make : int -> 'a -> 'a t
+(** [make n x] is a vector of length [n] filled with [x]. *)
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] when out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** Raises [Invalid_argument] when out of bounds. *)
+
+val push : 'a t -> 'a -> int
+(** [push v x] appends [x] and returns its index. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_array : 'a t -> 'a array
+(** A fresh array holding the current contents. *)
+
+val of_array : 'a array -> 'a t
+
+val exists : ('a -> bool) -> 'a t -> bool

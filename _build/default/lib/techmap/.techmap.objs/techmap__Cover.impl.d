@@ -1,0 +1,1 @@
+lib/techmap/cover.ml: Array Circuit Gate Hashtbl List Netlist Vec

@@ -1,0 +1,1 @@
+lib/techmap/cover.mli: Netlist

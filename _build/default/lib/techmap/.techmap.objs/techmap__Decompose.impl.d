@@ -1,0 +1,1 @@
+lib/techmap/decompose.ml: Array Circuit Gate List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/techmap/decompose.mli: Netlist

@@ -1,0 +1,1 @@
+lib/techmap/mapped.ml: Array Bitvec Circuit Format Hashtbl List Netlist Printf Rng Simulate Vec

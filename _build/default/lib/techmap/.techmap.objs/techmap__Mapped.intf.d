@@ -1,0 +1,1 @@
+lib/techmap/mapped.mli: Bitvec Format Netlist

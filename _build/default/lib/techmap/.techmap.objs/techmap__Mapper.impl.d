@@ -1,0 +1,1 @@
+lib/techmap/mapper.ml: Array Cover Decompose Hypergraph List Mapped Pack

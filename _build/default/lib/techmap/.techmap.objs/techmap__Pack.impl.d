@@ -1,0 +1,1 @@
+lib/techmap/pack.ml: Array Circuit Cover Fun Gate Hashtbl List Mapped Netlist String Vec

@@ -1,0 +1,1 @@
+lib/techmap/pack.mli: Cover Mapped Netlist

@@ -1,0 +1,1 @@
+lib/techmap/timing.ml: Array Format List Mapped String

@@ -1,0 +1,1 @@
+lib/techmap/timing.mli: Format Mapped

@@ -1,0 +1,175 @@
+open Netlist
+
+type lut = {
+  root : int;
+  support : int array;
+  table : int;
+  cone_size : int;
+}
+
+let eval_lut lut pins =
+  let idx = ref 0 in
+  Array.iteri (fun i v -> if v then idx := !idx lor (1 lsl i)) pins;
+  lut.table land (1 lsl !idx) <> 0
+
+type cover = {
+  luts : lut array;
+  lut_of_root : int array;
+}
+
+let is_source c i =
+  match (Circuit.node c i).Circuit.kind with
+  | Gate.Input | Gate.Dff | Gate.Const0 | Gate.Const1 -> true
+  | _ -> false
+
+(* Truth table of the cone rooted at [root] with the given support, by
+   exhaustive evaluation. [in_cone] marks cone members. *)
+let cone_table c ~root ~support ~in_cone =
+  let topo_pos = ref [] in
+  (* Gather cone nodes in topological order by DFS from the root. *)
+  let visited = Hashtbl.create 16 in
+  let rec visit i =
+    if not (Hashtbl.mem visited i) then begin
+      Hashtbl.add visited i ();
+      if Hashtbl.mem in_cone i then begin
+        Array.iter visit (Circuit.node c i).Circuit.fanins;
+        topo_pos := i :: !topo_pos
+      end
+    end
+  in
+  visit root;
+  let cone_order = List.rev !topo_pos in
+  let n_sup = Array.length support in
+  let values = Hashtbl.create 16 in
+  let table = ref 0 in
+  for assignment = 0 to (1 lsl n_sup) - 1 do
+    Hashtbl.reset values;
+    Array.iteri
+      (fun pin node ->
+        Hashtbl.replace values node (assignment land (1 lsl pin) <> 0))
+      support;
+    (* Constants inside the support are still sources; give them their
+       fixed value (overriding the assignment makes those table entries
+       don't-cares, which is harmless). *)
+    List.iter
+      (fun i ->
+        let nd = Circuit.node c i in
+        let ins =
+          Array.map
+            (fun f ->
+              match Hashtbl.find_opt values f with
+              | Some v -> v
+              | None -> (
+                  match (Circuit.node c f).Circuit.kind with
+                  | Gate.Const0 -> false
+                  | Gate.Const1 -> true
+                  | _ -> assert false))
+            nd.Circuit.fanins
+        in
+        Hashtbl.replace values i (Gate.eval nd.Circuit.kind ins))
+      cone_order;
+    if Hashtbl.find values root then table := !table lor (1 lsl assignment)
+  done;
+  !table
+
+let run ?(k = 4) c =
+  let num = Circuit.num_nodes c in
+  for i = 0 to num - 1 do
+    let nd = Circuit.node c i in
+    if
+      Gate.is_combinational nd.Circuit.kind
+      && Array.length nd.Circuit.fanins > k
+    then invalid_arg "Cover.run: gate fanin exceeds k (run Decompose first)"
+  done;
+  (* Nodes that must remain visible as signals: primary-output drivers and
+     flip-flop D drivers. *)
+  let must_root = Array.make num false in
+  Array.iter (fun o -> if not (is_source c o) then must_root.(o) <- true)
+    c.Circuit.outputs;
+  for i = 0 to num - 1 do
+    let nd = Circuit.node c i in
+    if Gate.equal nd.Circuit.kind Gate.Dff then begin
+      let d = nd.Circuit.fanins.(0) in
+      if not (is_source c d) then must_root.(d) <- true
+    end
+  done;
+  let referenced = Array.copy must_root in
+  let order = Circuit.topological_order c in
+  let luts = Vec.create () in
+  let lut_of_root = Array.make num (-1) in
+  (* Reverse topological order: a root's support marks deeper nodes
+     referenced before they are themselves considered. *)
+  for idx = Array.length order - 1 downto 0 do
+    let r = order.(idx) in
+    if referenced.(r) && not (is_source c r) then begin
+      (* Grow the cone greedily. *)
+      let in_cone = Hashtbl.create 16 in
+      Hashtbl.add in_cone r ();
+      let support = Hashtbl.create 8 in
+      let add_support f = Hashtbl.replace support f () in
+      Array.iter add_support (Circuit.node c r).Circuit.fanins;
+      let absorbable f =
+        (not (is_source c f))
+        && (not must_root.(f))
+        && Array.for_all
+             (fun reader -> Hashtbl.mem in_cone reader)
+             c.Circuit.fanouts.(f)
+      in
+      let try_absorb () =
+        (* Candidate minimising the resulting support size. *)
+        let best = ref None in
+        Hashtbl.iter
+          (fun f () ->
+            if absorbable f then begin
+              let gain_support =
+                Array.fold_left
+                  (fun acc g ->
+                    if Hashtbl.mem support g || Hashtbl.mem in_cone g then acc
+                    else acc + 1)
+                  0
+                  (Circuit.node c f).Circuit.fanins
+              in
+              let new_size = Hashtbl.length support - 1 + gain_support in
+              if new_size <= k then
+                match !best with
+                | Some (_, s) when s <= new_size -> ()
+                | _ -> best := Some (f, new_size)
+            end)
+          support;
+        match !best with
+        | None -> false
+        | Some (f, _) ->
+            Hashtbl.remove support f;
+            Hashtbl.add in_cone f ();
+            Array.iter
+              (fun g -> if not (Hashtbl.mem in_cone g) then add_support g)
+              (Circuit.node c f).Circuit.fanins;
+            true
+      in
+      while try_absorb () do
+        ()
+      done;
+      (* Split support into constants (folded) and real pins. *)
+      let pins = ref [] in
+      Hashtbl.iter
+        (fun f () ->
+          match (Circuit.node c f).Circuit.kind with
+          | Gate.Const0 | Gate.Const1 -> Hashtbl.add in_cone f ()
+          | _ -> pins := f :: !pins)
+        support;
+      let support_arr = Array.of_list (List.sort compare !pins) in
+      assert (Array.length support_arr <= k);
+      let table = cone_table c ~root:r ~support:support_arr ~in_cone in
+      let lut =
+        {
+          root = r;
+          support = support_arr;
+          table;
+          cone_size = Hashtbl.length in_cone;
+        }
+      in
+      lut_of_root.(r) <- Vec.push luts lut;
+      Array.iter (fun f -> referenced.(f) <- true) support_arr
+    end
+  done;
+  { luts = Vec.to_array luts; lut_of_root }

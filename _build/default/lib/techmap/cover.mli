@@ -1,0 +1,29 @@
+(** 4-input LUT covering.
+
+    Covers a decomposed circuit (gates of fanin <= 2) with lookup tables of
+    at most [k] inputs, using greedy maximal fanout-free cone packing: a
+    gate is absorbed into its reader's cone when all of its fanouts lie
+    inside the cone and the cone support stays within [k]. No logic is
+    duplicated; unreferenced (dead) logic disappears. *)
+
+type lut = {
+  root : int;            (** node id in the decomposed circuit *)
+  support : int array;   (** source node ids the table reads, in pin order;
+                             each is a primary input, flip-flop, constant
+                             node, or another LUT's root *)
+  table : int;           (** truth table: bit [sum_i v_i 2^i] = output *)
+  cone_size : int;       (** gates folded into this LUT *)
+}
+
+val eval_lut : lut -> bool array -> bool
+(** Evaluate a table on pin values (in [support] order). *)
+
+type cover = {
+  luts : lut array;
+  lut_of_root : int array;  (** node id -> index into [luts], or -1 *)
+}
+
+val run : ?k:int -> Netlist.Circuit.t -> cover
+(** [k] defaults to 4 (XC3000). Raises [Invalid_argument] if the circuit
+    has a combinational gate with more than [k] fanins (decompose first) —
+    such a gate could not be covered. *)

@@ -1,0 +1,115 @@
+open Netlist
+
+module B = Circuit.Builder
+
+(* Balanced binary tree over [ids] using [mk] to create nodes; the final
+   combining step uses [root_kind] so that NAND(a,b,c,d) becomes
+   NAND(AND(a,b), AND(c,d)), folding the inversion into the root. *)
+let rec build_tree mk kind root_kind ids =
+  match ids with
+  | [] -> invalid_arg "Decompose.build_tree: empty"
+  | [ x ] -> x
+  | [ x; y ] -> mk root_kind [ x; y ]
+  | _ ->
+      let n = List.length ids in
+      let rec split k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | x :: rest -> split (k - 1) (x :: acc) rest
+        | [] -> assert false
+      in
+      let left, right = split (n / 2) [] ids in
+      let l = build_tree mk kind kind left in
+      let r = build_tree mk kind kind right in
+      mk root_kind [ l; r ]
+
+(* The positive-tree kind corresponding to each wide gate. *)
+let tree_kinds = function
+  | Gate.And -> Some Gate.And
+  | Gate.Nand -> Some Gate.And
+  | Gate.Or -> Some Gate.Or
+  | Gate.Nor -> Some Gate.Or
+  | Gate.Xor -> Some Gate.Xor
+  | Gate.Xnor -> Some Gate.Xor
+  | Gate.Input | Gate.Not | Gate.Buf | Gate.Dff | Gate.Const0 | Gate.Const1 ->
+      None
+
+let run c =
+  let b = B.create ~name:c.Circuit.name () in
+  let num = Circuit.num_nodes c in
+  (* A name prefix no source signal starts with, so invented tree-node
+     names can never collide with source names emitted later. *)
+  let prefix =
+    let rec search p =
+      let clash = ref false in
+      for i = 0 to num - 1 do
+        if String.starts_with ~prefix:p (Circuit.node c i).Circuit.name then
+          clash := true
+      done;
+      if !clash then search ("$" ^ p) else p
+    in
+    search "$d"
+  in
+  let counter = ref 0 in
+  let mk kind fanins =
+    let name = Printf.sprintf "%s%d" prefix !counter in
+    incr counter;
+    B.gate b ~name kind fanins
+  in
+  let new_id = Array.make num (-1) in
+  (* Inputs and flip-flop placeholders first so any gate can read them. *)
+  Array.iter
+    (fun i -> new_id.(i) <- B.input b (Circuit.node c i).Circuit.name)
+    c.Circuit.inputs;
+  for i = 0 to num - 1 do
+    let nd = Circuit.node c i in
+    if Gate.equal nd.Circuit.kind Gate.Dff then
+      new_id.(i) <- B.dff_placeholder b nd.Circuit.name
+  done;
+  let order = Circuit.topological_order c in
+  Array.iter
+    (fun i ->
+      let nd = Circuit.node c i in
+      match nd.Circuit.kind with
+      | Gate.Input | Gate.Dff -> ()
+      | kind ->
+          let fanins =
+            Array.to_list (Array.map (fun f -> new_id.(f)) nd.Circuit.fanins)
+          in
+          let id =
+            match (tree_kinds kind, fanins) with
+            | _, [ x ] ->
+                (* Degenerate 1-input instance of a wide gate, or NOT/BUF. *)
+                let k =
+                  match kind with
+                  | Gate.Nand | Gate.Nor | Gate.Xnor | Gate.Not -> Gate.Not
+                  | Gate.And | Gate.Or | Gate.Xor | Gate.Buf -> Gate.Buf
+                  | Gate.Input | Gate.Dff | Gate.Const0 | Gate.Const1 ->
+                      assert false
+                in
+                B.gate b ~name:nd.Circuit.name k [ x ]
+            | Some _, [ x; y ] -> B.gate b ~name:nd.Circuit.name kind [ x; y ]
+            | Some tree_kind, ids ->
+                (* Inner tree nodes are anonymous; the root keeps the
+                   original signal name (readers reference it). *)
+                let n = List.length ids in
+                let rec split k acc = function
+                  | rest when k = 0 -> (List.rev acc, rest)
+                  | x :: rest -> split (k - 1) (x :: acc) rest
+                  | [] -> assert false
+                in
+                let left, right = split (n / 2) [] ids in
+                let l = build_tree mk tree_kind tree_kind left in
+                let r = build_tree mk tree_kind tree_kind right in
+                B.gate b ~name:nd.Circuit.name kind [ l; r ]
+            | None, ids -> B.gate b ~name:nd.Circuit.name kind ids
+          in
+          new_id.(i) <- id)
+    order;
+  (* Wire flip-flops and outputs. *)
+  for i = 0 to num - 1 do
+    let nd = Circuit.node c i in
+    if Gate.equal nd.Circuit.kind Gate.Dff then
+      B.connect_dff b new_id.(i) new_id.(nd.Circuit.fanins.(0))
+  done;
+  Array.iter (fun o -> B.mark_output b new_id.(o)) c.Circuit.outputs;
+  B.finish b

@@ -1,0 +1,11 @@
+(** Gate decomposition.
+
+    Rewrites a circuit so that every combinational gate has at most two
+    fanins (wide AND/OR/XOR and their inverted forms become balanced binary
+    trees with the inversion folded into the tree root). This is the
+    canonical front end of LUT covering: the covering step then only merges
+    nodes, never needs to split them. *)
+
+val run : Netlist.Circuit.t -> Netlist.Circuit.t
+(** Functionally equivalent circuit with [max_fanin <= 2]. Primary
+    input/output names are preserved; flip-flops are preserved 1:1. *)

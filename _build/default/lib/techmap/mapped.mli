@@ -1,0 +1,77 @@
+(** Mapped netlists: circuits as arrays of XC3000 CLBs.
+
+    A CLB has at most five distinct input nets and up to two outputs; each
+    output is a lookup table over a subset of the CLB inputs, optionally
+    registered through one of the CLB's two flip-flops. The per-output
+    input subset is the output's {e adjacency vector} — the information the
+    paper's functional replication consumes. *)
+
+type output = {
+  net : int;              (** the net this output drives *)
+  table : int;            (** LUT truth table over [pins] *)
+  pins : int array;       (** indices into the CLB's [inputs] *)
+  registered : bool;      (** output goes through a flip-flop *)
+}
+
+type clb = {
+  name : string;
+  inputs : int array;     (** distinct input nets (<= 5) *)
+  outputs : output array; (** 1 or 2 *)
+}
+
+type t = {
+  clbs : clb array;
+  num_nets : int;
+  net_names : string array;
+  pi_nets : int array;    (** nets driven by chip input pads *)
+  po_nets : int array;    (** nets observed at chip output pads *)
+  name : string;
+}
+
+val support_mask : clb -> int -> Bitvec.t
+(** [support_mask clb o] — adjacency vector of output [o] as a bit mask
+    over the CLB's input pins. *)
+
+val max_inputs : int
+(** 5 — distinct input nets per XC3000 CLB. *)
+
+val max_outputs : int
+(** 2 — outputs (and flip-flops) per XC3000 CLB. *)
+
+val validate : t -> (unit, string) result
+(** CLB legality (pin/output/FF limits), single driver per net, every net
+    driven (by a CLB or an input pad), combinational acyclicity. *)
+
+(** {1 Statistics (the paper's Table II columns)} *)
+
+type stats = {
+  clbs : int;
+  iobs : int;    (** chip pads: distinct PI nets + PO pads *)
+  dffs : int;    (** registered CLB outputs *)
+  nets : int;
+  pins : int;    (** CLB input pins + output pins + chip pads *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 Simulation} *)
+
+type state
+
+val initial_state : t -> state
+val step : t -> state -> bool array -> bool array * state
+(** One clock cycle: primary-output values before the edge, then the
+    post-edge state. Input values follow [pi_nets] order. *)
+
+val run : t -> bool array array -> bool array array
+
+val comb_plan : t -> (int * int) array option
+(** Dependency order over the combinational (CLB, output) pairs —
+    registered outputs and pads are sources. [None] on a combinational
+    cycle. Exposed for static analyses (e.g. {!Timing}). *)
+
+val equivalent : ?vectors:int -> ?seed:int -> Netlist.Circuit.t -> t -> bool
+(** Compare against a source circuit on random stimulus: same
+    primary-input count and order (by name), same outputs each cycle.
+    Flip-flops power up at 0 on both sides. *)

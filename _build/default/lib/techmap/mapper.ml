@@ -1,0 +1,35 @@
+type options = {
+  lut_inputs : int;
+  pair : bool;
+}
+
+let default_options = { lut_inputs = 4; pair = true }
+
+let map ?(options = default_options) c =
+  let decomposed = Decompose.run c in
+  let cover = Cover.run ~k:options.lut_inputs decomposed in
+  let mapped = Pack.run ~pair:options.pair decomposed cover in
+  match Mapped.validate mapped with
+  | Ok () -> mapped
+  | Error msg -> invalid_arg ("Mapper.map: produced an illegal netlist: " ^ msg)
+
+let to_hypergraph (m : Mapped.t) =
+  let externals =
+    Array.to_list m.Mapped.pi_nets @ Array.to_list m.Mapped.po_nets
+    |> List.sort_uniq compare
+  in
+  let specs =
+    Array.to_list m.Mapped.clbs
+    |> List.map (fun (clb : Mapped.clb) ->
+           {
+             Hypergraph.s_name = clb.Mapped.name;
+             s_area = 1;
+             s_inputs = clb.Mapped.inputs;
+             s_outputs = Array.map (fun o -> o.Mapped.net) clb.Mapped.outputs;
+             s_supports =
+               Array.mapi (fun o _ -> Mapped.support_mask clb o)
+                 clb.Mapped.outputs;
+           })
+  in
+  Hypergraph.create ~net_names:m.Mapped.net_names ~num_nets:m.Mapped.num_nets
+    ~external_nets:externals specs

@@ -1,0 +1,23 @@
+(** Technology mapping pipeline: gate-level circuit to XC3000 CLBs.
+
+    [Decompose] (fanin reduction) → [Cover] (4-LUT covering) → [Pack]
+    (FF absorption + CLB pairing). The result plays the role of the
+    XACT-mapped netlists of the paper's Table II. *)
+
+type options = {
+  lut_inputs : int;   (** LUT input budget; 4 for XC3000 *)
+  pair : bool;        (** pack two outputs per CLB when they fit *)
+}
+
+val default_options : options
+
+val map : ?options:options -> Netlist.Circuit.t -> Mapped.t
+(** Map a circuit. The output is validated ({!Mapped.validate}) before
+    being returned; a failure here is a bug and raises [Invalid_argument].
+    Functional equivalence with the source is NOT checked here (it costs
+    simulation time); use {!Mapped.equivalent} in tests. *)
+
+val to_hypergraph : Mapped.t -> Hypergraph.t
+(** The partitioning view of a mapped netlist: one unit-area cell per CLB
+    with per-output adjacency vectors; chip-pad nets (primary inputs and
+    outputs) are external. *)

@@ -1,0 +1,247 @@
+open Netlist
+
+(* One future CLB output: the signal of [out_node], computed as [table]
+   over [support_nodes], optionally through a flip-flop. *)
+type slot = {
+  out_node : int;
+  support_nodes : int array;
+  table : int;
+  registered : bool;
+}
+
+let identity_table = 0b10 (* f(x) = x *)
+
+let run ?(pair = true) c cover =
+  let num = Circuit.num_nodes c in
+  let is_po = Array.make num false in
+  Array.iter (fun o -> is_po.(o) <- true) c.Circuit.outputs;
+  let lut_consumed = Array.make (Array.length cover.Cover.luts) false in
+  let slots = Vec.create () in
+  let const_needed = Array.make num false in
+  let note_const f =
+    match (Circuit.node c f).Circuit.kind with
+    | Gate.Const0 | Gate.Const1 -> const_needed.(f) <- true
+    | _ -> ()
+  in
+  (* Flip-flops first: fuse with their D-driver LUT when legal. *)
+  for q = 0 to num - 1 do
+    let nd = Circuit.node c q in
+    if Gate.equal nd.Circuit.kind Gate.Dff then begin
+      let d = nd.Circuit.fanins.(0) in
+      let lut_idx =
+        if Gate.is_combinational (Circuit.node c d).Circuit.kind then
+          cover.Cover.lut_of_root.(d)
+        else -1
+      in
+      let fusible =
+        lut_idx >= 0
+        && (not is_po.(d))
+        && Array.length c.Circuit.fanouts.(d) = 1
+      in
+      if fusible then begin
+        let lut = cover.Cover.luts.(lut_idx) in
+        lut_consumed.(lut_idx) <- true;
+        Array.iter note_const lut.Cover.support;
+        ignore
+          (Vec.push slots
+             {
+               out_node = q;
+               support_nodes = lut.Cover.support;
+               table = lut.Cover.table;
+               registered = true;
+             })
+      end
+      else begin
+        note_const d;
+        ignore
+          (Vec.push slots
+             {
+               out_node = q;
+               support_nodes = [| d |];
+               table = identity_table;
+               registered = true;
+             })
+      end
+    end
+  done;
+  (* Remaining LUTs are plain combinational outputs. *)
+  Array.iteri
+    (fun idx lut ->
+      if not lut_consumed.(idx) then begin
+        Array.iter note_const lut.Cover.support;
+        ignore
+          (Vec.push slots
+             {
+               out_node = lut.Cover.root;
+               support_nodes = lut.Cover.support;
+               table = lut.Cover.table;
+               registered = false;
+             })
+      end)
+    cover.Cover.luts;
+  (* Constants referenced as signals (support pins, PO drivers, FF data)
+     get a zero-input generator CLB output. *)
+  Array.iter
+    (fun o ->
+      match (Circuit.node c o).Circuit.kind with
+      | Gate.Const0 | Gate.Const1 -> const_needed.(o) <- true
+      | _ -> ())
+    c.Circuit.outputs;
+  for f = 0 to num - 1 do
+    if const_needed.(f) then begin
+      let table =
+        match (Circuit.node c f).Circuit.kind with
+        | Gate.Const1 -> 1
+        | _ -> 0
+      in
+      ignore
+        (Vec.push slots
+           { out_node = f; support_nodes = [||]; table; registered = false })
+    end
+  done;
+  (* Net numbering: primary inputs first, then one net per slot output. *)
+  let net_of_node = Array.make num (-1) in
+  let net_names = Vec.create () in
+  let fresh_net node =
+    if net_of_node.(node) < 0 then
+      net_of_node.(node) <-
+        Vec.push net_names (Circuit.node c node).Circuit.name
+  in
+  Array.iter fresh_net c.Circuit.inputs;
+  Vec.iter (fun s -> fresh_net s.out_node) slots;
+  let pi_nets = Array.map (fun i -> net_of_node.(i)) c.Circuit.inputs in
+  let po_nets =
+    Array.map
+      (fun o ->
+        if net_of_node.(o) < 0 then
+          invalid_arg
+            ("Pack.run: primary output "
+            ^ (Circuit.node c o).Circuit.name
+            ^ " has no mapped net");
+        net_of_node.(o))
+      c.Circuit.outputs
+  in
+  (* Pair slots into CLBs. *)
+  let slot_nets s =
+    let nets = Array.map (fun f -> net_of_node.(f)) s.support_nodes in
+    Array.iter
+      (fun n -> if n < 0 then invalid_arg "Pack.run: unmapped support net")
+      nets;
+    nets
+  in
+  let n_slots = Vec.length slots in
+  let partner = Array.make n_slots (-1) in
+  if pair then begin
+    (* Sorted distinct input-net arrays per slot; shared count by merge. *)
+    let sorted_nets =
+      Array.init n_slots (fun i ->
+          let nets = slot_nets (Vec.get slots i) in
+          let nets = Array.copy nets in
+          Array.sort compare nets;
+          nets)
+    in
+    let shared_count a b =
+      let i = ref 0 and j = ref 0 and s = ref 0 in
+      let na = Array.length a and nb = Array.length b in
+      while !i < na && !j < nb do
+        if a.(!i) = b.(!j) then begin
+          incr s;
+          incr i;
+          incr j
+        end
+        else if a.(!i) < b.(!j) then incr i
+        else incr j
+      done;
+      !s
+    in
+    (* Candidate restriction: a feasible partner either shares a net with us
+       or has few enough inputs that the disjoint union fits. Index slots by
+       net for the first kind; scan a small-input bucket for the second. *)
+    let by_net = Hashtbl.create 256 in
+    for i = 0 to n_slots - 1 do
+      Array.iter
+        (fun n ->
+          Hashtbl.replace by_net n
+            (i :: (try Hashtbl.find by_net n with Not_found -> [])))
+        sorted_nets.(i)
+    done;
+    let small_slots =
+      List.filter
+        (fun i -> Array.length sorted_nets.(i) <= 2)
+        (List.init n_slots Fun.id)
+    in
+    for i = 0 to n_slots - 1 do
+      if partner.(i) = -1 then begin
+        let nets_i = sorted_nets.(i) in
+        let ni = Array.length nets_i in
+        let best = ref None in
+        let consider j =
+          if j <> i && partner.(j) = -1 then begin
+            let nets_j = sorted_nets.(j) in
+            let shared = shared_count nets_i nets_j in
+            let u = ni + Array.length nets_j - shared in
+            if u <= Mapped.max_inputs then
+              match !best with
+              | Some (_, s, u') when s > shared || (s = shared && u' <= u) -> ()
+              | _ -> best := Some (j, shared, u)
+          end
+        in
+        Array.iter
+          (fun n -> List.iter consider (Hashtbl.find by_net n))
+          nets_i;
+        if ni + 2 <= Mapped.max_inputs then List.iter consider small_slots;
+        match !best with
+        | Some (j, _, _) ->
+            partner.(i) <- j;
+            partner.(j) <- i
+        | None -> partner.(i) <- -2 (* stays single *)
+      end
+    done
+  end;
+  (* Materialise CLBs. *)
+  let clbs = Vec.create () in
+  let emit members =
+    let input_set = Hashtbl.create 8 in
+    let inputs = Vec.create () in
+    List.iter
+      (fun s ->
+        Array.iter
+          (fun n ->
+            if not (Hashtbl.mem input_set n) then
+              Hashtbl.add input_set n (Vec.push inputs n))
+          (slot_nets s))
+      members;
+    let inputs = Vec.to_array inputs in
+    let outputs =
+      List.map
+        (fun s ->
+          {
+            Mapped.net = net_of_node.(s.out_node);
+            table = s.table;
+            pins =
+              Array.map (fun f -> Hashtbl.find input_set net_of_node.(f))
+                s.support_nodes;
+            registered = s.registered;
+          })
+        members
+      |> Array.of_list
+    in
+    let name =
+      members
+      |> List.map (fun s -> (Circuit.node c s.out_node).Circuit.name)
+      |> String.concat "+"
+    in
+    ignore (Vec.push clbs { Mapped.name; inputs; outputs })
+  in
+  for i = 0 to n_slots - 1 do
+    if partner.(i) < 0 then emit [ Vec.get slots i ]
+    else if partner.(i) > i then emit [ Vec.get slots i; Vec.get slots partner.(i) ]
+  done;
+  {
+    Mapped.clbs = Vec.to_array clbs;
+    num_nets = Vec.length net_names;
+    net_names = Vec.to_array net_names;
+    pi_nets;
+    po_nets;
+    name = c.Circuit.name;
+  }

@@ -1,0 +1,15 @@
+(** CLB packing: assemble covered LUTs and flip-flops into XC3000 CLBs.
+
+    Two packing steps follow LUT covering:
+    - {e FF absorption}: a flip-flop whose [D] is computed by a LUT read by
+      nothing else is fused with it into one registered CLB output; other
+      flip-flops become pass-through registered outputs;
+    - {e pairing}: two outputs share a CLB when their combined distinct
+      input nets fit the CLB's five input pins, greedily maximising shared
+      inputs. Pairing produces the two-output cells whose per-output
+      supports drive functional replication. *)
+
+val run : ?pair:bool -> Netlist.Circuit.t -> Cover.cover -> Mapped.t
+(** [run c cover] packs the cover of the (decomposed) circuit [c].
+    [pair] defaults to [true]; with [false] every output gets its own CLB
+    (ablation baseline). *)

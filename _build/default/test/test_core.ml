@@ -1,0 +1,615 @@
+(* Tests for the paper's core algorithms: replication potential (eq. 4-6),
+   the unified gain model (eq. 7-11), gain buckets, F-M with functional
+   replication, and the k-way heterogeneous-device driver. *)
+
+open Core
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let qc t = QCheck_alcotest.to_alcotest t
+
+(* ------------------------------------------------------------------ *)
+(* Replication potential                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_psi_fig1 () =
+  (* Fig. 1: A_X = [1 1 0], A_Y = [0 1 1] -> psi = 2. *)
+  let psi =
+    Replication_potential.of_supports
+      [| Bitvec.of_list [ 0; 1 ]; Bitvec.of_list [ 1; 2 ] |]
+  in
+  checki "Fig. 1 cell" 2 psi
+
+let test_psi_fig2 () =
+  (* Fig. 2: A_X1 = [1 1 1 1 0], A_X2 = [0 0 0 1 1] -> psi = 4. *)
+  let psi =
+    Replication_potential.of_supports
+      [| Bitvec.of_list [ 0; 1; 2; 3 ]; Bitvec.of_list [ 3; 4 ] |]
+  in
+  checki "Fig. 2 cell" 4 psi
+
+let test_psi_single_output () =
+  (* Eq. (4): psi = 0 when m = 1, regardless of inputs. *)
+  checki "single output" 0
+    (Replication_potential.of_supports [| Bitvec.of_list [ 0; 1; 2; 3 ] |])
+
+let test_psi_disjoint_and_identical () =
+  checki "disjoint supports: all inputs private" 4
+    (Replication_potential.of_supports
+       [| Bitvec.of_list [ 0; 1 ]; Bitvec.of_list [ 2; 3 ] |]);
+  checki "identical supports: psi 0" 0
+    (Replication_potential.of_supports
+       [| Bitvec.of_list [ 0; 1 ]; Bitvec.of_list [ 0; 1 ] |]);
+  checki "three outputs" 3
+    (Replication_potential.of_supports
+       [|
+         Bitvec.of_list [ 0; 1 ]; Bitvec.of_list [ 1; 2 ]; Bitvec.of_list [ 3 ];
+       |])
+
+let test_distribution () =
+  let h = Test_util.fig4_hypergraph () in
+  let d = Replication_potential.distribution h in
+  checki "total" 8 d.Replication_potential.total;
+  (* M is the only multi-output cell; its psi is 5 (all inputs private). *)
+  checki "single-output cells" 7 d.Replication_potential.single_output;
+  Alcotest.check
+    Alcotest.(list (pair int int))
+    "multi by psi" [ (5, 1) ] d.Replication_potential.multi_by_psi;
+  checki "r_0 counts all multi-output cells" 1
+    (Replication_potential.max_replication_factor d ~threshold:0);
+  checki "r_5" 1 (Replication_potential.max_replication_factor d ~threshold:5);
+  checki "r_6" 0 (Replication_potential.max_replication_factor d ~threshold:6)
+
+let test_replicable_threshold () =
+  let h = Test_util.fig4_hypergraph () in
+  let m = Hypergraph.cell h 0 in
+  let rx = Hypergraph.cell h 6 in
+  checkb "M at T=0" true (Replication_potential.replicable ~threshold:0 m);
+  checkb "M at T=5" true (Replication_potential.replicable ~threshold:5 m);
+  checkb "M at T=6" false (Replication_potential.replicable ~threshold:6 m);
+  checkb "single-output never" false
+    (Replication_potential.replicable ~threshold:0 rx)
+
+(* ------------------------------------------------------------------ *)
+(* Gain model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_gain_fig4_golden () =
+  (* The paper's worked example: G_m = -1, G_tr = -2, G_r = +2. *)
+  let _, st = Test_util.fig4_state () in
+  let v = Gain.vectors st 0 in
+  checki "G_m (eq. 7)" (-1) (Gain.single_move v);
+  checki "G_tr (eq. 8)" (-2) (Gain.traditional_replication v);
+  (match Gain.functional_replication st 0 ~threshold:0 with
+  | Some (g, o) ->
+      checki "G_r (eq. 11)" 2 g;
+      checki "best output is X2" 1 o
+  | None -> Alcotest.fail "functional replication should be available");
+  (* Vector values, for the record: 2 cut inputs, both critical. *)
+  checki "|C_I|" 2 (Bitvec.norm v.Gain.c_i);
+  checki "|C_O|" 1 (Bitvec.norm v.Gain.c_o);
+  checki "n" 5 v.Gain.n_inputs
+
+let test_gain_threshold_blocks () =
+  let _, st = Test_util.fig4_state () in
+  checkb "T=6 blocks M" true
+    (Gain.functional_replication st 0 ~threshold:6 = None);
+  checkb "single-output cell can never replicate" true
+    (Gain.functional_replication st 6 ~threshold:0 = None)
+
+let qcheck_formula_matches_eval =
+  (* Eq. (7) must equal the exact cut delta of a whole-cell move for every
+     single cell, on arbitrary random states. *)
+  QCheck.Test.make ~name:"eq. 7 = exact move delta" ~count:80
+    QCheck.(pair small_int (int_range 4 20))
+    (fun (seed, n_cells) ->
+      let h = Test_util.random_hypergraph seed n_cells in
+      let rng = Netlist.Rng.create (seed + 77) in
+      let st = Partition_state.create h ~init_on_b:(fun _ -> Netlist.Rng.bool rng) in
+      let ok = ref true in
+      for c = 0 to Hypergraph.num_cells h - 1 do
+        match Partition_state.single_side st c with
+        | None -> ()
+        | Some _ ->
+            let v = Gain.vectors st c in
+            let full = Partition_state.full_mask st c in
+            let flip = Bitvec.complement (Bitvec.norm full) (Partition_state.mask st c) in
+            let d = Partition_state.eval st c flip in
+            if Gain.single_move v <> -d.Partition_state.d_cut then ok := false
+      done;
+      !ok)
+
+let qcheck_functional_gain_positive_cases =
+  (* G_r as reported must equal the exact delta of applying the chosen
+     output migration. *)
+  QCheck.Test.make ~name:"eq. 11 gain = exact migration delta" ~count:60
+    QCheck.(pair small_int (int_range 4 16))
+    (fun (seed, n_cells) ->
+      let h = Test_util.random_hypergraph seed n_cells in
+      let rng = Netlist.Rng.create (seed + 99) in
+      let st = Partition_state.create h ~init_on_b:(fun _ -> Netlist.Rng.bool rng) in
+      let ok = ref true in
+      for c = 0 to Hypergraph.num_cells h - 1 do
+        match Gain.functional_replication st c ~threshold:0 with
+        | None -> ()
+        | Some (g, o) ->
+            let current = Partition_state.mask st c in
+            let mask =
+              if Bitvec.mem o current then Bitvec.remove o current
+              else Bitvec.add o current
+            in
+            let d = Partition_state.eval st c mask in
+            if g <> -d.Partition_state.d_cut then ok := false
+      done;
+      !ok)
+
+let test_best_mask_change_candidates () =
+  let _, st = Test_util.fig4_state () in
+  (* Without replication: only the whole-cell move. *)
+  let plain = Gain.best_mask_change st ~replication:`None 0 in
+  checki "move only" 1 (List.length plain);
+  (* With replication at T=0: move + one migration per output. *)
+  let repl = Gain.best_mask_change st ~replication:(`Functional 0) 0 in
+  checki "move + 2 migrations" 3 (List.length repl);
+  (* Once replicated, unreplication and split adjustment appear. *)
+  ignore (Partition_state.apply st 0 (Bitvec.singleton 1));
+  let after = Gain.best_mask_change st ~replication:(`Functional 0) 0 in
+  checkb "includes full-A merge" true
+    (List.exists (fun (m, _) -> Bitvec.is_empty m) after);
+  checkb "includes full-B merge" true
+    (List.exists (fun (m, _) -> Bitvec.equal m (Partition_state.full_mask st 0)) after)
+
+(* ------------------------------------------------------------------ *)
+(* Bucket                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_bucket_basics () =
+  let b = Bucket.create ~num_items:10 ~max_gain:5 in
+  checki "empty" 0 (Bucket.cardinal b);
+  Bucket.insert b 3 2;
+  Bucket.insert b 4 (-1);
+  Bucket.insert b 5 2;
+  checki "cardinal" 3 (Bucket.cardinal b);
+  checkb "mem" true (Bucket.mem b 3);
+  checki "gain" 2 (Bucket.gain b 3);
+  (* LIFO at the top gain level: 5 inserted after 3. *)
+  (match Bucket.find_best b (fun _ -> true) with
+  | Some item -> checki "LIFO top" 5 item
+  | None -> Alcotest.fail "expected an item");
+  (* Predicate skips. *)
+  (match Bucket.find_best b (fun i -> i <> 5 && i <> 3) with
+  | Some item -> checki "skips to lower gain" 4 item
+  | None -> Alcotest.fail "expected an item");
+  Bucket.remove b 5;
+  (match Bucket.find_best b (fun _ -> true) with
+  | Some item -> checki "after removal" 3 item
+  | None -> Alcotest.fail "expected an item");
+  Bucket.update b 4 5;
+  (match Bucket.find_best b (fun _ -> true) with
+  | Some item -> checki "after update" 4 item
+  | None -> Alcotest.fail "expected an item")
+
+let test_bucket_clamping () =
+  let b = Bucket.create ~num_items:4 ~max_gain:3 in
+  Bucket.insert b 0 100;
+  Bucket.insert b 1 (-100);
+  checki "stored gain unclamped" 100 (Bucket.gain b 0);
+  (match Bucket.find_best b (fun _ -> true) with
+  | Some item -> checki "clamped ordering works" 0 item
+  | None -> Alcotest.fail "expected an item");
+  Bucket.remove b 0;
+  (match Bucket.find_best b (fun _ -> true) with
+  | Some item -> checki "negative clamp" 1 item
+  | None -> Alcotest.fail "expected an item")
+
+let test_bucket_errors () =
+  let b = Bucket.create ~num_items:4 ~max_gain:3 in
+  Bucket.insert b 0 1;
+  Alcotest.check_raises "double insert"
+    (Invalid_argument "Bucket.insert: item already present") (fun () ->
+      Bucket.insert b 0 2);
+  checkb "gain of absent raises" true
+    (match Bucket.gain b 3 with exception Not_found -> true | _ -> false);
+  Bucket.remove b 3 (* no-op *);
+  Bucket.clear b;
+  checki "cleared" 0 (Bucket.cardinal b)
+
+(* ------------------------------------------------------------------ *)
+(* F-M                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mapped_hypergraph circuit = Techmap.Mapper.to_hypergraph (Techmap.Mapper.map circuit)
+
+let test_fm_improves_and_respects_balance () =
+  let h = mapped_hypergraph (Netlist.Generator.alu ~bits:8 ()) in
+  let total = Hypergraph.total_area h in
+  let cfg = Fm.balance_config ~total_area:total () in
+  let rng = Netlist.Rng.create 5 in
+  let st = Fm.random_state rng h in
+  let cut0 = Partition_state.cut st in
+  let pen, cut, _ = Fm.run cfg st in
+  checki "feasible" 0 pen;
+  checkb "cut not worse" true (cut <= cut0);
+  checkb "consistent" true (Result.is_ok (Partition_state.check_consistency st));
+  let cap = int_of_float (ceil (1.10 *. float_of_int total /. 2.0)) in
+  checkb "balance" true
+    (Partition_state.area st Partition_state.A <= cap
+    && Partition_state.area st Partition_state.B <= cap)
+
+let test_fm_replication_beats_plain_on_fig4 () =
+  (* On the Fig. 4 fixture a replication-enabled pass can reach cut 1;
+     plain moves bottom out higher from the same start. *)
+  let _, st_plain = Test_util.fig4_state () in
+  let _, st_repl = Test_util.fig4_state () in
+  let total = 8 in
+  let plain_cfg = Fm.balance_config ~slack:0.6 ~total_area:total () in
+  let repl_cfg =
+    Fm.balance_config ~slack:0.6 ~replication:(`Functional 0) ~total_area:total ()
+  in
+  let _, cut_plain, _ = Fm.run plain_cfg st_plain in
+  let _, cut_repl, _ = Fm.run repl_cfg st_repl in
+  checkb "replication at least as good" true (cut_repl <= cut_plain);
+  checkb "replication reaches cut <= 1" true (cut_repl <= 1)
+
+let test_fm_replication_respects_threshold () =
+  (* With a threshold above every cell's psi, no replica may appear. *)
+  let h = mapped_hypergraph (Netlist.Generator.multiplier ~bits:6 ()) in
+  let cfg =
+    Fm.balance_config ~replication:(`Functional 1000)
+      ~total_area:(Hypergraph.total_area h) ()
+  in
+  let rng = Netlist.Rng.create 3 in
+  let st = Fm.random_state rng h in
+  ignore (Fm.run cfg st);
+  checki "no replicas at absurd threshold" 0 (Partition_state.num_replicated st)
+
+let test_fm_replication_reduces_cut_on_clustered () =
+  (* The paper's Table III effect, in miniature: over a few seeds,
+     replication never loses and usually wins on a clustered sequential
+     circuit. *)
+  let c =
+    Netlist.Generator.clustered
+      {
+        Netlist.Generator.default_clustered with
+        clusters = 6;
+        gates_per_cluster = 40;
+        seed = 3;
+      }
+  in
+  let h = mapped_hypergraph c in
+  let total = Hypergraph.total_area h in
+  let best cfg =
+    let best = ref max_int in
+    for seed = 1 to 5 do
+      let st = Fm.random_state (Netlist.Rng.create seed) h in
+      let pen, cut, _ = Fm.run cfg st in
+      if pen = 0 && cut < !best then best := cut
+    done;
+    !best
+  in
+  let plain = best (Fm.balance_config ~total_area:total ()) in
+  let repl =
+    best (Fm.balance_config ~replication:(`Functional 0) ~total_area:total ())
+  in
+  checkb "plain found a feasible cut" true (plain < max_int);
+  checkb "replication cut <= plain cut" true (repl <= plain)
+
+let qcheck_fm_leaves_consistent_state =
+  QCheck.Test.make ~name:"F-M leaves a consistent state" ~count:20
+    QCheck.(pair small_int (int_range 8 30))
+    (fun (seed, n_cells) ->
+      let h = Test_util.random_hypergraph seed n_cells in
+      let cfg =
+        Fm.balance_config ~replication:(`Functional 0) ~slack:0.3
+          ~total_area:(Hypergraph.total_area h) ()
+      in
+      let st = Fm.random_state (Netlist.Rng.create (seed + 5)) h in
+      let cut0 = Partition_state.cut st in
+      let _, cut, _ = Fm.run cfg st in
+      Result.is_ok (Partition_state.check_consistency st) && cut <= cut0)
+
+let test_fm_staged_never_worse () =
+  (* run_staged must match or beat plain F-M from the same start, on every
+     seed, because replication extends a converged plain solution. *)
+  let h = mapped_hypergraph (Netlist.Generator.alu ~bits:8 ()) in
+  let total = Hypergraph.total_area h in
+  let plain_cfg = Fm.balance_config ~total_area:total () in
+  let repl_cfg =
+    Fm.balance_config ~replication:(`Functional 0) ~total_area:total ()
+  in
+  for seed = 1 to 6 do
+    let st1 = Fm.random_state (Netlist.Rng.create seed) h in
+    let st2 = Fm.random_state (Netlist.Rng.create seed) h in
+    let _, plain, _ = Fm.run plain_cfg st1 in
+    let _, staged, _ = Fm.run_staged repl_cfg st2 in
+    checkb "staged <= plain" true (staged <= plain)
+  done
+
+let test_fm_traditional_model_weaker () =
+  (* With the traditional (all-inputs) replica connection rule the gains
+     largely evaporate: the Fig. 1 motivation as a property. *)
+  let c =
+    Netlist.Generator.clustered
+      { Netlist.Generator.default_clustered with clusters = 5; seed = 9 }
+  in
+  let h = mapped_hypergraph c in
+  let total = Hypergraph.total_area h in
+  let cfg = Fm.balance_config ~replication:(`Functional 0) ~total_area:total () in
+  let best model =
+    let best = ref max_int in
+    for seed = 1 to 4 do
+      let n = Hypergraph.num_cells h in
+      let order = Array.init n Fun.id in
+      Netlist.Rng.shuffle (Netlist.Rng.create seed) order;
+      let on_b = Array.make n false in
+      Array.iteri (fun k cell -> if k < n / 2 then on_b.(cell) <- true) order;
+      let st = Partition_state.create ~model h ~init_on_b:(fun x -> on_b.(x)) in
+      let _, cut, _ = Fm.run_staged cfg st in
+      best := min !best cut
+    done;
+    !best
+  in
+  let functional = best Partition_state.Functional in
+  let traditional = best Partition_state.Traditional in
+  checkb "functional beats traditional" true (functional < traditional)
+
+let test_two_device_config () =
+  (* Refining a deliberately unbalanced Fig. 4-style instance: both sides
+     must respect their windows and the terminals drop or hold. *)
+  let h = mapped_hypergraph (Netlist.Generator.ripple_adder ~bits:16 ()) in
+  let n = Hypergraph.num_cells h in
+  let st = Partition_state.create h ~init_on_b:(fun c -> c >= n / 4) in
+  let bounds cap =
+    { Fm.min_clbs = 1; max_clbs = cap; max_terminals = 1000 }
+  in
+  let total = Hypergraph.total_area h in
+  let cfg =
+    Fm.two_device_config ~bounds_a:(bounds total) ~bounds_b:(bounds total) ()
+  in
+  let t0 =
+    Partition_state.terminals st Partition_state.A
+    + Partition_state.terminals st Partition_state.B
+  in
+  let pen, terms, _ = Fm.run cfg st in
+  checki "feasible" 0 pen;
+  checkb "terminals not worse" true (terms <= t0);
+  checkb "state consistent" true
+    (Result.is_ok (Partition_state.check_consistency st))
+
+(* ------------------------------------------------------------------ *)
+(* Multilevel coarsening                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_coarsen_structure () =
+  let h = mapped_hypergraph (Netlist.Generator.multiplier ~bits:10 ()) in
+  let rng = Netlist.Rng.create 3 in
+  let coarse, map = Coarsen.coarsen ~rng h in
+  checkb "valid" true (Result.is_ok (Hypergraph.validate coarse));
+  checkb "shrinks" true
+    (Hypergraph.num_cells coarse < Hypergraph.num_cells h);
+  (* Area is conserved: clusters weigh what their members weigh. *)
+  checki "area conserved" (Hypergraph.total_area h)
+    (Hypergraph.total_area coarse);
+  (* The map is a total function onto the coarse cells. *)
+  Array.iter
+    (fun k -> checkb "map in range" true (k >= 0 && k < Hypergraph.num_cells coarse))
+    map;
+  checki "map covers fine cells" (Hypergraph.num_cells h) (Array.length map)
+
+let test_coarsen_respects_pin_budget () =
+  let h = mapped_hypergraph (Netlist.Generator.multiplier ~bits:10 ()) in
+  let rng = Netlist.Rng.create 3 in
+  let rec check_levels h depth =
+    if depth < 4 && Hypergraph.num_cells h > 50 then begin
+      let coarse, _ = Coarsen.coarsen ~rng h in
+      Array.iter
+        (fun cell ->
+          checkb "inputs within mask budget" true
+            (Array.length cell.Hypergraph.inputs <= Bitvec.max_width);
+          checkb "outputs within mask budget" true
+            (Array.length cell.Hypergraph.outputs <= Bitvec.max_width))
+        coarse.Hypergraph.cells;
+      check_levels coarse (depth + 1)
+    end
+  in
+  check_levels h 0
+
+let test_multilevel_init_quality () =
+  (* The multilevel initial solution must not lose to random init + F-M on
+     a clustered circuit (it usually wins clearly). *)
+  let h = mapped_hypergraph
+      (Netlist.Generator.clustered
+         { Netlist.Generator.default_clustered with clusters = 10; seed = 17 })
+  in
+  let total = Hypergraph.total_area h in
+  let cfg = Fm.balance_config ~total_area:total () in
+  let best f =
+    let b = ref max_int in
+    for s = 1 to 4 do
+      b := min !b (f (Netlist.Rng.create s))
+    done;
+    !b
+  in
+  let flat =
+    best (fun rng ->
+        let st = Fm.random_state rng h in
+        let _, cut, _ = Fm.run cfg st in
+        cut)
+  in
+  let ml =
+    best (fun rng ->
+        let st = Coarsen.multilevel_init ~rng cfg h in
+        checkb "consistent" true (Result.is_ok (Partition_state.check_consistency st));
+        let _, cut, _ = Fm.run cfg st in
+        cut)
+  in
+  checkb "multilevel at least competitive" true
+    (float_of_int ml <= 1.1 *. float_of_int flat)
+
+(* ------------------------------------------------------------------ *)
+(* k-way driver                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let small_options = { Kway.default_options with runs = 3; fm_attempts = 2 }
+
+let test_kway_refinement_not_worse () =
+  (* Refinement may only improve the (cost, interconnect) outcome. *)
+  let h = mapped_hypergraph (Netlist.Generator.multiplier ~bits:16 ()) in
+  let go refine_rounds =
+    let options = { small_options with refine_rounds } in
+    match Kway.partition ~options ~library:Fpga.Library.xc3000 h with
+    | Error e -> Alcotest.fail e
+    | Ok r ->
+        (match Kway.check h r with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail ("unsound: " ^ e));
+        ( r.Kway.summary.Fpga.Cost.total_cost,
+          r.Kway.summary.Fpga.Cost.total_iobs )
+  in
+  let cost0, iobs0 = go 0 in
+  let cost1, iobs1 = go 1 in
+  checkb "refinement does not raise cost" true (cost1 <= cost0);
+  checkb "refinement does not raise total IOBs when cost ties" true
+    (cost1 < cost0 || iobs1 <= iobs0)
+
+let test_kway_xc4000 () =
+  let h = mapped_hypergraph (Netlist.Generator.multiplier ~bits:16 ()) in
+  match Kway.partition ~options:small_options ~library:Fpga.Library.xc4000 h with
+  | Error e -> Alcotest.fail e
+  | Ok r -> (
+      match Kway.check h r with
+      | Ok () ->
+          checkb "uses XC4000 parts" true
+            (List.for_all
+               (fun (name, _) -> String.length name >= 5 && String.sub name 0 3 = "XC4")
+               r.Kway.summary.Fpga.Cost.device_counts)
+      | Error e -> Alcotest.fail ("unsound: " ^ e))
+
+let test_kway_single_device () =
+  (* c17 maps to a couple of CLBs: one XC3020 suffices. *)
+  let h = mapped_hypergraph (Netlist.Generator.c17 ()) in
+  match Kway.partition ~options:small_options ~library:Fpga.Library.xc3000 h with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      checki "one part" 1 r.Kway.summary.Fpga.Cost.num_partitions;
+      checkb "sound" true (Result.is_ok (Kway.check h r));
+      checkb "cheapest device" true
+        (r.Kway.summary.Fpga.Cost.total_cost <= 100.0)
+
+let test_kway_multi_device () =
+  let h = mapped_hypergraph (Netlist.Generator.multiplier ~bits:16 ()) in
+  checkb "needs more than one device" true
+    (Hypergraph.total_area h > Fpga.Device.max_clbs (Fpga.Library.largest Fpga.Library.xc3000));
+  match Kway.partition ~options:small_options ~library:Fpga.Library.xc3000 h with
+  | Error e -> Alcotest.fail e
+  | Ok r -> (
+      checkb "k >= 2" true (r.Kway.summary.Fpga.Cost.num_partitions >= 2);
+      match Kway.check h r with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("unsound partition: " ^ e))
+
+let test_kway_with_replication () =
+  let h = mapped_hypergraph (Netlist.Generator.multiplier ~bits:16 ()) in
+  let options = { small_options with replication = `Functional 0 } in
+  match Kway.partition ~options ~library:Fpga.Library.xc3000 h with
+  | Error e -> Alcotest.fail e
+  | Ok r -> (
+      match Kway.check h r with
+      | Ok () ->
+          checkb "replication within bounds" true
+            (r.Kway.replicated_cells >= 0
+            && r.Kway.replicated_cells <= r.Kway.total_cells)
+      | Error e -> Alcotest.fail ("unsound partition: " ^ e))
+
+let test_kway_deterministic () =
+  let h = mapped_hypergraph (Netlist.Generator.ecc ~data_bits:24 ()) in
+  let go () =
+    match Kway.partition ~options:small_options ~library:Fpga.Library.xc3000 h with
+    | Error e -> Alcotest.fail e
+    | Ok r ->
+        ( r.Kway.summary.Fpga.Cost.total_cost,
+          r.Kway.summary.Fpga.Cost.total_iobs,
+          r.Kway.summary.Fpga.Cost.num_partitions )
+  in
+  let a = go () and b = go () in
+  checkb "same options, same result" true (a = b)
+
+let test_kway_check_catches_corruption () =
+  let h = mapped_hypergraph (Netlist.Generator.c17 ()) in
+  match Kway.partition ~options:small_options ~library:Fpga.Library.xc3000 h with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      (* Drop a member: coverage must fail. *)
+      let broken =
+        match r.Kway.parts with
+        | p :: rest ->
+            { r with Kway.parts = { p with Kway.members = List.tl p.Kway.members } :: rest }
+        | [] -> r
+      in
+      checkb "detects missing output" true (Result.is_error (Kway.check h broken))
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "replication_potential",
+        [
+          Alcotest.test_case "Fig. 1 psi" `Quick test_psi_fig1;
+          Alcotest.test_case "Fig. 2 psi" `Quick test_psi_fig2;
+          Alcotest.test_case "single output" `Quick test_psi_single_output;
+          Alcotest.test_case "edge supports" `Quick test_psi_disjoint_and_identical;
+          Alcotest.test_case "distribution + r_T" `Quick test_distribution;
+          Alcotest.test_case "threshold gate" `Quick test_replicable_threshold;
+        ] );
+      ( "gain",
+        [
+          Alcotest.test_case "Fig. 4 golden gains" `Quick test_gain_fig4_golden;
+          Alcotest.test_case "threshold blocks replication" `Quick
+            test_gain_threshold_blocks;
+          qc qcheck_formula_matches_eval;
+          qc qcheck_functional_gain_positive_cases;
+          Alcotest.test_case "candidate operations" `Quick
+            test_best_mask_change_candidates;
+        ] );
+      ( "bucket",
+        [
+          Alcotest.test_case "basics" `Quick test_bucket_basics;
+          Alcotest.test_case "clamping" `Quick test_bucket_clamping;
+          Alcotest.test_case "errors" `Quick test_bucket_errors;
+        ] );
+      ( "fm",
+        [
+          Alcotest.test_case "improves within balance" `Quick
+            test_fm_improves_and_respects_balance;
+          Alcotest.test_case "replication beats moves on Fig. 4" `Quick
+            test_fm_replication_beats_plain_on_fig4;
+          Alcotest.test_case "threshold respected" `Quick
+            test_fm_replication_respects_threshold;
+          Alcotest.test_case "replication helps on clustered" `Quick
+            test_fm_replication_reduces_cut_on_clustered;
+          qc qcheck_fm_leaves_consistent_state;
+          Alcotest.test_case "staged never worse" `Quick test_fm_staged_never_worse;
+          Alcotest.test_case "traditional model weaker" `Quick
+            test_fm_traditional_model_weaker;
+          Alcotest.test_case "two-device refinement config" `Quick
+            test_two_device_config;
+        ] );
+      ( "coarsen",
+        [
+          Alcotest.test_case "structure" `Quick test_coarsen_structure;
+          Alcotest.test_case "pin budget" `Quick test_coarsen_respects_pin_budget;
+          Alcotest.test_case "multilevel init quality" `Quick
+            test_multilevel_init_quality;
+        ] );
+      ( "kway",
+        [
+          Alcotest.test_case "single device" `Quick test_kway_single_device;
+          Alcotest.test_case "multiple devices" `Quick test_kway_multi_device;
+          Alcotest.test_case "with replication" `Quick test_kway_with_replication;
+          Alcotest.test_case "deterministic" `Quick test_kway_deterministic;
+          Alcotest.test_case "check catches corruption" `Quick
+            test_kway_check_catches_corruption;
+          Alcotest.test_case "refinement not worse" `Quick
+            test_kway_refinement_not_worse;
+          Alcotest.test_case "alternative library" `Quick test_kway_xc4000;
+        ] );
+    ]

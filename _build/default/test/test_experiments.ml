@@ -1,0 +1,283 @@
+(* Tests for the experiment harness: the benchmark suite, per-table
+   runners (on reduced run counts), and the partition-expansion
+   verification — the end-to-end proof that partitioning with functional
+   replication preserves circuit function. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Suite                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_suite_shape () =
+  let entries = Experiments.Suite.all () in
+  checki "nine circuits" 9 (List.length entries);
+  let names = List.map (fun e -> e.Experiments.Suite.name) entries in
+  Alcotest.check
+    Alcotest.(list string)
+    "paper order"
+    [ "c1355"; "c5315"; "c6288"; "c7552"; "s5378"; "s9234"; "s13207";
+      "s15850"; "s38584" ]
+    names;
+  List.iter
+    (fun e ->
+      checkb "display marks substitution" true
+        (String.length e.Experiments.Suite.display > 0
+        && e.Experiments.Suite.display.[String.length e.Experiments.Suite.display - 1]
+           = '*'))
+    entries
+
+let test_suite_find () =
+  checkb "find known" true (Experiments.Suite.find "c6288" <> None);
+  checkb "find unknown" true (Experiments.Suite.find "c17" = None)
+
+let test_suite_memoised () =
+  match Experiments.Suite.find "c1355" with
+  | None -> Alcotest.fail "c1355 missing"
+  | Some e ->
+      let a = Lazy.force e.Experiments.Suite.hypergraph in
+      let b = Lazy.force e.Experiments.Suite.hypergraph in
+      checkb "lazy shares the hypergraph" true (a == b)
+
+let test_suite_sequential_flags () =
+  List.iter
+    (fun e ->
+      let c = Lazy.force e.Experiments.Suite.circuit in
+      let has_dff = Netlist.Circuit.num_dff c > 0 in
+      checkb
+        (e.Experiments.Suite.name ^ " sequential flag")
+        e.Experiments.Suite.sequential has_dff)
+    (Experiments.Suite.all ())
+
+(* Mapping of each suite entry is functionally sound. (The two largest
+   entries are exercised by the bench harness; re-simulating them here
+   would dominate the test suite's runtime.) *)
+let test_suite_mapping_equivalence () =
+  List.iter
+    (fun name ->
+      match Experiments.Suite.find name with
+      | None -> Alcotest.fail ("missing " ^ name)
+      | Some e ->
+          let c = Lazy.force e.Experiments.Suite.circuit in
+          let m = Lazy.force e.Experiments.Suite.mapped in
+          checkb (name ^ " mapped equivalently") true
+            (Techmap.Mapped.equivalent ~vectors:16 c m))
+    [ "c1355"; "c6288"; "s5378"; "s9234" ]
+
+(* ------------------------------------------------------------------ *)
+(* Table runners (reduced effort)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let small_entry () =
+  match Experiments.Suite.find "c1355" with
+  | Some e -> e
+  | None -> Alcotest.fail "c1355 missing"
+
+let mid_entry () =
+  match Experiments.Suite.find "s9234" with
+  | Some e -> e
+  | None -> Alcotest.fail "s9234 missing"
+
+let test_table2_row () =
+  let r = Experiments.Table2.run (small_entry ()) in
+  checkb "has CLBs" true (r.Experiments.Table2.clbs > 0);
+  (* IOBs = chip pads of the source circuit. *)
+  let c = Lazy.force (small_entry ()).Experiments.Suite.circuit in
+  checki "IOBs = PI + PO"
+    (Array.length c.Netlist.Circuit.inputs + Array.length c.Netlist.Circuit.outputs)
+    r.Experiments.Table2.iobs
+
+let test_fig3_row () =
+  let r = Experiments.Fig3.run (mid_entry ()) in
+  let total =
+    r.Experiments.Fig3.pct_single_output
+    +. r.Experiments.Fig3.pct_multi_psi0
+    +. List.fold_left (fun acc (_, v) -> acc +. v) 0.0 r.Experiments.Fig3.by_psi
+  in
+  checkb "percentages sum to 100" true (Float.abs (total -. 100.0) < 0.5);
+  (* The paper's qualitative claim: a substantial share of cells has
+     psi >= 1 after mapping. *)
+  let psi_ge_1 =
+    List.fold_left (fun acc (_, v) -> acc +. v) 0.0 r.Experiments.Fig3.by_psi
+  in
+  checkb "most replication potential exists" true (psi_ge_1 > 30.0)
+
+let test_table3_row () =
+  let r = Experiments.Table3.run ~runs:4 ~seed:3 (mid_entry ()) in
+  checkb "plain found cuts" true (r.Experiments.Table3.plain_best > 0);
+  checkb "replication never worse (staged)" true
+    (r.Experiments.Table3.repl_best <= r.Experiments.Table3.plain_best);
+  checkb "avg >= best" true
+    (r.Experiments.Table3.repl_avg >= float_of_int r.Experiments.Table3.repl_best);
+  (* On a clustered sequential circuit the reduction should be large; use
+     a conservative floor. *)
+  checkb "sequential circuits gain a lot" true
+    (r.Experiments.Table3.best_reduction > 20.0)
+
+let test_kway_campaign_row () =
+  let r =
+    Experiments.Kway_campaign.run ~runs:2 ~seed:2
+      ~settings:[ Experiments.Kway_campaign.Baseline; Experiments.Kway_campaign.Threshold 1 ]
+      (mid_entry ())
+  in
+  checki "two settings" 2 (List.length r.Experiments.Kway_campaign.results);
+  List.iter
+    (fun (_, o) ->
+      checkb "feasible" true o.Experiments.Kway_campaign.feasible;
+      checkb "cost positive" true (o.Experiments.Kway_campaign.cost > 0.0);
+      checkb "clb util sane" true
+        (o.Experiments.Kway_campaign.clb_util > 0.2
+        && o.Experiments.Kway_campaign.clb_util <= 1.0);
+      checkb "iob util sane" true
+        (o.Experiments.Kway_campaign.iob_util > 0.0
+        && o.Experiments.Kway_campaign.iob_util <= 1.0))
+    r.Experiments.Kway_campaign.results;
+  (* Replication relieves the interconnect: the paper's Table VII story. *)
+  let util s =
+    match List.assoc_opt s r.Experiments.Kway_campaign.results with
+    | Some o -> o.Experiments.Kway_campaign.iob_util
+    | None -> nan
+  in
+  checkb "IOB utilization reduced by replication" true
+    (util (Experiments.Kway_campaign.Threshold 1)
+    < util Experiments.Kway_campaign.Baseline)
+
+(* ------------------------------------------------------------------ *)
+(* Partition expansion (end-to-end functional soundness)              *)
+(* ------------------------------------------------------------------ *)
+
+let expand_roundtrip name circuit replication =
+  let m = Techmap.Mapper.map circuit in
+  let h = Techmap.Mapper.to_hypergraph m in
+  let options = { Core.Kway.default_options with runs = 2; replication } in
+  match Core.Kway.partition ~options ~library:Fpga.Library.xc3000 h with
+  | Error e -> Alcotest.fail (name ^ ": k-way failed: " ^ e)
+  | Ok r -> (
+      match Experiments.Expand.verify circuit m r with
+      | Ok () -> r
+      | Error e -> Alcotest.fail (name ^ ": " ^ e))
+
+let test_expand_combinational () =
+  (* Forces multiple devices and actual replication. *)
+  let c = Netlist.Generator.multiplier ~bits:16 () in
+  let r = expand_roundtrip "mult16" c (`Functional 0) in
+  checkb "replication actually happened" true (r.Core.Kway.replicated_cells > 0)
+
+let test_expand_sequential () =
+  let c =
+    Netlist.Generator.clustered
+      {
+        Netlist.Generator.default_clustered with
+        clusters = 10;
+        gates_per_cluster = 90;
+        dffs_per_cluster = 20;
+        seed = 21;
+      }
+  in
+  let r = expand_roundtrip "clustered" c (`Functional 1) in
+  checkb "multi-device" true (List.length r.Core.Kway.parts >= 2)
+
+let test_expand_no_replication () =
+  let c = Netlist.Generator.adder_comparator ~bits:48 () in
+  let r = expand_roundtrip "addcmp" c `None in
+  checki "no replicas in baseline" 0 r.Core.Kway.replicated_cells
+
+let test_expand_detects_missing_output () =
+  let c = Netlist.Generator.multiplier ~bits:16 () in
+  let m = Techmap.Mapper.map c in
+  let h = Techmap.Mapper.to_hypergraph m in
+  let options = { Core.Kway.default_options with runs = 1 } in
+  match Core.Kway.partition ~options ~library:Fpga.Library.xc3000 h with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      let broken =
+        match r.Core.Kway.parts with
+        | p :: rest ->
+            {
+              r with
+              Core.Kway.parts =
+                { p with Core.Kway.members = List.tl p.Core.Kway.members }
+                :: rest;
+            }
+        | [] -> r
+      in
+      checkb "verify rejects uncovered output" true
+        (Result.is_error (Experiments.Expand.verify c m broken))
+
+(* ------------------------------------------------------------------ *)
+(* Timing evaluation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_timing_eval () =
+  match Experiments.Suite.find "s9234" with
+  | None -> Alcotest.fail "s9234 missing"
+  | Some entry -> (
+      match Experiments.Timing_eval.run ~runs:2 ~seed:4 entry with
+      | None -> Alcotest.fail "timing evaluation failed to partition"
+      | Some row ->
+          checkb "baseline delay positive" true
+            (row.Experiments.Timing_eval.baseline_delay > 0.0);
+          checkb "replication delay positive" true
+            (row.Experiments.Timing_eval.repl_delay > 0.0);
+          (* Replication cannot make the interconnect-dominated critical
+             path dramatically worse; allow slack for heuristic noise. *)
+          checkb "replication roughly as fast or faster" true
+            (row.Experiments.Timing_eval.repl_delay
+            <= 1.15 *. row.Experiments.Timing_eval.baseline_delay))
+
+let test_crossing_nets_matches_iobs () =
+  (* Every net flagged crossing either reaches a pad or touches >= 2
+     parts; pads are always crossing. *)
+  let c = Netlist.Generator.multiplier ~bits:16 () in
+  let m = Techmap.Mapper.map c in
+  let h = Techmap.Mapper.to_hypergraph m in
+  let options = { Core.Kway.default_options with runs = 1 } in
+  match Core.Kway.partition ~options ~library:Fpga.Library.xc3000 h with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      let crossing = Experiments.Timing_eval.crossing_nets h r in
+      Array.iteri
+        (fun n ext -> if ext then checkb "pads cross" true crossing.(n))
+        h.Hypergraph.net_external;
+      (* At least the recorded IOB sum's worth of crossing nets exist. *)
+      let n_crossing =
+        Array.fold_left (fun acc x -> if x then acc + 1 else acc) 0 crossing
+      in
+      checkb "some crossings" true (n_crossing > 0)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "suite",
+        [
+          Alcotest.test_case "shape" `Quick test_suite_shape;
+          Alcotest.test_case "find" `Quick test_suite_find;
+          Alcotest.test_case "memoised" `Quick test_suite_memoised;
+          Alcotest.test_case "sequential flags" `Quick test_suite_sequential_flags;
+          Alcotest.test_case "mapping equivalence" `Slow
+            test_suite_mapping_equivalence;
+        ] );
+      ( "tables",
+        [
+          Alcotest.test_case "table2 row" `Quick test_table2_row;
+          Alcotest.test_case "fig3 row" `Quick test_fig3_row;
+          Alcotest.test_case "table3 row" `Slow test_table3_row;
+          Alcotest.test_case "k-way campaign row" `Slow test_kway_campaign_row;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "timing evaluation" `Slow test_timing_eval;
+          Alcotest.test_case "crossing nets" `Slow test_crossing_nets_matches_iobs;
+        ] );
+      ( "expand",
+        [
+          Alcotest.test_case "combinational with replication" `Slow
+            test_expand_combinational;
+          Alcotest.test_case "sequential with replication" `Slow
+            test_expand_sequential;
+          Alcotest.test_case "baseline" `Slow test_expand_no_replication;
+          Alcotest.test_case "detects uncovered outputs" `Quick
+            test_expand_detects_missing_output;
+        ] );
+    ]

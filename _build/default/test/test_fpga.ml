@@ -1,0 +1,167 @@
+(* Tests for the device library and the paper's cost model (eq. 1, eq. 2). *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+open Fpga
+
+let sample = Device.make ~name:"D" ~capacity:100 ~terminals:50 ~price:120.0
+    ~util_low:0.5 ~util_high:0.9 ()
+
+let test_device_bounds () =
+  checki "min_clbs" 50 (Device.min_clbs sample);
+  checki "max_clbs" 90 (Device.max_clbs sample);
+  checkf "price per clb" 1.2 (Device.price_per_clb sample);
+  checkf "clb util" 0.75 (Device.clb_utilization sample ~clbs:75);
+  checkf "iob util" 0.5 (Device.iob_utilization sample ~iobs:25)
+
+let test_device_fits () =
+  checkb "in window" true (Device.fits sample ~clbs:70 ~iobs:30);
+  checkb "below low" false (Device.fits sample ~clbs:40 ~iobs:30);
+  checkb "below low relaxed" true (Device.fits ~relax_low:true sample ~clbs:40 ~iobs:30);
+  checkb "above high" false (Device.fits sample ~clbs:95 ~iobs:30);
+  checkb "too many terminals" false (Device.fits sample ~clbs:70 ~iobs:51);
+  checkb "zero clbs never fits" false (Device.fits ~relax_low:true sample ~clbs:0 ~iobs:0)
+
+let test_device_rejects_bad () =
+  let reject f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected rejection"
+  in
+  reject (fun () -> Device.make ~name:"x" ~capacity:0 ~terminals:1 ~price:1.0 ());
+  reject (fun () -> Device.make ~name:"x" ~capacity:1 ~terminals:0 ~price:1.0 ());
+  reject (fun () -> Device.make ~name:"x" ~capacity:1 ~terminals:1 ~price:0.0 ());
+  reject (fun () ->
+      Device.make ~name:"x" ~capacity:1 ~terminals:1 ~price:1.0 ~util_low:0.9
+        ~util_high:0.5 ())
+
+let test_xc3000_table1 () =
+  (* The real XC3000 capacities and terminal counts of Table I. *)
+  let expect = [ ("XC3020", 64, 64); ("XC3030", 100, 80); ("XC3042", 144, 96);
+                 ("XC3064", 224, 120); ("XC3090", 320, 144) ] in
+  List.iter
+    (fun (name, cap, term) ->
+      match Library.find Library.xc3000 name with
+      | None -> Alcotest.fail ("missing device " ^ name)
+      | Some d ->
+          checki (name ^ " capacity") cap d.Device.capacity;
+          checki (name ^ " terminals") term d.Device.terminals)
+    expect;
+  (* The reconstructed price curve must make bigger devices cheaper per
+     CLB (the economics the paper's cost/interconnect tension relies on). *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        checkb "price/CLB decreasing with size" true
+          (Device.price_per_clb b < Device.price_per_clb a);
+        monotone rest
+    | _ -> ()
+  in
+  monotone (Library.devices Library.xc3000)
+
+let test_library_lookup () =
+  checkb "find missing" true (Library.find Library.xc3000 "XC9999" = None);
+  let l = Library.largest Library.xc3000 in
+  Alcotest.check Alcotest.string "largest" "XC3090" l.Device.name;
+  (match Library.by_efficiency Library.xc3000 with
+  | first :: _ -> Alcotest.check Alcotest.string "most efficient" "XC3090" first.Device.name
+  | [] -> Alcotest.fail "empty library");
+  (match Library.smallest_fitting Library.xc3000 ~clbs:60 ~iobs:60 with
+  | Some d -> Alcotest.check Alcotest.string "smallest fitting" "XC3020" d.Device.name
+  | None -> Alcotest.fail "expected a fit");
+  (* 60 CLBs but 70 terminals: XC3020 runs out of IOBs. *)
+  (match Library.smallest_fitting ~relax_low:true Library.xc3000 ~clbs:60 ~iobs:70 with
+  | Some d -> Alcotest.check Alcotest.string "terminal driven" "XC3030" d.Device.name
+  | None -> Alcotest.fail "expected a fit");
+  (match Library.smallest_fitting Library.xc3000 ~clbs:1000 ~iobs:10 with
+  | Some _ -> Alcotest.fail "nothing should fit 1000 CLBs"
+  | None -> ())
+
+let test_library_rejects_bad () =
+  (match Library.make [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty library accepted");
+  match
+    Library.make [ sample; Device.make ~name:"D" ~capacity:10 ~terminals:10 ~price:1.0 () ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate names accepted"
+
+let test_cost_eq1_eq2 () =
+  let d1 = Device.make ~name:"A" ~capacity:100 ~terminals:50 ~price:100.0 () in
+  let d2 = Device.make ~name:"B" ~capacity:200 ~terminals:80 ~price:150.0 () in
+  let placements =
+    [
+      { Cost.device = d1; clbs = 80; iobs = 25 };
+      { Cost.device = d1; clbs = 60; iobs = 40 };
+      { Cost.device = d2; clbs = 150; iobs = 65 };
+    ]
+  in
+  let s = Cost.summarize placements in
+  checki "k" 3 s.Cost.num_partitions;
+  checkf "eq. 1 total cost" 350.0 s.Cost.total_cost;
+  (* eq. 2: (25+40+65) / (50+50+80) = 130/180 *)
+  checkf "eq. 2 avg IOB util" (130.0 /. 180.0) s.Cost.avg_iob_utilization;
+  checkf "avg CLB util" (290.0 /. 400.0) s.Cost.avg_clb_utilization;
+  Alcotest.check
+    Alcotest.(list (pair string int))
+    "device counts" [ ("A", 2); ("B", 1) ] s.Cost.device_counts
+
+let test_cost_feasibility () =
+  let p_ok = { Cost.device = sample; clbs = 70; iobs = 30 } in
+  let p_low = { Cost.device = sample; clbs = 30; iobs = 30 } in
+  checkb "feasible" true (Cost.placement_feasible p_ok);
+  checkb "below window" false (Cost.placement_feasible p_low);
+  checkb "all feasible" true (Cost.all_feasible [ p_ok; p_ok ]);
+  checkb "relax last only" true
+    (Cost.all_feasible ~relax_low_last:true [ p_ok; p_low ]);
+  checkb "relax last does not cover first" false
+    (Cost.all_feasible ~relax_low_last:true [ p_low; p_ok ])
+
+let test_xc4000 () =
+  let l = Library.xc4000 in
+  checki "five members" 5 (List.length (Library.devices l));
+  (match Library.largest l with
+  | d ->
+      Alcotest.check Alcotest.string "largest" "XC4013" d.Device.name;
+      checki "capacity" 576 d.Device.capacity);
+  (* Same economics as the paper's family: bigger devices cheaper per CLB. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        checkb "price/CLB decreasing" true
+          (Device.price_per_clb b < Device.price_per_clb a);
+        monotone rest
+    | _ -> ()
+  in
+  monotone (Library.devices l)
+
+let test_min_feasible_cost () =
+  (* 400 CLBs at the XC3090 rate (435/320) = 543.75; never below the
+     cheapest single device. *)
+  checkf "fractional bound" 543.75 (Library.min_feasible_cost Library.xc3000 ~clbs:400);
+  checkf "floor at cheapest device" 100.0 (Library.min_feasible_cost Library.xc3000 ~clbs:1)
+
+let () =
+  Alcotest.run "fpga"
+    [
+      ( "device",
+        [
+          Alcotest.test_case "utilization window" `Quick test_device_bounds;
+          Alcotest.test_case "fits" `Quick test_device_fits;
+          Alcotest.test_case "rejects malformed" `Quick test_device_rejects_bad;
+        ] );
+      ( "library",
+        [
+          Alcotest.test_case "Table I data" `Quick test_xc3000_table1;
+          Alcotest.test_case "lookup and ordering" `Quick test_library_lookup;
+          Alcotest.test_case "rejects malformed" `Quick test_library_rejects_bad;
+          Alcotest.test_case "xc4000 family" `Quick test_xc4000;
+          Alcotest.test_case "fractional lower bound" `Quick test_min_feasible_cost;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "eq. 1 and eq. 2" `Quick test_cost_eq1_eq2;
+          Alcotest.test_case "feasibility" `Quick test_cost_feasibility;
+        ] );
+    ]

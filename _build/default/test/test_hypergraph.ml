@@ -1,0 +1,485 @@
+(* Tests for the hypergraph substrate: bit vectors, hypergraph construction
+   and induction, and the replication-aware partition state. *)
+
+let check = Alcotest.check
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Bitvec                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitvec_basics () =
+  checki "full 3" 0b111 (Bitvec.full 3);
+  checki "full 0" 0 (Bitvec.full 0);
+  checkb "mem" true (Bitvec.mem 1 0b010);
+  checkb "not mem" false (Bitvec.mem 0 0b010);
+  checki "add" 0b011 (Bitvec.add 0 0b010);
+  checki "remove" 0b010 (Bitvec.remove 0 0b011);
+  checki "union" 0b111 (Bitvec.union 0b101 0b010);
+  checki "inter" 0b100 (Bitvec.inter 0b101 0b110);
+  checki "diff" 0b001 (Bitvec.diff 0b101 0b100);
+  checki "complement" 0b010 (Bitvec.complement 3 0b101);
+  checki "norm" 2 (Bitvec.norm 0b101);
+  checki "norm big" 62 (Bitvec.norm (Bitvec.full 62));
+  checkb "subset" true (Bitvec.subset 0b100 0b101);
+  checkb "not subset" false (Bitvec.subset 0b011 0b101)
+
+let test_bitvec_iter_order () =
+  let acc = ref [] in
+  Bitvec.iter (fun i -> acc := i :: !acc) 0b10110;
+  check Alcotest.(list int) "ascending" [ 1; 2; 4 ] (List.rev !acc);
+  check Alcotest.(list int) "to_list" [ 1; 2; 4 ] (Bitvec.to_list 0b10110);
+  checki "of_list" 0b10110 (Bitvec.of_list [ 4; 1; 2 ])
+
+let test_bitvec_paper_example () =
+  (* Fig. 2 of the paper: A_X1 = [1 1 1 1 0], A_X2 = [0 0 0 1 1].
+     psi = |~A_X2 & A_X1| + |~A_X1 & A_X2| = 3 + 1 = 4. *)
+  let a_x1 = Bitvec.of_list [ 0; 1; 2; 3 ] in
+  let a_x2 = Bitvec.of_list [ 3; 4 ] in
+  let w = 5 in
+  let only1 = Bitvec.inter a_x1 (Bitvec.complement w a_x2) in
+  let only2 = Bitvec.inter a_x2 (Bitvec.complement w a_x1) in
+  checki "psi of Fig. 2" 4 (Bitvec.norm only1 + Bitvec.norm only2)
+
+let qcheck_bitvec_complement_involution =
+  QCheck.Test.make ~name:"complement is an involution" ~count:500
+    QCheck.(pair (int_range 0 20) (int_bound ((1 lsl 20) - 1)))
+    (fun (w, raw) ->
+      let v = Bitvec.inter raw (Bitvec.full w) in
+      Bitvec.equal v (Bitvec.complement w (Bitvec.complement w v)))
+
+let qcheck_bitvec_norm_additive =
+  QCheck.Test.make ~name:"norm additive over disjoint union" ~count:500
+    QCheck.(pair (int_bound ((1 lsl 16) - 1)) (int_bound ((1 lsl 16) - 1)))
+    (fun (a, b) ->
+      let b = Bitvec.diff b a in
+      Bitvec.norm (Bitvec.union a b) = Bitvec.norm a + Bitvec.norm b)
+
+(* ------------------------------------------------------------------ *)
+(* Hypergraph fixtures                                                *)
+(* ------------------------------------------------------------------ *)
+
+let spec ?(area = 1) name inputs outputs supports =
+  {
+    Hypergraph.s_name = name;
+    s_area = area;
+    s_inputs = Array.of_list inputs;
+    s_outputs = Array.of_list outputs;
+    s_supports = Array.of_list supports;
+  }
+
+(* The two-output cell of Fig. 1: inputs a b c (nets 0 1 2), outputs X Y
+   (nets 3 4); X depends on {a,b}, Y on {b,c}. Plus consumer cells so nets
+   are driven/read meaningfully. *)
+let fig1_hypergraph () =
+  (* nets: 0=a 1=b 2=c 3=X 4=Y 5=z1 6=z2 *)
+  Hypergraph.create ~num_nets:7
+    ~external_nets:[ 0; 1; 2 ]
+    [
+      spec "M" [ 0; 1; 2 ] [ 3; 4 ]
+        [ Bitvec.of_list [ 0; 1 ]; Bitvec.of_list [ 1; 2 ] ];
+      spec "SX" [ 3 ] [ 5 ] [ Bitvec.of_list [ 0 ] ];
+      spec "SY" [ 4 ] [ 6 ] [ Bitvec.of_list [ 0 ] ];
+    ]
+
+let test_hypergraph_create () =
+  let h = fig1_hypergraph () in
+  checki "cells" 3 (Hypergraph.num_cells h);
+  checki "area" 3 (Hypergraph.total_area h);
+  checki "pins" 9 (Hypergraph.pins h);
+  checkb "valid" true (Result.is_ok (Hypergraph.validate h));
+  check Alcotest.(array int) "net_cells of b" [| 0 |] h.Hypergraph.net_cells.(1);
+  check Alcotest.(array int) "net_cells of X" [| 0; 1 |] h.Hypergraph.net_cells.(3)
+
+let test_hypergraph_connected_nets () =
+  let h = fig1_hypergraph () in
+  let m = Hypergraph.cell h 0 in
+  check Alcotest.(array int) "full copy" [| 0; 1; 2; 3; 4 |]
+    (Hypergraph.connected_nets m ~out_mask:0b11);
+  check Alcotest.(array int) "X only: a b X" [| 0; 1; 3 |]
+    (Hypergraph.connected_nets m ~out_mask:0b01);
+  check Alcotest.(array int) "Y only: b c Y" [| 1; 2; 4 |]
+    (Hypergraph.connected_nets m ~out_mask:0b10);
+  check Alcotest.(array int) "no outputs" [||]
+    (Hypergraph.connected_nets m ~out_mask:0)
+
+let test_hypergraph_rejects_bad () =
+  let reject name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected rejection")
+  in
+  reject "two drivers" (fun () ->
+      Hypergraph.create ~num_nets:2 ~external_nets:[ 0 ]
+        [
+          spec "a" [ 0 ] [ 1 ] [ Bitvec.of_list [ 0 ] ];
+          spec "b" [ 0 ] [ 1 ] [ Bitvec.of_list [ 0 ] ];
+        ]);
+  reject "driverless non-external" (fun () ->
+      Hypergraph.create ~num_nets:2 ~external_nets:[]
+        [ spec "a" [ 0 ] [ 1 ] [ Bitvec.of_list [ 0 ] ] ]);
+  reject "unused input pin" (fun () ->
+      Hypergraph.create ~num_nets:3 ~external_nets:[ 0; 1 ]
+        [ spec "a" [ 0; 1 ] [ 2 ] [ Bitvec.of_list [ 0 ] ] ]);
+  reject "support out of range" (fun () ->
+      Hypergraph.create ~num_nets:2 ~external_nets:[ 0 ]
+        [ spec "a" [ 0 ] [ 1 ] [ Bitvec.of_list [ 1 ] ] ]);
+  reject "no outputs" (fun () ->
+      Hypergraph.create ~num_nets:1 ~external_nets:[ 0 ]
+        [ spec "a" [ 0 ] [] [] ])
+
+let test_hypergraph_induce () =
+  let h = fig1_hypergraph () in
+  (* Keep only the consumer of X. *)
+  let keep = [| false; true; false |] in
+  let h', back = Hypergraph.induce h ~keep in
+  checki "one cell" 1 (Hypergraph.num_cells h');
+  check Alcotest.(array int) "mapping" [| 1 |] back;
+  (* Its nets: X (external now: driver dropped) and z1 (not read: but z1 was
+     never read by anyone, so it only touches the kept cell). *)
+  checki "nets" 2 h'.Hypergraph.num_nets;
+  checkb "X external" true h'.Hypergraph.net_external.(0);
+  checkb "valid" true (Result.is_ok (Hypergraph.validate h'))
+
+let test_hypergraph_induce_partial_copy () =
+  let h = fig1_hypergraph () in
+  (* Keep a partial copy of M carrying only output Y, plus SY. *)
+  let h', _ = Hypergraph.induce_copies h [ (0, 0b10); (2, 0b1) ] in
+  checki "cells" 2 (Hypergraph.num_cells h');
+  let m = Hypergraph.cell h' 0 in
+  checki "partial copy inputs" 2 (Array.length m.Hypergraph.inputs);
+  checki "partial copy outputs" 1 (Array.length m.Hypergraph.outputs);
+  checkb "valid" true (Result.is_ok (Hypergraph.validate h'));
+  (* b and c feed it and are external; Y is internal (driver + reader kept,
+     no dropped incidence). *)
+  let ext_count =
+    Array.fold_left (fun acc e -> if e then acc + 1 else acc) 0
+      h'.Hypergraph.net_external
+  in
+  checki "externals" 2 ext_count
+
+(* ------------------------------------------------------------------ *)
+(* Partition state                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A deterministic random hypergraph for property tests: [n_cells] cells,
+   each with 1-3 outputs and 1-4 inputs drawn from earlier nets. *)
+let random_hypergraph seed n_cells =
+  let rng = Netlist.Rng.create seed in
+  let next_net = ref 0 in
+  let fresh_net () =
+    let n = !next_net in
+    incr next_net;
+    n
+  in
+  (* Seed nets playing the role of chip inputs. *)
+  let n_primary = 4 + Netlist.Rng.int rng 4 in
+  let primary = List.init n_primary (fun _ -> fresh_net ()) in
+  let available = ref (Array.of_list primary) in
+  let specs = ref [] in
+  for k = 0 to n_cells - 1 do
+    let n_out = 1 + Netlist.Rng.int rng 3 in
+    let n_in = 1 + Netlist.Rng.int rng 4 in
+    let inputs =
+      Array.init n_in (fun _ -> Netlist.Rng.pick rng !available)
+    in
+    let outputs = Array.init n_out (fun _ -> fresh_net ()) in
+    (* Random supports covering all input pins. *)
+    let supports =
+      Array.init n_out (fun _ ->
+          let m = ref Bitvec.empty in
+          for i = 0 to n_in - 1 do
+            if Netlist.Rng.bool rng then m := Bitvec.add i !m
+          done;
+          !m)
+    in
+    (* Ensure every output depends on something and every pin is used. *)
+    for o = 0 to n_out - 1 do
+      if Bitvec.is_empty supports.(o) then
+        supports.(o) <- Bitvec.singleton (Netlist.Rng.int rng n_in)
+    done;
+    for i = 0 to n_in - 1 do
+      if not (Array.exists (fun s -> Bitvec.mem i s) supports) then begin
+        let o = Netlist.Rng.int rng n_out in
+        supports.(o) <- Bitvec.add i supports.(o)
+      end
+    done;
+    specs :=
+      spec (Printf.sprintf "c%d" k) (Array.to_list inputs)
+        (Array.to_list outputs) (Array.to_list supports)
+      :: !specs;
+    available := Array.append !available outputs
+  done;
+  Hypergraph.create ~num_nets:!next_net ~external_nets:primary
+    (List.rev !specs)
+
+let random_mask rng full =
+  (* Any subset of the full mask. *)
+  Bitvec.fold
+    (fun i acc -> if Netlist.Rng.bool rng then Bitvec.add i acc else acc)
+    full Bitvec.empty
+
+let qcheck_state_consistency =
+  QCheck.Test.make ~name:"incremental counters match recompute" ~count:60
+    QCheck.(pair small_int (int_range 3 25))
+    (fun (seed, n_cells) ->
+      let h = random_hypergraph seed n_cells in
+      let rng = Netlist.Rng.create (seed + 1000) in
+      let st =
+        Partition_state.create h ~init_on_b:(fun _ -> Netlist.Rng.bool rng)
+      in
+      let steps = 40 in
+      let ok = ref (Result.is_ok (Partition_state.check_consistency st)) in
+      for _ = 1 to steps do
+        let c = Netlist.Rng.int rng (Hypergraph.num_cells h) in
+        let m = random_mask rng (Partition_state.full_mask st c) in
+        ignore (Partition_state.apply st c m);
+        if not (Result.is_ok (Partition_state.check_consistency st)) then
+          ok := false
+      done;
+      !ok)
+
+let qcheck_eval_predicts_apply =
+  QCheck.Test.make ~name:"eval = apply delta, and counters shift by it"
+    ~count:60
+    QCheck.(pair small_int (int_range 3 25))
+    (fun (seed, n_cells) ->
+      let h = random_hypergraph seed n_cells in
+      let rng = Netlist.Rng.create (seed + 2000) in
+      let st = Partition_state.create h ~init_on_b:(fun c -> c mod 2 = 0) in
+      let ok = ref true in
+      for _ = 1 to 30 do
+        let c = Netlist.Rng.int rng (Hypergraph.num_cells h) in
+        let m = random_mask rng (Partition_state.full_mask st c) in
+        let predicted = Partition_state.eval st c m in
+        let cut0 = Partition_state.cut st in
+        let ta0 = Partition_state.terminals st Partition_state.A in
+        let tb0 = Partition_state.terminals st Partition_state.B in
+        let aa0 = Partition_state.area st Partition_state.A in
+        let ab0 = Partition_state.area st Partition_state.B in
+        let actual = Partition_state.apply st c m in
+        if predicted <> actual then ok := false;
+        if Partition_state.cut st <> cut0 + predicted.Partition_state.d_cut then
+          ok := false;
+        if
+          Partition_state.terminals st Partition_state.A
+          <> ta0 + predicted.Partition_state.d_term_a
+        then ok := false;
+        if
+          Partition_state.terminals st Partition_state.B
+          <> tb0 + predicted.Partition_state.d_term_b
+        then ok := false;
+        if
+          Partition_state.area st Partition_state.A
+          <> aa0 + predicted.Partition_state.d_area_a
+        then ok := false;
+        if
+          Partition_state.area st Partition_state.B
+          <> ab0 + predicted.Partition_state.d_area_b
+        then ok := false
+      done;
+      !ok)
+
+let qcheck_apply_involution =
+  QCheck.Test.make ~name:"applying a mask then the old mask restores counters"
+    ~count:60
+    QCheck.(pair small_int (int_range 3 20))
+    (fun (seed, n_cells) ->
+      let h = random_hypergraph seed n_cells in
+      let rng = Netlist.Rng.create (seed + 3000) in
+      let st = Partition_state.create h ~init_on_b:(fun _ -> false) in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let c = Netlist.Rng.int rng (Hypergraph.num_cells h) in
+        let old_mask = Partition_state.mask st c in
+        let m = random_mask rng (Partition_state.full_mask st c) in
+        let cut0 = Partition_state.cut st in
+        ignore (Partition_state.apply st c m);
+        ignore (Partition_state.apply st c old_mask);
+        if Partition_state.cut st <> cut0 then ok := false;
+        if not (Bitvec.equal (Partition_state.mask st c) old_mask) then
+          ok := false
+      done;
+      !ok)
+
+(* Reconstruction of the paper's Fig. 4 worked example. The cell M has five
+   inputs i1..i5 and two outputs X1, X2 with A_X1 = {i1,i3,i4,i5} and
+   A_X2 = {i2}. i1 and i2 are driven from side B (cut, critical); i3..i5
+   are driven on side A (uncut, critical); X1 is read on A (uncut,
+   critical); X2 is read on B (cut, critical). The paper's numbers: initial
+   cut 3; single move gain -1 (cut 4); functional replication gain +2
+   (cut 1). *)
+let fig4_hypergraph () =
+  (* nets: 0..4 = i1..i5, 5 = X1, 6 = X2, 7..8 = reader outputs *)
+  let no_input_cell name out = spec name [] [ out ] [ Bitvec.empty ] in
+  Hypergraph.create ~num_nets:9 ~external_nets:[ 7; 8 ]
+    [
+      spec "M" [ 0; 1; 2; 3; 4 ] [ 5; 6 ]
+        [ Bitvec.of_list [ 0; 2; 3; 4 ]; Bitvec.of_list [ 1 ] ];
+      (* cell 0 *)
+      no_input_cell "D1" 0;
+      (* cell 1, side B *)
+      no_input_cell "D2" 1;
+      (* cell 2, side B *)
+      no_input_cell "D3" 2;
+      (* cell 3, side A *)
+      no_input_cell "D4" 3;
+      (* cell 4, side A *)
+      no_input_cell "D5" 4;
+      (* cell 5, side A *)
+      spec "RX1" [ 5 ] [ 7 ] [ Bitvec.of_list [ 0 ] ];
+      (* cell 6, side A *)
+      spec "RX2" [ 6 ] [ 8 ] [ Bitvec.of_list [ 0 ] ];
+      (* cell 7, side B *)
+    ]
+
+let fig4_state () =
+  let h = fig4_hypergraph () in
+  let on_b = function 1 | 2 | 7 -> true | _ -> false in
+  (h, Partition_state.create h ~init_on_b:on_b)
+
+let test_state_fig4_initial_cut () =
+  let _, st = fig4_state () in
+  checki "initial cut is 3 (i1, i2, X2)" 3 (Partition_state.cut st)
+
+let test_state_fig4_single_move () =
+  (* Fig. 4, option 1: moving M to B raises the cut to 4 (gain -1). *)
+  let _, st = fig4_state () in
+  let d = Partition_state.eval st 0 (Partition_state.full_mask st 0) in
+  checki "single-move gain = -1" 1 d.Partition_state.d_cut;
+  ignore (Partition_state.apply st 0 (Partition_state.full_mask st 0));
+  checki "cut becomes 4" 4 (Partition_state.cut st)
+
+let test_state_fig4_functional_replication () =
+  (* Fig. 4, option 3: replicate M with output X2 (index 1) migrating to B.
+     The replica reads only i2 (= A_X2); nets X2 and i2 both leave the cut:
+     gain +2, cut 3 -> 1. *)
+  let _, st = fig4_state () in
+  let d = Partition_state.eval st 0 (Bitvec.singleton 1) in
+  checki "functional replication gain = +2" (-2) d.Partition_state.d_cut;
+  ignore (Partition_state.apply st 0 (Bitvec.singleton 1));
+  checki "cut becomes 1" 1 (Partition_state.cut st);
+  checkb "M replicated" true (Partition_state.is_replicated st 0);
+  checki "one replicated cell" 1 (Partition_state.num_replicated st);
+  (* Migrating the other output instead is a bad idea: the replica would
+     need i1, i3, i4, i5 on B and X1 becomes cut. *)
+  let st2 = snd (fig4_state ()) in
+  let d2 = Partition_state.eval st2 0 (Bitvec.singleton 0) in
+  checki "migrating X1 instead loses 3" 3 d2.Partition_state.d_cut
+
+let test_state_fig4_unreplication () =
+  let _, st = fig4_state () in
+  ignore (Partition_state.apply st 0 (Bitvec.singleton 1));
+  let cut_replicated = Partition_state.cut st in
+  (* Merging the copies back onto side A restores the initial situation. *)
+  ignore (Partition_state.apply st 0 Bitvec.empty);
+  checkb "unreplicated" false (Partition_state.is_replicated st 0);
+  checki "cut restored" 3 (Partition_state.cut st);
+  checkb "replication had helped" true (cut_replicated < 3)
+
+let test_state_areas_and_replication () =
+  let _, st = fig4_state () in
+  checki "area A: M + D3 D4 D5 + RX1" 5 (Partition_state.area st Partition_state.A);
+  checki "area B: D1 D2 RX2" 3 (Partition_state.area st Partition_state.B);
+  ignore (Partition_state.apply st 0 (Bitvec.singleton 1));
+  (* Replication pays one extra CLB on side B. *)
+  checki "area A unchanged" 5 (Partition_state.area st Partition_state.A);
+  checki "area B + 1" 4 (Partition_state.area st Partition_state.B)
+
+let test_state_terminals () =
+  let h = fig1_hypergraph () in
+  (* All on A: terminals of A = external nets touching A = a, b, c. *)
+  let st = Partition_state.create h ~init_on_b:(fun _ -> false) in
+  checki "term A" 3 (Partition_state.terminals st Partition_state.A);
+  checki "term B" 0 (Partition_state.terminals st Partition_state.B);
+  (* Move SY to B: net Y crosses (term on both), B gains terminal Y. *)
+  ignore (Partition_state.apply st 2 (Bitvec.full 1));
+  checki "term A after" 4 (Partition_state.terminals st Partition_state.A);
+  checki "term B after" 1 (Partition_state.terminals st Partition_state.B)
+
+let test_side_copies () =
+  let h = fig1_hypergraph () in
+  let st = Partition_state.create h ~init_on_b:(fun c -> c = 2) in
+  ignore (Partition_state.apply st 0 (Bitvec.singleton 1));
+  let copies_a = Partition_state.side_copies st Partition_state.A in
+  let copies_b = Partition_state.side_copies st Partition_state.B in
+  check
+    Alcotest.(list (pair int int))
+    "A holds M(X) and SX" [ (0, 0b01); (1, 0b1) ] copies_a;
+  check
+    Alcotest.(list (pair int int))
+    "B holds M(Y) and SY" [ (0, 0b10); (2, 0b1) ] copies_b
+
+let qcheck_induction_matches_terminals =
+  (* The invariant the k-way driver rests on: inducing one side's copies
+     yields a sub-hypergraph whose external-net count equals that side's
+     terminal count in the bipartition state. *)
+  QCheck.Test.make ~name:"induced externality = side terminal count" ~count:40
+    QCheck.(pair small_int (int_range 4 20))
+    (fun (seed, n_cells) ->
+      let h = Test_util.random_hypergraph seed n_cells in
+      let rng = Netlist.Rng.create (seed + 4000) in
+      let st = Partition_state.create h ~init_on_b:(fun _ -> Netlist.Rng.bool rng) in
+      (* Random replication too. *)
+      for _ = 1 to 15 do
+        let c = Netlist.Rng.int rng (Hypergraph.num_cells h) in
+        let m = Test_util.random_mask rng (Partition_state.full_mask st c) in
+        ignore (Partition_state.apply st c m)
+      done;
+      let check side =
+        match Partition_state.side_copies st side with
+        | [] -> true
+        | specs ->
+            let sub, _ = Hypergraph.induce_copies h specs in
+            let ext =
+              Array.fold_left
+                (fun acc e -> if e then acc + 1 else acc)
+                0 sub.Hypergraph.net_external
+            in
+            ext = Partition_state.terminals st side
+      in
+      check Partition_state.A && check Partition_state.B)
+
+let qc t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "hypergraph"
+    [
+      ( "bitvec",
+        [
+          Alcotest.test_case "basics" `Quick test_bitvec_basics;
+          Alcotest.test_case "iteration order" `Quick test_bitvec_iter_order;
+          Alcotest.test_case "paper Fig. 2 psi" `Quick test_bitvec_paper_example;
+          qc qcheck_bitvec_complement_involution;
+          qc qcheck_bitvec_norm_additive;
+        ] );
+      ( "hypergraph",
+        [
+          Alcotest.test_case "create + accessors" `Quick test_hypergraph_create;
+          Alcotest.test_case "connected nets of partial copies" `Quick
+            test_hypergraph_connected_nets;
+          Alcotest.test_case "rejects malformed" `Quick test_hypergraph_rejects_bad;
+          Alcotest.test_case "induce" `Quick test_hypergraph_induce;
+          Alcotest.test_case "induce partial copy" `Quick
+            test_hypergraph_induce_partial_copy;
+        ] );
+      ( "partition_state",
+        [
+          Alcotest.test_case "Fig. 4 initial cut" `Quick test_state_fig4_initial_cut;
+          Alcotest.test_case "Fig. 4 single move (gain -1)" `Quick
+            test_state_fig4_single_move;
+          Alcotest.test_case "Fig. 4 functional replication (gain +2)" `Quick
+            test_state_fig4_functional_replication;
+          Alcotest.test_case "Fig. 4 unreplication" `Quick
+            test_state_fig4_unreplication;
+          Alcotest.test_case "areas under replication" `Quick
+            test_state_areas_and_replication;
+          Alcotest.test_case "terminal counting" `Quick test_state_terminals;
+          Alcotest.test_case "side copies" `Quick test_side_copies;
+          qc qcheck_state_consistency;
+          qc qcheck_induction_matches_terminals;
+          qc qcheck_eval_predicts_apply;
+          qc qcheck_apply_involution;
+        ] );
+    ]

@@ -1,0 +1,980 @@
+(* Tests for the gate-level substrate: PRNG, growable arrays, gate algebra,
+   circuit IR, .bench format, simulation, and the circuit generators. *)
+
+open Netlist
+
+let check = Alcotest.check
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.next_int64 a) (Rng.next_int64 b)) then differs := true
+  done;
+  checkb "different seeds differ" true !differs
+
+let test_rng_copy () =
+  let a = Rng.create 7 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  checki "copy continues the stream" (Rng.int a 1000) (Rng.int b 1000)
+
+let test_rng_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 17 in
+    checkb "int in range" true (x >= 0 && x < 17);
+    let y = Rng.int_in rng 5 9 in
+    checkb "int_in in range" true (y >= 5 && y <= 9);
+    let f = Rng.float rng 2.5 in
+    checkb "float in range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_sample () =
+  let rng = Rng.create 11 in
+  let s = Rng.sample rng 10 20 in
+  checki "sample size" 10 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  for i = 1 to 9 do
+    checkb "distinct" true (sorted.(i) <> sorted.(i - 1))
+  done;
+  Array.iter (fun x -> checkb "in range" true (x >= 0 && x < 20)) s
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 5 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0));
+  Alcotest.check_raises "empty range" (Invalid_argument "Rng.int_in: empty range")
+    (fun () -> ignore (Rng.int_in rng 3 2));
+  Alcotest.check_raises "sample too big" (Invalid_argument "Rng.sample: n > bound")
+    (fun () -> ignore (Rng.sample rng 5 4))
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_vec_basic () =
+  let v = Vec.create () in
+  checki "empty" 0 (Vec.length v);
+  for i = 0 to 99 do
+    checki "push returns index" i (Vec.push v (i * 2))
+  done;
+  checki "length" 100 (Vec.length v);
+  checki "get" 84 (Vec.get v 42);
+  Vec.set v 42 (-1);
+  checki "set" (-1) (Vec.get v 42);
+  checki "fold" (Array.fold_left ( + ) 0 (Vec.to_array v))
+    (Vec.fold_left ( + ) 0 v)
+
+let test_vec_bounds () =
+  let v = Vec.of_array [| 1; 2; 3 |] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get: index out of bounds")
+    (fun () -> ignore (Vec.get v 3));
+  Alcotest.check_raises "get neg" (Invalid_argument "Vec.get: index out of bounds")
+    (fun () -> ignore (Vec.get v (-1)))
+
+let test_vec_iteri () =
+  let v = Vec.of_array [| 10; 20; 30 |] in
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  check Alcotest.(list (pair int int)) "iteri order" [ (0, 10); (1, 20); (2, 30) ]
+    (List.rev !acc)
+
+(* ------------------------------------------------------------------ *)
+(* Gate                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_gate_truth_tables () =
+  let t = true and f = false in
+  checkb "and" t (Gate.eval Gate.And [| t; t; t |]);
+  checkb "and f" f (Gate.eval Gate.And [| t; f; t |]);
+  checkb "nand" f (Gate.eval Gate.Nand [| t; t |]);
+  checkb "or" t (Gate.eval Gate.Or [| f; f; t |]);
+  checkb "nor" t (Gate.eval Gate.Nor [| f; f |]);
+  checkb "xor odd" t (Gate.eval Gate.Xor [| t; t; t |]);
+  checkb "xor even" f (Gate.eval Gate.Xor [| t; t |]);
+  checkb "xnor" t (Gate.eval Gate.Xnor [| t; t |]);
+  checkb "not" f (Gate.eval Gate.Not [| t |]);
+  checkb "buf" t (Gate.eval Gate.Buf [| t |]);
+  checkb "const0" f (Gate.eval Gate.Const0 [||]);
+  checkb "const1" t (Gate.eval Gate.Const1 [||])
+
+let test_gate_string_roundtrip () =
+  List.iter
+    (fun k ->
+      match Gate.of_string (Gate.to_string k) with
+      | Some k' -> checkb "roundtrip" true (Gate.equal k k')
+      | None -> Alcotest.fail "of_string failed")
+    [ Gate.Input; Gate.And; Gate.Nand; Gate.Or; Gate.Nor; Gate.Xor; Gate.Xnor;
+      Gate.Not; Gate.Buf; Gate.Dff; Gate.Const0; Gate.Const1 ]
+
+let test_gate_bad_arity () =
+  Alcotest.check_raises "not/2" (Invalid_argument "Gate.eval: bad arity for NOT")
+    (fun () -> ignore (Gate.eval Gate.Not [| true; false |]));
+  Alcotest.check_raises "input" (Invalid_argument "Gate.eval: not a combinational gate")
+    (fun () -> ignore (Gate.eval Gate.Input [||]))
+
+let qcheck_demorgan =
+  QCheck.Test.make ~name:"de morgan: NAND = OR of NOTs" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 6) bool)
+    (fun bits ->
+      let ins = Array.of_list bits in
+      let nand = Gate.eval Gate.Nand ins in
+      let or_of_nots = Gate.eval Gate.Or (Array.map not ins) in
+      nand = or_of_nots)
+
+let qcheck_xor_assoc =
+  QCheck.Test.make ~name:"xor = parity" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 8) bool)
+    (fun bits ->
+      let ins = Array.of_list bits in
+      Gate.eval Gate.Xor ins
+      = (List.length (List.filter Fun.id bits) mod 2 = 1))
+
+(* ------------------------------------------------------------------ *)
+(* Circuit                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_builder_basic () =
+  let b = Circuit.Builder.create ~name:"t" () in
+  let a = Circuit.Builder.input b "a" in
+  let c = Circuit.Builder.input b "c" in
+  let g = Circuit.Builder.gate b ~name:"g" Gate.And [ a; c ] in
+  Circuit.Builder.mark_output b g;
+  let circ = Circuit.Builder.finish b in
+  checki "nodes" 3 (Circuit.num_nodes circ);
+  checki "gates" 1 (Circuit.num_gates circ);
+  checki "dff" 0 (Circuit.num_dff circ);
+  checkb "validate" true (Result.is_ok (Circuit.validate circ));
+  checkb "is_output" true (Circuit.is_output circ g);
+  check Alcotest.(option int) "find" (Some g) (Circuit.find circ "g")
+
+let test_builder_duplicate_name () =
+  let b = Circuit.Builder.create () in
+  ignore (Circuit.Builder.input b "a");
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Circuit.Builder: duplicate signal name a") (fun () ->
+      ignore (Circuit.Builder.input b "a"))
+
+let test_builder_dff_feedback () =
+  (* q feeds the logic computing its own D: legal sequential feedback. *)
+  let b = Circuit.Builder.create () in
+  let a = Circuit.Builder.input b "a" in
+  let q = Circuit.Builder.dff_placeholder b "q" in
+  let d = Circuit.Builder.gate b Gate.Xor [ a; q ] in
+  Circuit.Builder.connect_dff b q d;
+  Circuit.Builder.mark_output b q;
+  let c = Circuit.Builder.finish b in
+  checkb "validate" true (Result.is_ok (Circuit.validate c));
+  checki "dff count" 1 (Circuit.num_dff c)
+
+let test_builder_unconnected_dff () =
+  let b = Circuit.Builder.create () in
+  ignore (Circuit.Builder.input b "a");
+  ignore (Circuit.Builder.dff_placeholder b "q");
+  Alcotest.check_raises "unconnected"
+    (Invalid_argument "Circuit.Builder.finish: flip-flop q never connected")
+    (fun () -> ignore (Circuit.Builder.finish b))
+
+let test_levels_and_depth () =
+  let b = Circuit.Builder.create () in
+  let a = Circuit.Builder.input b "a" in
+  let x = Circuit.Builder.gate b Gate.Not [ a ] in
+  let y = Circuit.Builder.gate b Gate.Not [ x ] in
+  let z = Circuit.Builder.gate b Gate.And [ a; y ] in
+  Circuit.Builder.mark_output b z;
+  let c = Circuit.Builder.finish b in
+  let lv = Circuit.levels c in
+  checki "input level" 0 lv.(a);
+  checki "not level" 1 lv.(x);
+  checki "depth" 3 (Circuit.depth c)
+
+let test_topological_order () =
+  let c = Generator.clustered Generator.default_clustered in
+  let order = Circuit.topological_order c in
+  checki "covers all nodes" (Circuit.num_nodes c) (Array.length order);
+  let pos = Array.make (Circuit.num_nodes c) (-1) in
+  Array.iteri (fun p i -> pos.(i) <- p) order;
+  (* Every combinational gate appears after its fanins. *)
+  for i = 0 to Circuit.num_nodes c - 1 do
+    let nd = Circuit.node c i in
+    match nd.Circuit.kind with
+    | Gate.Input | Gate.Dff -> ()
+    | _ ->
+        Array.iter
+          (fun f -> checkb "fanin precedes" true (pos.(f) < pos.(i)))
+          nd.Circuit.fanins
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Bench format                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_bench_parse_c17_text () =
+  let text =
+    "# c17\n\
+     INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\n\
+     OUTPUT(22)\nOUTPUT(23)\n\
+     10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n\
+     19 = NAND(11, 7)\n22 = NAND(10, 16)\n23 = NAND(16, 19)\n"
+  in
+  match Bench_format.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      checki "inputs" 5 (Array.length c.Circuit.inputs);
+      checki "outputs" 2 (Array.length c.Circuit.outputs);
+      checki "gates" 6 (Circuit.num_gates c)
+
+let test_bench_use_before_def () =
+  (* Signals may be referenced before their defining line. *)
+  let text = "INPUT(a)\nOUTPUT(z)\nz = NOT(y)\ny = NOT(a)\n" in
+  match Bench_format.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok c -> checki "gates" 2 (Circuit.num_gates c)
+
+let test_bench_sequential_feedback () =
+  let text = "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = XOR(a, q)\n" in
+  match Bench_format.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      checki "dffs" 1 (Circuit.num_dff c);
+      checkb "valid" true (Result.is_ok (Circuit.validate c))
+
+let test_bench_errors () =
+  let is_err s = Result.is_error (Bench_format.parse s) in
+  checkb "cycle" true (is_err "INPUT(a)\nx = NOT(y)\ny = NOT(x)\nOUTPUT(x)\n");
+  checkb "undefined" true (is_err "OUTPUT(z)\nz = NOT(ghost)\n");
+  checkb "dup" true (is_err "INPUT(a)\nINPUT(a)\n");
+  checkb "unknown gate" true (is_err "INPUT(a)\nz = FROB(a)\nOUTPUT(z)\n");
+  checkb "syntax" true (is_err "INPUT a\n")
+
+let equivalent_comb ?(vectors = 32) c1 c2 =
+  (* Compare primary outputs on shared random stimulus. *)
+  let rng = Rng.create 99 in
+  let vecs = Simulate.random_vectors rng c1 vectors in
+  let o1 = Simulate.run c1 vecs and o2 = Simulate.run c2 vecs in
+  o1 = o2
+
+let test_bench_roundtrip () =
+  List.iter
+    (fun c ->
+      match Bench_format.parse (Bench_format.to_string c) with
+      | Error e -> Alcotest.fail e
+      | Ok c' ->
+          checki "same gates" (Circuit.num_gates c) (Circuit.num_gates c');
+          checki "same dffs" (Circuit.num_dff c) (Circuit.num_dff c');
+          checki "same inputs" (Array.length c.Circuit.inputs)
+            (Array.length c'.Circuit.inputs);
+          checkb "behaviour preserved" true (equivalent_comb c c'))
+    [
+      Generator.c17 ();
+      Generator.ripple_adder ~bits:4 ();
+      Generator.clustered
+        { Generator.default_clustered with clusters = 2; gates_per_cluster = 20 };
+    ]
+
+let qcheck_bench_roundtrip =
+  QCheck.Test.make ~name:"bench roundtrip preserves behaviour" ~count:30
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c =
+        Generator.random ~rng ~num_inputs:4 ~num_gates:25 ~num_dff:3
+          ~num_outputs:4 ()
+      in
+      match Bench_format.parse (Bench_format.to_string c) with
+      | Error _ -> false
+      | Ok c' -> equivalent_comb c c')
+
+(* ------------------------------------------------------------------ *)
+(* Simulation & generators                                            *)
+(* ------------------------------------------------------------------ *)
+
+let bits_of_int width n = Array.init width (fun i -> (n lsr i) land 1 = 1)
+let int_of_bits bits =
+  Array.to_list bits
+  |> List.mapi (fun i b -> if b then 1 lsl i else 0)
+  |> List.fold_left ( + ) 0
+
+let test_c17_truth_table () =
+  let c = Generator.c17 () in
+  (* Exhaustive check against the NAND network evaluated directly. *)
+  for v = 0 to 31 do
+    let pi = bits_of_int 5 v in
+    let g1 = pi.(0) and g2 = pi.(1) and g3 = pi.(2) and g6 = pi.(3) and g7 = pi.(4) in
+    let nand a b = not (a && b) in
+    let n10 = nand g1 g3 and n11 = nand g3 g6 in
+    let n16 = nand g2 n11 and n19 = nand n11 g7 in
+    let expect = [| nand n10 n16; nand n16 n19 |] in
+    let outs, _ = Simulate.step c (Simulate.initial_state c) pi in
+    check Alcotest.(array bool) "c17 outputs" expect outs
+  done
+
+let qcheck_adder_adds =
+  QCheck.Test.make ~name:"ripple adder computes a+b+cin" ~count:200
+    QCheck.(triple (int_bound 255) (int_bound 255) bool)
+    (fun (a, b, cin) ->
+      let c = Generator.ripple_adder ~bits:8 () in
+      let pi = Array.concat [ bits_of_int 8 a; bits_of_int 8 b; [| cin |] ] in
+      let outs, _ = Simulate.step c (Simulate.initial_state c) pi in
+      int_of_bits outs = a + b + if cin then 1 else 0)
+
+let qcheck_multiplier_multiplies =
+  QCheck.Test.make ~name:"array multiplier computes a*b" ~count:100
+    QCheck.(pair (int_bound 63) (int_bound 63))
+    (fun (a, b) ->
+      let c = Generator.multiplier ~bits:6 () in
+      let pi = Array.concat [ bits_of_int 6 a; bits_of_int 6 b ] in
+      let outs, _ = Simulate.step c (Simulate.initial_state c) pi in
+      int_of_bits outs = a * b)
+
+let test_alu_ops () =
+  let bits = 4 in
+  let c = Generator.alu ~bits () in
+  let run a b s0 s1 cin =
+    let pi =
+      Array.concat [ bits_of_int bits a; bits_of_int bits b; [| s0; s1; cin |] ]
+    in
+    let outs, _ = Simulate.step c (Simulate.initial_state c) pi in
+    (* outputs: bits results, carry, zero *)
+    let value = int_of_bits (Array.sub outs 0 bits) in
+    let zero = outs.(bits + 1) in
+    (value, zero)
+  in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      let v_and, z_and = run a b false false false in
+      checki "AND" (a land b) v_and;
+      checkb "zero flag" (a land b = 0) z_and;
+      let v_or, _ = run a b true false false in
+      checki "OR" (a lor b) v_or;
+      let v_xor, _ = run a b false true false in
+      checki "XOR" (a lxor b) v_xor;
+      let v_add, _ = run a b true true false in
+      checki "ADD" ((a + b) land 15) v_add
+    done
+  done
+
+let test_ecc_no_error () =
+  let data_bits = 16 in
+  let c = Generator.ecc ~data_bits () in
+  let r = Array.length c.Circuit.inputs - data_bits in
+  let rng = Rng.create 4 in
+  for _ = 1 to 20 do
+    let data = Array.init data_bits (fun _ -> Rng.bool rng) in
+    (* Compute the matching check bits by probing with zero checks: the
+       syndrome then equals the data parity per group. *)
+    let pi0 = Array.concat [ data; Array.make r false ] in
+    let outs0, _ = Simulate.step c (Simulate.initial_state c) pi0 in
+    let checks = Array.sub outs0 0 r in
+    (* With proper check bits: zero syndrome and corrected = data. *)
+    let pi = Array.concat [ data; checks ] in
+    let outs, _ = Simulate.step c (Simulate.initial_state c) pi in
+    check Alcotest.(array bool) "zero syndrome" (Array.make r false)
+      (Array.sub outs 0 r);
+    check Alcotest.(array bool) "data passthrough" data
+      (Array.sub outs r data_bits)
+  done
+
+let test_ecc_corrects_single_error () =
+  let data_bits = 16 in
+  let c = Generator.ecc ~data_bits () in
+  let r = Array.length c.Circuit.inputs - data_bits in
+  let rng = Rng.create 5 in
+  for _ = 1 to 20 do
+    let data = Array.init data_bits (fun _ -> Rng.bool rng) in
+    let pi0 = Array.concat [ data; Array.make r false ] in
+    let outs0, _ = Simulate.step c (Simulate.initial_state c) pi0 in
+    let checks = Array.sub outs0 0 r in
+    (* Flip one random data bit; the decoder must restore it. *)
+    let k = Rng.int rng data_bits in
+    let corrupted = Array.copy data in
+    corrupted.(k) <- not corrupted.(k);
+    let pi = Array.concat [ corrupted; checks ] in
+    let outs, _ = Simulate.step c (Simulate.initial_state c) pi in
+    check Alcotest.(array bool) "corrected" data (Array.sub outs r data_bits)
+  done
+
+let test_adder_comparator () =
+  let bits = 6 in
+  let c = Generator.adder_comparator ~bits () in
+  let rng = Rng.create 6 in
+  for _ = 1 to 100 do
+    let a = Rng.int rng 64 and b = Rng.int rng 64 in
+    let pi = Array.concat [ bits_of_int bits a; bits_of_int bits b; [| false |] ] in
+    let outs, _ = Simulate.step c (Simulate.initial_state c) pi in
+    (* outputs: sum bits, cout, gt, eq, parity a, parity b *)
+    checki "sum" (a + b) (int_of_bits (Array.sub outs 0 (bits + 1)));
+    checkb "gt" (a > b) outs.(bits + 1);
+    checkb "eq" (a = b) outs.(bits + 2)
+  done
+
+let test_counter_via_dff () =
+  (* A 1-bit toggle built by hand: q' = XOR(q, 1). *)
+  let b = Circuit.Builder.create () in
+  let en = Circuit.Builder.input b "en" in
+  let q = Circuit.Builder.dff_placeholder b "q" in
+  let d = Circuit.Builder.gate b Gate.Xor [ q; en ] in
+  Circuit.Builder.connect_dff b q d;
+  Circuit.Builder.mark_output b q;
+  let c = Circuit.Builder.finish b in
+  let vectors = Array.make 6 [| true |] in
+  let outs = Simulate.run c vectors in
+  let seq = Array.map (fun o -> o.(0)) outs in
+  check Alcotest.(array bool) "toggles"
+    [| false; true; false; true; false; true |] seq
+
+let test_clustered_wellformed () =
+  let c = Generator.clustered Generator.default_clustered in
+  checkb "valid" true (Result.is_ok (Circuit.validate c));
+  (* Every primary input feeds something. *)
+  Array.iter
+    (fun i -> checkb "pi used" true (Array.length c.Circuit.fanouts.(i) > 0))
+    c.Circuit.inputs;
+  checkb "has dffs" true (Circuit.num_dff c > 0)
+
+let test_clustered_deterministic () =
+  let p = Generator.default_clustered in
+  let a = Bench_format.to_string (Generator.clustered p) in
+  let b = Bench_format.to_string (Generator.clustered p) in
+  check Alcotest.string "same seed, same circuit" a b;
+  let c = Bench_format.to_string (Generator.clustered { p with seed = 2 }) in
+  checkb "different seed differs" true (not (String.equal a c))
+
+let qcheck_random_circuit_valid =
+  QCheck.Test.make ~name:"random circuits are well-formed" ~count:50
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c =
+        Generator.random ~rng ~num_inputs:5 ~num_gates:40 ~num_dff:4
+          ~num_outputs:6 ()
+      in
+      Result.is_ok (Circuit.validate c))
+
+let test_stats () =
+  let c = Generator.c17 () in
+  let s = Stats.compute c in
+  checki "inputs" 5 s.Stats.num_inputs;
+  checki "outputs" 2 s.Stats.num_outputs;
+  checki "gates" 6 s.Stats.num_gates;
+  checki "dff" 0 s.Stats.num_dff;
+  (* 11 signals, all driven/read. Gate fanin pins = 12, plus 5 PI + 2 PO. *)
+  checki "pins" 19 s.Stats.num_pins;
+  checki "depth" 3 s.Stats.depth
+
+(* ------------------------------------------------------------------ *)
+(* Transforms                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let equivalent_seq ?(vectors = 32) c1 c2 =
+  let rng = Rng.create 123 in
+  let vecs = Simulate.random_vectors rng c1 vectors in
+  Simulate.run c1 vecs = Simulate.run c2 vecs
+
+let test_const_propagation () =
+  (* z = AND(a, OR(b, 1)) = a;  w = XOR(a, 0) = a. *)
+  let b = Circuit.Builder.create () in
+  let a = Circuit.Builder.input b "a" in
+  let bb = Circuit.Builder.input b "b" in
+  let one = Circuit.Builder.gate b Gate.Const1 [] in
+  let zero = Circuit.Builder.gate b Gate.Const0 [] in
+  let o = Circuit.Builder.gate b Gate.Or [ bb; one ] in
+  let z = Circuit.Builder.gate b ~name:"z" Gate.And [ a; o ] in
+  let w = Circuit.Builder.gate b ~name:"w" Gate.Xor [ a; zero ] in
+  Circuit.Builder.mark_output b z;
+  Circuit.Builder.mark_output b w;
+  let c = Circuit.Builder.finish b in
+  let c' = Transform.propagate_constants c in
+  checkb "equivalent" true (equivalent_seq c c');
+  (* Both outputs collapse to buffers of a; all logic gates vanish. *)
+  checkb "shrinks" true (Circuit.num_gates c' < Circuit.num_gates c);
+  check Alcotest.(option int) "z survives by name" (Circuit.find c' "z")
+    (Circuit.find c' "z");
+  checkb "z exists" true (Circuit.find c' "z" <> None)
+
+let test_const_propagation_to_output () =
+  (* A primary output that becomes constant is emitted as a constant node
+     with the right name. *)
+  let b = Circuit.Builder.create () in
+  let a = Circuit.Builder.input b "a" in
+  let zero = Circuit.Builder.gate b Gate.Const0 [] in
+  let z = Circuit.Builder.gate b ~name:"z" Gate.And [ a; zero ] in
+  Circuit.Builder.mark_output b z;
+  let c = Circuit.Builder.finish b in
+  let c' = Transform.propagate_constants c in
+  checkb "equivalent" true (equivalent_seq c c');
+  match Circuit.find c' "z" with
+  | Some id ->
+      checkb "constant zero" true
+        (Gate.equal (Circuit.node c' id).Circuit.kind Gate.Const0)
+  | None -> Alcotest.fail "output z lost"
+
+let test_collapse_buffers () =
+  let b = Circuit.Builder.create () in
+  let a = Circuit.Builder.input b "a" in
+  let b1 = Circuit.Builder.gate b Gate.Buf [ a ] in
+  let n1 = Circuit.Builder.gate b Gate.Not [ b1 ] in
+  let n2 = Circuit.Builder.gate b Gate.Not [ n1 ] in
+  let z = Circuit.Builder.gate b ~name:"z" Gate.And [ n2; a ] in
+  Circuit.Builder.mark_output b z;
+  let c = Circuit.Builder.finish b in
+  let c' = Transform.collapse_buffers c in
+  checkb "equivalent" true (equivalent_seq c c');
+  (* The buffer and the double inverter are bypassed; the now-dead inner
+     NOT is sweep's job. After sweeping only the AND remains. *)
+  checkb "shrinks" true (Circuit.num_gates c' < Circuit.num_gates c);
+  checki "only the AND remains after sweep" 1
+    (Circuit.num_gates (Transform.sweep c'))
+
+let test_strash () =
+  let b = Circuit.Builder.create () in
+  let a = Circuit.Builder.input b "a" in
+  let bb = Circuit.Builder.input b "b" in
+  let g1 = Circuit.Builder.gate b Gate.And [ a; bb ] in
+  let g2 = Circuit.Builder.gate b Gate.And [ bb; a ] in
+  (* commutative dup *)
+  let z = Circuit.Builder.gate b ~name:"z" Gate.Xor [ g1; g2 ] in
+  Circuit.Builder.mark_output b z;
+  let c = Circuit.Builder.finish b in
+  let c' = Transform.strash c in
+  checkb "equivalent" true (equivalent_seq c c');
+  checkb "duplicate AND merged" true (Circuit.num_gates c' < Circuit.num_gates c)
+
+let test_sweep () =
+  let b = Circuit.Builder.create () in
+  let a = Circuit.Builder.input b "a" in
+  let unused_pi = Circuit.Builder.input b "unused" in
+  let live = Circuit.Builder.gate b ~name:"z" Gate.Not [ a ] in
+  let dead = Circuit.Builder.gate b Gate.Not [ live ] in
+  let _dead2 = Circuit.Builder.gate b Gate.And [ dead; a ] in
+  let dq = Circuit.Builder.dff_placeholder b "deadq" in
+  Circuit.Builder.connect_dff b dq dead;
+  Circuit.Builder.mark_output b live;
+  let c = Circuit.Builder.finish b in
+  let c' = Transform.sweep c in
+  checkb "equivalent" true (equivalent_seq c c');
+  checki "only live gate kept" 1 (Circuit.num_gates c');
+  checki "dead flip-flop removed" 0 (Circuit.num_dff c');
+  (* The unused primary input remains part of the interface. *)
+  checki "PIs kept" 2 (Array.length c'.Circuit.inputs);
+  ignore unused_pi
+
+let inject_noise rng c =
+  (* Rebuild [c] with extra constants, buffers and duplicate gates so the
+     optimizer has something to chew on, preserving behaviour. Invented
+     nodes get a reserved prefix so they cannot collide with source
+     names. *)
+  let b = Circuit.Builder.create ~name:"noisy" () in
+  let fresh =
+    let k = ref 0 in
+    fun () ->
+      incr k;
+      Printf.sprintf "$noise%d" !k
+  in
+  let num = Circuit.num_nodes c in
+  let new_id = Array.make num (-1) in
+  Array.iter
+    (fun i -> new_id.(i) <- Circuit.Builder.input b (Circuit.node c i).Circuit.name)
+    c.Circuit.inputs;
+  for i = 0 to num - 1 do
+    if Gate.equal (Circuit.node c i).Circuit.kind Gate.Dff then
+      new_id.(i) <- Circuit.Builder.dff_placeholder b (Circuit.node c i).Circuit.name
+  done;
+  let order = Circuit.topological_order c in
+  Array.iter
+    (fun i ->
+      let nd = Circuit.node c i in
+      match nd.Circuit.kind with
+      | Gate.Input | Gate.Dff -> ()
+      | kind ->
+          let fanins =
+            Array.to_list nd.Circuit.fanins
+            |> List.map (fun f ->
+                   let id = new_id.(f) in
+                   match Rng.int rng 4 with
+                   | 0 -> Circuit.Builder.gate b ~name:(fresh ()) Gate.Buf [ id ]
+                   | 1 ->
+                       let n1 =
+                         Circuit.Builder.gate b ~name:(fresh ()) Gate.Not [ id ]
+                       in
+                       Circuit.Builder.gate b ~name:(fresh ()) Gate.Not [ n1 ]
+                   | 2 ->
+                       let zero =
+                         Circuit.Builder.gate b ~name:(fresh ()) Gate.Const0 []
+                       in
+                       Circuit.Builder.gate b ~name:(fresh ()) Gate.Xor
+                         [ id; zero ]
+                   | _ -> id)
+          in
+          new_id.(i) <- Circuit.Builder.gate b ~name:nd.Circuit.name kind fanins)
+    order;
+  for i = 0 to num - 1 do
+    let nd = Circuit.node c i in
+    if Gate.equal nd.Circuit.kind Gate.Dff then
+      Circuit.Builder.connect_dff b new_id.(i) new_id.(nd.Circuit.fanins.(0))
+  done;
+  Array.iter (fun o -> Circuit.Builder.mark_output b new_id.(o)) c.Circuit.outputs;
+  Circuit.Builder.finish b
+
+let qcheck_optimize_equivalence =
+  QCheck.Test.make ~name:"optimize preserves behaviour and shrinks noise"
+    ~count:30 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create (seed + 31) in
+      let c =
+        Generator.random ~rng ~num_inputs:5 ~num_gates:30 ~num_dff:3
+          ~num_outputs:4 ()
+      in
+      let noisy = inject_noise rng c in
+      let opt = Transform.optimize noisy in
+      equivalent_seq c opt && Circuit.num_gates opt <= Circuit.num_gates noisy)
+
+let test_optimize_shrinks_generator () =
+  let c = Generator.adder_comparator ~bits:8 () in
+  let opt = Transform.optimize c in
+  checkb "equivalent" true (equivalent_seq c opt);
+  checkb "not larger" true (Circuit.num_gates opt <= Circuit.num_gates c)
+
+(* ------------------------------------------------------------------ *)
+(* BLIF                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_blif_parse_basic () =
+  let text =
+    ".model half_adder\n.inputs a b\n.outputs s c\n.names a b s\n10 1\n01 1\n\
+     .names a b c\n11 1\n.end\n"
+  in
+  match Blif.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      checki "inputs" 2 (Array.length c.Circuit.inputs);
+      checki "outputs" 2 (Array.length c.Circuit.outputs);
+      (* s = XOR, c = AND behaviourally. *)
+      let run a b =
+        let outs, _ =
+          Simulate.step c (Simulate.initial_state c) [| a; b |]
+        in
+        (outs.(0), outs.(1))
+      in
+      checkb "s" true (run true false = (true, false));
+      checkb "c" true (run true true = (false, true));
+      checkb "zero" true (run false false = (false, false))
+
+let test_blif_offset_cover () =
+  (* Off-set cover: f is 0 exactly when a=1,b=1 -> f = NAND(a,b). *)
+  let text = ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n" in
+  match Blif.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      let f a b =
+        (fst
+           (let outs, st = Simulate.step c (Simulate.initial_state c) [| a; b |] in
+            (outs.(0), st)))
+      in
+      checkb "nand" true (f true true = false && f true false && f false false)
+
+let test_blif_constants_and_latch () =
+  let text =
+    ".model m\n.inputs a\n.outputs one zero q\n.names one\n1\n.names zero\n\
+     .latch d q 0\n.names a q d\n11 1\n.end\n"
+  in
+  match Blif.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      checki "one latch" 1 (Circuit.num_dff c);
+      let outs = Simulate.run c [| [| true |]; [| true |]; [| true |] |] in
+      (* one, zero, q: q starts 0, AND(a,q) keeps it 0 forever. *)
+      Array.iter
+        (fun o -> checkb "row" true (o.(0) && (not o.(1)) && not o.(2)))
+        outs
+
+let test_blif_errors () =
+  let is_err s = Result.is_error (Blif.parse s) in
+  checkb "bad row" true (is_err ".model m\n.inputs a\n.outputs f\n.names a f\n2 1\n.end\n");
+  checkb "mixed polarity" true
+    (is_err ".model m\n.inputs a b\n.outputs f\n.names a b f\n10 1\n01 0\n.end\n");
+  checkb "undefined signal" true (is_err ".model m\n.outputs f\n.names g f\n1 1\n.end\n");
+  checkb "unsupported directive" true (is_err ".model m\n.gate nand2 a=x\n.end\n");
+  checkb "cycle" true
+    (is_err ".model m\n.inputs a\n.outputs f\n.names g f\n1 1\n.names f g\n1 1\n.end\n")
+
+let test_blif_roundtrip () =
+  List.iter
+    (fun c ->
+      match Blif.parse (Blif.to_string c) with
+      | Error e -> Alcotest.fail (c.Circuit.name ^ ": " ^ e)
+      | Ok c' ->
+          checkb (c.Circuit.name ^ " behaviour preserved") true
+            (equivalent_seq c c'))
+    [
+      Generator.c17 ();
+      Generator.ripple_adder ~bits:5 ();
+      Generator.alu ~bits:3 ();
+      Generator.clustered
+        { Generator.default_clustered with clusters = 2; gates_per_cluster = 25 };
+    ]
+
+let qcheck_blif_roundtrip =
+  QCheck.Test.make ~name:"blif roundtrip preserves behaviour" ~count:25
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create (seed + 41) in
+      let c =
+        Generator.random ~rng ~num_inputs:4 ~num_gates:25 ~num_dff:3
+          ~num_outputs:4 ()
+      in
+      match Blif.parse (Blif.to_string c) with
+      | Error _ -> false
+      | Ok c' -> equivalent_seq c c')
+
+let test_blif_continuation_lines () =
+  let text =
+    ".model m\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n"
+  in
+  match Blif.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok c -> checki "both inputs seen" 2 (Array.length c.Circuit.inputs)
+
+(* ------------------------------------------------------------------ *)
+(* Verilog                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_verilog_parse_c17 () =
+  let text =
+    "// c17\nmodule c17 (N1, N2, N3, N6, N7, N22, N23);\n\
+     input N1, N2, N3, N6, N7;\noutput N22, N23;\nwire N10, N11, N16, N19;\n\
+     nand g1 (N10, N1, N3);\nnand g2 (N11, N3, N6);\nnand g3 (N16, N2, N11);\n\
+     nand g4 (N19, N11, N7);\nnand g5 (N22, N10, N16);\nnand g6 (N23, N16, N19);\n\
+     endmodule\n"
+  in
+  match Verilog.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      checki "inputs" 5 (Array.length c.Circuit.inputs);
+      checki "outputs" 2 (Array.length c.Circuit.outputs);
+      checki "gates" 6 (Circuit.num_gates c);
+      (* Behaviourally identical to the built-in c17. *)
+      checkb "equivalent to builtin" true (equivalent_seq (Generator.c17 ()) c)
+
+let test_verilog_assign_expressions () =
+  let text =
+    "module m (a, b, c, z, w);\ninput a, b, c;\noutput z, w;\n\
+     assign z = ~(a & b) ^ (c | 1'b0);\nassign w = a;\nendmodule\n"
+  in
+  match Verilog.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      for v = 0 to 7 do
+        let a = v land 1 = 1 and b = v land 2 = 2 and cc = v land 4 = 4 in
+        let outs, _ = Simulate.step c (Simulate.initial_state c) [| a; b; cc |] in
+        checkb "z" ((not (a && b)) <> cc) outs.(0);
+        checkb "w" a outs.(1)
+      done
+
+let test_verilog_dff_forms () =
+  (* Both the 2-port and the ISCAS'89 3-port flip-flop forms. *)
+  let text2 =
+    "module m (a, q);\ninput a;\noutput q;\ndff d1 (q, a);\nendmodule\n"
+  in
+  let text3 =
+    "module m (CK, a, q);\ninput CK, a;\noutput q;\ndff d1 (CK, q, a);\nendmodule\n"
+  in
+  (match Verilog.parse text2 with
+  | Error e -> Alcotest.fail e
+  | Ok c -> checki "2-port dff" 1 (Circuit.num_dff c));
+  match Verilog.parse text3 with
+  | Error e -> Alcotest.fail e
+  | Ok c -> checki "3-port dff" 1 (Circuit.num_dff c)
+
+let test_verilog_comments_and_errors () =
+  let ok s = Result.is_ok (Verilog.parse s) in
+  checkb "block comment" true
+    (ok "module m (a, z); /* hi \n there */ input a; output z; buf g (z, a); endmodule");
+  checkb "undriven output" false (ok "module m (z); output z; endmodule");
+  checkb "duplicate driver" false
+    (ok "module m (a, z); input a; output z; buf g (z, a); not h (z, a); endmodule");
+  checkb "cycle" false
+    (ok "module m (z); output z; wire y; not g (z, y); not h (y, z); endmodule");
+  checkb "syntax" false (ok "module m (a; endmodule")
+
+let test_verilog_roundtrip () =
+  List.iter
+    (fun c ->
+      match Verilog.parse (Verilog.to_string c) with
+      | Error e -> Alcotest.fail (c.Circuit.name ^ ": " ^ e)
+      | Ok c' ->
+          checkb (c.Circuit.name ^ " behaviour preserved") true
+            (equivalent_seq c c'))
+    [
+      Generator.c17 ();
+      Generator.ripple_adder ~bits:5 ();
+      Generator.ecc ~data_bits:8 ();
+      Generator.clustered
+        { Generator.default_clustered with clusters = 2; gates_per_cluster = 25 };
+    ]
+
+let qcheck_verilog_roundtrip =
+  QCheck.Test.make ~name:"verilog roundtrip preserves behaviour" ~count:25
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create (seed + 53) in
+      let c =
+        Generator.random ~rng ~num_inputs:4 ~num_gates:25 ~num_dff:3
+          ~num_outputs:4 ()
+      in
+      match Verilog.parse (Verilog.to_string c) with
+      | Error _ -> false
+      | Ok c' -> equivalent_seq c c')
+
+(* Parsers must never raise on garbage: they return Error. *)
+let qcheck_parsers_never_raise =
+  QCheck.Test.make ~name:"parsers reject garbage without raising" ~count:300
+    QCheck.(string_gen_of_size Gen.(int_range 0 200) Gen.printable)
+    (fun junk ->
+      let safe parse =
+        match parse junk with Ok _ | Error _ -> true | exception _ -> false
+      in
+      safe Bench_format.parse && safe Blif.parse && safe Verilog.parse)
+
+let qcheck_parsers_never_raise_structured =
+  (* Garbage that at least looks like each format's skeleton. *)
+  QCheck.Test.make ~name:"parsers reject near-miss inputs without raising"
+    ~count:200
+    QCheck.(pair (int_range 0 2) (string_gen_of_size Gen.(int_range 0 80) Gen.printable))
+    (fun (kind, junk) ->
+      let wrap = match kind with
+        | 0 -> "INPUT(a)\n" ^ junk ^ "\nOUTPUT(z)\n"
+        | 1 -> ".model m\n" ^ junk ^ "\n.end\n"
+        | _ -> "module m (a);\n" ^ junk ^ "\nendmodule\n"
+      in
+      let safe parse =
+        match parse wrap with Ok _ | Error _ -> true | exception _ -> false
+      in
+      safe Bench_format.parse && safe Blif.parse && safe Verilog.parse)
+
+let qc t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "netlist"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "sample" `Quick test_rng_sample;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "invalid args" `Quick test_rng_invalid;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "basic ops" `Quick test_vec_basic;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "iteri" `Quick test_vec_iteri;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "truth tables" `Quick test_gate_truth_tables;
+          Alcotest.test_case "string roundtrip" `Quick test_gate_string_roundtrip;
+          Alcotest.test_case "bad arity" `Quick test_gate_bad_arity;
+          qc qcheck_demorgan;
+          qc qcheck_xor_assoc;
+        ] );
+      ( "circuit",
+        [
+          Alcotest.test_case "builder basics" `Quick test_builder_basic;
+          Alcotest.test_case "duplicate names" `Quick test_builder_duplicate_name;
+          Alcotest.test_case "dff feedback" `Quick test_builder_dff_feedback;
+          Alcotest.test_case "unconnected dff" `Quick test_builder_unconnected_dff;
+          Alcotest.test_case "levels/depth" `Quick test_levels_and_depth;
+          Alcotest.test_case "topological order" `Quick test_topological_order;
+        ] );
+      ( "bench_format",
+        [
+          Alcotest.test_case "parse c17" `Quick test_bench_parse_c17_text;
+          Alcotest.test_case "use before def" `Quick test_bench_use_before_def;
+          Alcotest.test_case "sequential feedback" `Quick
+            test_bench_sequential_feedback;
+          Alcotest.test_case "errors" `Quick test_bench_errors;
+          Alcotest.test_case "roundtrip" `Quick test_bench_roundtrip;
+          qc qcheck_bench_roundtrip;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "constant propagation" `Quick test_const_propagation;
+          Alcotest.test_case "constant output" `Quick
+            test_const_propagation_to_output;
+          Alcotest.test_case "buffer collapsing" `Quick test_collapse_buffers;
+          Alcotest.test_case "structural hashing" `Quick test_strash;
+          Alcotest.test_case "dead sweep" `Quick test_sweep;
+          Alcotest.test_case "optimize on generator" `Quick
+            test_optimize_shrinks_generator;
+          qc qcheck_optimize_equivalence;
+        ] );
+      ( "blif",
+        [
+          Alcotest.test_case "parse basic" `Quick test_blif_parse_basic;
+          Alcotest.test_case "off-set cover" `Quick test_blif_offset_cover;
+          Alcotest.test_case "constants and latches" `Quick
+            test_blif_constants_and_latch;
+          Alcotest.test_case "errors" `Quick test_blif_errors;
+          Alcotest.test_case "roundtrip" `Quick test_blif_roundtrip;
+          Alcotest.test_case "line continuations" `Quick
+            test_blif_continuation_lines;
+          qc qcheck_blif_roundtrip;
+          qc qcheck_parsers_never_raise;
+          qc qcheck_parsers_never_raise_structured;
+        ] );
+      ( "verilog",
+        [
+          Alcotest.test_case "parse c17" `Quick test_verilog_parse_c17;
+          Alcotest.test_case "assign expressions" `Quick
+            test_verilog_assign_expressions;
+          Alcotest.test_case "dff forms" `Quick test_verilog_dff_forms;
+          Alcotest.test_case "comments and errors" `Quick
+            test_verilog_comments_and_errors;
+          Alcotest.test_case "roundtrip" `Quick test_verilog_roundtrip;
+          qc qcheck_verilog_roundtrip;
+        ] );
+      ( "simulate+generators",
+        [
+          Alcotest.test_case "c17 truth table" `Quick test_c17_truth_table;
+          qc qcheck_adder_adds;
+          qc qcheck_multiplier_multiplies;
+          Alcotest.test_case "alu ops" `Quick test_alu_ops;
+          Alcotest.test_case "ecc clean path" `Quick test_ecc_no_error;
+          Alcotest.test_case "ecc corrects errors" `Quick
+            test_ecc_corrects_single_error;
+          Alcotest.test_case "adder/comparator" `Quick test_adder_comparator;
+          Alcotest.test_case "dff toggle" `Quick test_counter_via_dff;
+          Alcotest.test_case "clustered well-formed" `Quick
+            test_clustered_wellformed;
+          Alcotest.test_case "clustered deterministic" `Quick
+            test_clustered_deterministic;
+          qc qcheck_random_circuit_valid;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+    ]

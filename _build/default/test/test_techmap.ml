@@ -1,0 +1,469 @@
+(* Tests for the XC3000 technology mapper: decomposition, LUT covering, CLB
+   packing, mapped-netlist legality, and functional equivalence with the
+   source circuit. *)
+
+open Netlist
+open Techmap
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let equivalent ?(vectors = 48) c =
+  (* Run both representations on identical stimulus. *)
+  let rng = Rng.create 7 in
+  let vecs = Simulate.random_vectors rng c vectors in
+  fun c' -> Simulate.run c vecs = Simulate.run c' vecs
+
+(* ------------------------------------------------------------------ *)
+(* Decompose                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_decompose_reduces_fanin () =
+  let c = Generator.ecc ~data_bits:16 () in
+  let d = Decompose.run c in
+  let s = Stats.compute d in
+  checkb "fanin <= 2" true (s.Stats.max_fanin <= 2);
+  checkb "equivalent" true (equivalent c d)
+
+let test_decompose_wide_gates () =
+  (* One wide gate of each inverted kind. *)
+  let b = Circuit.Builder.create () in
+  let ins = List.init 7 (fun i -> Circuit.Builder.input b (Printf.sprintf "i%d" i)) in
+  List.iter
+    (fun kind -> Circuit.Builder.mark_output b (Circuit.Builder.gate b kind ins))
+    [ Gate.And; Gate.Nand; Gate.Or; Gate.Nor; Gate.Xor; Gate.Xnor ];
+  let c = Circuit.Builder.finish b in
+  let d = Decompose.run c in
+  checkb "fanin <= 2" true ((Stats.compute d).Stats.max_fanin <= 2);
+  checkb "equivalent" true (equivalent c d)
+
+let test_decompose_preserves_dffs () =
+  let c =
+    Generator.clustered
+      { Generator.default_clustered with clusters = 3; gates_per_cluster = 30 }
+  in
+  let d = Decompose.run c in
+  checki "same flip-flop count" (Circuit.num_dff c) (Circuit.num_dff d);
+  checkb "equivalent" true (equivalent c d)
+
+let test_decompose_name_collision_safe () =
+  (* Source names that look like generated names must not clash with the
+     decomposition's fresh tree nodes. *)
+  let b = Circuit.Builder.create () in
+  let ins = List.init 5 (fun i -> Circuit.Builder.input b (Printf.sprintf "$d%d" i)) in
+  let g = Circuit.Builder.gate b ~name:"$d99" Gate.And ins in
+  Circuit.Builder.mark_output b g;
+  let c = Circuit.Builder.finish b in
+  let d = Decompose.run c in
+  checkb "equivalent" true (equivalent c d)
+
+let qcheck_decompose_equivalence =
+  QCheck.Test.make ~name:"decompose preserves behaviour" ~count:30
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c =
+        Generator.random ~rng ~num_inputs:6 ~num_gates:40 ~num_dff:4
+          ~num_outputs:5 ()
+      in
+      let d = Decompose.run c in
+      (Stats.compute d).Stats.max_fanin <= 2 && equivalent c d)
+
+(* ------------------------------------------------------------------ *)
+(* Cover                                                              *)
+(* ------------------------------------------------------------------ *)
+
+
+let test_cover_basic () =
+  let c = Decompose.run (Generator.c17 ()) in
+  let cover = Cover.run c in
+  (* Every LUT obeys the input budget and covers a live root. *)
+  Array.iter
+    (fun lut ->
+      checkb "support <= 4" true (Array.length lut.Cover.support <= 4);
+      checkb "registered root" true (cover.Cover.lut_of_root.(lut.Cover.root) >= 0))
+    cover.Cover.luts;
+  (* c17 fits in very few 4-LUTs: 2 outputs, 5 inputs -> at most 4. *)
+  checkb "compresses" true (Array.length cover.Cover.luts <= 4)
+
+let test_cover_rejects_wide () =
+  let b = Circuit.Builder.create () in
+  let ins = List.init 6 (fun i -> Circuit.Builder.input b (Printf.sprintf "i%d" i)) in
+  let g = Circuit.Builder.gate b Gate.And ins in
+  Circuit.Builder.mark_output b g;
+  let c = Circuit.Builder.finish b in
+  Alcotest.check_raises "wide gate"
+    (Invalid_argument "Cover.run: gate fanin exceeds k (run Decompose first)")
+    (fun () -> ignore (Cover.run c))
+
+let test_cover_lut_tables () =
+  (* A LUT covering XOR(AND(a,b), c) must reproduce that function. *)
+  let b = Circuit.Builder.create () in
+  let a = Circuit.Builder.input b "a" in
+  let bb = Circuit.Builder.input b "b" in
+  let cc = Circuit.Builder.input b "c" in
+  let g1 = Circuit.Builder.gate b Gate.And [ a; bb ] in
+  let g2 = Circuit.Builder.gate b Gate.Xor [ g1; cc ] in
+  Circuit.Builder.mark_output b g2;
+  let c = Circuit.Builder.finish b in
+  let cover = Cover.run c in
+  checki "single LUT" 1 (Array.length cover.Cover.luts);
+  let lut = cover.Cover.luts.(0) in
+  checki "3 pins" 3 (Array.length lut.Cover.support);
+  (* Exhaustive functional check through eval_lut. *)
+  for v = 0 to 7 do
+    let value_of node =
+      (* support is sorted by node id = a, b, c creation order *)
+      let idx = ref (-1) in
+      Array.iteri (fun k s -> if s = node then idx := k) lut.Cover.support;
+      v land (1 lsl !idx) <> 0
+    in
+    let expect = (value_of a && value_of bb) <> value_of cc in
+    let pins = Array.map (fun s -> value_of s) lut.Cover.support in
+    checkb "table" expect (Cover.eval_lut lut pins)
+  done
+
+let test_cover_dead_logic_vanishes () =
+  let b = Circuit.Builder.create () in
+  let a = Circuit.Builder.input b "a" in
+  let live = Circuit.Builder.gate b Gate.Not [ a ] in
+  let _dead = Circuit.Builder.gate b Gate.Not [ live ] in
+  Circuit.Builder.mark_output b live;
+  let c = Circuit.Builder.finish b in
+  let cover = Cover.run c in
+  checki "only the live LUT" 1 (Array.length cover.Cover.luts)
+
+(* ------------------------------------------------------------------ *)
+(* Full mapping                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let map_ok c =
+  let m = Mapper.map c in
+  (match Mapped.validate m with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("mapped netlist invalid: " ^ e));
+  m
+
+let test_map_c17 () =
+  let c = Generator.c17 () in
+  let m = map_ok c in
+  checkb "equivalent" true (Mapped.equivalent c m);
+  let s = Mapped.stats m in
+  checki "IOBs = pads" 7 s.Mapped.iobs;
+  checkb "tiny CLB count" true (s.Mapped.clbs <= 2)
+
+let test_map_structural_generators () =
+  List.iter
+    (fun c ->
+      let m = map_ok c in
+      checkb (c.Circuit.name ^ " equivalent") true (Mapped.equivalent c m))
+    [
+      Generator.ripple_adder ~bits:8 ();
+      Generator.multiplier ~bits:6 ();
+      Generator.alu ~bits:4 ();
+      Generator.ecc ~data_bits:16 ();
+      Generator.adder_comparator ~bits:6 ();
+    ]
+
+let test_map_sequential () =
+  let c =
+    Generator.clustered
+      { Generator.default_clustered with clusters = 4; gates_per_cluster = 40 }
+  in
+  let m = map_ok c in
+  checkb "sequential equivalence over 64 cycles" true
+    (Mapped.equivalent ~vectors:64 c m);
+  let s = Mapped.stats m in
+  checkb "flip-flops survive" true (s.Mapped.dffs >= Circuit.num_dff c);
+  checki "flip-flops exactly preserved" (Circuit.num_dff c) s.Mapped.dffs
+
+let test_map_produces_multi_output_cells () =
+  (* The whole point: pairing yields two-output CLBs with distinct
+     per-output supports, i.e. cells with replication potential. *)
+  let c = Generator.multiplier ~bits:8 () in
+  let m = map_ok c in
+  let multi =
+    Array.fold_left
+      (fun acc clb -> if Array.length clb.Mapped.outputs = 2 then acc + 1 else acc)
+      0 m.Mapped.clbs
+  in
+  checkb "some paired CLBs" true (multi > 0);
+  (* And at least one has an input private to one output (psi > 0). *)
+  let has_private =
+    Array.exists
+      (fun clb ->
+        Array.length clb.Mapped.outputs = 2
+        &&
+        let s0 = Mapped.support_mask clb 0 and s1 = Mapped.support_mask clb 1 in
+        (not (Bitvec.is_empty (Bitvec.diff s0 s1)))
+        || not (Bitvec.is_empty (Bitvec.diff s1 s0)))
+      m.Mapped.clbs
+  in
+  checkb "some cell with private inputs" true has_private
+
+let test_map_no_pairing_option () =
+  let c = Generator.ripple_adder ~bits:8 () in
+  let paired = Mapper.map c in
+  let single =
+    Mapper.map ~options:{ Mapper.default_options with pair = false } c
+  in
+  checkb "pairing reduces CLB count" true
+    ((Mapped.stats paired).Mapped.clbs < (Mapped.stats single).Mapped.clbs);
+  Array.iter
+    (fun clb -> checki "single output" 1 (Array.length clb.Mapped.outputs))
+    single.Mapped.clbs;
+  checkb "unpaired still equivalent" true (Mapped.equivalent c single)
+
+let test_map_pass_through_ff () =
+  (* A flip-flop fed directly by a primary input must become a
+     pass-through registered CLB. *)
+  let b = Circuit.Builder.create () in
+  let a = Circuit.Builder.input b "a" in
+  let q = Circuit.Builder.dff_placeholder b "q" in
+  Circuit.Builder.connect_dff b q a;
+  Circuit.Builder.mark_output b q;
+  let c = Circuit.Builder.finish b in
+  let m = map_ok c in
+  checkb "equivalent" true (Mapped.equivalent c m);
+  checki "one CLB" 1 (Array.length m.Mapped.clbs)
+
+let test_map_ff_fusion () =
+  (* q = DFF(XOR(a,b)): the XOR LUT fuses into the FF -> one CLB, and the
+     intermediate net disappears. *)
+  let b = Circuit.Builder.create () in
+  let a = Circuit.Builder.input b "a" in
+  let bb = Circuit.Builder.input b "b" in
+  let d = Circuit.Builder.gate b Gate.Xor [ a; bb ] in
+  let q = Circuit.Builder.dff_placeholder b "q" in
+  Circuit.Builder.connect_dff b q d;
+  Circuit.Builder.mark_output b q;
+  let c = Circuit.Builder.finish b in
+  let m = map_ok c in
+  checki "one CLB" 1 (Array.length m.Mapped.clbs);
+  checki "nets: a, b, q only" 3 m.Mapped.num_nets;
+  checkb "equivalent" true (Mapped.equivalent c m)
+
+let test_map_shared_d_not_fused () =
+  (* The D driver feeds two FFs: it must stay a visible net. *)
+  let b = Circuit.Builder.create () in
+  let a = Circuit.Builder.input b "a" in
+  let bb = Circuit.Builder.input b "b" in
+  let d = Circuit.Builder.gate b Gate.And [ a; bb ] in
+  let q1 = Circuit.Builder.dff_placeholder b "q1" in
+  let q2 = Circuit.Builder.dff_placeholder b "q2" in
+  Circuit.Builder.connect_dff b q1 d;
+  Circuit.Builder.connect_dff b q2 d;
+  Circuit.Builder.mark_output b q1;
+  Circuit.Builder.mark_output b q2;
+  let c = Circuit.Builder.finish b in
+  let m = map_ok c in
+  checkb "equivalent" true (Mapped.equivalent c m);
+  let s = Mapped.stats m in
+  checki "two FFs" 2 s.Mapped.dffs
+
+let test_map_po_driver_not_fused () =
+  (* The D driver is also a primary output: fusing it away would lose the
+     PO net. *)
+  let b = Circuit.Builder.create () in
+  let a = Circuit.Builder.input b "a" in
+  let d = Circuit.Builder.gate b ~name:"d" Gate.Not [ a ] in
+  let q = Circuit.Builder.dff_placeholder b "q" in
+  Circuit.Builder.connect_dff b q d;
+  Circuit.Builder.mark_output b d;
+  Circuit.Builder.mark_output b q;
+  let c = Circuit.Builder.finish b in
+  let m = map_ok c in
+  checkb "equivalent" true (Mapped.equivalent c m)
+
+let qcheck_map_equivalence =
+  QCheck.Test.make ~name:"mapping preserves behaviour (random circuits)"
+    ~count:25 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create (seed * 13 + 1) in
+      let c =
+        Generator.random ~rng ~num_inputs:6 ~num_gates:60 ~num_dff:5
+          ~num_outputs:6 ()
+      in
+      let m = Mapper.map c in
+      Result.is_ok (Mapped.validate m) && Mapped.equivalent ~vectors:32 c m)
+
+let qcheck_map_legality =
+  QCheck.Test.make ~name:"mapped CLBs obey XC3000 limits" ~count:25
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create (seed * 17 + 5) in
+      let c =
+        Generator.random ~rng ~num_inputs:8 ~num_gates:80 ~num_dff:6
+          ~num_outputs:8 ()
+      in
+      let m = Mapper.map c in
+      Array.for_all
+        (fun clb ->
+          Array.length clb.Mapped.inputs <= Mapped.max_inputs
+          && Array.length clb.Mapped.outputs <= Mapped.max_outputs)
+        m.Mapped.clbs)
+
+(* ------------------------------------------------------------------ *)
+(* Hypergraph bridge                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_to_hypergraph () =
+  let c = Generator.alu ~bits:4 () in
+  let m = map_ok c in
+  let h = Mapper.to_hypergraph m in
+  checkb "valid hypergraph" true (Result.is_ok (Hypergraph.validate h));
+  checki "one cell per CLB" (Array.length m.Mapped.clbs) (Hypergraph.num_cells h);
+  checki "area = CLB count" (Array.length m.Mapped.clbs) (Hypergraph.total_area h);
+  (* Pads are external. *)
+  Array.iter
+    (fun n -> checkb "PI external" true h.Hypergraph.net_external.(n))
+    m.Mapped.pi_nets;
+  Array.iter
+    (fun n -> checkb "PO external" true h.Hypergraph.net_external.(n))
+    m.Mapped.po_nets
+
+let test_stats_plausibility () =
+  let c = Generator.multiplier ~bits:8 () in
+  let m = map_ok c in
+  let s = Mapped.stats m in
+  let src = Stats.compute c in
+  checkb "mapping compresses gates into CLBs" true
+    (s.Mapped.clbs < src.Stats.num_gates);
+  checki "IOBs = PI + PO" (src.Stats.num_inputs + src.Stats.num_outputs)
+    s.Mapped.iobs
+
+(* ------------------------------------------------------------------ *)
+(* Timing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let no_crossing _ = false
+
+let test_timing_single_lut () =
+  (* PI -> one CLB -> PO: wire + LUT + wire. *)
+  let b = Circuit.Builder.create () in
+  let a = Circuit.Builder.input b "a" in
+  let bb = Circuit.Builder.input b "b" in
+  let z = Circuit.Builder.gate b ~name:"z" Gate.And [ a; bb ] in
+  Circuit.Builder.mark_output b z;
+  let m = Mapper.map (Circuit.Builder.finish b) in
+  let r = Timing.analyze ~crossing:no_crossing m in
+  Alcotest.check (Alcotest.float 1e-9) "0.2 + 1.0 + 0.2"
+    1.4 r.Timing.critical_delay;
+  checki "no crossings" 0 r.Timing.critical_crossings;
+  checki "path has two nets" 2 (List.length r.Timing.critical_path)
+
+let test_timing_chain_depth () =
+  (* A chain of XORs deep enough to span several LUT levels. *)
+  let b = Circuit.Builder.create () in
+  let x0 = Circuit.Builder.input b "x0" in
+  let acc = ref x0 in
+  for i = 1 to 12 do
+    let xi = Circuit.Builder.input b (Printf.sprintf "x%d" i) in
+    acc := Circuit.Builder.gate b Gate.Xor [ !acc; xi ]
+  done;
+  Circuit.Builder.mark_output b !acc;
+  let m = Mapper.map (Circuit.Builder.finish b) in
+  let r = Timing.analyze ~crossing:no_crossing m in
+  (* 12 XOR2s fit in ceil(12/3) = 4+ LUT levels; at least 3 CLB hops. *)
+  checkb "multi-level" true (r.Timing.critical_delay >= 3.0);
+  (* Arrival times are monotone along the reported path. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        checkb "arrival increases" true
+          (r.Timing.arrival.(a) <= r.Timing.arrival.(b));
+        monotone rest
+    | _ -> ()
+  in
+  monotone r.Timing.critical_path
+
+let test_timing_crossing_penalty () =
+  let c = Netlist.Generator.ripple_adder ~bits:8 () in
+  let m = Mapper.map c in
+  let local = Timing.analyze ~crossing:no_crossing m in
+  let board = Timing.analyze ~crossing:(fun _ -> true) m in
+  checkb "crossing nets slow the path" true
+    (board.Timing.critical_delay > local.Timing.critical_delay);
+  checkb "crossings counted" true (board.Timing.critical_crossings > 0)
+
+let test_timing_registered_endpoint () =
+  (* Logic that only feeds a flip-flop still defines the critical path. *)
+  let b = Circuit.Builder.create () in
+  let a = Circuit.Builder.input b "a" in
+  let n1 = Circuit.Builder.gate b Gate.Not [ a ] in
+  let q = Circuit.Builder.dff_placeholder b "q" in
+  (* Deep-ish cone into the FF, shallow path to the PO. *)
+  let n2 = Circuit.Builder.gate b Gate.Not [ n1 ] in
+  let n3 = Circuit.Builder.gate b Gate.Xor [ n2; q ] in
+  Circuit.Builder.connect_dff b q n3;
+  Circuit.Builder.mark_output b q;
+  let m = Mapper.map (Circuit.Builder.finish b) in
+  let r = Timing.analyze ~crossing:no_crossing m in
+  checkb "nonzero delay through FF cone" true (r.Timing.critical_delay > 0.0)
+
+let test_timing_custom_model () =
+  let c = Netlist.Generator.ripple_adder ~bits:4 () in
+  let m = Mapper.map c in
+  let model =
+    { Timing.clb_delay = 2.0; local_net_delay = 0.0; board_net_delay = 0.0 }
+  in
+  let r = Timing.analyze ~model ~crossing:no_crossing m in
+  (* With zero wire delay the critical delay is 2 x (LUT levels). *)
+  checkb "integral multiple of 2" true
+    (Float.rem r.Timing.critical_delay 2.0 < 1e-9);
+  checkb "positive" true (r.Timing.critical_delay > 0.0)
+
+let qc t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "techmap"
+    [
+      ( "decompose",
+        [
+          Alcotest.test_case "reduces fanin" `Quick test_decompose_reduces_fanin;
+          Alcotest.test_case "wide inverted gates" `Quick test_decompose_wide_gates;
+          Alcotest.test_case "preserves flip-flops" `Quick
+            test_decompose_preserves_dffs;
+          Alcotest.test_case "name collision safe" `Quick
+            test_decompose_name_collision_safe;
+          qc qcheck_decompose_equivalence;
+        ] );
+      ( "cover",
+        [
+          Alcotest.test_case "basic covering" `Quick test_cover_basic;
+          Alcotest.test_case "rejects wide gates" `Quick test_cover_rejects_wide;
+          Alcotest.test_case "truth tables" `Quick test_cover_lut_tables;
+          Alcotest.test_case "dead logic vanishes" `Quick
+            test_cover_dead_logic_vanishes;
+        ] );
+      ( "mapper",
+        [
+          Alcotest.test_case "c17" `Quick test_map_c17;
+          Alcotest.test_case "structural generators" `Quick
+            test_map_structural_generators;
+          Alcotest.test_case "sequential circuits" `Quick test_map_sequential;
+          Alcotest.test_case "multi-output cells appear" `Quick
+            test_map_produces_multi_output_cells;
+          Alcotest.test_case "pairing ablation" `Quick test_map_no_pairing_option;
+          Alcotest.test_case "pass-through FF" `Quick test_map_pass_through_ff;
+          Alcotest.test_case "FF fusion" `Quick test_map_ff_fusion;
+          Alcotest.test_case "shared D not fused" `Quick test_map_shared_d_not_fused;
+          Alcotest.test_case "PO driver not fused" `Quick
+            test_map_po_driver_not_fused;
+          qc qcheck_map_equivalence;
+          qc qcheck_map_legality;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "single LUT" `Quick test_timing_single_lut;
+          Alcotest.test_case "chain depth" `Quick test_timing_chain_depth;
+          Alcotest.test_case "crossing penalty" `Quick test_timing_crossing_penalty;
+          Alcotest.test_case "registered endpoint" `Quick
+            test_timing_registered_endpoint;
+          Alcotest.test_case "custom model" `Quick test_timing_custom_model;
+        ] );
+      ( "hypergraph bridge",
+        [
+          Alcotest.test_case "to_hypergraph" `Quick test_to_hypergraph;
+          Alcotest.test_case "stats plausibility" `Quick test_stats_plausibility;
+        ] );
+    ]
