@@ -1,0 +1,25 @@
+.PHONY: all build test bench lint schema ci clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+lint:
+	sh tools/lint.sh
+
+# Regenerates a stats document and fails on schema-key drift or loss of
+# same-seed determinism (see tools/check_schema.sh).
+schema: build
+	sh tools/check_schema.sh
+
+ci: build test lint schema
+
+clean:
+	dune clean

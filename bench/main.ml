@@ -78,6 +78,15 @@ let table7 () =
   section "Table VII: average IOB utilization after partitioning";
   Format.printf "%a@." Experiments.Kway_campaign.pp_table7 (Lazy.force campaign)
 
+let partition_stats () =
+  section "BENCH_partition.json: k-way engine telemetry aggregate";
+  progress "partition telemetry: running the suite under a collecting sink...";
+  let doc = Experiments.Obs_report.suite_doc ~runs:!kway_runs ~seed:1 () in
+  Experiments.Obs_report.write ~path:"BENCH_partition.json" doc;
+  Format.printf
+    "wrote BENCH_partition.json (schema v1: per-circuit options/result plus \
+     fm.pass and kway.* event streams)@."
+
 let timing () =
   section "Extension: partition-aware static timing (baseline vs T=1)";
   let rows =
@@ -264,12 +273,13 @@ let artifacts =
     ("table7", table7);
     ("ablation", ablation);
     ("timing", timing);
+    ("partition", partition_stats);
     ("perf", perf);
   ]
 
 let usage () =
   prerr_endline
-    "usage: main.exe [all|table1..table7|fig3|ablation|timing|perf]* \
+    "usage: main.exe [all|table1..table7|fig3|ablation|timing|partition|perf]* \
      [--cut-runs N] [--kway-runs N] [--seed N]";
   exit 2
 

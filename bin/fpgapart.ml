@@ -92,6 +92,18 @@ let verbose_arg =
     value & flag
     & info [ "verbose"; "v" ] ~doc:"Print driver progress (Logs debug level).")
 
+let stats_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:
+          "Write engine telemetry to $(docv) as JSON: the options and \
+           result summary plus per-pass F-M events, per-split \
+           device-window attempts, refinement deltas, counters and \
+           span timers (see README, 'Observability'). Off by default; \
+           partitioning runs with a no-op sink and records nothing.")
+
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
@@ -209,15 +221,24 @@ let partition_cmd =
     "Partition a circuit into a heterogeneous XC3000 set minimising total \
      device cost and interconnect (the paper's main flow)."
   in
-  let run bench builtin seed threshold runs verbose =
+  let run bench builtin seed threshold runs verbose stats_json =
     setup_logs verbose;
     let c = or_die (load_circuit bench builtin) in
+    let name =
+      match (builtin, bench) with
+      | Some n, _ -> n
+      | None, Some path -> Filename.remove_extension (Filename.basename path)
+      | None, None -> "circuit"
+    in
     let h = Techmap.Mapper.to_hypergraph (mapped_of c) in
     let replication =
       match threshold with None -> `None | Some t -> `Functional t
     in
     let options = { Core.Kway.default_options with runs; seed; replication } in
-    match Core.Kway.partition ~options ~library:Fpga.Library.xc3000 h with
+    let obs =
+      match stats_json with None -> Obs.noop | Some _ -> Obs.create ()
+    in
+    match Core.Kway.partition ~obs ~options ~library:Fpga.Library.xc3000 h with
     | Error msg ->
         prerr_endline ("fpgapart: " ^ msg);
         exit 1
@@ -227,13 +248,24 @@ let partition_cmd =
         | Error msg ->
             prerr_endline ("fpgapart: internal: unsound partition: " ^ msg);
             exit 2);
+        (match stats_json with
+        | None -> ()
+        | Some path ->
+            (try
+               Experiments.Obs_report.write ~path
+                 (Experiments.Obs_report.doc ~name ~options ~result:r
+                    ~snapshot:(Obs.snapshot obs))
+             with Sys_error msg ->
+               prerr_endline ("fpgapart: cannot write stats: " ^ msg);
+               exit 1);
+            Format.printf "telemetry: %s@." path);
         Format.printf "%a@." Core.Kway.pp_result r
   in
   Cmd.v
     (Cmd.info "partition" ~doc)
     Term.(
       const run $ bench_arg $ circuit_arg $ seed_arg $ threshold_arg $ runs_arg
-      $ verbose_arg)
+      $ verbose_arg $ stats_json_arg)
 
 
 let convert_cmd =

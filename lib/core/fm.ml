@@ -121,11 +121,21 @@ let best_op cfg st cell =
       in
       Some best
 
-let run cfg st =
+(* Whole-cell moves are the classic F-M operation; every other mask change
+   (output migration, split adjustment, un-replication) belongs to the
+   replication extension. Telemetry attributes ops to the two families. *)
+let is_replication_op ~old_mask ~new_mask ~full =
+  not
+    ((Bitvec.is_empty old_mask && Bitvec.equal new_mask full)
+    || (Bitvec.equal old_mask full && Bitvec.is_empty new_mask))
+
+let run ?(obs = Obs.noop) cfg st =
   let hg = Partition_state.hypergraph st in
   let n = Hypergraph.num_cells hg in
   let max_gain = (2 * Hypergraph.max_cell_degree hg) + 2 in
   let bucket = Bucket.create ~num_items:n ~max_gain in
+  let observing = Obs.enabled obs in
+  let pass_idx = ref 0 in
   let ops : (Bitvec.t * Partition_state.delta) option array = Array.make n None in
   let locked = Array.make n false in
   let rescore cell =
@@ -152,6 +162,7 @@ let run cfg st =
     done;
     let trail = ref [] in
     let trail_len = ref 0 in
+    let repl_attempted = ref 0 in
     let start_score = cfg.score st in
     let best = ref start_score in
     let best_prefix = ref 0 in
@@ -162,6 +173,11 @@ let run cfg st =
       | Some cell ->
           let mask, _ = Option.get ops.(cell) in
           let old_mask = Partition_state.mask st cell in
+          if
+            observing
+            && is_replication_op ~old_mask ~new_mask:mask
+                 ~full:(Partition_state.full_mask st cell)
+          then incr repl_attempted;
           ignore (Partition_state.apply st cell mask);
           locked.(cell) <- true;
           Bucket.remove bucket cell;
@@ -179,16 +195,48 @@ let run cfg st =
             best_prefix := !trail_len
           end
     done;
-    (* Roll back to the best prefix. *)
+    (* Roll back to the best prefix. Each cell is applied at most once per
+       pass, so while undoing, the cell's current mask is exactly the mask
+       the pass applied — enough to re-classify the discarded ops. *)
     let to_undo = !trail_len - !best_prefix in
+    let repl_undone = ref 0 in
     let rec undo k = function
       | (cell, old_mask) :: rest when k > 0 ->
+          if
+            observing
+            && is_replication_op ~old_mask
+                 ~new_mask:(Partition_state.mask st cell)
+                 ~full:(Partition_state.full_mask st cell)
+          then incr repl_undone;
           ignore (Partition_state.apply st cell old_mask);
           undo (k - 1) rest
       | _ -> ()
     in
     undo to_undo !trail;
-    !best < start_score
+    let improved = !best < start_score in
+    if observing then begin
+      Obs.incr obs "fm.passes";
+      Obs.incr obs ~by:!trail_len "fm.applied_ops";
+      Obs.incr obs ~by:to_undo "fm.rolled_back_ops";
+      Obs.event obs "fm.pass"
+        [
+          ("pass", Obs.Json.Int !pass_idx);
+          ("applied", Obs.Json.Int !trail_len);
+          ("rolled_back", Obs.Json.Int to_undo);
+          ("repl_attempted", Obs.Json.Int !repl_attempted);
+          ("repl_accepted", Obs.Json.Int (!repl_attempted - !repl_undone));
+          ("cut", Obs.Json.Int (Partition_state.cut st));
+          ( "terminals",
+            Obs.Json.Int
+              (Partition_state.terminals st Partition_state.A
+              + Partition_state.terminals st Partition_state.B) );
+          ("area_a", Obs.Json.Int (Partition_state.area st Partition_state.A));
+          ("area_b", Obs.Json.Int (Partition_state.area st Partition_state.B));
+          ("improved", Obs.Json.Bool improved);
+        ];
+      incr pass_idx
+    end;
+    improved
   in
   let passes = ref 0 in
   while !passes < cfg.max_passes && one_pass () do
@@ -196,9 +244,13 @@ let run cfg st =
   done;
   cfg.score st
 
-let run_staged cfg st =
+let run_staged ?(obs = Obs.noop) cfg st =
   match cfg.replication with
-  | `None -> run cfg st
+  | `None -> run ~obs cfg st
   | `Functional _ ->
-      ignore (run { cfg with replication = `None } st);
-      run cfg st
+      if Obs.enabled obs then
+        Obs.event obs "fm.stage" [ ("stage", Obs.Json.String "plain") ];
+      ignore (run ~obs { cfg with replication = `None } st);
+      if Obs.enabled obs then
+        Obs.event obs "fm.stage" [ ("stage", Obs.Json.String "replication") ];
+      run ~obs cfg st

@@ -83,19 +83,30 @@ val two_device_config :
     [Terminals] — with the devices fixed, total IOB usage is exactly what
     eq. (2) charges for the pair. *)
 
-val run : config -> Partition_state.t -> score
+val run : ?obs:Obs.t -> config -> Partition_state.t -> score
 (** Improve the state in place until a pass brings no improvement (or
     [max_passes]); returns the final score. The state is left at the best
     prefix found. Each pass rolls back to its best prefix, so the score
-    never worsens. *)
+    never worsens.
 
-val run_staged : config -> Partition_state.t -> score
+    When [obs] is a collecting sink (default {!Obs.noop}, which records
+    nothing and costs nothing), every pass — including the final
+    non-improving one — emits one ["fm.pass"] event with fields [pass]
+    (0-based index), [applied] (ops tentatively applied, at most one per
+    cell so ≤ the cell count), [rolled_back] (ops undone, ≤ [applied]),
+    [repl_attempted]/[repl_accepted] (replication-family ops applied /
+    surviving rollback), the post-rollback [cut], [terminals], [area_a],
+    [area_b] trajectory, and [improved]. Counters [fm.passes],
+    [fm.applied_ops] and [fm.rolled_back_ops] accumulate across passes. *)
+
+val run_staged : ?obs:Obs.t -> config -> Partition_state.t -> score
 (** Replication as the paper deploys it: an {e extension} of the
     traditional F-M heuristic. First converge with plain moves
     ([replication = `None]), then continue with the configured replication
     operations from that solution. Since passes never worsen the score,
     the staged result is never worse than plain F-M alone. Equivalent to
-    {!run} when the config has no replication. *)
+    {!run} when the config has no replication. With a collecting [obs], a
+    ["fm.stage"] event separates the plain and replication stages. *)
 
 val random_state : Netlist.Rng.t -> Hypergraph.t -> Partition_state.t
 (** Fresh state with a uniformly random half/half assignment (by cell

@@ -38,8 +38,18 @@ let default_options =
     refine_rounds = 1;
   }
 
+(* External nets that actually consume an IOB: a net flagged external but
+   incident to no cell (a dead primary after mapping) never has to enter
+   the device. Counting it would overstate every part's terminal usage —
+   the telemetry property tests caught exactly that on generated circuits
+   with unused primary inputs. *)
 let count_external (h : Hypergraph.t) =
-  Array.fold_left (fun acc e -> if e then acc + 1 else acc) 0 h.Hypergraph.net_external
+  let acc = ref 0 in
+  Array.iteri
+    (fun n ext ->
+      if ext && Array.length h.Hypergraph.net_cells.(n) > 0 then Stdlib.incr acc)
+    h.Hypergraph.net_external;
+  !acc
 
 (* Translate copies expressed in a sub-hypergraph's coordinates back to the
    original hypergraph. [orig_of.(c)] = (original cell, per-output index
@@ -56,7 +66,7 @@ let translate orig_of members =
 
 (* One feasible split attempt: side A must fit the device window. Returns
    the best feasible state over [attempts] random restarts. *)
-let try_device ~opts ~rng rest (dev : Fpga.Device.t) =
+let try_device ~opts ~rng ~obs rest (dev : Fpga.Device.t) =
   let area = Hypergraph.total_area rest in
   let bounds =
     {
@@ -81,7 +91,7 @@ let try_device ~opts ~rng rest (dev : Fpga.Device.t) =
         Partition_state.create rest ~init_on_b:(fun _ ->
             Netlist.Rng.float rng 1.0 >= p_a)
       in
-      match Fm.run_staged cfg st with
+      match Fm.run_staged ~obs cfg st with
       | 0, cut, neg_area -> (
           match !best with
           | Some (k, _) when k <= (cut, neg_area) -> ()
@@ -91,7 +101,7 @@ let try_device ~opts ~rng rest (dev : Fpga.Device.t) =
     Option.map snd !best
   end
 
-let run_once ~library ~opts ~rng hg =
+let run_once ~library ~opts ~rng ~obs hg =
   let num_orig = Hypergraph.num_cells hg in
   let identity =
     Array.init num_orig (fun c ->
@@ -116,6 +126,14 @@ let run_once ~library ~opts ~rng hg =
           Log.debug (fun m ->
               m "remainder fits %s: %d CLBs / %d IOBs" dev.Fpga.Device.name
                 area ext);
+          if Obs.enabled obs then
+            Obs.event obs "kway.fit"
+              [
+                ("step", Obs.Json.Int (List.length parts));
+                ("device", Obs.Json.String dev.Fpga.Device.name);
+                ("clbs", Obs.Json.Int area);
+                ("iobs", Obs.Json.Int ext);
+              ];
           let members =
             translate orig_of
               (List.init (Hypergraph.num_cells rest) (fun c ->
@@ -129,42 +147,86 @@ let run_once ~library ~opts ~rng hg =
           (* Split off one device: evaluate every candidate device and keep
              the split with the best local cost efficiency (price of the
              device actually used per CLB covered), ties by cut. *)
+          let step = List.length parts in
           let candidates =
-            List.filter_map
-              (fun dev ->
-                match try_device ~opts ~rng rest dev with
-                | None -> None
-                | Some st ->
-                    let clbs = Partition_state.area st Partition_state.A in
-                    let iobs =
-                      Partition_state.terminals st Partition_state.A
+            Obs.span obs (Printf.sprintf "split%d" step) (fun () ->
+                List.filter_map
+                  (fun dev ->
+                    let attempt =
+                      Obs.span obs ("dev-" ^ dev.Fpga.Device.name) (fun () ->
+                          try_device ~opts ~rng ~obs rest dev)
                     in
-                    (* Right-size: the split was shaped for [dev], but a
-                       cheaper device may accept the same subcircuit. *)
-                    let dev =
-                      match
-                        Fpga.Library.smallest_fitting library ~clbs ~iobs
-                      with
-                      | Some d
-                        when d.Fpga.Device.price < dev.Fpga.Device.price ->
-                          d
-                      | _ -> dev
-                    in
-                    let rate =
-                      dev.Fpga.Device.price /. float_of_int (max 1 clbs)
-                    in
-                    Some ((rate, Partition_state.cut st), (dev, st, clbs, iobs)))
-              (Fpga.Library.by_efficiency library)
+                    if Obs.enabled obs then Obs.incr obs "kway.device_attempts";
+                    match attempt with
+                    | None ->
+                        if Obs.enabled obs then
+                          Obs.event obs "kway.device_attempt"
+                            [
+                              ("step", Obs.Json.Int step);
+                              ("device", Obs.Json.String dev.Fpga.Device.name);
+                              ("feasible", Obs.Json.Bool false);
+                            ];
+                        None
+                    | Some st ->
+                        let clbs = Partition_state.area st Partition_state.A in
+                        let iobs =
+                          Partition_state.terminals st Partition_state.A
+                        in
+                        (* Right-size: the split was shaped for [dev], but a
+                           cheaper device may accept the same subcircuit. *)
+                        let dev =
+                          match
+                            Fpga.Library.smallest_fitting library ~clbs ~iobs
+                          with
+                          | Some d
+                            when d.Fpga.Device.price < dev.Fpga.Device.price ->
+                              d
+                          | _ -> dev
+                        in
+                        if Obs.enabled obs then
+                          Obs.event obs "kway.device_attempt"
+                            [
+                              ("step", Obs.Json.Int step);
+                              ("device", Obs.Json.String dev.Fpga.Device.name);
+                              ("feasible", Obs.Json.Bool true);
+                              ("clbs", Obs.Json.Int clbs);
+                              ("iobs", Obs.Json.Int iobs);
+                              ("cut", Obs.Json.Int (Partition_state.cut st));
+                            ];
+                        let rate =
+                          dev.Fpga.Device.price /. float_of_int (max 1 clbs)
+                        in
+                        Some
+                          ((rate, Partition_state.cut st), (dev, st, clbs, iobs)))
+                  (Fpga.Library.by_efficiency library))
           in
           match
             List.sort (fun (ka, _) (kb, _) -> compare ka kb) candidates
           with
-          | [] -> Error "no feasible split for the remainder"
+          | [] ->
+              if Obs.enabled obs then
+                Obs.event obs "kway.split_failed"
+                  [ ("step", Obs.Json.Int step) ];
+              Error "no feasible split for the remainder"
           | (_, (dev, st, clbs, iobs)) :: _ ->
               Log.debug (fun m ->
                   m "split: %s takes %d CLBs / %d IOBs; %d CLBs remain"
                     dev.Fpga.Device.name clbs iobs
                     (Partition_state.area st Partition_state.B));
+              if Obs.enabled obs then begin
+                Obs.incr obs "kway.splits";
+                Obs.event obs "kway.split"
+                  [
+                    ("step", Obs.Json.Int step);
+                    ("device", Obs.Json.String dev.Fpga.Device.name);
+                    ("clbs", Obs.Json.Int clbs);
+                    ("iobs", Obs.Json.Int iobs);
+                    ("cut", Obs.Json.Int (Partition_state.cut st));
+                    ( "remaining_clbs",
+                      Obs.Json.Int (Partition_state.area st Partition_state.B)
+                    );
+                  ]
+              end;
               let members_a =
                 Partition_state.side_copies st Partition_state.A
               in
@@ -198,7 +260,7 @@ let run_once ~library ~opts ~rng hg =
    windows, optimising total terminal usage (eq. 2 restricted to the
    pair). Cells of other parts appear as external context, so their IOB
    counts cannot change. Returns the improved pair or [None]. *)
-let refine_pair ~opts hg library (pi : part) (pj : part) =
+let refine_pair ~opts ~obs hg library (pi : part) (pj : part) =
   let masks_of p =
     let tbl = Hashtbl.create 64 in
     List.iter (fun (c, m) -> Hashtbl.replace tbl c m) p.members;
@@ -246,7 +308,7 @@ let refine_pair ~opts hg library (pi : part) (pj : part) =
       ()
   in
   let s0 = cfg.Fm.score st in
-  let s1 = Fm.run_staged cfg st in
+  let s1 = Fm.run_staged ~obs cfg st in
   let pen, _, _ = s1 in
   if pen <> 0 || s1 >= s0 then None
   else begin
@@ -273,17 +335,18 @@ let refine_pair ~opts hg library (pi : part) (pj : part) =
       in
       { device; members = translate_side side; clbs; iobs }
     in
-    Some (rebuild Partition_state.A pi, rebuild Partition_state.B pj)
+    let _, t0, _ = s0 and _, t1, _ = s1 in
+    Some (rebuild Partition_state.A pi, rebuild Partition_state.B pj, t0, t1)
   end
 
 (* Refinement driver: repeatedly sweep the part pairs that share nets,
    most-connected first. *)
-let refine ~opts hg library parts =
+let refine ~opts ~obs hg library parts =
   let parts = Array.of_list parts in
   let k = Array.length parts in
   if k < 2 then Array.to_list parts
   else begin
-    for _round = 1 to opts.refine_rounds do
+    for round = 1 to opts.refine_rounds do
       (* Shared-net counts per pair. *)
       let touch = Array.make hg.Hypergraph.num_nets [] in
       Array.iteri
@@ -320,14 +383,47 @@ let refine ~opts hg library parts =
         |> List.map snd
         |> List.filteri (fun i _ -> i < 4 * k)
       in
-      List.iter
-        (fun (i, j) ->
-          match refine_pair ~opts hg library parts.(i) parts.(j) with
-          | Some (pi, pj) ->
-              parts.(i) <- pi;
-              parts.(j) <- pj
-          | None -> ())
-        pairs
+      let improved = ref 0 in
+      let shed = ref 0 in
+      Obs.span obs (Printf.sprintf "refine%d" round) (fun () ->
+          List.iter
+            (fun (i, j) ->
+              match refine_pair ~opts ~obs hg library parts.(i) parts.(j) with
+              | Some (pi, pj, t_before, t_after) ->
+                  parts.(i) <- pi;
+                  parts.(j) <- pj;
+                  incr improved;
+                  shed := !shed + (t_before - t_after);
+                  if Obs.enabled obs then begin
+                    Obs.incr obs "kway.refine_improved";
+                    Obs.event obs "kway.refine_pair"
+                      [
+                        ("round", Obs.Json.Int round);
+                        ("i", Obs.Json.Int i);
+                        ("j", Obs.Json.Int j);
+                        ("improved", Obs.Json.Bool true);
+                        ("terminals_before", Obs.Json.Int t_before);
+                        ("terminals_after", Obs.Json.Int t_after);
+                      ]
+                  end
+              | None ->
+                  if Obs.enabled obs then
+                    Obs.event obs "kway.refine_pair"
+                      [
+                        ("round", Obs.Json.Int round);
+                        ("i", Obs.Json.Int i);
+                        ("j", Obs.Json.Int j);
+                        ("improved", Obs.Json.Bool false);
+                      ])
+            pairs);
+      if Obs.enabled obs then
+        Obs.event obs "kway.refine_round"
+          [
+            ("round", Obs.Json.Int round);
+            ("pairs", Obs.Json.Int (List.length pairs));
+            ("improved", Obs.Json.Int !improved);
+            ("terminals_shed", Obs.Json.Int !shed);
+          ]
     done;
     Array.to_list parts
   end
@@ -353,17 +449,41 @@ let summarize_parts hg parts =
   in
   (summary, replicated, Hypergraph.num_cells hg)
 
-let partition ?(options = default_options) ~library hg =
+let partition ?(obs = Obs.noop) ?(options = default_options) ~library hg =
   let t0 = Sys.time () in
   let best = ref None in
   let feasible = ref 0 in
   for r = 0 to options.runs - 1 do
     let rng = Netlist.Rng.create (options.seed + (r * 7919)) in
-    match run_once ~library ~opts:options ~rng hg with
-    | Error _ -> ()
+    let outcome =
+      Obs.span obs (Printf.sprintf "run%d" r) (fun () ->
+          run_once ~library ~opts:options ~rng ~obs hg)
+    in
+    if Obs.enabled obs then Obs.incr obs "kway.runs";
+    match outcome with
+    | Error reason ->
+        if Obs.enabled obs then
+          Obs.event obs "kway.run"
+            [
+              ("run", Obs.Json.Int r);
+              ("feasible", Obs.Json.Bool false);
+              ("reason", Obs.Json.String reason);
+            ]
     | Ok parts ->
         incr feasible;
         let summary, replicated, total = summarize_parts hg parts in
+        if Obs.enabled obs then begin
+          Obs.incr obs "kway.feasible_runs";
+          Obs.event obs "kway.run"
+            [
+              ("run", Obs.Json.Int r);
+              ("feasible", Obs.Json.Bool true);
+              ("parts", Obs.Json.Int summary.Fpga.Cost.num_partitions);
+              ("total_cost", Obs.Json.Float summary.Fpga.Cost.total_cost);
+              ("total_iobs", Obs.Json.Int summary.Fpga.Cost.total_iobs);
+              ("replicated_cells", Obs.Json.Int replicated);
+            ]
+        end;
         let key =
           (summary.Fpga.Cost.total_cost, summary.Fpga.Cost.avg_iob_utilization)
         in
@@ -378,7 +498,7 @@ let partition ?(options = default_options) ~library hg =
   let best =
     match !best with
     | Some (_, (parts, _, _, _)) when options.refine_rounds > 0 ->
-        let parts = refine ~opts:options hg library parts in
+        let parts = refine ~opts:options ~obs hg library parts in
         let summary, replicated, total = summarize_parts hg parts in
         Some (parts, summary, replicated, total)
     | Some (_, v) -> Some v
@@ -477,7 +597,37 @@ let check hg result =
                 then err "part %d: violates device %s" j p.device.Fpga.Device.name
                 else check_parts (j + 1) rest
           in
-          check_parts 0 result.parts))
+          match check_parts 0 result.parts with
+          | Error _ as e -> e
+          | Ok () ->
+              (* 3. The recorded summary and replication figures must agree
+                 with what the members imply — a result cannot claim a cost
+                 or interconnect it does not have. *)
+              let summary, replicated, total = summarize_parts hg result.parts in
+              let r = result.summary in
+              if r.Fpga.Cost.num_partitions <> summary.Fpga.Cost.num_partitions
+              then
+                err "summary: %d partitions recorded, %d parts present"
+                  r.Fpga.Cost.num_partitions summary.Fpga.Cost.num_partitions
+              else if r.Fpga.Cost.total_cost <> summary.Fpga.Cost.total_cost
+              then
+                err "summary: recorded cost %.2f, devices sum to %.2f"
+                  r.Fpga.Cost.total_cost summary.Fpga.Cost.total_cost
+              else if r.Fpga.Cost.total_clbs <> summary.Fpga.Cost.total_clbs
+              then
+                err "summary: recorded %d CLBs, parts sum to %d"
+                  r.Fpga.Cost.total_clbs summary.Fpga.Cost.total_clbs
+              else if r.Fpga.Cost.total_iobs <> summary.Fpga.Cost.total_iobs
+              then
+                err "summary: recorded %d IOBs, parts sum to %d"
+                  r.Fpga.Cost.total_iobs summary.Fpga.Cost.total_iobs
+              else if result.replicated_cells <> replicated then
+                err "recorded %d replicated cells, members imply %d"
+                  result.replicated_cells replicated
+              else if result.total_cells <> total then
+                err "recorded %d total cells, hypergraph has %d"
+                  result.total_cells total
+              else Ok ()))
 
 let pp_result fmt r =
   Format.fprintf fmt "@[<v>%a@,replicated cells: %d / %d (%.1f%%)@,runs: %d (%d feasible), %.2fs@,"

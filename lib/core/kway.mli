@@ -51,16 +51,34 @@ val default_options : options
     sweep. *)
 
 val partition :
+  ?obs:Obs.t ->
   ?options:options ->
   library:Fpga.Library.t ->
   Hypergraph.t ->
   (result, string) Stdlib.result
-(** [Error] when no run produces a fully feasible k-way partition. *)
+(** [Error] when no run produces a fully feasible k-way partition.
+
+    With a collecting [obs] (default {!Obs.noop}: record nothing, cost
+    nothing), the driver emits its full telemetry: each multi-start run
+    lives in a span ["run<r>"] and ends with a ["kway.run"] event; each
+    split step spans ["split<s>"] with one ["kway.device_attempt"] event
+    per candidate device (fields [step], [device], [feasible], and when
+    feasible [clbs]/[iobs]/[cut]) and a closing ["kway.split"] (or
+    ["kway.fit"] when the remainder fits a single device, or
+    ["kway.split_failed"]); the inner F-M emits its per-pass events under
+    those spans (see {!Fm.run}); pairwise refinement spans ["refine<n>"]
+    and emits ["kway.refine_pair"] and ["kway.refine_round"] events with
+    terminal deltas. Identical options yield an identical event stream —
+    only the ["_secs"]-keyed timers vary between runs. *)
 
 val check : Hypergraph.t -> result -> (unit, string) Stdlib.result
 (** Soundness of a result: every output of every original cell is driven
     by exactly one part (masks partition each cell's outputs), every part
-    obeys its device's size and terminal constraints, and the recorded
-    CLB/IOB numbers match the members. Used by tests and assertions. *)
+    obeys its device's size and terminal constraints, the recorded per-part
+    CLB/IOB numbers match a recount from the members (IOBs: nets leaving
+    the device, recounted on the original hypergraph), and the summary's
+    partition count, total cost, total CLBs/IOBs and the replication
+    figures agree with what the members imply. Used by tests and
+    assertions. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,86 @@
+module J = Obs.Json
+
+let replication_to_json = function
+  | `None -> J.String "none"
+  | `Functional t -> J.Obj [ ("functional_threshold", J.Int t) ]
+
+let options_to_json (o : Core.Kway.options) =
+  J.Obj
+    [
+      ("runs", J.Int o.Core.Kway.runs);
+      ("seed", J.Int o.Core.Kway.seed);
+      ("replication", replication_to_json o.Core.Kway.replication);
+      ("max_passes", J.Int o.Core.Kway.max_passes);
+      ("fm_attempts", J.Int o.Core.Kway.fm_attempts);
+      ("refine_rounds", J.Int o.Core.Kway.refine_rounds);
+    ]
+
+let part_to_json (p : Core.Kway.part) =
+  J.Obj
+    [
+      ("device", J.String p.Core.Kway.device.Fpga.Device.name);
+      ("clbs", J.Int p.Core.Kway.clbs);
+      ("iobs", J.Int p.Core.Kway.iobs);
+    ]
+
+let result_to_json (r : Core.Kway.result) =
+  let s = r.Core.Kway.summary in
+  J.Obj
+    [
+      ("num_partitions", J.Int s.Fpga.Cost.num_partitions);
+      ("total_cost", J.Float s.Fpga.Cost.total_cost);
+      ("avg_clb_utilization", J.Float s.Fpga.Cost.avg_clb_utilization);
+      ("avg_iob_utilization", J.Float s.Fpga.Cost.avg_iob_utilization);
+      ("total_clbs", J.Int s.Fpga.Cost.total_clbs);
+      ("total_iobs", J.Int s.Fpga.Cost.total_iobs);
+      ("replicated_cells", J.Int r.Core.Kway.replicated_cells);
+      ("total_cells", J.Int r.Core.Kway.total_cells);
+      ("runs", J.Int r.Core.Kway.runs);
+      ("feasible_runs", J.Int r.Core.Kway.feasible_runs);
+      ("elapsed_secs", J.Float r.Core.Kway.elapsed);
+      ("parts", J.List (List.map part_to_json r.Core.Kway.parts));
+    ]
+
+let doc ~name ~options ~result ~snapshot =
+  J.Obj
+    [
+      ("schema_version", J.Int 1);
+      ("circuit", J.String name);
+      ("seed", J.Int options.Core.Kway.seed);
+      ("options", options_to_json options);
+      ("result", result_to_json result);
+      ("obs", Obs.Snapshot.to_json snapshot);
+    ]
+
+let partition_doc ?(options = Core.Kway.default_options) ~library ~name hg =
+  let obs = Obs.create () in
+  match Core.Kway.partition ~obs ~options ~library hg with
+  | Error _ as e -> e
+  | Ok result -> Ok (doc ~name ~options ~result ~snapshot:(Obs.snapshot obs))
+
+let suite_doc ?(runs = 5) ?(seed = 1) () =
+  let circuits =
+    List.map
+      (fun e ->
+        let options = { Core.Kway.default_options with runs; seed } in
+        let hg = Lazy.force e.Suite.hypergraph in
+        match
+          partition_doc ~options ~library:Fpga.Library.xc3000 ~name:e.Suite.name
+            hg
+        with
+        | Ok j -> j
+        | Error msg ->
+            J.Obj
+              [ ("circuit", J.String e.Suite.name); ("error", J.String msg) ])
+      (Suite.all ())
+  in
+  J.Obj
+    [
+      ("schema_version", J.Int 1);
+      ("artifact", J.String "partition");
+      ("kway_runs", J.Int runs);
+      ("seed", J.Int seed);
+      ("circuits", J.List circuits);
+    ]
+
+let write ~path j = J.write_file ~path j

@@ -1,0 +1,50 @@
+(** Aggregation of partitioning telemetry into the stable JSON document
+    behind [fpgapart partition --stats-json] and [BENCH_partition.json].
+
+    Schema (version 1) of a per-circuit document:
+    - ["schema_version"]: [1];
+    - ["circuit"], ["seed"]: identification;
+    - ["options"]: the {!Core.Kway.options} used ([runs], [seed],
+      [replication], [max_passes], [fm_attempts], [refine_rounds]);
+    - ["result"]: outcome summary — [num_partitions], [total_cost],
+      [avg_clb_utilization], [avg_iob_utilization], [total_clbs],
+      [total_iobs], [replicated_cells], [total_cells], [feasible_runs],
+      [elapsed_secs], and a ["parts"] list of [{device, clbs, iobs}];
+    - ["obs"]: the {!Obs.Snapshot} — ["counters"], ["timers"], and the
+      ordered ["events"] stream (["fm.pass"], ["kway.device_attempt"],
+      ["kway.split"], ["kway.refine_pair"], ...).
+
+    Every elapsed-time field ends in ["_secs"]; after
+    {!Obs.Snapshot.scrub_elapsed} two same-seed documents are
+    byte-identical. *)
+
+val options_to_json : Core.Kway.options -> Obs.Json.t
+
+val result_to_json : Core.Kway.result -> Obs.Json.t
+
+val doc :
+  name:string ->
+  options:Core.Kway.options ->
+  result:Core.Kway.result ->
+  snapshot:Obs.Snapshot.t ->
+  Obs.Json.t
+(** Assemble the per-circuit document from an already-finished run (the
+    CLI path: it has the result and the sink in hand). *)
+
+val partition_doc :
+  ?options:Core.Kway.options ->
+  library:Fpga.Library.t ->
+  name:string ->
+  Hypergraph.t ->
+  (Obs.Json.t, string) result
+(** Run {!Core.Kway.partition} under a fresh collecting sink and build the
+    document. [Error] propagates the driver's failure. *)
+
+val suite_doc : ?runs:int -> ?seed:int -> unit -> Obs.Json.t
+(** The bench aggregate: one {!partition_doc} per built-in benchmark
+    circuit (infeasible circuits degrade to [{"circuit", "error"}]
+    entries), wrapped as [{"schema_version"; "artifact": "partition";
+    "kway_runs"; "seed"; "circuits": [...]}]. This is what
+    [bench/main.exe partition] writes to [BENCH_partition.json]. *)
+
+val write : path:string -> Obs.Json.t -> unit

@@ -1,0 +1,93 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* One fixed float format: shortest %.12g form, forced to contain a '.' or
+   an exponent so it reads back as a float. Non-finite values have no JSON
+   number form; emit null. *)
+let float_repr f =
+  match Float.classify_float f with
+  | FP_nan | FP_infinite -> "null"
+  | _ ->
+      let s = Printf.sprintf "%.12g" f in
+      if String.exists (fun c -> c = '.' || c = 'e') s then s else s ^ ".0"
+
+let rec emit buf indent j =
+  let pad n = Buffer.add_string buf (String.make n ' ') in
+  match j with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun k item ->
+          if k > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 2);
+          emit buf (indent + 2) item)
+        items;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun k (key, v) ->
+          if k > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 2);
+          escape buf key;
+          Buffer.add_string buf ": ";
+          emit buf (indent + 2) v)
+        fields;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 1024 in
+  emit buf 0 j;
+  Buffer.contents buf
+
+let pp fmt j = Format.pp_print_string fmt (to_string j)
+
+let write_file ~path j =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string j);
+      output_char oc '\n')
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_str = function String s -> Some s | _ -> None

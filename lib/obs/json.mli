@@ -1,0 +1,38 @@
+(** Minimal JSON document values with a deterministic emitter.
+
+    The observability layer needs a stable on-disk representation (two runs
+    with the same seed must serialise byte-identically, elapsed-time fields
+    aside), so the emitter is hand-rolled: object fields keep their
+    construction order, floats render through one fixed format, and there
+    are no dependencies beyond the standard library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed (two-space indent) UTF-8 JSON, ending without a
+    newline. Strings are escaped per RFC 8259; non-finite floats render as
+    [null]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Same rendering as {!to_string}. *)
+
+val write_file : path:string -> t -> unit
+(** {!to_string} plus a trailing newline, written atomically enough for our
+    purposes (single [output_string]). *)
+
+(** {1 Accessors} — small conveniences for tests and schema checks. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing fields or non-objects. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+val to_bool : t -> bool option
+val to_str : t -> string option

@@ -1,0 +1,135 @@
+module Json = Json
+
+type collector = {
+  counters : (string, int) Hashtbl.t;
+  timers : (string, float) Hashtbl.t;
+  mutable events_rev : (string * (string * Json.t) list) list;
+  mutable stack : string list; (* innermost span first *)
+}
+
+type t = Noop | Active of collector
+
+let noop = Noop
+
+let create () =
+  Active
+    {
+      counters = Hashtbl.create 32;
+      timers = Hashtbl.create 32;
+      events_rev = [];
+      stack = [];
+    }
+
+let enabled = function Noop -> false | Active _ -> true
+
+let incr ?(by = 1) t name =
+  match t with
+  | Noop -> ()
+  | Active c ->
+      Hashtbl.replace c.counters name
+        (by + (try Hashtbl.find c.counters name with Not_found -> 0))
+
+let path c = String.concat "/" (List.rev c.stack)
+
+let current_span = function Noop -> "" | Active c -> path c
+
+let event t name fields =
+  match t with
+  | Noop -> ()
+  | Active c ->
+      let fields =
+        match c.stack with
+        | [] -> fields
+        | _ -> ("span", Json.String (path c)) :: fields
+      in
+      c.events_rev <- (name, fields) :: c.events_rev
+
+let span t name f =
+  match t with
+  | Noop -> f ()
+  | Active c ->
+      c.stack <- name :: c.stack;
+      let t0 = Sys.time () in
+      Fun.protect
+        ~finally:(fun () ->
+          let key = path c ^ "_secs" in
+          let dt = Sys.time () -. t0 in
+          Hashtbl.replace c.timers key
+            (dt +. (try Hashtbl.find c.timers key with Not_found -> 0.0));
+          match c.stack with [] -> () | _ :: rest -> c.stack <- rest)
+        f
+
+module Snapshot = struct
+  type event = { name : string; fields : (string * Json.t) list }
+
+  type t = {
+    counters : (string * int) list;
+    timers : (string * float) list;
+    events : event list;
+  }
+
+  let of_sink = function
+    | Noop -> { counters = []; timers = []; events = [] }
+    | Active c ->
+        {
+          counters =
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.counters []
+            |> List.sort compare;
+          timers =
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.timers []
+            |> List.sort compare;
+          events =
+            List.rev_map
+              (fun (name, fields) -> { name; fields })
+              c.events_rev;
+        }
+
+  let to_json s =
+    Json.Obj
+      [
+        ( "counters",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.counters) );
+        ( "timers",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) s.timers) );
+        ( "events",
+          Json.List
+            (List.map
+               (fun e -> Json.Obj (("event", Json.String e.name) :: e.fields))
+               s.events) );
+      ]
+
+  let is_elapsed_key k =
+    let n = String.length k in
+    n >= 5 && String.sub k (n - 5) 5 = "_secs"
+
+  let rec scrub_elapsed = function
+    | Json.Obj fields ->
+        Json.Obj
+          (List.map
+             (fun (k, v) ->
+               if is_elapsed_key k then (k, Json.Null) else (k, scrub_elapsed v))
+             fields)
+    | Json.List items -> Json.List (List.map scrub_elapsed items)
+    | j -> j
+
+  let pp fmt s =
+    Format.fprintf fmt "@[<v>";
+    List.iter
+      (fun (k, v) -> Format.fprintf fmt "counter %-32s %d@," k v)
+      s.counters;
+    List.iter
+      (fun (k, v) -> Format.fprintf fmt "timer   %-32s %.6f@," k v)
+      s.timers;
+    let by_name = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        Hashtbl.replace by_name e.name
+          (1 + (try Hashtbl.find by_name e.name with Not_found -> 0)))
+      s.events;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_name []
+    |> List.sort compare
+    |> List.iter (fun (k, v) -> Format.fprintf fmt "events  %-32s %d@," k v);
+    Format.fprintf fmt "@]"
+end
+
+let snapshot = Snapshot.of_sink

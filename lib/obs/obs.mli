@@ -1,0 +1,80 @@
+(** Observability sink for the partitioning engine: named counters,
+    span-scoped timers, and a structured event stream.
+
+    A sink is either the shared {!noop} (the default everywhere — recording
+    into it is a single tag test, so instrumented hot paths cost nothing
+    when nobody is listening) or a collecting sink from {!create}. The
+    engine records into whichever sink the caller passed; the caller reads
+    everything back through one canonical path, {!Snapshot}.
+
+    Conventions that the rest of the system relies on:
+    - every wall-time quantity lives under a key ending in ["_secs"]
+      (timer entries, elapsed fields of reports). This is what makes
+      {!Snapshot.scrub_elapsed} a complete and minimal mask: two runs with
+      the same seed serialise byte-identically after scrubbing, and the
+      ["_secs"] keys are the only ones scrubbed;
+    - events record the active span path (["kway/run0/split2"]) in a
+      ["span"] field, so a flat event list stays attributable. *)
+
+type t
+
+val noop : t
+(** The do-nothing sink; recording into it is free. *)
+
+val create : unit -> t
+(** A fresh collecting sink. Not thread-safe (neither is the engine). *)
+
+val enabled : t -> bool
+(** [false] exactly for {!noop}. Hot paths use this to skip building event
+    payloads entirely. *)
+
+val incr : ?by:int -> t -> string -> unit
+(** Add [by] (default 1) to a named counter. *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f] inside a named span: the span stack gains
+    [name], the CPU time of [f] (via [Sys.time], like every elapsed figure
+    this system reports) accumulates in a timer keyed
+    ["<path>/<name>_secs"], and the stack pops even if [f] raises. On
+    {!noop} it is just [f ()]. *)
+
+val current_span : t -> string
+(** Current span path, ["/"]-joined, [""] at top level or on {!noop}. *)
+
+val event : t -> string -> (string * Json.t) list -> unit
+(** Append a structured event. The current span path, when non-empty, is
+    prepended to the fields as ["span"]. Callers guard payload construction
+    with {!enabled} when the fields are costly to build. *)
+
+(** {1 Reading a sink} *)
+
+module Snapshot : sig
+  type event = { name : string; fields : (string * Json.t) list }
+
+  type t = {
+    counters : (string * int) list;  (** sorted by name *)
+    timers : (string * float) list;  (** accumulated seconds, sorted by key *)
+    events : event list;             (** in recording order *)
+  }
+
+  val to_json : t -> Json.t
+  (** [{"counters": {...}, "timers": {...}, "events": [...]}]. Each event
+      becomes an object with its ["event"] name first, then its fields.
+      Deterministic for deterministic recording — only ["_secs"] keyed
+      values vary between identical runs. *)
+
+  val scrub_elapsed : Json.t -> Json.t
+  (** Replace the value of every object field whose key ends in ["_secs"]
+      with [Null], recursively, and nothing else. Two same-seed runs must
+      agree byte-for-byte after this. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Human summary: counters, timers, event count by name. *)
+end
+
+val snapshot : t -> Snapshot.t
+(** Read everything recorded so far ({!noop} snapshots empty). The sink
+    keeps recording; snapshots are cheap copies. *)
+
+(** Re-export so users of the sink need only one library dependency. *)
+module Json = Json

@@ -548,6 +548,143 @@ let test_kway_check_catches_corruption () =
       in
       checkb "detects missing output" true (Result.is_error (Kway.check h broken))
 
+let test_kway_check_catches_bad_iobs_and_summary () =
+  (* The recorded per-part IOBs and the summary figures are validated
+     against recounts: corrupting any of them must be rejected while the
+     pristine result still passes. *)
+  let h = mapped_hypergraph (Netlist.Generator.multiplier ~bits:16 ()) in
+  match Kway.partition ~options:small_options ~library:Fpga.Library.xc3000 h with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      checkb "pristine result accepted" true (Result.is_ok (Kway.check h r));
+      let corrupt_first_part f =
+        match r.Kway.parts with
+        | p :: rest -> { r with Kway.parts = f p :: rest }
+        | [] -> r
+      in
+      let bad_iobs = corrupt_first_part (fun p -> { p with Kway.iobs = p.Kway.iobs + 1 }) in
+      checkb "detects inflated part iobs" true
+        (Result.is_error (Kway.check h bad_iobs));
+      let starved_iobs =
+        corrupt_first_part (fun p -> { p with Kway.iobs = p.Kway.iobs - 1 })
+      in
+      checkb "detects deflated part iobs" true
+        (Result.is_error (Kway.check h starved_iobs));
+      let bad_cost =
+        {
+          r with
+          Kway.summary =
+            { r.Kway.summary with Fpga.Cost.total_cost = r.Kway.summary.Fpga.Cost.total_cost +. 1.0 };
+        }
+      in
+      checkb "detects wrong summary cost" true
+        (Result.is_error (Kway.check h bad_cost));
+      let bad_repl = { r with Kway.replicated_cells = r.Kway.replicated_cells + 1 } in
+      checkb "detects wrong replication figure" true
+        (Result.is_error (Kway.check h bad_repl))
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry and generated-circuit properties                         *)
+(* ------------------------------------------------------------------ *)
+
+let fm_pass_events obs =
+  List.filter
+    (fun e -> e.Obs.Snapshot.name = "fm.pass")
+    (Obs.snapshot obs).Obs.Snapshot.events
+
+let event_int e key =
+  match List.assoc_opt key e.Obs.Snapshot.fields with
+  | Some (Obs.Json.Int i) -> i
+  | _ -> Alcotest.failf "fm.pass event lacks int field %s" key
+
+let qcheck_fm_telemetry_invariants =
+  (* Per-pass telemetry must satisfy the structural invariants of the
+     algorithm: at most one applied op per cell, rollback within the pass's
+     own ops, replication acceptance within attempts, and the last event's
+     cut equal to the state's recomputed cut. *)
+  QCheck.Test.make ~name:"fm.pass telemetry invariants" ~count:30
+    QCheck.(pair small_int (int_range 8 30))
+    (fun (seed, n_cells) ->
+      let h = Test_util.random_hypergraph seed n_cells in
+      let cfg =
+        Fm.balance_config ~replication:(`Functional 0) ~slack:0.3
+          ~total_area:(Hypergraph.total_area h) ()
+      in
+      let st = Fm.random_state (Netlist.Rng.create (seed + 13)) h in
+      let obs = Obs.create () in
+      ignore (Fm.run ~obs cfg st);
+      let passes = fm_pass_events obs in
+      let n = Hypergraph.num_cells h in
+      let each_ok =
+        List.for_all
+          (fun e ->
+            let applied = event_int e "applied" in
+            let rolled_back = event_int e "rolled_back" in
+            let attempted = event_int e "repl_attempted" in
+            let accepted = event_int e "repl_accepted" in
+            applied >= 0 && applied <= n
+            && rolled_back >= 0
+            && rolled_back <= applied
+            && accepted >= 0 && accepted <= attempted
+            && attempted <= applied)
+          passes
+      in
+      let last_ok =
+        match List.rev passes with
+        | [] -> false (* max_passes > 0 always emits at least one event *)
+        | last :: _ ->
+            let cut, term_a, term_b, _, _ = Partition_state.recompute st in
+            event_int last "cut" = cut
+            && event_int last "terminals" = term_a + term_b
+      in
+      each_ok && last_ok)
+
+let qcheck_kway_sound_on_generated_circuits =
+  (* End-to-end hardening: for random generated circuits the driver's Ok
+     results always pass the strengthened check, and the telemetry stays
+     within the same structural bounds (sub-problems never exceed the
+     original cell count). *)
+  QCheck.Test.make ~name:"k-way Ok results pass check on generated circuits"
+    ~count:8
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Netlist.Rng.create seed in
+      let c =
+        Netlist.Generator.random ~rng ~num_inputs:(8 + (seed mod 7))
+          ~num_gates:(140 + (seed mod 120))
+          ~num_dff:(seed mod 9)
+          ~num_outputs:(6 + (seed mod 5))
+          ()
+      in
+      let h = mapped_hypergraph c in
+      let options =
+        {
+          Kway.default_options with
+          runs = 2;
+          fm_attempts = 2;
+          seed = seed + 1;
+          replication = `Functional 0;
+        }
+      in
+      let obs = Obs.create () in
+      match Kway.partition ~obs ~options ~library:Fpga.Library.xc3000 h with
+      | Error _ -> true (* infeasible random instances are acceptable *)
+      | Ok r ->
+          let sound =
+            match Kway.check h r with
+            | Ok () -> true
+            | Error e -> QCheck.Test.fail_reportf "unsound: %s" e
+          in
+          let n = Hypergraph.num_cells h in
+          let telemetry_ok =
+            List.for_all
+              (fun e ->
+                let applied = event_int e "applied" in
+                applied <= n && event_int e "rolled_back" <= applied)
+              (fm_pass_events obs)
+          in
+          sound && telemetry_ok)
+
 let () =
   Alcotest.run "core"
     [
@@ -608,8 +745,15 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_kway_deterministic;
           Alcotest.test_case "check catches corruption" `Quick
             test_kway_check_catches_corruption;
+          Alcotest.test_case "check catches bad iobs/summary" `Quick
+            test_kway_check_catches_bad_iobs_and_summary;
           Alcotest.test_case "refinement not worse" `Quick
             test_kway_refinement_not_worse;
           Alcotest.test_case "alternative library" `Quick test_kway_xc4000;
+        ] );
+      ( "telemetry",
+        [
+          qc qcheck_fm_telemetry_invariants;
+          qc qcheck_kway_sound_on_generated_circuits;
         ] );
     ]

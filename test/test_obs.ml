@@ -1,0 +1,271 @@
+(* Tests for the observability layer: counters, span timers, event
+   recording, the JSON emitter, and the determinism contract the engine's
+   telemetry promises (same seed -> byte-identical snapshots modulo
+   elapsed-time fields). *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_rendering () =
+  let j =
+    Obs.Json.Obj
+      [
+        ("a", Obs.Json.Int 3);
+        ("b", Obs.Json.List [ Obs.Json.Bool true; Obs.Json.Null ]);
+        ("c", Obs.Json.Float 1.5);
+        ("d", Obs.Json.String "x\"y\\z\n");
+      ]
+  in
+  let s = Obs.Json.to_string j in
+  checkb "escapes quote" true
+    (String.length s > 0
+    && (let sub = "\"x\\\"y\\\\z\\n\"" in
+        let rec find i =
+          i + String.length sub <= String.length s
+          && (String.sub s i (String.length sub) = sub || find (i + 1))
+        in
+        find 0));
+  checks "empty obj" "{}" (Obs.Json.to_string (Obs.Json.Obj []));
+  checks "empty list" "[]" (Obs.Json.to_string (Obs.Json.List []));
+  (* Floats always read back as floats; non-finite values become null. *)
+  checks "integral float keeps a point" "2.0"
+    (Obs.Json.to_string (Obs.Json.Float 2.0));
+  checks "nan is null" "null" (Obs.Json.to_string (Obs.Json.Float Float.nan));
+  checks "inf is null" "null"
+    (Obs.Json.to_string (Obs.Json.Float Float.infinity))
+
+let test_json_accessors () =
+  let j = Obs.Json.Obj [ ("k", Obs.Json.Int 7); ("s", Obs.Json.String "v") ] in
+  checkb "member hit" true
+    (Obs.Json.member "k" j = Some (Obs.Json.Int 7));
+  checkb "member miss" true (Obs.Json.member "zz" j = None);
+  checkb "member on non-obj" true (Obs.Json.member "k" Obs.Json.Null = None);
+  checkb "to_int" true (Obs.Json.to_int (Obs.Json.Int 4) = Some 4);
+  checkb "to_float coerces int" true
+    (Obs.Json.to_float (Obs.Json.Int 4) = Some 4.0);
+  checkb "to_str" true (Obs.Json.to_str (Obs.Json.String "v") = Some "v")
+
+(* ------------------------------------------------------------------ *)
+(* Sink: counters, spans, events                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_noop_sink () =
+  let t = Obs.noop in
+  checkb "disabled" false (Obs.enabled t);
+  Obs.incr t "x";
+  Obs.event t "e" [];
+  checki "span passes value through" 41 (Obs.span t "s" (fun () -> 41));
+  checks "no span path" "" (Obs.current_span t);
+  let s = Obs.snapshot t in
+  checkb "empty snapshot" true
+    (s.Obs.Snapshot.counters = [] && s.Obs.Snapshot.timers = []
+   && s.Obs.Snapshot.events = [])
+
+let test_counters () =
+  let t = Obs.create () in
+  checkb "enabled" true (Obs.enabled t);
+  Obs.incr t "b";
+  Obs.incr t ~by:3 "a";
+  Obs.incr t "b";
+  let s = Obs.snapshot t in
+  Alcotest.check
+    Alcotest.(list (pair string int))
+    "accumulated and sorted"
+    [ ("a", 3); ("b", 2) ]
+    s.Obs.Snapshot.counters
+
+let test_span_nesting () =
+  let t = Obs.create () in
+  let inner_path = ref "" in
+  let v =
+    Obs.span t "outer" (fun () ->
+        Obs.span t "inner" (fun () ->
+            inner_path := Obs.current_span t;
+            Obs.event t "probe" [ ("k", Obs.Json.Int 1) ];
+            7))
+  in
+  checki "value through nested spans" 7 v;
+  checks "nested path" "outer/inner" !inner_path;
+  checks "stack popped" "" (Obs.current_span t);
+  let s = Obs.snapshot t in
+  let keys = List.map fst s.Obs.Snapshot.timers in
+  checkb "outer timer" true (List.mem "outer_secs" keys);
+  checkb "inner timer" true (List.mem "outer/inner_secs" keys);
+  (match s.Obs.Snapshot.events with
+  | [ e ] ->
+      checks "event name" "probe" e.Obs.Snapshot.name;
+      checkb "span recorded on event" true
+        (List.assoc_opt "span" e.Obs.Snapshot.fields
+        = Some (Obs.Json.String "outer/inner"));
+      checkb "payload preserved" true
+        (List.assoc_opt "k" e.Obs.Snapshot.fields = Some (Obs.Json.Int 1))
+  | l -> Alcotest.failf "expected 1 event, got %d" (List.length l));
+  (* Re-entering a span accumulates into the same timer key. *)
+  Obs.span t "outer" (fun () -> ());
+  let s2 = Obs.snapshot t in
+  checki "timer keys stable" (List.length s.Obs.Snapshot.timers)
+    (List.length s2.Obs.Snapshot.timers)
+
+let test_span_exception_safety () =
+  let t = Obs.create () in
+  (try Obs.span t "boom" (fun () -> failwith "x") with Failure _ -> ());
+  checks "stack popped after raise" "" (Obs.current_span t);
+  checkb "timer still recorded" true
+    (List.mem_assoc "boom_secs" (Obs.snapshot t).Obs.Snapshot.timers)
+
+let test_event_order () =
+  let t = Obs.create () in
+  for i = 0 to 4 do
+    Obs.event t "e" [ ("i", Obs.Json.Int i) ]
+  done;
+  let s = Obs.snapshot t in
+  let order =
+    List.map
+      (fun e ->
+        match List.assoc "i" e.Obs.Snapshot.fields with
+        | Obs.Json.Int i -> i
+        | _ -> -1)
+      s.Obs.Snapshot.events
+  in
+  Alcotest.check Alcotest.(list int) "recording order" [ 0; 1; 2; 3; 4 ] order
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot JSON and the elapsed-time scrub                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_json_shape () =
+  let t = Obs.create () in
+  Obs.incr t "c";
+  Obs.span t "s" (fun () -> Obs.event t "e" [ ("x", Obs.Json.Int 1) ]);
+  let j = Obs.Snapshot.to_json (Obs.snapshot t) in
+  checkb "counters object" true
+    (match Obs.Json.member "counters" j with
+    | Some (Obs.Json.Obj [ ("c", Obs.Json.Int 1) ]) -> true
+    | _ -> false);
+  checkb "timers object keyed _secs" true
+    (match Obs.Json.member "timers" j with
+    | Some (Obs.Json.Obj [ ("s_secs", Obs.Json.Float _) ]) -> true
+    | _ -> false);
+  checkb "events list with event name first" true
+    (match Obs.Json.member "events" j with
+    | Some (Obs.Json.List [ Obs.Json.Obj (("event", Obs.Json.String "e") :: _) ])
+      ->
+        true
+    | _ -> false)
+
+let test_scrub_elapsed_is_minimal () =
+  let j =
+    Obs.Json.Obj
+      [
+        ("elapsed_secs", Obs.Json.Float 1.23);
+        ("not_time", Obs.Json.Float 1.23);
+        ("seconds", Obs.Json.Int 9);
+        ( "nested",
+          Obs.Json.List
+            [ Obs.Json.Obj [ ("t_secs", Obs.Json.Float 0.5); ("n", Obs.Json.Int 1) ] ]
+        );
+      ]
+  in
+  let expect =
+    Obs.Json.Obj
+      [
+        ("elapsed_secs", Obs.Json.Null);
+        ("not_time", Obs.Json.Float 1.23);
+        ("seconds", Obs.Json.Int 9);
+        ( "nested",
+          Obs.Json.List
+            [ Obs.Json.Obj [ ("t_secs", Obs.Json.Null); ("n", Obs.Json.Int 1) ] ]
+        );
+      ]
+  in
+  checks "only _secs keys nulled, order kept"
+    (Obs.Json.to_string expect)
+    (Obs.Json.to_string (Obs.Snapshot.scrub_elapsed j))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism regression on the real engine                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_kway_snapshot_deterministic () =
+  (* Two same-seed partition calls must serialise byte-identically once the
+     ["_secs"] elapsed-time fields are scrubbed — those fields are the only
+     allowed difference. The multiplier needs several devices, so the
+     telemetry exercises splits, device attempts and F-M passes. *)
+  let h =
+    Techmap.Mapper.to_hypergraph
+      (Techmap.Mapper.map (Netlist.Generator.multiplier ~bits:16 ()))
+  in
+  let options = { Core.Kway.default_options with runs = 2; fm_attempts = 2 } in
+  let shot () =
+    let obs = Obs.create () in
+    (match Core.Kway.partition ~obs ~options ~library:Fpga.Library.xc3000 h with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e);
+    let snap = Obs.snapshot obs in
+    let json = Obs.Snapshot.to_json snap in
+    (snap, Obs.Json.to_string (Obs.Snapshot.scrub_elapsed json))
+  in
+  let snap_a, a = shot () in
+  let _, b = shot () in
+  checks "byte-identical after elapsed scrub" a b;
+  let names =
+    List.sort_uniq compare
+      (List.map (fun e -> e.Obs.Snapshot.name) snap_a.Obs.Snapshot.events)
+  in
+  checkb "has fm.pass events" true (List.mem "fm.pass" names);
+  checkb "has device-window attempts" true (List.mem "kway.device_attempt" names);
+  checkb "has split events" true (List.mem "kway.split" names);
+  (* The scrub really only touched elapsed keys: structure and every
+     non-_secs leaf agree between the scrubbed and raw documents. *)
+  let rec agrees raw scrubbed =
+    match (raw, scrubbed) with
+    | Obs.Json.Obj ra, Obs.Json.Obj sa ->
+        List.length ra = List.length sa
+        && List.for_all2
+             (fun (kr, vr) (ks, vs) ->
+               kr = ks
+               &&
+               let n = String.length kr in
+               if n >= 5 && String.sub kr (n - 5) 5 = "_secs" then
+                 vs = Obs.Json.Null
+               else agrees vr vs)
+             ra sa
+    | Obs.Json.List rl, Obs.Json.List sl ->
+        List.length rl = List.length sl && List.for_all2 agrees rl sl
+    | r, s -> r = s
+  in
+  let raw = Obs.Snapshot.to_json snap_a in
+  checkb "scrub touches only _secs keys" true
+    (agrees raw (Obs.Snapshot.scrub_elapsed raw))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "rendering" `Quick test_json_rendering;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "noop" `Quick test_noop_sink;
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "span exception safety" `Quick
+            test_span_exception_safety;
+          Alcotest.test_case "event order" `Quick test_event_order;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "json shape" `Quick test_snapshot_json_shape;
+          Alcotest.test_case "scrub is minimal" `Quick
+            test_scrub_elapsed_is_minimal;
+          Alcotest.test_case "k-way determinism regression" `Quick
+            test_kway_snapshot_deterministic;
+        ] );
+    ]

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Telemetry acceptance gate: generate a stats document with
+# `fpgapart partition --stats-json` on a genuinely multi-device circuit
+# and fail if the JSON schema keys drift or the determinism contract
+# (same seed => byte-identical modulo *_secs fields) breaks.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+run() {
+  dune exec --no-print-directory bin/fpgapart.exe -- \
+    partition --circuit c6288 --seed 1 --stats-json "$1" >/dev/null
+}
+
+run "$tmpdir/a.json"
+
+# Every key the README documents as schema v1 must be present, including
+# the per-pass F-M event fields and the per-split device-window attempts.
+for key in \
+  '"schema_version": 1' '"circuit"' '"seed"' '"options"' '"result"' \
+  '"obs"' '"counters"' '"timers"' '"events"' \
+  '"parts"' '"elapsed_secs"' \
+  '"event": "fm.pass"' '"event": "kway.device_attempt"' \
+  '"event": "kway.split"' \
+  '"pass"' '"applied"' '"rolled_back"' '"repl_attempted"' '"repl_accepted"' \
+  '"cut"' '"terminals"' '"improved"' '"feasible"' '"span"' \
+  '"fm.passes"' '"kway.device_attempts"' '"kway.splits"'
+do
+  if ! grep -qF "$key" "$tmpdir/a.json"; then
+    echo "schema check: missing $key in stats JSON" >&2
+    exit 1
+  fi
+done
+
+run "$tmpdir/b.json"
+
+# The only permitted nondeterminism is elapsed time, and every such field
+# ends in _secs. Null them out and require byte identity.
+scrub() {
+  sed -e 's|"\([A-Za-z0-9_/.-]*_secs\)": [-+eE0-9.]*|"\1": null|g' "$1"
+}
+scrub "$tmpdir/a.json" > "$tmpdir/a.scrubbed"
+scrub "$tmpdir/b.json" > "$tmpdir/b.scrubbed"
+if ! cmp -s "$tmpdir/a.scrubbed" "$tmpdir/b.scrubbed"; then
+  echo "schema check: same-seed runs differ beyond *_secs fields" >&2
+  exit 1
+fi
+
+echo "schema check: ok"

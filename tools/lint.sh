@@ -1,0 +1,27 @@
+#!/bin/sh
+# Source hygiene check (ocamlformat is not a build dependency, so this is
+# the fmt-clean equivalent the CI target runs): no tabs, no trailing
+# whitespace, and a final newline in every OCaml source and dune file.
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+files=$(git ls-files '*.ml' '*.mli' '*/dune' 'dune-project')
+
+for f in $files; do
+  if grep -qIP '\t' "$f"; then
+    echo "lint: tab character in $f" >&2
+    status=1
+  fi
+  if grep -qI ' $' "$f"; then
+    echo "lint: trailing whitespace in $f" >&2
+    status=1
+  fi
+  if [ -s "$f" ] && [ "$(tail -c 1 "$f")" != "" ]; then
+    echo "lint: missing final newline in $f" >&2
+    status=1
+  fi
+done
+
+[ "$status" -eq 0 ] && echo "lint: ok"
+exit "$status"
