@@ -19,7 +19,17 @@ lint:
 schema: build
 	sh tools/check_schema.sh
 
-ci: build test lint schema
+# CI runs the suite and the schema gate under both FPGAPART_JOBS=1 and
+# FPGAPART_JOBS=4 (the tests read the variable to size the domain pool),
+# then diffs the two scrubbed telemetry documents: the parallel search
+# must be invisible in everything but the *_secs timers.
+ci: build lint
+	FPGAPART_JOBS=1 dune runtest --force
+	FPGAPART_JOBS=4 dune runtest --force
+	FPGAPART_JOBS=1 SCRUB_OUT=_build/schema.jobs1.json sh tools/check_schema.sh
+	FPGAPART_JOBS=4 SCRUB_OUT=_build/schema.jobs4.json sh tools/check_schema.sh
+	cmp _build/schema.jobs1.json _build/schema.jobs4.json
+	@echo "ci: scrubbed telemetry identical across FPGAPART_JOBS=1/4"
 
 clean:
 	dune clean

@@ -3,16 +3,22 @@
    kernels behind each table.
 
    Usage:
-     dune exec bench/main.exe                        # everything
-     dune exec bench/main.exe -- table3 fig3 timing  # selected artifacts
-     dune exec bench/main.exe -- --cut-runs 5 all    # faster Table III
+     dune exec bench/main.exe                          # everything
+     dune exec bench/main.exe -- table3 fig3 timing    # selected artifacts
+     dune exec bench/main.exe -- --cut-runs 5 all      # faster Table III
    Options: --cut-runs N (Table III bipartitions per circuit, default 20),
-            --kway-runs N (k-way multi-starts, default 5), --seed N. *)
+            --runs/--kway-runs N (k-way multi-starts, default 5),
+            --seed N, --jobs N (parallel-speedup measurement of the
+            partition artifact, default 4, env FPGAPART_JOBS).
+   The option terms are shared with the fpgapart CLI (Cli_common), so the
+   two frontends cannot drift. *)
+
+open Cmdliner
 
 let cut_runs = ref 20
 let kway_runs = ref 5
 let seed = ref 7
-let selected : string list ref = ref []
+let jobs = ref 4
 
 let progress fmt =
   Format.kfprintf
@@ -80,12 +86,39 @@ let table7 () =
 
 let partition_stats () =
   section "BENCH_partition.json: k-way engine telemetry aggregate";
-  progress "partition telemetry: running the suite under a collecting sink...";
-  let doc = Experiments.Obs_report.suite_doc ~runs:!kway_runs ~seed:1 () in
+  progress
+    "partition telemetry: running the suite under a collecting sink \
+     (plus jobs=1 vs jobs=%d wall-clock runs)..."
+    !jobs;
+  let doc, speedups =
+    Experiments.Obs_report.suite_doc ~runs:!kway_runs ~seed:1 ~jobs:!jobs ()
+  in
   Experiments.Obs_report.write ~path:"BENCH_partition.json" doc;
+  (match speedups with
+  | [] -> ()
+  | l ->
+      Format.printf "%-10s %12s %12s %9s@." "circuit" "jobs=1 wall"
+        (Printf.sprintf "jobs=%d wall" !jobs)
+        "speedup";
+      let sum1 = ref 0.0 and sumn = ref 0.0 in
+      List.iter
+        (fun (s : Experiments.Obs_report.speedup) ->
+          sum1 := !sum1 +. s.Experiments.Obs_report.jobs1_wall;
+          sumn := !sumn +. s.Experiments.Obs_report.jobsn_wall;
+          Format.printf "%-10s %11.2fs %11.2fs %8.2fx@."
+            s.Experiments.Obs_report.circuit s.Experiments.Obs_report.jobs1_wall
+            s.Experiments.Obs_report.jobsn_wall
+            (s.Experiments.Obs_report.jobs1_wall
+            /. Float.max 1e-9 s.Experiments.Obs_report.jobsn_wall))
+        l;
+      Format.printf "%-10s %11.2fs %11.2fs %8.2fx  (aggregate)@." "total" !sum1
+        !sumn
+        (!sum1 /. Float.max 1e-9 !sumn));
   Format.printf
-    "wrote BENCH_partition.json (schema v1: per-circuit options/result plus \
-     fm.pass and kway.* event streams)@."
+    "wrote BENCH_partition.json (schema v%d: per-circuit options/result, \
+     fm.pass and kway.* event streams, per-circuit jobs=1 vs jobs=%d \
+     wall-clock)@."
+    Experiments.Obs_report.schema_version !jobs
 
 let timing () =
   section "Extension: partition-aware static timing (baseline vs T=1)";
@@ -207,11 +240,11 @@ let perf_tests () =
            | Error _ -> nan))
   in
   let t4567_base =
-    kway { Core.Kway.default_options with runs = 1 } "table4-7/kway-baseline"
+    kway (Core.Kway.Options.make ~runs:1 ()) "table4-7/kway-baseline"
   in
   let t4567_repl =
     kway
-      { Core.Kway.default_options with runs = 1; replication = `Functional 0 }
+      (Core.Kway.Options.make ~runs:1 ~replication:(`Functional 0) ())
       "table4-7/kway+func-repl(T=0)"
   in
   [
@@ -277,34 +310,52 @@ let artifacts =
     ("perf", perf);
   ]
 
-let usage () =
-  prerr_endline
-    "usage: main.exe [all|table1..table7|fig3|ablation|timing|partition|perf]* \
-     [--cut-runs N] [--kway-runs N] [--seed N]";
-  exit 2
-
-let () =
-  let rec parse = function
-    | [] -> ()
-    | "--cut-runs" :: v :: rest ->
-        cut_runs := int_of_string v;
-        parse rest
-    | "--kway-runs" :: v :: rest ->
-        kway_runs := int_of_string v;
-        parse rest
-    | "--seed" :: v :: rest ->
-        seed := int_of_string v;
-        parse rest
-    | "all" :: rest ->
-        selected := !selected @ List.map fst artifacts;
-        parse rest
-    | name :: rest when List.mem_assoc name artifacts ->
-        selected := !selected @ [ name ];
-        parse rest
-    | _ -> usage ()
+let run selected cut_runs' kway_runs' seed' jobs' =
+  cut_runs := cut_runs';
+  kway_runs := kway_runs';
+  seed := seed';
+  jobs := jobs';
+  let names =
+    selected
+    |> List.concat_map (fun name ->
+           if name = "all" then List.map fst artifacts else [ name ])
   in
-  (match Array.to_list Sys.argv with _ :: args -> parse args | [] -> ());
-  let names = if !selected = [] then List.map fst artifacts else !selected in
-  let t0 = Sys.time () in
-  List.iter (fun name -> (List.assoc name artifacts) ()) names;
-  progress "total CPU time: %.1fs" (Sys.time () -. t0)
+  match List.find_opt (fun n -> not (List.mem_assoc n artifacts)) names with
+  | Some unknown ->
+      Format.eprintf "bench: unknown artifact %S (choose from: all %s)@."
+        unknown
+        (String.concat " " (List.map fst artifacts));
+      exit 2
+  | None ->
+      let names = if names = [] then List.map fst artifacts else names in
+      let t0 = Sys.time () in
+      List.iter (fun name -> (List.assoc name artifacts) ()) names;
+      progress "total CPU time: %.1fs" (Sys.time () -. t0)
+
+let main =
+  let doc =
+    "Regenerate the paper's tables, figures, telemetry aggregate and \
+     micro-benchmarks"
+  in
+  let artifacts_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ARTIFACT"
+          ~doc:
+            "Artifacts to produce (default: all): all, table1..table7, \
+             fig3, ablation, timing, partition, perf.")
+  in
+  let cut_runs_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "cut-runs" ] ~docv:"N"
+          ~doc:"Table III bipartitions per circuit (default 20).")
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(
+      const run $ artifacts_arg $ cut_runs_arg
+      $ Cli_common.runs ~extra_names:[ "kway-runs" ] ()
+      $ Cli_common.seed ~default:7 ()
+      $ Cli_common.jobs ~default:4 ())
+
+let () = exit (Cmd.eval main)

@@ -70,39 +70,18 @@ let circuit_arg =
     & info [ "circuit" ] ~docv:"NAME"
         ~doc:"Use a built-in benchmark circuit (see $(b,fpgapart list).)")
 
-let seed_arg =
-  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
-
-let threshold_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "replicate"; "T" ] ~docv:"T"
-        ~doc:
-          "Enable functional replication with threshold replication \
-           potential $(docv) (0 = replicate any multi-output cell).")
-
-let runs_arg =
-  Arg.(
-    value & opt int 5
-    & info [ "runs" ] ~docv:"N" ~doc:"Multi-start runs (default 5).")
+(* Knobs shared with the bench harness live in Cli_common so the two
+   frontends cannot drift. *)
+let seed_arg = Cli_common.seed ()
+let threshold_arg = Cli_common.replication_threshold ()
+let runs_arg = Cli_common.runs ()
+let stats_json_arg = Cli_common.stats_json ()
+let jobs_arg = Cli_common.jobs ()
 
 let verbose_arg =
   Arg.(
     value & flag
     & info [ "verbose"; "v" ] ~doc:"Print driver progress (Logs debug level).")
-
-let stats_json_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "stats-json" ] ~docv:"FILE"
-        ~doc:
-          "Write engine telemetry to $(docv) as JSON: the options and \
-           result summary plus per-pass F-M events, per-split \
-           device-window attempts, refinement deltas, counters and \
-           span timers (see README, 'Observability'). Off by default; \
-           partitioning runs with a no-op sink and records nothing.")
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -188,9 +167,7 @@ let bipartition_cmd =
     let c = or_die (load_circuit bench builtin) in
     let h = Techmap.Mapper.to_hypergraph (mapped_of c) in
     let total = Hypergraph.total_area h in
-    let replication =
-      match threshold with None -> `None | Some t -> `Functional t
-    in
+    let replication = Cli_common.replication_of_threshold threshold in
     let cfg = Core.Fm.balance_config ~replication ~total_area:total () in
     let best = ref None in
     for r = 0 to runs - 1 do
@@ -221,7 +198,7 @@ let partition_cmd =
     "Partition a circuit into a heterogeneous XC3000 set minimising total \
      device cost and interconnect (the paper's main flow)."
   in
-  let run bench builtin seed threshold runs verbose stats_json =
+  let run bench builtin seed threshold runs jobs verbose stats_json =
     setup_logs verbose;
     let c = or_die (load_circuit bench builtin) in
     let name =
@@ -231,10 +208,8 @@ let partition_cmd =
       | None, None -> "circuit"
     in
     let h = Techmap.Mapper.to_hypergraph (mapped_of c) in
-    let replication =
-      match threshold with None -> `None | Some t -> `Functional t
-    in
-    let options = { Core.Kway.default_options with runs; seed; replication } in
+    let replication = Cli_common.replication_of_threshold threshold in
+    let options = Core.Kway.Options.make ~runs ~seed ~replication ~jobs () in
     let obs =
       match stats_json with None -> Obs.noop | Some _ -> Obs.create ()
     in
@@ -265,7 +240,7 @@ let partition_cmd =
     (Cmd.info "partition" ~doc)
     Term.(
       const run $ bench_arg $ circuit_arg $ seed_arg $ threshold_arg $ runs_arg
-      $ verbose_arg $ stats_json_arg)
+      $ jobs_arg $ verbose_arg $ stats_json_arg)
 
 
 let convert_cmd =
@@ -330,12 +305,12 @@ let timing_cmd =
     "Partition a circuit and report the partition-aware static critical \
      path, with and without functional replication."
   in
-  let run bench builtin seed threshold runs =
+  let run bench builtin seed threshold runs jobs =
     let c = or_die (load_circuit bench builtin) in
     let m = mapped_of c in
     let h = Techmap.Mapper.to_hypergraph m in
     let analyze label replication =
-      let options = { Core.Kway.default_options with runs; seed; replication } in
+      let options = Core.Kway.Options.make ~runs ~seed ~replication ~jobs () in
       match Core.Kway.partition ~options ~library:Fpga.Library.xc3000 h with
       | Error msg -> Format.printf "%-26s: failed (%s)@." label msg
       | Ok r ->
@@ -352,7 +327,8 @@ let timing_cmd =
   in
   Cmd.v (Cmd.info "timing" ~doc)
     Term.(
-      const run $ bench_arg $ circuit_arg $ seed_arg $ threshold_arg $ runs_arg)
+      const run $ bench_arg $ circuit_arg $ seed_arg $ threshold_arg $ runs_arg
+      $ jobs_arg)
 
 let main =
   let doc =

@@ -30,7 +30,7 @@ let () =
     (Hypergraph.total_area h);
   List.iter
     (fun (label, replication) ->
-      let options = { Core.Kway.default_options with replication } in
+      let options = Core.Kway.Options.make ~replication () in
       match Core.Kway.partition ~options ~library:acme_library h with
       | Error msg -> Format.printf "%s: failed (%s)@." label msg
       | Ok r ->

@@ -21,7 +21,7 @@ let () =
     / Fpga.Device.max_clbs largest);
 
   let run label replication =
-    let options = { Core.Kway.default_options with replication; runs = 5 } in
+    let options = Core.Kway.Options.make ~replication ~runs:5 () in
     match Core.Kway.partition ~options ~library:Fpga.Library.xc3000 h with
     | Error msg ->
         Format.printf "%s: failed (%s)@." label msg;
@@ -36,7 +36,7 @@ let () =
         Some r.Core.Kway.summary
   in
   let run_with_result label replication =
-    let options = { Core.Kway.default_options with replication; runs = 5 } in
+    let options = Core.Kway.Options.make ~replication ~runs:5 () in
     match Core.Kway.partition ~options ~library:Fpga.Library.xc3000 h with
     | Error _ -> None
     | Ok r -> Some (label, r)

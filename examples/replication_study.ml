@@ -40,7 +40,7 @@ let () =
     !best
   in
   let kway replication =
-    let options = { Core.Kway.default_options with replication } in
+    let options = Core.Kway.Options.make ~replication () in
     Core.Kway.partition ~options ~library:Fpga.Library.xc3000 h
   in
   Format.printf "@.%-8s %6s %10s %10s %10s %10s %8s@." "T" "r_T" "best cut"

@@ -1,0 +1,49 @@
+open Cmdliner
+
+let seed ?(default = 1) () =
+  Arg.(
+    value & opt int default
+    & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let runs ?(default = 5) ?(extra_names = []) () =
+  Arg.(
+    value & opt int default
+    & info ("runs" :: extra_names) ~docv:"N"
+        ~doc:(Printf.sprintf "Multi-start runs (default %d)." default))
+
+let replication_threshold () =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "replicate"; "T" ] ~docv:"T"
+        ~doc:
+          "Enable functional replication with threshold replication \
+           potential $(docv) (0 = replicate any multi-output cell).")
+
+let replication_of_threshold = function
+  | None -> `None
+  | Some t -> `Functional t
+
+let stats_json () =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:
+          "Write engine telemetry to $(docv) as JSON: the options and \
+           result summary plus per-pass F-M events, per-split \
+           device-window attempts, refinement deltas, counters and \
+           span timers (see README, 'Observability'). Off by default; \
+           partitioning runs with a no-op sink and records nothing.")
+
+let jobs ?(default = 1) () =
+  Arg.(
+    value
+    & opt int default
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~env:(Cmd.Env.info "FPGAPART_JOBS")
+        ~doc:
+          "Run the multi-start search on $(docv) OCaml domains. The \
+           partition, the telemetry event stream and every counter are \
+           independent of $(docv) — only wall-clock time and the *_secs \
+           timers change. Defaults to $(env), then 1.")

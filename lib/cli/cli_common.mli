@@ -1,0 +1,32 @@
+(** Cmdliner terms shared by the [fpgapart] CLI and the bench harness
+    ([bench/main.exe]), so the two frontends cannot drift on flag names,
+    documentation, environment defaults, or parsing.
+
+    Every term is a builder taking its default (and occasionally extra flag
+    aliases), because the frontends legitimately differ there — the bench
+    harness seeds with 7 and calls the multi-start knob [--kway-runs] — but
+    must agree on everything else. *)
+
+val seed : ?default:int -> unit -> int Cmdliner.Term.t
+(** [--seed N] — random seed (default 1). *)
+
+val runs : ?default:int -> ?extra_names:string list -> unit -> int Cmdliner.Term.t
+(** [--runs N] — multi-start runs (default 5). [extra_names] adds flag
+    aliases (the bench harness keeps its historical [--kway-runs]). *)
+
+val replication_threshold : unit -> int option Cmdliner.Term.t
+(** [--replicate T] / [-T T] — functional-replication threshold; absent
+    means replication off. *)
+
+val replication_of_threshold : int option -> [ `None | `Functional of int ]
+(** The {!Core.Kway.options} view of {!replication_threshold}'s value. *)
+
+val stats_json : unit -> string option Cmdliner.Term.t
+(** [--stats-json FILE] — write engine telemetry as JSON. *)
+
+val jobs : ?default:int -> unit -> int Cmdliner.Term.t
+(** [--jobs N] / [-j N] — domains for the parallel multi-start search.
+    When the flag is absent, the [FPGAPART_JOBS] environment variable
+    supplies the value; when that is unset too, [default] (default 1)
+    applies. The result never depends on it (see README,
+    "Parallelism"). *)

@@ -17,22 +17,26 @@ type config = {
   score : Partition_state.t -> score;
 }
 
+module Config = struct
+  type t = config
+
+  let make ?(objective = Cut) ?(replication = `None) ?(max_passes = 12)
+      ~area_ok ~score () =
+    { objective; replication; max_passes; area_ok; score }
+end
+
 let balance_config ?(objective = Cut) ?(replication = `None) ?(max_passes = 12)
     ?(slack = 0.10) ~total_area () =
   let cap =
     int_of_float (ceil ((1.0 +. slack) *. float_of_int total_area /. 2.0))
   in
-  {
-    objective;
-    replication;
-    max_passes;
-    area_ok = (fun a b -> a <= cap && b <= cap);
-    score =
-      (fun st ->
-        let a = Partition_state.area st Partition_state.A in
-        let b = Partition_state.area st Partition_state.B in
-        (max 0 (max a b - cap), objective_value objective st, 0));
-  }
+  Config.make ~objective ~replication ~max_passes
+    ~area_ok:(fun a b -> a <= cap && b <= cap)
+    ~score:(fun st ->
+      let a = Partition_state.area st Partition_state.A in
+      let b = Partition_state.area st Partition_state.B in
+      (max 0 (max a b - cap), objective_value objective st, 0))
+    ()
 
 type device_bounds = {
   min_clbs : int;
@@ -42,51 +46,43 @@ type device_bounds = {
 
 let device_config ?(objective = Cut) ?(replication = `None) ?(max_passes = 12)
     ~bounds () =
-  {
-    objective;
-    replication;
-    max_passes;
+  Config.make ~objective ~replication ~max_passes
     (* Hard cap keeps side A from overshooting the device wildly; the rest
        of the feasibility hunt happens through the penalty. *)
-    area_ok = (fun a _b -> a <= bounds.max_clbs + (bounds.max_clbs / 4) + 1);
-    score =
-      (fun st ->
-        let a = Partition_state.area st Partition_state.A in
-        let ta = Partition_state.terminals st Partition_state.A in
-        let pen =
-          max 0 (bounds.min_clbs - a)
-          + max 0 (a - bounds.max_clbs)
-          + max 0 (ta - bounds.max_terminals)
-        in
-        (* Prefer a smaller remainder at equal cut: it fills the split-off
-           device (fewer, better-used devices cost less — objective 1)
-           without rewarding gratuitous replication into side A. *)
-        (pen, objective_value objective st, Partition_state.area st Partition_state.B));
-  }
+    ~area_ok:(fun a _b -> a <= bounds.max_clbs + (bounds.max_clbs / 4) + 1)
+    ~score:(fun st ->
+      let a = Partition_state.area st Partition_state.A in
+      let ta = Partition_state.terminals st Partition_state.A in
+      let pen =
+        max 0 (bounds.min_clbs - a)
+        + max 0 (a - bounds.max_clbs)
+        + max 0 (ta - bounds.max_terminals)
+      in
+      (* Prefer a smaller remainder at equal cut: it fills the split-off
+         device (fewer, better-used devices cost less — objective 1)
+         without rewarding gratuitous replication into side A. *)
+      (pen, objective_value objective st, Partition_state.area st Partition_state.B))
+    ()
 
 let two_device_config ?(objective = Terminals) ?(replication = `None)
     ?(max_passes = 12) ~bounds_a ~bounds_b () =
   let slack bounds = bounds.max_clbs + (bounds.max_clbs / 4) + 1 in
-  {
-    objective;
-    replication;
-    max_passes;
-    area_ok = (fun a b -> a <= slack bounds_a && b <= slack bounds_b);
-    score =
-      (fun st ->
-        let a = Partition_state.area st Partition_state.A in
-        let b = Partition_state.area st Partition_state.B in
-        let ta = Partition_state.terminals st Partition_state.A in
-        let tb = Partition_state.terminals st Partition_state.B in
-        let pen_of bounds clbs terms =
-          max 0 (bounds.min_clbs - clbs)
-          + max 0 (clbs - bounds.max_clbs)
-          + max 0 (terms - bounds.max_terminals)
-        in
-        ( pen_of bounds_a a ta + pen_of bounds_b b tb,
-          objective_value objective st,
-          a + b (* prefer shedding replicas at equal objective *) ));
-  }
+  Config.make ~objective ~replication ~max_passes
+    ~area_ok:(fun a b -> a <= slack bounds_a && b <= slack bounds_b)
+    ~score:(fun st ->
+      let a = Partition_state.area st Partition_state.A in
+      let b = Partition_state.area st Partition_state.B in
+      let ta = Partition_state.terminals st Partition_state.A in
+      let tb = Partition_state.terminals st Partition_state.B in
+      let pen_of bounds clbs terms =
+        max 0 (bounds.min_clbs - clbs)
+        + max 0 (clbs - bounds.max_clbs)
+        + max 0 (terms - bounds.max_terminals)
+      in
+      ( pen_of bounds_a a ta + pen_of bounds_b b tb,
+        objective_value objective st,
+        a + b (* prefer shedding replicas at equal objective *) ))
+    ()
 
 let random_state rng hg =
   let n = Hypergraph.num_cells hg in

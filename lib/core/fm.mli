@@ -38,6 +38,28 @@ type config = {
   score : Partition_state.t -> score;
       (** prefix quality; the pass rolls back to the best-scoring prefix *)
 }
+(** @deprecated Constructing this record literally is deprecated — new
+    knobs would break literal builders. Use {!Config.make} or one of the
+    scenario builders ({!balance_config}, {!device_config},
+    {!two_device_config}), which default everything defaultable. The
+    record stays exposed for field access and functional update. *)
+
+(** Labelled constructor for {!config}. *)
+module Config : sig
+  type t = config
+
+  val make :
+    ?objective:objective ->
+    ?replication:[ `None | `Functional of int ] ->
+    ?max_passes:int ->
+    area_ok:(int -> int -> bool) ->
+    score:(Partition_state.t -> score) ->
+    unit ->
+    t
+  (** Defaults: [Cut], [`None], 12 passes. [area_ok] and [score] have no
+      meaningful default — pick a scenario builder if you don't want to
+      write them. *)
+end
 
 val balance_config :
   ?objective:objective ->

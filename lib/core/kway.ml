@@ -14,7 +14,8 @@ type result = {
   summary : Fpga.Cost.summary;
   replicated_cells : int;
   total_cells : int;
-  elapsed : float;
+  wall_secs : float;
+  cpu_secs : float;
   runs : int;
   feasible_runs : int;
 }
@@ -26,17 +27,31 @@ type options = {
   max_passes : int;
   fm_attempts : int;
   refine_rounds : int;
+  jobs : int;
 }
 
-let default_options =
-  {
-    runs = 5;
-    seed = 1;
-    replication = `None;
-    max_passes = 10;
-    fm_attempts = 3;
-    refine_rounds = 1;
-  }
+module Options = struct
+  type t = options
+
+  let default =
+    {
+      runs = 5;
+      seed = 1;
+      replication = `None;
+      max_passes = 10;
+      fm_attempts = 3;
+      refine_rounds = 1;
+      jobs = 1;
+    }
+
+  let make ?(runs = default.runs) ?(seed = default.seed)
+      ?(replication = default.replication) ?(max_passes = default.max_passes)
+      ?(fm_attempts = default.fm_attempts)
+      ?(refine_rounds = default.refine_rounds) ?(jobs = default.jobs) () =
+    { runs; seed; replication; max_passes; fm_attempts; refine_rounds; jobs }
+end
+
+let default_options = Options.default
 
 (* External nets that actually consume an IOB: a net flagged external but
    incident to no cell (a dead primary after mapping) never has to enter
@@ -65,8 +80,15 @@ let translate orig_of members =
     members
 
 (* One feasible split attempt: side A must fit the device window. Returns
-   the best feasible state over [attempts] random restarts. *)
-let try_device ~opts ~rng ~obs rest (dev : Fpga.Device.t) =
+   the best feasible state over [attempts] random restarts.
+
+   The restarts are independent given their initial assignment, so with
+   [attempt_jobs > 1] they run on the pool. Determinism: the initial
+   assignments are drawn from the run RNG up front, in restart order, so
+   the stream consumed is identical however the restarts then execute; each
+   restart records F-M telemetry into a forked sink, merged back in restart
+   order; and the winner fold applies the sequential first-best tie-break. *)
+let try_device ~opts ~attempt_jobs ~rng ~obs rest (dev : Fpga.Device.t) =
   let area = Hypergraph.total_area rest in
   let bounds =
     {
@@ -85,23 +107,38 @@ let try_device ~opts ~rng ~obs rest (dev : Fpga.Device.t) =
        and lower total cost (objective 1). *)
     let target = max bounds.Fm.min_clbs (bounds.Fm.max_clbs * 9 / 10) in
     let p_a = float_of_int target /. float_of_int area in
-    let best = ref None in
-    for _ = 1 to opts.fm_attempts do
-      let st =
-        Partition_state.create rest ~init_on_b:(fun _ ->
-            Netlist.Rng.float rng 1.0 >= p_a)
-      in
-      match Fm.run_staged ~obs cfg st with
-      | 0, cut, neg_area -> (
-          match !best with
-          | Some (k, _) when k <= (cut, neg_area) -> ()
-          | _ -> best := Some ((cut, neg_area), st))
-      | _ -> ()
+    let n = Hypergraph.num_cells rest in
+    let inits = Array.init opts.fm_attempts (fun _ -> Array.make n false) in
+    for a = 0 to opts.fm_attempts - 1 do
+      let init = inits.(a) in
+      for c = 0 to n - 1 do
+        init.(c) <- Netlist.Rng.float rng 1.0 >= p_a
+      done
     done;
+    let attempts =
+      Parallel.Pool.run ~jobs:attempt_jobs opts.fm_attempts (fun a ->
+          let child = Obs.fork obs in
+          let st =
+            Partition_state.create rest ~init_on_b:(fun c -> inits.(a).(c))
+          in
+          let score = Fm.run_staged ~obs:child cfg st in
+          (child, score, st))
+    in
+    let best = ref None in
+    Array.iter
+      (fun (child, score, st) ->
+        Obs.merge_into ~into:obs child;
+        match score with
+        | 0, cut, neg_area -> (
+            match !best with
+            | Some (k, _) when k <= (cut, neg_area) -> ()
+            | _ -> best := Some ((cut, neg_area), st))
+        | _ -> ())
+      attempts;
     Option.map snd !best
   end
 
-let run_once ~library ~opts ~rng ~obs hg =
+let run_once ~library ~opts ~attempt_jobs ~rng ~obs hg =
   let num_orig = Hypergraph.num_cells hg in
   let identity =
     Array.init num_orig (fun c ->
@@ -154,7 +191,7 @@ let run_once ~library ~opts ~rng ~obs hg =
                   (fun dev ->
                     let attempt =
                       Obs.span obs ("dev-" ^ dev.Fpga.Device.name) (fun () ->
-                          try_device ~opts ~rng ~obs rest dev)
+                          try_device ~opts ~attempt_jobs ~rng ~obs rest dev)
                     in
                     if Obs.enabled obs then Obs.incr obs "kway.device_attempts";
                     match attempt with
@@ -449,50 +486,78 @@ let summarize_parts hg parts =
   in
   (summary, replicated, Hypergraph.num_cells hg)
 
-let partition ?(obs = Obs.noop) ?(options = default_options) ~library hg =
+(* One multi-start run, self-contained: its own RNG derived from
+   (seed, run index) and a private forked sink, so runs can execute on any
+   domain in any order. The returned sink holds the run's whole telemetry,
+   the ["kway.run"] summary event included. *)
+let run_trial ~library ~options ~attempt_jobs ~obs hg r =
+  let child = Obs.fork obs in
+  let rng = Netlist.Rng.create (options.seed + (r * 7919)) in
+  let outcome =
+    Obs.span child (Printf.sprintf "run%d" r) (fun () ->
+        run_once ~library ~opts:options ~attempt_jobs ~rng ~obs:child hg)
+  in
+  if Obs.enabled child then Obs.incr child "kway.runs";
+  match outcome with
+  | Error reason ->
+      if Obs.enabled child then
+        Obs.event child "kway.run"
+          [
+            ("run", Obs.Json.Int r);
+            ("feasible", Obs.Json.Bool false);
+            ("reason", Obs.Json.String reason);
+          ];
+      (child, None)
+  | Ok parts ->
+      let summary, replicated, total = summarize_parts hg parts in
+      if Obs.enabled child then begin
+        Obs.incr child "kway.feasible_runs";
+        Obs.event child "kway.run"
+          [
+            ("run", Obs.Json.Int r);
+            ("feasible", Obs.Json.Bool true);
+            ("parts", Obs.Json.Int summary.Fpga.Cost.num_partitions);
+            ("total_cost", Obs.Json.Float summary.Fpga.Cost.total_cost);
+            ("total_iobs", Obs.Json.Int summary.Fpga.Cost.total_iobs);
+            ("replicated_cells", Obs.Json.Int replicated);
+          ]
+      end;
+      (child, Some (parts, summary, replicated, total))
+
+let partition ?(obs = Obs.noop) ?(options = Options.default) ~library hg =
+  let w0 = Parallel.Pool.wall_clock () in
   let t0 = Sys.time () in
-  let best = ref None in
+  let jobs = max 1 options.jobs in
+  (* Spare parallelism flows down to the per-split restarts only when the
+     run level cannot use it, so the domain count stays ~[jobs]. *)
+  let attempt_jobs =
+    if options.runs < jobs then max 1 (jobs / max 1 options.runs) else 1
+  in
+  let trials =
+    Parallel.Pool.run ~jobs options.runs
+      (run_trial ~library ~options ~attempt_jobs ~obs hg)
+  in
+  (* Merging the private sinks in run order reproduces the sequential event
+     stream exactly; the winner fold below applies the sequential
+     first-best tie-break. Both are independent of [jobs]. *)
+  Array.iter (fun (child, _) -> Obs.merge_into ~into:obs child) trials;
   let feasible = ref 0 in
-  for r = 0 to options.runs - 1 do
-    let rng = Netlist.Rng.create (options.seed + (r * 7919)) in
-    let outcome =
-      Obs.span obs (Printf.sprintf "run%d" r) (fun () ->
-          run_once ~library ~opts:options ~rng ~obs hg)
-    in
-    if Obs.enabled obs then Obs.incr obs "kway.runs";
-    match outcome with
-    | Error reason ->
-        if Obs.enabled obs then
-          Obs.event obs "kway.run"
-            [
-              ("run", Obs.Json.Int r);
-              ("feasible", Obs.Json.Bool false);
-              ("reason", Obs.Json.String reason);
-            ]
-    | Ok parts ->
-        incr feasible;
-        let summary, replicated, total = summarize_parts hg parts in
-        if Obs.enabled obs then begin
-          Obs.incr obs "kway.feasible_runs";
-          Obs.event obs "kway.run"
-            [
-              ("run", Obs.Json.Int r);
-              ("feasible", Obs.Json.Bool true);
-              ("parts", Obs.Json.Int summary.Fpga.Cost.num_partitions);
-              ("total_cost", Obs.Json.Float summary.Fpga.Cost.total_cost);
-              ("total_iobs", Obs.Json.Int summary.Fpga.Cost.total_iobs);
-              ("replicated_cells", Obs.Json.Int replicated);
-            ]
-        end;
-        let key =
-          (summary.Fpga.Cost.total_cost, summary.Fpga.Cost.avg_iob_utilization)
-        in
-        let better =
-          match !best with Some (k, _) -> key < k | None -> true
-        in
-        if better then best := Some (key, (parts, summary, replicated, total))
-  done;
-  let elapsed = Sys.time () -. t0 in
+  let best = ref None in
+  Array.iter
+    (fun (_, payload) ->
+      match payload with
+      | None -> ()
+      | Some ((_, summary, _, _) as v) ->
+          incr feasible;
+          let key =
+            ( summary.Fpga.Cost.total_cost,
+              summary.Fpga.Cost.avg_iob_utilization )
+          in
+          let better =
+            match !best with Some (k, _) -> key < k | None -> true
+          in
+          if better then best := Some (key, v))
+    trials;
   (* Pairwise refinement is applied once, to the winning run (it never
      worsens a partition, so the winner stays at least as good). *)
   let best =
@@ -504,6 +569,8 @@ let partition ?(obs = Obs.noop) ?(options = default_options) ~library hg =
     | Some (_, v) -> Some v
     | None -> None
   in
+  let wall_secs = Parallel.Pool.wall_clock () -. w0 in
+  let cpu_secs = Sys.time () -. t0 in
   match best with
   | None -> Error "no feasible k-way partition found in any run"
   | Some (parts, summary, replicated, total) ->
@@ -516,7 +583,8 @@ let partition ?(obs = Obs.noop) ?(options = default_options) ~library hg =
           summary;
           replicated_cells = replicated;
           total_cells = total;
-          elapsed;
+          wall_secs;
+          cpu_secs;
           runs = options.runs;
           feasible_runs = !feasible;
         }
@@ -630,10 +698,11 @@ let check hg result =
               else Ok ()))
 
 let pp_result fmt r =
-  Format.fprintf fmt "@[<v>%a@,replicated cells: %d / %d (%.1f%%)@,runs: %d (%d feasible), %.2fs@,"
+  Format.fprintf fmt
+    "@[<v>%a@,replicated cells: %d / %d (%.1f%%)@,runs: %d (%d feasible), %.2fs wall (%.2fs CPU)@,"
     Fpga.Cost.pp_summary r.summary r.replicated_cells r.total_cells
     (100.0 *. float_of_int r.replicated_cells /. float_of_int (max 1 r.total_cells))
-    r.runs r.feasible_runs r.elapsed;
+    r.runs r.feasible_runs r.wall_secs r.cpu_secs;
   List.iteri
     (fun j p ->
       Format.fprintf fmt "  part %d: %-8s %4d CLBs (%3.0f%%), %3d IOBs (%3.0f%%)@,"

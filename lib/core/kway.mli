@@ -9,7 +9,15 @@
     feasible split emerges, then recurses on the remainder. A multi-start
     outer loop collects several feasible k-way partitions and keeps the
     best by (total cost, then average IOB utilization) — the paper's twin
-    objectives (1) and (2). *)
+    objectives (1) and (2).
+
+    The multi-start runs are independent trials; with [jobs > 1] they
+    execute on OCaml 5 domains (see {!Parallel.Pool}) with {e no} effect on
+    the outcome or the telemetry: each run derives its RNG from
+    [(seed, run index)] and records into a private forked sink, the sinks
+    merge back in run order, and the winner is selected with the exact
+    sequential tie-break — so [jobs=N] produces byte-identical scrubbed
+    telemetry to [jobs=1]. *)
 
 type part = {
   device : Fpga.Device.t;
@@ -26,7 +34,13 @@ type result = {
   summary : Fpga.Cost.summary;
   replicated_cells : int;  (** original cells present in more than one part *)
   total_cells : int;
-  elapsed : float;         (** CPU seconds for the whole multi-start call *)
+  wall_secs : float;
+      (** wall-clock seconds for the whole multi-start call, refinement
+          included *)
+  cpu_secs : float;
+      (** process CPU seconds over the same interval, all domains summed —
+          equals [wall_secs] (up to noise) at [jobs = 1] and exceeds it
+          under parallelism *)
   runs : int;
   feasible_runs : int;
 }
@@ -44,11 +58,41 @@ type options = {
           4k of them) under both device windows to shed terminals (and
           possibly shrink devices); refinement never worsens a partition;
           0 disables *)
+  jobs : int;
+      (** domains used for the multi-start runs (and, when [runs < jobs],
+          for the per-split [fm_attempts] restarts); [1] runs everything in
+          the calling domain. Never affects the result. *)
 }
+(** @deprecated Constructing this record literally is deprecated: every new
+    knob (like [jobs]) is a breaking change for literal builders. Use
+    {!Options.make} (or functional update of {!Options.default}), which
+    defaults every field. The record stays exposed for field access and
+    functional update. *)
+
+(** Labelled constructors for {!options}. *)
+module Options : sig
+  type t = options
+
+  val default : t
+  (** 5 runs, seed 1, no replication, 10 passes, 3 attempts, 1 refinement
+      sweep, 1 job. *)
+
+  val make :
+    ?runs:int ->
+    ?seed:int ->
+    ?replication:[ `None | `Functional of int ] ->
+    ?max_passes:int ->
+    ?fm_attempts:int ->
+    ?refine_rounds:int ->
+    ?jobs:int ->
+    unit ->
+    t
+  (** Every argument defaults to its {!default} value, so adding future
+      knobs never breaks a caller. *)
+end
 
 val default_options : options
-(** 5 runs, seed 1, no replication, 10 passes, 3 attempts, 1 refinement
-    sweep. *)
+  [@@ocaml.deprecated "Use Kway.Options.default (or Kway.Options.make)."]
 
 val partition :
   ?obs:Obs.t ->
@@ -69,7 +113,9 @@ val partition :
     those spans (see {!Fm.run}); pairwise refinement spans ["refine<n>"]
     and emits ["kway.refine_pair"] and ["kway.refine_round"] events with
     terminal deltas. Identical options yield an identical event stream —
-    only the ["_secs"]-keyed timers vary between runs. *)
+    [jobs] included: runs (and restarts) record into {!Obs.fork}ed sinks
+    merged back in index order, so only the ["_secs"]-keyed timers vary
+    between runs or across [jobs] settings. *)
 
 val check : Hypergraph.t -> result -> (unit, string) Stdlib.result
 (** Soundness of a result: every output of every original cell is driven

@@ -44,7 +44,7 @@ let run ?(runs = 5) ?(seed = 1) ?(settings = default_settings)
       | Baseline -> `None
       | Threshold t -> `Functional t
     in
-    let options = { Core.Kway.default_options with runs; seed; replication } in
+    let options = Core.Kway.Options.make ~runs ~seed ~replication () in
     let t0 = Sys.time () in
     match Core.Kway.partition ~options ~library h with
     | Error _ -> (setting, infeasible (Sys.time () -. t0))
@@ -64,7 +64,7 @@ let run ?(runs = 5) ?(seed = 1) ?(settings = default_settings)
               100.0
               *. float_of_int r.Core.Kway.replicated_cells
               /. float_of_int (max 1 r.Core.Kway.total_cells);
-            cpu = r.Core.Kway.elapsed;
+            cpu = r.Core.Kway.cpu_secs;
             k = s.Fpga.Cost.num_partitions;
             devices = s.Fpga.Cost.device_counts;
           } )
@@ -131,7 +131,7 @@ let pp_table4 fmt rows =
       Format.fprintf fmt " %a" fmt_pct (mean vals))
     ts;
   Format.fprintf fmt " |@,(percentage of cells replicated per threshold; \
-                      CPU is wall time of the full multi-start call)@]"
+                      CPU is process CPU time of the full multi-start call)@]"
 
 (* Shared layout of Tables V-VII: baseline column, then per-threshold value
    and delta columns. *)

@@ -1,22 +1,29 @@
 (** Aggregation of partitioning telemetry into the stable JSON document
     behind [fpgapart partition --stats-json] and [BENCH_partition.json].
 
-    Schema (version 1) of a per-circuit document:
-    - ["schema_version"]: [1];
+    Schema (version 2) of a per-circuit document:
+    - ["schema_version"]: [2];
     - ["circuit"], ["seed"]: identification;
     - ["options"]: the {!Core.Kway.options} used ([runs], [seed],
-      [replication], [max_passes], [fm_attempts], [refine_rounds]);
+      [replication], [max_passes], [fm_attempts], [refine_rounds]).
+      [jobs] is deliberately omitted: it is an execution knob that never
+      shapes the result, and its absence is what lets the determinism gate
+      require byte-identical scrubbed documents across [--jobs] settings;
     - ["result"]: outcome summary — [num_partitions], [total_cost],
       [avg_clb_utilization], [avg_iob_utilization], [total_clbs],
       [total_iobs], [replicated_cells], [total_cells], [feasible_runs],
-      [elapsed_secs], and a ["parts"] list of [{device, clbs, iobs}];
+      [wall_secs], [cpu_secs] (wall-clock vs all-domain process CPU; v1's
+      single [elapsed_secs] claimed CPU seconds, which parallelism made
+      wrong), and a ["parts"] list of [{device, clbs, iobs}];
     - ["obs"]: the {!Obs.Snapshot} — ["counters"], ["timers"], and the
       ordered ["events"] stream (["fm.pass"], ["kway.device_attempt"],
       ["kway.split"], ["kway.refine_pair"], ...).
 
     Every elapsed-time field ends in ["_secs"]; after
     {!Obs.Snapshot.scrub_elapsed} two same-seed documents are
-    byte-identical. *)
+    byte-identical — whatever [jobs] each ran with. *)
+
+val schema_version : int
 
 val options_to_json : Core.Kway.options -> Obs.Json.t
 
@@ -40,11 +47,25 @@ val partition_doc :
 (** Run {!Core.Kway.partition} under a fresh collecting sink and build the
     document. [Error] propagates the driver's failure. *)
 
-val suite_doc : ?runs:int -> ?seed:int -> unit -> Obs.Json.t
+type speedup = {
+  circuit : string;
+  jobs : int;
+  jobs1_wall : float;  (** wall-clock seconds of the [jobs = 1] run *)
+  jobsn_wall : float;  (** wall-clock seconds of the [jobs = jobs] run *)
+}
+(** One per-circuit parallel measurement; the speedup is
+    [jobs1_wall /. jobsn_wall]. *)
+
+val suite_doc :
+  ?runs:int -> ?seed:int -> ?jobs:int -> unit -> Obs.Json.t * speedup list
 (** The bench aggregate: one {!partition_doc} per built-in benchmark
     circuit (infeasible circuits degrade to [{"circuit", "error"}]
     entries), wrapped as [{"schema_version"; "artifact": "partition";
-    "kway_runs"; "seed"; "circuits": [...]}]. This is what
+    "kway_runs"; "seed"; "circuits": [...]}]. With [jobs > 1] (default 1)
+    each feasible circuit additionally runs twice more under a no-op sink
+    — once at [jobs = 1], once at [jobs] — and gains a ["parallel"] object
+    [{"jobs"; "jobs1_wall_secs"; "jobsn_wall_secs"}]; those measurements
+    are also returned as the {!speedup} list for rendering. This is what
     [bench/main.exe partition] writes to [BENCH_partition.json]. *)
 
 val write : path:string -> Obs.Json.t -> unit

@@ -32,7 +32,7 @@ let run ?(runs = 5) ?(seed = 1) ?(threshold = 1) (e : Suite.entry) =
   let m = Lazy.force e.Suite.mapped in
   let h = Lazy.force e.Suite.hypergraph in
   let partition replication =
-    let options = { Core.Kway.default_options with runs; seed; replication } in
+    let options = Core.Kway.Options.make ~runs ~seed ~replication () in
     match Core.Kway.partition ~options ~library:Fpga.Library.xc3000 h with
     | Ok r -> Some (of_result m r)
     | Error _ -> None

@@ -44,6 +44,36 @@ let event t name fields =
       in
       c.events_rev <- (name, fields) :: c.events_rev
 
+let fork = function
+  | Noop -> Noop
+  | Active c ->
+      Active
+        {
+          counters = Hashtbl.create 8;
+          timers = Hashtbl.create 8;
+          events_rev = [];
+          stack = c.stack;
+        }
+
+let merge_into ~into child =
+  match (into, child) with
+  | Active parent, Active c ->
+      Hashtbl.iter
+        (fun k v ->
+          Hashtbl.replace parent.counters k
+            (v + (try Hashtbl.find parent.counters k with Not_found -> 0)))
+        c.counters;
+      Hashtbl.iter
+        (fun k v ->
+          Hashtbl.replace parent.timers k
+            (v +. (try Hashtbl.find parent.timers k with Not_found -> 0.0)))
+        c.timers;
+      (* Both lists are newest-first; prepending the child's keeps the
+         parent's existing events before the child's, and the child's in
+         their recording order. *)
+      parent.events_rev <- c.events_rev @ parent.events_rev
+  | _ -> ()
+
 let span t name f =
   match t with
   | Noop -> f ()

@@ -22,7 +22,26 @@ val noop : t
 (** The do-nothing sink; recording into it is free. *)
 
 val create : unit -> t
-(** A fresh collecting sink. Not thread-safe (neither is the engine). *)
+(** A fresh collecting sink. A sink must only be written from one domain
+    at a time; parallel recording goes through {!fork}/{!merge_into}. *)
+
+val fork : t -> t
+(** A private sink for one parallel trial: collecting iff the parent is,
+    and starting with the parent's {e current} span path, so events and
+    timers recorded in the child carry the same span context they would
+    have carried if recorded in the parent at the fork point. The child
+    shares no mutable state with the parent — recording into it from
+    another domain is safe. *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into child] appends everything the child recorded:
+    counters and timers add into the parent's, events append after the
+    parent's existing events, preserving the child's recording order. A
+    driver that forks one child per trial and merges them back in trial
+    order reproduces the exact event stream of the sequential loop —
+    that is the determinism contract of the parallel engine. No-op when
+    either sink is {!noop}. The child must be quiescent (its writing
+    domain joined) before merging. *)
 
 val enabled : t -> bool
 (** [false] exactly for {!noop}. Hot paths use this to skip building event

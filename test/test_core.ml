@@ -450,7 +450,12 @@ let test_multilevel_init_quality () =
 (* k-way driver                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let small_options = { Kway.default_options with runs = 3; fm_attempts = 2 }
+(* FPGAPART_JOBS lets the CI matrix exercise the parallel multi-start
+   path through the whole k-way suite without a dedicated test copy. *)
+let small_options =
+  Kway.Options.make ~runs:3 ~fm_attempts:2
+    ~jobs:(Parallel.Pool.jobs_from_env ())
+    ()
 
 let test_kway_refinement_not_worse () =
   (* Refinement may only improve the (cost, interconnect) outcome. *)
@@ -658,13 +663,10 @@ let qcheck_kway_sound_on_generated_circuits =
       in
       let h = mapped_hypergraph c in
       let options =
-        {
-          Kway.default_options with
-          runs = 2;
-          fm_attempts = 2;
-          seed = seed + 1;
-          replication = `Functional 0;
-        }
+        Kway.Options.make ~runs:2 ~fm_attempts:2 ~seed:(seed + 1)
+          ~replication:(`Functional 0)
+          ~jobs:(Parallel.Pool.jobs_from_env ())
+          ()
       in
       let obs = Obs.create () in
       match Kway.partition ~obs ~options ~library:Fpga.Library.xc3000 h with

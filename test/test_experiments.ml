@@ -150,7 +150,7 @@ let test_kway_campaign_row () =
 let expand_roundtrip name circuit replication =
   let m = Techmap.Mapper.map circuit in
   let h = Techmap.Mapper.to_hypergraph m in
-  let options = { Core.Kway.default_options with runs = 2; replication } in
+  let options = Core.Kway.Options.make ~runs:2 ~replication () in
   match Core.Kway.partition ~options ~library:Fpga.Library.xc3000 h with
   | Error e -> Alcotest.fail (name ^ ": k-way failed: " ^ e)
   | Ok r -> (
@@ -187,7 +187,7 @@ let test_expand_detects_missing_output () =
   let c = Netlist.Generator.multiplier ~bits:16 () in
   let m = Techmap.Mapper.map c in
   let h = Techmap.Mapper.to_hypergraph m in
-  let options = { Core.Kway.default_options with runs = 1 } in
+  let options = Core.Kway.Options.make ~runs:1 () in
   match Core.Kway.partition ~options ~library:Fpga.Library.xc3000 h with
   | Error e -> Alcotest.fail e
   | Ok r ->
@@ -232,7 +232,7 @@ let test_crossing_nets_matches_iobs () =
   let c = Netlist.Generator.multiplier ~bits:16 () in
   let m = Techmap.Mapper.map c in
   let h = Techmap.Mapper.to_hypergraph m in
-  let options = { Core.Kway.default_options with runs = 1 } in
+  let options = Core.Kway.Options.make ~runs:1 () in
   match Core.Kway.partition ~options ~library:Fpga.Library.xc3000 h with
   | Error e -> Alcotest.fail e
   | Ok r ->

@@ -135,6 +135,47 @@ let test_event_order () =
   Alcotest.check Alcotest.(list int) "recording order" [ 0; 1; 2; 3; 4 ] order
 
 (* ------------------------------------------------------------------ *)
+(* fork / merge_into (the parallel-telemetry primitives)              *)
+(* ------------------------------------------------------------------ *)
+
+let test_fork_merge_reproduces_sequential_stream () =
+  (* Recording through forked children merged in fork order must be
+     indistinguishable from recording everything into one sink — that is
+     the contract Kway's parallel multi-start relies on. *)
+  let record t tag =
+    Obs.incr t "shared";
+    Obs.incr t ~by:2 (tag ^ ".only");
+    Obs.span t tag (fun () ->
+        Obs.event t "probe" [ ("tag", Obs.Json.String tag) ])
+  in
+  let sequential = Obs.create () in
+  Obs.span sequential "root" (fun () ->
+      List.iter (record sequential) [ "a"; "b"; "c" ]);
+  let parent = Obs.create () in
+  Obs.span parent "root" (fun () ->
+      let children =
+        List.map
+          (fun tag ->
+            let child = Obs.fork parent in
+            record child tag;
+            child)
+          [ "a"; "b"; "c" ]
+      in
+      List.iter (Obs.merge_into ~into:parent) children);
+  let scrubbed t =
+    Obs.Json.to_string
+      (Obs.Snapshot.scrub_elapsed (Obs.Snapshot.to_json (Obs.snapshot t)))
+  in
+  checks "forked+merged equals sequential" (scrubbed sequential)
+    (scrubbed parent);
+  (* A forked child inherits the parent's span path at fork time. *)
+  Obs.span parent "outer" (fun () ->
+      let child = Obs.fork parent in
+      checks "child inherits span path" "outer" (Obs.current_span child));
+  (* Merging into a noop sink is a no-op, not an error. *)
+  Obs.merge_into ~into:Obs.noop (Obs.fork Obs.noop)
+
+(* ------------------------------------------------------------------ *)
 (* Snapshot JSON and the elapsed-time scrub                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -200,7 +241,7 @@ let test_kway_snapshot_deterministic () =
     Techmap.Mapper.to_hypergraph
       (Techmap.Mapper.map (Netlist.Generator.multiplier ~bits:16 ()))
   in
-  let options = { Core.Kway.default_options with runs = 2; fm_attempts = 2 } in
+  let options = Core.Kway.Options.make ~runs:2 ~fm_attempts:2 () in
   let shot () =
     let obs = Obs.create () in
     (match Core.Kway.partition ~obs ~options ~library:Fpga.Library.xc3000 h with
@@ -259,6 +300,8 @@ let () =
           Alcotest.test_case "span exception safety" `Quick
             test_span_exception_safety;
           Alcotest.test_case "event order" `Quick test_event_order;
+          Alcotest.test_case "fork/merge determinism" `Quick
+            test_fork_merge_reproduces_sequential_stream;
         ] );
       ( "snapshot",
         [

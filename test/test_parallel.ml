@@ -1,0 +1,174 @@
+(* Tests for the domain pool and for the tentpole guarantee of the
+   parallel multi-start search: the partition, the telemetry event stream
+   and every counter are byte-identical across [jobs] settings. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel.Pool                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_index_order () =
+  let squares = Parallel.Pool.run ~jobs:4 10 (fun i -> i * i) in
+  Alcotest.(check (array int))
+    "results land at their index"
+    (Array.init 10 (fun i -> i * i))
+    squares;
+  let chunked = Parallel.Pool.run ~chunk:3 ~jobs:2 11 (fun i -> i + 100) in
+  Alcotest.(check (array int))
+    "chunked dispatch preserves index order"
+    (Array.init 11 (fun i -> i + 100))
+    chunked
+
+let test_pool_edge_cases () =
+  checki "n = 0 yields an empty array" 0
+    (Array.length (Parallel.Pool.run ~jobs:4 0 (fun i -> i)));
+  Alcotest.(check (array int))
+    "more jobs than work" [| 7 |]
+    (Parallel.Pool.run ~jobs:8 1 (fun _ -> 7));
+  Alcotest.(check (array int))
+    "jobs = 1 runs inline" [| 0; 1; 2 |]
+    (Parallel.Pool.run ~jobs:1 3 (fun i -> i))
+
+let test_pool_exception () =
+  (* All indices still execute / join; the exception re-raised afterwards
+     is the one from the smallest failing index, deterministically. *)
+  Alcotest.check_raises "smallest failing index wins" (Failure "boom3")
+    (fun () ->
+      ignore
+        (Parallel.Pool.run ~jobs:4 10 (fun i ->
+             if i = 3 || i = 7 then failwith (Printf.sprintf "boom%d" i)
+             else i)))
+
+let test_pool_nested () =
+  let sums =
+    Parallel.Pool.run ~jobs:2 4 (fun i ->
+        Array.fold_left ( + ) 0
+          (Parallel.Pool.run ~jobs:2 3 (fun j -> (i * 10) + j)))
+  in
+  Alcotest.(check (array int))
+    "nested pools compose"
+    [| 3; 33; 63; 93 |]
+    sums
+
+let test_jobs_from_env () =
+  let var = "FPGAPART_TEST_JOBS" in
+  Unix.putenv var "4";
+  checki "well-formed value" 4 (Parallel.Pool.jobs_from_env ~var ());
+  Unix.putenv var "garbage";
+  checki "malformed falls back to 1" 1 (Parallel.Pool.jobs_from_env ~var ());
+  Unix.putenv var "0";
+  checki "non-positive falls back to 1" 1 (Parallel.Pool.jobs_from_env ~var ());
+  checki "unset falls back to 1" 1
+    (Parallel.Pool.jobs_from_env ~var:"FPGAPART_SURELY_UNSET_VAR" ())
+
+(* ------------------------------------------------------------------ *)
+(* jobs-independence of Kway.partition                                *)
+(* ------------------------------------------------------------------ *)
+
+let mapped_hypergraph c =
+  Techmap.Mapper.to_hypergraph (Techmap.Mapper.map c)
+
+(* Everything except the two [_secs] timing fields. *)
+let comparable (r : Core.Kway.result) =
+  ( r.Core.Kway.parts,
+    r.Core.Kway.summary,
+    r.Core.Kway.replicated_cells,
+    r.Core.Kway.total_cells,
+    r.Core.Kway.runs,
+    r.Core.Kway.feasible_runs )
+
+let partition_with_snapshot ~jobs ~runs h =
+  let options =
+    Core.Kway.Options.make ~runs ~fm_attempts:2 ~replication:(`Functional 0)
+      ~jobs ()
+  in
+  let obs = Obs.create () in
+  let r =
+    match Core.Kway.partition ~obs ~options ~library:Fpga.Library.xc3000 h with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  (match Core.Kway.check h r with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("unsound: " ^ e));
+  let scrubbed =
+    Obs.Json.to_string
+      (Obs.Snapshot.scrub_elapsed (Obs.Snapshot.to_json (Obs.snapshot obs)))
+  in
+  (r, scrubbed)
+
+let test_kway_jobs_independent () =
+  (* The acceptance gate of the parallel search: jobs=4 must reproduce the
+     jobs=1 partition and its scrubbed telemetry byte for byte. The 16-bit
+     multiplier needs several devices, so runs exercise splits, device
+     attempts and F-M restarts. *)
+  let h = mapped_hypergraph (Netlist.Generator.multiplier ~bits:16 ()) in
+  let r1, snap1 = partition_with_snapshot ~jobs:1 ~runs:3 h in
+  let r4, snap4 = partition_with_snapshot ~jobs:4 ~runs:3 h in
+  checkb "identical result (jobs=4 vs jobs=1)" true
+    (comparable r1 = comparable r4);
+  checks "byte-identical scrubbed telemetry" snap1 snap4
+
+let test_kway_attempt_level_parallelism () =
+  (* runs < jobs routes the surplus domains to the per-split fm_attempts
+     restarts; the pre-drawn RNG streams keep that path deterministic
+     too. *)
+  let h = mapped_hypergraph (Netlist.Generator.multiplier ~bits:16 ()) in
+  let r1, snap1 = partition_with_snapshot ~jobs:1 ~runs:1 h in
+  let r4, snap4 = partition_with_snapshot ~jobs:4 ~runs:1 h in
+  checkb "identical result (attempt-level jobs)" true
+    (comparable r1 = comparable r4);
+  checks "byte-identical scrubbed telemetry" snap1 snap4
+
+let prop_partition_independent_of_jobs =
+  QCheck.Test.make
+    ~name:"partition independent of jobs on generated circuits" ~count:6
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Netlist.Rng.create seed in
+      let c =
+        Netlist.Generator.random ~rng ~num_inputs:(8 + (seed mod 7))
+          ~num_gates:(120 + (seed mod 100))
+          ~num_dff:(seed mod 9)
+          ~num_outputs:(6 + (seed mod 5))
+          ()
+      in
+      let h = mapped_hypergraph c in
+      let go jobs =
+        let options =
+          Core.Kway.Options.make ~runs:2 ~fm_attempts:2 ~seed:(seed + 1)
+            ~replication:(`Functional 0) ~jobs ()
+        in
+        Core.Kway.partition ~options ~library:Fpga.Library.xc3000 h
+      in
+      match (go 1, go 3) with
+      | Error a, Error b -> a = b
+      | Ok a, Ok b ->
+          comparable a = comparable b
+          || QCheck.Test.fail_report "jobs changed the partition"
+      | Ok _, Error _ | Error _, Ok _ ->
+          QCheck.Test.fail_report "jobs changed feasibility")
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "index order" `Quick test_pool_index_order;
+          Alcotest.test_case "edge cases" `Quick test_pool_edge_cases;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "nested pools" `Quick test_pool_nested;
+          Alcotest.test_case "jobs_from_env" `Quick test_jobs_from_env;
+        ] );
+      ( "kway-determinism",
+        [
+          Alcotest.test_case "jobs=4 equals jobs=1" `Slow
+            test_kway_jobs_independent;
+          Alcotest.test_case "attempt-level parallelism" `Slow
+            test_kway_attempt_level_parallelism;
+          QCheck_alcotest.to_alcotest prop_partition_independent_of_jobs;
+        ] );
+    ]

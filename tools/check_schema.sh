@@ -1,8 +1,14 @@
 #!/bin/sh
 # Telemetry acceptance gate: generate a stats document with
 # `fpgapart partition --stats-json` on a genuinely multi-device circuit
-# and fail if the JSON schema keys drift or the determinism contract
-# (same seed => byte-identical modulo *_secs fields) breaks.
+# and fail if the JSON schema keys drift, the determinism contract
+# (same seed => byte-identical modulo *_secs fields) breaks, or the
+# parallel search leaks into the telemetry (--jobs 4 must scrub to the
+# same bytes as --jobs 1).
+#
+# When SCRUB_OUT is set, the scrubbed document is also copied there so a
+# caller (the Makefile's ci target) can diff gate runs made under
+# different FPGAPART_JOBS settings.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -10,18 +16,20 @@ tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
 run() {
+  out=$1; shift
   dune exec --no-print-directory bin/fpgapart.exe -- \
-    partition --circuit c6288 --seed 1 --stats-json "$1" >/dev/null
+    partition --circuit c6288 --seed 1 --stats-json "$out" "$@" >/dev/null
 }
 
 run "$tmpdir/a.json"
 
-# Every key the README documents as schema v1 must be present, including
-# the per-pass F-M event fields and the per-split device-window attempts.
+# Every key the README documents as schema v2 must be present, including
+# the per-pass F-M event fields, the per-split device-window attempts and
+# the split wall/CPU timing of the result.
 for key in \
-  '"schema_version": 1' '"circuit"' '"seed"' '"options"' '"result"' \
+  '"schema_version": 2' '"circuit"' '"seed"' '"options"' '"result"' \
   '"obs"' '"counters"' '"timers"' '"events"' \
-  '"parts"' '"elapsed_secs"' \
+  '"parts"' '"wall_secs"' '"cpu_secs"' \
   '"event": "fm.pass"' '"event": "kway.device_attempt"' \
   '"event": "kway.split"' \
   '"pass"' '"applied"' '"rolled_back"' '"repl_attempted"' '"repl_accepted"' \
@@ -34,7 +42,15 @@ do
   fi
 done
 
+# Schema v2 deliberately omits jobs from the options object: the scrubbed
+# document must be independent of the --jobs setting.
+if grep -qF '"jobs"' "$tmpdir/a.json"; then
+  echo "schema check: options must not record jobs (breaks the jobs-independence diff)" >&2
+  exit 1
+fi
+
 run "$tmpdir/b.json"
+run "$tmpdir/j4.json" --jobs 4
 
 # The only permitted nondeterminism is elapsed time, and every such field
 # ends in _secs. Null them out and require byte identity.
@@ -43,9 +59,19 @@ scrub() {
 }
 scrub "$tmpdir/a.json" > "$tmpdir/a.scrubbed"
 scrub "$tmpdir/b.json" > "$tmpdir/b.scrubbed"
+scrub "$tmpdir/j4.json" > "$tmpdir/j4.scrubbed"
 if ! cmp -s "$tmpdir/a.scrubbed" "$tmpdir/b.scrubbed"; then
   echo "schema check: same-seed runs differ beyond *_secs fields" >&2
   exit 1
+fi
+if ! cmp -s "$tmpdir/a.scrubbed" "$tmpdir/j4.scrubbed"; then
+  echo "schema check: --jobs 4 telemetry differs from --jobs 1 beyond *_secs fields" >&2
+  exit 1
+fi
+
+if [ -n "${SCRUB_OUT:-}" ]; then
+  mkdir -p "$(dirname "$SCRUB_OUT")"
+  cp "$tmpdir/a.scrubbed" "$SCRUB_OUT"
 fi
 
 echo "schema check: ok"
