@@ -1,4 +1,4 @@
-.PHONY: all build test bench lint schema ci clean
+.PHONY: all build test bench lint schema trace ci clean
 
 all: build
 
@@ -19,6 +19,12 @@ lint:
 schema: build
 	sh tools/check_schema.sh
 
+# Produces a --trace artifact from a traced parallel partition and
+# validates the Chrome trace-event JSON Perfetto will load (see
+# tools/check_trace.sh).
+trace: build
+	sh tools/check_trace.sh
+
 # CI runs the suite and the schema gate under both FPGAPART_JOBS=1 and
 # FPGAPART_JOBS=4 (the tests read the variable to size the domain pool),
 # then diffs the two scrubbed telemetry documents: the parallel search
@@ -29,6 +35,7 @@ ci: build lint
 	FPGAPART_JOBS=1 SCRUB_OUT=_build/schema.jobs1.json sh tools/check_schema.sh
 	FPGAPART_JOBS=4 SCRUB_OUT=_build/schema.jobs4.json sh tools/check_schema.sh
 	cmp _build/schema.jobs1.json _build/schema.jobs4.json
+	sh tools/check_trace.sh
 	@echo "ci: scrubbed telemetry identical across FPGAPART_JOBS=1/4"
 
 clean:

@@ -9,7 +9,10 @@
    Options: --cut-runs N (Table III bipartitions per circuit, default 20),
             --runs/--kway-runs N (k-way multi-starts, default 5),
             --seed N, --jobs N (parallel-speedup measurement of the
-            partition artifact, default 4, env FPGAPART_JOBS).
+            partition artifact, default 4, env FPGAPART_JOBS),
+            --trace FILE (partition artifact only: additionally run one
+            traced c6288 partition and write a Perfetto-loadable
+            Chrome trace-event JSON).
    The option terms are shared with the fpgapart CLI (Cli_common), so the
    two frontends cannot drift. *)
 
@@ -19,6 +22,7 @@ let cut_runs = ref 20
 let kway_runs = ref 5
 let seed = ref 7
 let jobs = ref 4
+let trace_path = ref None
 
 let progress fmt =
   Format.kfprintf
@@ -118,7 +122,30 @@ let partition_stats () =
     "wrote BENCH_partition.json (schema v%d: per-circuit options/result, \
      fm.pass and kway.* event streams, per-circuit jobs=1 vs jobs=%d \
      wall-clock)@."
-    Experiments.Obs_report.schema_version !jobs
+    Experiments.Obs_report.schema_version !jobs;
+  (* One traced partition of the largest default circuit: the Perfetto
+     artifact showing how the multi-start runs spread over the domains. *)
+  match !trace_path with
+  | None -> ()
+  | Some path -> (
+      progress "trace: c6288 at jobs=%d -> %s..." !jobs path;
+      match Experiments.Suite.find "c6288" with
+      | None -> prerr_endline "bench: c6288 missing from the suite"
+      | Some e ->
+          let h = Lazy.force e.Experiments.Suite.hypergraph in
+          let obs = Obs.create ~trace:true () in
+          let options =
+            Core.Kway.Options.make ~runs:!kway_runs ~seed:1 ~jobs:!jobs ()
+          in
+          (match
+             Core.Kway.partition ~obs ~options ~library:Fpga.Library.xc3000 h
+           with
+          | Ok _ -> ()
+          | Error msg -> prerr_endline ("bench: traced partition failed: " ^ msg));
+          Obs.Trace.write ~path obs;
+          Format.printf "wrote %s (Chrome trace-event JSON; open in \
+                         ui.perfetto.dev)@."
+            path)
 
 let timing () =
   section "Extension: partition-aware static timing (baseline vs T=1)";
@@ -310,11 +337,12 @@ let artifacts =
     ("perf", perf);
   ]
 
-let run selected cut_runs' kway_runs' seed' jobs' =
+let run selected cut_runs' kway_runs' seed' jobs' trace' =
   cut_runs := cut_runs';
   kway_runs := kway_runs';
   seed := seed';
   jobs := jobs';
+  trace_path := trace';
   let names =
     selected
     |> List.concat_map (fun name ->
@@ -328,9 +356,9 @@ let run selected cut_runs' kway_runs' seed' jobs' =
       exit 2
   | None ->
       let names = if names = [] then List.map fst artifacts else names in
-      let t0 = Sys.time () in
+      let t0 = Obs.Clock.cpu () in
       List.iter (fun name -> (List.assoc name artifacts) ()) names;
-      progress "total CPU time: %.1fs" (Sys.time () -. t0)
+      progress "total CPU time: %.1fs" (Obs.Clock.cpu () -. t0)
 
 let main =
   let doc =
@@ -356,6 +384,7 @@ let main =
       const run $ artifacts_arg $ cut_runs_arg
       $ Cli_common.runs ~extra_names:[ "kway-runs" ] ()
       $ Cli_common.seed ~default:7 ()
-      $ Cli_common.jobs ~default:4 ())
+      $ Cli_common.jobs ~default:4 ()
+      $ Cli_common.trace ())
 
 let () = exit (Cmd.eval main)

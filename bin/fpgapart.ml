@@ -76,6 +76,7 @@ let seed_arg = Cli_common.seed ()
 let threshold_arg = Cli_common.replication_threshold ()
 let runs_arg = Cli_common.runs ()
 let stats_json_arg = Cli_common.stats_json ()
+let trace_arg = Cli_common.trace ()
 let jobs_arg = Cli_common.jobs ()
 
 let verbose_arg =
@@ -198,7 +199,7 @@ let partition_cmd =
     "Partition a circuit into a heterogeneous XC3000 set minimising total \
      device cost and interconnect (the paper's main flow)."
   in
-  let run bench builtin seed threshold runs jobs verbose stats_json =
+  let run bench builtin seed threshold runs jobs verbose stats_json trace =
     setup_logs verbose;
     let c = or_die (load_circuit bench builtin) in
     let name =
@@ -210,8 +211,13 @@ let partition_cmd =
     let h = Techmap.Mapper.to_hypergraph (mapped_of c) in
     let replication = Cli_common.replication_of_threshold threshold in
     let options = Core.Kway.Options.make ~runs ~seed ~replication ~jobs () in
+    (* One sink serves both artifacts; tracing is enabled only when a trace
+       file was requested, so --stats-json alone pays no wall-clock or GC
+       sampling cost. *)
     let obs =
-      match stats_json with None -> Obs.noop | Some _ -> Obs.create ()
+      match (stats_json, trace) with
+      | None, None -> Obs.noop
+      | _ -> Obs.create ~trace:(trace <> None) ()
     in
     match Core.Kway.partition ~obs ~options ~library:Fpga.Library.xc3000 h with
     | Error msg ->
@@ -234,13 +240,26 @@ let partition_cmd =
                prerr_endline ("fpgapart: cannot write stats: " ^ msg);
                exit 1);
             Format.printf "telemetry: %s@." path);
+        (match trace with
+        | None -> ()
+        | Some path ->
+            (try Obs.Trace.write ~path obs
+             with Sys_error msg ->
+               prerr_endline ("fpgapart: cannot write trace: " ^ msg);
+               exit 1);
+            Format.printf "trace: %s (open in ui.perfetto.dev)@." path);
+        if Obs.enabled obs then
+          Format.printf "%t@."
+            (Experiments.Obs_report.pp_convergence
+               ~snapshot:(Obs.snapshot obs) ~trace:(Obs.Trace.spans obs)
+               ~wall_secs:r.Core.Kway.wall_secs);
         Format.printf "%a@." Core.Kway.pp_result r
   in
   Cmd.v
     (Cmd.info "partition" ~doc)
     Term.(
       const run $ bench_arg $ circuit_arg $ seed_arg $ threshold_arg $ runs_arg
-      $ jobs_arg $ verbose_arg $ stats_json_arg)
+      $ jobs_arg $ verbose_arg $ stats_json_arg $ trace_arg)
 
 
 let convert_cmd =

@@ -36,6 +36,20 @@ let stats_json () =
            span timers (see README, 'Observability'). Off by default; \
            partitioning runs with a no-op sink and records nothing.")
 
+let trace () =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a wall-clock trace of the run to $(docv) as Chrome \
+           trace-event JSON, viewable in Perfetto (ui.perfetto.dev) or \
+           chrome://tracing. One complete event per span: pid is the \
+           multi-start run index, tid the domain that executed it, and \
+           args carry the span's GC deltas. Timestamps are wall-clock \
+           and execution-dependent — the trace is never part of the \
+           $(b,--stats-json) document.")
+
 let jobs ?(default = 1) () =
   Arg.(
     value

@@ -24,6 +24,11 @@ val replication_of_threshold : int option -> [ `None | `Functional of int ]
 val stats_json : unit -> string option Cmdliner.Term.t
 (** [--stats-json FILE] — write engine telemetry as JSON. *)
 
+val trace : unit -> string option Cmdliner.Term.t
+(** [--trace FILE] — write a Chrome trace-event JSON wall-clock trace
+    (Perfetto-loadable; pid = run index, tid = domain). Absent means no
+    tracing. *)
+
 val jobs : ?default:int -> unit -> int Cmdliner.Term.t
 (** [--jobs N] / [-j N] — domains for the parallel multi-start search.
     When the flag is absent, the [FPGAPART_JOBS] environment variable

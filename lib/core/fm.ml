@@ -150,6 +150,22 @@ let run ?(obs = Obs.noop) cfg st =
           (Partition_state.area st Partition_state.A + d.Partition_state.d_area_a)
           (Partition_state.area st Partition_state.B + d.Partition_state.d_area_b)
   in
+  (* Bucket-scan length: how many candidates find_best inspected before
+     one passed the legality predicate. Observed into a histogram only
+     when a sink listens; the noop path keeps the bare call. *)
+  let find_best () =
+    if observing then begin
+      let scanned = ref 0 in
+      let r =
+        Bucket.find_best bucket (fun cell ->
+            Stdlib.incr scanned;
+            legal cell)
+      in
+      Obs.observe obs "fm.scan_len" !scanned;
+      r
+    end
+    else Bucket.find_best bucket legal
+  in
   let one_pass () =
     Bucket.clear bucket;
     Array.fill locked 0 n false;
@@ -164,16 +180,18 @@ let run ?(obs = Obs.noop) cfg st =
     let best_prefix = ref 0 in
     let continue = ref true in
     while !continue do
-      match Bucket.find_best bucket legal with
+      match find_best () with
       | None -> continue := false
       | Some cell ->
-          let mask, _ = Option.get ops.(cell) in
+          let mask, d = Option.get ops.(cell) in
           let old_mask = Partition_state.mask st cell in
-          if
-            observing
-            && is_replication_op ~old_mask ~new_mask:mask
-                 ~full:(Partition_state.full_mask st cell)
-          then incr repl_attempted;
+          if observing then begin
+            Obs.observe obs "fm.gain" (-delta_obj cfg.objective d);
+            if
+              is_replication_op ~old_mask ~new_mask:mask
+                ~full:(Partition_state.full_mask st cell)
+            then incr repl_attempted
+          end;
           ignore (Partition_state.apply st cell mask);
           locked.(cell) <- true;
           Bucket.remove bucket cell;
@@ -234,8 +252,16 @@ let run ?(obs = Obs.noop) cfg st =
     end;
     improved
   in
+  (* Each pass runs inside its own span so a tracing sink gets one
+     wall-clock span (and GC delta) per F-M pass; without a sink no name
+     is even built. *)
+  let timed_pass () =
+    if observing then
+      Obs.span obs ("pass" ^ string_of_int !pass_idx) one_pass
+    else one_pass ()
+  in
   let passes = ref 0 in
-  while !passes < cfg.max_passes && one_pass () do
+  while !passes < cfg.max_passes && timed_pass () do
     incr passes
   done;
   cfg.score st

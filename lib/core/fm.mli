@@ -119,7 +119,13 @@ val run : ?obs:Obs.t -> config -> Partition_state.t -> score
     [repl_attempted]/[repl_accepted] (replication-family ops applied /
     surviving rollback), the post-rollback [cut], [terminals], [area_a],
     [area_b] trajectory, and [improved]. Counters [fm.passes],
-    [fm.applied_ops] and [fm.rolled_back_ops] accumulate across passes. *)
+    [fm.applied_ops] and [fm.rolled_back_ops] accumulate across passes.
+
+    Each pass additionally runs inside a span named ["passN"], so a
+    tracing sink records one wall-clock span (with GC delta) per F-M pass;
+    and two histograms accumulate: ["fm.gain"] (the gain of every applied
+    operation) and ["fm.scan_len"] (candidates inspected per bucket scan
+    before one passed the legality test). *)
 
 val run_staged : ?obs:Obs.t -> config -> Partition_state.t -> score
 (** Replication as the paper deploys it: an {e extension} of the

@@ -117,7 +117,9 @@ let try_device ~opts ~attempt_jobs ~rng ~obs rest (dev : Fpga.Device.t) =
     done;
     let attempts =
       Parallel.Pool.run ~jobs:attempt_jobs opts.fm_attempts (fun a ->
-          let child = Obs.fork obs in
+          (* The fork runs on the executing domain, so the worker id read
+             here is the trace track the restart's spans belong to. *)
+          let child = Obs.fork ~track:(Parallel.Pool.worker_id ()) obs in
           let st =
             Partition_state.create rest ~init_on_b:(fun c -> inits.(a).(c))
           in
@@ -205,6 +207,9 @@ let run_once ~library ~opts ~attempt_jobs ~rng ~obs hg =
                             ];
                         None
                     | Some st ->
+                        if Obs.enabled obs then
+                          Obs.observe obs "kway.attempt_cut"
+                            (Partition_state.cut st);
                         let clbs = Partition_state.area st Partition_state.A in
                         let iobs =
                           Partition_state.terminals st Partition_state.A
@@ -252,6 +257,7 @@ let run_once ~library ~opts ~attempt_jobs ~rng ~obs hg =
                     (Partition_state.area st Partition_state.B));
               if Obs.enabled obs then begin
                 Obs.incr obs "kway.splits";
+                Obs.observe obs "kway.split_cut" (Partition_state.cut st);
                 Obs.event obs "kway.split"
                   [
                     ("step", Obs.Json.Int step);
@@ -491,7 +497,7 @@ let summarize_parts hg parts =
    domain in any order. The returned sink holds the run's whole telemetry,
    the ["kway.run"] summary event included. *)
 let run_trial ~library ~options ~attempt_jobs ~obs hg r =
-  let child = Obs.fork obs in
+  let child = Obs.fork ~pid:r ~track:(Parallel.Pool.worker_id ()) obs in
   let rng = Netlist.Rng.create (options.seed + (r * 7919)) in
   let outcome =
     Obs.span child (Printf.sprintf "run%d" r) (fun () ->
@@ -525,8 +531,8 @@ let run_trial ~library ~options ~attempt_jobs ~obs hg r =
       (child, Some (parts, summary, replicated, total))
 
 let partition ?(obs = Obs.noop) ?(options = Options.default) ~library hg =
-  let w0 = Parallel.Pool.wall_clock () in
-  let t0 = Sys.time () in
+  let w0 = Obs.Clock.wall () in
+  let t0 = Obs.Clock.cpu () in
   let jobs = max 1 options.jobs in
   (* Spare parallelism flows down to the per-split restarts only when the
      run level cannot use it, so the domain count stays ~[jobs]. *)
@@ -569,8 +575,8 @@ let partition ?(obs = Obs.noop) ?(options = Options.default) ~library hg =
     | Some (_, v) -> Some v
     | None -> None
   in
-  let wall_secs = Parallel.Pool.wall_clock () -. w0 in
-  let cpu_secs = Sys.time () -. t0 in
+  let wall_secs = Obs.Clock.wall () -. w0 in
+  let cpu_secs = Obs.Clock.cpu () -. t0 in
   match best with
   | None -> Error "no feasible k-way partition found in any run"
   | Some (parts, summary, replicated, total) ->

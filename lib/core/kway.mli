@@ -112,10 +112,19 @@ val partition :
     ["kway.split_failed"]); the inner F-M emits its per-pass events under
     those spans (see {!Fm.run}); pairwise refinement spans ["refine<n>"]
     and emits ["kway.refine_pair"] and ["kway.refine_round"] events with
-    terminal deltas. Identical options yield an identical event stream —
+    terminal deltas. Histograms ["kway.attempt_cut"] (cut of every
+    feasible device attempt) and ["kway.split_cut"] (cut of each chosen
+    split) accumulate alongside the F-M ["fm.gain"]/["fm.scan_len"]
+    distributions. Identical options yield an identical event stream —
     [jobs] included: runs (and restarts) record into {!Obs.fork}ed sinks
     merged back in index order, so only the ["_secs"]-keyed timers vary
-    between runs or across [jobs] settings. *)
+    between runs or across [jobs] settings.
+
+    When [obs] traces ({!Obs.create} with [trace:true]), every span also
+    lands on a trace lane: [pid] is the multi-start run index (runs fork
+    with [Obs.fork ~pid]) and [tid] the {!Parallel.Pool.worker_id} of the
+    domain that executed it — lanes shape the trace only, never the
+    scrubbed stats. *)
 
 val check : Hypergraph.t -> result -> (unit, string) Stdlib.result
 (** Soundness of a result: every output of every original cell is driven

@@ -10,7 +10,7 @@ type outcome = {
   clb_util : float;
   iob_util : float;
   replicated_pct : float;
-  cpu : float;
+  cpu_secs : float;
   k : int;
   devices : (string * int) list;
 }
@@ -23,14 +23,14 @@ type row = {
 let default_settings =
   [ Baseline; Threshold 0; Threshold 1; Threshold 2; Threshold 3 ]
 
-let infeasible cpu =
+let infeasible cpu_secs =
   {
     feasible = false;
     cost = nan;
     clb_util = nan;
     iob_util = nan;
     replicated_pct = nan;
-    cpu;
+    cpu_secs;
     k = 0;
     devices = [];
   }
@@ -45,9 +45,9 @@ let run ?(runs = 5) ?(seed = 1) ?(settings = default_settings)
       | Threshold t -> `Functional t
     in
     let options = Core.Kway.Options.make ~runs ~seed ~replication () in
-    let t0 = Sys.time () in
+    let t0 = Obs.Clock.cpu () in
     match Core.Kway.partition ~options ~library h with
-    | Error _ -> (setting, infeasible (Sys.time () -. t0))
+    | Error _ -> (setting, infeasible (Obs.Clock.cpu () -. t0))
     | Ok r ->
         (match Core.Kway.check h r with
         | Ok () -> ()
@@ -64,7 +64,7 @@ let run ?(runs = 5) ?(seed = 1) ?(settings = default_settings)
               100.0
               *. float_of_int r.Core.Kway.replicated_cells
               /. float_of_int (max 1 r.Core.Kway.total_cells);
-            cpu = r.Core.Kway.cpu_secs;
+            cpu_secs = r.Core.Kway.cpu_secs;
             k = s.Fpga.Cost.num_partitions;
             devices = s.Fpga.Cost.device_counts;
           } )
@@ -112,7 +112,7 @@ let pp_table4 fmt rows =
           | _ -> Format.fprintf fmt " %6s" "-")
         ts;
       let cpu s =
-        match find_setting r s with Some o -> o.cpu | None -> nan
+        match find_setting r s with Some o -> o.cpu_secs | None -> nan
       in
       Format.fprintf fmt " | %8.1fs %8.1fs@," (cpu Baseline)
         (cpu (Threshold 3)))

@@ -17,7 +17,7 @@ type outcome = {
   clb_util : float;          (** fraction *)
   iob_util : float;          (** eq. (2), fraction *)
   replicated_pct : float;
-  cpu : float;               (** seconds for the multi-start call *)
+  cpu_secs : float;          (** process CPU seconds ({!Obs.Clock.cpu}) for the multi-start call *)
   k : int;
   devices : (string * int) list;
 }

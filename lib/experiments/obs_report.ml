@@ -1,6 +1,6 @@
 module J = Obs.Json
 
-let schema_version = 2
+let schema_version = 3
 
 let replication_to_json = function
   | `None -> J.String "none"
@@ -141,3 +141,117 @@ let suite_doc ?(runs = 5) ?(seed = 1) ?(jobs = 1) () =
   (doc, List.rev !speedups)
 
 let write ~path j = J.write_file ~path j
+
+(* ------------------------------------------------------------------ *)
+(* Convergence report                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Interval-union busy time per trace track. Spans nest (a run span
+   contains its splits contain their passes), so summing durations would
+   multiply-count; merging the per-tid intervals measures each instant of
+   domain activity exactly once. *)
+let busy_by_tid spans =
+  let by_tid = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Obs.Trace.span) ->
+      let l = try Hashtbl.find by_tid s.Obs.Trace.span_tid with Not_found -> [] in
+      Hashtbl.replace by_tid s.Obs.Trace.span_tid
+        ((s.Obs.Trace.begin_secs, s.Obs.Trace.end_secs) :: l))
+    spans;
+  Hashtbl.fold
+    (fun tid intervals acc ->
+      let sorted = List.sort compare intervals in
+      let busy, last =
+        List.fold_left
+          (fun (busy, cur) (b, e) ->
+            match cur with
+            | None -> (busy, Some (b, e))
+            | Some (cb, ce) ->
+                if b <= ce then (busy, Some (cb, Float.max ce e))
+                else (busy +. (ce -. cb), Some (b, e)))
+          (0.0, None) sorted
+      in
+      let busy =
+        match last with None -> busy | Some (cb, ce) -> busy +. (ce -. cb)
+      in
+      (tid, busy) :: acc)
+    by_tid []
+  |> List.sort compare
+
+let int_field key e =
+  match List.assoc_opt key e.Obs.Snapshot.fields with
+  | Some (J.Int i) -> Some i
+  | _ -> None
+
+let bool_field key e =
+  match List.assoc_opt key e.Obs.Snapshot.fields with
+  | Some (J.Bool b) -> Some b
+  | _ -> None
+
+let pp_histogram fmt (name, (h : Obs.Snapshot.histogram)) =
+  Format.fprintf fmt "  %-16s n=%-7d sum=%-9d@," name h.Obs.Snapshot.count
+    h.Obs.Snapshot.sum;
+  let peak =
+    List.fold_left (fun acc (_, n) -> max acc n) 1 h.Obs.Snapshot.buckets
+  in
+  List.iter
+    (fun (b, n) ->
+      let bar = String.make (max 1 (n * 40 / peak)) '#' in
+      Format.fprintf fmt "    %-24s %8d %s@," (Obs.bucket_label b) n bar)
+    h.Obs.Snapshot.buckets
+
+let pp_convergence ~snapshot ~trace ~wall_secs fmt =
+  Format.fprintf fmt "@[<v>convergence@,";
+  (* Pass-by-pass cutsize trajectory, aggregated over every F-M restart:
+     how fast do passes stop paying? *)
+  let per_pass = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if e.Obs.Snapshot.name = "fm.pass" then
+        match (int_field "pass" e, int_field "cut" e) with
+        | Some pass, Some cut ->
+            let n, total, best, improved =
+              try Hashtbl.find per_pass pass with Not_found -> (0, 0, max_int, 0)
+            in
+            let imp =
+              match bool_field "improved" e with Some true -> 1 | _ -> 0
+            in
+            Hashtbl.replace per_pass pass
+              (n + 1, total + cut, min best cut, improved + imp)
+        | _ -> ())
+    snapshot.Obs.Snapshot.events;
+  let passes =
+    Hashtbl.fold (fun p v acc -> (p, v) :: acc) per_pass [] |> List.sort compare
+  in
+  if passes = [] then Format.fprintf fmt "  passes (none)@,"
+  else begin
+    Format.fprintf fmt "  %-6s %8s %10s %9s %9s@," "pass" "restarts" "mean cut"
+      "min cut" "improved";
+    List.iter
+      (fun (p, (n, total, best, improved)) ->
+        Format.fprintf fmt "  %-6d %8d %10.1f %9d %8.0f%%@," p n
+          (float_of_int total /. float_of_int n)
+          best
+          (100.0 *. float_of_int improved /. float_of_int n))
+      passes
+  end;
+  (* The recorded distributions: per-op F-M gains, bucket-scan lengths,
+     per-attempt and per-split cuts. *)
+  (match snapshot.Obs.Snapshot.histograms with
+  | [] -> Format.fprintf fmt "  histograms (none)@,"
+  | hs -> List.iter (pp_histogram fmt) hs);
+  (* Per-domain utilization: busy wall time on each trace track over the
+     run's wall clock — the honest denominator for any speedup claim. *)
+  (match busy_by_tid trace with
+  | [] -> Format.fprintf fmt "  domain utilization (none: trace empty)@,"
+  | util ->
+      Format.fprintf fmt "  %-8s %12s %12s@," "domain" "busy wall" "utilization";
+      List.iter
+        (fun (tid, busy) ->
+          Format.fprintf fmt "  %-8d %11.3fs %11.1f%%@," tid busy
+            (100.0 *. busy /. Float.max 1e-9 wall_secs))
+        util;
+      Format.fprintf fmt
+        "  (utilization = busy wall per domain track / %.3fs run wall)@,"
+        wall_secs);
+  Format.fprintf fmt "@]"

@@ -1,8 +1,8 @@
 (** Aggregation of partitioning telemetry into the stable JSON document
     behind [fpgapart partition --stats-json] and [BENCH_partition.json].
 
-    Schema (version 2) of a per-circuit document:
-    - ["schema_version"]: [2];
+    Schema (version 3) of a per-circuit document:
+    - ["schema_version"]: [3];
     - ["circuit"], ["seed"]: identification;
     - ["options"]: the {!Core.Kway.options} used ([runs], [seed],
       [replication], [max_passes], [fm_attempts], [refine_rounds]).
@@ -15,13 +15,19 @@
       [wall_secs], [cpu_secs] (wall-clock vs all-domain process CPU; v1's
       single [elapsed_secs] claimed CPU seconds, which parallelism made
       wrong), and a ["parts"] list of [{device, clbs, iobs}];
-    - ["obs"]: the {!Obs.Snapshot} — ["counters"], ["timers"], and the
-      ordered ["events"] stream (["fm.pass"], ["kway.device_attempt"],
+    - ["obs"]: the {!Obs.Snapshot} — ["counters"], ["timers"],
+      ["histograms"] (new in v3: name → [{"count"; "sum"; "buckets"}] with
+      signed-log2 bucket labels, all integers — see {!Obs.observe}), and
+      the ordered ["events"] stream (["fm.pass"], ["kway.device_attempt"],
       ["kway.split"], ["kway.refine_pair"], ...).
 
     Every elapsed-time field ends in ["_secs"]; after
     {!Obs.Snapshot.scrub_elapsed} two same-seed documents are
-    byte-identical — whatever [jobs] each ran with. *)
+    byte-identical — whatever [jobs] each ran with. The wall-clock trace a
+    tracing sink records ({!Obs.Trace}) is deliberately {e absent} from
+    this document: begin/end timestamps, domain track ids and GC deltas
+    are execution-dependent, so they live only in the separate [--trace]
+    artifact. *)
 
 val schema_version : int
 
@@ -69,3 +75,17 @@ val suite_doc :
     [bench/main.exe partition] writes to [BENCH_partition.json]. *)
 
 val write : path:string -> Obs.Json.t -> unit
+
+val pp_convergence :
+  snapshot:Obs.Snapshot.t ->
+  trace:Obs.Trace.span list ->
+  wall_secs:float ->
+  Format.formatter ->
+  unit
+(** Human-readable convergence report from one partitioning run:
+    a pass-by-pass cutsize table aggregated over every F-M restart (from
+    the ["fm.pass"] events), the recorded histograms rendered with
+    {!Obs.bucket_label} bars, and — when [trace] is non-empty — per-domain
+    utilization (interval-union busy wall time on each trace track divided
+    by [wall_secs]). Printed by [fpgapart partition] when a sink is
+    enabled. *)

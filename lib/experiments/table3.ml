@@ -6,14 +6,14 @@ type row = {
   repl_avg : float;
   best_reduction : float;
   avg_reduction : float;
-  plain_cpu : float;
-  repl_cpu : float;
+  plain_cpu_secs : float;
+  repl_cpu_secs : float;
 }
 
 (* Best and average final cut over [runs] random starts with one F-M
    configuration. *)
 let campaign ~runs ~seed cfg h =
-  let t0 = Sys.time () in
+  let t0 = Obs.Clock.cpu () in
   let best = ref max_int and sum = ref 0 in
   for r = 0 to runs - 1 do
     let rng = Netlist.Rng.create (seed + (r * 65537)) in
@@ -22,7 +22,7 @@ let campaign ~runs ~seed cfg h =
     best := min !best cut;
     sum := !sum + cut
   done;
-  (!best, float_of_int !sum /. float_of_int runs, Sys.time () -. t0)
+  (!best, float_of_int !sum /. float_of_int runs, Obs.Clock.cpu () -. t0)
 
 let run ?(runs = 20) ?(seed = 7) (e : Suite.entry) =
   let h = Lazy.force e.Suite.hypergraph in
@@ -31,8 +31,8 @@ let run ?(runs = 20) ?(seed = 7) (e : Suite.entry) =
   let repl_cfg =
     Core.Fm.balance_config ~replication:(`Functional 0) ~total_area:total ()
   in
-  let plain_best, plain_avg, plain_cpu = campaign ~runs ~seed plain_cfg h in
-  let repl_best, repl_avg, repl_cpu = campaign ~runs ~seed repl_cfg h in
+  let plain_best, plain_avg, plain_cpu_secs = campaign ~runs ~seed plain_cfg h in
+  let repl_best, repl_avg, repl_cpu_secs = campaign ~runs ~seed repl_cfg h in
   let pct better base =
     if base = 0.0 then 0.0 else 100.0 *. (base -. better) /. base
   in
@@ -44,8 +44,8 @@ let run ?(runs = 20) ?(seed = 7) (e : Suite.entry) =
     repl_avg;
     best_reduction = pct (float_of_int repl_best) (float_of_int plain_best);
     avg_reduction = pct repl_avg plain_avg;
-    plain_cpu;
-    repl_cpu;
+    plain_cpu_secs;
+    repl_cpu_secs;
   }
 
 let run_all ?runs ?seed () = List.map (run ?runs ?seed) (Suite.all ())
@@ -61,8 +61,8 @@ let average rows =
     repl_avg = favg (fun r -> r.repl_avg);
     best_reduction = favg (fun r -> r.best_reduction);
     avg_reduction = favg (fun r -> r.avg_reduction);
-    plain_cpu = favg (fun r -> r.plain_cpu);
-    repl_cpu = favg (fun r -> r.repl_cpu);
+    plain_cpu_secs = favg (fun r -> r.plain_cpu_secs);
+    repl_cpu_secs = favg (fun r -> r.repl_cpu_secs);
   }
 
 let pp fmt rows =
@@ -82,8 +82,8 @@ let pp fmt rows =
   Format.fprintf fmt "%-10s | %9s %9s | %9s %9s | %8.1f%% %8.1f%%@," a.name
     "" "" "" "" a.best_reduction a.avg_reduction;
   let cpu_ratio =
-    let tp = List.fold_left (fun acc r -> acc +. r.plain_cpu) 0.0 rows in
-    let tr = List.fold_left (fun acc r -> acc +. r.repl_cpu) 0.0 rows in
+    let tp = List.fold_left (fun acc r -> acc +. r.plain_cpu_secs) 0.0 rows in
+    let tr = List.fold_left (fun acc r -> acc +. r.repl_cpu_secs) 0.0 rows in
     if tp > 0.0 then 100.0 *. (tr -. tp) /. tp else 0.0
   in
   Format.fprintf fmt

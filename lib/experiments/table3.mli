@@ -12,8 +12,8 @@ type row = {
   repl_avg : float;
   best_reduction : float;   (** percent *)
   avg_reduction : float;    (** percent *)
-  plain_cpu : float;        (** seconds for all plain runs *)
-  repl_cpu : float;         (** seconds for all replication runs *)
+  plain_cpu_secs : float;   (** process CPU seconds for all plain runs *)
+  repl_cpu_secs : float;    (** process CPU seconds for all replication runs *)
 }
 
 val run : ?runs:int -> ?seed:int -> Suite.entry -> row

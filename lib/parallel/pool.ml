@@ -1,4 +1,10 @@
-let wall_clock = Unix.gettimeofday
+let wall_clock = Obs.Clock.wall
+
+(* Worker track ids: 0 in the calling domain, 1..jobs in spawned workers.
+   Domain-local, so nested pools reuse the same small id space rather than
+   growing one per domain ever spawned. *)
+let worker_key = Domain.DLS.new_key (fun () -> 0)
+let worker_id () = Domain.DLS.get worker_key
 
 let jobs_from_env ?(var = "FPGAPART_JOBS") () =
   match Sys.getenv_opt var with
@@ -39,7 +45,12 @@ let run ?(chunk = 1) ~jobs n f =
           done
       done
     in
-    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+    let domains =
+      Array.init jobs (fun w ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set worker_key (w + 1);
+              worker ()))
+    in
     Array.iter Domain.join domains;
     (* The join is the synchronisation point: after it, every slot written
        by a worker is visible here. Surface the failure the sequential

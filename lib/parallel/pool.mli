@@ -9,8 +9,8 @@
     loop would have produced — which is what makes byte-identical
     [jobs=1]/[jobs=N] telemetry possible upstream.
 
-    No dependencies beyond the standard library (and [unix] for the wall
-    clock). *)
+    No dependencies beyond the standard library and [obs] (the shared
+    clock helper). *)
 
 val run : ?chunk:int -> jobs:int -> int -> (int -> 'a) -> 'a array
 (** [run ~jobs n f] is [[| f 0; …; f (n-1) |]].
@@ -31,10 +31,17 @@ val run : ?chunk:int -> jobs:int -> int -> (int -> 'a) -> 'a array
     discarded. *)
 
 val wall_clock : unit -> float
-(** Wall-clock seconds since the epoch ([Unix.gettimeofday]). The engine's
-    [Sys.time] figures are process CPU seconds, which under parallelism
-    exceed elapsed time; this is the companion clock for [wall_secs]
-    fields. *)
+(** {!Obs.Clock.wall}, kept here as an alias because the pool is where
+    parallel callers already look for it. The engine's CPU figures
+    ({!Obs.Clock.cpu}) sum over all domains and exceed elapsed time under
+    parallelism; this is the companion clock for [wall_secs] fields. *)
+
+val worker_id : unit -> int
+(** Track id of the executing domain: [0] in the calling domain (and in
+    any {!run} with [jobs <= 1] or [n <= 1], which runs inline), [1..jobs]
+    inside a worker spawned by {!run}. Stable for the whole lifetime of
+    the worker, so every trial it executes lands on the same trace track —
+    this is the [tid] the engine passes to [Obs.fork ~track]. *)
 
 val jobs_from_env : ?var:string -> unit -> int
 (** Parallelism level requested by the environment: the value of [var]

@@ -229,6 +229,204 @@ let test_scrub_elapsed_is_minimal () =
     (Obs.Json.to_string (Obs.Snapshot.scrub_elapsed j))
 
 (* ------------------------------------------------------------------ *)
+(* Histograms                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_basics () =
+  let t = Obs.create () in
+  List.iter (Obs.observe t "h") [ 0; 1; 1; 2; 3; 5; -3; 100 ];
+  let s = Obs.snapshot t in
+  match s.Obs.Snapshot.histograms with
+  | [ ("h", h) ] ->
+      checki "count" 8 h.Obs.Snapshot.count;
+      checki "sum" 109 h.Obs.Snapshot.sum;
+      checki "bucket counts sum to count" h.Obs.Snapshot.count
+        (List.fold_left (fun acc (_, n) -> acc + n) 0 h.Obs.Snapshot.buckets);
+      checkb "buckets sorted by index" true
+        (let idx = List.map fst h.Obs.Snapshot.buckets in
+         List.sort compare idx = idx);
+      (* 0 -> bucket 0; 1,1 -> bucket 1; 2,3 -> bucket 2; 5 -> bucket 3;
+         100 -> bucket 7; -3 -> bucket -2. *)
+      Alcotest.check
+        Alcotest.(list (pair int int))
+        "exact buckets"
+        [ (-2, 1); (0, 1); (1, 2); (2, 2); (3, 1); (7, 1) ]
+        h.Obs.Snapshot.buckets
+  | l -> Alcotest.failf "expected 1 histogram, got %d" (List.length l)
+
+let test_histogram_json_shape () =
+  let t = Obs.create () in
+  Obs.observe t "h" 5;
+  Obs.observe t "h" 6;
+  let j = Obs.Snapshot.to_json (Obs.snapshot t) in
+  checkb "histograms object with labelled buckets" true
+    (match Obs.Json.member "histograms" j with
+    | Some
+        (Obs.Json.Obj
+          [
+            ( "h",
+              Obs.Json.Obj
+                [
+                  ("count", Obs.Json.Int 2);
+                  ("sum", Obs.Json.Int 11);
+                  ("buckets", Obs.Json.Obj [ ("[4,7]", Obs.Json.Int 2) ]);
+                ] );
+          ]) ->
+        true
+    | _ -> false);
+  (* Noop sinks ignore observations. *)
+  Obs.observe Obs.noop "h" 1;
+  checkb "noop has no histograms" true
+    ((Obs.snapshot Obs.noop).Obs.Snapshot.histograms = [])
+
+let test_bucket_soundness =
+  (* Totality and disjointness of the signed log2 bucketing: every int is
+     inside the bounds of its own bucket and outside every neighbour's. *)
+  QCheck.Test.make ~name:"every observation lands in exactly one bucket"
+    ~count:2000
+    QCheck.(
+      oneof
+        [
+          int;
+          int_range (-1000) 1000;
+          oneofl [ 0; 1; -1; max_int; min_int; max_int - 1; min_int + 1 ];
+        ])
+    (fun v ->
+      let b = Obs.bucket_of v in
+      let lo, hi = Obs.bucket_bounds b in
+      if not (lo <= v && v <= hi) then
+        QCheck.Test.fail_reportf "%d outside its bucket %d = [%d,%d]" v b lo hi;
+      List.iter
+        (fun db ->
+          let b' = b + db in
+          (* Disjointness holds across bucket_of's image; indices beyond
+             it clamp to the extreme buckets, so skip them. *)
+          if b' >= -63 && b' <= 62 then begin
+            let lo', hi' = Obs.bucket_bounds b' in
+            if lo' <= v && v <= hi' then
+              QCheck.Test.fail_reportf "%d also inside bucket %d = [%d,%d]" v
+                b' lo' hi'
+          end)
+        [ -2; -1; 1; 2 ];
+      true)
+
+let test_histogram_fork_merge =
+  (* Merging forked sinks sums counts, sums and per-bucket tallies exactly
+     — the histogram half of the parallel-telemetry contract. *)
+  QCheck.Test.make ~name:"merge_into sums histogram buckets exactly" ~count:100
+    QCheck.(pair (list small_signed_int) (list (list small_signed_int)))
+    (fun (parent_obs, children_obs) ->
+      let direct = Obs.create () in
+      List.iter (Obs.observe direct "h") parent_obs;
+      List.iter (List.iter (Obs.observe direct "h")) children_obs;
+      let parent = Obs.create () in
+      List.iter (Obs.observe parent "h") parent_obs;
+      let children =
+        List.map
+          (fun obs ->
+            let c = Obs.fork parent in
+            List.iter (Obs.observe c "h") obs;
+            c)
+          children_obs
+      in
+      List.iter (Obs.merge_into ~into:parent) children;
+      (Obs.snapshot parent).Obs.Snapshot.histograms
+      = (Obs.snapshot direct).Obs.Snapshot.histograms)
+
+let test_pp_empty_sections () =
+  (* Every section prints an explicit "(none)" when empty, so piped
+     output keeps a stable shape. *)
+  let render t = Format.asprintf "%a" Obs.Snapshot.pp (Obs.snapshot t) in
+  let contains hay needle =
+    let n = String.length needle in
+    let rec find i =
+      i + n <= String.length hay
+      && (String.sub hay i n = needle || find (i + 1))
+    in
+    find 0
+  in
+  let empty = render (Obs.create ()) in
+  List.iter
+    (fun section ->
+      checkb (section ^ " (none) line") true
+        (contains empty (section ^ "  (none)")))
+    [ "counters"; "timers"; "histograms"; "events" ];
+  (* And a non-empty sink does not print (none) for populated sections. *)
+  let t = Obs.create () in
+  Obs.incr t "c";
+  Obs.observe t "h" 3;
+  let out = render t in
+  checkb "counters populated" false (contains out "counters  (none)");
+  checkb "histograms populated" false (contains out "histograms  (none)");
+  checkb "events still (none)" true (contains out "events  (none)")
+
+(* ------------------------------------------------------------------ *)
+(* Tracing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_spans () =
+  let t = Obs.create ~trace:true () in
+  checkb "tracing on" true (Obs.Trace.tracing t);
+  checkb "noop not tracing" false (Obs.Trace.tracing Obs.noop);
+  checkb "plain sink not tracing" false (Obs.Trace.tracing (Obs.create ()));
+  Obs.span t "a" (fun () ->
+      let child = Obs.fork ~pid:3 ~track:2 t in
+      Obs.span child "b" (fun () -> Obs.span child "c" ignore);
+      Obs.merge_into ~into:t child);
+  let spans = Obs.Trace.spans t in
+  checki "three spans" 3 (List.length spans);
+  let find name =
+    List.find (fun s -> s.Obs.Trace.span_name = name) spans
+  in
+  let a = find "a" and b = find "a/b" and c = find "a/b/c" in
+  checki "parent pid defaults to 0" 0 a.Obs.Trace.span_pid;
+  checki "parent tid defaults to 0" 0 a.Obs.Trace.span_tid;
+  checki "forked pid" 3 b.Obs.Trace.span_pid;
+  checki "forked tid" 2 b.Obs.Trace.span_tid;
+  checki "nested span keeps lane" 3 c.Obs.Trace.span_pid;
+  List.iter
+    (fun s ->
+      checkb
+        (s.Obs.Trace.span_name ^ " well-formed")
+        true
+        (s.Obs.Trace.begin_secs >= 0.
+        && s.Obs.Trace.end_secs >= s.Obs.Trace.begin_secs
+        && s.Obs.Trace.gc.Obs.Trace.minor_collections >= 0))
+    spans;
+  (* Sorted by begin time, enclosing span first on ties. *)
+  checkb "sorted by begin" true
+    (let rec mono = function
+       | x :: (y :: _ as rest) ->
+           x.Obs.Trace.begin_secs <= y.Obs.Trace.begin_secs && mono rest
+       | _ -> true
+     in
+     mono spans);
+  checks "enclosing first" "a" (List.hd spans).Obs.Trace.span_name;
+  (* The trace document has the Chrome trace-event shape; the stats
+     document must not contain it. *)
+  let trace_doc = Obs.Json.to_string (Obs.Trace.to_json t) in
+  let contains hay needle =
+    let n = String.length needle in
+    let rec find i =
+      i + n <= String.length hay
+      && (String.sub hay i n = needle || find (i + 1))
+    in
+    find 0
+  in
+  checkb "traceEvents present" true (contains trace_doc "\"traceEvents\"");
+  checkb "complete events" true (contains trace_doc "\"ph\": \"X\"");
+  checkb "thread metadata" true (contains trace_doc "thread_name");
+  let stats_doc = Obs.Json.to_string (Obs.Snapshot.to_json (Obs.snapshot t)) in
+  checkb "trace absent from stats" false (contains stats_doc "traceEvents");
+  checkb "no wall timestamps in stats" false (contains stats_doc "begin_secs")
+
+let test_trace_off_records_nothing () =
+  let t = Obs.create () in
+  Obs.span t "a" ignore;
+  checki "no spans without trace:true" 0 (List.length (Obs.Trace.spans t));
+  checki "noop has no spans" 0 (List.length (Obs.Trace.spans Obs.noop))
+
+(* ------------------------------------------------------------------ *)
 (* Determinism regression on the real engine                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -303,9 +501,24 @@ let () =
           Alcotest.test_case "fork/merge determinism" `Quick
             test_fork_merge_reproduces_sequential_stream;
         ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "basics" `Quick test_histogram_basics;
+          Alcotest.test_case "json shape" `Quick test_histogram_json_shape;
+          QCheck_alcotest.to_alcotest test_bucket_soundness;
+          QCheck_alcotest.to_alcotest test_histogram_fork_merge;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "spans, lanes, json" `Quick test_trace_spans;
+          Alcotest.test_case "off by default" `Quick
+            test_trace_off_records_nothing;
+        ] );
       ( "snapshot",
         [
           Alcotest.test_case "json shape" `Quick test_snapshot_json_shape;
+          Alcotest.test_case "pp prints (none) for empty sections" `Quick
+            test_pp_empty_sections;
           Alcotest.test_case "scrub is minimal" `Quick
             test_scrub_elapsed_is_minimal;
           Alcotest.test_case "k-way determinism regression" `Quick

@@ -53,6 +53,24 @@ let test_pool_nested () =
     [| 3; 33; 63; 93 |]
     sums
 
+let test_worker_id () =
+  checki "calling domain is worker 0" 0 (Parallel.Pool.worker_id ());
+  (* Items must take long enough that one worker cannot drain the whole
+     queue before the others finish spawning. *)
+  let ids =
+    Parallel.Pool.run ~jobs:4 64 (fun _ ->
+        Unix.sleepf 0.002;
+        Parallel.Pool.worker_id ())
+  in
+  Array.iter
+    (fun id -> checkb "spawned workers are 1..jobs" true (id >= 1 && id <= 4))
+    ids;
+  let distinct = List.sort_uniq compare (Array.to_list ids) in
+  checkb "more than one worker participated" true (List.length distinct > 1);
+  checki "jobs=1 stays on the calling domain" 0
+    (Parallel.Pool.run ~jobs:1 1 (fun _ -> Parallel.Pool.worker_id ())).(0);
+  checki "worker id restored after the pool" 0 (Parallel.Pool.worker_id ())
+
 let test_jobs_from_env () =
   let var = "FPGAPART_TEST_JOBS" in
   Unix.putenv var "4";
@@ -123,6 +141,61 @@ let test_kway_attempt_level_parallelism () =
     (comparable r1 = comparable r4);
   checks "byte-identical scrubbed telemetry" snap1 snap4
 
+let test_traced_partition_lanes () =
+  (* A traced jobs=4 partition: every multi-start run span must sit on a
+     spawned worker's track (tid 1..jobs), the F-M passes must appear as
+     spans, and the scrubbed stats must stay byte-identical to a traced
+     jobs=1 run — the trace is an artifact, never an influence. *)
+  let h = mapped_hypergraph (Netlist.Generator.multiplier ~bits:16 ()) in
+  let jobs = 4 in
+  let go jobs =
+    let options = Core.Kway.Options.make ~runs:8 ~fm_attempts:2 ~jobs () in
+    let obs = Obs.create ~trace:true () in
+    (match Core.Kway.partition ~obs ~options ~library:Fpga.Library.xc3000 h with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e);
+    let scrubbed =
+      Obs.Json.to_string
+        (Obs.Snapshot.scrub_elapsed (Obs.Snapshot.to_json (Obs.snapshot obs)))
+    in
+    (Obs.Trace.spans obs, scrubbed)
+  in
+  let spans, snap4 = go jobs in
+  let run_spans =
+    List.filter
+      (fun s ->
+        String.length s.Obs.Trace.span_name >= 3
+        && String.sub s.Obs.Trace.span_name 0 3 = "run")
+      spans
+  in
+  checkb "has run spans" true (run_spans <> []);
+  List.iter
+    (fun s ->
+      checkb
+        (s.Obs.Trace.span_name ^ " on a worker track")
+        true
+        (s.Obs.Trace.span_tid >= 1 && s.Obs.Trace.span_tid <= jobs))
+    run_spans;
+  let tids =
+    List.sort_uniq compare (List.map (fun s -> s.Obs.Trace.span_tid) run_spans)
+  in
+  checkb "runs spread over more than one track" true (List.length tids > 1);
+  checkb "one pid per multi-start run" true
+    (List.length
+       (List.sort_uniq compare
+          (List.map (fun s -> s.Obs.Trace.span_pid) run_spans))
+    = 8);
+  checkb "F-M passes appear as spans" true
+    (List.exists
+       (fun s ->
+         List.exists
+           (fun seg ->
+             String.length seg >= 4 && String.sub seg 0 4 = "pass")
+           (String.split_on_char '/' s.Obs.Trace.span_name))
+       spans);
+  let _, snap1 = go 1 in
+  checks "scrubbed stats byte-identical to traced jobs=1" snap1 snap4
+
 let prop_partition_independent_of_jobs =
   QCheck.Test.make
     ~name:"partition independent of jobs on generated circuits" ~count:6
@@ -161,6 +234,7 @@ let () =
           Alcotest.test_case "edge cases" `Quick test_pool_edge_cases;
           Alcotest.test_case "exception propagation" `Quick test_pool_exception;
           Alcotest.test_case "nested pools" `Quick test_pool_nested;
+          Alcotest.test_case "worker ids" `Quick test_worker_id;
           Alcotest.test_case "jobs_from_env" `Quick test_jobs_from_env;
         ] );
       ( "kway-determinism",
@@ -169,6 +243,8 @@ let () =
             test_kway_jobs_independent;
           Alcotest.test_case "attempt-level parallelism" `Slow
             test_kway_attempt_level_parallelism;
+          Alcotest.test_case "traced partition lanes" `Slow
+            test_traced_partition_lanes;
           QCheck_alcotest.to_alcotest prop_partition_independent_of_jobs;
         ] );
     ]

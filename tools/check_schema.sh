@@ -4,7 +4,8 @@
 # and fail if the JSON schema keys drift, the determinism contract
 # (same seed => byte-identical modulo *_secs fields) breaks, or the
 # parallel search leaks into the telemetry (--jobs 4 must scrub to the
-# same bytes as --jobs 1).
+# same bytes as --jobs 1 — even with --trace enabled, since the trace is
+# a separate artifact that must never leak into the stats document).
 #
 # When SCRUB_OUT is set, the scrubbed document is also copied there so a
 # caller (the Makefile's ci target) can diff gate runs made under
@@ -23,18 +24,22 @@ run() {
 
 run "$tmpdir/a.json"
 
-# Every key the README documents as schema v2 must be present, including
-# the per-pass F-M event fields, the per-split device-window attempts and
-# the split wall/CPU timing of the result.
+# Every key the README documents as schema v3 must be present, including
+# the per-pass F-M event fields, the per-split device-window attempts,
+# the split wall/CPU timing of the result, and the v3 histograms (name ->
+# {count; sum; buckets}) of F-M gains and bucket-scan lengths.
 for key in \
-  '"schema_version": 2' '"circuit"' '"seed"' '"options"' '"result"' \
+  '"schema_version": 3' '"circuit"' '"seed"' '"options"' '"result"' \
   '"obs"' '"counters"' '"timers"' '"events"' \
   '"parts"' '"wall_secs"' '"cpu_secs"' \
   '"event": "fm.pass"' '"event": "kway.device_attempt"' \
   '"event": "kway.split"' \
   '"pass"' '"applied"' '"rolled_back"' '"repl_attempted"' '"repl_accepted"' \
   '"cut"' '"terminals"' '"improved"' '"feasible"' '"span"' \
-  '"fm.passes"' '"kway.device_attempts"' '"kway.splits"'
+  '"fm.passes"' '"kway.device_attempts"' '"kway.splits"' \
+  '"histograms"' '"fm.gain"' '"fm.scan_len"' \
+  '"kway.attempt_cut"' '"kway.split_cut"' \
+  '"count"' '"sum"' '"buckets"'
 do
   if ! grep -qF "$key" "$tmpdir/a.json"; then
     echo "schema check: missing $key in stats JSON" >&2
@@ -42,15 +47,23 @@ do
   fi
 done
 
-# Schema v2 deliberately omits jobs from the options object: the scrubbed
+# Schema v3 deliberately omits jobs from the options object: the scrubbed
 # document must be independent of the --jobs setting.
 if grep -qF '"jobs"' "$tmpdir/a.json"; then
   echo "schema check: options must not record jobs (breaks the jobs-independence diff)" >&2
   exit 1
 fi
 
+# The wall-clock trace lives only in the --trace artifact; its presence
+# in the stats document would break jobs-independence (timestamps, track
+# ids and GC deltas are execution-dependent).
+if grep -qF '"traceEvents"' "$tmpdir/a.json"; then
+  echo "schema check: trace events leaked into the stats JSON" >&2
+  exit 1
+fi
+
 run "$tmpdir/b.json"
-run "$tmpdir/j4.json" --jobs 4
+run "$tmpdir/j4.json" --jobs 4 --trace "$tmpdir/j4.trace.json"
 
 # The only permitted nondeterminism is elapsed time, and every such field
 # ends in _secs. Null them out and require byte identity.
@@ -65,7 +78,7 @@ if ! cmp -s "$tmpdir/a.scrubbed" "$tmpdir/b.scrubbed"; then
   exit 1
 fi
 if ! cmp -s "$tmpdir/a.scrubbed" "$tmpdir/j4.scrubbed"; then
-  echo "schema check: --jobs 4 telemetry differs from --jobs 1 beyond *_secs fields" >&2
+  echo "schema check: --jobs 4 --trace telemetry differs from --jobs 1 beyond *_secs fields" >&2
   exit 1
 fi
 

@@ -1,0 +1,54 @@
+#!/bin/sh
+# Trace acceptance gate: produce a --trace artifact from a traced
+# parallel partition of a genuinely multi-device circuit and validate
+# the Chrome trace-event JSON that Perfetto will load: the file parses,
+# carries complete ("X") events, every event's timestamp is
+# non-decreasing within its tid in file order (spans are globally sorted
+# by begin time), and the F-M passes show up as spans.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+dune exec --no-print-directory bin/fpgapart.exe -- \
+  partition --circuit c6288 --seed 1 --jobs 4 \
+  --stats-json "$tmpdir/s.json" --trace "$tmpdir/t.json" >/dev/null
+
+python3 - "$tmpdir/t.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)          # must parse as JSON at all
+
+events = doc["traceEvents"]
+xs = [e for e in events if e.get("ph") == "X"]
+assert xs, "no complete (X) events in the trace"
+
+for e in xs:
+    for key in ("name", "pid", "tid", "ts", "dur"):
+        assert key in e, f"X event missing {key}: {e}"
+    assert e["dur"] >= 0, f"negative duration: {e}"
+
+# Spans are globally sorted by begin time, so within each tid the ts
+# sequence must be non-decreasing in file order.
+last = {}
+for e in xs:
+    tid = (e["pid"], e["tid"])
+    assert e["ts"] >= last.get(tid, 0), \
+        f"ts went backwards on pid/tid {tid}: {e}"
+    last[tid] = e["ts"]
+
+tids = {e["tid"] for e in xs}
+assert len(tids) > 1, f"expected >1 domain track at --jobs 4, got {sorted(tids)}"
+
+names = {e["name"] for e in xs}
+# Span names are slash-separated paths ("run0/split0/dev-XC3090/pass4").
+segments = {seg for n in names for seg in n.split("/")}
+assert any(s.startswith("pass") for s in segments), \
+    "no F-M pass spans in the trace"
+assert any(s.startswith("run") for s in segments), \
+    "no multi-start run spans in the trace"
+
+print(f"trace check: ok ({len(xs)} spans, tids {sorted(tids)})")
+PY
