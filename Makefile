@@ -1,4 +1,4 @@
-.PHONY: all build test bench lint schema trace ci clean
+.PHONY: all build test bench lint schema trace service ci clean
 
 all: build
 
@@ -25,6 +25,13 @@ schema: build
 trace: build
 	sh tools/check_trace.sh
 
+# Boots the partitioning daemon on a scratch socket and exercises the
+# whole client surface: canonical-hash cache hits must be byte-identical,
+# in-flight jobs cancellable, garbage frames survivable, shutdown clean
+# (see tools/check_service.sh).
+service: build
+	sh tools/check_service.sh
+
 # CI runs the suite and the schema gate under both FPGAPART_JOBS=1 and
 # FPGAPART_JOBS=4 (the tests read the variable to size the domain pool),
 # then diffs the two scrubbed telemetry documents: the parallel search
@@ -36,6 +43,7 @@ ci: build lint
 	FPGAPART_JOBS=4 SCRUB_OUT=_build/schema.jobs4.json sh tools/check_schema.sh
 	cmp _build/schema.jobs1.json _build/schema.jobs4.json
 	sh tools/check_trace.sh
+	sh tools/check_service.sh
 	@echo "ci: scrubbed telemetry identical across FPGAPART_JOBS=1/4"
 
 clean:

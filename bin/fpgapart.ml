@@ -210,7 +210,13 @@ let partition_cmd =
     in
     let h = Techmap.Mapper.to_hypergraph (mapped_of c) in
     let replication = Cli_common.replication_of_threshold threshold in
-    let options = Core.Kway.Options.make ~runs ~seed ~replication ~jobs () in
+    (* SIGINT/SIGTERM raise a flag the engine polls between passes: the
+       run aborts at the next boundary and the artifacts below are still
+       flushed (marked "interrupted") instead of dying mid-write. *)
+    let should_stop = Service.Signals.install_stop_flag () in
+    let options =
+      Core.Kway.Options.make ~runs ~seed ~replication ~jobs ~should_stop ()
+    in
     (* One sink serves both artifacts; tracing is enabled only when a trace
        file was requested, so --stats-json alone pays no wall-clock or GC
        sampling cost. *)
@@ -219,7 +225,41 @@ let partition_cmd =
       | None, None -> Obs.noop
       | _ -> Obs.create ~trace:(trace <> None) ()
     in
+    let flush_trace () =
+      match trace with
+      | None -> ()
+      | Some path ->
+          (try Obs.Trace.write ~path obs
+           with Sys_error msg ->
+             prerr_endline ("fpgapart: cannot write trace: " ^ msg);
+             exit 1);
+          Format.printf "trace: %s (open in ui.perfetto.dev)@." path
+    in
     match Core.Kway.partition ~obs ~options ~library:Fpga.Library.xc3000 h with
+    | Error msg when String.equal msg Core.Kway.cancelled ->
+        (match stats_json with
+        | None -> ()
+        | Some path ->
+            (try
+               Experiments.Obs_report.write ~path
+                 (Obs.Json.Obj
+                    [
+                      ( "schema_version",
+                        Obs.Json.Int Experiments.Obs_report.schema_version );
+                      ("circuit", Obs.Json.String name);
+                      ("seed", Obs.Json.Int seed);
+                      ( "options",
+                        Experiments.Obs_report.options_to_json options );
+                      ("interrupted", Obs.Json.Bool true);
+                      ( "obs",
+                        Obs.Snapshot.to_json (Obs.snapshot obs) );
+                    ])
+             with Sys_error msg ->
+               prerr_endline ("fpgapart: cannot write stats: " ^ msg));
+            Format.printf "telemetry (partial): %s@." path);
+        flush_trace ();
+        prerr_endline "fpgapart: interrupted";
+        exit 130
     | Error msg ->
         prerr_endline ("fpgapart: " ^ msg);
         exit 1
@@ -240,14 +280,7 @@ let partition_cmd =
                prerr_endline ("fpgapart: cannot write stats: " ^ msg);
                exit 1);
             Format.printf "telemetry: %s@." path);
-        (match trace with
-        | None -> ()
-        | Some path ->
-            (try Obs.Trace.write ~path obs
-             with Sys_error msg ->
-               prerr_endline ("fpgapart: cannot write trace: " ^ msg);
-               exit 1);
-            Format.printf "trace: %s (open in ui.perfetto.dev)@." path);
+        flush_trace ();
         if Obs.enabled obs then
           Format.printf "%t@."
             (Experiments.Obs_report.pp_convergence
@@ -349,6 +382,235 @@ let timing_cmd =
       const run $ bench_arg $ circuit_arg $ seed_arg $ threshold_arg $ runs_arg
       $ jobs_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Service: daemon and clients                                        *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg = Cli_common.socket ()
+
+(* One RPC round trip; protocol-level errors become exit-1 messages
+   carrying the typed error code. *)
+let svc_rpc socket req =
+  match Service.Client.rpc ~socket req with
+  | Error msg -> Error msg
+  | Ok reply -> (
+      match Service.Client.ok_or_error reply with
+      | Ok reply -> Ok reply
+      | Error (code, msg) -> Error (Printf.sprintf "%s [%s]" msg code))
+
+let serve_cmd =
+  let doc =
+    "Run the partitioning daemon: accept jobs over a Unix-domain socket, \
+     execute them in FIFO order, cache results by content digest (see \
+     README, 'Service'). SIGINT/SIGTERM or the shutdown verb drain the \
+     queue and exit."
+  in
+  let queue_cap_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Bound on queued (not yet running) jobs; submissions past it \
+             are refused with the $(b,overloaded) error.")
+  in
+  let cache_cap_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-cap" ] ~docv:"N"
+          ~doc:"Result documents kept in the LRU cache.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Per-job wall-clock budget; a job past it is stopped \
+             cooperatively and fails with the $(b,timeout) error code.")
+  in
+  let run socket queue_cap cache_cap timeout jobs verbose =
+    setup_logs verbose;
+    if queue_cap <= 0 || cache_cap <= 0 then (
+      prerr_endline "fpgapart: --queue-cap and --cache-cap must be positive";
+      exit 1);
+    let stop = Service.Signals.install_stop_flag () in
+    let cfg =
+      {
+        Service.Server.socket_path = socket;
+        queue_cap;
+        cache_cap;
+        timeout;
+        jobs;
+      }
+    in
+    let on_ready () =
+      Format.printf "fpgapart: listening on %s (queue %d, cache %d, jobs %d)@."
+        socket queue_cap cache_cap jobs
+    in
+    or_die (Service.Server.run ~on_ready ~external_stop:stop cfg);
+    Format.printf "fpgapart: daemon stopped@."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ queue_cap_arg $ cache_cap_arg $ timeout_arg
+      $ jobs_arg $ verbose_arg)
+
+let submit_cmd =
+  let doc =
+    "Submit a circuit to a running daemon ($(b,fpgapart serve)) and, by \
+     default, wait for the result document (printed to stdout as JSON; \
+     status goes to stderr, so stdout is byte-comparable across \
+     submissions)."
+  in
+  let no_wait_arg =
+    Arg.(
+      value & flag
+      & info [ "no-wait" ]
+          ~doc:
+            "Print the bare job id on stdout and return instead of \
+             waiting for the result.")
+  in
+  (* The daemon wants netlist text: a file is passed through verbatim, a
+     built-in circuit is rendered to .bench. *)
+  let load_netlist_text bench builtin =
+    match (bench, builtin) with
+    | Some path, None -> (
+        match format_of_path path with
+        | Error _ as e -> e
+        | Ok fmt ->
+            let fmt =
+              match fmt with
+              | Bench -> Service.Protocol.Bench
+              | Blif -> Service.Protocol.Blif
+              | Verilog -> Service.Protocol.Verilog
+            in
+            let ic = open_in_bin path in
+            let text =
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            let name =
+              Filename.remove_extension (Filename.basename path)
+            in
+            Ok (name, fmt, text))
+    | None, Some name -> (
+        match Experiments.Suite.find name with
+        | Some e ->
+            Ok
+              ( name,
+                Service.Protocol.Bench,
+                Netlist.Bench_format.to_string
+                  (Lazy.force e.Experiments.Suite.circuit) )
+        | None -> Error ("unknown built-in circuit: " ^ name))
+    | None, None -> Error "need --bench FILE or --circuit NAME"
+    | Some _, Some _ -> Error "--bench and --circuit are mutually exclusive"
+  in
+  let run socket bench builtin seed threshold runs no_wait =
+    let name, format, netlist = or_die (load_netlist_text bench builtin) in
+    let replication = Cli_common.replication_of_threshold threshold in
+    let options = Core.Kway.Options.make ~runs ~seed ~replication () in
+    let conn = or_die (Service.Client.connect socket) in
+    Fun.protect
+      ~finally:(fun () -> Service.Client.close conn)
+      (fun () ->
+        let rpc req =
+          match Service.Client.request conn req with
+          | Error msg -> Error msg
+          | Ok reply -> (
+              match Service.Client.ok_or_error reply with
+              | Ok reply -> Ok reply
+              | Error (code, msg) ->
+                  Error (Printf.sprintf "%s [%s]" msg code))
+        in
+        let reply =
+          or_die
+            (rpc
+               (Service.Protocol.Submit { name; format; netlist; options }))
+        in
+        let int_field f = Option.bind (Obs.Json.member f reply) Obs.Json.to_int in
+        let job =
+          match int_field "job" with
+          | Some id -> id
+          | None ->
+              prerr_endline "fpgapart: malformed reply (no job id)";
+              exit 1
+        in
+        let cached =
+          Option.value ~default:false
+            (Option.bind (Obs.Json.member "cached" reply) Obs.Json.to_bool)
+        in
+        if cached then (
+          Format.eprintf "job %d: cache hit@." job;
+          match Obs.Json.member "result" reply with
+          | Some doc -> print_endline (Obs.Json.to_string doc)
+          | None ->
+              prerr_endline "fpgapart: malformed reply (no result)";
+              exit 1)
+        else if no_wait then (
+          (* Bare id on stdout so scripts can capture it. *)
+          Format.eprintf "job %d queued@." job;
+          Format.printf "%d@." job)
+        else (
+          Format.eprintf "job %d queued; waiting@." job;
+          let reply =
+            or_die (rpc (Service.Protocol.Result { job; wait = true }))
+          in
+          match Obs.Json.member "result" reply with
+          | Some doc -> print_endline (Obs.Json.to_string doc)
+          | None ->
+              prerr_endline "fpgapart: malformed reply (no result)";
+              exit 1))
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc)
+    Term.(
+      const run $ socket_arg $ bench_arg $ circuit_arg $ seed_arg
+      $ threshold_arg $ runs_arg $ no_wait_arg)
+
+let svc_stats_cmd =
+  let doc =
+    "Print a running daemon's counters, queue depth and cache state as \
+     JSON (requests, cache hits/misses, rejections, cancellations, \
+     queue-wait and run-time histograms)."
+  in
+  let run socket =
+    let reply = or_die (svc_rpc socket Service.Protocol.Stats) in
+    match Obs.Json.member "stats" reply with
+    | Some stats -> print_endline (Obs.Json.to_string stats)
+    | None ->
+        prerr_endline "fpgapart: malformed reply (no stats)";
+        exit 1
+  in
+  Cmd.v (Cmd.info "svc-stats" ~doc) Term.(const run $ socket_arg)
+
+let svc_cancel_cmd =
+  let doc = "Request cooperative cancellation of a job on the daemon." in
+  let job_pos =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"JOB")
+  in
+  let run socket job =
+    let reply = or_die (svc_rpc socket (Service.Protocol.Cancel job)) in
+    let state =
+      Option.value ~default:"?"
+        (Option.bind (Obs.Json.member "state" reply) Obs.Json.to_str)
+    in
+    Format.printf "job %d: %s@." job state
+  in
+  Cmd.v (Cmd.info "svc-cancel" ~doc) Term.(const run $ socket_arg $ job_pos)
+
+let svc_shutdown_cmd =
+  let doc =
+    "Ask the daemon to drain its queue and exit (queued jobs still run; \
+     new submissions are refused)."
+  in
+  let run socket =
+    ignore (or_die (svc_rpc socket Service.Protocol.Shutdown));
+    Format.printf "daemon draining@."
+  in
+  Cmd.v (Cmd.info "svc-shutdown" ~doc) Term.(const run $ socket_arg)
+
 let main =
   let doc =
     "Multi-way netlist partitioning into heterogeneous FPGAs with \
@@ -357,7 +619,8 @@ let main =
   Cmd.group (Cmd.info "fpgapart" ~doc)
     [
       list_cmd; stats_cmd; map_cmd; psi_cmd; bipartition_cmd; partition_cmd;
-      convert_cmd; generate_cmd; optimize_cmd; timing_cmd;
+      convert_cmd; generate_cmd; optimize_cmd; timing_cmd; serve_cmd;
+      submit_cmd; svc_stats_cmd; svc_cancel_cmd; svc_shutdown_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,5 +1,18 @@
 open Cmdliner
 
+(* Budget knobs reject non-positive values at the parse layer, so both a
+   flag and its environment default ([FPGAPART_JOBS=0]) fail with a
+   proper Cmdliner error (naming the flag or variable) instead of
+   surfacing later as Kway.Options.make's Invalid_argument. *)
+let positive_int =
+  let parse s =
+    match Arg.conv_parser Arg.int s with
+    | Ok n when n > 0 -> Ok n
+    | Ok n -> Error (`Msg (Printf.sprintf "expected a positive integer, got %d" n))
+    | Error _ as e -> e
+  in
+  Arg.conv ~docv:"N" (parse, Arg.conv_printer Arg.int)
+
 let seed ?(default = 1) () =
   Arg.(
     value & opt int default
@@ -7,7 +20,7 @@ let seed ?(default = 1) () =
 
 let runs ?(default = 5) ?(extra_names = []) () =
   Arg.(
-    value & opt int default
+    value & opt positive_int default
     & info ("runs" :: extra_names) ~docv:"N"
         ~doc:(Printf.sprintf "Multi-start runs (default %d)." default))
 
@@ -53,7 +66,7 @@ let trace () =
 let jobs ?(default = 1) () =
   Arg.(
     value
-    & opt int default
+    & opt positive_int default
     & info [ "jobs"; "j" ] ~docv:"N"
         ~env:(Cmd.Env.info "FPGAPART_JOBS")
         ~doc:
@@ -61,3 +74,13 @@ let jobs ?(default = 1) () =
            partition, the telemetry event stream and every counter are \
            independent of $(docv) — only wall-clock time and the *_secs \
            timers change. Defaults to $(env), then 1.")
+
+let socket () =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~env:(Cmd.Env.info "FPGAPART_SOCKET")
+        ~doc:
+          "Unix-domain socket path of the partitioning daemon ($(b,fpgapart \
+           serve)). Defaults to $(env).")

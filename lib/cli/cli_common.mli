@@ -34,4 +34,13 @@ val jobs : ?default:int -> unit -> int Cmdliner.Term.t
     When the flag is absent, the [FPGAPART_JOBS] environment variable
     supplies the value; when that is unset too, [default] (default 1)
     applies. The result never depends on it (see README,
-    "Parallelism"). *)
+    "Parallelism"). Non-integer and non-positive values — from the flag
+    or from [FPGAPART_JOBS] — are rejected at parse time with a Cmdliner
+    error naming the offending flag or variable ([--runs] validates the
+    same way), so a bad budget never reaches
+    {!Core.Kway.Options.make}. *)
+
+val socket : unit -> string Cmdliner.Term.t
+(** [--socket PATH] — the daemon's Unix-domain socket, shared by
+    [fpgapart serve] and every client subcommand. Required; the
+    [FPGAPART_SOCKET] environment variable supplies the default. *)

@@ -9,20 +9,27 @@ let objective_value obj st =
 
 type score = int * int * int
 
+let never_stop () = false
+
 type config = {
   objective : objective;
   replication : [ `None | `Functional of int ];
   max_passes : int;
   area_ok : int -> int -> bool;
   score : Partition_state.t -> score;
+  should_stop : unit -> bool;
 }
 
 module Config = struct
   type t = config
 
   let make ?(objective = Cut) ?(replication = `None) ?(max_passes = 12)
-      ~area_ok ~score () =
-    { objective; replication; max_passes; area_ok; score }
+      ?(should_stop = never_stop) ~area_ok ~score () =
+    if max_passes <= 0 then
+      invalid_arg
+        (Printf.sprintf "Fm.Config.make: max_passes must be positive (got %d)"
+           max_passes);
+    { objective; replication; max_passes; area_ok; score; should_stop }
 end
 
 let balance_config ?(objective = Cut) ?(replication = `None) ?(max_passes = 12)
@@ -45,8 +52,8 @@ type device_bounds = {
 }
 
 let device_config ?(objective = Cut) ?(replication = `None) ?(max_passes = 12)
-    ~bounds () =
-  Config.make ~objective ~replication ~max_passes
+    ?(should_stop = never_stop) ~bounds () =
+  Config.make ~objective ~replication ~max_passes ~should_stop
     (* Hard cap keeps side A from overshooting the device wildly; the rest
        of the feasibility hunt happens through the penalty. *)
     ~area_ok:(fun a _b -> a <= bounds.max_clbs + (bounds.max_clbs / 4) + 1)
@@ -65,9 +72,9 @@ let device_config ?(objective = Cut) ?(replication = `None) ?(max_passes = 12)
     ()
 
 let two_device_config ?(objective = Terminals) ?(replication = `None)
-    ?(max_passes = 12) ~bounds_a ~bounds_b () =
+    ?(max_passes = 12) ?(should_stop = never_stop) ~bounds_a ~bounds_b () =
   let slack bounds = bounds.max_clbs + (bounds.max_clbs / 4) + 1 in
-  Config.make ~objective ~replication ~max_passes
+  Config.make ~objective ~replication ~max_passes ~should_stop
     ~area_ok:(fun a b -> a <= slack bounds_a && b <= slack bounds_b)
     ~score:(fun st ->
       let a = Partition_state.area st Partition_state.A in
@@ -260,8 +267,15 @@ let run ?(obs = Obs.noop) cfg st =
       Obs.span obs ("pass" ^ string_of_int !pass_idx) one_pass
     else one_pass ()
   in
+  (* The stop hook is polled only between passes: a pass either completes
+     (and rolls back to its best prefix) or never starts, so cancellation
+     can not leave the state mid-pass — the score contract ("never
+     worsens") survives an abort. With the default hook the polls are
+     no-ops and the pass sequence is byte-identical to the unhooked
+     engine. *)
   let passes = ref 0 in
-  while !passes < cfg.max_passes && timed_pass () do
+  while (not (cfg.should_stop ())) && !passes < cfg.max_passes && timed_pass ()
+  do
     incr passes
   done;
   cfg.score st

@@ -37,6 +37,12 @@ type config = {
       (** hard legality of intermediate states: [area_ok area_a area_b] *)
   score : Partition_state.t -> score;
       (** prefix quality; the pass rolls back to the best-scoring prefix *)
+  should_stop : unit -> bool;
+      (** cooperative-cancellation hook, polled between passes (never
+          mid-pass, so an abort still leaves the state at a best prefix
+          and the "score never worsens" contract holds). Defaults to
+          [fun () -> false]; the default never changes behaviour. The
+          service daemon points it at a cancel flag / deadline check. *)
 }
 (** @deprecated Constructing this record literally is deprecated — new
     knobs would break literal builders. Use {!Config.make} or one of the
@@ -52,13 +58,18 @@ module Config : sig
     ?objective:objective ->
     ?replication:[ `None | `Functional of int ] ->
     ?max_passes:int ->
+    ?should_stop:(unit -> bool) ->
     area_ok:(int -> int -> bool) ->
     score:(Partition_state.t -> score) ->
     unit ->
     t
-  (** Defaults: [Cut], [`None], 12 passes. [area_ok] and [score] have no
-      meaningful default — pick a scenario builder if you don't want to
-      write them. *)
+  (** Defaults: [Cut], [`None], 12 passes, never stop. [area_ok] and
+      [score] have no meaningful default — pick a scenario builder if you
+      don't want to write them.
+
+      Raises [Invalid_argument] on a non-positive [max_passes]: a budget
+      of zero passes silently degrades every caller to "return the initial
+      state", which is never what was meant. *)
 end
 
 val balance_config :
@@ -84,6 +95,7 @@ val device_config :
   ?objective:objective ->
   ?replication:[ `None | `Functional of int ] ->
   ?max_passes:int ->
+  ?should_stop:(unit -> bool) ->
   bounds:device_bounds ->
   unit ->
   config
@@ -96,6 +108,7 @@ val two_device_config :
   ?objective:objective ->
   ?replication:[ `None | `Functional of int ] ->
   ?max_passes:int ->
+  ?should_stop:(unit -> bool) ->
   bounds_a:device_bounds ->
   bounds_b:device_bounds ->
   unit ->

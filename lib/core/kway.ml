@@ -20,6 +20,8 @@ type result = {
   feasible_runs : int;
 }
 
+let never_stop () = false
+
 type options = {
   runs : int;
   seed : int;
@@ -28,7 +30,10 @@ type options = {
   fm_attempts : int;
   refine_rounds : int;
   jobs : int;
+  should_stop : unit -> bool;
 }
+
+let cancelled = "cancelled"
 
 module Options = struct
   type t = options
@@ -42,13 +47,43 @@ module Options = struct
       fm_attempts = 3;
       refine_rounds = 1;
       jobs = 1;
+      should_stop = never_stop;
     }
 
   let make ?(runs = default.runs) ?(seed = default.seed)
       ?(replication = default.replication) ?(max_passes = default.max_passes)
       ?(fm_attempts = default.fm_attempts)
-      ?(refine_rounds = default.refine_rounds) ?(jobs = default.jobs) () =
-    { runs; seed; replication; max_passes; fm_attempts; refine_rounds; jobs }
+      ?(refine_rounds = default.refine_rounds) ?(jobs = default.jobs)
+      ?(should_stop = default.should_stop) () =
+    (* Fail loudly at construction: a zero or negative budget otherwise
+       surfaces far downstream as "no feasible partition" (runs = 0), an
+       empty restart loop (fm_attempts = 0) or a pool that silently runs
+       inline — all much harder to attribute than this. *)
+    let positive what v =
+      if v <= 0 then
+        invalid_arg
+          (Printf.sprintf "Kway.Options.make: %s must be positive (got %d)"
+             what v)
+    in
+    positive "runs" runs;
+    positive "max_passes" max_passes;
+    positive "fm_attempts" fm_attempts;
+    positive "jobs" jobs;
+    if refine_rounds < 0 then
+      invalid_arg
+        (Printf.sprintf
+           "Kway.Options.make: refine_rounds must be non-negative (got %d)"
+           refine_rounds);
+    {
+      runs;
+      seed;
+      replication;
+      max_passes;
+      fm_attempts;
+      refine_rounds;
+      jobs;
+      should_stop;
+    }
 end
 
 let default_options = Options.default
@@ -101,7 +136,7 @@ let try_device ~opts ~attempt_jobs ~rng ~obs rest (dev : Fpga.Device.t) =
   else begin
     let cfg =
       Fm.device_config ~objective:Fm.Cut ~replication:opts.replication
-        ~max_passes:opts.max_passes ~bounds ()
+        ~max_passes:opts.max_passes ~should_stop:opts.should_stop ~bounds ()
     in
     (* Aim near the top of the window: fuller devices mean fewer devices
        and lower total cost (objective 1). *)
@@ -150,7 +185,8 @@ let run_once ~library ~opts ~attempt_jobs ~rng ~obs hg =
             Fun.id ))
   in
   let rec loop rest orig_of parts guard =
-    if guard > Hypergraph.total_area hg + 8 then
+    if opts.should_stop () then Error cancelled
+    else if guard > Hypergraph.total_area hg + 8 then
       Error "k-way driver failed to terminate (internal)"
     else if Hypergraph.num_cells rest = 0 then Ok (List.rev parts)
     else begin
@@ -347,8 +383,8 @@ let refine_pair ~opts ~obs hg library (pi : part) (pj : part) =
   in
   let cfg =
     Fm.two_device_config ~replication:opts.replication
-      ~max_passes:opts.max_passes ~bounds_a:(bounds pi) ~bounds_b:(bounds pj)
-      ()
+      ~max_passes:opts.max_passes ~should_stop:opts.should_stop
+      ~bounds_a:(bounds pi) ~bounds_b:(bounds pj) ()
   in
   let s0 = cfg.Fm.score st in
   let s1 = Fm.run_staged ~obs cfg st in
@@ -431,6 +467,8 @@ let refine ~opts ~obs hg library parts =
       Obs.span obs (Printf.sprintf "refine%d" round) (fun () ->
           List.iter
             (fun (i, j) ->
+              if opts.should_stop () then ()
+              else
               match refine_pair ~opts ~obs hg library parts.(i) parts.(j) with
               | Some (pi, pj, t_before, t_after) ->
                   parts.(i) <- pi;
@@ -577,6 +615,8 @@ let partition ?(obs = Obs.noop) ?(options = Options.default) ~library hg =
   in
   let wall_secs = Obs.Clock.wall () -. w0 in
   let cpu_secs = Obs.Clock.cpu () -. t0 in
+  if options.should_stop () then Error cancelled
+  else
   match best with
   | None -> Error "no feasible k-way partition found in any run"
   | Some (parts, summary, replicated, total) ->

@@ -62,12 +62,26 @@ type options = {
       (** domains used for the multi-start runs (and, when [runs < jobs],
           for the per-split [fm_attempts] restarts); [1] runs everything in
           the calling domain. Never affects the result. *)
+  should_stop : unit -> bool;
+      (** cooperative-cancellation hook, polled at the split-step and
+          F-M pass boundaries (see {!Fm.config}); when it returns [true]
+          the driver abandons the search and {!partition} returns
+          [Error] {!cancelled}. Defaults to [fun () -> false] — the
+          default hook never changes behaviour or telemetry. The service
+          daemon points it at the job's cancel flag and deadline; the CLI
+          points it at the SIGINT/SIGTERM flag. Like [jobs], it is an
+          execution knob: it is never serialised into the stats schema. *)
 }
 (** @deprecated Constructing this record literally is deprecated: every new
-    knob (like [jobs]) is a breaking change for literal builders. Use
-    {!Options.make} (or functional update of {!Options.default}), which
-    defaults every field. The record stays exposed for field access and
-    functional update. *)
+    knob (like [jobs] or [should_stop]) is a breaking change for literal
+    builders. Use {!Options.make} (or functional update of
+    {!Options.default}), which defaults every field. The record stays
+    exposed for field access and functional update. *)
+
+val cancelled : string
+(** The exact [Error] payload {!partition} returns when [should_stop]
+    aborted the search — callers distinguish cancellation from a genuine
+    "no feasible partition" by comparing against this string. *)
 
 (** Labelled constructors for {!options}. *)
 module Options : sig
@@ -85,10 +99,17 @@ module Options : sig
     ?fm_attempts:int ->
     ?refine_rounds:int ->
     ?jobs:int ->
+    ?should_stop:(unit -> bool) ->
     unit ->
     t
   (** Every argument defaults to its {!default} value, so adding future
-      knobs never breaks a caller. *)
+      knobs never breaks a caller.
+
+      Raises [Invalid_argument] when [runs], [max_passes], [fm_attempts]
+      or [jobs] is non-positive, or [refine_rounds] is negative: a bad
+      budget otherwise fails far downstream ([runs = 0] surfaces as "no
+      feasible partition", [fm_attempts = 0] as an empty restart loop)
+      where the cause is unrecoverable from the symptom. *)
 end
 
 val default_options : options

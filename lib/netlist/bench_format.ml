@@ -66,30 +66,38 @@ let parse_line lineno line =
 (* Name resolution. Signals may be used before their defining line, and a
    flip-flop's D cone may read its own Q (sequential feedback), so gates are
    resolved by depth-first search and DFFs get placeholder nodes wired at
-   the end. *)
+   the end. Statements arrive paired with their source line so resolution
+   errors (duplicates, undefined signals, cycles) name a line too. *)
 let build stmts =
   let decls = Hashtbl.create 256 in
-  (* name -> kind * args *)
+  (* name -> lineno * kind * args *)
   let order = Vec.create () in
   (* declaration order of names *)
   let outputs = Vec.create () in
-  let declare name kind args =
-    if Hashtbl.mem decls name then Error ("duplicate definition of " ^ name)
-    else begin
-      Hashtbl.add decls name (kind, args);
-      ignore (Vec.push order name);
-      Ok ()
-    end
+  let declare lineno name kind args =
+    match Hashtbl.find_opt decls name with
+    | Some (first, _, _) ->
+        Error
+          (Printf.sprintf "line %d: duplicate definition of %s (first at line %d)"
+             lineno name first)
+    | None ->
+        Hashtbl.add decls name (lineno, kind, args);
+        ignore (Vec.push order name);
+        Ok ()
   in
   let rec scan = function
     | [] -> Ok ()
-    | Input_decl n :: rest -> (
-        match declare n Gate.Input [] with Error _ as e -> e | Ok () -> scan rest)
-    | Output_decl n :: rest ->
-        ignore (Vec.push outputs n);
+    | (lineno, Input_decl n) :: rest -> (
+        match declare lineno n Gate.Input [] with
+        | Error _ as e -> e
+        | Ok () -> scan rest)
+    | (lineno, Output_decl n) :: rest ->
+        ignore (Vec.push outputs (lineno, n));
         scan rest
-    | Assign (target, kind, args) :: rest -> (
-        match declare target kind args with Error _ as e -> e | Ok () -> scan rest)
+    | (lineno, Assign (target, kind, args)) :: rest -> (
+        match declare lineno target kind args with
+        | Error _ as e -> e
+        | Ok () -> scan rest)
   in
   match scan stmts with
   | Error _ as e -> e
@@ -98,15 +106,21 @@ let build stmts =
       let ids = Hashtbl.create 256 in
       let visiting = Hashtbl.create 16 in
       let exception Fail of string in
-      let rec resolve name =
+      (* [at] is the line of the statement whose fanin list we are
+         resolving — the best source position for a dangling name. *)
+      let rec resolve ~at name =
         match Hashtbl.find_opt ids name with
         | Some id -> id
         | None -> (
             if Hashtbl.mem visiting name then
-              raise (Fail ("combinational cycle at " ^ name));
+              raise
+                (Fail
+                   (Printf.sprintf "line %d: combinational cycle at %s" at name));
             match Hashtbl.find_opt decls name with
-            | None -> raise (Fail ("undefined signal: " ^ name))
-            | Some (kind, args) ->
+            | None ->
+                raise
+                  (Fail (Printf.sprintf "line %d: undefined signal: %s" at name))
+            | Some (lineno, kind, args) ->
                 let id =
                   match kind with
                   | Gate.Input -> Circuit.Builder.input b name
@@ -115,7 +129,7 @@ let build stmts =
                       Circuit.Builder.dff_placeholder b name
                   | _ ->
                       Hashtbl.replace visiting name ();
-                      let fanins = List.map resolve args in
+                      let fanins = List.map (resolve ~at:lineno) args in
                       Hashtbl.remove visiting name;
                       Circuit.Builder.gate b ~name kind fanins
                 in
@@ -123,21 +137,34 @@ let build stmts =
                 id)
       in
       try
-        Vec.iter (fun name -> ignore (resolve name)) order;
+        Vec.iter
+          (fun name ->
+            let at, _, _ = Hashtbl.find decls name in
+            ignore (resolve ~at name))
+          order;
         (* Wire flip-flop D pins. *)
         Vec.iter
           (fun name ->
             match Hashtbl.find_opt decls name with
-            | Some (Gate.Dff, [ d ]) ->
-                Circuit.Builder.connect_dff b (Hashtbl.find ids name) (resolve d)
-            | Some (Gate.Dff, _) -> raise (Fail ("DFF " ^ name ^ " needs one fanin"))
+            | Some (lineno, Gate.Dff, [ d ]) ->
+                Circuit.Builder.connect_dff b (Hashtbl.find ids name)
+                  (resolve ~at:lineno d)
+            | Some (lineno, Gate.Dff, _) ->
+                raise
+                  (Fail
+                     (Printf.sprintf "line %d: DFF %s needs one fanin" lineno
+                        name))
             | _ -> ())
           order;
         Vec.iter
-          (fun name ->
+          (fun (lineno, name) ->
             match Hashtbl.find_opt ids name with
             | Some id -> Circuit.Builder.mark_output b id
-            | None -> raise (Fail ("undefined output signal: " ^ name)))
+            | None ->
+                raise
+                  (Fail
+                     (Printf.sprintf "line %d: undefined output signal: %s"
+                        lineno name)))
           outputs;
         Ok (Circuit.Builder.finish b)
       with
@@ -152,7 +179,7 @@ let parse text =
         match parse_line lineno line with
         | Error _ as e -> e
         | Ok None -> collect (lineno + 1) acc rest
-        | Ok (Some s) -> collect (lineno + 1) (s :: acc) rest)
+        | Ok (Some s) -> collect (lineno + 1) ((lineno, s) :: acc) rest)
   in
   match collect 1 [] lines with Error _ as e -> e | Ok stmts -> build stmts
 

@@ -34,6 +34,8 @@ let words s =
 (* Parsing into statements                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Statements stay paired with their source line so the elaboration
+   phase can report duplicates and dangling references by line. *)
 type stmt =
   | Model of string
   | Inputs of string list
@@ -48,13 +50,13 @@ let parse_stmts lines =
     | [] -> Ok (List.rev acc)
     | (lineno, line) :: rest -> (
         match words line with
-        | ".model" :: name :: _ -> loop (Model name :: acc) rest
-        | ".inputs" :: ins -> loop (Inputs ins :: acc) rest
-        | ".outputs" :: outs -> loop (Outputs outs :: acc) rest
+        | ".model" :: name :: _ -> loop ((lineno, Model name) :: acc) rest
+        | ".inputs" :: ins -> loop ((lineno, Inputs ins) :: acc) rest
+        | ".outputs" :: outs -> loop ((lineno, Outputs outs) :: acc) rest
         | ".latch" :: args -> (
             (* .latch input output [type control] [init] *)
             match args with
-            | d :: q :: _ -> loop (Latch (d, q) :: acc) rest
+            | d :: q :: _ -> loop ((lineno, Latch (d, q)) :: acc) rest
             | _ -> err lineno ".latch needs input and output")
         | ".names" :: signals -> (
             match List.rev signals with
@@ -80,7 +82,9 @@ let parse_stmts lines =
                              && (value.[0] = '0' || value.[0] = '1') ->
                           rows (("", value.[0]) :: acc_rows) more
                       | _ -> err rl ("bad cover row: " ^ row))
-                  | more -> loop (Names (ins, out, List.rev acc_rows) :: acc) more
+                  | more ->
+                      loop ((lineno, Names (ins, out, List.rev acc_rows)) :: acc)
+                        more
                 and err rl msg = Error (Printf.sprintf "line %d: %s" rl msg) in
                 rows [] rest)
         | ".end" :: _ -> loop acc rest
@@ -103,35 +107,43 @@ type decl =
 let build stmts =
   let model = ref "blif" in
   let decls = Hashtbl.create 256 in
+  (* name -> lineno * decl *)
   let order = Vec.create () in
   let outputs = Vec.create () in
-  let declare name d =
-    if Hashtbl.mem decls name then Error ("duplicate definition of " ^ name)
-    else begin
-      Hashtbl.add decls name d;
-      ignore (Vec.push order name);
-      Ok ()
-    end
+  let declare lineno name d =
+    match Hashtbl.find_opt decls name with
+    | Some (first, _) ->
+        Error
+          (Printf.sprintf "line %d: duplicate definition of %s (first at line %d)"
+             lineno name first)
+    | None ->
+        Hashtbl.add decls name (lineno, d);
+        ignore (Vec.push order name);
+        Ok ()
   in
   let rec scan = function
     | [] -> Ok ()
-    | Model name :: rest ->
+    | (_, Model name) :: rest ->
         model := name;
         scan rest
-    | Inputs ins :: rest -> (
+    | (lineno, Inputs ins) :: rest -> (
         let rec each = function
           | [] -> scan rest
           | i :: more -> (
-              match declare i D_input with Error _ as e -> e | Ok () -> each more)
+              match declare lineno i D_input with
+              | Error _ as e -> e
+              | Ok () -> each more)
         in
         each ins)
-    | Outputs outs :: rest ->
-        List.iter (fun o -> ignore (Vec.push outputs o)) outs;
+    | (lineno, Outputs outs) :: rest ->
+        List.iter (fun o -> ignore (Vec.push outputs (lineno, o))) outs;
         scan rest
-    | Latch (d, q) :: rest -> (
-        match declare q (D_latch d) with Error _ as e -> e | Ok () -> scan rest)
-    | Names (ins, out, rows) :: rest -> (
-        match declare out (D_names (ins, rows)) with
+    | (lineno, Latch (d, q)) :: rest -> (
+        match declare lineno q (D_latch d) with
+        | Error _ as e -> e
+        | Ok () -> scan rest)
+    | (lineno, Names (ins, out, rows)) :: rest -> (
+        match declare lineno out (D_names (ins, rows)) with
         | Error _ as e -> e
         | Ok () -> scan rest)
   in
@@ -158,22 +170,28 @@ let build stmts =
       let ids = Hashtbl.create 256 in
       let visiting = Hashtbl.create 16 in
       let exception Fail of string in
-      let rec resolve name =
+      (* [at] is the line whose fanin list is being resolved — the best
+         source position for a dangling reference. *)
+      let rec resolve ~at name =
         match Hashtbl.find_opt ids name with
         | Some id -> id
         | None -> (
             if Hashtbl.mem visiting name then
-              raise (Fail ("combinational cycle at " ^ name));
+              raise
+                (Fail
+                   (Printf.sprintf "line %d: combinational cycle at %s" at name));
             match Hashtbl.find_opt decls name with
-            | None -> raise (Fail ("undefined signal: " ^ name))
-            | Some d ->
+            | None ->
+                raise
+                  (Fail (Printf.sprintf "line %d: undefined signal: %s" at name))
+            | Some (lineno, d) ->
                 let id =
                   match d with
                   | D_input -> B.input b name
                   | D_latch _ -> B.dff_placeholder b name
                   | D_names (ins, rows) ->
                       Hashtbl.replace visiting name ();
-                      let in_ids = List.map resolve ins in
+                      let in_ids = List.map (resolve ~at:lineno) ins in
                       Hashtbl.remove visiting name;
                       synthesize_cover b ~fresh ~name in_ids rows
                 in
@@ -218,19 +236,27 @@ let build stmts =
           | xs, false -> B.gate b ~name Gate.Nor xs
       in
       try
-        Vec.iter (fun name -> ignore (resolve name)) order;
         Vec.iter
           (fun name ->
-            match Hashtbl.find_opt decls name with
-            | Some (D_latch d) ->
-                B.connect_dff b (Hashtbl.find ids name) (resolve d)
-            | _ -> ())
+            let at, _ = Hashtbl.find decls name in
+            ignore (resolve ~at name))
           order;
         Vec.iter
           (fun name ->
+            match Hashtbl.find_opt decls name with
+            | Some (lineno, D_latch d) ->
+                B.connect_dff b (Hashtbl.find ids name) (resolve ~at:lineno d)
+            | _ -> ())
+          order;
+        Vec.iter
+          (fun (lineno, name) ->
             match Hashtbl.find_opt ids name with
             | Some id -> B.mark_output b id
-            | None -> raise (Fail ("undefined output signal: " ^ name)))
+            | None ->
+                raise
+                  (Fail
+                     (Printf.sprintf "line %d: undefined output signal: %s"
+                        lineno name)))
           outputs;
         Ok (B.finish b)
       with

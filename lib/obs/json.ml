@@ -83,6 +83,220 @@ let write_file ~path j =
       output_string oc (to_string j);
       output_char oc '\n')
 
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of int * string
+
+let of_string text =
+  let len = String.length text in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < len then Some text.[!pos] else None in
+  let advance () = Stdlib.incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect ch =
+    match peek () with
+    | Some c when c = ch -> advance ()
+    | Some c -> fail (Printf.sprintf "expected '%c', found '%c'" ch c)
+    | None -> fail (Printf.sprintf "expected '%c', found end of input" ch)
+  in
+  let literal word value =
+    let n = String.length word in
+    if !pos + n <= len && String.sub text !pos n = word then begin
+      pos := !pos + n;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let utf8_of_code buf u =
+    (* RFC 3629 encoding of one scalar value (surrogates handled by the
+       caller). *)
+    if u < 0x80 then Buffer.add_char buf (Char.chr u)
+    else if u < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+    end
+    else if u < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+    end
+  in
+  let hex4 () =
+    if !pos + 4 > len then fail "truncated \\u escape";
+    let v = int_of_string ("0x" ^ String.sub text !pos 4) in
+    pos := !pos + 4;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | None -> fail "unterminated escape"
+          | Some c ->
+              advance ();
+              (match c with
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | '/' -> Buffer.add_char buf '/'
+              | 'b' -> Buffer.add_char buf '\b'
+              | 'f' -> Buffer.add_char buf '\012'
+              | 'n' -> Buffer.add_char buf '\n'
+              | 'r' -> Buffer.add_char buf '\r'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'u' -> (
+                  match hex4 () with
+                  | exception _ -> fail "bad \\u escape"
+                  | hi when hi >= 0xD800 && hi <= 0xDBFF ->
+                      (* Surrogate pair. *)
+                      if
+                        !pos + 2 <= len
+                        && text.[!pos] = '\\'
+                        && text.[!pos + 1] = 'u'
+                      then begin
+                        pos := !pos + 2;
+                        match hex4 () with
+                        | exception _ -> fail "bad \\u escape"
+                        | lo when lo >= 0xDC00 && lo <= 0xDFFF ->
+                            utf8_of_code buf
+                              (0x10000
+                              + ((hi - 0xD800) lsl 10)
+                              + (lo - 0xDC00))
+                        | _ -> fail "unpaired surrogate"
+                      end
+                      else fail "unpaired surrogate"
+                  | u when u >= 0xDC00 && u <= 0xDFFF ->
+                      fail "unpaired surrogate"
+                  | u -> utf8_of_code buf u)
+              | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+              loop ())
+      | Some c when Char.code c < 0x20 -> fail "control character in string"
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < len && is_num_char text.[!pos] do
+      advance ()
+    done;
+    let s = String.sub text start (!pos - start) in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail ("bad number: " ^ s)
+    else
+      match int_of_string_opt s with
+      | Some i -> Int i
+      | None -> (
+          (* Integer syntax too large for an int: fall back to float. *)
+          match float_of_string_opt s with
+          | Some f -> Float f
+          | None -> fail ("bad number: " ^ s))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          let continue = ref true in
+          while !continue do
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items := parse_value () :: !items
+            | Some ']' ->
+                advance ();
+                continue := false
+            | _ -> fail "expected ',' or ']'"
+          done;
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (key, v)
+          in
+          let fields = ref [ field () ] in
+          let continue = ref true in
+          while !continue do
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields := field () :: !fields
+            | Some '}' ->
+                advance ();
+                continue := false
+            | _ -> fail "expected ',' or '}'"
+          done;
+          Obj (List.rev !fields)
+        end
+    | Some c -> fail (Printf.sprintf "unexpected character '%c'" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> len then fail "trailing garbage after document";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (at, msg) ->
+      Error (Printf.sprintf "JSON parse error at offset %d: %s" at msg)
+
 let member key = function
   | Obj fields -> List.assoc_opt key fields
   | _ -> None

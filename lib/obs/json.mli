@@ -27,6 +27,16 @@ val write_file : path:string -> t -> unit
 (** {!to_string} plus a trailing newline, written atomically enough for our
     purposes (single [output_string]). *)
 
+val of_string : string -> (t, string) result
+(** Parse one RFC 8259 JSON document (the whole string must be consumed,
+    whitespace aside). Numbers without a fraction or exponent that fit an
+    OCaml [int] parse as [Int], everything else numeric as [Float]; object
+    fields keep their textual order, so [of_string (to_string j) = Ok j]
+    for any [j] free of non-finite floats and duplicate keys. Errors carry
+    the byte offset of the failure. The service protocol
+    ({!Service.Codec}) depends on this parser — it is the only JSON reader
+    in the system. *)
+
 (** {1 Accessors} — small conveniences for tests and schema checks. *)
 
 val member : string -> t -> t option

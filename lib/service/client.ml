@@ -1,0 +1,49 @@
+module J = Obs.Json
+
+type conn = Unix.file_descr
+
+let connect path =
+  (* A daemon tearing the connection down mid-request (drain, crash) must
+     come back as [EPIPE] from {!request}, not kill the client. *)
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+
+let request fd req =
+  match Codec.write_frame fd (Protocol.request_to_json req) with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("connection lost: " ^ Unix.error_message e)
+  | () -> (
+      match Codec.read_frame fd with
+      | Ok reply -> Ok reply
+      | Error err -> Error (Codec.read_error_to_string err)
+      | exception Unix.Unix_error (e, _, _) ->
+          Error ("connection lost: " ^ Unix.error_message e))
+
+let close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let rpc ~socket req =
+  match connect socket with
+  | Error _ as e -> e
+  | Ok fd ->
+      let reply = request fd req in
+      close fd;
+      reply
+
+let ok_or_error reply =
+  match Option.bind (J.member "ok" reply) J.to_bool with
+  | Some true -> Ok reply
+  | Some false ->
+      let err = J.member "error" reply in
+      let get name =
+        Option.bind (Option.bind err (J.member name)) J.to_str
+      in
+      Error
+        ( Option.value (get "code") ~default:Protocol.code_bad_request,
+          Option.value (get "msg") ~default:"unspecified error" )
+  | None -> Error (Protocol.code_bad_request, "malformed reply")

@@ -1,0 +1,28 @@
+(** Client side of the service protocol — what [fpgapart submit],
+    [svc-stats] and friends (and the tests) speak.
+
+    A connection is persistent: {!request} can be called repeatedly, one
+    frame out, one frame in. {!rpc} is the one-shot
+    connect/request/close convenience. *)
+
+type conn
+
+val connect : string -> (conn, string) result
+(** Connect to the daemon's Unix-domain socket at the given path. Also
+    sets SIGPIPE to ignore for the process, so a daemon vanishing
+    mid-request surfaces as an [Error] rather than a fatal signal. *)
+
+val request : conn -> Protocol.request -> (Obs.Json.t, string) result
+(** Send one request, wait for its reply frame. [Error] on connection
+    loss or a malformed reply; protocol-level failures come back as
+    [Ok] [{"ok": false, ...}] documents — use {!ok_or_error}. *)
+
+val close : conn -> unit
+
+val rpc : socket:string -> Protocol.request -> (Obs.Json.t, string) result
+(** [connect], one {!request}, [close]. *)
+
+val ok_or_error : Obs.Json.t -> (Obs.Json.t, string * string) result
+(** Split a reply on its ["ok"] field: [Ok reply] when true, [Error
+    (code, msg)] from the ["error"] object when false (with
+    [bad_request]-flavoured fallbacks if the reply is malformed). *)

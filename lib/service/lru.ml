@@ -1,0 +1,45 @@
+type 'a entry = { value : 'a; mutable last_used : int }
+
+type 'a t = {
+  table : (string, 'a entry) Hashtbl.t;
+  capacity : int;
+  mutable tick : int;
+}
+
+let create ~cap =
+  if cap <= 0 then
+    invalid_arg (Printf.sprintf "Lru.create: cap must be positive (got %d)" cap);
+  { table = Hashtbl.create (min cap 64); capacity = cap; tick = 0 }
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.last_used <- t.tick
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some e ->
+      touch t e;
+      Some e.value
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key e ->
+      match !victim with
+      | Some (_, age) when age <= e.last_used -> ()
+      | _ -> victim := Some (key, e.last_used))
+    t.table;
+  match !victim with
+  | Some (key, _) -> Hashtbl.remove t.table key
+  | None -> ()
+
+let add t key value =
+  (if not (Hashtbl.mem t.table key) then
+     if Hashtbl.length t.table >= t.capacity then evict_lru t);
+  let e = { value; last_used = 0 } in
+  touch t e;
+  Hashtbl.replace t.table key e
+
+let length t = Hashtbl.length t.table
+let cap t = t.capacity

@@ -1,0 +1,20 @@
+(** Small string-keyed LRU map, the result cache of the partition service.
+
+    Capacities are small (a daemon caches at most a few hundred partition
+    documents), so the implementation favours obviousness over asymptotics:
+    a hash table plus a recency tick, with an O(n) scan on eviction. *)
+
+type 'a t
+
+val create : cap:int -> 'a t
+(** Raises [Invalid_argument] on a non-positive capacity. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit refreshes the entry's recency. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or replace; evicts the least-recently-used entry when the map
+    would exceed its capacity. *)
+
+val length : 'a t -> int
+val cap : 'a t -> int

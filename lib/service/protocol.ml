@@ -1,0 +1,166 @@
+module J = Obs.Json
+
+type format = Bench | Blif | Verilog
+
+let format_to_string = function
+  | Bench -> "bench"
+  | Blif -> "blif"
+  | Verilog -> "verilog"
+
+let format_of_string = function
+  | "bench" -> Some Bench
+  | "blif" -> Some Blif
+  | "verilog" -> Some Verilog
+  | _ -> None
+
+let parse_netlist format text =
+  match format with
+  | Bench -> Netlist.Bench_format.parse text
+  | Blif -> Netlist.Blif.parse text
+  | Verilog -> Netlist.Verilog.parse text
+
+type request =
+  | Submit of {
+      name : string;
+      format : format;
+      netlist : string;
+      options : Core.Kway.options;
+    }
+  | Status of int
+  | Result of { job : int; wait : bool }
+  | Cancel of int
+  | Stats
+  | Shutdown
+
+let code_bad_request = "bad_request"
+let code_overloaded = "overloaded"
+let code_not_found = "not_found"
+let code_pending = "pending"
+let code_infeasible = "infeasible"
+let code_cancelled = "cancelled"
+let code_timeout = "timeout"
+let code_shutting_down = "shutting_down"
+
+let ok fields = J.Obj (("ok", J.Bool true) :: fields)
+
+let error ~code msg =
+  J.Obj
+    [
+      ("ok", J.Bool false);
+      ("error", J.Obj [ ("code", J.String code); ("msg", J.String msg) ]);
+    ]
+
+let state_queued = "queued"
+let state_running = "running"
+let state_done = "done"
+let state_failed = "failed"
+let state_cancelled = "cancelled"
+
+(* The options wire encoding is the stats-schema encoding
+   (Obs_report.options_to_json), so a client can lift the "options"
+   object straight out of a stats document and resubmit with it. *)
+let request_to_json = function
+  | Submit { name; format; netlist; options } ->
+      J.Obj
+        [
+          ("v", J.Int 1);
+          ("verb", J.String "submit");
+          ("name", J.String name);
+          ("format", J.String (format_to_string format));
+          ("netlist", J.String netlist);
+          ("options", Experiments.Obs_report.options_to_json options);
+        ]
+  | Status job ->
+      J.Obj [ ("v", J.Int 1); ("verb", J.String "status"); ("job", J.Int job) ]
+  | Result { job; wait } ->
+      J.Obj
+        [
+          ("v", J.Int 1);
+          ("verb", J.String "result");
+          ("job", J.Int job);
+          ("wait", J.Bool wait);
+        ]
+  | Cancel job ->
+      J.Obj [ ("v", J.Int 1); ("verb", J.String "cancel"); ("job", J.Int job) ]
+  | Stats -> J.Obj [ ("v", J.Int 1); ("verb", J.String "stats") ]
+  | Shutdown -> J.Obj [ ("v", J.Int 1); ("verb", J.String "shutdown") ]
+
+let ( let* ) = Result.bind
+
+let field name conv json =
+  match Option.bind (J.member name json) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let opt_field name conv ~default json =
+  match J.member name json with
+  | None -> Ok default
+  | Some v -> (
+      match conv v with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "ill-typed field %S" name))
+
+let replication_of_json = function
+  | J.String "none" -> Ok `None
+  | J.Obj _ as o -> (
+      match Option.bind (J.member "functional_threshold" o) J.to_int with
+      | Some t -> Ok (`Functional t)
+      | None -> Error "ill-typed field \"replication\"")
+  | _ -> Error "ill-typed field \"replication\""
+
+let options_of_json json =
+  let d = Core.Kway.Options.default in
+  let* runs = opt_field "runs" J.to_int ~default:d.Core.Kway.runs json in
+  let* seed = opt_field "seed" J.to_int ~default:d.Core.Kway.seed json in
+  let* replication =
+    match J.member "replication" json with
+    | None -> Ok d.Core.Kway.replication
+    | Some r -> replication_of_json r
+  in
+  let* max_passes =
+    opt_field "max_passes" J.to_int ~default:d.Core.Kway.max_passes json
+  in
+  let* fm_attempts =
+    opt_field "fm_attempts" J.to_int ~default:d.Core.Kway.fm_attempts json
+  in
+  let* refine_rounds =
+    opt_field "refine_rounds" J.to_int ~default:d.Core.Kway.refine_rounds json
+  in
+  match
+    Core.Kway.Options.make ~runs ~seed ~replication ~max_passes ~fm_attempts
+      ~refine_rounds ()
+  with
+  | options -> Ok options
+  | exception Invalid_argument msg -> Error msg
+
+let request_of_json json =
+  let* verb = field "verb" J.to_str json in
+  match verb with
+  | "submit" ->
+      let* name = field "name" J.to_str json in
+      let* format_s = field "format" J.to_str json in
+      let* format =
+        match format_of_string format_s with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "unknown netlist format %S" format_s)
+      in
+      let* netlist = field "netlist" J.to_str json in
+      let* options =
+        match J.member "options" json with
+        | None -> Ok Core.Kway.Options.default
+        | Some o -> options_of_json o
+      in
+      Ok (Submit { name; format; netlist; options })
+  | "status" ->
+      let* job = field "job" J.to_int json in
+      Ok (Status job)
+  | "result" ->
+      let* job = field "job" J.to_int json in
+      let* wait = opt_field "wait" J.to_bool ~default:false json in
+      Ok (Result { job; wait })
+  | "cancel" ->
+      let* job = field "job" J.to_int json in
+      Ok (Cancel job)
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | verb -> Error (Printf.sprintf "unknown verb %S" verb)

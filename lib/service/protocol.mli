@@ -1,0 +1,91 @@
+(** The request/response vocabulary of the partition service, one layer
+    above {!Codec}'s framing.
+
+    Every request is a JSON object [{"v": 1, "verb": ..., ...}]. Replies
+    are [{"ok": true, ...}] or [{"ok": false, "error": {"code", "msg"}}];
+    the error codes are a closed vocabulary (below) so clients and the
+    smoke tests can switch on them without string-matching messages.
+
+    Verbs:
+    - [submit]: ["name"], ["format"] ("bench" | "blif" | "verilog"),
+      ["netlist"] (the full netlist text) and an optional ["options"]
+      object with the result-shaping knobs in the stats-schema encoding
+      ([runs], [seed], [replication], [max_passes], [fm_attempts],
+      [refine_rounds]). Reply: ["job"] id, ["state"], ["cached"], and the
+      cached ["result"] document on a cache hit.
+    - [status]: ["job"] — reply ["state"] and, while queued,
+      ["position"].
+    - [result]: ["job"], optional ["wait"] (block until the job leaves
+      the queue/run states) — reply the scrubbed ["result"] document.
+    - [cancel]: ["job"] — request cooperative cancellation.
+    - [stats]: server counters/timers/histograms as a schema-v3
+      compatible document.
+    - [shutdown]: graceful drain-then-exit. *)
+
+type format = Bench | Blif | Verilog
+
+val format_to_string : format -> string
+val format_of_string : string -> format option
+
+val parse_netlist : format -> string -> (Netlist.Circuit.t, string) result
+
+type request =
+  | Submit of {
+      name : string;
+      format : format;
+      netlist : string;
+      options : Core.Kway.options;
+    }
+  | Status of int
+  | Result of { job : int; wait : bool }
+  | Cancel of int
+  | Stats
+  | Shutdown
+
+val request_to_json : request -> Obs.Json.t
+
+val request_of_json : Obs.Json.t -> (request, string) result
+(** [Error] on a missing/unknown verb, missing fields, or option values
+    {!Core.Kway.Options.make} rejects. *)
+
+(** {1 Error codes} *)
+
+val code_bad_request : string
+(** unparseable frame or request *)
+
+val code_overloaded : string
+(** job queue at [--queue-cap]; resubmit later *)
+
+val code_not_found : string
+(** unknown job id *)
+
+val code_pending : string
+(** [result] without [wait] on an unfinished job *)
+
+val code_infeasible : string
+(** the engine found no feasible partition *)
+
+val code_cancelled : string
+(** job cancelled by a [cancel] request *)
+
+val code_timeout : string
+(** job exceeded the per-job [--timeout] *)
+
+val code_shutting_down : string
+(** submit refused during drain *)
+
+(** {1 Replies} *)
+
+val ok : (string * Obs.Json.t) list -> Obs.Json.t
+(** [{"ok": true, <fields>}]. *)
+
+val error : code:string -> string -> Obs.Json.t
+(** [{"ok": false, "error": {"code": <code>, "msg": <msg>}}]. *)
+
+(** {1 Job states} *)
+
+val state_queued : string
+val state_running : string
+val state_done : string
+val state_failed : string
+val state_cancelled : string

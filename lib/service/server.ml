@@ -1,0 +1,467 @@
+module J = Obs.Json
+module P = Protocol
+
+type config = {
+  socket_path : string;
+  queue_cap : int;
+  cache_cap : int;
+  timeout : float option;
+  jobs : int;
+}
+
+let default_config ~socket_path =
+  { socket_path; queue_cap = 16; cache_cap = 64; timeout = None; jobs = 1 }
+
+type job_state =
+  | Queued
+  | Running
+  | Done of J.t
+  | Failed of { code : string; msg : string }
+  | Cancelled
+
+type job = {
+  id : int;
+  name : string;
+  key : string;
+  options : Core.Kway.options;
+  hypergraph : Hypergraph.t;
+  cancel : bool Atomic.t;
+  enqueued_at : float;
+  mutable state : job_state;
+}
+
+type t = {
+  cfg : config;
+  mutex : Mutex.t;
+  cond : Condition.t;
+      (* broadcast on every job state change, enqueue, and on stopping *)
+  obs : Obs.t;
+  jobs_tbl : (int, job) Hashtbl.t;
+  queue : job Queue.t;
+  cache : J.t Lru.t;
+  mutable next_id : int;
+  mutable stopping : bool;
+  mutable open_conns : Unix.file_descr list;
+}
+
+(* All shared state — queue, job states, the cache, and the Obs sink (its
+   single-writer contract) — is touched only under this lock. Handler
+   threads and the executor are systhreads on one domain, so contention
+   is negligible; the partition engine itself runs outside the lock. *)
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let state_string = function
+  | Queued -> P.state_queued
+  | Running -> P.state_running
+  | Done _ -> P.state_done
+  | Failed _ -> P.state_failed
+  | Cancelled -> P.state_cancelled
+
+let ms_since t0 =
+  int_of_float (Float.round ((Unix.gettimeofday () -. t0) *. 1000.))
+
+(* The document a [result] request returns and the cache stores. Scrubbed
+   ([_secs] fields nulled) so the bytes are a pure function of the job
+   key: the hit replies exactly what the miss computed. *)
+let result_doc (job : job) result =
+  Obs.Snapshot.scrub_elapsed
+    (J.Obj
+       [
+         ("schema_version", J.Int Experiments.Obs_report.schema_version);
+         ("artifact", J.String "service.result");
+         ("circuit", J.String job.name);
+         ("digest", J.String job.key);
+         ("options", Experiments.Obs_report.options_to_json job.options);
+         ("result", Experiments.Obs_report.result_to_json result);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Executor: one thread, strict FIFO                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_job t (job : job) =
+  let deadline =
+    Option.map (fun s -> Unix.gettimeofday () +. s) t.cfg.timeout
+  in
+  let should_stop () =
+    Atomic.get job.cancel
+    || match deadline with
+       | Some d -> Unix.gettimeofday () > d
+       | None -> false
+  in
+  let options =
+    { job.options with Core.Kway.jobs = t.cfg.jobs; should_stop }
+  in
+  let started = Unix.gettimeofday () in
+  let result =
+    Core.Kway.partition ~options ~library:Fpga.Library.xc3000 job.hypergraph
+  in
+  with_lock t (fun () ->
+      Obs.observe t.obs "service.run_ms" (ms_since started);
+      (match result with
+      | Ok r ->
+          let doc = result_doc job r in
+          job.state <- Done doc;
+          Lru.add t.cache job.key doc;
+          Obs.incr t.obs "service.completed"
+      | Error msg when String.equal msg Core.Kway.cancelled ->
+          if Atomic.get job.cancel then (
+            job.state <- Cancelled;
+            Obs.incr t.obs "service.cancelled")
+          else (
+            job.state <-
+              Failed
+                {
+                  code = P.code_timeout;
+                  msg = "job exceeded the per-job timeout";
+                };
+            Obs.incr t.obs "service.timeouts")
+      | Error msg ->
+          job.state <- Failed { code = P.code_infeasible; msg };
+          Obs.incr t.obs "service.failed");
+      Condition.broadcast t.cond)
+
+(* On [stopping] the loop keeps popping until the queue is empty — the
+   graceful drain — and only then exits. *)
+let rec executor t =
+  let next =
+    with_lock t (fun () ->
+        while Queue.is_empty t.queue && not t.stopping do
+          Condition.wait t.cond t.mutex
+        done;
+        if Queue.is_empty t.queue then None
+        else
+          let job = Queue.pop t.queue in
+          if Atomic.get job.cancel then (
+            job.state <- Cancelled;
+            Obs.incr t.obs "service.cancelled";
+            Condition.broadcast t.cond;
+            Some None)
+          else (
+            job.state <- Running;
+            Obs.observe t.obs "service.queue_wait_ms"
+              (ms_since job.enqueued_at);
+            Condition.broadcast t.cond;
+            Some (Some job)))
+  in
+  match next with
+  | None -> ()
+  | Some None -> executor t
+  | Some (Some job) ->
+      run_job t job;
+      executor t
+
+(* ------------------------------------------------------------------ *)
+(* Request dispatch                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let queue_position t id =
+  let pos = ref (-1) and i = ref 0 in
+  Queue.iter
+    (fun (j : job) ->
+      if j.id = id && !pos < 0 then pos := !i;
+      incr i)
+    t.queue;
+  if !pos < 0 then None else Some !pos
+
+let handle_submit t ~name ~format ~netlist ~options =
+  match P.parse_netlist format netlist with
+  | Error msg -> P.error ~code:P.code_bad_request ("netlist: " ^ msg)
+  | Ok circuit ->
+      (* Canonicalise, then map the canonical form: the key and the
+         computation see the same node order, so byte-permuted inputs
+         share both the cache entry and the exact result bytes. *)
+      let canonical = Digest.canonical_circuit circuit in
+      let h = Techmap.Mapper.to_hypergraph (Techmap.Mapper.map canonical) in
+      let key = Digest.job_key ~library:Fpga.Library.xc3000 ~options h in
+      with_lock t (fun () ->
+          let fresh_job state =
+            let id = t.next_id in
+            t.next_id <- id + 1;
+            let job =
+              {
+                id;
+                name;
+                key;
+                options;
+                hypergraph = h;
+                cancel = Atomic.make false;
+                enqueued_at = Unix.gettimeofday ();
+                state;
+              }
+            in
+            Hashtbl.replace t.jobs_tbl id job;
+            job
+          in
+          match Lru.find t.cache key with
+          | Some doc ->
+              Obs.incr t.obs "service.cache_hit";
+              let job = fresh_job (Done doc) in
+              P.ok
+                [
+                  ("job", J.Int job.id);
+                  ("state", J.String P.state_done);
+                  ("cached", J.Bool true);
+                  ("digest", J.String key);
+                  ("result", doc);
+                ]
+          | None ->
+              Obs.incr t.obs "service.cache_miss";
+              if t.stopping then
+                P.error ~code:P.code_shutting_down
+                  "server is draining; not accepting new jobs"
+              else if Queue.length t.queue >= t.cfg.queue_cap then (
+                Obs.incr t.obs "service.rejected";
+                P.error ~code:P.code_overloaded
+                  (Printf.sprintf
+                     "job queue is full (%d queued); resubmit later"
+                     (Queue.length t.queue)))
+              else begin
+                let job = fresh_job Queued in
+                Queue.push job t.queue;
+                Condition.broadcast t.cond;
+                P.ok
+                  [
+                    ("job", J.Int job.id);
+                    ("state", J.String P.state_queued);
+                    ("cached", J.Bool false);
+                    ("digest", J.String key);
+                    ("position", J.Int (Queue.length t.queue - 1));
+                  ]
+              end)
+
+let job_not_found id =
+  P.error ~code:P.code_not_found (Printf.sprintf "no such job: %d" id)
+
+let handle_status t id =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.jobs_tbl id with
+      | None -> job_not_found id
+      | Some job ->
+          let fields =
+            [
+              ("job", J.Int id);
+              ("state", J.String (state_string job.state));
+            ]
+          in
+          let fields =
+            match job.state with
+            | Queued -> (
+                match queue_position t id with
+                | Some p -> fields @ [ ("position", J.Int p) ]
+                | None -> fields)
+            | _ -> fields
+          in
+          P.ok fields)
+
+let handle_result t ~id ~wait =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.jobs_tbl id with
+      | None -> job_not_found id
+      | Some job ->
+          if wait then
+            (* The executor drains the queue even while stopping, so
+               every job reaches a terminal state and this wait always
+               ends. *)
+            while
+              match job.state with Queued | Running -> true | _ -> false
+            do
+              Condition.wait t.cond t.mutex
+            done;
+          (match job.state with
+          | Queued | Running ->
+              P.error ~code:P.code_pending
+                (Printf.sprintf "job %d is %s" id (state_string job.state))
+          | Done doc ->
+              P.ok
+                [
+                  ("job", J.Int id);
+                  ("state", J.String P.state_done);
+                  ("result", doc);
+                ]
+          | Failed { code; msg } -> P.error ~code msg
+          | Cancelled ->
+              P.error ~code:P.code_cancelled
+                (Printf.sprintf "job %d was cancelled" id)))
+
+let handle_cancel t id =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.jobs_tbl id with
+      | None -> job_not_found id
+      | Some job ->
+          (match job.state with
+          | Queued | Running ->
+              (* The executor notices: a queued job is skipped when
+                 popped, a running one aborts at the engine's next
+                 should_stop poll. *)
+              Atomic.set job.cancel true;
+              Condition.broadcast t.cond
+          | Done _ | Failed _ | Cancelled -> ());
+          P.ok
+            [
+              ("job", J.Int id);
+              ("state", J.String (state_string job.state));
+              ( "cancelling",
+                J.Bool
+                  (match job.state with
+                  | Queued | Running -> true
+                  | _ -> false) );
+            ])
+
+let handle_stats t =
+  with_lock t (fun () ->
+      P.ok
+        [
+          ( "stats",
+            J.Obj
+              [
+                ( "schema_version",
+                  J.Int Experiments.Obs_report.schema_version );
+                ("artifact", J.String "service.stats");
+                ("queue_len", J.Int (Queue.length t.queue));
+                ("queue_cap", J.Int t.cfg.queue_cap);
+                ( "cache",
+                  J.Obj
+                    [
+                      ("len", J.Int (Lru.length t.cache));
+                      ("cap", J.Int (Lru.cap t.cache));
+                    ] );
+                ("obs", Obs.Snapshot.to_json (Obs.snapshot t.obs));
+              ] );
+        ])
+
+let handle_shutdown t =
+  with_lock t (fun () ->
+      t.stopping <- true;
+      Condition.broadcast t.cond;
+      P.ok [ ("stopping", J.Bool true) ])
+
+let dispatch t = function
+  | P.Submit { name; format; netlist; options } ->
+      handle_submit t ~name ~format ~netlist ~options
+  | P.Status id -> handle_status t id
+  | P.Result { job; wait } -> handle_result t ~id:job ~wait
+  | P.Cancel id -> handle_cancel t id
+  | P.Stats -> handle_stats t
+  | P.Shutdown -> handle_shutdown t
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let forget_conn t fd =
+  with_lock t (fun () ->
+      t.open_conns <- List.filter (fun fd' -> fd' <> fd) t.open_conns);
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* One thread per connection; frames are handled in order. A bad frame
+   gets an error reply and the connection is closed (the stream position
+   is unknowable); a bad *request* in a good frame only costs an error
+   reply — the connection survives. *)
+let rec handle_conn t fd =
+  match Codec.read_frame fd with
+  | Error `Eof -> forget_conn t fd
+  | Error err ->
+      with_lock t (fun () -> Obs.incr t.obs "service.bad_requests");
+      (try
+         Codec.write_frame fd
+           (P.error ~code:P.code_bad_request (Codec.read_error_to_string err))
+       with Unix.Unix_error _ -> ());
+      forget_conn t fd
+  | Ok json -> (
+      with_lock t (fun () -> Obs.incr t.obs "service.requests");
+      let reply =
+        match P.request_of_json json with
+        | Error msg ->
+            with_lock t (fun () -> Obs.incr t.obs "service.bad_requests");
+            P.error ~code:P.code_bad_request msg
+        | Ok req -> dispatch t req
+      in
+      match Codec.write_frame fd reply with
+      | () -> handle_conn t fd
+      | exception Unix.Unix_error _ -> forget_conn t fd)
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop and lifecycle                                          *)
+(* ------------------------------------------------------------------ *)
+
+let bind_socket path =
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.bind sock (Unix.ADDR_UNIX path) with
+  | () ->
+      Unix.listen sock 16;
+      Ok sock
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot bind %s: %s" path (Unix.error_message e))
+
+let run ?(on_ready = fun () -> ()) ?(external_stop = fun () -> false) cfg =
+  (* A client that disconnects before reading its reply must surface as
+     [EPIPE] in the connection handler, not as a process-killing
+     SIGPIPE. *)
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  let t =
+    {
+      cfg;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      obs = Obs.create ();
+      jobs_tbl = Hashtbl.create 64;
+      queue = Queue.create ();
+      cache = Lru.create ~cap:cfg.cache_cap;
+      next_id = 1;
+      stopping = false;
+      open_conns = [];
+    }
+  in
+  match bind_socket cfg.socket_path with
+  | Error _ as e -> e
+  | Ok sock ->
+      let exec_thread = Thread.create executor t in
+      let conn_threads = ref [] in
+      on_ready ();
+      let rec accept_loop () =
+        if external_stop () then
+          with_lock t (fun () ->
+              t.stopping <- true;
+              Condition.broadcast t.cond)
+        else if with_lock t (fun () -> t.stopping) then ()
+        else
+          match Unix.select [ sock ] [] [] 0.2 with
+          | [], _, _ -> accept_loop ()
+          | _ -> (
+              match Unix.accept sock with
+              | fd, _ ->
+                  with_lock t (fun () ->
+                      t.open_conns <- fd :: t.open_conns);
+                  conn_threads :=
+                    Thread.create (handle_conn t) fd :: !conn_threads;
+                  accept_loop ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                  accept_loop ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      in
+      accept_loop ();
+      with_lock t (fun () ->
+          t.stopping <- true;
+          Condition.broadcast t.cond);
+      (* Drain: queued jobs finish (or are cancelled), waiting clients
+         get their replies. *)
+      Thread.join exec_thread;
+      (* Idle connections would park their handlers in read() forever;
+         shutting the sockets down turns that into a clean EOF. *)
+      with_lock t (fun () -> t.open_conns)
+      |> List.iter (fun fd ->
+             try Unix.shutdown fd Unix.SHUTDOWN_ALL
+             with Unix.Unix_error _ -> ());
+      List.iter Thread.join !conn_threads;
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+      Ok ()

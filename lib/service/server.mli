@@ -1,0 +1,53 @@
+(** The partitioning daemon: a long-lived server accepting jobs over a
+    Unix-domain socket.
+
+    One accept loop, one handler thread per connection, and a single
+    executor thread that runs jobs strictly in FIFO order on the
+    existing {!Parallel.Pool} machinery (via [jobs] in
+    {!Core.Kway.options}). The queue is bounded: a [submit] past
+    [queue_cap] is refused with the typed [overloaded] error rather than
+    queued — backpressure instead of unbounded memory.
+
+    Results are cached in an LRU keyed by {!Digest.job_key}, computed on
+    the {e canonicalised} circuit ({!Digest.canonical_circuit}), so two
+    submissions of semantically identical netlists — even with permuted
+    lines — share one computation. The cached document is the scrubbed
+    result document ({!Obs.Snapshot.scrub_elapsed}), so a cache hit
+    replies byte-identically to the miss that populated it.
+
+    Every request, hit, miss, rejection, cancellation, timeout, and the
+    queue-wait / run-time distributions are recorded through {!Obs} and
+    exposed by the [stats] verb.
+
+    Shutdown (the [shutdown] verb, or SIGINT/SIGTERM via
+    [external_stop]) is a graceful drain: no new connections or
+    submissions are accepted, queued jobs still run to completion (a
+    [cancel] can empty the queue faster), waiting clients get their
+    replies, then the socket is unlinked and {!run} returns. *)
+
+type config = {
+  socket_path : string;
+  queue_cap : int;  (** max queued (not yet running) jobs *)
+  cache_cap : int;  (** max cached result documents *)
+  timeout : float option;
+      (** per-job wall-clock budget in seconds; exceeding it fails the
+          job with the [timeout] error code (cooperatively — the engine
+          stops at the next pass boundary) *)
+  jobs : int;  (** domains per job, as [fpgapart partition --jobs] *)
+}
+
+val default_config : socket_path:string -> config
+(** [queue_cap = 16], [cache_cap = 64], no timeout, [jobs = 1]. *)
+
+val run :
+  ?on_ready:(unit -> unit) ->
+  ?external_stop:(unit -> bool) ->
+  config ->
+  (unit, string) result
+(** Bind the socket (replacing a leftover socket file), serve until
+    shutdown, clean up, return. [on_ready] fires once the socket is
+    listening — tests use it to know when to connect. [external_stop] is
+    polled a few times a second by the accept loop; returning [true]
+    triggers the same drain as the [shutdown] verb (the CLI passes the
+    SIGINT/SIGTERM flag from {!Signals.install_stop_flag}). [Error] only
+    when the socket cannot be bound. *)

@@ -1,0 +1,6 @@
+let install_stop_flag () =
+  let stop = Atomic.make false in
+  let handler _ = Atomic.set stop true in
+  ignore (Sys.signal Sys.sigint (Sys.Signal_handle handler));
+  ignore (Sys.signal Sys.sigterm (Sys.Signal_handle handler));
+  fun () -> Atomic.get stop

@@ -1,0 +1,13 @@
+(** SIGINT/SIGTERM as a cooperative-cancellation flag.
+
+    Both the CLI ([fpgapart partition]) and the daemon want the same
+    behaviour on Ctrl-C: don't die mid-write — raise a flag, let the
+    engine notice it at the next {!Core.Kway.options.should_stop} poll,
+    and flush whatever artifacts make sense before exiting. *)
+
+val install_stop_flag : unit -> unit -> bool
+(** Install handlers for SIGINT and SIGTERM that set a shared atomic
+    flag, and return a closure reading it — suitable directly as the
+    [should_stop] hook of {!Core.Kway.Options.make}. Safe to call more
+    than once (each call installs fresh handlers over the previous
+    ones and returns a fresh flag). *)

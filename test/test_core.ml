@@ -687,6 +687,78 @@ let qcheck_kway_sound_on_generated_circuits =
           in
           sound && telemetry_ok)
 
+(* ------------------------------------------------------------------ *)
+(* Options validation and cooperative cancellation                    *)
+(* ------------------------------------------------------------------ *)
+
+let expect_invalid label f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" label
+  | exception Invalid_argument _ -> ()
+
+let test_kway_options_validation () =
+  (* One rejected case per field, plus the accepted boundary. *)
+  expect_invalid "runs 0" (fun () -> Kway.Options.make ~runs:0 ());
+  expect_invalid "runs negative" (fun () -> Kway.Options.make ~runs:(-3) ());
+  expect_invalid "max_passes 0" (fun () -> Kway.Options.make ~max_passes:0 ());
+  expect_invalid "fm_attempts 0" (fun () -> Kway.Options.make ~fm_attempts:0 ());
+  expect_invalid "jobs 0" (fun () -> Kway.Options.make ~jobs:0 ());
+  expect_invalid "refine_rounds negative" (fun () ->
+      Kway.Options.make ~refine_rounds:(-1) ());
+  let o = Kway.Options.make ~runs:1 ~max_passes:1 ~fm_attempts:1 ~jobs:1
+      ~refine_rounds:0 ()
+  in
+  checki "boundary accepted" 1 o.Kway.runs
+
+let test_fm_config_validation () =
+  expect_invalid "fm max_passes 0" (fun () ->
+      Fm.Config.make ~max_passes:0
+        ~area_ok:(fun _ _ -> true)
+        ~score:(fun _ -> (0, 0, 0))
+        ());
+  expect_invalid "fm max_passes negative" (fun () ->
+      Fm.Config.make ~max_passes:(-2)
+        ~area_ok:(fun _ _ -> true)
+        ~score:(fun _ -> (0, 0, 0))
+        ())
+
+let test_kway_cancellation () =
+  let h = mapped_hypergraph (Netlist.Generator.alu ~bits:8 ()) in
+  (* A hook that is already true cancels before any work happens. *)
+  let options = Kway.Options.make ~runs:2 ~should_stop:(fun () -> true) () in
+  (match Kway.partition ~options ~library:Fpga.Library.xc3000 h with
+  | Error msg -> checkb "cancelled error" true (String.equal msg Kway.cancelled)
+  | Ok _ -> Alcotest.fail "expected cancellation");
+  (* A hook that trips after a few polls cancels mid-search. *)
+  let poll_count = ref 0 in
+  let options =
+    Kway.Options.make ~runs:50
+      ~should_stop:(fun () ->
+        incr poll_count;
+        !poll_count > 5)
+      ()
+  in
+  (match Kway.partition ~options ~library:Fpga.Library.xc3000 h with
+  | Error msg -> checkb "mid-run cancel" true (String.equal msg Kway.cancelled)
+  | Ok _ -> Alcotest.fail "expected mid-run cancellation");
+  checkb "hook was polled" true (!poll_count > 5)
+
+let test_kway_default_hook_inert () =
+  (* The default hook must not change results: same seed, with and
+     without an explicitly-false hook, byte-identical telemetry. *)
+  let h = mapped_hypergraph (Netlist.Generator.c17 ()) in
+  let doc options =
+    let obs = Obs.create () in
+    match Kway.partition ~obs ~options ~library:Fpga.Library.xc3000 h with
+    | Error e -> Alcotest.fail e
+    | Ok _ ->
+        Obs.Json.to_string
+          (Obs.Snapshot.scrub_elapsed (Obs.Snapshot.to_json (Obs.snapshot obs)))
+  in
+  let base = doc (Kway.Options.make ~runs:2 ()) in
+  let hooked = doc (Kway.Options.make ~runs:2 ~should_stop:(fun () -> false) ()) in
+  checkb "hook never changes telemetry" true (String.equal base hooked)
+
 let () =
   Alcotest.run "core"
     [
@@ -757,5 +829,14 @@ let () =
         [
           qc qcheck_fm_telemetry_invariants;
           qc qcheck_kway_sound_on_generated_circuits;
+        ] );
+      ( "options",
+        [
+          Alcotest.test_case "kway validation" `Quick
+            test_kway_options_validation;
+          Alcotest.test_case "fm validation" `Quick test_fm_config_validation;
+          Alcotest.test_case "cancellation" `Quick test_kway_cancellation;
+          Alcotest.test_case "default hook inert" `Quick
+            test_kway_default_hook_inert;
         ] );
     ]

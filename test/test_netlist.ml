@@ -269,6 +269,51 @@ let test_bench_errors () =
   checkb "unknown gate" true (is_err "INPUT(a)\nz = FROB(a)\nOUTPUT(z)\n");
   checkb "syntax" true (is_err "INPUT a\n")
 
+(* Every parser error — syntax *and* resolution — must name a source
+   line: "line N: ..." is what lets a user fix a 40k-line netlist. *)
+let err_at parse label expected_prefix text =
+  match parse text with
+  | Ok _ -> Alcotest.failf "%s: expected an error" label
+  | Error msg ->
+      checkb
+        (Printf.sprintf "%s: %S starts with %S" label msg expected_prefix)
+        true
+        (String.starts_with ~prefix:expected_prefix msg)
+
+let test_bench_error_lines () =
+  let e = err_at Bench_format.parse in
+  e "unknown gate" "line 2: unknown gate type: FROB"
+    "INPUT(a)\nz = FROB(a)\nOUTPUT(z)\n";
+  e "duplicate input" "line 3: duplicate definition of a (first at line 1)"
+    "INPUT(a)\nINPUT(b)\nINPUT(a)\n";
+  e "duplicate gate" "line 4: duplicate definition of z (first at line 3)"
+    "INPUT(a)\nINPUT(b)\nz = AND(a, b)\nz = OR(a, b)\nOUTPUT(z)\n";
+  e "undefined fanin" "line 2: undefined signal: ghost"
+    "INPUT(a)\nz = NOT(ghost)\nOUTPUT(z)\n";
+  e "undefined output" "line 1: undefined output signal: z" "OUTPUT(z)\nINPUT(a)\n";
+  (* The cycle is reported from the statement that closes it. *)
+  e "cycle" "line 3: combinational cycle at"
+    "INPUT(a)\nx = NOT(y)\ny = NOT(x)\nOUTPUT(x)\n";
+  (* A truncated file: the last gate's fanin was cut off. *)
+  e "truncated" "line 3: undefined signal: w"
+    "INPUT(a)\nz = NOT(a)\nq = AND(z, w)\nOUTPUT(q)"
+
+let test_blif_error_lines () =
+  let e = err_at Blif.parse in
+  e "duplicate names" "line 6: duplicate definition of f (first at line 4)"
+    ".model m\n.inputs a b\n.outputs f\n.names a f\n1 1\n.names b f\n1 1\n.end\n";
+  e "duplicate vs input" "line 3: duplicate definition of a (first at line 2)"
+    ".model m\n.inputs a\n.names a\n1\n.end\n";
+  e "undefined signal" "line 3: undefined signal: g"
+    ".model m\n.outputs f\n.names g f\n1 1\n.end\n";
+  e "undefined output" "line 2: undefined output signal: f"
+    ".model m\n.outputs f\n.end\n";
+  (* A truncated file: cover rows cut off mid-row. *)
+  e "truncated cover" "line 5: bad cover row: 1"
+    ".model m\n.inputs a b\n.outputs f\n.names a b f\n1";
+  e "cycle" "line 5: combinational cycle at"
+    ".model m\n.inputs a\n.names g f\n1 1\n.names f g\n1 1\n.outputs f\n.end\n"
+
 let equivalent_comb ?(vectors = 32) c1 c2 =
   (* Compare primary outputs on shared random stimulus. *)
   let rng = Rng.create 99 in
@@ -919,6 +964,7 @@ let () =
           Alcotest.test_case "sequential feedback" `Quick
             test_bench_sequential_feedback;
           Alcotest.test_case "errors" `Quick test_bench_errors;
+          Alcotest.test_case "error line numbers" `Quick test_bench_error_lines;
           Alcotest.test_case "roundtrip" `Quick test_bench_roundtrip;
           qc qcheck_bench_roundtrip;
         ] );
@@ -941,6 +987,7 @@ let () =
           Alcotest.test_case "constants and latches" `Quick
             test_blif_constants_and_latch;
           Alcotest.test_case "errors" `Quick test_blif_errors;
+          Alcotest.test_case "error line numbers" `Quick test_blif_error_lines;
           Alcotest.test_case "roundtrip" `Quick test_blif_roundtrip;
           Alcotest.test_case "line continuations" `Quick
             test_blif_continuation_lines;

@@ -482,6 +482,134 @@ let test_kway_snapshot_deterministic () =
   checkb "scrub touches only _secs keys" true
     (agrees raw (Obs.Snapshot.scrub_elapsed raw))
 
+(* ------------------------------------------------------------------ *)
+(* Json parser (the service protocol's only reader)                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_parse_basics () =
+  let module J = Obs.Json in
+  let ok text expected =
+    match J.of_string text with
+    | Ok v -> checkb (Printf.sprintf "parse %S" text) true (v = expected)
+    | Error e -> Alcotest.failf "parse %S: %s" text e
+  in
+  ok "null" J.Null;
+  ok "true" (J.Bool true);
+  ok "  false " (J.Bool false);
+  ok "42" (J.Int 42);
+  ok "-7" (J.Int (-7));
+  ok "1.5" (J.Float 1.5);
+  ok "2e3" (J.Float 2000.);
+  ok {|"hi"|} (J.String "hi");
+  ok {|"a\nb\t\"c\"\\"|} (J.String "a\nb\t\"c\"\\");
+  ok {|"Aé"|} (J.String "A\xc3\xa9");
+  (* Surrogate pair: U+1F600. *)
+  ok {|"😀"|} (J.String "\xf0\x9f\x98\x80");
+  ok "[1, 2, 3]" (J.List [ J.Int 1; J.Int 2; J.Int 3 ]);
+  ok "{}" (J.Obj []);
+  (* Field order is preserved, not sorted. *)
+  ok {|{"b": 1, "a": 2}|} (J.Obj [ ("b", J.Int 1); ("a", J.Int 2) ])
+
+let test_json_parse_errors () =
+  let module J = Obs.Json in
+  let bad text =
+    checkb (Printf.sprintf "reject %S" text) true
+      (Result.is_error (J.of_string text))
+  in
+  bad "";
+  bad "{";
+  bad "[1, 2";
+  bad "{\"a\": }";
+  bad "tru";
+  bad "\"unterminated";
+  bad "1 2";
+  (* trailing garbage *)
+  bad "{\"a\": 1,}";
+  (* trailing comma *)
+  bad "nan";
+  (* Errors carry a byte offset. *)
+  match J.of_string "[1, x]" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error msg ->
+      let contains_offset =
+        let n = String.length msg and p = "offset" in
+        let pl = String.length p in
+        let rec scan i =
+          i + pl <= n && (String.sub msg i pl = p || scan (i + 1))
+        in
+        scan 0
+      in
+      checkb "offset in message" true contains_offset
+
+let test_json_roundtrip () =
+  let module J = Obs.Json in
+  let docs =
+    [
+      J.Null;
+      J.Obj
+        [
+          ("counters", J.Obj [ ("a.b", J.Int 3); ("c", J.Int 0) ]);
+          ("list", J.List [ J.Bool true; J.Null; J.Float 0.25 ]);
+          ("s", J.String "sp\xc3\xa9cial \"quoted\" \n text");
+          ("neg", J.Int (-12345));
+        ];
+    ]
+  in
+  List.iter
+    (fun doc ->
+      match J.of_string (J.to_string doc) with
+      | Ok doc' -> checkb "of_string (to_string d) = d" true (doc = doc')
+      | Error e -> Alcotest.fail e)
+    docs
+
+let qcheck_json_roundtrip =
+  let module J = Obs.Json in
+  let leaf =
+    QCheck.Gen.oneof
+      [
+        QCheck.Gen.return J.Null;
+        QCheck.Gen.map (fun b -> J.Bool b) QCheck.Gen.bool;
+        QCheck.Gen.map (fun i -> J.Int i) QCheck.Gen.small_signed_int;
+        QCheck.Gen.map
+          (fun f -> J.Float (Float.of_int (int_of_float (f *. 16.)) /. 16.))
+          (QCheck.Gen.float_bound_inclusive 64.);
+        QCheck.Gen.map (fun s -> J.String s) QCheck.Gen.string_printable;
+      ]
+  in
+  let value =
+    QCheck.Gen.sized (fun n ->
+        QCheck.Gen.fix
+          (fun self n ->
+            if n <= 0 then leaf
+            else
+              QCheck.Gen.oneof
+                [
+                  leaf;
+                  QCheck.Gen.map
+                    (fun l -> J.List l)
+                    (QCheck.Gen.list_size (QCheck.Gen.int_bound 4)
+                       (self (n / 2)));
+                  QCheck.Gen.map
+                    (fun kvs ->
+                      (* Duplicate keys break roundtripping by design;
+                         index the keys to keep them distinct. *)
+                      J.Obj
+                        (List.mapi
+                           (fun i (k, v) ->
+                             (Printf.sprintf "%s_%d" k i, v))
+                           kvs))
+                    (QCheck.Gen.list_size (QCheck.Gen.int_bound 4)
+                       (QCheck.Gen.pair QCheck.Gen.string_printable
+                          (self (n / 2))));
+                ])
+          (min n 6))
+  in
+  QCheck.Test.make ~name:"json parse/print roundtrip" ~count:200
+    (QCheck.make value) (fun doc ->
+      match J.of_string (J.to_string doc) with
+      | Ok doc' -> doc = doc'
+      | Error e -> QCheck.Test.fail_reportf "no roundtrip: %s" e)
+
 let () =
   Alcotest.run "obs"
     [
@@ -489,6 +617,10 @@ let () =
         [
           Alcotest.test_case "rendering" `Quick test_json_rendering;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
+          Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "parse roundtrip" `Quick test_json_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_json_roundtrip;
         ] );
       ( "sink",
         [

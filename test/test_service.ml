@@ -1,0 +1,505 @@
+(* Tests for the partitioning service: the framing codec, the canonical
+   content digest, the LRU, the protocol codec, and the daemon itself
+   end-to-end over a real Unix-domain socket — submit, cache hit on a
+   permuted resubmission, backpressure, cancellation, timeout, malformed
+   frames, graceful shutdown. *)
+
+module J = Obs.Json
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_codec_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let doc =
+    J.Obj
+      [
+        ("verb", J.String "submit");
+        ("netlist", J.String (String.make 1000 'x'));
+        ("n", J.Int 42);
+      ]
+  in
+  Service.Codec.write_frame a doc;
+  Service.Codec.write_frame a (J.List [ J.Null ]);
+  (match Service.Codec.read_frame b with
+  | Ok doc' -> checkb "first frame" true (doc = doc')
+  | Error e -> Alcotest.fail (Service.Codec.read_error_to_string e));
+  (match Service.Codec.read_frame b with
+  | Ok doc' -> checkb "second frame" true (doc' = J.List [ J.Null ])
+  | Error e -> Alcotest.fail (Service.Codec.read_error_to_string e));
+  Unix.close a;
+  (* Clean EOF at a frame boundary. *)
+  (match Service.Codec.read_frame b with
+  | Error `Eof -> ()
+  | _ -> Alcotest.fail "expected Eof");
+  Unix.close b
+
+let test_codec_bad_frames () =
+  let write_raw fd s =
+    ignore (Unix.write fd (Bytes.of_string s) 0 (String.length s))
+  in
+  (* Oversized declared length is rejected before any payload read. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  write_raw a "\xff\xff\xff\xff";
+  (match Service.Codec.read_frame b with
+  | Error (`Oversized _) -> ()
+  | _ -> Alcotest.fail "expected Oversized");
+  Unix.close a;
+  Unix.close b;
+  (* Truncated payload. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  write_raw a "\x00\x00\x00\x0a{\"a\"";
+  Unix.close a;
+  (match Service.Codec.read_frame b with
+  | Error `Truncated -> ()
+  | _ -> Alcotest.fail "expected Truncated");
+  Unix.close b;
+  (* Valid frame, invalid JSON. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  write_raw a "\x00\x00\x00\x05hello";
+  (match Service.Codec.read_frame b with
+  | Error (`Malformed _) -> ()
+  | _ -> Alcotest.fail "expected Malformed");
+  Unix.close a;
+  Unix.close b
+
+(* ------------------------------------------------------------------ *)
+(* LRU                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru () =
+  let l = Service.Lru.create ~cap:2 in
+  Service.Lru.add l "a" 1;
+  Service.Lru.add l "b" 2;
+  checki "len" 2 (Service.Lru.length l);
+  (* Touch "a" so "b" is the eviction victim. *)
+  checkb "find a" true (Service.Lru.find l "a" = Some 1);
+  Service.Lru.add l "c" 3;
+  checki "len capped" 2 (Service.Lru.length l);
+  checkb "b evicted" true (Service.Lru.find l "b" = None);
+  checkb "a kept" true (Service.Lru.find l "a" = Some 1);
+  checkb "c kept" true (Service.Lru.find l "c" = Some 3);
+  (* Overwriting a key does not grow the table. *)
+  Service.Lru.add l "c" 30;
+  checki "len stable" 2 (Service.Lru.length l);
+  checkb "c updated" true (Service.Lru.find l "c" = Some 30);
+  match Service.Lru.create ~cap:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cap 0 accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Digest: canonicalisation and cache keys                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A semantics-preserving permutation of a .bench text: INPUT lines
+   first (unchanged), everything else reversed. The parser resolves
+   names independent of order, so this parses to the same circuit
+   modulo node numbering. *)
+let permute_bench text =
+  let lines = String.split_on_char '\n' text in
+  let is_input l = String.length l >= 5 && String.sub l 0 5 = "INPUT" in
+  let inputs = List.filter is_input lines in
+  let rest =
+    List.filter (fun l -> (not (is_input l)) && String.trim l <> "") lines
+  in
+  String.concat "\n" (inputs @ List.rev rest) ^ "\n"
+
+let parse_ok text =
+  match Netlist.Bench_format.parse text with
+  | Ok c -> c
+  | Error e -> Alcotest.fail e
+
+let test_digest_permutation_invariant () =
+  let c = Netlist.Generator.alu ~bits:8 () in
+  let text = Netlist.Bench_format.to_string c in
+  let c1 = parse_ok text and c2 = parse_ok (permute_bench text) in
+  let fingerprint c =
+    Service.Digest.hypergraph_fingerprint
+      (Techmap.Mapper.to_hypergraph
+         (Techmap.Mapper.map (Service.Digest.canonical_circuit c)))
+  in
+  checks "canonical fingerprints agree" (fingerprint c1) (fingerprint c2);
+  (* Canonicalisation reorders nodes but preserves behaviour: compare
+     simulations with inputs and outputs matched by signal name. *)
+  let canon = Service.Digest.canonical_circuit c1 in
+  let names c ids =
+    Array.map (fun i -> (Netlist.Circuit.node c i).Netlist.Circuit.name) ids
+  in
+  let in1 = names c1 c1.Netlist.Circuit.inputs
+  and in2 = names canon canon.Netlist.Circuit.inputs
+  and out1 = names c1 c1.Netlist.Circuit.outputs
+  and out2 = names canon canon.Netlist.Circuit.outputs in
+  let reindex src dst vec =
+    let tbl = Hashtbl.create 64 in
+    Array.iteri (fun i n -> Hashtbl.replace tbl n vec.(i)) src;
+    Array.map (fun n -> Hashtbl.find tbl n) dst
+  in
+  let rng = Netlist.Rng.create 5 in
+  let vecs1 = Netlist.Simulate.random_vectors rng c1 16 in
+  let vecs2 = Array.map (reindex in1 in2) vecs1 in
+  let r1 = Netlist.Simulate.run c1 vecs1
+  and r2 = Netlist.Simulate.run canon vecs2 in
+  Array.iteri
+    (fun cycle row1 ->
+      checkb "canonical circuit equivalent" true
+        (reindex out1 out2 row1 = r2.(cycle)))
+    r1
+
+let test_digest_options () =
+  let base = Core.Kway.Options.make ~runs:3 ~seed:9 () in
+  let same_but_jobs = { base with Core.Kway.jobs = 8 } in
+  let other_seed = Core.Kway.Options.make ~runs:3 ~seed:10 () in
+  checks "jobs never shapes the key"
+    (Service.Digest.options_fingerprint base)
+    (Service.Digest.options_fingerprint same_but_jobs);
+  checkb "seed shapes the key" true
+    (Service.Digest.options_fingerprint base
+     <> Service.Digest.options_fingerprint other_seed)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_roundtrip () =
+  let reqs =
+    [
+      Service.Protocol.Submit
+        {
+          name = "c17";
+          format = Service.Protocol.Bench;
+          netlist = "INPUT(a)\nOUTPUT(a)\n";
+          options = Core.Kway.Options.make ~runs:2 ~seed:3 ();
+        };
+      Service.Protocol.Status 4;
+      Service.Protocol.Result { job = 9; wait = true };
+      Service.Protocol.Cancel 2;
+      Service.Protocol.Stats;
+      Service.Protocol.Shutdown;
+    ]
+  in
+  List.iter
+    (fun req ->
+      match
+        Service.Protocol.request_of_json (Service.Protocol.request_to_json req)
+      with
+      | Ok req' ->
+          (* options contains a closure; compare via re-encoding. *)
+          checkb "request roundtrip" true
+            (Service.Protocol.request_to_json req'
+            = Service.Protocol.request_to_json req)
+      | Error e -> Alcotest.fail e)
+    reqs
+
+let test_protocol_bad_requests () =
+  let bad json =
+    checkb "rejected" true
+      (Result.is_error (Service.Protocol.request_of_json json))
+  in
+  bad (J.Obj [ ("verb", J.String "frobnicate") ]);
+  bad (J.Obj [ ("verb", J.String "status") ]);
+  (* missing job *)
+  bad (J.Obj [ ("verb", J.String "submit"); ("name", J.String "x") ]);
+  bad J.Null;
+  (* Options the engine would reject fail at decode time. *)
+  bad
+    (J.Obj
+       [
+         ("verb", J.String "submit");
+         ("name", J.String "x");
+         ("format", J.String "bench");
+         ("netlist", J.String "INPUT(a)\nOUTPUT(a)\n");
+         ("options", J.Obj [ ("runs", J.Int 0) ]);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end daemon tests                                            *)
+(* ------------------------------------------------------------------ *)
+
+let temp_socket () =
+  let path = Filename.temp_file "fpgapart_test" ".sock" in
+  Sys.remove path;
+  path
+
+(* Run a server in a background thread; give the test a connected-client
+   view; shut everything down afterwards even on failure. *)
+let with_server ?(config = fun c -> c) f =
+  let path = temp_socket () in
+  let cfg = config (Service.Server.default_config ~socket_path:path) in
+  let ready = Mutex.create () and ready_cond = Condition.create () in
+  let is_ready = ref false in
+  let on_ready () =
+    Mutex.lock ready;
+    is_ready := true;
+    Condition.broadcast ready_cond;
+    Mutex.unlock ready
+  in
+  let server_result = ref (Ok ()) in
+  let server =
+    Thread.create (fun () -> server_result := Service.Server.run ~on_ready cfg) ()
+  in
+  Mutex.lock ready;
+  while not !is_ready do
+    Condition.wait ready_cond ready
+  done;
+  Mutex.unlock ready;
+  let shutdown () =
+    (match Service.Client.rpc ~socket:path Service.Protocol.Shutdown with
+    | Ok _ | Error _ -> ());
+    Thread.join server
+  in
+  Fun.protect ~finally:shutdown (fun () -> f path);
+  match !server_result with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("server: " ^ e)
+
+let rpc_ok path req =
+  match Service.Client.rpc ~socket:path req with
+  | Error e -> Alcotest.fail e
+  | Ok reply -> (
+      match Service.Client.ok_or_error reply with
+      | Ok reply -> reply
+      | Error (code, msg) -> Alcotest.failf "%s [%s]" msg code)
+
+let rpc_err path req =
+  match Service.Client.rpc ~socket:path req with
+  | Error e -> Alcotest.fail e
+  | Ok reply -> (
+      match Service.Client.ok_or_error reply with
+      | Ok _ -> Alcotest.fail "expected a protocol error"
+      | Error (code, _) -> code)
+
+let submit_req ?(runs = 2) ?(seed = 1) name text =
+  Service.Protocol.Submit
+    {
+      name;
+      format = Service.Protocol.Bench;
+      netlist = text;
+      options = Core.Kway.Options.make ~runs ~seed ();
+    }
+
+let int_field name reply =
+  match Option.bind (J.member name reply) J.to_int with
+  | Some v -> v
+  | None -> Alcotest.failf "reply lacks int field %S" name
+
+let str_field name reply =
+  match Option.bind (J.member name reply) J.to_str with
+  | Some v -> v
+  | None -> Alcotest.failf "reply lacks string field %S" name
+
+let counter stats name =
+  match
+    Option.bind (J.member "obs" stats) (fun obs ->
+        Option.bind (J.member "counters" obs) (J.member name))
+  with
+  | Some (J.Int n) -> n
+  | _ -> 0
+
+let test_server_cache_hit_on_permuted_resubmit () =
+  with_server (fun path ->
+      let text =
+        Netlist.Bench_format.to_string (Netlist.Generator.c17 ())
+      in
+      (* First submission computes. *)
+      let r1 = rpc_ok path (submit_req "c17" text) in
+      checkb "first not cached" false
+        (Option.value ~default:false
+           (Option.bind (J.member "cached" r1) J.to_bool));
+      let job1 = int_field "job" r1 in
+      let r1 =
+        rpc_ok path (Service.Protocol.Result { job = job1; wait = true })
+      in
+      let doc1 =
+        match J.member "result" r1 with
+        | Some d -> d
+        | None -> Alcotest.fail "no result document"
+      in
+      (* Byte-permuted but semantically identical: served from cache,
+         byte-identical document, engine not re-run. *)
+      let r2 = rpc_ok path (submit_req "c17" (permute_bench text)) in
+      checkb "second cached" true
+        (Option.value ~default:false
+           (Option.bind (J.member "cached" r2) J.to_bool));
+      let doc2 =
+        match J.member "result" r2 with
+        | Some d -> d
+        | None -> Alcotest.fail "no cached document"
+      in
+      checks "cached reply byte-identical" (J.to_string doc1) (J.to_string doc2);
+      ignore str_field;
+      let stats =
+        match J.member "stats" (rpc_ok path Service.Protocol.Stats) with
+        | Some s -> s
+        | None -> Alcotest.fail "no stats"
+      in
+      checki "one cache hit" 1 (counter stats "service.cache_hit");
+      checki "one cache miss" 1 (counter stats "service.cache_miss");
+      (* A different seed is a different key: miss. *)
+      let r3 = rpc_ok path (submit_req ~seed:2 "c17" text) in
+      checkb "different options not cached" false
+        (Option.value ~default:false
+           (Option.bind (J.member "cached" r3) J.to_bool));
+      ignore
+        (rpc_ok path
+           (Service.Protocol.Result { job = int_field "job" r3; wait = true })))
+
+let test_server_backpressure_and_cancel () =
+  (* queue_cap 1: one job runs, one queues, the third is refused. *)
+  with_server
+    ~config:(fun c -> { c with Service.Server.queue_cap = 1 })
+    (fun path ->
+      let slow =
+        Netlist.Bench_format.to_string
+          (Netlist.Generator.multiplier ~bits:16 ())
+      in
+      let submit seed = rpc_ok path (submit_req ~runs:500 ~seed "slow" slow) in
+      let j1 = int_field "job" (submit 1) in
+      let j2 = int_field "job" (submit 2) in
+      let code = rpc_err path (submit_req ~runs:500 ~seed:3 "slow" slow) in
+      checks "typed overload error" Service.Protocol.code_overloaded code;
+      (* Cancel both; the running one stops at the next engine poll. *)
+      ignore (rpc_ok path (Service.Protocol.Cancel j1));
+      ignore (rpc_ok path (Service.Protocol.Cancel j2));
+      let wait j =
+        rpc_err path (Service.Protocol.Result { job = j; wait = true })
+      in
+      checks "running job cancelled" Service.Protocol.code_cancelled (wait j1);
+      checks "queued job cancelled" Service.Protocol.code_cancelled (wait j2);
+      let stats =
+        match J.member "stats" (rpc_ok path Service.Protocol.Stats) with
+        | Some s -> s
+        | None -> Alcotest.fail "no stats"
+      in
+      checki "rejections counted" 1 (counter stats "service.rejected");
+      checki "cancellations counted" 2 (counter stats "service.cancelled"))
+
+let test_server_timeout () =
+  with_server
+    ~config:(fun c -> { c with Service.Server.timeout = Some 0.05 })
+    (fun path ->
+      let slow =
+        Netlist.Bench_format.to_string
+          (Netlist.Generator.multiplier ~bits:16 ())
+      in
+      let r = rpc_ok path (submit_req ~runs:500 "slow" slow) in
+      let code =
+        rpc_err path
+          (Service.Protocol.Result { job = int_field "job" r; wait = true })
+      in
+      checks "typed timeout error" Service.Protocol.code_timeout code)
+
+let test_server_survives_garbage () =
+  with_server (fun path ->
+      (* Raw garbage on one connection... *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let s = "\x00\x00\x00\x07garbage" in
+      ignore (Unix.write fd (Bytes.of_string s) 0 (String.length s));
+      (match Service.Codec.read_frame fd with
+      | Ok reply -> (
+          match Service.Client.ok_or_error reply with
+          | Error (code, _) ->
+              checks "typed bad_request" Service.Protocol.code_bad_request code
+          | Ok _ -> Alcotest.fail "garbage accepted")
+      | Error e -> Alcotest.fail (Service.Codec.read_error_to_string e));
+      Unix.close fd;
+      (* ...and an oversized length prefix on another... *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      ignore (Unix.write fd (Bytes.of_string "\x7f\xff\xff\xff") 0 4);
+      (match Service.Codec.read_frame fd with
+      | Ok reply ->
+          checkb "oversized refused" true
+            (Result.is_error (Service.Client.ok_or_error reply))
+      | Error `Eof -> ()
+      | Error e -> Alcotest.fail (Service.Codec.read_error_to_string e));
+      Unix.close fd;
+      (* ...while the daemon keeps serving. *)
+      let stats =
+        match J.member "stats" (rpc_ok path Service.Protocol.Stats) with
+        | Some s -> s
+        | None -> Alcotest.fail "no stats"
+      in
+      checkb "bad requests counted" true
+        (counter stats "service.bad_requests" >= 2))
+
+let test_server_shutdown_refuses_new_work () =
+  with_server (fun path ->
+      (* Keep the executor busy so the drain cannot finish under us:
+         connections stay open and the [stopping] flag is observable. *)
+      let slow =
+        Netlist.Bench_format.to_string
+          (Netlist.Generator.multiplier ~bits:16 ())
+      in
+      let conn =
+        match Service.Client.connect path with
+        | Ok c -> c
+        | Error e -> Alcotest.fail e
+      in
+      Fun.protect
+        ~finally:(fun () -> Service.Client.close conn)
+        (fun () ->
+          let ask req =
+            match Service.Client.request conn req with
+            | Ok reply -> Service.Client.ok_or_error reply
+            | Error e -> Alcotest.fail e
+          in
+          let j1 =
+            match ask (submit_req ~runs:500 "slow" slow) with
+            | Ok reply -> int_field "job" reply
+            | Error (code, msg) -> Alcotest.failf "%s [%s]" msg code
+          in
+          ignore (rpc_ok path Service.Protocol.Shutdown);
+          (* The daemon is draining: the still-open connection keeps
+             answering, but new work is refused with a typed error. *)
+          let text =
+            Netlist.Bench_format.to_string (Netlist.Generator.c17 ())
+          in
+          (match ask (submit_req "c17" text) with
+          | Ok _ -> Alcotest.fail "draining daemon accepted a submission"
+          | Error (code, _) ->
+              checks "draining refuses submissions"
+                Service.Protocol.code_shutting_down code);
+          (* Cancel lets the drain complete promptly. *)
+          match ask (Service.Protocol.Cancel j1) with
+          | Ok _ -> ()
+          | Error (code, msg) -> Alcotest.failf "%s [%s]" msg code))
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "bad frames" `Quick test_codec_bad_frames;
+        ] );
+      ("lru", [ Alcotest.test_case "eviction and refresh" `Quick test_lru ]);
+      ( "digest",
+        [
+          Alcotest.test_case "permutation invariant" `Quick
+            test_digest_permutation_invariant;
+          Alcotest.test_case "options fingerprint" `Quick test_digest_options;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "bad requests" `Quick test_protocol_bad_requests;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "cache hit on permuted resubmit" `Quick
+            test_server_cache_hit_on_permuted_resubmit;
+          Alcotest.test_case "backpressure and cancel" `Quick
+            test_server_backpressure_and_cancel;
+          Alcotest.test_case "timeout" `Quick test_server_timeout;
+          Alcotest.test_case "survives garbage" `Quick
+            test_server_survives_garbage;
+          Alcotest.test_case "shutdown refuses new work" `Quick
+            test_server_shutdown_refuses_new_work;
+        ] );
+    ]

@@ -1,0 +1,93 @@
+#!/bin/sh
+# Service acceptance gate: boot the partitioning daemon on a throwaway
+# socket and drive the full client surface against it. Checks that (1) a
+# byte-permuted but semantically identical netlist is answered from the
+# result cache with a byte-identical reply, (2) an in-flight job can be
+# cancelled, (3) the daemon survives a malformed frame, and (4) shutdown
+# drains cleanly and unlinks the socket.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build --no-print-directory bin/fpgapart.exe
+FPGAPART=_build/default/bin/fpgapart.exe
+
+tmpdir=$(mktemp -d)
+sock="$tmpdir/fpgapart.sock"
+cleanup() {
+    "$FPGAPART" svc-shutdown --socket "$sock" >/dev/null 2>&1 || true
+    [ -n "${daemon_pid:-}" ] && wait "$daemon_pid" 2>/dev/null || true
+    rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+
+# A semantics-preserving byte permutation of a .bench netlist: INPUT
+# declarations first, every other statement reversed. The parser
+# resolves names independent of statement order.
+"$FPGAPART" generate c1355 "$tmpdir/c1355.bench" >/dev/null
+grep '^INPUT' "$tmpdir/c1355.bench" > "$tmpdir/permuted.bench"
+grep -v '^INPUT' "$tmpdir/c1355.bench" | grep -v '^[[:space:]]*$' \
+    | sed -n '1!G;h;$p' >> "$tmpdir/permuted.bench"
+
+"$FPGAPART" serve --socket "$sock" --queue-cap 4 >/dev/null &
+daemon_pid=$!
+
+# Wait for the socket to appear.
+i=0
+while [ ! -S "$sock" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "daemon never bound $sock" >&2; exit 1; }
+    sleep 0.1
+done
+
+# 1. Original, then the permuted copy: the second reply must come out of
+#    the cache byte-for-byte identical (the key is a canonical content
+#    hash, not a hash of the input bytes).
+"$FPGAPART" submit --socket "$sock" --bench "$tmpdir/c1355.bench" \
+    --runs 2 --seed 1 > "$tmpdir/reply1.json" 2>/dev/null
+"$FPGAPART" submit --socket "$sock" --bench "$tmpdir/permuted.bench" \
+    --runs 2 --seed 1 > "$tmpdir/reply2.json" 2>/dev/null
+cmp "$tmpdir/reply1.json" "$tmpdir/reply2.json" \
+    || { echo "cached reply differs from computed reply" >&2; exit 1; }
+
+# 2. Cancel an in-flight slow job.
+job=$("$FPGAPART" submit --socket "$sock" --circuit s38584 --runs 50 \
+    --no-wait 2>/dev/null)
+"$FPGAPART" svc-cancel --socket "$sock" "$job" >/dev/null
+
+# 3. A malformed frame (valid length prefix, bogus JSON payload) must
+#    not take the daemon down.
+printf '\000\000\000\007garbage' \
+    | timeout 5 python3 -c '
+import socket, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+s.sendall(sys.stdin.buffer.read())
+s.recv(4096)  # the error reply
+s.close()
+' "$sock"
+
+# 4. The daemon is still alive and its counters line up.
+"$FPGAPART" svc-stats --socket "$sock" > "$tmpdir/stats.json"
+python3 - "$tmpdir/stats.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    stats = json.load(f)
+
+counters = stats["obs"]["counters"]
+assert counters.get("service.cache_hit") == 1, counters
+assert counters.get("service.cache_miss", 0) >= 1, counters
+assert counters.get("service.bad_requests", 0) >= 1, counters
+assert counters.get("service.cancelled", 0) + counters.get("service.completed", 0) >= 2, counters
+assert stats["cache"]["len"] >= 1, stats["cache"]
+
+print("service check: counters ok", counters)
+PY
+
+# 5. Graceful shutdown: daemon exits and the socket file is gone.
+"$FPGAPART" svc-shutdown --socket "$sock" >/dev/null
+wait "$daemon_pid"
+daemon_pid=
+[ ! -e "$sock" ] || { echo "socket file left behind after shutdown" >&2; exit 1; }
+
+echo "service check: ok (cache hit byte-identical, cancel, garbage, drain)"
