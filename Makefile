@@ -1,4 +1,4 @@
-.PHONY: all build test bench lint schema trace service ci clean
+.PHONY: all build test bench lint schema trace service perf ci clean
 
 all: build
 
@@ -32,6 +32,16 @@ trace: build
 service: build
 	sh tools/check_service.sh
 
+# Perf-regression smoke gate for the incremental F-M engine: the
+# hot-loop microbenchmark must run and report moves/sec plus
+# allocations/move, the stats JSON must export the v4 rescoring
+# telemetry, and an FPGAPART_FM_ORACLE=1 rerun (every cached gain
+# cross-checked from scratch) must scrub byte-identical to the normal
+# run. FPGAPART_PERF_FULL=1 widens the oracle sweep to every bundled
+# circuit (see tools/check_perf.sh).
+perf: build
+	sh tools/check_perf.sh
+
 # CI runs the suite and the schema gate under both FPGAPART_JOBS=1 and
 # FPGAPART_JOBS=4 (the tests read the variable to size the domain pool),
 # then diffs the two scrubbed telemetry documents: the parallel search
@@ -44,6 +54,7 @@ ci: build lint
 	cmp _build/schema.jobs1.json _build/schema.jobs4.json
 	sh tools/check_trace.sh
 	sh tools/check_service.sh
+	sh tools/check_perf.sh
 	@echo "ci: scrubbed telemetry identical across FPGAPART_JOBS=1/4"
 
 clean:

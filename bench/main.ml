@@ -23,6 +23,8 @@ let kway_runs = ref 5
 let seed = ref 7
 let jobs = ref 4
 let trace_path = ref None
+let hotloop_circuit = ref "s38584"
+let hotloop_runs = ref 3
 
 let progress fmt =
   Format.kfprintf
@@ -88,6 +90,120 @@ let table7 () =
   section "Table VII: average IOB utilization after partitioning";
   Format.printf "%a@." Experiments.Kway_campaign.pp_table7 (Lazy.force campaign)
 
+(* ------------------------------------------------------------------ *)
+(* Hot-loop microbenchmark                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Pure [Fm.run] throughput — no technology mapping, no k-way driver, no
+   multi-start pool — on one circuit at a fixed seed, for both gain
+   modes. Two sweeps per mode over identical fresh states: a counting
+   sweep under a collecting sink reads the deterministic op counts
+   (telemetry never steers the engine, so the timed sweep applies exactly
+   the same ops), then a timed sweep under the no-op sink measures wall
+   clock and, via [Gc.quick_stat] deltas, words allocated per applied
+   move — the perf-regression gate's two numbers. *)
+let hotloop_measure ~gain_mode ~runs ~seed hg ~total_area =
+  let module J = Obs.Json in
+  let states () =
+    List.init runs (fun r ->
+        Core.Fm.random_state (Netlist.Rng.create (seed + r)) hg)
+  in
+  let cfg =
+    Core.Fm.balance_config ~replication:(`Functional 0) ~gain_mode ~total_area
+      ()
+  in
+  let obs = Obs.create () in
+  List.iter (fun st -> ignore (Core.Fm.run ~obs cfg st)) (states ());
+  let snap = Obs.snapshot obs in
+  let counter k =
+    try List.assoc k snap.Obs.Snapshot.counters with Not_found -> 0
+  in
+  let applied = counter "fm.applied_ops" in
+  let rescored = counter "fm.rescored_cells" in
+  let passes = counter "fm.passes" in
+  let sts = states () in
+  Gc.full_major ();
+  let g0 = Gc.quick_stat () in
+  let t0 = Obs.Clock.wall () in
+  List.iter (fun st -> ignore (Core.Fm.run cfg st)) sts;
+  let wall = Obs.Clock.wall () -. t0 in
+  let g1 = Gc.quick_stat () in
+  (* Words the timed sweep allocated: minor + direct-to-major (promoted
+     words would be double-counted). *)
+  let alloc_words =
+    g1.Gc.minor_words -. g0.Gc.minor_words
+    +. (g1.Gc.major_words -. g0.Gc.major_words)
+    -. (g1.Gc.promoted_words -. g0.Gc.promoted_words)
+  in
+  let per_move d = d /. float_of_int (max 1 applied) in
+  J.Obj
+    [
+      ("applied_ops", J.Int applied);
+      ("rescored_cells", J.Int rescored);
+      ("rescored_per_move", J.Float (per_move (float_of_int rescored)));
+      ("passes", J.Int passes);
+      ("wall_secs", J.Float wall);
+      ("moves_per_sec", J.Float (float_of_int applied /. Float.max wall 1e-9));
+      ("alloc_words_per_move", J.Float (per_move alloc_words));
+      ( "minor_collections",
+        J.Int (g1.Gc.minor_collections - g0.Gc.minor_collections) );
+      ( "major_collections",
+        J.Int (g1.Gc.major_collections - g0.Gc.major_collections) );
+    ]
+
+let hotloop_doc () =
+  let module J = Obs.Json in
+  let name = !hotloop_circuit in
+  match Experiments.Suite.find name with
+  | None -> Error (Printf.sprintf "unknown hotloop circuit %S" name)
+  | Some e ->
+      let hg = Lazy.force e.Experiments.Suite.hypergraph in
+      let total_area = Hypergraph.total_area hg in
+      let runs = !hotloop_runs and seed = !seed in
+      progress "hotloop: %s, %d F-M runs/mode, seed %d..." name runs seed;
+      let eager = hotloop_measure ~gain_mode:`Eager ~runs ~seed hg ~total_area in
+      let lzy = hotloop_measure ~gain_mode:`Lazy ~runs ~seed hg ~total_area in
+      Ok
+        (J.Obj
+           [
+             ("circuit", J.String name);
+             ("seed", J.Int seed);
+             ("fm_runs", J.Int runs);
+             ("replication", J.String "functional(0)");
+             ("modes", J.Obj [ ("eager", eager); ("lazy", lzy) ]);
+           ])
+
+let pp_hotloop j =
+  let module J = Obs.Json in
+  let fstr get k o =
+    match Option.bind (J.member k o) get with
+    | Some v -> v
+    | None -> nan
+  in
+  match J.member "modes" j with
+  | Some (J.Obj modes) ->
+      Format.printf "%-8s %12s %14s %12s %12s@." "mode" "applied"
+        "moves/sec" "resc/move" "words/move";
+      List.iter
+        (fun (mode, o) ->
+          Format.printf "%-8s %12.0f %14.0f %12.2f %12.1f@." mode
+            (fstr J.to_float "applied_ops" o)
+            (fstr J.to_float "moves_per_sec" o)
+            (fstr J.to_float "rescored_per_move" o)
+            (fstr J.to_float "alloc_words_per_move" o))
+        modes
+  | _ -> ()
+
+let hotloop () =
+  section
+    (Printf.sprintf "Hot-loop microbenchmark: pure F-M throughput (%s)"
+       !hotloop_circuit);
+  match hotloop_doc () with
+  | Error msg -> prerr_endline ("bench: " ^ msg)
+  | Ok j ->
+      Format.printf "%s@." (Obs.Json.to_string j);
+      pp_hotloop j
+
 let partition_stats () =
   section "BENCH_partition.json: k-way engine telemetry aggregate";
   progress
@@ -96,6 +212,19 @@ let partition_stats () =
     !jobs;
   let doc, speedups =
     Experiments.Obs_report.suite_doc ~runs:!kway_runs ~seed:1 ~jobs:!jobs ()
+  in
+  (* The hot-loop microbenchmark rides in the same artifact: the per-move
+     numbers (moves/sec, words/move) sit next to the end-to-end telemetry
+     they explain. *)
+  let doc =
+    match hotloop_doc () with
+    | Ok h -> (
+        match doc with
+        | Obs.Json.Obj fields -> Obs.Json.Obj (fields @ [ ("hotloop", h) ])
+        | other -> other)
+    | Error msg ->
+        prerr_endline ("bench: " ^ msg);
+        doc
   in
   Experiments.Obs_report.write ~path:"BENCH_partition.json" doc;
   (match speedups with
@@ -334,15 +463,18 @@ let artifacts =
     ("ablation", ablation);
     ("timing", timing);
     ("partition", partition_stats);
+    ("hotloop", hotloop);
     ("perf", perf);
   ]
 
-let run selected cut_runs' kway_runs' seed' jobs' trace' =
+let run selected cut_runs' kway_runs' seed' jobs' trace' hl_circuit' hl_runs' =
   cut_runs := cut_runs';
   kway_runs := kway_runs';
   seed := seed';
   jobs := jobs';
   trace_path := trace';
+  hotloop_circuit := hl_circuit';
+  hotloop_runs := hl_runs';
   let names =
     selected
     |> List.concat_map (fun name ->
@@ -371,7 +503,7 @@ let main =
       & info [] ~docv:"ARTIFACT"
           ~doc:
             "Artifacts to produce (default: all): all, table1..table7, \
-             fig3, ablation, timing, partition, perf.")
+             fig3, ablation, timing, partition, hotloop, perf.")
   in
   let cut_runs_arg =
     Arg.(
@@ -379,12 +511,27 @@ let main =
       & info [ "cut-runs" ] ~docv:"N"
           ~doc:"Table III bipartitions per circuit (default 20).")
   in
+  let hotloop_circuit_arg =
+    Arg.(
+      value & opt string "s38584"
+      & info [ "hotloop-circuit" ] ~docv:"NAME"
+          ~doc:
+            "Circuit for the hot-loop microbenchmark (default s38584, the \
+             largest bundled circuit).")
+  in
+  let hotloop_runs_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "hotloop-runs" ] ~docv:"N"
+          ~doc:"F-M runs per gain mode in the hot-loop microbenchmark \
+                (default 3).")
+  in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(
       const run $ artifacts_arg $ cut_runs_arg
       $ Cli_common.runs ~extra_names:[ "kway-runs" ] ()
       $ Cli_common.seed ~default:7 ()
       $ Cli_common.jobs ~default:4 ()
-      $ Cli_common.trace ())
+      $ Cli_common.trace () $ hotloop_circuit_arg $ hotloop_runs_arg)
 
 let () = exit (Cmd.eval main)

@@ -64,8 +64,17 @@ let remove t item =
   end
 
 let update t item g =
-  remove t item;
-  insert t item g
+  (* Fast path: same clamped gain means the item stays in its slot, so
+     skip the unlink/relink entirely and only refresh the stored
+     (unclamped) gain. Beyond saving pointer churn this preserves the
+     item's position within the slot, which keeps find_best's tie-breaking
+     stable under rescores that do not change the gain. *)
+  let old = t.gain_of.(item) in
+  if old <> absent && slot t old = slot t g then t.gain_of.(item) <- g
+  else begin
+    remove t item;
+    insert t item g
+  end
 
 let find_best t pred =
   (* Lower the top pointer past empty slots lazily. *)

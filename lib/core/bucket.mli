@@ -18,7 +18,10 @@ val remove : t -> int -> unit
 (** No-op when absent. *)
 
 val update : t -> int -> int -> unit
-(** Change an item's gain (inserts when absent). *)
+(** Change an item's gain (inserts when absent). When the clamped gain is
+    unchanged the item keeps its position within its slot (no unlink /
+    relink), so an update that does not move an item does not refresh its
+    tie-break recency either — see {!find_best}. *)
 
 val mem : t -> int -> bool
 val gain : t -> int -> int
@@ -29,7 +32,8 @@ val cardinal : t -> int
 val find_best : t -> (int -> bool) -> int option
 (** Highest-gain item satisfying the predicate; scans downward, so a
     prefix of rejections at the top costs O(rejections). Ties broken by
-    most-recently-updated (LIFO within a gain level, the classic F-M
-    choice). *)
+    most-recently-{e moved-into-the-slot} (LIFO within a gain level, the
+    classic F-M choice; an {!update} that leaves the clamped gain
+    unchanged does not count as moving). *)
 
 val clear : t -> unit

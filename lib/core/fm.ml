@@ -18,26 +18,47 @@ type config = {
   area_ok : int -> int -> bool;
   score : Partition_state.t -> score;
   should_stop : unit -> bool;
+  gain_mode : [ `Eager | `Lazy ];
+  oracle : bool;
 }
 
 module Config = struct
   type t = config
 
   let make ?(objective = Cut) ?(replication = `None) ?(max_passes = 12)
-      ?(should_stop = never_stop) ~area_ok ~score () =
+      ?(should_stop = never_stop) ?(gain_mode = `Eager) ?(oracle = false)
+      ~area_ok ~score () =
     if max_passes <= 0 then
       invalid_arg
         (Printf.sprintf "Fm.Config.make: max_passes must be positive (got %d)"
            max_passes);
-    { objective; replication; max_passes; area_ok; score; should_stop }
+    {
+      objective;
+      replication;
+      max_passes;
+      area_ok;
+      score;
+      should_stop;
+      gain_mode;
+      oracle;
+    }
 end
 
+(* FPGAPART_FM_ORACLE=1 turns on the oracle cross-check in every run of the
+   process — the tooling's way to prove the incremental engine right
+   without threading a flag through every CLI. *)
+let env_oracle =
+  lazy
+    (match Sys.getenv_opt "FPGAPART_FM_ORACLE" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false)
+
 let balance_config ?(objective = Cut) ?(replication = `None) ?(max_passes = 12)
-    ?(slack = 0.10) ~total_area () =
+    ?(gain_mode = `Eager) ?(slack = 0.10) ~total_area () =
   let cap =
     int_of_float (ceil ((1.0 +. slack) *. float_of_int total_area /. 2.0))
   in
-  Config.make ~objective ~replication ~max_passes
+  Config.make ~objective ~replication ~max_passes ~gain_mode
     ~area_ok:(fun a b -> a <= cap && b <= cap)
     ~score:(fun st ->
       let a = Partition_state.area st Partition_state.A in
@@ -99,31 +120,6 @@ let random_state rng hg =
   Array.iteri (fun k c -> if k < n / 2 then on_b.(c) <- true) order;
   Partition_state.create hg ~init_on_b:(fun c -> on_b.(c))
 
-(* The objective component of a delta. *)
-let delta_obj obj (d : Partition_state.delta) =
-  match obj with
-  | Cut -> d.Partition_state.d_cut
-  | Terminals -> d.Partition_state.d_term_a + d.Partition_state.d_term_b
-
-(* Best candidate operation for a cell: maximise gain, tie-break on the
-   smallest area growth (prefer plain moves over creating replicas when
-   equal), then on un-replication. *)
-let best_op cfg st cell =
-  let candidates = Gain.best_mask_change st ~replication:cfg.replication cell in
-  let key (_, d) =
-    ( -delta_obj cfg.objective d,
-      -(d.Partition_state.d_area_a + d.Partition_state.d_area_b) )
-  in
-  match candidates with
-  | [] -> None
-  | first :: rest ->
-      let best =
-        List.fold_left
-          (fun acc c -> if key c > key acc then c else acc)
-          first rest
-      in
-      Some best
-
 (* Whole-cell moves are the classic F-M operation; every other mask change
    (output migration, split adjustment, un-replication) belongs to the
    replication extension. Telemetry attributes ops to the two families. *)
@@ -132,56 +128,205 @@ let is_replication_op ~old_mask ~new_mask ~full =
     ((Bitvec.is_empty old_mask && Bitvec.equal new_mask full)
     || (Bitvec.equal old_mask full && Bitvec.is_empty new_mask))
 
+(* Raised (and caught) inside find_best when a lazy rescore moved the
+   inspected item to another slot: the intrusive lists were relinked under
+   the scan, so the scan restarts from the top. A constant exception —
+   raising it allocates nothing. *)
+exception Relocated
+
 let run ?(obs = Obs.noop) cfg st =
   let hg = Partition_state.hypergraph st in
   let n = Hypergraph.num_cells hg in
   let max_gain = (2 * Hypergraph.max_cell_degree hg) + 2 in
   let bucket = Bucket.create ~num_items:n ~max_gain in
   let observing = Obs.enabled obs in
+  let oracle = cfg.oracle || Lazy.force env_oracle in
+  let lazy_gains = cfg.gain_mode = `Lazy in
   let pass_idx = ref 0 in
-  let ops : (Bitvec.t * Partition_state.delta) option array = Array.make n None in
+  (* The chosen op per cell, unpacked into int arrays (Bitvec.t = int;
+     masks are >= 0, so op_mask = -1 encodes "no candidate"): rescoring in
+     the hot loop must not allocate. op_gain is the bucket key (-delta of
+     the objective), op_tie the area tie-break, op_da/op_db the area
+     deltas legality needs. *)
+  let op_mask = Array.make n (-1) in
+  let op_gain = Array.make n 0 in
+  let op_tie = Array.make n 0 in
+  let op_da = Array.make n 0 in
+  let op_db = Array.make n 0 in
   let locked = Array.make n false in
+  (* Epoch stamps dedupe the per-move dirty set: a neighbour shared by
+     several state-changed nets of the moved cell is visited once per
+     move, not once per shared net. *)
+  let stamp = Array.make n (-1) in
+  let epoch = ref 0 in
+  let dirty = Array.make n false in
+  let sc = Partition_state.make_scratch () in
+  (* Best-candidate registers written by [consider]; hoisting the closure
+     out of the loop keeps candidate evaluation allocation-free. *)
+  let cur = ref 0 in
+  let found = ref false in
+  let bm = ref (-1) and bg = ref 0 and bt = ref 0 in
+  let bda = ref 0 and bdb = ref 0 in
+  let scratch_obj () =
+    match cfg.objective with
+    | Cut -> sc.Partition_state.sc_cut
+    | Terminals -> sc.Partition_state.sc_term_a + sc.Partition_state.sc_term_b
+  in
+  (* Maximise gain, tie-break on the smallest area growth (prefer plain
+     moves over creating replicas when equal). First generated wins
+     further ties, and iter_masks generates deterministically. *)
+  let consider mask =
+    Partition_state.eval_into st !cur mask sc;
+    let g = -scratch_obj () in
+    let tie =
+      -(sc.Partition_state.sc_area_a + sc.Partition_state.sc_area_b)
+    in
+    if (not !found) || g > !bg || (g = !bg && tie > !bt) then begin
+      found := true;
+      bm := mask;
+      bg := g;
+      bt := tie;
+      bda := sc.Partition_state.sc_area_a;
+      bdb := sc.Partition_state.sc_area_b
+    end
+  in
+  let compute_best cell =
+    cur := cell;
+    found := false;
+    Gain.iter_masks st ~replication:cfg.replication cell ~f:consider
+  in
+  let rescored = ref 0 in
   let rescore cell =
-    if not locked.(cell) then begin
-      ops.(cell) <- best_op cfg st cell;
-      match ops.(cell) with
-      | None -> Bucket.remove bucket cell
-      | Some (_, d) -> Bucket.update bucket cell (-delta_obj cfg.objective d)
+    compute_best cell;
+    if not !found then begin
+      op_mask.(cell) <- -1;
+      Bucket.remove bucket cell
+    end
+    else begin
+      op_mask.(cell) <- !bm;
+      op_gain.(cell) <- !bg;
+      op_tie.(cell) <- !bt;
+      op_da.(cell) <- !bda;
+      op_db.(cell) <- !bdb;
+      Bucket.update bucket cell !bg
     end
   in
   let legal cell =
-    match ops.(cell) with
-    | None -> false
-    | Some (_, d) ->
-        cfg.area_ok
-          (Partition_state.area st Partition_state.A + d.Partition_state.d_area_a)
-          (Partition_state.area st Partition_state.B + d.Partition_state.d_area_b)
+    op_mask.(cell) >= 0
+    && cfg.area_ok
+         (Partition_state.area st Partition_state.A + op_da.(cell))
+         (Partition_state.area st Partition_state.B + op_db.(cell))
+  in
+  let clamp g =
+    if g > max_gain then max_gain else if g < -max_gain then -max_gain else g
   in
   (* Bucket-scan length: how many candidates find_best inspected before
-     one passed the legality predicate. Observed into a histogram only
-     when a sink listens; the noop path keeps the bare call. *)
+     one passed the legality predicate (accumulated across lazy-rescore
+     restarts). Observed into a histogram only when a sink listens. *)
+  let scanned = ref 0 in
+  let select_pred cell =
+    Stdlib.incr scanned;
+    if lazy_gains && dirty.(cell) then begin
+      dirty.(cell) <- false;
+      let old_slot = clamp op_gain.(cell) in
+      Stdlib.incr rescored;
+      rescore cell;
+      if op_mask.(cell) < 0 || clamp op_gain.(cell) <> old_slot then
+        raise Relocated
+    end;
+    legal cell
+  in
+  let rec scan_best () =
+    match Bucket.find_best bucket select_pred with
+    | r -> r
+    | exception Relocated -> scan_best ()
+  in
   let find_best () =
     if observing then begin
-      let scanned = ref 0 in
-      let r =
-        Bucket.find_best bucket (fun cell ->
-            Stdlib.incr scanned;
-            legal cell)
-      in
+      scanned := 0;
+      let r = scan_best () in
       Obs.observe obs "fm.scan_len" !scanned;
       r
     end
-    else Bucket.find_best bucket legal
+    else scan_best ()
   in
+  (* Visit one cell of a state-changed net: rescore now (eager) or mark
+     dirty for a pop-time rescore in select_pred (lazy). *)
+  let visit_cell cell =
+    if (not locked.(cell)) && stamp.(cell) <> !epoch then begin
+      stamp.(cell) <- !epoch;
+      if lazy_gains && Bucket.mem bucket cell then dirty.(cell) <- true
+      else begin
+        Stdlib.incr rescored;
+        rescore cell
+      end
+    end
+  in
+  let visit_net net =
+    let cells = hg.Hypergraph.net_cells.(net) in
+    for k = 0 to Array.length cells - 1 do
+      visit_cell cells.(k)
+    done
+  in
+  (* Oracle mode: after each move, recompute the best op of every unlocked
+     cell sharing a net with the moved cell — the complete set whose gains
+     could have changed (apply only touches counts of the moved cell's
+     incident nets) — and compare against the cached op. The sweep only
+     reads state, so an oracle run makes byte-identical decisions; it can
+     only abort. Cells marked dirty by the lazy mode are deliberately
+     stale and skipped. *)
+  let oracle_check moved =
+    let seen = Hashtbl.create 64 in
+    let check cell =
+      if
+        (not locked.(cell))
+        && (not dirty.(cell))
+        && not (Hashtbl.mem seen cell)
+      then begin
+        Hashtbl.add seen cell ();
+        let had = op_mask.(cell) >= 0 in
+        let cm = op_mask.(cell)
+        and cg = op_gain.(cell)
+        and ct = op_tie.(cell)
+        and cda = op_da.(cell)
+        and cdb = op_db.(cell) in
+        compute_best cell;
+        let ok =
+          if not !found then not had
+          else had && cm = !bm && cg = !bg && ct = !bt && cda = !bda
+               && cdb = !bdb
+        in
+        if not ok then
+          failwith
+            (Printf.sprintf
+               "Fm oracle: stale cached op for cell %d after moving cell %d \
+                (cached mask=%d gain=%d tie=%d da=%d db=%d; fresh %s mask=%d \
+                gain=%d tie=%d da=%d db=%d)"
+               cell moved cm cg ct cda cdb
+               (if !found then "found" else "none")
+               !bm !bg !bt !bda !bdb)
+      end
+    in
+    let c = Hypergraph.cell hg moved in
+    Array.iter
+      (fun net -> Array.iter check hg.Hypergraph.net_cells.(net))
+      (Hypergraph.cell_nets c)
+  in
+  (* Trail of (cell, pre-move mask), preallocated: each cell is applied at
+     most once per pass. *)
+  let trail_cell = Array.make n 0 in
+  let trail_old = Array.make n 0 in
   let one_pass () =
     Bucket.clear bucket;
     Array.fill locked 0 n false;
+    if lazy_gains then Array.fill dirty 0 n false;
     for cell = 0 to n - 1 do
       rescore cell
     done;
-    let trail = ref [] in
     let trail_len = ref 0 in
     let repl_attempted = ref 0 in
+    let pass_rescored0 = !rescored in
+    let t_wall0 = if observing then Obs.Clock.wall () else 0.0 in
     let start_score = cfg.score st in
     let best = ref start_score in
     let best_prefix = ref 0 in
@@ -190,10 +335,10 @@ let run ?(obs = Obs.noop) cfg st =
       match find_best () with
       | None -> continue := false
       | Some cell ->
-          let mask, d = Option.get ops.(cell) in
+          let mask = op_mask.(cell) in
           let old_mask = Partition_state.mask st cell in
           if observing then begin
-            Obs.observe obs "fm.gain" (-delta_obj cfg.objective d);
+            Obs.observe obs "fm.gain" op_gain.(cell);
             if
               is_replication_op ~old_mask ~new_mask:mask
                 ~full:(Partition_state.full_mask st cell)
@@ -202,14 +347,17 @@ let run ?(obs = Obs.noop) cfg st =
           ignore (Partition_state.apply st cell mask);
           locked.(cell) <- true;
           Bucket.remove bucket cell;
-          trail := (cell, old_mask) :: !trail;
+          trail_cell.(!trail_len) <- cell;
+          trail_old.(!trail_len) <- old_mask;
           incr trail_len;
-          (* Re-score neighbours whose nets may have changed state. *)
-          let c = Hypergraph.cell hg cell in
-          Array.iter
-            (fun net ->
-              Array.iter rescore hg.Hypergraph.net_cells.(net))
-            (Hypergraph.cell_nets c);
+          (* Criticality-filtered incremental rescoring: only cells on
+             nets whose side-connection category crossed a critical
+             boundary (as reported by apply) can have a different best op;
+             everyone else's cached op — and bucket position — is still
+             exact. *)
+          incr epoch;
+          Partition_state.iter_changed_nets st visit_net;
+          if oracle then oracle_check cell;
           let s = cfg.score st in
           if s < !best then begin
             best := s;
@@ -221,24 +369,26 @@ let run ?(obs = Obs.noop) cfg st =
        the pass applied — enough to re-classify the discarded ops. *)
     let to_undo = !trail_len - !best_prefix in
     let repl_undone = ref 0 in
-    let rec undo k = function
-      | (cell, old_mask) :: rest when k > 0 ->
-          if
-            observing
-            && is_replication_op ~old_mask
-                 ~new_mask:(Partition_state.mask st cell)
-                 ~full:(Partition_state.full_mask st cell)
-          then incr repl_undone;
-          ignore (Partition_state.apply st cell old_mask);
-          undo (k - 1) rest
-      | _ -> ()
-    in
-    undo to_undo !trail;
+    for i = !trail_len - 1 downto !best_prefix do
+      let cell = trail_cell.(i) and old_mask = trail_old.(i) in
+      if
+        observing
+        && is_replication_op ~old_mask
+             ~new_mask:(Partition_state.mask st cell)
+             ~full:(Partition_state.full_mask st cell)
+      then incr repl_undone;
+      ignore (Partition_state.apply st cell old_mask)
+    done;
     let improved = !best < start_score in
     if observing then begin
       Obs.incr obs "fm.passes";
       Obs.incr obs ~by:!trail_len "fm.applied_ops";
       Obs.incr obs ~by:to_undo "fm.rolled_back_ops";
+      Obs.incr obs ~by:(!rescored - pass_rescored0) "fm.rescored_cells";
+      (if !trail_len > 0 then
+         let dt = Obs.Clock.wall () -. t_wall0 in
+         Obs.observe obs "fm.moves_per_sec"
+           (int_of_float (float_of_int !trail_len /. Float.max dt 1e-9)));
       Obs.event obs "fm.pass"
         [
           ("pass", Obs.Json.Int !pass_idx);

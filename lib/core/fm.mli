@@ -29,6 +29,16 @@ type score = int * int * int
     (the device-window config uses it to prefer fuller devices, which
     lowers total cost). *)
 
+(** The engine keeps every unlocked cell's best operation cached (gain
+    buckets) and, after each applied move, refreshes only the cells on
+    nets reported state-changed by {!Partition_state.apply} — the
+    criticality-filtered incremental rescoring that makes per-move cost
+    proportional to the move's actual blast radius instead of the moved
+    cell's whole neighbourhood. Epoch stamps deduplicate the per-move
+    dirty set; candidate evaluation runs through
+    {!Gain.iter_masks} + {!Partition_state.eval_into} into preallocated
+    scratch, so the steady-state loop does not allocate per candidate. *)
+
 type config = {
   objective : objective;
   replication : [ `None | `Functional of int ];
@@ -43,6 +53,28 @@ type config = {
           and the "score never worsens" contract holds). Defaults to
           [fun () -> false]; the default never changes behaviour. The
           service daemon points it at a cancel flag / deadline check. *)
+  gain_mode : [ `Eager | `Lazy ];
+      (** When to refresh the gains of cells invalidated by a move.
+          [`Eager] (the default) rescores each affected cell once per move
+          (epoch-deduplicated), keeping every bucket entry exact.
+          [`Lazy] defers: affected cells are only marked dirty and
+          rescored when the bucket scan first inspects them, which skips
+          rescoring cells that are never considered — at the price of an
+          inexact pick order (a dirty cell whose true gain {e rose} can be
+          passed over until inspected). Both modes are deterministic and
+          keep the per-pass rollback contract; only [`Eager] satisfies the
+          oracle invariant below. *)
+  oracle : bool;
+      (** Debugging mode: after every applied move, recompute from scratch
+          the best op of every unlocked cell sharing a net with the moved
+          cell (the complete set whose gains can change — see
+          {!Partition_state.iter_changed_nets}) and compare with the
+          incrementally maintained op, failing loudly on any mismatch.
+          Decisions are byte-identical to a non-oracle run; only the cost
+          changes (roughly the pre-filtering engine's). Also forced
+          process-wide by the environment variable [FPGAPART_FM_ORACLE=1].
+          Meaningful with [`Eager] gains (lazy-dirty cells are stale by
+          design and skipped). *)
 }
 (** @deprecated Constructing this record literally is deprecated — new
     knobs would break literal builders. Use {!Config.make} or one of the
@@ -59,13 +91,15 @@ module Config : sig
     ?replication:[ `None | `Functional of int ] ->
     ?max_passes:int ->
     ?should_stop:(unit -> bool) ->
+    ?gain_mode:[ `Eager | `Lazy ] ->
+    ?oracle:bool ->
     area_ok:(int -> int -> bool) ->
     score:(Partition_state.t -> score) ->
     unit ->
     t
-  (** Defaults: [Cut], [`None], 12 passes, never stop. [area_ok] and
-      [score] have no meaningful default — pick a scenario builder if you
-      don't want to write them.
+  (** Defaults: [Cut], [`None], 12 passes, never stop, [`Eager] gains, no
+      oracle. [area_ok] and [score] have no meaningful default — pick a
+      scenario builder if you don't want to write them.
 
       Raises [Invalid_argument] on a non-positive [max_passes]: a budget
       of zero passes silently degrades every caller to "return the initial
@@ -76,6 +110,7 @@ val balance_config :
   ?objective:objective ->
   ?replication:[ `None | `Functional of int ] ->
   ?max_passes:int ->
+  ?gain_mode:[ `Eager | `Lazy ] ->
   ?slack:float ->
   total_area:int ->
   unit ->
@@ -136,9 +171,15 @@ val run : ?obs:Obs.t -> config -> Partition_state.t -> score
 
     Each pass additionally runs inside a span named ["passN"], so a
     tracing sink records one wall-clock span (with GC delta) per F-M pass;
-    and two histograms accumulate: ["fm.gain"] (the gain of every applied
-    operation) and ["fm.scan_len"] (candidates inspected per bucket scan
-    before one passed the legality test). *)
+    and three histograms accumulate: ["fm.gain"] (the gain of every
+    applied operation), ["fm.scan_len"] (candidates inspected per bucket
+    scan before one passed the legality test) and ["fm.moves_per_sec"]
+    (per non-empty pass, applied ops over the pass's wall time — a
+    wall-derived quantity, masked by {!Obs.Snapshot.scrub_elapsed} like
+    the [_secs] timers). The counter ["fm.rescored_cells"] accumulates the
+    number of best-op recomputations triggered by applied moves (pass
+    initialisation excluded) — the direct measure of what incremental
+    rescoring saves, and deterministic for a given seed. *)
 
 val run_staged : ?obs:Obs.t -> config -> Partition_state.t -> score
 (** Replication as the paper deploys it: an {e extension} of the

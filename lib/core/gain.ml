@@ -86,42 +86,53 @@ let functional_replication st cell ~threshold =
     !best
   end
 
-let best_mask_change st ~replication cell =
+(* Candidate masks are generated each exactly once, so no dedupe pass (or
+   allocation) is needed downstream. The collisions the old List.exists
+   dedupe absorbed are structural and excluded at the source:
+   - a single-output cell's one "migration" flip IS the whole-cell
+     complement (never generated twice: replication is gated on m > 1, and
+     the replicated branch requires m >= 2);
+   - for a replicated cell, flipping its only B-output regenerates [empty]
+     and flipping its only A-output regenerates [full], so the explicit
+     un-replication masks are emitted only when no flip produced them.
+   The complement of a replicated mask differs from the current mask in
+   every one of the m >= 2 output positions, so it never collides with a
+   single-bit flip; and [empty]/[full] equal the complement only when the
+   cell is single-sided, in which case the replicated branch is dead. *)
+let iter_masks st ~replication cell ~f =
   let hg = Partition_state.hypergraph st in
   let c = Hypergraph.cell hg cell in
   let m = Array.length c.Hypergraph.outputs in
   let current = Partition_state.mask st cell in
-  let full = Partition_state.full_mask st cell in
-  let candidates = ref [] in
-  let add mask =
-    if
-      (not (Bitvec.equal mask current))
-      && not (List.exists (fun (m', _) -> Bitvec.equal m' mask) !candidates)
-    then candidates := (mask, Partition_state.eval st cell mask) :: !candidates
+  let flip o =
+    if Bitvec.mem o current then Bitvec.remove o current
+    else Bitvec.add o current
   in
   (* Whole-cell move / side swap of all outputs. *)
-  add (Bitvec.complement m current);
-  (match Partition_state.single_side st cell with
-  | Some _ -> (
-      (* Replication creation: migrate one output. *)
-      match replication with
-      | `None -> ()
-      | `Functional threshold ->
-          if Replication_potential.replicable ~threshold c then
-            for o = 0 to m - 1 do
-              add
-                (if Bitvec.mem o current then Bitvec.remove o current
-                 else Bitvec.add o current)
-            done)
-  | None ->
-      (* Already replicated: adjust the split or un-replicate. Split
-         adjustment and un-replication are always allowed -- the threshold
-         gates creating replicas, not removing them. *)
-      for o = 0 to m - 1 do
-        add
-          (if Bitvec.mem o current then Bitvec.remove o current
-           else Bitvec.add o current)
-      done;
-      add Bitvec.empty;
-      add full);
+  let comp = Bitvec.complement m current in
+  if not (Bitvec.equal comp current) then f comp;
+  if Partition_state.is_replicated st cell then begin
+    (* Already replicated: adjust the split or un-replicate. Split
+       adjustment and un-replication are always allowed -- the threshold
+       gates creating replicas, not removing them. *)
+    for o = 0 to m - 1 do
+      f (flip o)
+    done;
+    if Bitvec.norm current <> 1 then f Bitvec.empty;
+    if Bitvec.norm current <> m - 1 then f (Bitvec.full m)
+  end
+  else
+    (* Replication creation: migrate one output. *)
+    match replication with
+    | `None -> ()
+    | `Functional threshold ->
+        if m > 1 && Replication_potential.replicable ~threshold c then
+          for o = 0 to m - 1 do
+            f (flip o)
+          done
+
+let best_mask_change st ~replication cell =
+  let candidates = ref [] in
+  iter_masks st ~replication cell ~f:(fun mask ->
+      candidates := (mask, Partition_state.eval st cell mask) :: !candidates);
   !candidates

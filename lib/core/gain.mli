@@ -49,13 +49,29 @@ val functional_replication :
     (single output, or [psi < threshold]). Gains are in cut reduction
     (positive = improvement), matching the paper's sign convention. *)
 
+val iter_masks :
+  Partition_state.t ->
+  replication:[ `None | `Functional of int ] ->
+  int ->
+  f:(Bitvec.t -> unit) ->
+  unit
+(** Enumerate the candidate masks of a cell under the configured
+    replication mode: whole-cell move; single-output migrations when the
+    cell may replicate (threshold from [`Functional t]) or is already
+    replicated; and full un-replication to either side when replicated.
+    Every mask is produced {e exactly once} (structural collisions are
+    excluded at generation, not deduplicated after the fact), the current
+    mask is never produced, and the generation order is deterministic:
+    complement first, then per-output flips ascending, then
+    empty-then-full un-replication. The enumeration itself allocates
+    nothing beyond the callback's own work — this is the F-M hot loop's
+    candidate source, paired with {!Partition_state.eval_into}. *)
+
 val best_mask_change :
   Partition_state.t ->
   replication:[ `None | `Functional of int ] ->
   int ->
   (Bitvec.t * Partition_state.delta) list
-(** All candidate operations on a cell under the configured replication
-    mode: whole-cell move; single-output migrations when the cell may
-    replicate (threshold from [`Functional t]) or is already replicated;
-    and full un-replication to either side when replicated. Each candidate
-    comes with its exact delta. The current mask is never in the list. *)
+(** The {!iter_masks} candidates with their exact deltas, as a list
+    (reverse generation order) — the allocating convenience used by tests
+    and the engine's oracle mode. *)

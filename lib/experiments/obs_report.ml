@@ -1,6 +1,6 @@
 module J = Obs.Json
 
-let schema_version = 3
+let schema_version = 4
 
 let replication_to_json = function
   | `None -> J.String "none"

@@ -1,8 +1,8 @@
 (** Aggregation of partitioning telemetry into the stable JSON document
     behind [fpgapart partition --stats-json] and [BENCH_partition.json].
 
-    Schema (version 3) of a per-circuit document:
-    - ["schema_version"]: [3];
+    Schema (version 4) of a per-circuit document:
+    - ["schema_version"]: [4];
     - ["circuit"], ["seed"]: identification;
     - ["options"]: the {!Core.Kway.options} used ([runs], [seed],
       [replication], [max_passes], [fm_attempts], [refine_rounds]).
@@ -15,15 +15,20 @@
       [wall_secs], [cpu_secs] (wall-clock vs all-domain process CPU; v1's
       single [elapsed_secs] claimed CPU seconds, which parallelism made
       wrong), and a ["parts"] list of [{device, clbs, iobs}];
-    - ["obs"]: the {!Obs.Snapshot} — ["counters"], ["timers"],
-      ["histograms"] (new in v3: name → [{"count"; "sum"; "buckets"}] with
-      signed-log2 bucket labels, all integers — see {!Obs.observe}), and
+    - ["obs"]: the {!Obs.Snapshot} — ["counters"] (including, new in v4,
+      ["fm.rescored_cells"] — best-op recomputations triggered by applied
+      moves, the cost the criticality-filtered incremental rescoring is
+      bounding), ["timers"], ["histograms"] (new in v3: name →
+      [{"count"; "sum"; "buckets"}] with signed-log2 bucket labels, all
+      integers — see {!Obs.observe}; new in v4: ["fm.moves_per_sec"], a
+      wall-derived rate histogram masked by the determinism scrub), and
       the ordered ["events"] stream (["fm.pass"], ["kway.device_attempt"],
       ["kway.split"], ["kway.refine_pair"], ...).
 
-    Every elapsed-time field ends in ["_secs"]; after
-    {!Obs.Snapshot.scrub_elapsed} two same-seed documents are
-    byte-identical — whatever [jobs] each ran with. The wall-clock trace a
+    Every elapsed-time field ends in ["_secs"] and every wall-derived
+    rate in ["_per_sec"]; after {!Obs.Snapshot.scrub_elapsed} two
+    same-seed documents are byte-identical — whatever [jobs] each ran
+    with. The wall-clock trace a
     tracing sink records ({!Obs.Trace}) is deliberately {e absent} from
     this document: begin/end timestamps, domain track ids and GC deltas
     are execution-dependent, so they live only in the separate [--trace]

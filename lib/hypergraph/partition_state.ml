@@ -30,9 +30,17 @@ type t = {
   mutable s2_nets : int array;
   mutable s2_d : int array;
   mutable s2_len : int;
+  (* Nets whose per-side connection category (0 / 1 / >=2) changed in the
+     last [apply] — exactly the nets that crossed a gain-relevant critical
+     boundary (0<->1 or 1<->2 on a side). Kept separate from the s_* eval
+     scratch so readers may interleave [eval]/[eval_into] calls with the
+     iteration. *)
+  mutable ch_nets : int array;
+  mutable ch_len : int;
+  sd : scratch; (* reusable target for the record-returning eval/apply *)
 }
 
-type delta = {
+and delta = {
   d_cut : int;
   d_term_a : int;
   d_term_b : int;
@@ -40,7 +48,18 @@ type delta = {
   d_area_b : int;
 }
 
+and scratch = {
+  mutable sc_cut : int;
+  mutable sc_term_a : int;
+  mutable sc_term_b : int;
+  mutable sc_area_a : int;
+  mutable sc_area_b : int;
+}
+
 let zero_delta = { d_cut = 0; d_term_a = 0; d_term_b = 0; d_area_a = 0; d_area_b = 0 }
+
+let make_scratch () =
+  { sc_cut = 0; sc_term_a = 0; sc_term_b = 0; sc_area_a = 0; sc_area_b = 0 }
 
 let hypergraph t = t.hg
 let model t = t.model
@@ -160,6 +179,9 @@ let create_with_masks ?(model = Functional) hg ~masks =
       s2_nets = Array.make 32 0;
       s2_d = Array.make 32 0;
       s2_len = 0;
+      ch_nets = Array.make 32 0;
+      ch_len = 0;
+      sd = make_scratch ();
     }
   in
   (* Fill the connection counts from scratch. *)
@@ -211,6 +233,9 @@ let copy t =
     s2_nets = Array.make 32 0;
     s2_d = Array.make 32 0;
     s2_len = 0;
+    ch_nets = Array.make 32 0;
+    ch_len = 0;
+    sd = make_scratch ();
   }
 
 (* Aggregate per-net connection deltas of a mask change into the scratch
@@ -316,9 +341,11 @@ let net_deltas t c new_mask =
     end
   done
 
-(* Fold the scratch deltas into a [delta] record (scratch must hold the
-   deltas of changing cell [c] to [new_mask]). *)
-let delta_of_scratch t c new_mask =
+(* Fold the scratch net deltas into [out] (scratch must hold the deltas of
+   changing cell [c] to [new_mask]). Writes fields in place — the F-M hot
+   loop evaluates one candidate per affected neighbour per applied move, so
+   this path allocates nothing. *)
+let scratch_totals t c new_mask (out : scratch) =
   let cell = Hypergraph.cell t.hg c in
   let d_cut = ref 0 and d_ta = ref 0 and d_tb = ref 0 in
   for i = 0 to t.s_len - 1 do
@@ -334,35 +361,83 @@ let delta_of_scratch t c new_mask =
   let old_b = t.out_on_b.(c) in
   let full = full_mask t c in
   let exists m = if Bitvec.is_empty m then 0 else 1 in
-  let d_area_a =
+  out.sc_cut <- !d_cut;
+  out.sc_term_a <- !d_ta;
+  out.sc_term_b <- !d_tb;
+  out.sc_area_a <-
     cell.Hypergraph.area
-    * (exists (Bitvec.diff full new_mask) - exists (Bitvec.diff full old_b))
-  in
-  let d_area_b = cell.Hypergraph.area * (exists new_mask - exists old_b) in
-  { d_cut = !d_cut; d_term_a = !d_ta; d_term_b = !d_tb; d_area_a; d_area_b }
+    * (exists (Bitvec.diff full new_mask) - exists (Bitvec.diff full old_b));
+  out.sc_area_b <- cell.Hypergraph.area * (exists new_mask - exists old_b)
+
+let reset_scratch (out : scratch) =
+  out.sc_cut <- 0;
+  out.sc_term_a <- 0;
+  out.sc_term_b <- 0;
+  out.sc_area_a <- 0;
+  out.sc_area_b <- 0
+
+let delta_of_sd t =
+  {
+    d_cut = t.sd.sc_cut;
+    d_term_a = t.sd.sc_term_a;
+    d_term_b = t.sd.sc_term_b;
+    d_area_a = t.sd.sc_area_a;
+    d_area_b = t.sd.sc_area_b;
+  }
 
 let check_mask t c m =
   if not (Bitvec.subset m (full_mask t c)) then
     invalid_arg "Partition_state: mask not a subset of the cell's outputs"
+
+let eval_into t c new_mask (out : scratch) =
+  check_mask t c new_mask;
+  if Bitvec.equal new_mask t.out_on_b.(c) then reset_scratch out
+  else begin
+    net_deltas t c new_mask;
+    scratch_totals t c new_mask out
+  end
 
 let eval t c new_mask =
   check_mask t c new_mask;
   if Bitvec.equal new_mask t.out_on_b.(c) then zero_delta
   else begin
     net_deltas t c new_mask;
-    delta_of_scratch t c new_mask
+    scratch_totals t c new_mask t.sd;
+    delta_of_sd t
   end
+
+(* Connection-count category: gains of candidate operations on a cell
+   depend on an incident net's side counts only through min(count, 2),
+   because any single-cell mask change shifts each side count by at most
+   one and every per-net contribution (cut_of / term_of) tests counts
+   against 0 over a +-1 neighbourhood. A net whose categories are
+   unchanged on both sides therefore leaves every neighbour's candidate
+   deltas — hence its best op — untouched. *)
+let cat x = if x > 2 then 2 else x
 
 let apply t c new_mask =
   check_mask t c new_mask;
-  if Bitvec.equal new_mask t.out_on_b.(c) then zero_delta
+  if Bitvec.equal new_mask t.out_on_b.(c) then begin
+    t.ch_len <- 0;
+    zero_delta
+  end
   else begin
     net_deltas t c new_mask;
-    let d = delta_of_scratch t c new_mask in
+    scratch_totals t c new_mask t.sd;
+    let d = delta_of_sd t in
+    if t.s_len > Array.length t.ch_nets then
+      t.ch_nets <- Array.make (max 32 t.s_len) 0;
+    t.ch_len <- 0;
     for i = 0 to t.s_len - 1 do
       let n = t.s_nets.(i) in
-      t.conn_a.(n) <- t.conn_a.(n) + t.s_da.(i);
-      t.conn_b.(n) <- t.conn_b.(n) + t.s_db.(i)
+      let ca = t.conn_a.(n) and cb = t.conn_b.(n) in
+      let da = t.s_da.(i) and db = t.s_db.(i) in
+      if cat ca <> cat (ca + da) || cat cb <> cat (cb + db) then begin
+        t.ch_nets.(t.ch_len) <- n;
+        t.ch_len <- t.ch_len + 1
+      end;
+      t.conn_a.(n) <- ca + da;
+      t.conn_b.(n) <- cb + db
     done;
     t.out_on_b.(c) <- new_mask;
     t.cut <- t.cut + d.d_cut;
@@ -372,6 +447,13 @@ let apply t c new_mask =
     t.area_b <- t.area_b + d.d_area_b;
     d
   end
+
+let num_changed_nets t = t.ch_len
+
+let iter_changed_nets t f =
+  for i = 0 to t.ch_len - 1 do
+    f t.ch_nets.(i)
+  done
 
 let check_consistency t =
   let cut, ta, tb, aa, ab = recompute t in

@@ -101,9 +101,41 @@ val eval : t -> int -> Bitvec.t -> delta
     applying it. The paper's gains are recovered as [- d_cut]. Raises
     [Invalid_argument] if [m] is not a subset of {!full_mask}. *)
 
+type scratch = {
+  mutable sc_cut : int;
+  mutable sc_term_a : int;
+  mutable sc_term_b : int;
+  mutable sc_area_a : int;
+  mutable sc_area_b : int;
+}
+(** A caller-owned mutable delta, for evaluation loops that must not
+    allocate (the F-M hot path evaluates one candidate per affected
+    neighbour per applied move). *)
+
+val make_scratch : unit -> scratch
+
+val eval_into : t -> int -> Bitvec.t -> scratch -> unit
+(** [eval_into t c m out] — exactly {!eval}, but writing the delta into
+    [out] instead of returning a fresh record. Allocation-free. *)
+
 val apply : t -> int -> Bitvec.t -> delta
 (** Commit a mask change and return its delta (equal to what {!eval} would
-    have returned). *)
+    have returned). Additionally records the set of {e state-changed} nets
+    for {!iter_changed_nets}. *)
+
+val num_changed_nets : t -> int
+
+val iter_changed_nets : t -> (int -> unit) -> unit
+(** The nets whose per-side connection category [min (count, 2)] changed
+    in the last {!apply} — i.e. a side count crossed a critical boundary
+    (0↔1 or 1↔2). Candidate deltas of a cell depend on an incident net's
+    side counts only through these categories (any single-cell mask change
+    shifts each count by at most one, and every per-net cut/terminal
+    contribution tests counts against 0 over that ±1 neighbourhood), so a
+    cell none of whose incident nets appear here keeps its best op
+    verbatim. This is the completeness fact behind F-M's
+    criticality-filtered incremental rescoring; the set is valid until the
+    next {!apply} on the same state and iterates in ascending net order. *)
 
 (** {1 Verification support} *)
 

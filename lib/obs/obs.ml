@@ -330,8 +330,14 @@ module Snapshot = struct
       ]
 
   let is_elapsed_key k =
-    let n = String.length k in
-    n >= 5 && String.sub k (n - 5) 5 = "_secs"
+    let ends_with suf =
+      let n = String.length k and m = String.length suf in
+      n >= m && String.sub k (n - m) m = suf
+    in
+    (* Wall-derived quantities: absolute times under "_secs" and rates
+       under "_per_sec" (e.g. the fm.moves_per_sec histogram name). Both
+       vary between identical runs and nothing else does. *)
+    ends_with "_secs" || ends_with "_per_sec"
 
   let rec scrub_elapsed = function
     | Json.Obj fields ->

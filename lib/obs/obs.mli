@@ -11,10 +11,12 @@
 
     Conventions that the rest of the system relies on:
     - every wall-time quantity lives under a key ending in ["_secs"]
-      (timer entries, elapsed fields of reports). This is what makes
+      (timer entries, elapsed fields of reports), and every wall-derived
+      rate under a key ending in ["_per_sec"] (e.g. the
+      ["fm.moves_per_sec"] histogram). This is what makes
       {!Snapshot.scrub_elapsed} a complete and minimal mask: two runs with
       the same seed serialise byte-identically after scrubbing, and the
-      ["_secs"] keys are the only ones scrubbed;
+      ["_secs"]/["_per_sec"] keys are the only ones scrubbed;
     - events record the active span path (["kway/run0/split2"]) in a
       ["span"] field, so a flat event list stays attributable;
     - the trace never enters {!Snapshot.to_json}: wall-clock timestamps,
@@ -144,14 +146,16 @@ module Snapshot : sig
       "events": [...]}]. Each histogram serialises as
       [{"count", "sum", "buckets": {"[lo,hi]": n, ...}}]; each event
       becomes an object with its ["event"] name first, then its fields.
-      Deterministic for deterministic recording — only ["_secs"] keyed
-      values vary between identical runs. The trace is deliberately
-      absent (see {!Trace}). *)
+      Deterministic for deterministic recording — only ["_secs"] and
+      ["_per_sec"] keyed values vary between identical runs. The trace is
+      deliberately absent (see {!Trace}). *)
 
   val scrub_elapsed : Json.t -> Json.t
   (** Replace the value of every object field whose key ends in ["_secs"]
-      with [Null], recursively, and nothing else. Two same-seed runs must
-      agree byte-for-byte after this. *)
+      or ["_per_sec"] with [Null], recursively, and nothing else (a
+      ["_per_sec"]-named histogram is masked whole — its count, sum and
+      buckets are all wall-derived). Two same-seed runs must agree
+      byte-for-byte after this. *)
 
   val pp : Format.formatter -> t -> unit
   (** Human summary: counters, timers, histograms, event count by name.

@@ -95,11 +95,32 @@ let run_job t (job : job) =
     { job.options with Core.Kway.jobs = t.cfg.jobs; should_stop }
   in
   let started = Unix.gettimeofday () in
+  (* Per-job collecting sink: the engine's F-M telemetry rolls up into the
+     service-wide throughput metrics below (the sink itself is discarded —
+     svc-stats stays O(jobs), not O(moves)). *)
+  let job_obs = Obs.create () in
   let result =
-    Core.Kway.partition ~options ~library:Fpga.Library.xc3000 job.hypergraph
+    Core.Kway.partition ~obs:job_obs ~options ~library:Fpga.Library.xc3000
+      job.hypergraph
   in
+  let wall = Unix.gettimeofday () -. started in
   with_lock t (fun () ->
       Obs.observe t.obs "service.run_ms" (ms_since started);
+      (let snap = Obs.snapshot job_obs in
+       let counter k =
+         try List.assoc k snap.Obs.Snapshot.counters with Not_found -> 0
+       in
+       let applied = counter "fm.applied_ops" in
+       if applied > 0 then begin
+         (* One observation per job: applied F-M ops over the job's wall
+            time. The _per_sec suffix marks it wall-derived, so the
+            determinism scrub masks it like the _secs timers. *)
+         Obs.observe t.obs "service.fm_moves_per_sec"
+           (int_of_float (float_of_int applied /. Float.max wall 1e-9));
+         Obs.incr t.obs ~by:(counter "fm.rescored_cells")
+           "service.fm_rescored_cells";
+         Obs.incr t.obs ~by:applied "service.fm_applied_ops"
+       end);
       (match result with
       | Ok r ->
           let doc = result_doc job r in

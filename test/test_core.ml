@@ -159,6 +159,48 @@ let test_best_mask_change_candidates () =
   checkb "includes full-B merge" true
     (List.exists (fun (m, _) -> Bitvec.equal m (Partition_state.full_mask st 0)) after)
 
+let test_no_duplicate_candidates () =
+  (* Satellite of the incremental engine: iter_masks generates every
+     candidate exactly once at the source (no post-hoc dedup), never the
+     current mask, covering output counts m = 1, 2, 3 in both single-side
+     and replicated states under both replication modes. *)
+  let h = Test_util.random_hypergraph 3 20 in
+  let n = Hypergraph.num_cells h in
+  let outs c = Array.length (Hypergraph.cell h c).Hypergraph.outputs in
+  List.iter
+    (fun m ->
+      checkb
+        (Printf.sprintf "fixture covers m=%d" m)
+        true
+        (Array.exists (fun c -> outs c = m) (Array.init n Fun.id)))
+    [ 1; 2; 3 ];
+  let rng = Netlist.Rng.create 17 in
+  for trial = 0 to 5 do
+    let st =
+      Partition_state.create h ~init_on_b:(fun _ -> Netlist.Rng.bool rng)
+    in
+    if trial > 0 then
+      for c = 0 to n - 1 do
+        if Netlist.Rng.int rng 3 = 0 then
+          ignore
+            (Partition_state.apply st c
+               (Test_util.random_mask rng (Partition_state.full_mask st c)))
+      done;
+    List.iter
+      (fun replication ->
+        for c = 0 to n - 1 do
+          let masks =
+            List.map fst (Gain.best_mask_change st ~replication c)
+          in
+          let uniq = List.sort_uniq compare masks in
+          checki "no duplicate candidates" (List.length masks)
+            (List.length uniq);
+          checkb "current mask never generated" false
+            (List.exists (Bitvec.equal (Partition_state.mask st c)) masks)
+        done)
+      [ `None; `Functional 0 ]
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Bucket                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -213,6 +255,150 @@ let test_bucket_errors () =
   Bucket.remove b 3 (* no-op *);
   Bucket.clear b;
   checki "cleared" 0 (Bucket.cardinal b)
+
+let test_bucket_update_fast_path_order () =
+  (* An update that leaves the clamped gain unchanged must not unlink /
+     relink, so it preserves the item's position within its slot and does
+     not refresh its LIFO recency. *)
+  let best b = Bucket.find_best b (fun _ -> true) in
+  let b = Bucket.create ~num_items:8 ~max_gain:3 in
+  Bucket.insert b 1 2;
+  Bucket.insert b 2 2;
+  (match best b with
+  | Some i -> checki "LIFO before update" 2 i
+  | None -> Alcotest.fail "expected an item");
+  Bucket.update b 1 2;
+  (match best b with
+  | Some i -> checki "same-gain update of 1 keeps 2 first" 2 i
+  | None -> Alcotest.fail "expected an item");
+  Bucket.update b 2 2;
+  (match best b with
+  | Some i -> checki "same-gain update of 2 keeps its place" 2 i
+  | None -> Alcotest.fail "expected an item");
+  (* Same clamped slot, different stored gain: 100 and 50 both clamp to
+     +3. The slot order stays; the unclamped gain is refreshed. *)
+  Bucket.insert b 3 100;
+  Bucket.insert b 4 100;
+  (match best b with
+  | Some i -> checki "4 most recent in top slot" 4 i
+  | None -> Alcotest.fail "expected an item");
+  Bucket.update b 4 50;
+  (match best b with
+  | Some i -> checki "same-slot update keeps 4 first" 4 i
+  | None -> Alcotest.fail "expected an item");
+  checki "stored gain refreshed" 50 (Bucket.gain b 4);
+  Bucket.update b 3 60;
+  (match best b with
+  | Some i -> checki "same-slot update of non-head keeps order" 4 i
+  | None -> Alcotest.fail "expected an item");
+  (* A slot-changing round trip is a relink: recency refreshed. *)
+  Bucket.update b 3 1;
+  Bucket.update b 3 100;
+  (match best b with
+  | Some i -> checki "slot-changing round trip refreshes recency" 3 i
+  | None -> Alcotest.fail "expected an item")
+
+let test_bucket_top_decay_and_interleaving () =
+  let best b pred = Bucket.find_best b pred in
+  let b = Bucket.create ~num_items:8 ~max_gain:4 in
+  (* Clamping at both extremes. *)
+  Bucket.insert b 0 1000;
+  Bucket.insert b 1 (-1000);
+  checki "positive clamp stores raw gain" 1000 (Bucket.gain b 0);
+  checki "negative clamp stores raw gain" (-1000) (Bucket.gain b 1);
+  (* Removing the only top-slot item: the lazy top pointer must decay
+     past the emptied slots to the survivors. *)
+  Bucket.remove b 0;
+  (match best b (fun _ -> true) with
+  | Some i -> checki "top decays to bottom slot" 1 i
+  | None -> Alcotest.fail "expected an item");
+  (* Interleaved inserts/removes/updates across slots. *)
+  Bucket.insert b 2 0;
+  Bucket.insert b 3 4;
+  Bucket.update b 3 (-4);
+  (match best b (fun _ -> true) with
+  | Some i -> checki "after top item drops to bottom" 2 i
+  | None -> Alcotest.fail "expected an item");
+  Bucket.update b 1 10;
+  (match best b (fun _ -> true) with
+  | Some i -> checki "bottom item raised to clamped top" 1 i
+  | None -> Alcotest.fail "expected an item");
+  Bucket.remove b 1;
+  Bucket.remove b 2;
+  (match best b (fun _ -> true) with
+  | Some i -> checki "decay again after removals" 3 i
+  | None -> Alcotest.fail "expected an item");
+  Bucket.remove b 3;
+  checkb "empty scan finds nothing" true (best b (fun _ -> true) = None);
+  checki "empty cardinal" 0 (Bucket.cardinal b)
+
+let qcheck_bucket_matches_model =
+  (* The bucket against a naive map model that encodes the documented
+     contract: items keyed by clamped gain; ties broken by
+     most-recently-moved-into-the-slot; an update that keeps the clamped
+     gain does not refresh recency; update inserts when absent. *)
+  QCheck.Test.make ~name:"bucket matches naive map model" ~count:150
+    QCheck.(pair small_int (int_range 1 6))
+    (fun (seed, max_gain) ->
+      let rng = Netlist.Rng.create (seed + 1) in
+      let num_items = 12 in
+      let b = Bucket.create ~num_items ~max_gain in
+      let model = Array.make num_items None in
+      let tick = ref 0 in
+      let clamp g = max (-max_gain) (min max_gain g) in
+      let ok = ref true in
+      for _ = 1 to 400 do
+        let item = Netlist.Rng.int rng num_items in
+        let g = Netlist.Rng.int rng ((4 * max_gain) + 3) - (2 * max_gain) - 1 in
+        match Netlist.Rng.int rng 5 with
+        | 0 ->
+            if model.(item) = None then begin
+              Bucket.insert b item g;
+              incr tick;
+              model.(item) <- Some (g, !tick)
+            end
+        | 1 ->
+            Bucket.remove b item;
+            model.(item) <- None
+        | 2 -> (
+            Bucket.update b item g;
+            match model.(item) with
+            | Some (old, r) when clamp old = clamp g ->
+                model.(item) <- Some (g, r)
+            | _ ->
+                incr tick;
+                model.(item) <- Some (g, !tick))
+        | 3 ->
+            let allow = Array.init num_items (fun _ -> Netlist.Rng.bool rng) in
+            let expected =
+              let best = ref None in
+              Array.iteri
+                (fun i entry ->
+                  match entry with
+                  | Some (g, r) when allow.(i) ->
+                      let key = (clamp g, r) in
+                      (match !best with
+                      | Some (_, bkey) when bkey >= key -> ()
+                      | _ -> best := Some (i, key))
+                  | _ -> ())
+                model;
+              Option.map fst !best
+            in
+            if Bucket.find_best b (fun i -> allow.(i)) <> expected then
+              ok := false
+        | _ ->
+            if Bucket.mem b item <> (model.(item) <> None) then ok := false;
+            (match model.(item) with
+            | Some (g, _) -> if Bucket.gain b item <> g then ok := false
+            | None -> ());
+            let card =
+              Array.fold_left
+                (fun acc e -> if e = None then acc else acc + 1)
+                0 model
+            in
+            if Bucket.cardinal b <> card then ok := false
+      done;
+      !ok)
 
 (* ------------------------------------------------------------------ *)
 (* F-M                                                                *)
@@ -304,6 +490,129 @@ let qcheck_fm_leaves_consistent_state =
           ~total_area:(Hypergraph.total_area h) ()
       in
       let st = Fm.random_state (Netlist.Rng.create (seed + 5)) h in
+      let cut0 = Partition_state.cut st in
+      let _, cut, _ = Fm.run cfg st in
+      Result.is_ok (Partition_state.check_consistency st) && cut <= cut0)
+
+let qcheck_incremental_gains_exact =
+  (* The tentpole invariant of the incremental engine: after every applied
+     move, rescoring only the cells on nets that
+     Partition_state.apply reported state-changed (a side's connection
+     category min(count, 2) crossed 0<->1 or 1<->2) leaves every cell's
+     cached best op equal to a from-scratch recomputation. Maintained here
+     externally with the engine's exact selection fold, then audited over
+     the WHOLE cell set after every move — so a single missed invalidation
+     anywhere fails the property. Runs under both replication modes. *)
+  QCheck.Test.make ~name:"incremental rescoring = from-scratch best op"
+    ~count:20
+    QCheck.(triple small_int (int_range 8 24) bool)
+    (fun (seed, n_cells, functional) ->
+      let replication = if functional then `Functional 0 else `None in
+      let h = Test_util.random_hypergraph seed n_cells in
+      let rng = Netlist.Rng.create (seed + 31) in
+      let st =
+        Partition_state.create h ~init_on_b:(fun _ -> Netlist.Rng.bool rng)
+      in
+      let n = Hypergraph.num_cells h in
+      (* Engine-identical selection: maximise gain, tie-break on the
+         smaller area growth, first-generated candidate wins the rest. *)
+      let best c =
+        let acc = ref None in
+        Gain.iter_masks st ~replication c ~f:(fun m ->
+            let d = Partition_state.eval st c m in
+            let g = -d.Partition_state.d_cut in
+            let tie =
+              -(d.Partition_state.d_area_a + d.Partition_state.d_area_b)
+            in
+            match !acc with
+            | Some (_, bg, bt) when bg > g || (bg = g && bt >= tie) -> ()
+            | _ -> acc := Some (m, g, tie));
+        !acc
+      in
+      let cached = Array.init n best in
+      let ok = ref true in
+      for _ = 1 to 3 * n do
+        let c = Netlist.Rng.int rng n in
+        let full = Partition_state.full_mask st c in
+        let m =
+          if functional then Test_util.random_mask rng full
+          else Bitvec.complement (Bitvec.norm full) (Partition_state.mask st c)
+        in
+        ignore (Partition_state.apply st c m);
+        (* The engine's maintenance step: the moved cell plus every cell
+           on a state-changed net. *)
+        cached.(c) <- best c;
+        Partition_state.iter_changed_nets st (fun net ->
+            Array.iter
+              (fun cell -> cached.(cell) <- best cell)
+              h.Hypergraph.net_cells.(net));
+        (* The audit: every cell, not just the rescored ones. *)
+        for cell = 0 to n - 1 do
+          if cached.(cell) <> best cell then ok := false
+        done
+      done;
+      !ok)
+
+let test_fm_lazy_gain_mode () =
+  (* `Lazy defers rescoring to bucket-pop time: a deliberately inexact
+     pick order, but deterministic, consistent, and still never worse
+     than the initial state. *)
+  let h = mapped_hypergraph (Netlist.Generator.alu ~bits:8 ()) in
+  let total = Hypergraph.total_area h in
+  let cfg =
+    Fm.balance_config ~replication:(`Functional 0) ~gain_mode:`Lazy
+      ~total_area:total ()
+  in
+  let st = Fm.random_state (Netlist.Rng.create 5) h in
+  let cut0 = Partition_state.cut st in
+  let _, cut, _ = Fm.run cfg st in
+  checkb "lazy mode improves the cut" true (cut <= cut0);
+  checkb "lazy mode leaves a consistent state" true
+    (Result.is_ok (Partition_state.check_consistency st));
+  let st2 = Fm.random_state (Netlist.Rng.create 5) h in
+  let _, cut2, _ = Fm.run cfg st2 in
+  checki "lazy mode deterministic (cut)" cut cut2;
+  for c = 0 to Hypergraph.num_cells h - 1 do
+    if not (Bitvec.equal (Partition_state.mask st c) (Partition_state.mask st2 c))
+    then Alcotest.failf "lazy mode nondeterministic at cell %d" c
+  done
+
+let test_fm_oracle_mode_identical () =
+  (* Oracle mode recomputes every affected cell's best op from scratch
+     after every applied move and compares with the incremental cache
+     (failwith on mismatch); its decisions are byte-identical to a plain
+     run by construction — this pins both halves of that contract. *)
+  let h = mapped_hypergraph (Netlist.Generator.alu ~bits:8 ()) in
+  let total = Hypergraph.total_area h in
+  let cfg =
+    Fm.balance_config ~replication:(`Functional 0) ~total_area:total ()
+  in
+  let st = Fm.random_state (Netlist.Rng.create 7) h in
+  let sto = Fm.random_state (Netlist.Rng.create 7) h in
+  let score = Fm.run cfg st in
+  let score_o = Fm.run { cfg with Fm.oracle = true } sto in
+  checkb "oracle run returns the same score" true (score = score_o);
+  for c = 0 to Hypergraph.num_cells h - 1 do
+    if not (Bitvec.equal (Partition_state.mask st c) (Partition_state.mask sto c))
+    then Alcotest.failf "oracle mode diverged at cell %d" c
+  done
+
+let qcheck_fm_oracle_never_trips =
+  (* The oracle cross-check aborts the run on any stale cached gain; it
+     completing at all on random instances, under both replication
+     modes, is the property. *)
+  QCheck.Test.make ~name:"F-M oracle cross-check passes" ~count:12
+    QCheck.(triple small_int (int_range 8 26) bool)
+    (fun (seed, n_cells, functional) ->
+      let h = Test_util.random_hypergraph seed n_cells in
+      let cfg =
+        Fm.Config.make ~oracle:true
+          ~replication:(if functional then `Functional 0 else `None)
+          ~area_ok:(fun _ _ -> true)
+          ~score:(fun st -> (0, Fm.objective_value Fm.Cut st, 0))
+          ()
+      in
+      let st = Fm.random_state (Netlist.Rng.create (seed + 13)) h in
       let cut0 = Partition_state.cut st in
       let _, cut, _ = Fm.run cfg st in
       Result.is_ok (Partition_state.check_consistency st) && cut <= cut0)
@@ -778,6 +1087,8 @@ let () =
             test_gain_threshold_blocks;
           qc qcheck_formula_matches_eval;
           qc qcheck_functional_gain_positive_cases;
+          Alcotest.test_case "no duplicate candidates" `Quick
+            test_no_duplicate_candidates;
           Alcotest.test_case "candidate operations" `Quick
             test_best_mask_change_candidates;
         ] );
@@ -786,6 +1097,11 @@ let () =
           Alcotest.test_case "basics" `Quick test_bucket_basics;
           Alcotest.test_case "clamping" `Quick test_bucket_clamping;
           Alcotest.test_case "errors" `Quick test_bucket_errors;
+          Alcotest.test_case "update fast path order" `Quick
+            test_bucket_update_fast_path_order;
+          Alcotest.test_case "top decay + interleaving" `Quick
+            test_bucket_top_decay_and_interleaving;
+          qc qcheck_bucket_matches_model;
         ] );
       ( "fm",
         [
@@ -798,6 +1114,11 @@ let () =
           Alcotest.test_case "replication helps on clustered" `Quick
             test_fm_replication_reduces_cut_on_clustered;
           qc qcheck_fm_leaves_consistent_state;
+          qc qcheck_incremental_gains_exact;
+          Alcotest.test_case "lazy gain mode" `Quick test_fm_lazy_gain_mode;
+          Alcotest.test_case "oracle mode identical" `Quick
+            test_fm_oracle_mode_identical;
+          qc qcheck_fm_oracle_never_trips;
           Alcotest.test_case "staged never worse" `Quick test_fm_staged_never_worse;
           Alcotest.test_case "traditional model weaker" `Quick
             test_fm_traditional_model_weaker;

@@ -303,6 +303,71 @@ let qcheck_apply_involution =
       done;
       !ok)
 
+let qcheck_eval_into_matches_eval =
+  QCheck.Test.make ~name:"eval_into writes exactly eval's delta" ~count:60
+    QCheck.(pair small_int (int_range 3 25))
+    (fun (seed, n_cells) ->
+      let h = random_hypergraph seed n_cells in
+      let rng = Netlist.Rng.create (seed + 4000) in
+      let st = Partition_state.create h ~init_on_b:(fun c -> c mod 3 = 0) in
+      let sc = Partition_state.make_scratch () in
+      let ok = ref true in
+      for _ = 1 to 40 do
+        let c = Netlist.Rng.int rng (Hypergraph.num_cells h) in
+        let m = random_mask rng (Partition_state.full_mask st c) in
+        let d = Partition_state.eval st c m in
+        Partition_state.eval_into st c m sc;
+        if
+          sc.Partition_state.sc_cut <> d.Partition_state.d_cut
+          || sc.Partition_state.sc_term_a <> d.Partition_state.d_term_a
+          || sc.Partition_state.sc_term_b <> d.Partition_state.d_term_b
+          || sc.Partition_state.sc_area_a <> d.Partition_state.d_area_a
+          || sc.Partition_state.sc_area_b <> d.Partition_state.d_area_b
+        then ok := false;
+        (* Occasionally commit so later iterations see varied states. *)
+        if Netlist.Rng.int rng 3 = 0 then ignore (Partition_state.apply st c m)
+      done;
+      !ok)
+
+let qcheck_changed_nets_exact =
+  QCheck.Test.make
+    ~name:"iter_changed_nets = nets whose side category crossed 0/1/2"
+    ~count:60
+    QCheck.(pair small_int (int_range 3 25))
+    (fun (seed, n_cells) ->
+      let h = random_hypergraph seed n_cells in
+      let rng = Netlist.Rng.create (seed + 5000) in
+      let st = Partition_state.create h ~init_on_b:(fun c -> c mod 2 = 1) in
+      let nn = h.Hypergraph.num_nets in
+      let cat side net = min (Partition_state.connections st side net) 2 in
+      let ok = ref true in
+      for _ = 1 to 40 do
+        let before =
+          Array.init nn (fun net ->
+              (cat Partition_state.A net, cat Partition_state.B net))
+        in
+        let c = Netlist.Rng.int rng (Hypergraph.num_cells h) in
+        let m = random_mask rng (Partition_state.full_mask st c) in
+        ignore (Partition_state.apply st c m);
+        let expected = ref [] in
+        for net = nn - 1 downto 0 do
+          if before.(net) <> (cat Partition_state.A net, cat Partition_state.B net)
+          then expected := net :: !expected
+        done;
+        let reported = ref [] in
+        Partition_state.iter_changed_nets st (fun net ->
+            reported := net :: !reported);
+        let raw = !reported in
+        let sorted = List.sort_uniq compare raw in
+        (* No duplicates in the report, exactly the category-crossing
+           nets, and num_changed_nets agrees. *)
+        if List.length raw <> List.length sorted then ok := false;
+        if sorted <> !expected then ok := false;
+        if Partition_state.num_changed_nets st <> List.length sorted then
+          ok := false
+      done;
+      !ok)
+
 (* Reconstruction of the paper's Fig. 4 worked example. The cell M has five
    inputs i1..i5 and two outputs X1, X2 with A_X1 = {i1,i3,i4,i5} and
    A_X2 = {i2}. i1 and i2 are driven from side B (cut, critical); i3..i5
@@ -481,5 +546,7 @@ let () =
           qc qcheck_induction_matches_terminals;
           qc qcheck_eval_predicts_apply;
           qc qcheck_apply_involution;
+          qc qcheck_eval_into_matches_eval;
+          qc qcheck_changed_nets_exact;
         ] );
     ]

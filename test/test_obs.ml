@@ -210,6 +210,12 @@ let test_scrub_elapsed_is_minimal () =
           Obs.Json.List
             [ Obs.Json.Obj [ ("t_secs", Obs.Json.Float 0.5); ("n", Obs.Json.Int 1) ] ]
         );
+        (* A wall-derived histogram: the whole value is masked, count
+           included — its buckets depend on timing too. *)
+        ( "fm.moves_per_sec",
+          Obs.Json.Obj [ ("count", Obs.Json.Int 4); ("p50", Obs.Json.Float 9.0) ]
+        );
+        ("per_second", Obs.Json.Float 2.0);
       ]
   in
   let expect =
@@ -222,9 +228,11 @@ let test_scrub_elapsed_is_minimal () =
           Obs.Json.List
             [ Obs.Json.Obj [ ("t_secs", Obs.Json.Null); ("n", Obs.Json.Int 1) ] ]
         );
+        ("fm.moves_per_sec", Obs.Json.Null);
+        ("per_second", Obs.Json.Float 2.0);
       ]
   in
-  checks "only _secs keys nulled, order kept"
+  checks "only _secs/_per_sec keys nulled, order kept"
     (Obs.Json.to_string expect)
     (Obs.Json.to_string (Obs.Snapshot.scrub_elapsed j))
 
@@ -459,8 +467,13 @@ let test_kway_snapshot_deterministic () =
   checkb "has fm.pass events" true (List.mem "fm.pass" names);
   checkb "has device-window attempts" true (List.mem "kway.device_attempt" names);
   checkb "has split events" true (List.mem "kway.split" names);
-  (* The scrub really only touched elapsed keys: structure and every
-     non-_secs leaf agree between the scrubbed and raw documents. *)
+  (* The scrub really only touched wall-derived keys: structure and every
+     non-_secs/_per_sec leaf agree between the scrubbed and raw
+     documents. *)
+  let ends_with k suf =
+    let n = String.length k and m = String.length suf in
+    n >= m && String.sub k (n - m) m = suf
+  in
   let rec agrees raw scrubbed =
     match (raw, scrubbed) with
     | Obs.Json.Obj ra, Obs.Json.Obj sa ->
@@ -469,8 +482,7 @@ let test_kway_snapshot_deterministic () =
              (fun (kr, vr) (ks, vs) ->
                kr = ks
                &&
-               let n = String.length kr in
-               if n >= 5 && String.sub kr (n - 5) 5 = "_secs" then
+               if ends_with kr "_secs" || ends_with kr "_per_sec" then
                  vs = Obs.Json.Null
                else agrees vr vs)
              ra sa
@@ -479,7 +491,7 @@ let test_kway_snapshot_deterministic () =
     | r, s -> r = s
   in
   let raw = Obs.Snapshot.to_json snap_a in
-  checkb "scrub touches only _secs keys" true
+  checkb "scrub touches only _secs/_per_sec keys" true
     (agrees raw (Obs.Snapshot.scrub_elapsed raw))
 
 (* ------------------------------------------------------------------ *)

@@ -428,6 +428,43 @@ let test_server_survives_garbage () =
       checkb "bad requests counted" true
         (counter stats "service.bad_requests" >= 2))
 
+(* A job big enough to need a real multi-device split rolls its F-M
+   telemetry up into the service-wide throughput metrics: applied ops and
+   rescored cells as counters, and one moves/sec observation per job in
+   the service.fm_moves_per_sec histogram (wall-derived, hence the
+   _per_sec suffix that the determinism scrub masks). *)
+let test_server_throughput_metrics () =
+  with_server (fun path ->
+      let text =
+        Netlist.Bench_format.to_string
+          (Netlist.Generator.multiplier ~bits:16 ())
+      in
+      let r = rpc_ok path (submit_req ~runs:1 "mult16" text) in
+      ignore
+        (rpc_ok path
+           (Service.Protocol.Result { job = int_field "job" r; wait = true }));
+      let stats =
+        match J.member "stats" (rpc_ok path Service.Protocol.Stats) with
+        | Some s -> s
+        | None -> Alcotest.fail "no stats"
+      in
+      checkb "fm ops rolled up" true
+        (counter stats "service.fm_applied_ops" > 0);
+      checkb "rescored cells rolled up" true
+        (counter stats "service.fm_rescored_cells" > 0);
+      let hist_count name =
+        match
+          Option.bind (J.member "obs" stats) (fun obs ->
+              Option.bind (J.member "histograms" obs) (fun hs ->
+                  Option.bind (J.member name hs) (fun h ->
+                      Option.bind (J.member "count" h) J.to_int)))
+        with
+        | Some n -> n
+        | None -> 0
+      in
+      checki "one moves/sec observation per executed job" 1
+        (hist_count "service.fm_moves_per_sec"))
+
 let test_server_shutdown_refuses_new_work () =
   with_server (fun path ->
       (* Keep the executor busy so the drain cannot finish under us:
@@ -499,6 +536,8 @@ let () =
           Alcotest.test_case "timeout" `Quick test_server_timeout;
           Alcotest.test_case "survives garbage" `Quick
             test_server_survives_garbage;
+          Alcotest.test_case "throughput metrics" `Quick
+            test_server_throughput_metrics;
           Alcotest.test_case "shutdown refuses new work" `Quick
             test_server_shutdown_refuses_new_work;
         ] );

@@ -2,7 +2,7 @@
 # Telemetry acceptance gate: generate a stats document with
 # `fpgapart partition --stats-json` on a genuinely multi-device circuit
 # and fail if the JSON schema keys drift, the determinism contract
-# (same seed => byte-identical modulo *_secs fields) breaks, or the
+# (same seed => byte-identical modulo *_secs/*_per_sec fields) breaks, or the
 # parallel search leaks into the telemetry (--jobs 4 must scrub to the
 # same bytes as --jobs 1 — even with --trace enabled, since the trace is
 # a separate artifact that must never leak into the stats document).
@@ -24,12 +24,14 @@ run() {
 
 run "$tmpdir/a.json"
 
-# Every key the README documents as schema v3 must be present, including
+# Every key the README documents as schema v4 must be present, including
 # the per-pass F-M event fields, the per-split device-window attempts,
-# the split wall/CPU timing of the result, and the v3 histograms (name ->
-# {count; sum; buckets}) of F-M gains and bucket-scan lengths.
+# the split wall/CPU timing of the result, the v3 histograms (name ->
+# {count; sum; buckets}) of F-M gains and bucket-scan lengths, and the
+# v4 incremental-rescoring telemetry (fm.rescored_cells counter,
+# fm.moves_per_sec rate histogram).
 for key in \
-  '"schema_version": 3' '"circuit"' '"seed"' '"options"' '"result"' \
+  '"schema_version": 4' '"circuit"' '"seed"' '"options"' '"result"' \
   '"obs"' '"counters"' '"timers"' '"events"' \
   '"parts"' '"wall_secs"' '"cpu_secs"' \
   '"event": "fm.pass"' '"event": "kway.device_attempt"' \
@@ -37,7 +39,8 @@ for key in \
   '"pass"' '"applied"' '"rolled_back"' '"repl_attempted"' '"repl_accepted"' \
   '"cut"' '"terminals"' '"improved"' '"feasible"' '"span"' \
   '"fm.passes"' '"kway.device_attempts"' '"kway.splits"' \
-  '"histograms"' '"fm.gain"' '"fm.scan_len"' \
+  '"fm.rescored_cells"' \
+  '"histograms"' '"fm.gain"' '"fm.scan_len"' '"fm.moves_per_sec"' \
   '"kway.attempt_cut"' '"kway.split_cut"' \
   '"count"' '"sum"' '"buckets"'
 do
@@ -47,7 +50,7 @@ do
   fi
 done
 
-# Schema v3 deliberately omits jobs from the options object: the scrubbed
+# Schema v4 deliberately omits jobs from the options object: the scrubbed
 # document must be independent of the --jobs setting.
 if grep -qF '"jobs"' "$tmpdir/a.json"; then
   echo "schema check: options must not record jobs (breaks the jobs-independence diff)" >&2
@@ -65,20 +68,22 @@ fi
 run "$tmpdir/b.json"
 run "$tmpdir/j4.json" --jobs 4 --trace "$tmpdir/j4.trace.json"
 
-# The only permitted nondeterminism is elapsed time, and every such field
-# ends in _secs. Null them out and require byte identity.
+# The only permitted nondeterminism is wall-derived: *_secs fields and
+# (since v4) *_per_sec rate histograms, whose values span multiple
+# pretty-printed lines — so the scrub parses the JSON instead of
+# pattern-matching lines, mirroring Obs.Snapshot.scrub_elapsed exactly.
 scrub() {
-  sed -e 's|"\([A-Za-z0-9_/.-]*_secs\)": [-+eE0-9.]*|"\1": null|g' "$1"
+  python3 tools/scrub_stats.py "$1"
 }
 scrub "$tmpdir/a.json" > "$tmpdir/a.scrubbed"
 scrub "$tmpdir/b.json" > "$tmpdir/b.scrubbed"
 scrub "$tmpdir/j4.json" > "$tmpdir/j4.scrubbed"
 if ! cmp -s "$tmpdir/a.scrubbed" "$tmpdir/b.scrubbed"; then
-  echo "schema check: same-seed runs differ beyond *_secs fields" >&2
+  echo "schema check: same-seed runs differ beyond *_secs/*_per_sec fields" >&2
   exit 1
 fi
 if ! cmp -s "$tmpdir/a.scrubbed" "$tmpdir/j4.scrubbed"; then
-  echo "schema check: --jobs 4 --trace telemetry differs from --jobs 1 beyond *_secs fields" >&2
+  echo "schema check: --jobs 4 --trace telemetry differs from --jobs 1 beyond *_secs/*_per_sec fields" >&2
   exit 1
 fi
 

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Determinism scrub for fpgapart stats JSON, printed to stdout.
+
+Mirrors Obs.Snapshot.scrub_elapsed: every object field whose key ends in
+``_secs`` or ``_per_sec`` is replaced by null, recursively, and nothing
+else changes. A ``_per_sec``-named histogram is masked whole — its
+count, sum and buckets are all wall-derived. Output is canonical
+(sorted-key-free, stable separators) so two scrubbed documents can be
+compared with cmp/diff.
+
+Usage: scrub_stats.py FILE
+"""
+import json
+import sys
+
+WALL_SUFFIXES = ("_secs", "_per_sec")
+
+
+def scrub(node):
+    if isinstance(node, dict):
+        return {
+            k: (None if k.endswith(WALL_SUFFIXES) else scrub(v))
+            for k, v in node.items()
+        }
+    if isinstance(node, list):
+        return [scrub(v) for v in node]
+    return node
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.stderr.write(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+    json.dump(scrub(doc), sys.stdout, indent=1)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
