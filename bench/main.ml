@@ -226,6 +226,38 @@ let partition_stats () =
         prerr_endline ("bench: " ^ msg);
         doc
   in
+  (* The incremental-repartitioning (ECO) measurement rides along too:
+     cold vs warm wall-clock and cost on a seeded 1%-edit of the hotloop
+     circuit — the artifact behind the resubmit speedup gate. *)
+  let doc =
+    let name = !hotloop_circuit in
+    match Experiments.Suite.find name with
+    | None -> doc
+    | Some e -> (
+        progress "resubmit: %s, seed %d, 1%% edit (cold vs warm)..." name
+          !seed;
+        let options = Core.Kway.Options.make ~runs:!kway_runs ~seed:1 () in
+        match Experiments.Eco.run ~options ~seed:!seed ~frac:0.01 e with
+        | Error msg ->
+            prerr_endline ("bench: resubmit: " ^ msg);
+            doc
+        | Ok report -> (
+            let row = Experiments.Eco.to_json report in
+            Format.printf
+              "resubmit %s: cold %.2fs / warm %.2fs (%.1fx), cost %.0f -> \
+               %.0f (ratio %.3f), dirty %d/%d@."
+              name report.Experiments.Eco.cold_wall_secs
+              report.Experiments.Eco.warm_wall_secs
+              report.Experiments.Eco.speedup report.Experiments.Eco.cold_cost
+              report.Experiments.Eco.warm_cost
+              report.Experiments.Eco.cost_ratio
+              report.Experiments.Eco.dirty_cells
+              report.Experiments.Eco.edited_cells;
+            match doc with
+            | Obs.Json.Obj fields ->
+                Obs.Json.Obj (fields @ [ ("resubmit", row) ])
+            | other -> other))
+  in
   Experiments.Obs_report.write ~path:"BENCH_partition.json" doc;
   (match speedups with
   | [] -> ()

@@ -569,6 +569,187 @@ let submit_cmd =
       const run $ socket_arg $ bench_arg $ circuit_arg $ seed_arg
       $ threshold_arg $ runs_arg $ no_wait_arg)
 
+let perturb_cmd =
+  let doc =
+    "Generate a seeded pseudo-random ECO delta for a circuit and write \
+     the delta (JSON, for $(b,fpgapart resubmit)) and/or the edited \
+     netlist (for a cold run of the same edit)."
+  in
+  let frac_arg =
+    Arg.(
+      value & opt float 0.01
+      & info [ "frac" ] ~docv:"F"
+          ~doc:"Edit roughly F of the circuit's nodes (default 0.01).")
+  in
+  let delta_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "delta-out" ] ~docv:"FILE"
+          ~doc:"Write the delta as JSON ({\"ops\": [...]}).")
+  in
+  let edited_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "edited-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the edited circuit as a netlist (format from the \
+             extension).")
+  in
+  let run bench builtin seed frac delta_out edited_out =
+    let c = or_die (load_circuit bench builtin) in
+    let delta = Netlist.Delta.random ~seed ~frac c in
+    let edited =
+      or_die
+        (Result.map_error Netlist.Delta.error_to_string
+           (Netlist.Delta.apply c delta))
+    in
+    (match delta_out with
+    | None -> ()
+    | Some path ->
+        Obs.Json.write_file ~path (Service.Protocol.delta_to_json delta));
+    (match edited_out with
+    | None -> ()
+    | Some path -> or_die (write_netlist path edited));
+    Format.printf "%d ops (seed %d, frac %g): %a@." (List.length delta) seed
+      frac Netlist.Circuit.pp_summary edited
+  in
+  Cmd.v (Cmd.info "perturb" ~doc)
+    Term.(
+      const run $ bench_arg $ circuit_arg $ seed_arg $ frac_arg
+      $ delta_out_arg $ edited_out_arg)
+
+let resubmit_cmd =
+  let doc =
+    "Resubmit an edited design to a running daemon: apply a delta (see \
+     $(b,fpgapart perturb)) to a finished base job's circuit and \
+     repartition incrementally, warm-started from the base's cached \
+     partition (cold fallback when the cache evicted it). The result \
+     document prints to stdout like $(b,fpgapart submit)."
+  in
+  let base_job_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "base-job" ] ~docv:"JOB" ~doc:"Base job id.")
+  in
+  let base_digest_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "base-digest" ] ~docv:"DIGEST"
+          ~doc:"Base content digest (the \"digest\" field of a reply).")
+  in
+  let delta_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "delta" ] ~docv:"FILE" ~doc:"Delta JSON file.")
+  in
+  let name_arg =
+    Arg.(
+      value & opt string "resubmit"
+      & info [ "name" ] ~docv:"NAME" ~doc:"Job name for the result document.")
+  in
+  let no_wait_arg =
+    Arg.(
+      value & flag
+      & info [ "no-wait" ]
+          ~doc:
+            "Print the bare job id on stdout and return instead of waiting \
+             for the result.")
+  in
+  let run socket base_job base_digest delta_file name no_wait =
+    let base =
+      match (base_job, base_digest) with
+      | Some id, None -> `Job id
+      | None, Some d -> `Digest d
+      | None, None ->
+          prerr_endline "fpgapart: need --base-job or --base-digest";
+          exit 1
+      | Some _, Some _ ->
+          prerr_endline
+            "fpgapart: --base-job and --base-digest are mutually exclusive";
+          exit 1
+    in
+    let delta =
+      let ic = open_in_bin delta_file in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match
+        Result.bind
+          (Obs.Json.of_string text)
+          Service.Protocol.delta_of_json
+      with
+      | Ok d -> d
+      | Error msg ->
+          prerr_endline ("fpgapart: " ^ delta_file ^ ": " ^ msg);
+          exit 1
+    in
+    let conn = or_die (Service.Client.connect socket) in
+    Fun.protect
+      ~finally:(fun () -> Service.Client.close conn)
+      (fun () ->
+        let rpc req =
+          match Service.Client.request conn req with
+          | Error msg -> Error msg
+          | Ok reply -> (
+              match Service.Client.ok_or_error reply with
+              | Ok reply -> Ok reply
+              | Error (code, msg) ->
+                  Error (Printf.sprintf "%s [%s]" msg code))
+        in
+        let reply =
+          or_die
+            (rpc
+               (Service.Protocol.Resubmit { name; base; delta; options = None }))
+        in
+        let job =
+          match
+            Option.bind (Obs.Json.member "job" reply) Obs.Json.to_int
+          with
+          | Some id -> id
+          | None ->
+              prerr_endline "fpgapart: malformed reply (no job id)";
+              exit 1
+        in
+        let flag f =
+          Option.value ~default:false
+            (Option.bind (Obs.Json.member f reply) Obs.Json.to_bool)
+        in
+        if flag "cold_fallback" then
+          Format.eprintf "job %d: base context evicted; running cold@." job;
+        if flag "cached" then (
+          Format.eprintf "job %d: cache hit@." job;
+          match Obs.Json.member "result" reply with
+          | Some doc -> print_endline (Obs.Json.to_string doc)
+          | None ->
+              prerr_endline "fpgapart: malformed reply (no result)";
+              exit 1)
+        else if no_wait then (
+          Format.eprintf "job %d queued@." job;
+          Format.printf "%d@." job)
+        else (
+          Format.eprintf "job %d queued; waiting@." job;
+          let reply =
+            or_die (rpc (Service.Protocol.Result { job; wait = true }))
+          in
+          match Obs.Json.member "result" reply with
+          | Some doc -> print_endline (Obs.Json.to_string doc)
+          | None ->
+              prerr_endline "fpgapart: malformed reply (no result)";
+              exit 1))
+  in
+  Cmd.v
+    (Cmd.info "resubmit" ~doc)
+    Term.(
+      const run $ socket_arg $ base_job_arg $ base_digest_arg $ delta_arg
+      $ name_arg $ no_wait_arg)
+
 let svc_stats_cmd =
   let doc =
     "Print a running daemon's counters, queue depth and cache state as \
@@ -620,7 +801,8 @@ let main =
     [
       list_cmd; stats_cmd; map_cmd; psi_cmd; bipartition_cmd; partition_cmd;
       convert_cmd; generate_cmd; optimize_cmd; timing_cmd; serve_cmd;
-      submit_cmd; svc_stats_cmd; svc_cancel_cmd; svc_shutdown_cmd;
+      submit_cmd; perturb_cmd; resubmit_cmd; svc_stats_cmd; svc_cancel_cmd;
+      svc_shutdown_cmd;
     ]
 
 let () = exit (Cmd.eval main)

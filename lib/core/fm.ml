@@ -11,6 +11,8 @@ type score = int * int * int
 
 let never_stop () = false
 
+let every_cell _ = true
+
 type config = {
   objective : objective;
   replication : [ `None | `Functional of int ];
@@ -20,6 +22,7 @@ type config = {
   should_stop : unit -> bool;
   gain_mode : [ `Eager | `Lazy ];
   oracle : bool;
+  active : int -> bool;
 }
 
 module Config = struct
@@ -27,7 +30,7 @@ module Config = struct
 
   let make ?(objective = Cut) ?(replication = `None) ?(max_passes = 12)
       ?(should_stop = never_stop) ?(gain_mode = `Eager) ?(oracle = false)
-      ~area_ok ~score () =
+      ?(active = every_cell) ~area_ok ~score () =
     if max_passes <= 0 then
       invalid_arg
         (Printf.sprintf "Fm.Config.make: max_passes must be positive (got %d)"
@@ -41,6 +44,7 @@ module Config = struct
       should_stop;
       gain_mode;
       oracle;
+      active;
     }
 end
 
@@ -93,9 +97,10 @@ let device_config ?(objective = Cut) ?(replication = `None) ?(max_passes = 12)
     ()
 
 let two_device_config ?(objective = Terminals) ?(replication = `None)
-    ?(max_passes = 12) ?(should_stop = never_stop) ~bounds_a ~bounds_b () =
+    ?(max_passes = 12) ?(should_stop = never_stop) ?(active = every_cell)
+    ~bounds_a ~bounds_b () =
   let slack bounds = bounds.max_clbs + (bounds.max_clbs / 4) + 1 in
-  Config.make ~objective ~replication ~max_passes ~should_stop
+  Config.make ~objective ~replication ~max_passes ~should_stop ~active
     ~area_ok:(fun a b -> a <= slack bounds_a && b <= slack bounds_b)
     ~score:(fun st ->
       let a = Partition_state.area st Partition_state.A in
@@ -320,8 +325,17 @@ let run ?(obs = Obs.noop) cfg st =
     Bucket.clear bucket;
     Array.fill locked 0 n false;
     if lazy_gains then Array.fill dirty 0 n false;
+    (* Inactive cells are pre-locked: they never enter the bucket, are
+       never rescored (pass initialisation included) and never move, so a
+       warm start pays per pass only for the blast radius it declared.
+       With the default predicate the branch is always taken and the pass
+       is byte-identical to the unrestricted engine. *)
     for cell = 0 to n - 1 do
-      rescore cell
+      if cfg.active cell then rescore cell
+      else begin
+        locked.(cell) <- true;
+        op_mask.(cell) <- -1
+      end
     done;
     let trail_len = ref 0 in
     let repl_attempted = ref 0 in

@@ -75,6 +75,16 @@ type config = {
           process-wide by the environment variable [FPGAPART_FM_ORACLE=1].
           Meaningful with [`Eager] gains (lazy-dirty cells are stale by
           design and skipped). *)
+  active : int -> bool;
+      (** Move eligibility per cell. Cells for which it returns [false]
+          are pre-locked at the start of every pass: never rescored, never
+          bucketed, never moved — they participate only as fixed context.
+          The warm-start path points this at the edit's dirty-cell set so
+          an incremental pass costs O(blast radius), not O(cells). The
+          default accepts every cell and is provably inert: the pre-lock
+          branch is never taken and the pass sequence is byte-identical to
+          the unrestricted engine (the oracle identity gate in
+          [tools/check_perf.sh] enforces exactly this). *)
 }
 (** @deprecated Constructing this record literally is deprecated — new
     knobs would break literal builders. Use {!Config.make} or one of the
@@ -93,13 +103,14 @@ module Config : sig
     ?should_stop:(unit -> bool) ->
     ?gain_mode:[ `Eager | `Lazy ] ->
     ?oracle:bool ->
+    ?active:(int -> bool) ->
     area_ok:(int -> int -> bool) ->
     score:(Partition_state.t -> score) ->
     unit ->
     t
   (** Defaults: [Cut], [`None], 12 passes, never stop, [`Eager] gains, no
-      oracle. [area_ok] and [score] have no meaningful default — pick a
-      scenario builder if you don't want to write them.
+      oracle, every cell active. [area_ok] and [score] have no meaningful
+      default — pick a scenario builder if you don't want to write them.
 
       Raises [Invalid_argument] on a non-positive [max_passes]: a budget
       of zero passes silently degrades every caller to "return the initial
@@ -144,6 +155,7 @@ val two_device_config :
   ?replication:[ `None | `Functional of int ] ->
   ?max_passes:int ->
   ?should_stop:(unit -> bool) ->
+  ?active:(int -> bool) ->
   bounds_a:device_bounds ->
   bounds_b:device_bounds ->
   unit ->
@@ -151,7 +163,9 @@ val two_device_config :
 (** Pairwise refinement between two already-assigned devices: both sides
     must stay inside their device windows. Defaults the objective to
     [Terminals] — with the devices fixed, total IOB usage is exactly what
-    eq. (2) charges for the pair. *)
+    eq. (2) charges for the pair. [active] restricts the movable cells
+    (see the {!config} field); the warm-start refinement passes the dirty
+    predicate here. *)
 
 val run : ?obs:Obs.t -> config -> Partition_state.t -> score
 (** Improve the state in place until a pass brings no improvement (or

@@ -338,8 +338,11 @@ let run_once ~library ~opts ~attempt_jobs ~rng ~obs hg =
 (* Re-bipartition the union of two finished parts under both device
    windows, optimising total terminal usage (eq. 2 restricted to the
    pair). Cells of other parts appear as external context, so their IOB
-   counts cannot change. Returns the improved pair or [None]. *)
-let refine_pair ~opts ~obs hg library (pi : part) (pj : part) =
+   counts cannot change. [active] (original-cell coordinates) restricts
+   which cells may move — the warm-start path passes the edit's dirty set
+   so refinement costs O(blast radius). Returns the improved pair or
+   [None]. *)
+let refine_pair ~opts ~obs ?active hg library (pi : part) (pj : part) =
   let masks_of p =
     let tbl = Hashtbl.create 64 in
     List.iter (fun (c, m) -> Hashtbl.replace tbl c m) p.members;
@@ -381,9 +384,12 @@ let refine_pair ~opts ~obs hg library (pi : part) (pj : part) =
       max_terminals = p.device.Fpga.Device.terminals;
     }
   in
+  let sub_active =
+    Option.map (fun act k -> act (fst spec_arr.(k))) active
+  in
   let cfg =
     Fm.two_device_config ~replication:opts.replication
-      ~max_passes:opts.max_passes ~should_stop:opts.should_stop
+      ~max_passes:opts.max_passes ~should_stop:opts.should_stop ?active:sub_active
       ~bounds_a:(bounds pi) ~bounds_b:(bounds pj) ()
   in
   let s0 = cfg.Fm.score st in
@@ -419,12 +425,29 @@ let refine_pair ~opts ~obs hg library (pi : part) (pj : part) =
   end
 
 (* Refinement driver: repeatedly sweep the part pairs that share nets,
-   most-connected first. *)
-let refine ~opts ~obs hg library parts =
+   most-connected first. With [dirty], only nets touching a dirty cell
+   count towards pair selection (pairs coupled solely through clean nets
+   have nothing movable between them) and only dirty cells may move. *)
+let refine ~opts ~obs ?dirty hg library parts =
   let parts = Array.of_list parts in
   let k = Array.length parts in
   if k < 2 then Array.to_list parts
   else begin
+    let net_counts =
+      match dirty with
+      | None -> None
+      | Some d ->
+          let dn = Array.make hg.Hypergraph.num_nets false in
+          Array.iteri
+            (fun c is_dirty ->
+              if is_dirty then
+                Array.iter
+                  (fun n -> dn.(n) <- true)
+                  (Hypergraph.cell_nets (Hypergraph.cell hg c)))
+            d;
+          Some dn
+    in
+    let active = Option.map (fun d c -> d.(c)) dirty in
     for round = 1 to opts.refine_rounds do
       (* Shared-net counts per pair. *)
       let touch = Array.make hg.Hypergraph.num_nets [] in
@@ -434,9 +457,14 @@ let refine ~opts ~obs hg library parts =
             (fun (c, m) ->
               Array.iter
                 (fun n ->
-                  match touch.(n) with
-                  | x :: _ when x = j -> ()
-                  | l -> touch.(n) <- j :: l)
+                  if
+                    match net_counts with
+                    | None -> true
+                    | Some dn -> dn.(n)
+                  then
+                    match touch.(n) with
+                    | x :: _ when x = j -> ()
+                    | l -> touch.(n) <- j :: l)
                 (Hypergraph.connected_nets (Hypergraph.cell hg c) ~out_mask:m))
             p.members)
         parts;
@@ -469,7 +497,9 @@ let refine ~opts ~obs hg library parts =
             (fun (i, j) ->
               if opts.should_stop () then ()
               else
-              match refine_pair ~opts ~obs hg library parts.(i) parts.(j) with
+              match
+                refine_pair ~opts ~obs ?active hg library parts.(i) parts.(j)
+              with
               | Some (pi, pj, t_before, t_after) ->
                   parts.(i) <- pi;
                   parts.(j) <- pj;
@@ -634,6 +664,201 @@ let partition ?(obs = Obs.noop) ?(options = Options.default) ~library hg =
           runs = options.runs;
           feasible_runs = !feasible;
         }
+
+(* ------------------------------------------------------------------ *)
+(* Warm start (incremental repartitioning)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Flatten a finished partition to one label per cell, for projection
+   onto an edited hypergraph. A replicated cell appears in several parts;
+   its label is the part driving the most outputs (first such part at
+   ties), and the cell is flagged so the caller can mark it dirty — the
+   warm start then re-decides its replication instead of trusting a
+   single inherited label. *)
+let labels_of_parts hg parts =
+  let n = Hypergraph.num_cells hg in
+  let labels = Array.make n (-1) in
+  let best_norm = Array.make n (-1) in
+  let appearances = Array.make n 0 in
+  List.iteri
+    (fun j p ->
+      List.iter
+        (fun (c, m) ->
+          appearances.(c) <- appearances.(c) + 1;
+          let norm = Bitvec.norm m in
+          if norm > best_norm.(c) then begin
+            best_norm.(c) <- norm;
+            labels.(c) <- j
+          end)
+        p.members)
+    parts;
+  (labels, Array.map (fun k -> k > 1) appearances)
+
+type warm = {
+  w_labels : int array;
+  w_dirty : bool array;
+  w_devices : Fpga.Device.t array;
+}
+
+let warm_start ?(obs = Obs.noop) ?(options = Options.default) ~library ~warm hg
+    =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let w0 = Obs.Clock.wall () in
+  let t0 = Obs.Clock.cpu () in
+  let n = Hypergraph.num_cells hg in
+  let k = Array.length warm.w_devices in
+  if Array.length warm.w_labels <> n then
+    err "Kway.warm_start: labels cover %d cells, hypergraph has %d"
+      (Array.length warm.w_labels) n
+  else if Array.length warm.w_dirty <> n then
+    err "Kway.warm_start: dirty flags cover %d cells, hypergraph has %d"
+      (Array.length warm.w_dirty) n
+  else if k = 0 then err "Kway.warm_start: empty device array"
+  else if Array.exists (fun l -> l >= k) warm.w_labels then
+    err "Kway.warm_start: label out of range (only %d devices)" k
+  else begin
+    let labels = Array.copy warm.w_labels in
+    let dirty = Array.copy warm.w_dirty in
+    (* Part presence per net and per-part areas, maintained as cells are
+       placed. Presence lists are kept duplicate-free ([k] is tiny). *)
+    let parts_on_net = Array.make hg.Hypergraph.num_nets [] in
+    let clbs = Array.make k 0 in
+    let note_cell c p =
+      clbs.(p) <- clbs.(p) + (Hypergraph.cell hg c).Hypergraph.area;
+      Array.iter
+        (fun nt ->
+          if not (List.mem p parts_on_net.(nt)) then
+            parts_on_net.(nt) <- p :: parts_on_net.(nt))
+        (Hypergraph.cell_nets (Hypergraph.cell hg c))
+    in
+    for c = 0 to n - 1 do
+      if labels.(c) >= 0 then note_cell c labels.(c)
+    done;
+    (* Seed cells with no inherited label (new cells of the edit) where
+       their connectivity pulls them: most incident nets already present,
+       ties broken towards parts with capacity headroom, then towards the
+       emptier part. Greedy in ascending id — deterministic, and the
+       dirty-restricted refinement below cleans up any misplacement. *)
+    let seeded = ref 0 in
+    for c = 0 to n - 1 do
+      if labels.(c) < 0 then begin
+        let affinity = Array.make k 0 in
+        Array.iter
+          (fun nt ->
+            List.iter
+              (fun p -> affinity.(p) <- affinity.(p) + 1)
+              parts_on_net.(nt))
+          (Hypergraph.cell_nets (Hypergraph.cell hg c));
+        let area = (Hypergraph.cell hg c).Hypergraph.area in
+        let best = ref 0 in
+        let best_key = ref (min_int, min_int, min_int) in
+        for p = 0 to k - 1 do
+          let fits =
+            if clbs.(p) + area <= Fpga.Device.max_clbs warm.w_devices.(p) then 1
+            else 0
+          in
+          let key = (affinity.(p), fits, -clbs.(p)) in
+          if key > !best_key then begin
+            best_key := key;
+            best := p
+          end
+        done;
+        labels.(c) <- !best;
+        dirty.(c) <- true;
+        note_cell c !best;
+        incr seeded
+      end
+    done;
+    (* Materialise parts. The warm start carries no replication: every
+       cell sits whole in its labelled part (a replicated base cell was
+       collapsed by labels_of_parts and marked dirty, so refinement may
+       reintroduce copies where they pay). *)
+    let members = Array.make k [] in
+    for c = n - 1 downto 0 do
+      let full =
+        Bitvec.full (Array.length (Hypergraph.cell hg c).Hypergraph.outputs)
+      in
+      members.(labels.(c)) <- (c, full) :: members.(labels.(c))
+    done;
+    let iobs = Array.make k 0 in
+    Array.iteri
+      (fun nt touchers ->
+        List.iter
+          (fun j ->
+            let outside =
+              hg.Hypergraph.net_external.(nt)
+              || List.exists (fun q -> q <> j) touchers
+            in
+            if outside then iobs.(j) <- iobs.(j) + 1)
+          touchers)
+      parts_on_net;
+    let rec build p acc =
+      if p < 0 then Ok acc
+      else if members.(p) = [] then build (p - 1) acc
+      else
+        let cl = clbs.(p) and io = iobs.(p) in
+        let dev =
+          if
+            Fpga.Device.fits ~relax_low:true warm.w_devices.(p) ~clbs:cl
+              ~iobs:io
+          then Some warm.w_devices.(p)
+          else Fpga.Library.smallest_fitting ~relax_low:true library ~clbs:cl
+              ~iobs:io
+        in
+        match dev with
+        | None ->
+            err "warm start: no device accepts part %d (%d CLBs / %d IOBs)" p
+              cl io
+        | Some device ->
+            build (p - 1)
+              ({ device; members = members.(p); clbs = cl; iobs = io } :: acc)
+    in
+    match build (k - 1) [] with
+    | Error _ as e -> e
+    | Ok parts ->
+        let dirty_cells =
+          Array.fold_left (fun a d -> if d then a + 1 else a) 0 dirty
+        in
+        (* Refine only inside the edit's blast radius: at least one round
+           even when the options say zero, since refinement is the entire
+           optimisation a warm start performs. *)
+        let opts =
+          { options with refine_rounds = max 1 options.refine_rounds }
+        in
+        let parts =
+          Obs.span obs "warm" (fun () ->
+              refine ~opts ~obs ~dirty hg library parts)
+        in
+        let summary, replicated, total = summarize_parts hg parts in
+        if Obs.enabled obs then begin
+          Obs.incr obs "kway.warm_starts";
+          Obs.observe obs "kway.warm_seeded_cells" !seeded;
+          Obs.observe obs "kway.warm_dirty_cells" dirty_cells;
+          Obs.event obs "kway.warm"
+            [
+              ("seeded", Obs.Json.Int !seeded);
+              ("dirty", Obs.Json.Int dirty_cells);
+              ("parts", Obs.Json.Int summary.Fpga.Cost.num_partitions);
+              ("total_cost", Obs.Json.Float summary.Fpga.Cost.total_cost);
+              ("total_iobs", Obs.Json.Int summary.Fpga.Cost.total_iobs);
+            ]
+        end;
+        let wall_secs = Obs.Clock.wall () -. w0 in
+        let cpu_secs = Obs.Clock.cpu () -. t0 in
+        if options.should_stop () then Error cancelled
+        else
+          Ok
+            {
+              parts;
+              summary;
+              replicated_cells = replicated;
+              total_cells = total;
+              wall_secs;
+              cpu_secs;
+              runs = 1;
+              feasible_runs = 1;
+            }
+  end
 
 let check hg result =
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in

@@ -147,6 +147,59 @@ val partition :
     domain that executed it — lanes shape the trace only, never the
     scrubbed stats. *)
 
+val labels_of_parts : Hypergraph.t -> part list -> int array * bool array
+(** Flatten a finished partition to per-cell form for projection onto an
+    edited hypergraph: [(labels, replicated)] where [labels.(c)] is the
+    index (within the given part list) of the part driving most of cell
+    [c]'s outputs (first such part at ties) and [replicated.(c)] is true
+    when the cell appears in more than one part. Callers feed [replicated]
+    into the projection's [base_dirty] so the warm start re-decides those
+    cells' replication rather than trusting a single collapsed label. *)
+
+type warm = {
+  w_labels : int array;
+      (** per-cell part index into [w_devices], or [-1] for a cell the
+          warm start must seed (typically a cell added by the edit) *)
+  w_dirty : bool array;
+      (** per-cell: inside the edit's blast radius — only these cells may
+          move during warm refinement (see {!Projection.project}) *)
+  w_devices : Fpga.Device.t array;
+      (** the base partition's devices, in label order *)
+}
+(** A warm-start seed: the base partition projected onto the edited
+    hypergraph (see [Projection.project] in the hypergraph library). *)
+
+val warm_start :
+  ?obs:Obs.t ->
+  ?options:options ->
+  library:Fpga.Library.t ->
+  warm:warm ->
+  Hypergraph.t ->
+  (result, string) Stdlib.result
+(** Incremental repartitioning: rebuild a k-way partition of the (edited)
+    hypergraph from a projected base partition instead of from scratch.
+    Unlabelled cells are seeded greedily onto the part with the most
+    incident-net affinity (ties towards capacity headroom, then the
+    emptier part) and marked dirty; parts keep their base device when it
+    still fits ([relax_low], as {!check} allows) and otherwise take the
+    cheapest fitting device; then pairwise refinement runs restricted to
+    the dirty set — only pairs sharing a dirty net are swept and only
+    dirty cells may move (clean cells are pre-locked via {!Fm.config}'s
+    [active]), so the whole call costs O(blast radius), not O(circuit).
+    At least one refinement round runs even when [options.refine_rounds]
+    is [0], since refinement is the only optimisation a warm start
+    performs. The result has [runs = feasible_runs = 1].
+
+    [Error] when the seed is malformed (label out of range, length
+    mismatch, no devices), when some part no longer fits any library
+    device, or when [options.should_stop] fired ({!cancelled}) — callers
+    (the service daemon) fall back to a cold {!partition} run.
+
+    With a collecting [obs], the refinement telemetry lands under a span
+    named ["warm"], counter ["kway.warm_starts"] increments, histograms
+    ["kway.warm_seeded_cells"] / ["kway.warm_dirty_cells"] record the
+    seed's shape, and one ["kway.warm"] event summarises the call. *)
+
 val check : Hypergraph.t -> result -> (unit, string) Stdlib.result
 (** Soundness of a result: every output of every original cell is driven
     by exactly one part (masks partition each cell's outputs), every part

@@ -1,0 +1,49 @@
+(** Cold-versus-warm ECO experiment: the bench artifact behind the
+    incremental-repartitioning ("resubmit") gate.
+
+    One trial perturbs a suite circuit with a seeded random delta
+    ({!Netlist.Delta.random}), partitions the edited circuit from scratch
+    (cold), then rebuilds the same partition by projecting the base
+    circuit's partition onto the edit and warm-starting
+    ({!Core.Kway.warm_start}). The report records both wall-clocks, both
+    costs, and the projection's shape — the tooling asserts the speedup
+    and cost-ratio envelopes (ISSUE 6: ≥10x faster, within ε of the cold
+    cost on a 1%-edit of s38584). *)
+
+type report = {
+  circuit : string;
+  seed : int;
+  frac : float;
+  edits : int;  (** delta operations applied *)
+  base_cells : int;  (** mapped CLBs of the base circuit *)
+  edited_cells : int;  (** mapped CLBs of the edited circuit *)
+  dirty_cells : int;  (** projection blast radius, edited coordinates *)
+  seeded_cells : int;  (** edited cells with no base counterpart *)
+  changed_nets : int;
+  cold_wall_secs : float;
+  warm_wall_secs : float;
+  speedup : float;  (** [cold_wall_secs /. warm_wall_secs] *)
+  cold_cost : float;
+  warm_cost : float;
+  cost_ratio : float;  (** [warm_cost /. cold_cost] *)
+  warm_feasible : bool;
+      (** warm result passed {!Core.Kway.check} (the run aborts loudly
+          otherwise, so this is always [true] in a report that exists;
+          kept in the schema for the artifact reader) *)
+}
+
+val run :
+  ?options:Core.Kway.options ->
+  ?library:Fpga.Library.t ->
+  ?seed:int ->
+  ?frac:float ->
+  Suite.entry ->
+  (report, string) result
+(** Run one trial on a suite entry. [seed] (default 7) drives the delta;
+    [frac] (default 0.01) is the edit rate as a fraction of the base
+    cell count; [options] applies to both the cold and the warm run
+    (default {!Core.Kway.Options.default}). [Error] when the delta fails
+    to apply, either partition fails, or the warm result is unsound. *)
+
+val to_json : report -> Obs.Json.t
+(** Stable object for the BENCH_partition.json ["resubmit"] field. *)

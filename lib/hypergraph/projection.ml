@@ -1,0 +1,109 @@
+type t = {
+  labels : int array;
+  dirty : bool array;
+  matched : int;
+  added : int;
+  dropped : int;
+  changed_nets : int;
+}
+
+(* A net's identity for change detection: the sorted names of its incident
+   cells plus the external flag. Any membership or visibility change of
+   the net shows up here, and a cell whose incident nets all carry
+   unchanged signatures has exactly the base cell's connectivity. *)
+let net_signature (h : Hypergraph.t) n =
+  let members =
+    Array.to_list h.Hypergraph.net_cells.(n)
+    |> List.map (fun c -> (Hypergraph.cell h c).Hypergraph.name)
+    |> List.sort String.compare
+  in
+  (h.Hypergraph.net_external.(n), members)
+
+let project ~base ~base_labels ?base_dirty edited =
+  let nb = Hypergraph.num_cells base in
+  let ne = Hypergraph.num_cells edited in
+  if Array.length base_labels <> nb then
+    invalid_arg
+      (Printf.sprintf
+         "Projection.project: base_labels covers %d cells, base has %d"
+         (Array.length base_labels) nb);
+  let base_dirty =
+    match base_dirty with
+    | None -> Array.make nb false
+    | Some d ->
+        if Array.length d <> nb then
+          invalid_arg
+            (Printf.sprintf
+               "Projection.project: base_dirty covers %d cells, base has %d"
+               (Array.length d) nb)
+        else d
+  in
+  let base_cell = Hashtbl.create (nb * 2) in
+  Array.iter
+    (fun (cell : Hypergraph.cell) ->
+      Hashtbl.replace base_cell cell.Hypergraph.name cell.Hypergraph.id)
+    base.Hypergraph.cells;
+  let base_net = Hashtbl.create (base.Hypergraph.num_nets * 2) in
+  Array.iteri
+    (fun n name -> Hashtbl.replace base_net name (net_signature base n))
+    base.Hypergraph.net_names;
+  let changed = Array.make (max 1 edited.Hypergraph.num_nets) false in
+  let changed_nets = ref 0 in
+  for n = 0 to edited.Hypergraph.num_nets - 1 do
+    let same =
+      match Hashtbl.find_opt base_net edited.Hypergraph.net_names.(n) with
+      | None -> false
+      | Some sig_b -> sig_b = net_signature edited n
+    in
+    if not same then begin
+      changed.(n) <- true;
+      incr changed_nets
+    end
+  done;
+  let labels = Array.make ne (-1) in
+  let dirty = Array.make ne false in
+  let matched = ref 0 in
+  let added = ref 0 in
+  Array.iter
+    (fun (cell : Hypergraph.cell) ->
+      let c = cell.Hypergraph.id in
+      (match Hashtbl.find_opt base_cell cell.Hypergraph.name with
+      | Some b ->
+          incr matched;
+          labels.(c) <- base_labels.(b);
+          let base_shape = Hypergraph.cell base b in
+          if
+            base_dirty.(b)
+            || base_labels.(b) < 0
+            || base_shape.Hypergraph.area <> cell.Hypergraph.area
+            || Array.length base_shape.Hypergraph.outputs
+               <> Array.length cell.Hypergraph.outputs
+          then dirty.(c) <- true
+      | None ->
+          incr added;
+          dirty.(c) <- true);
+      if not dirty.(c) then
+        dirty.(c) <-
+          Array.exists (fun n -> changed.(n)) (Hypergraph.cell_nets cell))
+    edited.Hypergraph.cells;
+  (* Unlabelled cells are necessarily part of the warm start's seeding
+     work, label origin aside. *)
+  Array.iteri (fun c l -> if l < 0 then dirty.(c) <- true) labels;
+  let edited_names = Hashtbl.create (ne * 2) in
+  Array.iter
+    (fun (cell : Hypergraph.cell) ->
+      Hashtbl.replace edited_names cell.Hypergraph.name ())
+    edited.Hypergraph.cells;
+  let dropped = ref 0 in
+  Array.iter
+    (fun (cell : Hypergraph.cell) ->
+      if not (Hashtbl.mem edited_names cell.Hypergraph.name) then incr dropped)
+    base.Hypergraph.cells;
+  {
+    labels;
+    dirty;
+    matched = !matched;
+    added = !added;
+    dropped = !dropped;
+    changed_nets = !changed_nets;
+  }

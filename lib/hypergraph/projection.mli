@@ -1,0 +1,49 @@
+(** Projection of a partition onto an edited hypergraph.
+
+    Incremental repartitioning starts from a finished partition of a
+    {e base} hypergraph and an {e edited} hypergraph produced by applying
+    a netlist delta and re-mapping. Cell and net names survive mapping
+    (CLBs are named after the signals they drive, nets after their
+    signals), so the projection matches by name: an edited cell inherits
+    the part label of the base cell with the same name, and is marked
+    {e dirty} when its neighbourhood is not provably identical to the
+    base — it is new, its shape changed, or it touches a net whose
+    incidence (member names or external flag) differs from the base net
+    of the same name.
+
+    The dirty set over-approximates the delta's blast radius at the
+    mapped level: any cell whose F-M gains could differ from the base run
+    touches a changed net and is therefore dirty, so restricting
+    warm-start refinement to dirty cells loses nothing the base
+    partition had already optimised (see DESIGN.md §8). *)
+
+type t = {
+  labels : int array;
+      (** per edited cell: inherited part index, or [-1] for a cell with
+          no base counterpart (the warm start seeds these) *)
+  dirty : bool array;
+      (** per edited cell: inside the edit's blast radius; always true
+          when [labels] is [-1] *)
+  matched : int;  (** edited cells with a base counterpart *)
+  added : int;  (** edited cells without one *)
+  dropped : int;  (** base cells without an edited counterpart *)
+  changed_nets : int;
+      (** edited nets that are new or differ from their base namesake *)
+}
+
+val project :
+  base:Hypergraph.t ->
+  base_labels:int array ->
+  ?base_dirty:bool array ->
+  Hypergraph.t ->
+  t
+(** [base_labels.(c)] is the part index of base cell [c] (use [-1] for a
+    base cell that should not donate its label, e.g. when the caller could
+    not attribute a replicated cell). [base_dirty] (default all-false)
+    forces matched cells dirty — the caller marks replicated base cells
+    here so the warm start may re-decide their replication.
+
+    Projecting a partition onto an unedited hypergraph is the identity:
+    every cell matches, keeps its label, and is dirty only where
+    [base_dirty] says so. Raises [Invalid_argument] when [base_labels]
+    (or [base_dirty]) does not cover [base]. *)

@@ -105,3 +105,5 @@ let job_key ~library ~options h =
   md5_hex
     (hypergraph_fingerprint h ^ "/" ^ library_fingerprint library ^ "/"
    ^ options_fingerprint options)
+
+let lineage_key ~base ~edited = md5_hex (base ^ ">" ^ edited)

@@ -48,3 +48,10 @@ val options_fingerprint : Core.Kway.options -> string
 val job_key :
   library:Fpga.Library.t -> options:Core.Kway.options -> Hypergraph.t -> string
 (** The cache key: MD5 over the three fingerprints above. *)
+
+val lineage_key : base:string -> edited:string -> string
+(** Cache key for a warm (resubmit) result: MD5 over the base partition's
+    {!job_key} and the edited circuit's {!job_key}. A warm result depends
+    on {e which} partition seeded it, so it must never be cached under the
+    edited circuit's own key — that key's entry is reserved for cold runs,
+    preserving the submit path's byte-determinism contract. *)

@@ -26,6 +26,12 @@ type request =
       netlist : string;
       options : Core.Kway.options;
     }
+  | Resubmit of {
+      name : string;
+      base : [ `Job of int | `Digest of string ];
+      delta : Netlist.Delta.t;
+      options : Core.Kway.options option;
+    }
   | Status of int
   | Result of { job : int; wait : bool }
   | Cancel of int
@@ -56,6 +62,104 @@ let state_done = "done"
 let state_failed = "failed"
 let state_cancelled = "cancelled"
 
+(* Delta wire encoding: {"ops": [{"op": ..., ...}]}. Gate kinds use the
+   .bench spellings via Gate.to_string/of_string. *)
+let op_to_json = function
+  | Netlist.Delta.Add_cell { name; kind; fanins } ->
+      J.Obj
+        [
+          ("op", J.String "add");
+          ("name", J.String name);
+          ("kind", J.String (Netlist.Gate.to_string kind));
+          ("fanins", J.List (List.map (fun f -> J.String f) fanins));
+        ]
+  | Netlist.Delta.Remove_cell name ->
+      J.Obj [ ("op", J.String "remove"); ("name", J.String name) ]
+  | Netlist.Delta.Rewire { cell; pin; net } ->
+      J.Obj
+        [
+          ("op", J.String "rewire");
+          ("cell", J.String cell);
+          ("pin", J.Int pin);
+          ("net", J.String net);
+        ]
+  | Netlist.Delta.Set_output { net; output } ->
+      J.Obj
+        [
+          ("op", J.String "set_output");
+          ("net", J.String net);
+          ("output", J.Bool output);
+        ]
+
+let delta_to_json (delta : Netlist.Delta.t) =
+  J.Obj [ ("ops", J.List (List.map op_to_json delta)) ]
+
+let ( let* ) = Result.bind
+
+let op_of_json json =
+  let str name =
+    match Option.bind (J.member name json) J.to_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "delta op: missing or ill-typed %S" name)
+  in
+  let* op = str "op" in
+  match op with
+  | "add" ->
+      let* name = str "name" in
+      let* kind_s = str "kind" in
+      let* kind =
+        match Netlist.Gate.of_string kind_s with
+        | Some k -> Ok k
+        | None -> Error (Printf.sprintf "delta op: unknown gate kind %S" kind_s)
+      in
+      let* fanins =
+        match J.member "fanins" json with
+        | Some (J.List l) ->
+            List.fold_left
+              (fun acc f ->
+                let* acc = acc in
+                match J.to_str f with
+                | Some s -> Ok (s :: acc)
+                | None -> Error "delta op: ill-typed \"fanins\" element")
+              (Ok []) l
+            |> Result.map List.rev
+        | _ -> Error "delta op: missing or ill-typed \"fanins\""
+      in
+      Ok (Netlist.Delta.Add_cell { name; kind; fanins })
+  | "remove" ->
+      let* name = str "name" in
+      Ok (Netlist.Delta.Remove_cell name)
+  | "rewire" ->
+      let* cell = str "cell" in
+      let* pin =
+        match Option.bind (J.member "pin" json) J.to_int with
+        | Some p -> Ok p
+        | None -> Error "delta op: missing or ill-typed \"pin\""
+      in
+      let* net = str "net" in
+      Ok (Netlist.Delta.Rewire { cell; pin; net })
+  | "set_output" ->
+      let* net = str "net" in
+      let* output =
+        match Option.bind (J.member "output" json) J.to_bool with
+        | Some b -> Ok b
+        | None -> Error "delta op: missing or ill-typed \"output\""
+      in
+      Ok (Netlist.Delta.Set_output { net; output })
+  | op -> Error (Printf.sprintf "delta op: unknown op %S" op)
+
+let delta_of_json json =
+  match J.member "ops" json with
+  | Some (J.List ops) ->
+      List.fold_left
+        (fun acc o ->
+          let* acc = acc in
+          let* op = op_of_json o in
+          Ok (op :: acc))
+        (Ok []) ops
+      |> Result.map List.rev
+  | _ -> Error "delta: missing or ill-typed \"ops\""
+
 (* The options wire encoding is the stats-schema encoding
    (Obs_report.options_to_json), so a client can lift the "options"
    object straight out of a stats document and resubmit with it. *)
@@ -70,6 +174,26 @@ let request_to_json = function
           ("netlist", J.String netlist);
           ("options", Experiments.Obs_report.options_to_json options);
         ]
+  | Resubmit { name; base; delta; options } ->
+      let base_field =
+        match base with
+        | `Job job -> ("base_job", J.Int job)
+        | `Digest d -> ("base_digest", J.String d)
+      in
+      let opt_fields =
+        match options with
+        | None -> []
+        | Some o -> [ ("options", Experiments.Obs_report.options_to_json o) ]
+      in
+      J.Obj
+        ([
+           ("v", J.Int 1);
+           ("verb", J.String "resubmit");
+           ("name", J.String name);
+           base_field;
+           ("delta", delta_to_json delta);
+         ]
+        @ opt_fields)
   | Status job ->
       J.Obj [ ("v", J.Int 1); ("verb", J.String "status"); ("job", J.Int job) ]
   | Result { job; wait } ->
@@ -84,8 +208,6 @@ let request_to_json = function
       J.Obj [ ("v", J.Int 1); ("verb", J.String "cancel"); ("job", J.Int job) ]
   | Stats -> J.Obj [ ("v", J.Int 1); ("verb", J.String "stats") ]
   | Shutdown -> J.Obj [ ("v", J.Int 1); ("verb", J.String "shutdown") ]
-
-let ( let* ) = Result.bind
 
 let field name conv json =
   match Option.bind (J.member name json) conv with
@@ -151,6 +273,34 @@ let request_of_json json =
         | Some o -> options_of_json o
       in
       Ok (Submit { name; format; netlist; options })
+  | "resubmit" ->
+      let* name = field "name" J.to_str json in
+      let* base =
+        match (J.member "base_job" json, J.member "base_digest" json) with
+        | Some j, None -> (
+            match J.to_int j with
+            | Some job -> Ok (`Job job)
+            | None -> Error "ill-typed field \"base_job\"")
+        | None, Some d -> (
+            match J.to_str d with
+            | Some dg -> Ok (`Digest dg)
+            | None -> Error "ill-typed field \"base_digest\"")
+        | Some _, Some _ ->
+            Error "resubmit takes \"base_job\" or \"base_digest\", not both"
+        | None, None ->
+            Error "resubmit needs a \"base_job\" or \"base_digest\" field"
+      in
+      let* delta =
+        match J.member "delta" json with
+        | Some d -> delta_of_json d
+        | None -> Error "missing field \"delta\""
+      in
+      let* options =
+        match J.member "options" json with
+        | None -> Ok None
+        | Some o -> Result.map Option.some (options_of_json o)
+      in
+      Ok (Resubmit { name; base; delta; options })
   | "status" ->
       let* job = field "job" J.to_int json in
       Ok (Status job)

@@ -13,6 +13,14 @@
       ([runs], [seed], [replication], [max_passes], [fm_attempts],
       [refine_rounds]). Reply: ["job"] id, ["state"], ["cached"], and the
       cached ["result"] document on a cache hit.
+    - [resubmit]: ["name"], a base partition reference (["base_job"] id
+      {e or} ["base_digest"] content digest, exactly one), a ["delta"]
+      object ([{"ops": [...]}], see {!delta_to_json}) and an optional
+      ["options"] object (defaults to the base job's options). Reply: as
+      [submit], plus ["cold_fallback"] ([true] when the base's warm
+      context was evicted and the job ran cold). The empty delta replies
+      with the cached base document byte-identically, without running
+      F-M.
     - [status]: ["job"] — reply ["state"] and, while queued,
       ["position"].
     - [result]: ["job"], optional ["wait"] (block until the job leaves
@@ -36,11 +44,24 @@ type request =
       netlist : string;
       options : Core.Kway.options;
     }
+  | Resubmit of {
+      name : string;
+      base : [ `Job of int | `Digest of string ];
+      delta : Netlist.Delta.t;
+      options : Core.Kway.options option;  (** [None] inherits the base's *)
+    }
   | Status of int
   | Result of { job : int; wait : bool }
   | Cancel of int
   | Stats
   | Shutdown
+
+val delta_to_json : Netlist.Delta.t -> Obs.Json.t
+(** [{"ops": [{"op": "add" | "remove" | "rewire" | "set_output", ...}]}];
+    gate kinds spell as in [.bench] files ({!Netlist.Gate.to_string}). *)
+
+val delta_of_json : Obs.Json.t -> (Netlist.Delta.t, string) result
+(** Inverse of {!delta_to_json}; [Error] names the offending field. *)
 
 val request_to_json : request -> Obs.Json.t
 

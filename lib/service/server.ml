@@ -19,16 +19,37 @@ type job_state =
   | Failed of { code : string; msg : string }
   | Cancelled
 
+(* How the executor computes a job: from scratch, or warm-started from a
+   projected base partition (a resubmit whose base basis was still
+   cached). A warm job that fails for any reason other than cancellation
+   falls back to a cold run — the seed is an accelerator, never a
+   correctness dependency. *)
+type mode = Cold | Warm of Core.Kway.warm
+
 type job = {
   id : int;
   name : string;
   key : string;
   options : Core.Kway.options;
+  circuit : Netlist.Circuit.t;  (* canonical; resubmit bases read it *)
   hypergraph : Hypergraph.t;
+  mode : mode;
   cancel : bool Atomic.t;
   enqueued_at : float;
   mutable state : job_state;
 }
+
+(* What a resubmit needs from its base beyond the cached document: the
+   canonical circuit (to apply the delta to), the mapped hypergraph and
+   the partition (to project), and the options (the resubmit default). *)
+type basis = {
+  b_circuit : Netlist.Circuit.t;
+  b_hypergraph : Hypergraph.t;
+  b_result : Core.Kway.result;
+  b_options : Core.Kway.options;
+}
+
+type entry = { doc : J.t; basis : basis }
 
 type t = {
   cfg : config;
@@ -38,7 +59,7 @@ type t = {
   obs : Obs.t;
   jobs_tbl : (int, job) Hashtbl.t;
   queue : job Queue.t;
-  cache : J.t Lru.t;
+  cache : entry Lru.t;
   mutable next_id : int;
   mutable stopping : bool;
   mutable open_conns : Unix.file_descr list;
@@ -99,13 +120,35 @@ let run_job t (job : job) =
      service-wide throughput metrics below (the sink itself is discarded —
      svc-stats stays O(jobs), not O(moves)). *)
   let job_obs = Obs.create () in
+  let library = Fpga.Library.xc3000 in
+  let cold () = Core.Kway.partition ~obs:job_obs ~options ~library job.hypergraph in
+  let warm_fell_back = ref false in
   let result =
-    Core.Kway.partition ~obs:job_obs ~options ~library:Fpga.Library.xc3000
-      job.hypergraph
+    match job.mode with
+    | Cold -> cold ()
+    | Warm warm -> (
+        match
+          Core.Kway.warm_start ~obs:job_obs ~options ~library ~warm
+            job.hypergraph
+        with
+        | Error msg when String.equal msg Core.Kway.cancelled ->
+            Error Core.Kway.cancelled
+        | Ok r when Result.is_ok (Core.Kway.check job.hypergraph r) -> Ok r
+        | Ok _ | Error _ ->
+            (* Malformed seed, a part outgrowing every device, or an
+               unsound warm result: recompute from scratch. *)
+            warm_fell_back := true;
+            cold ())
   in
   let wall = Unix.gettimeofday () -. started in
   with_lock t (fun () ->
       Obs.observe t.obs "service.run_ms" (ms_since started);
+      (match job.mode with
+      | Cold -> ()
+      | Warm _ ->
+          Obs.observe t.obs "service.resubmit_run_ms" (ms_since started);
+          if !warm_fell_back then
+            Obs.incr t.obs "service.resubmit_warm_failed");
       (let snap = Obs.snapshot job_obs in
        let counter k =
          try List.assoc k snap.Obs.Snapshot.counters with Not_found -> 0
@@ -125,7 +168,17 @@ let run_job t (job : job) =
       | Ok r ->
           let doc = result_doc job r in
           job.state <- Done doc;
-          Lru.add t.cache job.key doc;
+          Lru.add t.cache job.key
+            {
+              doc;
+              basis =
+                {
+                  b_circuit = job.circuit;
+                  b_hypergraph = job.hypergraph;
+                  b_result = r;
+                  b_options = job.options;
+                };
+            };
           Obs.incr t.obs "service.completed"
       | Error msg when String.equal msg Core.Kway.cancelled ->
           if Atomic.get job.cancel then (
@@ -187,6 +240,29 @@ let queue_position t id =
     t.queue;
   if !pos < 0 then None else Some !pos
 
+(* Register a job in the table (caller holds the lock). The table never
+   evicts, which is what lets a resubmit recover its base's canonical
+   circuit even after the LRU dropped the cached entry. *)
+let register_job t ~name ~key ~options ~circuit ~hypergraph ~mode state =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let job =
+    {
+      id;
+      name;
+      key;
+      options;
+      circuit;
+      hypergraph;
+      mode;
+      cancel = Atomic.make false;
+      enqueued_at = Unix.gettimeofday ();
+      state;
+    }
+  in
+  Hashtbl.replace t.jobs_tbl id job;
+  job
+
 let handle_submit t ~name ~format ~netlist ~options =
   match P.parse_netlist format netlist with
   | Error msg -> P.error ~code:P.code_bad_request ("netlist: " ^ msg)
@@ -198,26 +274,12 @@ let handle_submit t ~name ~format ~netlist ~options =
       let h = Techmap.Mapper.to_hypergraph (Techmap.Mapper.map canonical) in
       let key = Digest.job_key ~library:Fpga.Library.xc3000 ~options h in
       with_lock t (fun () ->
-          let fresh_job state =
-            let id = t.next_id in
-            t.next_id <- id + 1;
-            let job =
-              {
-                id;
-                name;
-                key;
-                options;
-                hypergraph = h;
-                cancel = Atomic.make false;
-                enqueued_at = Unix.gettimeofday ();
-                state;
-              }
-            in
-            Hashtbl.replace t.jobs_tbl id job;
-            job
+          let fresh_job =
+            register_job t ~name ~key ~options ~circuit:canonical
+              ~hypergraph:h ~mode:Cold
           in
           match Lru.find t.cache key with
-          | Some doc ->
+          | Some { doc; _ } ->
               Obs.incr t.obs "service.cache_hit";
               let job = fresh_job (Done doc) in
               P.ok
@@ -255,6 +317,194 @@ let handle_submit t ~name ~format ~netlist ~options =
 
 let job_not_found id =
   P.error ~code:P.code_not_found (Printf.sprintf "no such job: %d" id)
+
+(* ------------------------------------------------------------------ *)
+(* Resubmit: incremental repartitioning                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Resolve a resubmit's base to (key, canonical circuit, options, cached
+   entry). The cached entry carries the warm context; it is [None] when
+   the LRU evicted it (or the base job has not finished) — the resubmit
+   then falls back to a cold run, because lineage eviction must never
+   strand a chain, only slow it down. The canonical circuit itself is
+   always recoverable: by-id from the job table (which never evicts),
+   by-digest from the table scan. Caller holds the lock. *)
+let resolve_base t base =
+  match base with
+  | `Job id -> (
+      match Hashtbl.find_opt t.jobs_tbl id with
+      | None -> Error (job_not_found id)
+      | Some job ->
+          Ok (job.key, job.circuit, job.options, Lru.find t.cache job.key))
+  | `Digest key -> (
+      match Lru.find t.cache key with
+      | Some e -> Ok (key, e.basis.b_circuit, e.basis.b_options, Some e)
+      | None -> (
+          let recovered =
+            Hashtbl.fold
+              (fun _ (j : job) acc ->
+                if acc = None && String.equal j.key key then Some j else acc)
+              t.jobs_tbl None
+          in
+          match recovered with
+          | Some j -> Ok (key, j.circuit, j.options, None)
+          | None ->
+              Error
+                (P.error ~code:P.code_not_found
+                   ("no job or cached result with digest " ^ key))))
+
+let handle_resubmit t ~name ~base ~delta ~options =
+  let resolved =
+    with_lock t (fun () ->
+        Obs.incr t.obs "service.resubmit_requests";
+        resolve_base t base)
+  in
+  match resolved with
+  | Error reply -> reply
+  | Ok (base_key, base_circuit, base_options, base_entry) -> (
+      let options = Option.value options ~default:base_options in
+      let same_options =
+        String.equal
+          (Digest.options_fingerprint options)
+          (Digest.options_fingerprint base_options)
+      in
+      match base_entry with
+      | Some entry when Netlist.Delta.is_empty delta && same_options ->
+          (* Delta of nothing: the request asks for the base partition
+             itself. Reply the cached document verbatim — byte-identical
+             to the submit reply that populated it — without mapping or
+             running anything (service.fm_applied_ops is untouched). *)
+          with_lock t (fun () ->
+              Obs.incr t.obs "service.resubmit_noop";
+              Obs.incr t.obs "service.cache_hit";
+              let job =
+                register_job t ~name ~key:base_key ~options
+                  ~circuit:base_circuit ~hypergraph:entry.basis.b_hypergraph
+                  ~mode:Cold (Done entry.doc)
+              in
+              P.ok
+                [
+                  ("job", J.Int job.id);
+                  ("state", J.String P.state_done);
+                  ("cached", J.Bool true);
+                  ("digest", J.String base_key);
+                  ("result", entry.doc);
+                ])
+      | _ -> (
+          match Netlist.Delta.apply base_circuit delta with
+          | Error e ->
+              with_lock t (fun () -> Obs.incr t.obs "service.bad_requests");
+              P.error ~code:P.code_bad_request
+                ("delta: " ^ Netlist.Delta.error_to_string e)
+          | Ok edited ->
+              (* Delta.apply rebuilds canonically — the edited circuit is
+                 already in digest node order, exactly like a submit's
+                 canonicalised circuit. *)
+              let h =
+                Techmap.Mapper.to_hypergraph (Techmap.Mapper.map edited)
+              in
+              let key_e =
+                Digest.job_key ~library:Fpga.Library.xc3000 ~options h
+              in
+              let mode, warm_shape =
+                match base_entry with
+                | None -> (Cold, None)
+                | Some { basis; _ } ->
+                    let base_labels, base_replicated =
+                      Core.Kway.labels_of_parts basis.b_hypergraph
+                        basis.b_result.Core.Kway.parts
+                    in
+                    let proj =
+                      Projection.project ~base:basis.b_hypergraph ~base_labels
+                        ~base_dirty:base_replicated h
+                    in
+                    let warm =
+                      {
+                        Core.Kway.w_labels = proj.Projection.labels;
+                        w_dirty = proj.Projection.dirty;
+                        w_devices =
+                          Array.of_list
+                            (List.map
+                               (fun p -> p.Core.Kway.device)
+                               basis.b_result.Core.Kway.parts);
+                      }
+                    in
+                    let dirty =
+                      Array.fold_left
+                        (fun a d -> if d then a + 1 else a)
+                        0 proj.Projection.dirty
+                    in
+                    (Warm warm, Some (dirty, proj.Projection.added))
+              in
+              (* A warm result depends on which partition seeded it, so it
+                 caches under the lineage key; a cold fallback is a plain
+                 run of the edited circuit and shares the cold key (and
+                 its byte-determinism contract). *)
+              let key =
+                match mode with
+                | Cold -> key_e
+                | Warm _ -> Digest.lineage_key ~base:base_key ~edited:key_e
+              in
+              let cold_fallback =
+                match mode with Cold -> true | Warm _ -> false
+              in
+              with_lock t (fun () ->
+                  match Lru.find t.cache key with
+                  | Some { doc; _ } ->
+                      Obs.incr t.obs "service.cache_hit";
+                      let job =
+                        register_job t ~name ~key ~options ~circuit:edited
+                          ~hypergraph:h ~mode:Cold (Done doc)
+                      in
+                      P.ok
+                        [
+                          ("job", J.Int job.id);
+                          ("state", J.String P.state_done);
+                          ("cached", J.Bool true);
+                          ("digest", J.String key);
+                          ("cold_fallback", J.Bool cold_fallback);
+                          ("result", doc);
+                        ]
+                  | None ->
+                      Obs.incr t.obs "service.cache_miss";
+                      if t.stopping then
+                        P.error ~code:P.code_shutting_down
+                          "server is draining; not accepting new jobs"
+                      else if Queue.length t.queue >= t.cfg.queue_cap then (
+                        Obs.incr t.obs "service.rejected";
+                        P.error ~code:P.code_overloaded
+                          (Printf.sprintf
+                             "job queue is full (%d queued); resubmit later"
+                             (Queue.length t.queue)))
+                      else begin
+                        (match mode with
+                        | Warm _ ->
+                            Obs.incr t.obs "service.resubmit_warm";
+                            (match warm_shape with
+                            | Some (dirty, seeded) ->
+                                Obs.observe t.obs
+                                  "service.resubmit_dirty_cells" dirty;
+                                Obs.observe t.obs
+                                  "service.resubmit_seeded_cells" seeded
+                            | None -> ())
+                        | Cold ->
+                            Obs.incr t.obs "service.resubmit_cold_fallback");
+                        let job =
+                          register_job t ~name ~key ~options ~circuit:edited
+                            ~hypergraph:h ~mode Queued
+                        in
+                        Queue.push job t.queue;
+                        Condition.broadcast t.cond;
+                        P.ok
+                          [
+                            ("job", J.Int job.id);
+                            ("state", J.String P.state_queued);
+                            ("cached", J.Bool false);
+                            ("digest", J.String key);
+                            ("cold_fallback", J.Bool cold_fallback);
+                            ("position", J.Int (Queue.length t.queue - 1));
+                          ]
+                      end)))
 
 let handle_status t id =
   with_lock t (fun () ->
@@ -362,6 +612,8 @@ let handle_shutdown t =
 let dispatch t = function
   | P.Submit { name; format; netlist; options } ->
       handle_submit t ~name ~format ~netlist ~options
+  | P.Resubmit { name; base; delta; options } ->
+      handle_resubmit t ~name ~base ~delta ~options
   | P.Status id -> handle_status t id
   | P.Result { job; wait } -> handle_result t ~id:job ~wait
   | P.Cancel id -> handle_cancel t id

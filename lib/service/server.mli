@@ -15,9 +15,19 @@
     result document ({!Obs.Snapshot.scrub_elapsed}), so a cache hit
     replies byte-identically to the miss that populated it.
 
+    A [resubmit] applies a {!Netlist.Delta} to a base job's canonical
+    circuit and warm-starts the k-way driver from the base partition
+    projected onto the edit ({!Core.Kway.warm_start}), falling back to a
+    cold run — flagged [cold_fallback] in the reply — when the base's
+    cached context was evicted. Warm results cache under a
+    {!Digest.lineage_key} (base key × edited key) so they never collide
+    with the cold key's byte-determinism contract; the empty delta
+    replies with the cached base document verbatim, running nothing.
+
     Every request, hit, miss, rejection, cancellation, timeout, and the
     queue-wait / run-time distributions are recorded through {!Obs} and
-    exposed by the [stats] verb.
+    exposed by the [stats] verb ([service.resubmit_*] counters cover the
+    incremental path).
 
     Shutdown (the [shutdown] verb, or SIGINT/SIGTERM via
     [external_stop]) is a graceful drain: no new connections or

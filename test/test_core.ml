@@ -996,6 +996,79 @@ let qcheck_kway_sound_on_generated_circuits =
           in
           sound && telemetry_ok)
 
+let qcheck_warm_start_sound_and_close =
+  (* The incremental contract: projecting a base partition onto a small
+     random edit and warm-starting yields a feasible, check-clean result
+     whose cost stays within a constant factor of a cold run on the
+     edited circuit. Also pins the projection bookkeeping the service
+     relies on (dirty covers every unlabelled cell). *)
+  QCheck.Test.make ~name:"warm start is sound and near cold cost" ~count:6
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Netlist.Rng.create (seed + 17) in
+      let c =
+        Netlist.Generator.random ~rng ~num_inputs:8
+          ~num_gates:(120 + (seed mod 80))
+          ~num_dff:(seed mod 6) ~num_outputs:8 ()
+      in
+      let delta = Netlist.Delta.random ~seed ~frac:0.04 c in
+      match Netlist.Delta.apply c delta with
+      | Error e ->
+          QCheck.Test.fail_reportf "delta apply failed: %s"
+            (Netlist.Delta.error_to_string e)
+      | Ok edited -> (
+          let base_h = mapped_hypergraph c in
+          let edited_h = mapped_hypergraph edited in
+          let options =
+            Kway.Options.make ~runs:2 ~fm_attempts:2 ~seed:(seed + 1)
+              ~jobs:(Parallel.Pool.jobs_from_env ())
+              ()
+          in
+          let library = Fpga.Library.xc3000 in
+          match
+            ( Kway.partition ~options ~library base_h,
+              Kway.partition ~options ~library edited_h )
+          with
+          | Error _, _ | _, Error _ ->
+              true (* infeasible random instances are acceptable *)
+          | Ok base, Ok cold -> (
+              let base_labels, base_replicated =
+                Kway.labels_of_parts base_h base.Kway.parts
+              in
+              let proj =
+                Projection.project ~base:base_h ~base_labels
+                  ~base_dirty:base_replicated edited_h
+              in
+              let dirty_covers_unlabelled =
+                Array.for_all2
+                  (fun l d -> l >= 0 || d)
+                  proj.Projection.labels proj.Projection.dirty
+              in
+              let warm =
+                {
+                  Kway.w_labels = proj.Projection.labels;
+                  w_dirty = proj.Projection.dirty;
+                  w_devices =
+                    Array.of_list
+                      (List.map (fun p -> p.Kway.device) base.Kway.parts);
+                }
+              in
+              match Kway.warm_start ~options ~library ~warm edited_h with
+              | Error e ->
+                  QCheck.Test.fail_reportf "warm start failed: %s" e
+              | Ok w ->
+                  (match Kway.check edited_h w with
+                  | Ok () -> ()
+                  | Error e ->
+                      ignore (QCheck.Test.fail_reportf "warm unsound: %s" e));
+                  let cold_cost = cold.Kway.summary.Fpga.Cost.total_cost in
+                  let warm_cost = w.Kway.summary.Fpga.Cost.total_cost in
+                  if warm_cost > 1.5 *. cold_cost then
+                    QCheck.Test.fail_reportf
+                      "warm cost %.1f too far above cold %.1f" warm_cost
+                      cold_cost
+                  else dirty_covers_unlabelled)))
+
 (* ------------------------------------------------------------------ *)
 (* Options validation and cooperative cancellation                    *)
 (* ------------------------------------------------------------------ *)
@@ -1151,6 +1224,7 @@ let () =
           qc qcheck_fm_telemetry_invariants;
           qc qcheck_kway_sound_on_generated_circuits;
         ] );
+      ("warm start", [ qc qcheck_warm_start_sound_and_close ]);
       ( "options",
         [
           Alcotest.test_case "kway validation" `Quick

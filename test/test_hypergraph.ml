@@ -506,6 +506,31 @@ let qcheck_induction_matches_terminals =
       in
       check Partition_state.A && check Partition_state.B)
 
+let qcheck_projection_identity =
+  (* Projecting any labelling onto the unedited hypergraph must be the
+     identity: all cells match and keep their labels, nothing is dirty
+     beyond what base_dirty forces, no net counts as changed. *)
+  QCheck.Test.make ~name:"projection onto unedited hypergraph is identity"
+    ~count:60
+    QCheck.(pair small_int (int_range 4 24))
+    (fun (seed, n_cells) ->
+      let h = Test_util.random_hypergraph seed n_cells in
+      let n = Hypergraph.num_cells h in
+      let rng = Netlist.Rng.create (seed + 9000) in
+      let labels = Array.init n (fun _ -> Netlist.Rng.int rng 4) in
+      let p = Projection.project ~base:h ~base_labels:labels h in
+      let forced = Array.init n (fun _ -> Netlist.Rng.bool rng) in
+      let pf = Projection.project ~base:h ~base_labels:labels ~base_dirty:forced h in
+      p.Projection.labels = labels
+      && Array.for_all not p.Projection.dirty
+      && p.Projection.matched = n
+      && p.Projection.added = 0
+      && p.Projection.dropped = 0
+      && p.Projection.changed_nets = 0
+      && pf.Projection.labels = labels
+      && pf.Projection.dirty = forced
+      && pf.Projection.matched = n && pf.Projection.changed_nets = 0)
+
 let qc t = QCheck_alcotest.to_alcotest t
 
 let () =
@@ -549,4 +574,5 @@ let () =
           qc qcheck_eval_into_matches_eval;
           qc qcheck_changed_nets_exact;
         ] );
+      ("projection", [ qc qcheck_projection_identity ]);
     ]

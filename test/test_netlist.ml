@@ -919,6 +919,103 @@ let qcheck_parsers_never_raise_structured =
       in
       safe Bench_format.parse && safe Blif.parse && safe Verilog.parse)
 
+(* ------------------------------------------------------------------ *)
+(* Delta (incremental edits)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let delta_err name expected c ops =
+  match Delta.apply c ops with
+  | Ok _ -> Alcotest.failf "%s: expected %s, got Ok" name expected
+  | Error e ->
+      check Alcotest.string name expected (Delta.error_to_string e);
+      e
+
+let test_delta_error_paths () =
+  let c = Generator.c17 () in
+  (* "22" is the only reader of "10"; the typed error names both ends. *)
+  (match delta_err "remove still-referenced"
+           (Delta.error_to_string
+              (Delta.Still_referenced { removed = "10"; by = "22" }))
+           c [ Delta.Remove_cell "10" ]
+   with
+  | Delta.Still_referenced { removed; by } ->
+      check Alcotest.string "removed" "10" removed;
+      check Alcotest.string "by" "22" by
+  | e -> Alcotest.failf "wrong error: %s" (Delta.error_to_string e));
+  (match delta_err "duplicate add"
+           (Delta.error_to_string (Delta.Duplicate_cell "16"))
+           c [ Delta.Add_cell { name = "16"; kind = Gate.And; fanins = [ "1"; "2" ] } ]
+   with
+  | Delta.Duplicate_cell n -> check Alcotest.string "dup name" "16" n
+  | e -> Alcotest.failf "wrong error: %s" (Delta.error_to_string e));
+  (match delta_err "rewire to unknown net"
+           (Delta.error_to_string (Delta.Unknown_net { cell = "22"; net = "nope" }))
+           c [ Delta.Rewire { cell = "22"; pin = 0; net = "nope" } ]
+   with
+  | Delta.Unknown_net { cell; net } ->
+      check Alcotest.string "cell" "22" cell;
+      check Alcotest.string "net" "nope" net
+  | e -> Alcotest.failf "wrong error: %s" (Delta.error_to_string e));
+  (match delta_err "remove unknown cell"
+           (Delta.error_to_string (Delta.Unknown_cell "ghost"))
+           c [ Delta.Remove_cell "ghost" ]
+   with
+  | Delta.Unknown_cell n -> check Alcotest.string "ghost" "ghost" n
+  | e -> Alcotest.failf "wrong error: %s" (Delta.error_to_string e));
+  (match delta_err "rewire bad pin"
+           (Delta.error_to_string (Delta.Bad_pin { cell = "22"; pin = 5 }))
+           c [ Delta.Rewire { cell = "22"; pin = 5; net = "16" } ]
+   with
+  | Delta.Bad_pin { cell; pin } ->
+      check Alcotest.string "cell" "22" cell;
+      checki "pin" 5 pin
+  | e -> Alcotest.failf "wrong error: %s" (Delta.error_to_string e));
+  (* Pointing "10" at its own reader closes a combinational cycle; the
+     builder rejects the rebuilt circuit. *)
+  (match Delta.apply c [ Delta.Rewire { cell = "10"; pin = 0; net = "22" } ] with
+  | Error (Delta.Invalid _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Delta.error_to_string e)
+  | Ok _ -> Alcotest.fail "cycle-closing rewire accepted")
+
+let test_delta_apply_basic () =
+  let c = Generator.c17 () in
+  checkb "empty delta is empty" true (Delta.is_empty []);
+  checkb "non-empty delta" false
+    (Delta.is_empty [ Delta.Set_output { net = "16"; output = true } ]);
+  (* New observation point: one more PO, same gates, simulation intact. *)
+  match Delta.apply c [ Delta.Set_output { net = "16"; output = true } ] with
+  | Error e -> Alcotest.failf "set_output failed: %s" (Delta.error_to_string e)
+  | Ok edited ->
+      let s = Stats.compute edited in
+      checki "outputs" 3 s.Stats.num_outputs;
+      checki "gates" 6 s.Stats.num_gates;
+      checkb "edited validates" true (Result.is_ok (Circuit.validate edited))
+
+let qcheck_delta_random_applies =
+  QCheck.Test.make ~name:"random deltas apply cleanly and canonically" ~count:60
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Rng.create (seed + 1) in
+      let c =
+        Generator.random ~rng ~num_inputs:5 ~num_gates:40 ~num_dff:4
+          ~num_outputs:6 ()
+      in
+      let delta = Delta.random ~seed ~frac:0.08 c in
+      match Delta.apply c delta with
+      | Error e ->
+          QCheck.Test.fail_reportf "Delta.random apply failed: %s"
+            (Delta.error_to_string e)
+      | Ok edited ->
+          Result.is_ok (Circuit.validate edited)
+          &&
+          (* apply rebuilds canonically, so the empty delta on its own
+             output is the byte-level identity. *)
+          (match Delta.apply edited [] with
+          | Ok again ->
+              String.equal (Bench_format.to_string edited)
+                (Bench_format.to_string again)
+          | Error _ -> false))
+
 let qc t = QCheck_alcotest.to_alcotest t
 
 let () =
@@ -1023,5 +1120,11 @@ let () =
             test_clustered_deterministic;
           qc qcheck_random_circuit_valid;
           Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+      ( "delta",
+        [
+          Alcotest.test_case "typed error paths" `Quick test_delta_error_paths;
+          Alcotest.test_case "apply basics" `Quick test_delta_apply_basic;
+          qc qcheck_delta_random_applies;
         ] );
     ]

@@ -348,6 +348,185 @@ let test_server_cache_hit_on_permuted_resubmit () =
         (rpc_ok path
            (Service.Protocol.Result { job = int_field "job" r3; wait = true })))
 
+let astr_contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else String.sub haystack i nn = needle || go (i + 1)
+  in
+  go 0
+
+let qcheck_delta_codec_roundtrip =
+  (* The wire format for deltas must carry every op faithfully: encode a
+     random delta, decode it, and get structurally equal ops back. *)
+  QCheck.Test.make ~name:"delta wire codec roundtrips" ~count:80
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Netlist.Rng.create (seed + 31) in
+      let c =
+        Netlist.Generator.random ~rng ~num_inputs:4 ~num_gates:30 ~num_dff:3
+          ~num_outputs:5 ()
+      in
+      let delta = Netlist.Delta.random ~seed ~frac:0.1 c in
+      match
+        Service.Protocol.delta_of_json (Service.Protocol.delta_to_json delta)
+      with
+      | Ok decoded -> decoded = delta
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+let result_doc path job =
+  let r = rpc_ok path (Service.Protocol.Result { job; wait = true }) in
+  match J.member "result" r with
+  | Some d -> J.to_string d
+  | None -> Alcotest.fail "no result document"
+
+let stats_counter path name =
+  match J.member "stats" (rpc_ok path Service.Protocol.Stats) with
+  | Some s -> counter s name
+  | None -> Alcotest.fail "no stats"
+
+let qcheck_resubmit_noop_byte_identity =
+  (* Satellite invariant: a resubmit carrying the empty delta replies the
+     cached submit document byte-for-byte and runs no F-M at all — the
+     service-level fm_applied_ops counter must not move. *)
+  QCheck.Test.make ~name:"empty-delta resubmit is byte-identical, runs nothing"
+    ~count:4
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let ok = ref false in
+      with_server (fun path ->
+          let rng = Netlist.Rng.create seed in
+          let c =
+            Netlist.Generator.random ~rng ~num_inputs:5 ~num_gates:40
+              ~num_dff:4 ~num_outputs:6 ()
+          in
+          let text = Netlist.Bench_format.to_string c in
+          let r1 = rpc_ok path (submit_req "base" text) in
+          let job1 = int_field "job" r1 in
+          let digest1 = str_field "digest" r1 in
+          let doc1 = result_doc path job1 in
+          let fm_before = stats_counter path "service.fm_applied_ops" in
+          let resubmit base =
+            rpc_ok path
+              (Service.Protocol.Resubmit
+                 { name = "noop"; base; delta = []; options = None })
+          in
+          let check_reply r =
+            if
+              not
+                (Option.value ~default:false
+                   (Option.bind (J.member "cached" r) J.to_bool))
+            then Alcotest.fail "noop resubmit not served from cache";
+            match J.member "result" r with
+            | Some d -> checks "byte-identical document" doc1 (J.to_string d)
+            | None -> Alcotest.fail "noop resubmit reply lacks result"
+          in
+          check_reply (resubmit (`Job job1));
+          check_reply (resubmit (`Digest digest1));
+          checki "no F-M ran" fm_before
+            (stats_counter path "service.fm_applied_ops");
+          checki "two noop resubmits" 2
+            (stats_counter path "service.resubmit_noop");
+          ok := true);
+      !ok)
+
+let test_server_resubmit_warm () =
+  with_server (fun path ->
+      let text = Netlist.Bench_format.to_string (Netlist.Generator.c17 ()) in
+      let r1 = rpc_ok path (submit_req "base" text) in
+      let job1 = int_field "job" r1 in
+      ignore (result_doc path job1);
+      (* A real edit against a live base warm-starts: no cold fallback. *)
+      let delta =
+        [ Netlist.Delta.Set_output { net = "16"; output = true } ]
+      in
+      let r2 =
+        rpc_ok path
+          (Service.Protocol.Resubmit
+             { name = "eco"; base = `Job job1; delta; options = None })
+      in
+      checkb "warm, not cold fallback" false
+        (Option.value ~default:false
+           (Option.bind (J.member "cold_fallback" r2) J.to_bool));
+      ignore (result_doc path (int_field "job" r2));
+      checki "one warm resubmit" 1 (stats_counter path "service.resubmit_warm");
+      checki "warm run did not fall back" 0
+        (stats_counter path "service.resubmit_warm_failed");
+      (* Same edit again: served from the lineage-key cache. *)
+      let r3 =
+        rpc_ok path
+          (Service.Protocol.Resubmit
+             { name = "eco"; base = `Job job1; delta; options = None })
+      in
+      checkb "warm result cached" true
+        (Option.value ~default:false
+           (Option.bind (J.member "cached" r3) J.to_bool));
+      (* A broken delta is a typed bad_request naming the offender. *)
+      match
+        Service.Client.rpc ~socket:path
+          (Service.Protocol.Resubmit
+             {
+               name = "bad";
+               base = `Job job1;
+               delta = [ Netlist.Delta.Remove_cell "10" ];
+               options = None;
+             })
+      with
+      | Error e -> Alcotest.fail e
+      | Ok reply -> (
+          match Service.Client.ok_or_error reply with
+          | Ok _ -> Alcotest.fail "referenced removal accepted"
+          | Error (code, msg) ->
+              checks "bad request" Service.Protocol.code_bad_request code;
+              checkb "names the broken pair" true
+                (astr_contains msg "10" && astr_contains msg "22")))
+
+let test_server_resubmit_evicted_base_cold_fallback () =
+  (* cache_cap 1: the second submission evicts the base's cached context,
+     so a resubmit against it must flag cold_fallback and still run. *)
+  with_server
+    ~config:(fun c -> { c with Service.Server.cache_cap = 1 })
+    (fun path ->
+      let base = Netlist.Bench_format.to_string (Netlist.Generator.c17 ()) in
+      let r1 = rpc_ok path (submit_req "base" base) in
+      let job1 = int_field "job" r1 in
+      ignore (result_doc path job1);
+      let other =
+        Netlist.Bench_format.to_string
+          (Netlist.Generator.ripple_adder ~bits:4 ())
+      in
+      let r2 = rpc_ok path (submit_req "evictor" other) in
+      ignore (result_doc path (int_field "job" r2));
+      let r3 =
+        rpc_ok path
+          (Service.Protocol.Resubmit
+             {
+               name = "eco";
+               base = `Job job1;
+               delta = [ Netlist.Delta.Set_output { net = "16"; output = true } ];
+               options = None;
+             })
+      in
+      checkb "cold fallback flagged" true
+        (Option.value ~default:false
+           (Option.bind (J.member "cold_fallback" r3) J.to_bool));
+      ignore (result_doc path (int_field "job" r3));
+      checki "counted as cold fallback" 1
+        (stats_counter path "service.resubmit_cold_fallback");
+      checki "no warm resubmit" 0 (stats_counter path "service.resubmit_warm");
+      (* An unknown base is a typed not_found. *)
+      match
+        Service.Client.rpc ~socket:path
+          (Service.Protocol.Resubmit
+             { name = "x"; base = `Job 9999; delta = []; options = None })
+      with
+      | Error e -> Alcotest.fail e
+      | Ok reply -> (
+          match Service.Client.ok_or_error reply with
+          | Ok _ -> Alcotest.fail "unknown base accepted"
+          | Error (code, _) ->
+              checks "not found" Service.Protocol.code_not_found code))
+
 let test_server_backpressure_and_cancel () =
   (* queue_cap 1: one job runs, one queues, the third is refused. *)
   with_server
@@ -526,11 +705,17 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_protocol_roundtrip;
           Alcotest.test_case "bad requests" `Quick test_protocol_bad_requests;
+          QCheck_alcotest.to_alcotest qcheck_delta_codec_roundtrip;
         ] );
       ( "daemon",
         [
           Alcotest.test_case "cache hit on permuted resubmit" `Quick
             test_server_cache_hit_on_permuted_resubmit;
+          QCheck_alcotest.to_alcotest qcheck_resubmit_noop_byte_identity;
+          Alcotest.test_case "resubmit warm start" `Quick
+            test_server_resubmit_warm;
+          Alcotest.test_case "resubmit after eviction falls back cold" `Quick
+            test_server_resubmit_evicted_base_cold_fallback;
           Alcotest.test_case "backpressure and cancel" `Quick
             test_server_backpressure_and_cancel;
           Alcotest.test_case "timeout" `Quick test_server_timeout;

@@ -3,8 +3,11 @@
 # socket and drive the full client surface against it. Checks that (1) a
 # byte-permuted but semantically identical netlist is answered from the
 # result cache with a byte-identical reply, (2) an in-flight job can be
-# cancelled, (3) the daemon survives a malformed frame, and (4) shutdown
-# drains cleanly and unlinks the socket.
+# cancelled, (3) the daemon survives a malformed frame, (4) an
+# incremental resubmit of an edited s38584 is served warm an order of
+# magnitude faster than a cold run at equivalent cost — and the empty
+# delta is answered byte-identically from the cache without running any
+# F-M — and (5) shutdown drains cleanly and unlinks the socket.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -84,7 +87,65 @@ assert stats["cache"]["len"] >= 1, stats["cache"]
 print("service check: counters ok", counters)
 PY
 
-# 5. Graceful shutdown: daemon exits and the socket file is gone.
+# 5. Incremental resubmit: a 1% ECO of s38584, resubmitted against the
+#    base partition's digest, must be served warm at least 10x faster
+#    than the cold run of the edited netlist and land within 2% of the
+#    cold cost. The empty delta must reply the cached base document
+#    byte-for-byte without moving the F-M counters.
+"$FPGAPART" generate s38584 "$tmpdir/s38584.bench" >/dev/null
+"$FPGAPART" perturb --bench "$tmpdir/s38584.bench" --seed 7 --frac 0.01 \
+    --delta-out "$tmpdir/delta.json" --edited-out "$tmpdir/edited.bench" \
+    >/dev/null
+"$FPGAPART" submit --socket "$sock" --bench "$tmpdir/s38584.bench" \
+    --runs 2 --seed 1 > "$tmpdir/eco_base.json" 2>/dev/null
+digest=$(python3 -c \
+    'import json, sys; print(json.load(open(sys.argv[1]))["digest"])' \
+    "$tmpdir/eco_base.json")
+t0=$(date +%s%N)
+"$FPGAPART" submit --socket "$sock" --bench "$tmpdir/edited.bench" \
+    --runs 2 --seed 1 > "$tmpdir/eco_cold.json" 2>/dev/null
+t1=$(date +%s%N)
+"$FPGAPART" resubmit --socket "$sock" --base-digest "$digest" \
+    --delta "$tmpdir/delta.json" > "$tmpdir/eco_warm.json" 2>/dev/null
+t2=$(date +%s%N)
+cold_ms=$(( (t1 - t0) / 1000000 ))
+warm_ms=$(( (t2 - t1) / 1000000 ))
+[ $(( warm_ms * 10 )) -le "$cold_ms" ] || {
+    echo "resubmit too slow: warm ${warm_ms}ms vs cold ${cold_ms}ms (need 10x)" >&2
+    exit 1
+}
+python3 - "$tmpdir/eco_cold.json" "$tmpdir/eco_warm.json" <<'PY'
+import json, sys
+
+cold = json.load(open(sys.argv[1]))["result"]["total_cost"]
+warm = json.load(open(sys.argv[2]))["result"]["total_cost"]
+assert abs(warm - cold) <= 0.02 * cold, \
+    f"warm cost {warm} not within 2% of cold {cold}"
+PY
+"$FPGAPART" svc-stats --socket "$sock" > "$tmpdir/stats_pre.json"
+printf '{"ops":[]}' > "$tmpdir/empty.json"
+"$FPGAPART" resubmit --socket "$sock" --base-digest "$digest" \
+    --delta "$tmpdir/empty.json" > "$tmpdir/eco_noop.json" 2>/dev/null
+"$FPGAPART" svc-stats --socket "$sock" > "$tmpdir/stats_post.json"
+cmp "$tmpdir/eco_noop.json" "$tmpdir/eco_base.json" \
+    || { echo "empty-delta resubmit differs from cached base reply" >&2; exit 1; }
+python3 - "$tmpdir/stats_pre.json" "$tmpdir/stats_post.json" <<'PY'
+import json, sys
+
+pre = json.load(open(sys.argv[1]))["obs"]["counters"]
+post = json.load(open(sys.argv[2]))["obs"]["counters"]
+assert post.get("service.resubmit_warm") == 1, post
+assert post.get("service.resubmit_warm_failed", 0) == 0, post
+assert post.get("service.resubmit_cold_fallback", 0) == 0, post
+assert post.get("service.resubmit_noop") == 1, post
+assert pre.get("service.fm_applied_ops", 0) == post.get("service.fm_applied_ops", 0), \
+    "empty-delta resubmit ran F-M"
+
+print("service check: resubmit ok", {k: v for k, v in post.items() if "resubmit" in k})
+PY
+echo "service check: resubmit warm ${warm_ms}ms vs cold ${cold_ms}ms"
+
+# 6. Graceful shutdown: daemon exits and the socket file is gone.
 "$FPGAPART" svc-shutdown --socket "$sock" >/dev/null
 wait "$daemon_pid"
 daemon_pid=
