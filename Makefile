@@ -1,4 +1,4 @@
-.PHONY: all build test bench lint schema trace service perf ci clean
+.PHONY: all build test bench lint schema trace service perf objectives ci clean
 
 all: build
 
@@ -42,6 +42,13 @@ service: build
 perf: build
 	sh tools/check_perf.sh
 
+# Objective-API gate: --objective paper must reproduce the scalar
+# partitioner's decisions byte-for-byte against test/golden/ on all
+# bundled circuits, and the multi-personality / chiplet objectives must
+# run end-to-end (see tools/check_objectives.sh).
+objectives: build
+	sh tools/check_objectives.sh
+
 # CI runs the suite and the schema gate under both FPGAPART_JOBS=1 and
 # FPGAPART_JOBS=4 (the tests read the variable to size the domain pool),
 # then diffs the two scrubbed telemetry documents: the parallel search
@@ -55,6 +62,7 @@ ci: build lint
 	sh tools/check_trace.sh
 	sh tools/check_service.sh
 	sh tools/check_perf.sh
+	sh tools/check_objectives.sh
 	@echo "ci: scrubbed telemetry identical across FPGAPART_JOBS=1/4"
 
 clean:

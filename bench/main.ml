@@ -258,6 +258,25 @@ let partition_stats () =
                 Obs.Json.Obj (fields @ [ ("resubmit", row) ])
             | other -> other))
   in
+  (* Per-objective ablation rides along: every builtin cost objective on
+     every suite circuit, so the paper / multi-personality / chiplet
+     numbers sit next to the main campaign they vary. *)
+  let doc =
+    progress "objectives: %d circuits x %d objectives..."
+      (List.length (Experiments.Suite.all ()))
+      (List.length Fpga.Objective.builtins);
+    let rows =
+      List.concat_map
+        (Experiments.Objectives.run ~runs:!kway_runs ~seed:1)
+        (Experiments.Suite.all ())
+    in
+    Format.printf "%a@." Experiments.Objectives.pp rows;
+    match doc with
+    | Obs.Json.Obj fields ->
+        Obs.Json.Obj
+          (fields @ [ ("objectives", Experiments.Objectives.rows_to_json rows) ])
+    | other -> other
+  in
   Experiments.Obs_report.write ~path:"BENCH_partition.json" doc;
   (match speedups with
   | [] -> ()

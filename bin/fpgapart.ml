@@ -78,6 +78,8 @@ let runs_arg = Cli_common.runs ()
 let stats_json_arg = Cli_common.stats_json ()
 let trace_arg = Cli_common.trace ()
 let jobs_arg = Cli_common.jobs ()
+let objective_arg = Cli_common.objective ()
+let device_lib_arg = Cli_common.device_lib ()
 
 let verbose_arg =
   Arg.(
@@ -199,8 +201,10 @@ let partition_cmd =
     "Partition a circuit into a heterogeneous XC3000 set minimising total \
      device cost and interconnect (the paper's main flow)."
   in
-  let run bench builtin seed threshold runs jobs verbose stats_json trace =
+  let run bench builtin seed threshold runs jobs verbose stats_json trace
+      objective device_lib =
     setup_logs verbose;
+    let library = or_die (Cli_common.library_of_path device_lib) in
     let c = or_die (load_circuit bench builtin) in
     let name =
       match (builtin, bench) with
@@ -215,7 +219,8 @@ let partition_cmd =
        flushed (marked "interrupted") instead of dying mid-write. *)
     let should_stop = Service.Signals.install_stop_flag () in
     let options =
-      Core.Kway.Options.make ~runs ~seed ~replication ~jobs ~should_stop ()
+      Core.Kway.Options.make ~runs ~seed ~replication ~jobs ~should_stop
+        ~objective ()
     in
     (* One sink serves both artifacts; tracing is enabled only when a trace
        file was requested, so --stats-json alone pays no wall-clock or GC
@@ -235,7 +240,7 @@ let partition_cmd =
              exit 1);
           Format.printf "trace: %s (open in ui.perfetto.dev)@." path
     in
-    match Core.Kway.partition ~obs ~options ~library:Fpga.Library.xc3000 h with
+    match Core.Kway.partition ~obs ~options ~library h with
     | Error msg when String.equal msg Core.Kway.cancelled ->
         (match stats_json with
         | None -> ()
@@ -292,7 +297,8 @@ let partition_cmd =
     (Cmd.info "partition" ~doc)
     Term.(
       const run $ bench_arg $ circuit_arg $ seed_arg $ threshold_arg $ runs_arg
-      $ jobs_arg $ verbose_arg $ stats_json_arg $ trace_arg)
+      $ jobs_arg $ verbose_arg $ stats_json_arg $ trace_arg $ objective_arg
+      $ device_lib_arg)
 
 
 let convert_cmd =

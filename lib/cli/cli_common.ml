@@ -75,6 +75,52 @@ let jobs ?(default = 1) () =
            independent of $(docv) — only wall-clock time and the *_secs \
            timers change. Defaults to $(env), then 1.")
 
+(* The objective flag parses straight to the objective value via
+   Objective.of_name, so the CLI error lists the valid names and a typo
+   can never reach the driver. *)
+let objective_conv =
+  let parse s =
+    match Fpga.Objective.of_name s with
+    | Ok o -> Ok o
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt (o : Fpga.Objective.t) =
+    Format.pp_print_string fmt o.Fpga.Objective.name
+  in
+  Arg.conv ~docv:"NAME" (parse, print)
+
+let objective () =
+  Arg.(
+    value
+    & opt objective_conv Fpga.Objective.paper
+    & info [ "objective" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf
+             "Cost objective driving device choice and ranking: %s. \
+              $(b,paper) (the default) is the paper's total-device-cost \
+              model and reproduces the scalar driver bit for bit; \
+              $(b,multi-personality) adds per-resource (FF/BRAM/DSP) \
+              feasibility; $(b,chiplet) prices every cut signal as an \
+              interposer crossing."
+             (String.concat ", " Fpga.Objective.names)))
+
+let device_lib () =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "device-lib" ] ~docv:"FILE"
+        ~doc:
+          "Load the device library from $(docv) (JSON: {\"devices\": \
+           [...]}, each device either the scalar form {name, capacity, \
+           terminals, price, util_low?, util_high?} or the vector form \
+           {name, price, resources: {clb, ff, bram, dsp, io}, res_low?, \
+           res_high?}; see README, 'Objectives & device libraries'). \
+           Defaults to the built-in XC3000 family.")
+
+let library_of_path = function
+  | None -> Ok Fpga.Library.xc3000
+  | Some path -> Fpga.Library.load path
+
 let socket () =
   Arg.(
     required

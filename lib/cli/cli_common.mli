@@ -40,6 +40,20 @@ val jobs : ?default:int -> unit -> int Cmdliner.Term.t
     same way), so a bad budget never reaches
     {!Core.Kway.Options.make}. *)
 
+val objective : unit -> Fpga.Objective.t Cmdliner.Term.t
+(** [--objective NAME] — the cost objective (default
+    {!Fpga.Objective.paper}). Parsed via {!Fpga.Objective.of_name}, so an
+    unknown name is a Cmdliner parse error listing the valid names. *)
+
+val device_lib : unit -> string option Cmdliner.Term.t
+(** [--device-lib FILE] — JSON device library; absent means the built-in
+    XC3000 family. *)
+
+val library_of_path : string option -> (Fpga.Library.t, string) result
+(** Resolve {!device_lib}'s value: [None] is {!Fpga.Library.xc3000},
+    [Some path] loads and validates the JSON file
+    ({!Fpga.Library.load}). *)
+
 val socket : unit -> string Cmdliner.Term.t
 (** [--socket PATH] — the daemon's Unix-domain socket, shared by
     [fpgapart serve] and every client subcommand. Required; the

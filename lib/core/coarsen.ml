@@ -127,9 +127,18 @@ let coarsen ~rng (h : Hypergraph.t) =
                (fun acc c -> acc + (Hypergraph.cell h c).Hypergraph.area)
                0 cells
            in
+           let demand = Array.make Hypergraph.demand_arity 0 in
+           List.iter
+             (fun c ->
+               let d = (Hypergraph.cell h c).Hypergraph.demand in
+               for a = 0 to Array.length d - 1 do
+                 demand.(a) <- demand.(a) + d.(a)
+               done)
+             cells;
            {
              Hypergraph.s_name = Printf.sprintf "cl%d" k;
              s_area = area;
+             s_demand = demand;
              s_inputs = Netlist.Vec.to_array inputs;
              s_outputs = Netlist.Vec.to_array outputs;
              (* Clusters are opaque: every output depends on every input. *)

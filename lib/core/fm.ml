@@ -74,7 +74,35 @@ type device_bounds = {
   min_clbs : int;
   max_clbs : int;
   max_terminals : int;
+  res_max : int array;
 }
+
+let bounds ?(res_max = [||]) ~min_clbs ~max_clbs ~max_terminals () =
+  if min_clbs < 0 || max_clbs < min_clbs then
+    invalid_arg "Fm.bounds: need 0 <= min_clbs <= max_clbs";
+  if max_terminals < 0 then
+    invalid_arg "Fm.bounds: max_terminals must be non-negative";
+  if
+    Array.length res_max <> 0
+    && Array.length res_max <> Hypergraph.demand_arity
+  then
+    invalid_arg "Fm.bounds: res_max must be empty or demand_arity long";
+  { min_clbs; max_clbs; max_terminals; res_max }
+
+(* Secondary-axis overflow, as a soft penalty like the terminal budget
+   already is (never part of area_ok, so the hot loop's legality check
+   stays two integer compares). [res_max = [||]] — the scalar objectives —
+   skips the loop entirely and adds a literal 0 to the score, keeping the
+   legacy formula bit-identical. *)
+let res_pen st side res_max =
+  if Array.length res_max = 0 then 0
+  else begin
+    let p = ref 0 in
+    for a = 1 to Array.length res_max - 1 do
+      p := !p + max 0 (Partition_state.resource st side a - res_max.(a))
+    done;
+    !p
+  end
 
 let device_config ?(objective = Cut) ?(replication = `None) ?(max_passes = 12)
     ?(should_stop = never_stop) ~bounds () =
@@ -89,6 +117,7 @@ let device_config ?(objective = Cut) ?(replication = `None) ?(max_passes = 12)
         max 0 (bounds.min_clbs - a)
         + max 0 (a - bounds.max_clbs)
         + max 0 (ta - bounds.max_terminals)
+        + res_pen st Partition_state.A bounds.res_max
       in
       (* Prefer a smaller remainder at equal cut: it fills the split-off
          device (fewer, better-used devices cost less — objective 1)
@@ -107,12 +136,14 @@ let two_device_config ?(objective = Terminals) ?(replication = `None)
       let b = Partition_state.area st Partition_state.B in
       let ta = Partition_state.terminals st Partition_state.A in
       let tb = Partition_state.terminals st Partition_state.B in
-      let pen_of bounds clbs terms =
+      let pen_of bounds side clbs terms =
         max 0 (bounds.min_clbs - clbs)
         + max 0 (clbs - bounds.max_clbs)
         + max 0 (terms - bounds.max_terminals)
+        + res_pen st side bounds.res_max
       in
-      ( pen_of bounds_a a ta + pen_of bounds_b b tb,
+      ( pen_of bounds_a Partition_state.A a ta
+        + pen_of bounds_b Partition_state.B b tb,
         objective_value objective st,
         a + b (* prefer shedding replicas at equal objective *) ))
     ()

@@ -135,7 +135,29 @@ type device_bounds = {
   min_clbs : int;
   max_clbs : int;
   max_terminals : int;
+  res_max : int array;
+      (** per-axis caps over the demand axes ([Hypergraph.demand_arity]
+          long, axis 0 ignored — the CLB window already covers it), or
+          [[||]] for "primary axis only" (the paper's scalar model).
+          Violations are charged to the penalty leg of the score exactly
+          like the terminal budget, never to [area_ok], so the hot loop's
+          legality check stays scalar. *)
 }
+(** @deprecated Constructing this record literally is deprecated — new
+    bound axes would break literal builders (this redesign did exactly
+    that). Use {!bounds}. The record stays exposed for field access. *)
+
+val bounds :
+  ?res_max:int array ->
+  min_clbs:int ->
+  max_clbs:int ->
+  max_terminals:int ->
+  unit ->
+  device_bounds
+(** Labelled constructor for {!device_bounds}; [res_max] defaults to
+    [[||]]. Raises [Invalid_argument] on a negative or inverted CLB
+    window, a negative terminal budget, or a [res_max] that is neither
+    empty nor [Hypergraph.demand_arity] long. *)
 
 val device_config :
   ?objective:objective ->

@@ -7,6 +7,7 @@ type part = {
   members : (int * Bitvec.t) list;
   clbs : int;
   iobs : int;
+  used : int array;
 }
 
 type result = {
@@ -31,7 +32,21 @@ type options = {
   refine_rounds : int;
   jobs : int;
   should_stop : unit -> bool;
+  objective : Fpga.Objective.t;
 }
+
+(* The objective's F-M preferences are structural variants (lib/fpga sits
+   below this library); map them onto the engine's own type. *)
+let fm_obj_of : Fpga.Objective.fm_objective -> Fm.objective = function
+  | `Cut -> Fm.Cut
+  | `Terminals -> Fm.Terminals
+
+(* Secondary-axis caps for the F-M penalty leg: none under the paper's
+   scalar model, the device's per-axis maxima under vector feasibility. *)
+let res_max_of (objective : Fpga.Objective.t) dev =
+  match objective.Fpga.Objective.feasibility with
+  | Fpga.Objective.Primary -> [||]
+  | Fpga.Objective.Vector -> Fpga.Device.demand_caps dev
 
 let cancelled = "cancelled"
 
@@ -48,13 +63,15 @@ module Options = struct
       refine_rounds = 1;
       jobs = 1;
       should_stop = never_stop;
+      objective = Fpga.Objective.paper;
     }
 
   let make ?(runs = default.runs) ?(seed = default.seed)
       ?(replication = default.replication) ?(max_passes = default.max_passes)
       ?(fm_attempts = default.fm_attempts)
       ?(refine_rounds = default.refine_rounds) ?(jobs = default.jobs)
-      ?(should_stop = default.should_stop) () =
+      ?(should_stop = default.should_stop) ?(objective = default.objective) ()
+      =
     (* Fail loudly at construction: a zero or negative budget otherwise
        surfaces far downstream as "no feasible partition" (runs = 0), an
        empty restart loop (fm_attempts = 0) or a pool that silently runs
@@ -83,6 +100,7 @@ module Options = struct
       refine_rounds;
       jobs;
       should_stop;
+      objective;
     }
 end
 
@@ -125,18 +143,20 @@ let translate orig_of members =
    order; and the winner fold applies the sequential first-best tie-break. *)
 let try_device ~opts ~attempt_jobs ~rng ~obs rest (dev : Fpga.Device.t) =
   let area = Hypergraph.total_area rest in
-  let bounds =
-    {
-      Fm.min_clbs = max 1 (Fpga.Device.min_clbs dev);
-      max_clbs = min (Fpga.Device.max_clbs dev) (area - 1);
-      max_terminals = dev.Fpga.Device.terminals;
-    }
-  in
-  if bounds.Fm.max_clbs < bounds.Fm.min_clbs then None
+  let min_clbs = max 1 (Fpga.Device.min_clbs dev) in
+  let max_clbs = min (Fpga.Device.max_clbs dev) (area - 1) in
+  if max_clbs < min_clbs then None
   else begin
+    let bounds =
+      Fm.bounds
+        ~res_max:(res_max_of opts.objective dev)
+        ~min_clbs ~max_clbs ~max_terminals:dev.Fpga.Device.terminals ()
+    in
     let cfg =
-      Fm.device_config ~objective:Fm.Cut ~replication:opts.replication
-        ~max_passes:opts.max_passes ~should_stop:opts.should_stop ~bounds ()
+      Fm.device_config
+        ~objective:(fm_obj_of opts.objective.Fpga.Objective.split_objective)
+        ~replication:opts.replication ~max_passes:opts.max_passes
+        ~should_stop:opts.should_stop ~bounds ()
     in
     (* Aim near the top of the window: fuller devices mean fewer devices
        and lower total cost (objective 1). *)
@@ -176,6 +196,18 @@ let try_device ~opts ~attempt_jobs ~rng ~obs rest (dev : Fpga.Device.t) =
   end
 
 let run_once ~library ~opts ~attempt_jobs ~rng ~obs hg =
+  let obj = opts.objective in
+  (* Cheapest device accepting a whole subcircuit: the paper's scalar
+     test verbatim under [Primary], per-axis windows under [Vector]. *)
+  let smallest_for ?relax_low ~demand ~iobs () =
+    match obj.Fpga.Objective.feasibility with
+    | Fpga.Objective.Primary ->
+        Fpga.Library.smallest_fitting ?relax_low library
+          ~clbs:(Fpga.Resource.get demand Fpga.Resource.clb)
+          ~iobs
+    | Fpga.Objective.Vector ->
+        Fpga.Library.smallest_fitting_demand ?relax_low library ~demand ~iobs
+  in
   let num_orig = Hypergraph.num_cells hg in
   let identity =
     Array.init num_orig (fun c ->
@@ -192,10 +224,8 @@ let run_once ~library ~opts ~attempt_jobs ~rng ~obs hg =
     else begin
       let area = Hypergraph.total_area rest in
       let ext = count_external rest in
-      match
-        Fpga.Library.smallest_fitting ~relax_low:true library ~clbs:area
-          ~iobs:ext
-      with
+      let rest_demand = Hypergraph.total_demand rest in
+      match smallest_for ~relax_low:true ~demand:rest_demand ~iobs:ext () with
       | Some dev ->
           (* The whole remainder fits one device. *)
           Log.debug (fun m ->
@@ -217,7 +247,11 @@ let run_once ~library ~opts ~attempt_jobs ~rng ~obs hg =
                        (Array.length
                           (Hypergraph.cell rest c).Hypergraph.outputs) )))
           in
-          Ok (List.rev ({ device = dev; members; clbs = area; iobs = ext } :: parts))
+          Ok
+            (List.rev
+               ({ device = dev; members; clbs = area; iobs = ext;
+                  used = rest_demand }
+               :: parts))
       | None -> (
           (* Split off one device: evaluate every candidate device and keep
              the split with the best local cost efficiency (price of the
@@ -250,14 +284,16 @@ let run_once ~library ~opts ~attempt_jobs ~rng ~obs hg =
                         let iobs =
                           Partition_state.terminals st Partition_state.A
                         in
+                        let used =
+                          Partition_state.resources st Partition_state.A
+                        in
                         (* Right-size: the split was shaped for [dev], but a
                            cheaper device may accept the same subcircuit. *)
                         let dev =
-                          match
-                            Fpga.Library.smallest_fitting library ~clbs ~iobs
-                          with
+                          match smallest_for ~demand:used ~iobs () with
                           | Some d
-                            when d.Fpga.Device.price < dev.Fpga.Device.price ->
+                            when obj.Fpga.Objective.device_cost d
+                                 < obj.Fpga.Objective.device_cost dev ->
                               d
                           | _ -> dev
                         in
@@ -271,11 +307,19 @@ let run_once ~library ~opts ~attempt_jobs ~rng ~obs hg =
                               ("iobs", Obs.Json.Int iobs);
                               ("cut", Obs.Json.Int (Partition_state.cut st));
                             ];
+                        (* Local cost efficiency under the objective: what
+                           this split spends (device plus interconnect) per
+                           CLB covered. The paper's net cost is 0.0, so the
+                           sum is bitwise the legacy price-per-CLB. *)
                         let rate =
-                          dev.Fpga.Device.price /. float_of_int (max 1 clbs)
+                          (obj.Fpga.Objective.device_cost dev
+                          +. obj.Fpga.Objective.net_cost
+                               ~nets:(Partition_state.cut st))
+                          /. float_of_int (max 1 clbs)
                         in
                         Some
-                          ((rate, Partition_state.cut st), (dev, st, clbs, iobs)))
+                          ( (rate, Partition_state.cut st),
+                            (dev, st, clbs, iobs, used) ))
                   (Fpga.Library.by_efficiency library))
           in
           match
@@ -286,7 +330,7 @@ let run_once ~library ~opts ~attempt_jobs ~rng ~obs hg =
                 Obs.event obs "kway.split_failed"
                   [ ("step", Obs.Json.Int step) ];
               Error "no feasible split for the remainder"
-          | (_, (dev, st, clbs, iobs)) :: _ ->
+          | (_, (dev, st, clbs, iobs, used)) :: _ ->
               Log.debug (fun m ->
                   m "split: %s takes %d CLBs / %d IOBs; %d CLBs remain"
                     dev.Fpga.Device.name clbs iobs
@@ -310,7 +354,8 @@ let run_once ~library ~opts ~attempt_jobs ~rng ~obs hg =
                 Partition_state.side_copies st Partition_state.A
               in
               let part =
-                { device = dev; members = translate orig_of members_a; clbs; iobs }
+                { device = dev; members = translate orig_of members_a;
+                  clbs; iobs; used }
               in
               let specs_b = Partition_state.side_copies st Partition_state.B in
               let rest', spec_arr = Hypergraph.induce_copies rest specs_b in
@@ -377,20 +422,23 @@ let refine_pair ~opts ~obs ?active hg library (pi : part) (pj : part) =
     !acc
   in
   let st = Partition_state.create_with_masks hu ~masks:init in
+  let obj = opts.objective in
   let bounds (p : part) =
-    {
-      Fm.min_clbs = 1;
-      max_clbs = Fpga.Device.max_clbs p.device;
-      max_terminals = p.device.Fpga.Device.terminals;
-    }
+    Fm.bounds
+      ~res_max:(res_max_of obj p.device)
+      ~min_clbs:1
+      ~max_clbs:(Fpga.Device.max_clbs p.device)
+      ~max_terminals:p.device.Fpga.Device.terminals ()
   in
   let sub_active =
     Option.map (fun act k -> act (fst spec_arr.(k))) active
   in
   let cfg =
-    Fm.two_device_config ~replication:opts.replication
-      ~max_passes:opts.max_passes ~should_stop:opts.should_stop ?active:sub_active
-      ~bounds_a:(bounds pi) ~bounds_b:(bounds pj) ()
+    Fm.two_device_config
+      ~objective:(fm_obj_of obj.Fpga.Objective.refine_objective)
+      ~replication:opts.replication ~max_passes:opts.max_passes
+      ~should_stop:opts.should_stop ?active:sub_active ~bounds_a:(bounds pi)
+      ~bounds_b:(bounds pj) ()
   in
   let s0 = cfg.Fm.score st in
   let s1 = Fm.run_staged ~obs cfg st in
@@ -412,13 +460,25 @@ let refine_pair ~opts ~obs ?active hg library (pi : part) (pj : part) =
     let rebuild side (p : part) =
       let clbs = Partition_state.area st side in
       let iobs = Partition_state.terminals st side in
+      let used = Partition_state.resources st side in
       (* Keep the device unless a cheaper one now accepts the side. *)
+      let candidate =
+        match obj.Fpga.Objective.feasibility with
+        | Fpga.Objective.Primary ->
+            Fpga.Library.smallest_fitting ~relax_low:true library ~clbs ~iobs
+        | Fpga.Objective.Vector ->
+            Fpga.Library.smallest_fitting_demand ~relax_low:true library
+              ~demand:used ~iobs
+      in
       let device =
-        match Fpga.Library.smallest_fitting ~relax_low:true library ~clbs ~iobs with
-        | Some d when d.Fpga.Device.price < p.device.Fpga.Device.price -> d
+        match candidate with
+        | Some d
+          when obj.Fpga.Objective.device_cost d
+               < obj.Fpga.Objective.device_cost p.device ->
+            d
         | _ -> p.device
       in
-      { device; members = translate_side side; clbs; iobs }
+      { device; members = translate_side side; clbs; iobs; used }
     in
     let _, t0, _ = s0 and _, t1, _ = s1 in
     Some (rebuild Partition_state.A pi, rebuild Partition_state.B pj, t0, t1)
@@ -542,7 +602,7 @@ let refine ~opts ~obs ?dirty hg library parts =
 let summarize_parts hg parts =
   let placements =
     List.map
-      (fun p -> { Fpga.Cost.device = p.device; clbs = p.clbs; iobs = p.iobs })
+      (fun p -> Fpga.Cost.place p.device ~used:p.used ~clbs:p.clbs ~iobs:p.iobs ())
       parts
   in
   let summary = Fpga.Cost.summarize placements in
@@ -623,8 +683,13 @@ let partition ?(obs = Obs.noop) ?(options = Options.default) ~library hg =
       | None -> ()
       | Some ((_, summary, _, _) as v) ->
           incr feasible;
+          (* Rank by the objective's total (devices plus interconnect; the
+             paper's net cost is 0.0, so this is bitwise the legacy device
+             total), IOB utilization as the paper's tie-break. *)
           let key =
-            ( summary.Fpga.Cost.total_cost,
+            ( Fpga.Objective.total_cost options.objective
+                ~device_cost:summary.Fpga.Cost.total_cost
+                ~cut_nets:summary.Fpga.Cost.total_iobs,
               summary.Fpga.Cost.avg_iob_utilization )
           in
           let better =
@@ -723,13 +788,19 @@ let warm_start ?(obs = Obs.noop) ?(options = Options.default) ~library ~warm hg
        placed. Presence lists are kept duplicate-free ([k] is tiny). *)
     let parts_on_net = Array.make hg.Hypergraph.num_nets [] in
     let clbs = Array.make k 0 in
+    let used = Array.make_matrix k Hypergraph.demand_arity 0 in
     let note_cell c p =
-      clbs.(p) <- clbs.(p) + (Hypergraph.cell hg c).Hypergraph.area;
+      let cell = Hypergraph.cell hg c in
+      clbs.(p) <- clbs.(p) + cell.Hypergraph.area;
+      let d = cell.Hypergraph.demand in
+      for a = 0 to Array.length d - 1 do
+        used.(p).(a) <- used.(p).(a) + d.(a)
+      done;
       Array.iter
         (fun nt ->
           if not (List.mem p parts_on_net.(nt)) then
             parts_on_net.(nt) <- p :: parts_on_net.(nt))
-        (Hypergraph.cell_nets (Hypergraph.cell hg c))
+        (Hypergraph.cell_nets cell)
     in
     for c = 0 to n - 1 do
       if labels.(c) >= 0 then note_cell c labels.(c)
@@ -798,12 +869,23 @@ let warm_start ?(obs = Obs.noop) ?(options = Options.default) ~library ~warm hg
       else
         let cl = clbs.(p) and io = iobs.(p) in
         let dev =
-          if
-            Fpga.Device.fits ~relax_low:true warm.w_devices.(p) ~clbs:cl
-              ~iobs:io
-          then Some warm.w_devices.(p)
-          else Fpga.Library.smallest_fitting ~relax_low:true library ~clbs:cl
-              ~iobs:io
+          match options.objective.Fpga.Objective.feasibility with
+          | Fpga.Objective.Primary ->
+              if
+                Fpga.Device.fits ~relax_low:true warm.w_devices.(p) ~clbs:cl
+                  ~iobs:io
+              then Some warm.w_devices.(p)
+              else
+                Fpga.Library.smallest_fitting ~relax_low:true library ~clbs:cl
+                  ~iobs:io
+          | Fpga.Objective.Vector ->
+              if
+                Fpga.Device.fits_demand ~relax_low:true warm.w_devices.(p)
+                  ~demand:used.(p) ~iobs:io
+              then Some warm.w_devices.(p)
+              else
+                Fpga.Library.smallest_fitting_demand ~relax_low:true library
+                  ~demand:used.(p) ~iobs:io
         in
         match dev with
         | None ->
@@ -811,7 +893,9 @@ let warm_start ?(obs = Obs.noop) ?(options = Options.default) ~library ~warm hg
               cl io
         | Some device ->
             build (p - 1)
-              ({ device; members = members.(p); clbs = cl; iobs = io } :: acc)
+              ({ device; members = members.(p); clbs = cl; iobs = io;
+                 used = used.(p) }
+              :: acc)
     in
     match build (k - 1) [] with
     | Error _ as e -> e
@@ -914,6 +998,17 @@ let check hg result =
                     (fun acc (c, _) -> acc + (Hypergraph.cell hg c).Hypergraph.area)
                     0 p.members
                 in
+                (* A member pays its whole demand vector wherever it
+                   appears — the replication accounting the per-side
+                   resource counters use. *)
+                let demand = Array.make Hypergraph.demand_arity 0 in
+                List.iter
+                  (fun (c, _) ->
+                    let d = (Hypergraph.cell hg c).Hypergraph.demand in
+                    for a = 0 to Array.length d - 1 do
+                      demand.(a) <- demand.(a) + d.(a)
+                    done)
+                  p.members;
                 let iobs = ref 0 in
                 Array.iteri
                   (fun n touchers ->
@@ -929,6 +1024,16 @@ let check hg result =
                     clbs
                 else if !iobs <> p.iobs then
                   err "part %d: recorded %d IOBs, recomputed %d" j p.iobs !iobs
+                else if Array.length p.used <> Hypergraph.demand_arity then
+                  err "part %d: used vector has %d axes, expected %d" j
+                    (Array.length p.used) Hypergraph.demand_arity
+                else if p.used <> demand then
+                  err "part %d: recorded resource vector %s, members sum to %s"
+                    j
+                    (String.concat ","
+                       (Array.to_list (Array.map string_of_int p.used)))
+                    (String.concat ","
+                       (Array.to_list (Array.map string_of_int demand)))
                 else if
                   not
                     (Fpga.Device.fits ~relax_low:true p.device ~clbs

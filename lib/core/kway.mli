@@ -27,6 +27,11 @@ type part = {
           replicated) *)
   clbs : int;
   iobs : int;  (** terminals used: nets leaving this device *)
+  used : int array;
+      (** per-axis resource consumption ([Hypergraph.demand_arity] long;
+          [used.(0) = clbs]); a replicated member pays its whole demand
+          vector in every part it appears in, matching the CLB
+          accounting *)
 }
 
 type result = {
@@ -71,6 +76,15 @@ type options = {
           daemon points it at the job's cancel flag and deadline; the CLI
           points it at the SIGINT/SIGTERM flag. Like [jobs], it is an
           execution knob: it is never serialised into the stats schema. *)
+  objective : Fpga.Objective.t;
+      (** the cost model driving every pricing and feasibility decision:
+          device choice, split-efficiency ranking, F-M objectives, run
+          ranking. Defaults to {!Fpga.Objective.paper}, which is
+          bit-identical to the pre-objective scalar driver (its net cost
+          is the constant [0.0] and its feasibility mode keeps the scalar
+          device test). Unlike [jobs]/[should_stop] it {e is} part of the
+          result's identity, so the service serialises its [name] into
+          options fingerprints and digests. *)
 }
 (** @deprecated Constructing this record literally is deprecated: every new
     knob (like [jobs] or [should_stop]) is a breaking change for literal
@@ -100,6 +114,7 @@ module Options : sig
     ?refine_rounds:int ->
     ?jobs:int ->
     ?should_stop:(unit -> bool) ->
+    ?objective:Fpga.Objective.t ->
     unit ->
     t
   (** Every argument defaults to its {!default} value, so adding future

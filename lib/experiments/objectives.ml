@@ -1,0 +1,79 @@
+(* Per-objective ablation: the same circuit partitioned under each
+   builtin cost objective, tabulating what the objective changed. *)
+
+module J = Obs.Json
+
+type row = {
+  circuit : string;
+  objective : string;
+  outcome : (Core.Kway.result, string) result;
+}
+
+let run ?(runs = 5) ?(seed = 1) ?(objectives = Fpga.Objective.builtins)
+    (e : Suite.entry) =
+  let hg = Lazy.force e.Suite.hypergraph in
+  List.map
+    (fun objective ->
+      let options = Core.Kway.Options.make ~runs ~seed ~objective () in
+      let outcome =
+        Core.Kway.partition ~options ~library:Fpga.Library.xc3000 hg
+      in
+      { circuit = e.Suite.name; objective = objective.Fpga.Objective.name;
+        outcome })
+    objectives
+
+let objective_total name (r : Core.Kway.result) =
+  match Fpga.Objective.of_name name with
+  | Error _ -> r.Core.Kway.summary.Fpga.Cost.total_cost
+  | Ok obj ->
+      Fpga.Objective.total_cost obj
+        ~device_cost:r.Core.Kway.summary.Fpga.Cost.total_cost
+        ~cut_nets:r.Core.Kway.summary.Fpga.Cost.total_iobs
+
+let row_to_json row =
+  let base =
+    [
+      ("circuit", J.String row.circuit);
+      ("objective", J.String row.objective);
+    ]
+  in
+  match row.outcome with
+  | Error msg -> J.Obj (base @ [ ("error", J.String msg) ])
+  | Ok r ->
+      let s = r.Core.Kway.summary in
+      J.Obj
+        (base
+        @ [
+            ("num_partitions", J.Int s.Fpga.Cost.num_partitions);
+            ("device_cost", J.Float s.Fpga.Cost.total_cost);
+            ("objective_cost", J.Float (objective_total row.objective r));
+            ("total_iobs", J.Int s.Fpga.Cost.total_iobs);
+            ("avg_iob_utilization", J.Float s.Fpga.Cost.avg_iob_utilization);
+            ("replicated_cells", J.Int r.Core.Kway.replicated_cells);
+            ( "resource_util",
+              J.Obj
+                (List.map
+                   (fun (k, v) -> (k, J.Float v))
+                   s.Fpga.Cost.resource_util) );
+          ])
+
+let rows_to_json rows = J.List (List.map row_to_json rows)
+
+let pp fmt rows =
+  Format.fprintf fmt "@[<v>objective ablation@,";
+  Format.fprintf fmt "  %-8s %-18s %5s %10s %10s %6s@," "circuit" "objective"
+    "parts" "devices" "objective" "IOBs";
+  List.iter
+    (fun row ->
+      match row.outcome with
+      | Error msg ->
+          Format.fprintf fmt "  %-8s %-18s (%s)@," row.circuit row.objective
+            msg
+      | Ok r ->
+          let s = r.Core.Kway.summary in
+          Format.fprintf fmt "  %-8s %-18s %5d %10.1f %10.1f %6d@," row.circuit
+            row.objective s.Fpga.Cost.num_partitions s.Fpga.Cost.total_cost
+            (objective_total row.objective r)
+            s.Fpga.Cost.total_iobs)
+    rows;
+  Format.fprintf fmt "@]"

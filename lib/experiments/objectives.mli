@@ -1,0 +1,34 @@
+(** Per-objective ablation (the cost-objective API's experiment): the
+    same circuit partitioned under each builtin {!Fpga.Objective},
+    tabulating device cost, objective total (devices plus interconnect),
+    interconnect and resource utilization side by side.
+
+    Under the paper objective the row reproduces the main campaign
+    exactly (the objective is bit-identical to the scalar driver); the
+    multi-personality row shows what per-axis feasibility costs, and the
+    chiplet row what pricing cut signals buys back in interconnect. *)
+
+type row = {
+  circuit : string;
+  objective : string;  (** {!Fpga.Objective.t.name} *)
+  outcome : (Core.Kway.result, string) result;
+}
+
+val run :
+  ?runs:int ->
+  ?seed:int ->
+  ?objectives:Fpga.Objective.t list ->
+  Suite.entry ->
+  row list
+(** One row per objective (default {!Fpga.Objective.builtins}), same
+    seed and multi-start budget for all of them. *)
+
+val rows_to_json : row list -> Obs.Json.t
+(** Rows for [BENCH_partition.json]: [{"circuit"; "objective";
+    "num_partitions"; "device_cost"; "objective_cost"; "total_iobs";
+    "avg_iob_utilization"; "replicated_cells"; "resource_util"}] (or
+    [{"circuit"; "objective"; "error"}] for an infeasible combination).
+    The ["resource_util"] keys all end in [_util], so the determinism
+    scrub masks them like the timers. *)
+
+val pp : Format.formatter -> row list -> unit

@@ -1,6 +1,6 @@
 module J = Obs.Json
 
-let schema_version = 4
+let schema_version = 5
 
 let replication_to_json = function
   | `None -> J.String "none"
@@ -18,6 +18,10 @@ let options_to_json (o : Core.Kway.options) =
       ("max_passes", J.Int o.Core.Kway.max_passes);
       ("fm_attempts", J.Int o.Core.Kway.fm_attempts);
       ("refine_rounds", J.Int o.Core.Kway.refine_rounds);
+      (* New in v5. Part of the result's identity (unlike [jobs]), so the
+         service's options fingerprint — the md5 of this rendering —
+         separates cache entries produced under different objectives. *)
+      ("objective", J.String o.Core.Kway.objective.Fpga.Objective.name);
     ]
 
 let part_to_json (p : Core.Kway.part) =
@@ -44,6 +48,14 @@ let result_to_json (r : Core.Kway.result) =
       ("feasible_runs", J.Int r.Core.Kway.feasible_runs);
       ("wall_secs", J.Float r.Core.Kway.wall_secs);
       ("cpu_secs", J.Float r.Core.Kway.cpu_secs);
+      (* New in v5: per-axis aggregate utilization. Every key ends in
+         [_util], so the determinism scrub masks the whole object the way
+         it masks the [_secs] timers (the ratios are derived data). *)
+      ( "resource_util",
+        J.Obj
+          (List.map
+             (fun (k, v) -> (k, J.Float v))
+             s.Fpga.Cost.resource_util) );
       ("parts", J.List (List.map part_to_json r.Core.Kway.parts));
     ]
 

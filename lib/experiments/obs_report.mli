@@ -1,20 +1,26 @@
 (** Aggregation of partitioning telemetry into the stable JSON document
     behind [fpgapart partition --stats-json] and [BENCH_partition.json].
 
-    Schema (version 4) of a per-circuit document:
-    - ["schema_version"]: [4];
+    Schema (version 5) of a per-circuit document:
+    - ["schema_version"]: [5];
     - ["circuit"], ["seed"]: identification;
     - ["options"]: the {!Core.Kway.options} used ([runs], [seed],
-      [replication], [max_passes], [fm_attempts], [refine_rounds]).
-      [jobs] is deliberately omitted: it is an execution knob that never
-      shapes the result, and its absence is what lets the determinism gate
-      require byte-identical scrubbed documents across [--jobs] settings;
+      [replication], [max_passes], [fm_attempts], [refine_rounds] and —
+      new in v5 — ["objective"], the {!Fpga.Objective} name, which is part
+      of the result's identity and therefore of the service's options
+      fingerprint). [jobs] is deliberately omitted: it is an execution
+      knob that never shapes the result, and its absence is what lets the
+      determinism gate require byte-identical scrubbed documents across
+      [--jobs] settings;
     - ["result"]: outcome summary — [num_partitions], [total_cost],
       [avg_clb_utilization], [avg_iob_utilization], [total_clbs],
       [total_iobs], [replicated_cells], [total_cells], [feasible_runs],
       [wall_secs], [cpu_secs] (wall-clock vs all-domain process CPU; v1's
       single [elapsed_secs] claimed CPU seconds, which parallelism made
-      wrong), and a ["parts"] list of [{device, clbs, iobs}];
+      wrong), new in v5 a ["resource_util"] object of per-axis aggregate
+      utilizations (every key ends in [_util] and is masked by the
+      determinism scrub — derived ratios, like the timers), and a
+      ["parts"] list of [{device, clbs, iobs}];
     - ["obs"]: the {!Obs.Snapshot} — ["counters"] (including, new in v4,
       ["fm.rescored_cells"] — best-op recomputations triggered by applied
       moves, the cost the criticality-filtered incremental rescoring is

@@ -2,7 +2,13 @@ type placement = {
   device : Device.t;
   clbs : int;
   iobs : int;
+  used : int array;
 }
+
+let place device ?(used = [||]) ~clbs ~iobs () =
+  if Array.length used > 0 && Resource.get used Resource.clb <> clbs then
+    invalid_arg "Cost.place: used.(clb) must equal clbs";
+  { device; clbs; iobs; used }
 
 type summary = {
   num_partitions : int;
@@ -12,6 +18,7 @@ type summary = {
   total_clbs : int;
   total_iobs : int;
   device_counts : (string * int) list;
+  resource_util : (string * float) list;
 }
 
 let summarize placements =
@@ -27,6 +34,17 @@ let summarize placements =
   let cap_iobs =
     List.fold_left (fun acc p -> acc + p.device.Device.terminals) 0 placements
   in
+  let used_axes = Array.make Resource.arity 0 in
+  let cap_axes = Array.make Resource.arity 0 in
+  List.iter
+    (fun p ->
+      used_axes.(Resource.clb) <- used_axes.(Resource.clb) + p.clbs;
+      used_axes.(Resource.io) <- used_axes.(Resource.io) + p.iobs;
+      for a = 1 to Resource.demand_arity - 1 do
+        used_axes.(a) <- used_axes.(a) + Resource.get p.used a
+      done;
+      Resource.add_into cap_axes p.device.Device.resources)
+    placements;
   let counts = Hashtbl.create 8 in
   let order = ref [] in
   List.iter
@@ -47,10 +65,19 @@ let summarize placements =
     total_iobs;
     device_counts =
       List.rev_map (fun name -> (name, Hashtbl.find counts name)) !order;
+    resource_util =
+      List.init Resource.arity (fun a ->
+          ( Resource.axis_name a ^ "_util",
+            if cap_axes.(a) = 0 then 0.0
+            else float_of_int used_axes.(a) /. float_of_int cap_axes.(a) ));
   }
 
 let placement_feasible ?relax_low p =
   Device.fits ?relax_low p.device ~clbs:p.clbs ~iobs:p.iobs
+
+let placement_feasible_demand ?relax_low p =
+  let demand = if Array.length p.used = 0 then [| p.clbs |] else p.used in
+  Device.fits_demand ?relax_low p.device ~demand ~iobs:p.iobs
 
 let all_feasible ?(relax_low_last = false) placements =
   let n = List.length placements in

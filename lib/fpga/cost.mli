@@ -3,13 +3,26 @@
     Eq. (1): total device cost [$ _k = sum_i d_i n_i] over the devices used
     by a k-way partition. Eq. (2): average IOB utilization
     [lambda_k = sum_j t_{P_j} / sum_i t_i n_i], the paper's measure of
-    inter-device interconnect. *)
+    inter-device interconnect.
+
+    Placements additionally carry the partition's full resource demand
+    vector, and summaries report per-axis aggregate utilization — the
+    raw material of the vector objectives in {!Objective}. *)
 
 type placement = {
   device : Device.t;
   clbs : int;  (** CLBs of the partition implemented on this device *)
   iobs : int;  (** terminals (used IOBs) of that partition *)
+  used : int array;
+      (** demand over the first [Resource.demand_arity] axes;
+          [used.(Resource.clb) = clbs]. [[||]] means "primary axis only"
+          (scalar-era placements). *)
 }
+
+val place : Device.t -> ?used:int array -> clbs:int -> iobs:int -> unit -> placement
+(** The only way to build a placement ([used] defaults to [[||]]).
+    Raises [Invalid_argument] if [used] is non-empty and
+    [used.(Resource.clb) <> clbs]. *)
 
 type summary = {
   num_partitions : int;             (** [k] *)
@@ -19,6 +32,11 @@ type summary = {
   total_clbs : int;
   total_iobs : int;
   device_counts : (string * int) list;  (** per device type, library order *)
+  resource_util : (string * float) list;
+      (** per-axis aggregate utilization, one [("<axis>_util", used/cap)]
+          entry per {!Resource} axis in axis order; 0 when the device
+          pool has no capacity on that axis. The [clb]/[io] entries
+          restate [avg_clb_utilization]/[avg_iob_utilization]. *)
 }
 
 val summarize : placement list -> summary
@@ -26,6 +44,10 @@ val summarize : placement list -> summary
 
 val placement_feasible : ?relax_low:bool -> placement -> bool
 (** Size and terminal constraints of Section I. *)
+
+val placement_feasible_demand : ?relax_low:bool -> placement -> bool
+(** Vector feasibility ({!Device.fits_demand}) of one placement, using
+    [used] (or just [clbs] when [used = [||]]). *)
 
 val all_feasible : ?relax_low_last:bool -> placement list -> bool
 (** Every placement feasible; [relax_low_last] relaxes the lower

@@ -2,23 +2,50 @@
 
     A device [D_i = (c_i, t_i, d_i, l_i, u_i)] as in Table I of the paper:
     CLB capacity, terminal (IOB) count, unit price, and lower/upper bounds
-    on CLB utilization for a feasible assignment. *)
+    on CLB utilization for a feasible assignment — generalised to a
+    {!Resource} capacity vector with per-axis utilization windows. The
+    paper's scalar model is the special case where only the primary (CLB)
+    and IO axes are constrained; {!make} builds exactly that case.
 
-type t = {
+    The record is [private]: construct through {!make} or {!make_vector}
+    only (the {!Kway.Options.make} pattern from PR 2, enforced at the type
+    level rather than by [[@@deprecated]] so stale literal construction is
+    a compile error, not a warning). Field reads remain ordinary. *)
+
+type t = private {
   name : string;
-  capacity : int;     (** [c_i]: configurable logic blocks *)
-  terminals : int;    (** [t_i]: I/O blocks *)
+  capacity : int;     (** [c_i]: configurable logic blocks
+                          (= [resources.(Resource.clb)], cached) *)
+  terminals : int;    (** [t_i]: I/O blocks
+                          (= [resources.(Resource.io)], cached) *)
   price : float;      (** [d_i]: unit cost (normalised dollars) *)
-  util_low : float;   (** [l_i]: minimum CLB utilization of a feasible use *)
-  util_high : float;  (** [u_i]: maximum CLB utilization *)
+  util_low : float;   (** [l_i]: minimum CLB utilization of a feasible use
+                          (= [res_low.(Resource.clb)], cached) *)
+  util_high : float;  (** [u_i]: maximum CLB utilization
+                          (= [res_high.(Resource.clb)], cached) *)
+  resources : Resource.t;  (** per-axis capacities, length [Resource.arity] *)
+  res_low : float array;   (** per-axis lower utilization bounds *)
+  res_high : float array;  (** per-axis upper utilization bounds *)
 }
 
 val make :
   name:string -> capacity:int -> terminals:int -> price:float ->
   ?util_low:float -> ?util_high:float -> unit -> t
-(** Defaults: [util_low = 0.0], [util_high = 1.0]. Raises
-    [Invalid_argument] on non-positive capacity/terminals/price or bounds
-    outside [0 <= l <= u <= 1]. *)
+(** The paper's scalar device. Defaults: [util_low = 0.0],
+    [util_high = 1.0]. Raises [Invalid_argument] on non-positive
+    capacity/terminals/price or bounds outside [0 <= l <= u <= 1].
+    Secondary axes get the XC3000 shape: FF capacity [2 * capacity]
+    (two flip-flops per CLB), no BRAM/DSP; secondary windows are
+    \[0, 1\] so they never constrain the scalar model. *)
+
+val make_vector :
+  name:string -> resources:Resource.t -> price:float ->
+  ?res_low:float array -> ?res_high:float array -> unit -> t
+(** A fully vector-specified device. [resources] must have length
+    [Resource.arity] with positive CLB and IO capacities and non-negative
+    others; [res_low]/[res_high] (defaults all-0 / all-1) must satisfy
+    [0 <= low.(a) <= high.(a) <= 1] per axis. Raises [Invalid_argument]
+    otherwise. *)
 
 val min_clbs : t -> int
 (** Smallest CLB count satisfying the lower utilization bound
@@ -27,11 +54,30 @@ val min_clbs : t -> int
 val max_clbs : t -> int
 (** Largest CLB count satisfying the upper bound ([floor (u_i * c_i)]). *)
 
+val axis_min : t -> int -> int
+(** Per-axis lower bound, [ceil (res_low.(a) * resources.(a))];
+    [axis_min d Resource.clb = min_clbs d]. *)
+
+val axis_max : t -> int -> int
+(** Per-axis upper bound, [floor (res_high.(a) * resources.(a))]. *)
+
+val demand_caps : t -> int array
+(** The per-axis caps a partition's demand vector must respect, as an
+    array of length [Resource.demand_arity]: [axis_max] on each demand
+    axis. Used as [Fm]'s [res_max] bound under vector feasibility. *)
+
 val fits : ?relax_low:bool -> t -> clbs:int -> iobs:int -> bool
-(** Feasibility of one partition on this device: CLB count within the
-    utilization window and IOB count within the terminal budget.
-    [relax_low] ignores the lower bound (used for the final remainder
-    partition of a k-way decomposition). *)
+(** Feasibility of one partition on this device under the paper's scalar
+    model: CLB count within the utilization window and IOB count within
+    the terminal budget. [relax_low] ignores the lower bound (used for
+    the final remainder partition of a k-way decomposition). Secondary
+    axes are not consulted. *)
+
+val fits_demand : ?relax_low:bool -> t -> demand:int array -> iobs:int -> bool
+(** Vector feasibility: {!fits} on the primary axis ([demand.(0)]) and
+    IO, plus every other demand axis within its own utilization window.
+    [demand] may be shorter than [Resource.demand_arity] (missing axes
+    read as 0). *)
 
 val price_per_clb : t -> float
 

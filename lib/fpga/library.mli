@@ -26,18 +26,50 @@ val xc4000 : t
 
 val devices : t -> Device.t list
 val find : t -> string -> Device.t option
+
 val smallest_fitting : ?relax_low:bool -> t -> clbs:int -> iobs:int -> Device.t option
-(** Cheapest device that can host the given partition (ties by capacity). *)
+(** Cheapest device that can host the given partition. Deterministic
+    tie-breaking: ties on price go to the smaller capacity, and ties on
+    both price and capacity to the lexicographically smaller name — so
+    the choice never depends on library construction order. *)
+
+val smallest_fitting_demand :
+  ?relax_low:bool -> t -> demand:int array -> iobs:int -> Device.t option
+(** {!smallest_fitting} under vector feasibility ({!Device.fits_demand}):
+    every axis of [demand] must land in the device's per-axis utilization
+    window. Same price/capacity/name tie-breaking. *)
 
 val largest : t -> Device.t
+
 val by_efficiency : t -> Device.t list
 (** Devices sorted by ascending price per CLB (most cost-efficient
-    first). *)
+    first); ties on price per CLB break by ascending capacity, then name,
+    so the order is deterministic regardless of construction order. *)
 
 val min_feasible_cost : t -> clbs:int -> float
 (** A lower bound on the cost of hosting [clbs] CLBs: fractional covering
     by the most cost-efficient device, but never below the cheapest single
-    device. Used for reporting, and as an optimistic bound in search. *)
+    device. Used for reporting, and as an optimistic bound in search.
+    Being a [Float.max] of two library-wide minima, the bound is
+    insensitive to device order and needs no tie-breaking. *)
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Parse a JSON device library. Expected shape:
+    {v
+    { "name": "my-lib",
+      "devices": [
+        { "name": "A", "price": 100.0,
+          "resources": { "clb": 64, "ff": 128, "io": 64 },
+          "res_low":  { "clb": 0.5 },
+          "res_high": { "clb": 0.95 } } ] }
+    v}
+    Axes missing from ["resources"] default to 0 (["clb"] and ["io"]
+    required positive); missing window entries default to 0 / 1. The
+    scalar form [{ "name", "capacity", "terminals", "price", "util_low",
+    "util_high" }] is also accepted and routed through {!Device.make}. *)
+
+val load : string -> (t, string) result
+(** Read and {!of_json} a file. *)
 
 val pp : Format.formatter -> t -> unit
 (** Renders the library as the paper's Table I. *)

@@ -1,7 +1,10 @@
+let demand_arity = 4
+
 type cell = {
   id : int;
   name : string;
   area : int;
+  demand : int array;
   inputs : int array;
   outputs : int array;
   supports : Bitvec.t array;
@@ -20,6 +23,7 @@ type t = {
 type cell_spec = {
   s_name : string;
   s_area : int;
+  s_demand : int array;
   s_inputs : int array;
   s_outputs : int array;
   s_supports : Bitvec.t array;
@@ -92,6 +96,11 @@ let check_cell ~num_nets c =
   let n_in = Array.length c.inputs in
   let bad msg = Error (Printf.sprintf "cell %s: %s" c.name msg) in
   if c.area < 1 then bad "area must be >= 1"
+  else if Array.length c.demand < 1 || Array.length c.demand > demand_arity
+  then bad "demand must use 1..demand_arity axes"
+  else if c.demand.(0) <> c.area then bad "demand.(0) must equal area"
+  else if Array.exists (fun x -> x < 0) c.demand then
+    bad "demand must be non-negative"
   else if Array.length c.outputs = 0 then bad "cell has no outputs"
   else if Array.length c.supports <> Array.length c.outputs then
     bad "one support mask per output required"
@@ -151,6 +160,9 @@ let create ?net_names ~num_nets ~external_nets specs =
             id;
             name = s.s_name;
             area = s.s_area;
+            demand =
+              (if Array.length s.s_demand = 0 then [| s.s_area |]
+               else Array.copy s.s_demand);
             inputs = s.s_inputs;
             outputs = s.s_outputs;
             supports = s.s_supports;
@@ -202,6 +214,17 @@ let create ?net_names ~num_nets ~external_nets specs =
 let num_cells h = Array.length h.cells
 let cell h i = h.cells.(i)
 let total_area h = Array.fold_left (fun acc c -> acc + c.area) 0 h.cells
+
+let total_demand h =
+  let acc = Array.make demand_arity 0 in
+  Array.iter
+    (fun c ->
+      let d = c.demand in
+      for a = 0 to Array.length d - 1 do
+        acc.(a) <- acc.(a) + d.(a)
+      done)
+    h.cells;
+  acc
 
 let max_cell_degree h =
   Array.fold_left (fun acc c -> max acc (Array.length (cell_nets c))) 0 h.cells
@@ -298,7 +321,8 @@ let induce_copies h specs =
                       c.supports.(o) Bitvec.empty)
                   out_pins)
            in
-           { s_name = c.name; s_area = c.area; s_inputs; s_outputs; s_supports })
+           { s_name = c.name; s_area = c.area; s_demand = c.demand;
+             s_inputs; s_outputs; s_supports })
   in
   let net_names =
     Array.init num_new_nets (fun k -> h.net_names.(Netlist.Vec.get new_nets k))

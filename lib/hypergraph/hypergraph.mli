@@ -8,10 +8,22 @@
     partitioning, a cell of an already-fixed partition, is flagged
     {e external}. *)
 
+val demand_arity : int
+(** Maximum length of a cell demand vector (4). Slot 0 is the primary
+    (CLB/area) axis; further slots are opaque resource classes the
+    [fpga] layer interprets (FF, BRAM, DSP — pinned to
+    [Fpga.Resource.demand_arity] by a test, since that library sits
+    above this one). *)
+
 type cell = private {
   id : int;               (** dense index *)
   name : string;
-  area : int;             (** CLBs one copy of this cell occupies *)
+  area : int;             (** CLBs one copy of this cell occupies
+                              (= [demand.(0)], cached) *)
+  demand : int array;
+      (** per-resource demand of one copy; length in
+          [1..demand_arity], [demand.(0) = area]. Missing axes read
+          as 0. *)
   inputs : int array;     (** net id per input pin *)
   outputs : int array;    (** net id per output pin; the cell drives these *)
   supports : Bitvec.t array;
@@ -41,6 +53,10 @@ type t = private {
 type cell_spec = {
   s_name : string;
   s_area : int;
+  s_demand : int array;
+      (** per-resource demand; [[||]] defaults to [[| s_area |]],
+          otherwise [s_demand.(0)] must equal [s_area] and the length
+          must not exceed {!demand_arity} *)
   s_inputs : int array;
   s_outputs : int array;
   s_supports : Bitvec.t array;
@@ -63,6 +79,11 @@ val create :
 val num_cells : t -> int
 val cell : t -> int -> cell
 val total_area : t -> int
+
+val total_demand : t -> int array
+(** Element-wise sum of all cell demand vectors, zero-extended to length
+    {!demand_arity}; [(total_demand h).(0) = total_area h]. *)
+
 val max_cell_degree : t -> int
 (** Maximum number of distinct nets incident to one cell. *)
 

@@ -16,6 +16,12 @@ type t = {
   mutable term_b : int;
   mutable area_a : int;
   mutable area_b : int;
+  (* Per-side resource totals over the cells' demand vectors (slot 0
+     restates area); fixed length [Hypergraph.demand_arity]. Same
+     replication semantics as area: a replicated cell pays its full
+     demand on both sides. *)
+  res_a : int array;
+  res_b : int array;
   (* Scratch buffers for the per-operation net deltas (F-M evaluates one
      candidate operation per neighbouring cell after every applied move, so
      this path must not allocate). s1/s2 hold the per-side delta streams
@@ -54,12 +60,22 @@ and scratch = {
   mutable sc_term_b : int;
   mutable sc_area_a : int;
   mutable sc_area_b : int;
+  sc_res_a : int array;
+  sc_res_b : int array;
 }
 
 let zero_delta = { d_cut = 0; d_term_a = 0; d_term_b = 0; d_area_a = 0; d_area_b = 0 }
 
 let make_scratch () =
-  { sc_cut = 0; sc_term_a = 0; sc_term_b = 0; sc_area_a = 0; sc_area_b = 0 }
+  {
+    sc_cut = 0;
+    sc_term_a = 0;
+    sc_term_b = 0;
+    sc_area_a = 0;
+    sc_area_b = 0;
+    sc_res_a = Array.make Hypergraph.demand_arity 0;
+    sc_res_b = Array.make Hypergraph.demand_arity 0;
+  }
 
 let hypergraph t = t.hg
 let model t = t.model
@@ -87,6 +103,9 @@ let num_replicated t =
 let cut t = t.cut
 let terminals t = function A -> t.term_a | B -> t.term_b
 let area t = function A -> t.area_a | B -> t.area_b
+let resource t side a = match side with A -> t.res_a.(a) | B -> t.res_b.(a)
+let resources t side =
+  Array.copy (match side with A -> t.res_a | B -> t.res_b)
 
 let single_side t c =
   let m = t.out_on_b.(c) in
@@ -169,6 +188,8 @@ let create_with_masks ?(model = Functional) hg ~masks =
       term_b = 0;
       area_a = 0;
       area_b = 0;
+      res_a = Array.make Hypergraph.demand_arity 0;
+      res_b = Array.make Hypergraph.demand_arity 0;
       s_nets = Array.make 32 0;
       s_da = Array.make 32 0;
       s_db = Array.make 32 0;
@@ -188,14 +209,21 @@ let create_with_masks ?(model = Functional) hg ~masks =
   for c = 0 to n_cells - 1 do
     let cell = Hypergraph.cell hg c in
     let m_a = mask_on t c A and m_b = mask_on t c B in
+    let dem = cell.Hypergraph.demand in
     if not (Bitvec.is_empty m_a) then begin
       t.area_a <- t.area_a + cell.Hypergraph.area;
+      for a = 0 to Array.length dem - 1 do
+        t.res_a.(a) <- t.res_a.(a) + dem.(a)
+      done;
       Array.iter
         (fun n -> t.conn_a.(n) <- t.conn_a.(n) + 1)
         (conn_nets t cell ~out_mask:m_a)
     end;
     if not (Bitvec.is_empty m_b) then begin
       t.area_b <- t.area_b + cell.Hypergraph.area;
+      for a = 0 to Array.length dem - 1 do
+        t.res_b.(a) <- t.res_b.(a) + dem.(a)
+      done;
       Array.iter
         (fun n -> t.conn_b.(n) <- t.conn_b.(n) + 1)
         (conn_nets t cell ~out_mask:m_b)
@@ -223,6 +251,8 @@ let copy t =
     out_on_b = Array.copy t.out_on_b;
     conn_a = Array.copy t.conn_a;
     conn_b = Array.copy t.conn_b;
+    res_a = Array.copy t.res_a;
+    res_b = Array.copy t.res_b;
     s_nets = Array.make 32 0;
     s_da = Array.make 32 0;
     s_db = Array.make 32 0;
@@ -364,17 +394,28 @@ let scratch_totals t c new_mask (out : scratch) =
   out.sc_cut <- !d_cut;
   out.sc_term_a <- !d_ta;
   out.sc_term_b <- !d_tb;
-  out.sc_area_a <-
-    cell.Hypergraph.area
-    * (exists (Bitvec.diff full new_mask) - exists (Bitvec.diff full old_b));
-  out.sc_area_b <- cell.Hypergraph.area * (exists new_mask - exists old_b)
+  let ma =
+    exists (Bitvec.diff full new_mask) - exists (Bitvec.diff full old_b)
+  in
+  let mb = exists new_mask - exists old_b in
+  out.sc_area_a <- cell.Hypergraph.area * ma;
+  out.sc_area_b <- cell.Hypergraph.area * mb;
+  let dem = cell.Hypergraph.demand in
+  let dem_len = Array.length dem in
+  for a = 0 to Hypergraph.demand_arity - 1 do
+    let d = if a < dem_len then dem.(a) else 0 in
+    out.sc_res_a.(a) <- d * ma;
+    out.sc_res_b.(a) <- d * mb
+  done
 
 let reset_scratch (out : scratch) =
   out.sc_cut <- 0;
   out.sc_term_a <- 0;
   out.sc_term_b <- 0;
   out.sc_area_a <- 0;
-  out.sc_area_b <- 0
+  out.sc_area_b <- 0;
+  Array.fill out.sc_res_a 0 Hypergraph.demand_arity 0;
+  Array.fill out.sc_res_b 0 Hypergraph.demand_arity 0
 
 let delta_of_sd t =
   {
@@ -445,6 +486,10 @@ let apply t c new_mask =
     t.term_b <- t.term_b + d.d_term_b;
     t.area_a <- t.area_a + d.d_area_a;
     t.area_b <- t.area_b + d.d_area_b;
+    for a = 0 to Hypergraph.demand_arity - 1 do
+      t.res_a.(a) <- t.res_a.(a) + t.sd.sc_res_a.(a);
+      t.res_b.(a) <- t.res_b.(a) + t.sd.sc_res_b.(a)
+    done;
     d
   end
 
@@ -454,6 +499,23 @@ let iter_changed_nets t f =
   for i = 0 to t.ch_len - 1 do
     f t.ch_nets.(i)
   done
+
+let recompute_resources t =
+  let ra = Array.make Hypergraph.demand_arity 0 in
+  let rb = Array.make Hypergraph.demand_arity 0 in
+  for c = 0 to Hypergraph.num_cells t.hg - 1 do
+    let cell = Hypergraph.cell t.hg c in
+    let dem = cell.Hypergraph.demand in
+    if not (Bitvec.is_empty (mask_on t c A)) then
+      for a = 0 to Array.length dem - 1 do
+        ra.(a) <- ra.(a) + dem.(a)
+      done;
+    if not (Bitvec.is_empty (mask_on t c B)) then
+      for a = 0 to Array.length dem - 1 do
+        rb.(a) <- rb.(a) + dem.(a)
+      done
+  done;
+  (ra, rb)
 
 let check_consistency t =
   let cut, ta, tb, aa, ab = recompute t in
@@ -465,4 +527,14 @@ let check_consistency t =
   pair "cut" t.cut cut >>= fun () ->
   pair "term_a" t.term_a ta >>= fun () ->
   pair "term_b" t.term_b tb >>= fun () ->
-  pair "area_a" t.area_a aa >>= fun () -> pair "area_b" t.area_b ab
+  pair "area_a" t.area_a aa >>= fun () ->
+  pair "area_b" t.area_b ab >>= fun () ->
+  let ra, rb = recompute_resources t in
+  let rec axes a =
+    if a >= Hypergraph.demand_arity then Ok ()
+    else
+      pair (Printf.sprintf "res_a.(%d)" a) t.res_a.(a) ra.(a) >>= fun () ->
+      pair (Printf.sprintf "res_b.(%d)" a) t.res_b.(a) rb.(a) >>= fun () ->
+      axes (a + 1)
+  in
+  axes 0

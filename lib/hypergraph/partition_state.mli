@@ -70,6 +70,17 @@ val num_replicated : t -> int
 val cut : t -> int
 val terminals : t -> side -> int
 val area : t -> side -> int
+
+val resource : t -> side -> int -> int
+(** [resource t s a] — total demand on axis [a] (of
+    [Hypergraph.demand_arity]) of the copies on side [s]; axis 0
+    restates {!area}. Replication semantics match area: a replicated
+    cell pays its full demand on both sides. O(1), allocation-free. *)
+
+val resources : t -> side -> int array
+(** All demand axes of a side as a fresh array of length
+    [Hypergraph.demand_arity]. *)
+
 val side_copies : t -> side -> (int * Bitvec.t) list
 (** Cells present on a side with the output mask their copy carries there
     (relative to the cell's own output numbering). *)
@@ -107,10 +118,16 @@ type scratch = {
   mutable sc_term_b : int;
   mutable sc_area_a : int;
   mutable sc_area_b : int;
+  sc_res_a : int array;
+  sc_res_b : int array;
+      (** per-axis demand deltas, length [Hypergraph.demand_arity];
+          slot 0 restates [sc_area_a]/[sc_area_b] *)
 }
 (** A caller-owned mutable delta, for evaluation loops that must not
     allocate (the F-M hot path evaluates one candidate per affected
-    neighbour per applied move). *)
+    neighbour per applied move). The resource slots are fixed arrays
+    written in place, so vector-aware objectives ride the same
+    allocation-free path. *)
 
 val make_scratch : unit -> scratch
 

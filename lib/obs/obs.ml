@@ -335,9 +335,13 @@ module Snapshot = struct
       n >= m && String.sub k (n - m) m = suf
     in
     (* Wall-derived quantities: absolute times under "_secs" and rates
-       under "_per_sec" (e.g. the fm.moves_per_sec histogram name). Both
-       vary between identical runs and nothing else does. *)
-    ends_with "_secs" || ends_with "_per_sec"
+       under "_per_sec" (e.g. the fm.moves_per_sec histogram name) vary
+       between identical runs. "_util" keys (per-axis utilization ratios,
+       schema v5) are deterministic but derived — float renderings of
+       used/capacity whose integral inputs are already in the document —
+       so the mask drops them too and scrubbed comparisons stay about
+       decisions, not float formatting. *)
+    ends_with "_secs" || ends_with "_per_sec" || ends_with "_util"
 
   let rec scrub_elapsed = function
     | Json.Obj fields ->

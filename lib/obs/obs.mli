@@ -151,11 +151,14 @@ module Snapshot : sig
       deliberately absent (see {!Trace}). *)
 
   val scrub_elapsed : Json.t -> Json.t
-  (** Replace the value of every object field whose key ends in ["_secs"]
-      or ["_per_sec"] with [Null], recursively, and nothing else (a
-      ["_per_sec"]-named histogram is masked whole — its count, sum and
-      buckets are all wall-derived). Two same-seed runs must agree
-      byte-for-byte after this. *)
+  (** Replace the value of every object field whose key ends in ["_secs"],
+      ["_per_sec"] or ["_util"] with [Null], recursively, and nothing else
+      (a ["_per_sec"]-named histogram is masked whole — its count, sum and
+      buckets are all wall-derived). ["_secs"]/["_per_sec"] mask
+      wall-derived variance; ["_util"] masks derived utilization ratios
+      (schema v5) whose integral inputs are already in the document, so
+      scrubbed comparisons are float-formatting-independent. Two same-seed
+      runs must agree byte-for-byte after this. *)
 
   val pp : Format.formatter -> t -> unit
   (** Human summary: counters, timers, histograms, event count by name.

@@ -64,6 +64,8 @@ let hypergraph_fingerprint (h : Hypergraph.t) =
       Buffer.add_string buf cell.Hypergraph.name;
       Buffer.add_char buf '#';
       Buffer.add_string buf (string_of_int cell.Hypergraph.area);
+      Buffer.add_string buf ";dem:";
+      add_ints buf cell.Hypergraph.demand;
       Buffer.add_string buf ";in:";
       add_ints buf cell.Hypergraph.inputs;
       Buffer.add_string buf ";out:";
@@ -84,14 +86,26 @@ let hypergraph_fingerprint (h : Hypergraph.t) =
     h.Hypergraph.net_names;
   md5_hex (Buffer.contents buf)
 
+(* The scalar fields are cached views of the vectors, but both go into
+   the hash anyway: two devices that differ only on a secondary axis
+   (say BRAM capacity) are different parts and must not share job
+   keys. *)
 let library_fingerprint lib =
   let buf = Buffer.create 256 in
   List.iter
     (fun (d : Fpga.Device.t) ->
       Buffer.add_string buf
-        (Printf.sprintf "%s:%d:%d:%.6f:%.6f:%.6f;" d.Fpga.Device.name
+        (Printf.sprintf "%s:%d:%d:%.6f:%.6f:%.6f;res:" d.Fpga.Device.name
            d.Fpga.Device.capacity d.Fpga.Device.terminals d.Fpga.Device.price
-           d.Fpga.Device.util_low d.Fpga.Device.util_high))
+           d.Fpga.Device.util_low d.Fpga.Device.util_high);
+      add_ints buf d.Fpga.Device.resources;
+      Buffer.add_string buf ";win:";
+      Array.iteri
+        (fun a low ->
+          Buffer.add_string buf
+            (Printf.sprintf "%.6f..%.6f," low d.Fpga.Device.res_high.(a)))
+        d.Fpga.Device.res_low;
+      Buffer.add_char buf '\n')
     (Fpga.Library.devices lib);
   md5_hex (Buffer.contents buf)
 

@@ -32,13 +32,16 @@ val canonical_circuit : Netlist.Circuit.t -> Netlist.Circuit.t
 
 val hypergraph_fingerprint : Hypergraph.t -> string
 (** MD5 hex digest of the full hypergraph structure: every cell's name,
-    area, pin-to-net wiring and per-output support masks, every net's
-    name and external flag, all in index order. Index order is only
-    meaningful downstream of {!canonical_circuit}. *)
+    area, resource demand vector, pin-to-net wiring and per-output
+    support masks, every net's name and external flag, all in index
+    order. Index order is only meaningful downstream of
+    {!canonical_circuit}. *)
 
 val library_fingerprint : Fpga.Library.t -> string
 (** MD5 hex digest of the device list (name, capacity, terminals, price,
-    utilization window per device). *)
+    and the full per-axis resource capacities and utilization windows per
+    device — two devices differing only on a secondary axis hash
+    differently). *)
 
 val options_fingerprint : Core.Kway.options -> string
 (** MD5 hex digest of the result-shaping options, i.e. the exact fields

@@ -38,7 +38,10 @@ type request =
   | Stats
   | Shutdown
 
+let protocol_version = 1
+
 let code_bad_request = "bad_request"
+let code_unsupported_version = "unsupported_version"
 let code_overloaded = "overloaded"
 let code_not_found = "not_found"
 let code_pending = "pending"
@@ -248,14 +251,53 @@ let options_of_json json =
   let* refine_rounds =
     opt_field "refine_rounds" J.to_int ~default:d.Core.Kway.refine_rounds json
   in
+  let* objective =
+    match J.member "objective" json with
+    | None -> Ok d.Core.Kway.objective
+    | Some (J.String s) -> Fpga.Objective.of_name s
+    | Some _ -> Error "ill-typed field \"objective\""
+  in
   match
     Core.Kway.Options.make ~runs ~seed ~replication ~max_passes ~fm_attempts
-      ~refine_rounds ()
+      ~refine_rounds ~objective ()
   with
   | options -> Ok options
   | exception Invalid_argument msg -> Error msg
 
-let request_of_json json =
+(* The version gate runs before any verb dispatch: a frame without a
+   recognised ["v"] gets the typed [unsupported_version] error naming
+   what this server speaks, so an old client (or a future one) fails
+   with a diagnosable code instead of a field-by-field "bad_request"
+   whose real cause is a vocabulary mismatch. *)
+let rec request_of_json json =
+  match J.member "v" json with
+  | None ->
+      Error
+        ( code_unsupported_version,
+          Printf.sprintf
+            "missing protocol version field \"v\" (this server speaks v%d)"
+            protocol_version )
+  | Some v -> (
+      match J.to_int v with
+      | Some n when n = protocol_version ->
+          Result.map_error
+            (fun msg -> (code_bad_request, msg))
+            (decode_request json)
+      | Some n ->
+          Error
+            ( code_unsupported_version,
+              Printf.sprintf
+                "unsupported protocol version %d (this server speaks v%d)" n
+                protocol_version )
+      | None ->
+          Error
+            ( code_unsupported_version,
+              Printf.sprintf
+                "ill-typed protocol version field \"v\" (this server speaks \
+                 v%d)"
+                protocol_version ))
+
+and decode_request json =
   let* verb = field "verb" J.to_str json in
   match verb with
   | "submit" ->

@@ -65,14 +65,24 @@ val delta_of_json : Obs.Json.t -> (Netlist.Delta.t, string) result
 
 val request_to_json : request -> Obs.Json.t
 
-val request_of_json : Obs.Json.t -> (request, string) result
-(** [Error] on a missing/unknown verb, missing fields, or option values
-    {!Core.Kway.Options.make} rejects. *)
+val request_of_json : Obs.Json.t -> (request, string * string) result
+(** [Error (code, msg)]: [code] is {!code_unsupported_version} when the
+    frame's ["v"] field is missing, ill-typed or not
+    {!protocol_version} (checked before any verb dispatch), and
+    {!code_bad_request} for a missing/unknown verb, missing fields, or
+    option values {!Core.Kway.Options.make} rejects. *)
+
+val protocol_version : int
+(** The wire vocabulary this build speaks (1). Every request frame
+    carries it as ["v"]. *)
 
 (** {1 Error codes} *)
 
 val code_bad_request : string
 (** unparseable frame or request *)
+
+val code_unsupported_version : string
+(** request frame whose ["v"] is missing or not {!protocol_version} *)
 
 val code_overloaded : string
 (** job queue at [--queue-cap]; resubmit later *)

@@ -361,6 +361,32 @@ let handle_resubmit t ~name ~base ~delta ~options =
   in
   match resolved with
   | Error reply -> reply
+  | Ok (base_key, base_circuit, base_options, base_entry)
+    when (match options with
+         | Some (o : Core.Kway.options) ->
+             not
+               (String.equal o.Core.Kway.objective.Fpga.Objective.name
+                  base_options.Core.Kway.objective.Fpga.Objective.name)
+         | None -> false) ->
+      (* A warm chain cannot switch cost objectives mid-lineage: the base
+         partition was shaped (device choices, split decisions) by its
+         objective, so projecting it under another would launder a
+         foreign seed into the new objective's cache lineage. Reject
+         loudly; the client submits cold instead. *)
+      ignore (base_key, base_circuit, base_entry);
+      with_lock t (fun () -> Obs.incr t.obs "service.bad_requests");
+      let requested =
+        match options with
+        | Some (o : Core.Kway.options) ->
+            o.Core.Kway.objective.Fpga.Objective.name
+        | None -> assert false
+      in
+      P.error ~code:P.code_bad_request
+        (Printf.sprintf
+           "resubmit: objective %S differs from the base's %S; a warm \
+            lineage keeps one objective (submit cold to switch)"
+           requested
+           base_options.Core.Kway.objective.Fpga.Objective.name)
   | Ok (base_key, base_circuit, base_options, base_entry) -> (
       let options = Option.value options ~default:base_options in
       let same_options =
@@ -647,9 +673,9 @@ let rec handle_conn t fd =
       with_lock t (fun () -> Obs.incr t.obs "service.requests");
       let reply =
         match P.request_of_json json with
-        | Error msg ->
+        | Error (code, msg) ->
             with_lock t (fun () -> Obs.incr t.obs "service.bad_requests");
-            P.error ~code:P.code_bad_request msg
+            P.error ~code msg
         | Ok req -> dispatch t req
       in
       match Codec.write_frame fd reply with

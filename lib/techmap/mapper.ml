@@ -21,9 +21,20 @@ let to_hypergraph (m : Mapped.t) =
   let specs =
     Array.to_list m.Mapped.clbs
     |> List.map (fun (clb : Mapped.clb) ->
+           (* Demand vector: 1 CLB plus one FF per registered output (the
+              XC3000 CLB hosts two). Purely combinational CLBs keep the
+              1-ary vector, so the scalar objectives see the same shape
+              as before. *)
+           let ffs =
+             Array.fold_left
+               (fun acc (o : Mapped.output) ->
+                 if o.Mapped.registered then acc + 1 else acc)
+               0 clb.Mapped.outputs
+           in
            {
              Hypergraph.s_name = clb.Mapped.name;
              s_area = 1;
+             s_demand = (if ffs = 0 then [||] else [| 1; ffs |]);
              s_inputs = clb.Mapped.inputs;
              s_outputs = Array.map (fun o -> o.Mapped.net) clb.Mapped.outputs;
              s_supports =

@@ -85,6 +85,41 @@ let test_socket_env () =
   | Error `Parse, _ | Error `Term, _ -> ()
   | _ -> Alcotest.fail "missing --socket accepted"
 
+let test_objective_values () =
+  (match eval (Cli_common.objective ()) with
+  | Ok (`Ok o), _ ->
+      Alcotest.check Alcotest.string "default objective" "paper"
+        o.Fpga.Objective.name
+  | _ -> Alcotest.fail "default objective rejected");
+  match
+    eval
+      ~argv:[| "test"; "--objective"; "chiplet" |]
+      (Cli_common.objective ())
+  with
+  | Ok (`Ok o), _ ->
+      Alcotest.check Alcotest.string "named objective" "chiplet"
+        o.Fpga.Objective.name
+  | _ -> Alcotest.fail "--objective chiplet rejected"
+
+let test_objective_unknown () =
+  let result =
+    eval
+      ~argv:[| "test"; "--objective"; "nope" |]
+      (Cli_common.objective ())
+  in
+  (* The rejection must list the valid names. *)
+  expect_parse_error "--objective nope" result "multi-personality"
+
+let test_device_lib_paths () =
+  (match Cli_common.library_of_path None with
+  | Ok lib ->
+      checkb "default library is XC3000" true
+        (Option.is_some (Fpga.Library.find lib "XC3020"))
+  | Error e -> Alcotest.fail e);
+  match Cli_common.library_of_path (Some "/nonexistent/lib.json") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing device library file accepted"
+
 let () =
   Alcotest.run "cli"
     [
@@ -99,4 +134,11 @@ let () =
         ] );
       ("runs", [ Alcotest.test_case "non-positive" `Quick test_runs_non_positive ]);
       ("socket", [ Alcotest.test_case "env" `Quick test_socket_env ]);
+      ( "objective",
+        [
+          Alcotest.test_case "default and named" `Quick test_objective_values;
+          Alcotest.test_case "unknown name" `Quick test_objective_unknown;
+          Alcotest.test_case "device library paths" `Quick
+            test_device_lib_paths;
+        ] );
     ]

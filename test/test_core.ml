@@ -668,9 +668,7 @@ let test_two_device_config () =
   let h = mapped_hypergraph (Netlist.Generator.ripple_adder ~bits:16 ()) in
   let n = Hypergraph.num_cells h in
   let st = Partition_state.create h ~init_on_b:(fun c -> c >= n / 4) in
-  let bounds cap =
-    { Fm.min_clbs = 1; max_clbs = cap; max_terminals = 1000 }
-  in
+  let bounds cap = Fm.bounds ~min_clbs:1 ~max_clbs:cap ~max_terminals:1000 () in
   let total = Hypergraph.total_area h in
   let cfg =
     Fm.two_device_config ~bounds_a:(bounds total) ~bounds_b:(bounds total) ()
@@ -785,6 +783,30 @@ let test_kway_refinement_not_worse () =
   checkb "refinement does not raise cost" true (cost1 <= cost0);
   checkb "refinement does not raise total IOBs when cost ties" true
     (cost1 < cost0 || iobs1 <= iobs0)
+
+(* lib/fpga cannot depend on hypergraph_lib (layering), so the demand
+   arity lives in both; this pin is the only thing keeping them equal. *)
+let test_demand_arity_pin () =
+  checki "Fpga.Resource.demand_arity = Hypergraph.demand_arity"
+    Hypergraph.demand_arity Fpga.Resource.demand_arity
+
+let test_kway_objectives () =
+  let h = mapped_hypergraph (Netlist.Generator.multiplier ~bits:16 ()) in
+  List.iter
+    (fun (objective : Fpga.Objective.t) ->
+      let options =
+        Kway.Options.make ~runs:3 ~fm_attempts:2 ~objective
+          ~jobs:(Parallel.Pool.jobs_from_env ())
+          ()
+      in
+      match Kway.partition ~options ~library:Fpga.Library.xc3000 h with
+      | Error e -> Alcotest.fail (objective.Fpga.Objective.name ^ ": " ^ e)
+      | Ok r -> (
+          match Kway.check h r with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.fail (objective.Fpga.Objective.name ^ " unsound: " ^ e)))
+    Fpga.Objective.builtins
 
 let test_kway_xc4000 () =
   let h = mapped_hypergraph (Netlist.Generator.multiplier ~bits:16 ()) in
@@ -1218,6 +1240,9 @@ let () =
           Alcotest.test_case "refinement not worse" `Quick
             test_kway_refinement_not_worse;
           Alcotest.test_case "alternative library" `Quick test_kway_xc4000;
+          Alcotest.test_case "demand arity pinned" `Quick test_demand_arity_pin;
+          Alcotest.test_case "all builtin objectives" `Quick
+            test_kway_objectives;
         ] );
       ( "telemetry",
         [

@@ -143,6 +143,31 @@ let test_kway_campaign_row () =
     (util (Experiments.Kway_campaign.Threshold 1)
     < util Experiments.Kway_campaign.Baseline)
 
+let test_objectives_rows () =
+  let rows = Experiments.Objectives.run ~runs:2 ~seed:1 (mid_entry ()) in
+  checki "one row per builtin objective"
+    (List.length Fpga.Objective.builtins)
+    (List.length rows);
+  List.iter
+    (fun (r : Experiments.Objectives.row) ->
+      match r.Experiments.Objectives.outcome with
+      | Error e -> Alcotest.fail (r.Experiments.Objectives.objective ^ ": " ^ e)
+      | Ok result ->
+          checkb "cost positive" true
+            (result.Core.Kway.summary.Fpga.Cost.total_cost > 0.0))
+    rows;
+  (* The JSON rows carry the schema the bench document promises. *)
+  match Experiments.Objectives.rows_to_json rows with
+  | Obs.Json.List (Obs.Json.Obj fields :: _) ->
+      List.iter
+        (fun key ->
+          checkb ("row has " ^ key) true (List.mem_assoc key fields))
+        [
+          "circuit"; "objective"; "num_partitions"; "device_cost";
+          "objective_cost"; "total_iobs"; "resource_util";
+        ]
+  | _ -> Alcotest.fail "rows_to_json shape"
+
 (* ------------------------------------------------------------------ *)
 (* Partition expansion (end-to-end functional soundness)              *)
 (* ------------------------------------------------------------------ *)
@@ -264,6 +289,8 @@ let () =
           Alcotest.test_case "fig3 row" `Quick test_fig3_row;
           Alcotest.test_case "table3 row" `Slow test_table3_row;
           Alcotest.test_case "k-way campaign row" `Slow test_kway_campaign_row;
+          Alcotest.test_case "objectives ablation rows" `Slow
+            test_objectives_rows;
         ] );
       ( "timing",
         [

@@ -93,9 +93,9 @@ let test_cost_eq1_eq2 () =
   let d2 = Device.make ~name:"B" ~capacity:200 ~terminals:80 ~price:150.0 () in
   let placements =
     [
-      { Cost.device = d1; clbs = 80; iobs = 25 };
-      { Cost.device = d1; clbs = 60; iobs = 40 };
-      { Cost.device = d2; clbs = 150; iobs = 65 };
+      Cost.place d1 ~clbs:80 ~iobs:25 ();
+      Cost.place d1 ~clbs:60 ~iobs:40 ();
+      Cost.place d2 ~clbs:150 ~iobs:65 ();
     ]
   in
   let s = Cost.summarize placements in
@@ -109,8 +109,8 @@ let test_cost_eq1_eq2 () =
     "device counts" [ ("A", 2); ("B", 1) ] s.Cost.device_counts
 
 let test_cost_feasibility () =
-  let p_ok = { Cost.device = sample; clbs = 70; iobs = 30 } in
-  let p_low = { Cost.device = sample; clbs = 30; iobs = 30 } in
+  let p_ok = Cost.place sample ~clbs:70 ~iobs:30 () in
+  let p_low = Cost.place sample ~clbs:30 ~iobs:30 () in
   checkb "feasible" true (Cost.placement_feasible p_ok);
   checkb "below window" false (Cost.placement_feasible p_low);
   checkb "all feasible" true (Cost.all_feasible [ p_ok; p_ok ]);
@@ -142,6 +142,244 @@ let test_min_feasible_cost () =
   checkf "fractional bound" 543.75 (Library.min_feasible_cost Library.xc3000 ~clbs:400);
   checkf "floor at cheapest device" 100.0 (Library.min_feasible_cost Library.xc3000 ~clbs:1)
 
+let test_resource_ops () =
+  let v = Resource.make ~ffs:4 ~clbs:3 ~iobs:7 () in
+  checki "arity" Resource.arity (Array.length v);
+  checki "clb" 3 (Resource.get v Resource.clb);
+  checki "ff" 4 (Resource.get v Resource.ff);
+  checki "bram defaults to 0" 0 (Resource.get v Resource.bram);
+  checki "io" 7 (Resource.get v Resource.io);
+  (* Cell demands are shorter than arity; missing axes read as 0. *)
+  checki "short vector primary" 5 (Resource.get [| 5 |] Resource.clb);
+  checki "zero-extended read" 0 (Resource.get [| 5 |] Resource.ff);
+  (match Resource.axis_of_name (Resource.axis_name Resource.dsp) with
+  | Some a -> checki "axis name roundtrip" Resource.dsp a
+  | None -> Alcotest.fail "axis_name not invertible");
+  let dst = Resource.zero () in
+  Resource.add_into dst v;
+  Resource.add_into dst [| 10 |];
+  checki "add primary of short src" 13 (Resource.get dst Resource.clb);
+  checki "add leaves other axes" 4 (Resource.get dst Resource.ff);
+  Resource.sub_into dst [| 10 |];
+  checki "sub undoes add" 3 (Resource.get dst Resource.clb);
+  checkb "covers itself" true (Resource.covers ~cap:dst v);
+  checkb "covers fails on primary" false (Resource.covers ~cap:v [| 4 |]);
+  checkb "covers zero-extends cap" false
+    (Resource.covers ~cap:[| 9 |] (Resource.make ~clbs:1 ~iobs:1 ()))
+
+let test_make_vector () =
+  let d =
+    Device.make_vector ~name:"V"
+      ~resources:(Resource.make ~ffs:200 ~brams:8 ~dsps:4 ~clbs:100 ~iobs:50 ())
+      ~price:120.0
+      ~res_low:[| 0.5; 0.0; 0.0; 0.0; 0.0 |]
+      ~res_high:[| 0.9; 1.0; 0.5; 1.0; 1.0 |]
+      ()
+  in
+  checki "capacity cached from vector" 100 d.Device.capacity;
+  checki "terminals cached from vector" 50 d.Device.terminals;
+  checkf "util_low cached" 0.5 d.Device.util_low;
+  checkf "util_high cached" 0.9 d.Device.util_high;
+  checki "axis_max floor" 4 (Device.axis_max d Resource.bram);
+  checki "axis_min ceil" 50 (Device.axis_min d Resource.clb);
+  let caps = Device.demand_caps d in
+  checki "demand_caps length" Resource.demand_arity (Array.length caps);
+  checki "demand_caps primary" 90 caps.(Resource.clb);
+  checkb "vector fit" true (Device.fits_demand d ~demand:[| 70; 150; 4; 2 |] ~iobs:30);
+  checkb "secondary axis over" false
+    (Device.fits_demand d ~demand:[| 70; 150; 5; 2 |] ~iobs:30);
+  checkb "short demand fits" true (Device.fits_demand d ~demand:[| 70 |] ~iobs:30);
+  checkb "primary window applies" false (Device.fits_demand d ~demand:[| 40 |] ~iobs:30);
+  checkb "relax_low" true (Device.fits_demand ~relax_low:true d ~demand:[| 40 |] ~iobs:30);
+  checkb "terminal budget applies" false
+    (Device.fits_demand d ~demand:[| 70 |] ~iobs:51);
+  (* A scalar-built device has no BRAM/DSP, so any such demand is over. *)
+  checkb "scalar device rejects bram demand" false
+    (Device.fits_demand sample ~demand:[| 70; 0; 1; 0 |] ~iobs:30);
+  match
+    Device.make_vector ~name:"x"
+      ~resources:(Resource.make ~clbs:10 ~iobs:10 ())
+      ~price:1.0 ~res_low:[| 0.9; 0.; 0.; 0.; 0. |]
+      ~res_high:[| 0.5; 1.; 1.; 1.; 1. |] ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "inverted per-axis window accepted"
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_objective_costs () =
+  let open Objective in
+  let d = Device.make ~name:"A" ~capacity:100 ~terminals:50 ~price:123.0 () in
+  checkf "paper device cost = price" 123.0 (paper.device_cost d);
+  checkf "paper net cost is 0" 0.0 (paper.net_cost ~nets:37);
+  checkb "paper total is bitwise the device cost" true
+    (Int64.equal
+       (Int64.bits_of_float (total_cost paper ~device_cost:350.25 ~cut_nets:99))
+       (Int64.bits_of_float 350.25));
+  checkb "paper is primary-feasibility" true (paper.feasibility = Primary);
+  checkf "multi-personality device cost = price" 123.0
+    (multi_personality.device_cost d);
+  checkf "multi-personality net cost is 0" 0.0 (multi_personality.net_cost ~nets:37);
+  checkb "multi-personality is vector-feasibility" true
+    (multi_personality.feasibility = Vector);
+  checkf "chiplet device cost = price" 123.0 (chiplet.device_cost d);
+  (* 5 crossings at the interposer rate: 5 * 2.0 *)
+  checkf "chiplet net cost" (5.0 *. chiplet_net_cost) (chiplet.net_cost ~nets:5);
+  checkf "chiplet total" (350.0 +. (12.0 *. chiplet_net_cost))
+    (total_cost chiplet ~device_cost:350.0 ~cut_nets:12);
+  checkb "chiplet F-M minimises terminals" true
+    (chiplet.split_objective = `Terminals && chiplet.refine_objective = `Terminals);
+  checki "three builtins" 3 (List.length builtins);
+  (match of_name "multi-personality" with
+  | Ok o -> Alcotest.check Alcotest.string "lookup by name" "multi-personality" o.name
+  | Error e -> Alcotest.fail e);
+  match of_name "no-such-objective" with
+  | Ok _ -> Alcotest.fail "unknown objective accepted"
+  | Error msg ->
+      List.iter
+        (fun n -> checkb ("error lists " ^ n) true (contains msg n))
+        names
+
+let test_smallest_fitting_ties () =
+  let mk name cap = Device.make ~name ~capacity:cap ~terminals:100 ~price:50.0 () in
+  let a = mk "alpha" 64 and b = mk "beta" 64 and big = mk "gamma" 128 in
+  let pick devs =
+    match Library.smallest_fitting (Library.make devs) ~clbs:32 ~iobs:10 with
+    | Some d -> d.Device.name
+    | None -> Alcotest.fail "expected a fit"
+  in
+  Alcotest.check Alcotest.string "capacity breaks a price tie" "alpha"
+    (pick [ big; b; a ]);
+  Alcotest.check Alcotest.string "name breaks a price+capacity tie" "alpha"
+    (pick [ b; a ]);
+  Alcotest.check Alcotest.string "construction order irrelevant" "alpha"
+    (pick [ a; b; big ]);
+  let pick_demand devs =
+    match
+      Library.smallest_fitting_demand (Library.make devs) ~demand:[| 32 |] ~iobs:10
+    with
+    | Some d -> d.Device.name
+    | None -> Alcotest.fail "expected a fit"
+  in
+  Alcotest.check Alcotest.string "demand path ties identically" "alpha"
+    (pick_demand [ big; b; a ]);
+  (* by_efficiency uses the same deterministic key. *)
+  match Library.by_efficiency (Library.make [ b; a; big ]) with
+  | first :: second :: _ ->
+      Alcotest.check Alcotest.string "cheapest per CLB first" "gamma"
+        first.Device.name;
+      Alcotest.check Alcotest.string "ties by name" "alpha" second.Device.name
+  | _ -> Alcotest.fail "by_efficiency too short"
+
+let write_tmp tag contents =
+  let path = Filename.temp_file ("fpgapart_" ^ tag) ".json" in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let test_library_load () =
+  let path =
+    write_tmp "lib"
+      {|{ "name": "test", "devices": [
+           { "name": "A", "price": 100.0,
+             "resources": { "clb": 64, "ff": 128, "io": 64 },
+             "res_low":  { "clb": 0.5 },
+             "res_high": { "clb": 0.95 } },
+           { "name": "B", "capacity": 128, "terminals": 96, "price": 150.0,
+             "util_low": 0.25, "util_high": 0.9 } ] }|}
+  in
+  (match Library.load path with
+  | Error e -> Alcotest.fail e
+  | Ok lib ->
+      (match Library.find lib "A" with
+      | Some a ->
+          checki "vector clb capacity" 64 a.Device.capacity;
+          checki "vector io -> terminals" 64 a.Device.terminals;
+          checki "vector ff axis" 128 (Resource.get a.Device.resources Resource.ff);
+          checki "res_low -> min_clbs" 32 (Device.min_clbs a);
+          checki "res_high -> max_clbs" 60 (Device.max_clbs a)
+      | None -> Alcotest.fail "missing device A");
+      match Library.find lib "B" with
+      | Some b ->
+          checki "scalar capacity" 128 b.Device.capacity;
+          checkf "scalar util_low" 0.25 b.Device.util_low
+      | None -> Alcotest.fail "missing device B");
+  (match
+     Library.load
+       (write_tmp "bad"
+          {|{ "devices": [ { "name": "A", "price": 1.0,
+                             "resources": { "clb": 4 } } ] }|})
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "device without io capacity accepted");
+  (match
+     Library.load
+       (write_tmp "dup"
+          {|{ "devices": [
+               { "name": "A", "capacity": 4, "terminals": 4, "price": 1.0 },
+               { "name": "A", "capacity": 8, "terminals": 8, "price": 2.0 } ] }|})
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate names accepted");
+  match Library.load "/nonexistent/definitely-missing.json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file accepted"
+
+(* The qcheck half of the equivalence satellite: on random scalar
+   libraries, the vector-feasibility path fed 1-ary demands must make
+   exactly the scalar path's decisions, device by device and library
+   query by library query. (The whole-partitioner half is the golden
+   compare in tools/check_objectives.sh.) *)
+let test_scalar_vector_equivalence =
+  QCheck.Test.make ~name:"1-ary vector path = scalar path" ~count:300
+    QCheck.(pair small_int (pair (int_range 0 400) (int_range 0 250)))
+    (fun (seed, (clbs, iobs)) ->
+      let rng = Random.State.make [| seed; 0x5eed |] in
+      let n = 1 + Random.State.int rng 5 in
+      let devs =
+        List.init n (fun i ->
+            Device.make
+              ~name:(Printf.sprintf "D%d" i)
+              ~capacity:(1 + Random.State.int rng 300)
+              ~terminals:(1 + Random.State.int rng 200)
+              ~price:(float_of_int (1 + Random.State.int rng 500))
+              ~util_low:(float_of_int (Random.State.int rng 50) /. 100.0)
+              ~util_high:(float_of_int (50 + Random.State.int rng 51) /. 100.0)
+              ())
+      in
+      let lib = Library.make devs in
+      let relax_low = Random.State.bool rng in
+      List.iter
+        (fun d ->
+          if
+            Device.fits ~relax_low d ~clbs ~iobs
+            <> Device.fits_demand ~relax_low d ~demand:[| clbs |] ~iobs
+          then
+            QCheck.Test.fail_reportf "fits disagrees on %s for clbs=%d iobs=%d"
+              d.Device.name clbs iobs)
+        devs;
+      let name = function Some (d : Device.t) -> d.Device.name | None -> "-" in
+      String.equal
+        (name (Library.smallest_fitting ~relax_low lib ~clbs ~iobs))
+        (name (Library.smallest_fitting_demand ~relax_low lib ~demand:[| clbs |] ~iobs)))
+
+let test_paper_total_bitwise =
+  QCheck.Test.make ~name:"paper total_cost bitwise-preserves device cost"
+    ~count:500
+    QCheck.(pair (int_range 0 1_000_000) (int_range 0 10_000))
+    (fun (a, nets) ->
+      let cost = float_of_int a /. 7.0 in
+      Int64.equal
+        (Int64.bits_of_float
+           (Objective.total_cost Objective.paper ~device_cost:cost ~cut_nets:nets))
+        (Int64.bits_of_float cost))
+
+let qc t = QCheck_alcotest.to_alcotest t
+
 let () =
   Alcotest.run "fpga"
     [
@@ -150,7 +388,10 @@ let () =
           Alcotest.test_case "utilization window" `Quick test_device_bounds;
           Alcotest.test_case "fits" `Quick test_device_fits;
           Alcotest.test_case "rejects malformed" `Quick test_device_rejects_bad;
+          Alcotest.test_case "vector devices" `Quick test_make_vector;
         ] );
+      ( "resource",
+        [ Alcotest.test_case "vector operations" `Quick test_resource_ops ] );
       ( "library",
         [
           Alcotest.test_case "Table I data" `Quick test_xc3000_table1;
@@ -158,10 +399,19 @@ let () =
           Alcotest.test_case "rejects malformed" `Quick test_library_rejects_bad;
           Alcotest.test_case "xc4000 family" `Quick test_xc4000;
           Alcotest.test_case "fractional lower bound" `Quick test_min_feasible_cost;
+          Alcotest.test_case "deterministic tie-breaking" `Quick
+            test_smallest_fitting_ties;
+          Alcotest.test_case "JSON loading" `Quick test_library_load;
         ] );
       ( "cost",
         [
           Alcotest.test_case "eq. 1 and eq. 2" `Quick test_cost_eq1_eq2;
           Alcotest.test_case "feasibility" `Quick test_cost_feasibility;
+        ] );
+      ( "objective",
+        [
+          Alcotest.test_case "hand-computed costs" `Quick test_objective_costs;
+          qc test_scalar_vector_equivalence;
+          qc test_paper_total_bitwise;
         ] );
     ]

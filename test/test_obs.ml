@@ -216,6 +216,8 @@ let test_scrub_elapsed_is_minimal () =
           Obs.Json.Obj [ ("count", Obs.Json.Int 4); ("p50", Obs.Json.Float 9.0) ]
         );
         ("per_second", Obs.Json.Float 2.0);
+        ("clb_util", Obs.Json.Float 0.75);
+        ("utility", Obs.Json.Float 3.0);
       ]
   in
   let expect =
@@ -230,9 +232,11 @@ let test_scrub_elapsed_is_minimal () =
         );
         ("fm.moves_per_sec", Obs.Json.Null);
         ("per_second", Obs.Json.Float 2.0);
+        ("clb_util", Obs.Json.Null);
+        ("utility", Obs.Json.Float 3.0);
       ]
   in
-  checks "only _secs/_per_sec keys nulled, order kept"
+  checks "only _secs/_per_sec/_util keys nulled, order kept"
     (Obs.Json.to_string expect)
     (Obs.Json.to_string (Obs.Snapshot.scrub_elapsed j))
 

@@ -192,29 +192,49 @@ let test_protocol_roundtrip () =
           checkb "request roundtrip" true
             (Service.Protocol.request_to_json req'
             = Service.Protocol.request_to_json req)
-      | Error e -> Alcotest.fail e)
+      | Error (_, e) -> Alcotest.fail e)
     reqs
 
 let test_protocol_bad_requests () =
-  let bad json =
-    checkb "rejected" true
-      (Result.is_error (Service.Protocol.request_of_json json))
+  let bad_code expected json =
+    match Service.Protocol.request_of_json json with
+    | Ok _ -> Alcotest.fail "bad request accepted"
+    | Error (code, _) -> checks "error code" expected code
   in
-  bad (J.Obj [ ("verb", J.String "frobnicate") ]);
-  bad (J.Obj [ ("verb", J.String "status") ]);
+  let bad = bad_code Service.Protocol.code_bad_request in
+  let v = ("v", J.Int 1) in
+  bad (J.Obj [ v; ("verb", J.String "frobnicate") ]);
+  bad (J.Obj [ v; ("verb", J.String "status") ]);
   (* missing job *)
-  bad (J.Obj [ ("verb", J.String "submit"); ("name", J.String "x") ]);
-  bad J.Null;
+  bad (J.Obj [ v; ("verb", J.String "submit"); ("name", J.String "x") ]);
   (* Options the engine would reject fail at decode time. *)
   bad
     (J.Obj
        [
+         v;
          ("verb", J.String "submit");
          ("name", J.String "x");
          ("format", J.String "bench");
          ("netlist", J.String "INPUT(a)\nOUTPUT(a)\n");
          ("options", J.Obj [ ("runs", J.Int 0) ]);
-       ])
+       ]);
+  (* Unknown objective names are bad requests too. *)
+  bad
+    (J.Obj
+       [
+         v;
+         ("verb", J.String "submit");
+         ("name", J.String "x");
+         ("format", J.String "bench");
+         ("netlist", J.String "INPUT(a)\nOUTPUT(a)\n");
+         ("options", J.Obj [ ("objective", J.String "frobnicate") ]);
+       ]);
+  (* The version gate fires before verb dispatch, with its own code. *)
+  let unsupported = bad_code Service.Protocol.code_unsupported_version in
+  unsupported J.Null;
+  unsupported (J.Obj [ ("verb", J.String "stats") ]);
+  unsupported (J.Obj [ ("v", J.Int 99); ("verb", J.String "stats") ]);
+  unsupported (J.Obj [ ("v", J.String "1"); ("verb", J.String "stats") ])
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end daemon tests                                            *)
@@ -481,6 +501,54 @@ let test_server_resubmit_warm () =
               checkb "names the broken pair" true
                 (astr_contains msg "10" && astr_contains msg "22")))
 
+let test_server_resubmit_objective_mismatch () =
+  (* A warm lineage keeps one objective: a resubmit whose options name a
+     different objective than the base's is a typed bad_request telling
+     the caller to submit cold. *)
+  with_server (fun path ->
+      let text = Netlist.Bench_format.to_string (Netlist.Generator.c17 ()) in
+      let r1 = rpc_ok path (submit_req "base" text) in
+      let job1 = int_field "job" r1 in
+      ignore (result_doc path job1);
+      match
+        Service.Client.rpc ~socket:path
+          (Service.Protocol.Resubmit
+             {
+               name = "switch";
+               base = `Job job1;
+               delta = [ Netlist.Delta.Set_output { net = "16"; output = true } ];
+               options =
+                 Some
+                   (Core.Kway.Options.make ~runs:2 ~seed:1
+                      ~objective:Fpga.Objective.chiplet ());
+             })
+      with
+      | Error e -> Alcotest.fail e
+      | Ok reply -> (
+          match Service.Client.ok_or_error reply with
+          | Ok _ -> Alcotest.fail "objective switch on a warm lineage accepted"
+          | Error (code, msg) ->
+              checks "bad request" Service.Protocol.code_bad_request code;
+              checkb "names both objectives" true
+                (astr_contains msg "chiplet" && astr_contains msg "paper");
+              (* The same options as the base pass the guard. *)
+              let r2 =
+                rpc_ok path
+                  (Service.Protocol.Resubmit
+                     {
+                       name = "same";
+                       base = `Job job1;
+                       delta =
+                         [
+                           Netlist.Delta.Set_output
+                             { net = "16"; output = true };
+                         ];
+                       options =
+                         Some (Core.Kway.Options.make ~runs:2 ~seed:1 ());
+                     })
+              in
+              ignore (result_doc path (int_field "job" r2))))
+
 let test_server_resubmit_evicted_base_cold_fallback () =
   (* cache_cap 1: the second submission evicts the base's cached context,
      so a resubmit against it must flag cold_fallback and still run. *)
@@ -714,6 +782,8 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_resubmit_noop_byte_identity;
           Alcotest.test_case "resubmit warm start" `Quick
             test_server_resubmit_warm;
+          Alcotest.test_case "resubmit rejects objective switch" `Quick
+            test_server_resubmit_objective_mismatch;
           Alcotest.test_case "resubmit after eviction falls back cold" `Quick
             test_server_resubmit_evicted_base_cold_fallback;
           Alcotest.test_case "backpressure and cancel" `Quick

@@ -1,9 +1,10 @@
 (* Shared fixtures for the test suites. *)
 
-let spec ?(area = 1) name inputs outputs supports =
+let spec ?(area = 1) ?(demand = [||]) name inputs outputs supports =
   {
     Hypergraph.s_name = name;
     s_area = area;
+    s_demand = demand;
     s_inputs = Array.of_list inputs;
     s_outputs = Array.of_list outputs;
     s_supports = Array.of_list supports;

@@ -2,7 +2,7 @@
 # Telemetry acceptance gate: generate a stats document with
 # `fpgapart partition --stats-json` on a genuinely multi-device circuit
 # and fail if the JSON schema keys drift, the determinism contract
-# (same seed => byte-identical modulo *_secs/*_per_sec fields) breaks, or the
+# (same seed => byte-identical modulo *_secs/*_per_sec/*_util fields) breaks, or the
 # parallel search leaks into the telemetry (--jobs 4 must scrub to the
 # same bytes as --jobs 1 — even with --trace enabled, since the trace is
 # a separate artifact that must never leak into the stats document).
@@ -24,14 +24,15 @@ run() {
 
 run "$tmpdir/a.json"
 
-# Every key the README documents as schema v4 must be present, including
+# Every key the README documents as schema v5 must be present, including
 # the per-pass F-M event fields, the per-split device-window attempts,
 # the split wall/CPU timing of the result, the v3 histograms (name ->
-# {count; sum; buckets}) of F-M gains and bucket-scan lengths, and the
+# {count; sum; buckets}) of F-M gains and bucket-scan lengths, the
 # v4 incremental-rescoring telemetry (fm.rescored_cells counter,
-# fm.moves_per_sec rate histogram).
+# fm.moves_per_sec rate histogram), and the v5 objective name in the
+# options plus the per-axis resource_util object in the result.
 for key in \
-  '"schema_version": 4' '"circuit"' '"seed"' '"options"' '"result"' \
+  '"schema_version": 5' '"circuit"' '"seed"' '"options"' '"result"' \
   '"obs"' '"counters"' '"timers"' '"events"' \
   '"parts"' '"wall_secs"' '"cpu_secs"' \
   '"event": "fm.pass"' '"event": "kway.device_attempt"' \
@@ -40,6 +41,7 @@ for key in \
   '"cut"' '"terminals"' '"improved"' '"feasible"' '"span"' \
   '"fm.passes"' '"kway.device_attempts"' '"kway.splits"' \
   '"fm.rescored_cells"' \
+  '"objective": "paper"' '"resource_util"' '"clb_util"' '"io_util"' \
   '"histograms"' '"fm.gain"' '"fm.scan_len"' '"fm.moves_per_sec"' \
   '"kway.attempt_cut"' '"kway.split_cut"' \
   '"count"' '"sum"' '"buckets"'
@@ -68,10 +70,11 @@ fi
 run "$tmpdir/b.json"
 run "$tmpdir/j4.json" --jobs 4 --trace "$tmpdir/j4.trace.json"
 
-# The only permitted nondeterminism is wall-derived: *_secs fields and
-# (since v4) *_per_sec rate histograms, whose values span multiple
-# pretty-printed lines — so the scrub parses the JSON instead of
-# pattern-matching lines, mirroring Obs.Snapshot.scrub_elapsed exactly.
+# The only masked keys are wall-derived *_secs fields, (since v4)
+# *_per_sec rate histograms, and (since v5) derived *_util utilization
+# ratios; values span multiple pretty-printed lines — so the scrub
+# parses the JSON instead of pattern-matching lines, mirroring
+# Obs.Snapshot.scrub_elapsed exactly.
 scrub() {
   python3 tools/scrub_stats.py "$1"
 }
@@ -79,11 +82,11 @@ scrub "$tmpdir/a.json" > "$tmpdir/a.scrubbed"
 scrub "$tmpdir/b.json" > "$tmpdir/b.scrubbed"
 scrub "$tmpdir/j4.json" > "$tmpdir/j4.scrubbed"
 if ! cmp -s "$tmpdir/a.scrubbed" "$tmpdir/b.scrubbed"; then
-  echo "schema check: same-seed runs differ beyond *_secs/*_per_sec fields" >&2
+  echo "schema check: same-seed runs differ beyond *_secs/*_per_sec/*_util fields" >&2
   exit 1
 fi
 if ! cmp -s "$tmpdir/a.scrubbed" "$tmpdir/j4.scrubbed"; then
-  echo "schema check: --jobs 4 --trace telemetry differs from --jobs 1 beyond *_secs/*_per_sec fields" >&2
+  echo "schema check: --jobs 4 --trace telemetry differs from --jobs 1 beyond *_secs/*_per_sec/*_util fields" >&2
   exit 1
 fi
 

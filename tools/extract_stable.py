@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Extract the objective-stable subset of a fpgapart stats document.
+
+The subset is everything that must not change when the cost-objective
+API is swapped underneath the paper objective: the partitioning result
+(device choices, per-part CLB/IOB loads, costs) and the full decision
+telemetry (counters, events, non-rate histograms). Keys that are
+allowed to differ across schema revisions are dropped:
+
+- ``schema_version`` and ``options`` (new option fields may appear),
+- wall-derived fields (``_secs``, ``_per_sec``) and derived ratio
+  fields (``_util``), mirroring tools/scrub_stats.py.
+
+The event stream (megabytes on the larger circuits) is folded into an
+md5 fingerprint of its stripped canonical rendering — still a
+byte-level gate on every recorded decision, without megabyte goldens.
+
+Output is canonical (indent=1, stable key order as emitted) so two
+extracts can be compared with cmp/diff.
+
+Usage: extract_stable.py FILE
+"""
+import hashlib
+import json
+import sys
+
+MASKED_SUFFIXES = ("_secs", "_per_sec", "_util")
+
+
+def strip(node):
+    if isinstance(node, dict):
+        return {
+            k: strip(v)
+            for k, v in node.items()
+            if not k.endswith(MASKED_SUFFIXES)
+        }
+    if isinstance(node, list):
+        return [strip(v) for v in node]
+    return node
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.stderr.write(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+    obs = strip(doc.get("obs", {}))
+    events = obs.pop("events", [])
+    obs.pop("timers", None)
+    canonical = json.dumps(events, sort_keys=True, separators=(",", ":"))
+    obs["events_md5"] = hashlib.md5(canonical.encode()).hexdigest()
+    obs["events_len"] = len(events)
+    stable = {
+        "circuit": doc.get("circuit"),
+        "seed": doc.get("seed"),
+        "result": strip(doc.get("result", {})),
+        "obs": obs,
+    }
+    json.dump(stable, sys.stdout, indent=1)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,9 +2,12 @@
 """Determinism scrub for fpgapart stats JSON, printed to stdout.
 
 Mirrors Obs.Snapshot.scrub_elapsed: every object field whose key ends in
-``_secs`` or ``_per_sec`` is replaced by null, recursively, and nothing
-else changes. A ``_per_sec``-named histogram is masked whole — its
-count, sum and buckets are all wall-derived. Output is canonical
+``_secs``, ``_per_sec`` or ``_util`` is replaced by null, recursively,
+and nothing else changes. A ``_per_sec``-named histogram is masked whole
+— its count, sum and buckets are all wall-derived. ``_util`` keys
+(schema v5 per-axis utilization ratios) are derived floats of
+used/capacity whose integral inputs are already in the document, masked
+so comparisons are float-formatting-independent. Output is canonical
 (sorted-key-free, stable separators) so two scrubbed documents can be
 compared with cmp/diff.
 
@@ -13,13 +16,13 @@ Usage: scrub_stats.py FILE
 import json
 import sys
 
-WALL_SUFFIXES = ("_secs", "_per_sec")
+MASKED_SUFFIXES = ("_secs", "_per_sec", "_util")
 
 
 def scrub(node):
     if isinstance(node, dict):
         return {
-            k: (None if k.endswith(WALL_SUFFIXES) else scrub(v))
+            k: (None if k.endswith(MASKED_SUFFIXES) else scrub(v))
             for k, v in node.items()
         }
     if isinstance(node, list):
