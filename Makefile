@@ -1,4 +1,4 @@
-.PHONY: all build test bench lint schema trace service perf objectives ci clean
+.PHONY: all build test bench lint schema trace service metrics perf objectives ci clean
 
 all: build
 
@@ -32,15 +32,28 @@ trace: build
 service: build
 	sh tools/check_service.sh
 
+# Observability gate: the daemon's svc-metrics exposition must parse as
+# valid OpenMetrics (cumulative buckets, +Inf == count, # EOF), health
+# must answer, result replies must carry a consistent timings breakdown,
+# scrubbed structured logs must be byte-identical across two identical
+# runs, and the per-job trace must hold the full lifecycle span set
+# (see tools/check_metrics.sh).
+metrics: build
+	sh tools/check_metrics.sh
+
 # Perf-regression smoke gate for the incremental F-M engine: the
 # hot-loop microbenchmark must run and report moves/sec plus
 # allocations/move, the stats JSON must export the v4 rescoring
 # telemetry, and an FPGAPART_FM_ORACLE=1 rerun (every cached gain
 # cross-checked from scratch) must scrub byte-identical to the normal
 # run. FPGAPART_PERF_FULL=1 widens the oracle sweep to every bundled
-# circuit (see tools/check_perf.sh).
+# circuit (see tools/check_perf.sh). Then the bench harness regenerates
+# BENCH_partition.json (fixed seeds; only *_secs fields vary run to
+# run), including the end-to-end service latency row, so the perf
+# trajectory accrues with every perf run.
 perf: build
 	sh tools/check_perf.sh
+	dune exec --no-print-directory bench/main.exe -- partition
 
 # Objective-API gate: --objective paper must reproduce the scalar
 # partitioner's decisions byte-for-byte against test/golden/ on all
@@ -61,6 +74,7 @@ ci: build lint
 	cmp _build/schema.jobs1.json _build/schema.jobs4.json
 	sh tools/check_trace.sh
 	sh tools/check_service.sh
+	sh tools/check_metrics.sh
 	sh tools/check_perf.sh
 	sh tools/check_objectives.sh
 	@echo "ci: scrubbed telemetry identical across FPGAPART_JOBS=1/4"

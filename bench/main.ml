@@ -204,6 +204,101 @@ let hotloop () =
       Format.printf "%s@." (Obs.Json.to_string j);
       pp_hotloop j
 
+(* End-to-end service latency: boot an in-process daemon on a scratch
+   socket, time one cold submit -> result round trip and one cache-hit
+   round trip. This is the row behind the service SLO histograms: what a
+   client actually waits, transport and queueing included, next to the
+   bare engine wall-clock the suite rows report. Keys are *_secs — the
+   values are wall-derived and scrub away like every other timer. *)
+let service_row () =
+  let name = "c1355" in
+  match Experiments.Suite.find name with
+  | None -> Error ("suite lacks " ^ name)
+  | Some e -> (
+      let sock = Filename.temp_file "fpgapart_bench" ".sock" in
+      Sys.remove sock;
+      let cfg = Service.Server.default_config ~socket_path:sock in
+      let ready = Atomic.make false in
+      let server =
+        Thread.create
+          (fun () ->
+            match
+              Service.Server.run
+                ~on_ready:(fun () -> Atomic.set ready true)
+                cfg
+            with
+            | Ok () -> ()
+            | Error msg -> prerr_endline ("bench: service: " ^ msg))
+          ()
+      in
+      while not (Atomic.get ready) do
+        Thread.yield ()
+      done;
+      let finish () =
+        (match Service.Client.rpc ~socket:sock Service.Protocol.Shutdown with
+        | Ok _ | Error _ -> ());
+        Thread.join server
+      in
+      Fun.protect ~finally:finish (fun () ->
+          let text =
+            Netlist.Bench_format.to_string
+              (Lazy.force e.Experiments.Suite.circuit)
+          in
+          let options = Core.Kway.Options.make ~runs:!kway_runs ~seed:1 () in
+          let rpc req =
+            match Service.Client.rpc ~socket:sock req with
+            | Error msg -> Error msg
+            | Ok reply -> (
+                match Service.Client.ok_or_error reply with
+                | Ok reply -> Ok reply
+                | Error (_, msg) -> Error msg)
+          in
+          let submit () =
+            rpc
+              (Service.Protocol.Submit
+                 {
+                   name;
+                   format = Service.Protocol.Bench;
+                   netlist = text;
+                   options;
+                 })
+          in
+          let ( let* ) = Result.bind in
+          let t0 = Obs.Clock.wall () in
+          let* reply = submit () in
+          let* job =
+            match
+              Option.bind (Obs.Json.member "job" reply) Obs.Json.to_int
+            with
+            | Some id -> Ok id
+            | None -> Error "submit reply lacks a job id"
+          in
+          let* _ =
+            rpc (Service.Protocol.Result { job; wait = true })
+          in
+          let cold = Obs.Clock.wall () -. t0 in
+          let t1 = Obs.Clock.wall () in
+          let* hit_reply = submit () in
+          let hit = Obs.Clock.wall () -. t1 in
+          let* () =
+            if
+              Option.bind (Obs.Json.member "cached" hit_reply)
+                Obs.Json.to_bool
+              = Some true
+            then Ok ()
+            else Error "second submission missed the cache"
+          in
+          Ok
+            ( cold,
+              hit,
+              Obs.Json.Obj
+                [
+                  ("circuit", Obs.Json.String name);
+                  ("runs", Obs.Json.Int !kway_runs);
+                  ("cold_e2e_secs", Obs.Json.Float cold);
+                  ("cache_hit_e2e_secs", Obs.Json.Float hit);
+                ] )))
+
 let partition_stats () =
   section "BENCH_partition.json: k-way engine telemetry aggregate";
   progress
@@ -257,6 +352,21 @@ let partition_stats () =
             | Obs.Json.Obj fields ->
                 Obs.Json.Obj (fields @ [ ("resubmit", row) ])
             | other -> other))
+  in
+  (* The end-to-end service latency rides along: what a client of the
+     daemon waits for a cold job and for a cache hit, transport and
+     queueing included. *)
+  let doc =
+    progress "service: in-process daemon, cold + cache-hit round trip...";
+    match service_row () with
+    | Error msg ->
+        prerr_endline ("bench: service: " ^ msg);
+        doc
+    | Ok (cold, hit, row) -> (
+        Format.printf "service e2e: cold %.3fs / cache hit %.4fs@." cold hit;
+        match doc with
+        | Obs.Json.Obj fields -> Obs.Json.Obj (fields @ [ ("service", row) ])
+        | other -> other)
   in
   (* Per-objective ablation rides along: every builtin cost objective on
      every suite circuit, so the paper / multi-personality / chiplet

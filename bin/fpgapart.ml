@@ -434,12 +434,39 @@ let serve_cmd =
             "Per-job wall-clock budget; a job past it is stopped \
              cooperatively and fails with the $(b,timeout) error code.")
   in
-  let run socket queue_cap cache_cap timeout jobs verbose =
+  let log_level_arg = Cli_common.log_level () in
+  let log_file_arg = Cli_common.log_file () in
+  let log_scrub_arg = Cli_common.log_scrub () in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a per-job lifecycle trace to $(docv) at shutdown as \
+             Chrome trace-event JSON (Perfetto-loadable): one track per \
+             job id with its decode, canonicalise, queue_wait, partition \
+             and encode_reply spans.")
+  in
+  let run socket queue_cap cache_cap timeout jobs log_level log_file log_scrub
+      trace_path verbose =
     setup_logs verbose;
     if queue_cap <= 0 || cache_cap <= 0 then (
       prerr_endline "fpgapart: --queue-cap and --cache-cap must be positive";
       exit 1);
     let stop = Service.Signals.install_stop_flag () in
+    (* The log channel outlives Server.run (the final server.stopped line
+       lands after the drain), so it is closed on the way out, not
+       per-request. *)
+    let log_oc =
+      match log_file with
+      | None -> None
+      | Some path -> Some (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+    in
+    let log =
+      Obs.Log.to_channel ~level:log_level ~scrub:log_scrub
+        (Option.value log_oc ~default:stderr)
+    in
     let cfg =
       {
         Service.Server.socket_path = socket;
@@ -447,20 +474,25 @@ let serve_cmd =
         cache_cap;
         timeout;
         jobs;
+        log;
+        trace_path;
       }
     in
     let on_ready () =
       Format.printf "fpgapart: listening on %s (queue %d, cache %d, jobs %d)@."
         socket queue_cap cache_cap jobs
     in
-    or_die (Service.Server.run ~on_ready ~external_stop:stop cfg);
+    let outcome = Service.Server.run ~on_ready ~external_stop:stop cfg in
+    Option.iter close_out log_oc;
+    or_die outcome;
     Format.printf "fpgapart: daemon stopped@."
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       const run $ socket_arg $ queue_cap_arg $ cache_cap_arg $ timeout_arg
-      $ jobs_arg $ verbose_arg)
+      $ jobs_arg $ log_level_arg $ log_file_arg $ log_scrub_arg $ trace_arg
+      $ verbose_arg)
 
 let submit_cmd =
   let doc =
@@ -772,6 +804,40 @@ let svc_stats_cmd =
   in
   Cmd.v (Cmd.info "svc-stats" ~doc) Term.(const run $ socket_arg)
 
+let svc_metrics_cmd =
+  let doc =
+    "Dump a running daemon's OpenMetrics/Prometheus text exposition to \
+     stdout: live gauges (queue depth, inflight jobs, cache occupancy \
+     and hit ratio, GC), SLO latency histograms (queue-wait, run, \
+     end-to-end) and every service counter and histogram."
+  in
+  let run socket =
+    let reply = or_die (svc_rpc socket Service.Protocol.Metrics) in
+    match Option.bind (Obs.Json.member "metrics" reply) Obs.Json.to_str with
+    | Some text -> print_string text
+    | None ->
+        prerr_endline "fpgapart: malformed reply (no metrics)";
+        exit 1
+  in
+  Cmd.v (Cmd.info "svc-metrics" ~doc) Term.(const run $ socket_arg)
+
+let svc_health_cmd =
+  let doc =
+    "Probe a running daemon's health: accepting|draining state, protocol \
+     and stats schema versions, uptime, queue depth/capacity, inflight \
+     jobs and cache occupancy, printed as JSON. Exits non-zero when the \
+     daemon is unreachable."
+  in
+  let run socket =
+    let reply = or_die (svc_rpc socket Service.Protocol.Health) in
+    match Obs.Json.member "health" reply with
+    | Some health -> print_endline (Obs.Json.to_string health)
+    | None ->
+        prerr_endline "fpgapart: malformed reply (no health)";
+        exit 1
+  in
+  Cmd.v (Cmd.info "svc-health" ~doc) Term.(const run $ socket_arg)
+
 let svc_cancel_cmd =
   let doc = "Request cooperative cancellation of a job on the daemon." in
   let job_pos =
@@ -807,8 +873,8 @@ let main =
     [
       list_cmd; stats_cmd; map_cmd; psi_cmd; bipartition_cmd; partition_cmd;
       convert_cmd; generate_cmd; optimize_cmd; timing_cmd; serve_cmd;
-      submit_cmd; perturb_cmd; resubmit_cmd; svc_stats_cmd; svc_cancel_cmd;
-      svc_shutdown_cmd;
+      submit_cmd; perturb_cmd; resubmit_cmd; svc_stats_cmd; svc_metrics_cmd;
+      svc_health_cmd; svc_cancel_cmd; svc_shutdown_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -121,6 +121,56 @@ let library_of_path = function
   | None -> Ok Fpga.Library.xc3000
   | Some path -> Fpga.Library.load path
 
+(* The log-level flag parses straight to Obs.Log.level so a typo is a
+   Cmdliner error listing the valid names, mirroring --objective. *)
+let log_level_conv =
+  let parse s =
+    match Obs.Log.level_of_string s with
+    | Some l -> Ok l
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown log level %S (expected debug, info, warn or error)"
+                s))
+  in
+  let print fmt l = Format.pp_print_string fmt (Obs.Log.level_to_string l) in
+  Arg.conv ~docv:"LEVEL" (parse, print)
+
+let log_level () =
+  Arg.(
+    value
+    & opt log_level_conv Obs.Log.Info
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~env:(Cmd.Env.info "FPGAPART_LOG")
+        ~doc:
+          "Structured-log threshold: $(b,debug), $(b,info), $(b,warn) or \
+           $(b,error). Job lifecycle events (enqueue, dequeue, cache hit, \
+           done/failed/timeout/cancelled, drain) log at info; per-frame \
+           accept/decode chatter at debug. Defaults to $(env), then info.")
+
+let log_file () =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-file" ] ~docv:"FILE"
+        ~doc:
+          "Append structured JSON-lines logs to $(docv) instead of \
+           stderr. One JSON object per line: {\"ts_secs\", \"level\", \
+           \"event\", ...fields}, with a per-job correlation id \
+           (\"corr\") on every lifecycle line.")
+
+let log_scrub () =
+  Arg.(
+    value & flag
+    & info [ "log-scrub" ]
+        ~doc:
+          "Null the timestamp and every wall-derived field (*_secs, \
+           *_ms, *_per_sec, *_util — the stats scrub contract) in log \
+           lines, making the info-level lifecycle stream byte-identical \
+           across repeated identical serialized workloads and across \
+           $(b,--jobs) values.")
+
 let socket () =
   Arg.(
     required

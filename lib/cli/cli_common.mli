@@ -54,6 +54,21 @@ val library_of_path : string option -> (Fpga.Library.t, string) result
     [Some path] loads and validates the JSON file
     ({!Fpga.Library.load}). *)
 
+val log_level : unit -> Obs.Log.level Cmdliner.Term.t
+(** [--log-level LEVEL] — structured-log threshold for [fpgapart serve]
+    (debug | info | warn | error; default info). When the flag is
+    absent the [FPGAPART_LOG] environment variable supplies the value.
+    Unknown names are a Cmdliner parse error listing the valid
+    levels. *)
+
+val log_file : unit -> string option Cmdliner.Term.t
+(** [--log-file FILE] — append JSON-lines structured logs to [FILE];
+    absent logs to stderr. *)
+
+val log_scrub : unit -> bool Cmdliner.Term.t
+(** [--log-scrub] — null timestamps and wall-derived fields in log
+    lines ({!Obs.Log} scrub mode), for byte-comparable log streams. *)
+
 val socket : unit -> string Cmdliner.Term.t
 (** [--socket PATH] — the daemon's Unix-domain socket, shared by
     [fpgapart serve] and every client subcommand. Required; the

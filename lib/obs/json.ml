@@ -73,6 +73,39 @@ let to_string j =
   emit buf 0 j;
   Buffer.contents buf
 
+(* Single-line rendering for JSON-lines streams (one document per line,
+   no interior newlines). Same escaping and float format as [to_string]. *)
+let rec emit_compact buf j =
+  match j with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun k item ->
+          if k > 0 then Buffer.add_char buf ',';
+          emit_compact buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun k (key, v) ->
+          if k > 0 then Buffer.add_char buf ',';
+          escape buf key;
+          Buffer.add_char buf ':';
+          emit_compact buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_compact_string j =
+  let buf = Buffer.create 256 in
+  emit_compact buf j;
+  Buffer.contents buf
+
 let pp fmt j = Format.pp_print_string fmt (to_string j)
 
 let write_file ~path j =

@@ -20,6 +20,11 @@ val to_string : t -> string
     newline. Strings are escaped per RFC 8259; non-finite floats render as
     [null]. *)
 
+val to_compact_string : t -> string
+(** Single-line rendering (no whitespace, no interior newlines) with the
+    same escaping and float format as {!to_string}. This is the JSON-lines
+    form: one {!Obs.Log} record per line stays greppable and parseable. *)
+
 val pp : Format.formatter -> t -> unit
 (** Same rendering as {!to_string}. *)
 

@@ -1,0 +1,103 @@
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+type sink = { emit : string -> unit; min_level : level; scrub : bool }
+type t = sink option
+
+let null = None
+
+(* The log scrub contract is the stats contract (_secs/_per_sec/_util,
+   Snapshot.scrub_elapsed) extended with "_ms": service latency fields are
+   integer milliseconds precisely so they survive in stats documents, but
+   on a log line they are wall-derived per-record values, so a
+   byte-deterministic log must null them too. *)
+let is_volatile_key k =
+  let ends_with suf =
+    let n = String.length k and m = String.length suf in
+    n >= m && String.sub k (n - m) m = suf
+  in
+  ends_with "_secs" || ends_with "_ms" || ends_with "_per_sec"
+  || ends_with "_util"
+
+let rec scrub_value = function
+  | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (k, v) ->
+             if is_volatile_key k then (k, Json.Null) else (k, scrub_value v))
+           fields)
+  | Json.List items -> Json.List (List.map scrub_value items)
+  | j -> j
+
+let scrub_fields fields =
+  List.map
+    (fun (k, v) ->
+      if is_volatile_key k then (k, Json.Null) else (k, scrub_value v))
+    fields
+
+(* One global mutex keeps concurrently emitted lines whole. Ordering
+   across threads is the caller's concern: the service emits every
+   info-level lifecycle line under its own state mutex, which is what
+   makes scrubbed logs byte-deterministic for a serialized workload. *)
+let emit_mutex = Mutex.create ()
+
+let make ?(level = Info) ?(scrub = false) emit =
+  Some { emit; min_level = level; scrub }
+
+let to_channel ?level ?scrub oc =
+  make ?level ?scrub (fun line ->
+      output_string oc line;
+      output_char oc '\n';
+      flush oc)
+
+let to_buffer ?level ?scrub buf =
+  make ?level ?scrub (fun line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+
+let enabled t lvl =
+  match t with
+  | None -> false
+  | Some s -> severity lvl >= severity s.min_level
+
+let line ~scrub lvl event fields =
+  let fields = if scrub then scrub_fields fields else fields in
+  (* Obs.Clock.wall without the cycle (Obs re-exports this module). *)
+  let ts = if scrub then Json.Null else Json.Float (Unix.gettimeofday ()) in
+  Json.to_compact_string
+    (Json.Obj
+       (("ts_secs", ts)
+        :: ("level", Json.String (level_to_string lvl))
+        :: ("event", Json.String event)
+        :: fields))
+
+let log t lvl event fields =
+  match t with
+  | None -> ()
+  | Some s ->
+      if severity lvl >= severity s.min_level then begin
+        let l = line ~scrub:s.scrub lvl event fields in
+        Mutex.lock emit_mutex;
+        Fun.protect ~finally:(fun () -> Mutex.unlock emit_mutex) (fun () ->
+            s.emit l)
+      end
+
+let debug t event fields = log t Debug event fields
+let info t event fields = log t Info event fields
+let warn t event fields = log t Warn event fields
+let error t event fields = log t Error event fields

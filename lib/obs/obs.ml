@@ -1,4 +1,5 @@
 module Json = Json
+module Log = Log
 
 module Clock = struct
   let wall = Unix.gettimeofday
@@ -255,6 +256,34 @@ let span t name f =
           match c.stack with [] -> () | _ :: rest -> c.stack <- rest)
         f
 
+(* Spans with explicit bounds, for lifetimes that no single call scope
+   covers (a job's queue wait spans two threads; its decode happens before
+   the job id that names its trace lane exists). Absolute Clock.wall
+   stamps come in; epoch-relative spans come out, like [span]'s. *)
+let add_span ?pid ?tid t name ~begin_wall ~end_wall =
+  match t with
+  | Noop -> ()
+  | Active c -> (
+      match c.tracer with
+      | None -> ()
+      | Some tr ->
+          tr.spans_rev <-
+            {
+              span_name = name;
+              span_pid = Option.value pid ~default:tr.t_pid;
+              span_tid = Option.value tid ~default:tr.t_tid;
+              begin_secs = begin_wall -. tr.epoch;
+              end_secs = end_wall -. tr.epoch;
+              gc =
+                {
+                  minor_words = 0.0;
+                  major_words = 0.0;
+                  minor_collections = 0;
+                  major_collections = 0;
+                };
+            }
+            :: tr.spans_rev)
+
 module Snapshot = struct
   type event = { name : string; fields : (string * Json.t) list }
 
@@ -493,4 +522,158 @@ module Trace = struct
       ]
 
   let write ~path t = Json.write_file ~path (to_json t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics export                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics_export = struct
+  (* Explicit-bound latency histograms for SLO reporting. The signed-log2
+     histograms above are built for exact cross-sink merging; a scrape
+     endpoint instead wants a small fixed set of human-meaningful bounds,
+     so these keep cumulative counts per bound directly (the OpenMetrics
+     representation) and observe in O(#buckets). *)
+  module Slo = struct
+    type t = {
+      bounds : int array; (* upper bounds, ms, strictly increasing *)
+      cumulative : int array; (* observations <= bounds.(i) *)
+      mutable count : int;
+      mutable sum_ms : int;
+    }
+
+    let default_buckets_ms =
+      [ 1; 5; 10; 25; 50; 100; 250; 500; 1000; 2500; 5000; 10000; 30000 ]
+
+    let create ?(buckets_ms = default_buckets_ms) () =
+      let bounds = Array.of_list (List.sort_uniq compare buckets_ms) in
+      {
+        bounds;
+        cumulative = Array.make (Array.length bounds) 0;
+        count = 0;
+        sum_ms = 0;
+      }
+
+    let observe t ms =
+      t.count <- t.count + 1;
+      t.sum_ms <- t.sum_ms + ms;
+      Array.iteri
+        (fun i b -> if ms <= b then t.cumulative.(i) <- t.cumulative.(i) + 1)
+        t.bounds
+
+    let count t = t.count
+    let sum_ms t = t.sum_ms
+
+    let buckets t =
+      Array.to_list (Array.mapi (fun i b -> (b, t.cumulative.(i))) t.bounds)
+  end
+
+  type gauge = { g_name : string; g_help : string; g_value : float }
+
+  (* Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; our keys use
+     '.', '/' and '-' as separators. *)
+  let sanitize name =
+    let b = Buffer.create (String.length name) in
+    String.iteri
+      (fun i c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '_' -> Buffer.add_char b c
+        | '0' .. '9' ->
+            if i = 0 then Buffer.add_char b '_';
+            Buffer.add_char b c
+        | _ -> Buffer.add_char b '_')
+      name;
+    Buffer.contents b
+
+  let escape_help s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let escape_label s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let number f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.9g" f
+
+  let render ?(prefix = "fpgapart") ?(gauges = []) ?(slos = []) snapshot =
+    let buf = Buffer.create 4096 in
+    let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let family n = prefix ^ "_" ^ sanitize n in
+    let header n typ help =
+      pr "# HELP %s %s\n" n (escape_help help);
+      pr "# TYPE %s %s\n" n typ
+    in
+    List.iter
+      (fun g ->
+        let n = family g.g_name in
+        header n "gauge" g.g_help;
+        pr "%s %s\n" n (number g.g_value))
+      gauges;
+    (* SLO histograms are recorded in integer ms but exported in base
+       units (seconds), as the exposition format prescribes. *)
+    List.iter
+      (fun (name, help, slo) ->
+        let n = family name in
+        header n "histogram" help;
+        List.iter
+          (fun (ub_ms, c) ->
+            pr "%s_bucket{le=\"%s\"} %d\n" n
+              (escape_label (number (float_of_int ub_ms /. 1000.0)))
+              c)
+          (Slo.buckets slo);
+        pr "%s_bucket{le=\"+Inf\"} %d\n" n (Slo.count slo);
+        pr "%s_sum %s\n" n (number (float_of_int (Slo.sum_ms slo) /. 1000.0));
+        pr "%s_count %d\n" n (Slo.count slo))
+      slos;
+    List.iter
+      (fun (k, v) ->
+        let n = family k in
+        header n "counter" (Printf.sprintf "Obs counter %s." k);
+        pr "%s_total %d\n" n v)
+      snapshot.Snapshot.counters;
+    List.iter
+      (fun (k, v) ->
+        let n = family k in
+        header n "gauge"
+          (Printf.sprintf "Obs timer %s (accumulated CPU seconds)." k);
+        pr "%s %s\n" n (number v))
+      snapshot.Snapshot.timers;
+    (* Signed-log2 histograms export with their native bucket upper
+       bounds as [le] labels; buckets are stored per-index, so the
+       cumulative sums are rebuilt here in ascending index order. *)
+    List.iter
+      (fun (k, h) ->
+        let n = family k in
+        header n "histogram" (Printf.sprintf "Obs histogram %s." k);
+        let running = ref 0 in
+        List.iter
+          (fun (b, c) ->
+            running := !running + c;
+            let _, hi = bucket_bounds b in
+            pr "%s_bucket{le=\"%d\"} %d\n" n hi !running)
+          h.Snapshot.buckets;
+        pr "%s_bucket{le=\"+Inf\"} %d\n" n h.Snapshot.count;
+        pr "%s_sum %d\n" n h.Snapshot.sum;
+        pr "%s_count %d\n" n h.Snapshot.count)
+      snapshot.Snapshot.histograms;
+    Buffer.add_string buf "# EOF\n";
+    Buffer.contents buf
 end

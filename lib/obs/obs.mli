@@ -100,6 +100,17 @@ val span : t -> string -> (unit -> 'a) -> 'a
 val current_span : t -> string
 (** Current span path, ["/"]-joined, [""] at top level or on {!noop}. *)
 
+val add_span :
+  ?pid:int -> ?tid:int -> t -> string -> begin_wall:float -> end_wall:float ->
+  unit
+(** Append a trace span with explicit bounds, for lifetimes no single call
+    scope covers (a queued job's wait spans two threads; its decode happens
+    before the job id that names its trace lane exists). The bounds are
+    absolute {!Clock.wall} stamps; they are stored relative to the sink's
+    epoch like {!span}'s. [pid]/[tid] default to the sink's lane; the GC
+    delta is zero (nobody ran "inside" the span). No-op on a non-tracing
+    sink. *)
+
 val event : t -> string -> (string * Json.t) list -> unit
 (** Append a structured event. The current span path, when non-empty, is
     prepended to the fields as ["span"]. Callers guard payload construction
@@ -212,5 +223,71 @@ module Trace : sig
   val write : path:string -> t -> unit
 end
 
+(** {1 OpenMetrics export}
+
+    Renders a {!Snapshot} — plus caller-supplied gauges and explicit-bound
+    SLO histograms — as OpenMetrics/Prometheus text exposition format. The
+    daemon's [metrics] verb serves this; [fpgapart svc-metrics] dumps it.
+    Unlike the stats document, the exported text is wall-clock-honest and
+    carries no determinism contract: it exists to be scraped, not
+    diffed. *)
+module Metrics_export : sig
+  (** Cumulative latency histograms over a fixed set of explicit
+      millisecond bounds — the shape OpenMetrics expects, kept directly
+      (observe is O(#buckets)). The signed-log2 {!observe} histograms
+      stay the merge-exact internal representation; these exist for
+      human-meaningful SLO bounds at the scrape endpoint. Not
+      thread-safe; the daemon observes into them under its state
+      mutex. *)
+  module Slo : sig
+    type t
+
+    val default_buckets_ms : int list
+    (** [1ms … 30s], a generic latency ladder. *)
+
+    val create : ?buckets_ms:int list -> unit -> t
+    (** Bounds are sorted and deduplicated; counts start at zero. *)
+
+    val observe : t -> int -> unit
+    (** Record one latency in ms (incrementing every bucket whose bound
+        it fits under, plus the implicit [+Inf]). *)
+
+    val count : t -> int
+    val sum_ms : t -> int
+
+    val buckets : t -> (int * int) list
+    (** [(upper bound ms, cumulative count)] in ascending bound order;
+        the implicit [+Inf] bucket is {!count}. *)
+  end
+
+  type gauge = { g_name : string; g_help : string; g_value : float }
+  (** A point-in-time sample (queue depth, heap words…). Integral values
+      render without a decimal point. *)
+
+  val sanitize : string -> string
+  (** Map an Obs key to the Prometheus name charset: every character
+      outside [[a-zA-Z0-9_]] becomes ['_'], with a leading ['_'] if the
+      name starts with a digit. *)
+
+  val render :
+    ?prefix:string ->
+    ?gauges:gauge list ->
+    ?slos:(string * string * Slo.t) list ->
+    Snapshot.t ->
+    string
+  (** The full exposition document, ["# EOF\n"]-terminated. Every family
+      name is [prefix ^ "_" ^ sanitize key] ([prefix] defaults to
+      ["fpgapart"]). Gauges render first, then [slos] as [(name, help,
+      histogram)] triples — recorded in ms, exported in seconds (base
+      units) — then the snapshot: counters as [<family>_total], timers as
+      gauges, signed-log2 histograms as native-bound histograms with
+      cumulative bucket counts. HELP text and label values are escaped
+      per the exposition format. *)
+end
+
 (** Re-export so users of the sink need only one library dependency. *)
 module Json = Json
+
+(** Leveled JSON-lines logging (see {!Log.t}); re-exported like {!Json}
+    so [Obs.Log] is the one logging surface. *)
+module Log = Log

@@ -36,9 +36,14 @@ type request =
   | Result of { job : int; wait : bool }
   | Cancel of int
   | Stats
+  | Metrics
+  | Health
   | Shutdown
 
-let protocol_version = 1
+(* v2 (this PR): `metrics` and `health` verbs, and a `timings` breakdown
+   object on `result`/`resubmit` replies. The gate below is strict — a v1
+   client sees `unsupported_version`, not silently missing fields. *)
+let protocol_version = 2
 
 let code_bad_request = "bad_request"
 let code_unsupported_version = "unsupported_version"
@@ -170,7 +175,7 @@ let request_to_json = function
   | Submit { name; format; netlist; options } ->
       J.Obj
         [
-          ("v", J.Int 1);
+          ("v", J.Int protocol_version);
           ("verb", J.String "submit");
           ("name", J.String name);
           ("format", J.String (format_to_string format));
@@ -190,7 +195,7 @@ let request_to_json = function
       in
       J.Obj
         ([
-           ("v", J.Int 1);
+           ("v", J.Int protocol_version);
            ("verb", J.String "resubmit");
            ("name", J.String name);
            base_field;
@@ -198,19 +203,24 @@ let request_to_json = function
          ]
         @ opt_fields)
   | Status job ->
-      J.Obj [ ("v", J.Int 1); ("verb", J.String "status"); ("job", J.Int job) ]
+      J.Obj [ ("v", J.Int protocol_version); ("verb", J.String "status"); ("job", J.Int job) ]
   | Result { job; wait } ->
       J.Obj
         [
-          ("v", J.Int 1);
+          ("v", J.Int protocol_version);
           ("verb", J.String "result");
           ("job", J.Int job);
           ("wait", J.Bool wait);
         ]
   | Cancel job ->
-      J.Obj [ ("v", J.Int 1); ("verb", J.String "cancel"); ("job", J.Int job) ]
-  | Stats -> J.Obj [ ("v", J.Int 1); ("verb", J.String "stats") ]
-  | Shutdown -> J.Obj [ ("v", J.Int 1); ("verb", J.String "shutdown") ]
+      J.Obj [ ("v", J.Int protocol_version); ("verb", J.String "cancel"); ("job", J.Int job) ]
+  | Stats -> J.Obj [ ("v", J.Int protocol_version); ("verb", J.String "stats") ]
+  | Metrics ->
+      J.Obj [ ("v", J.Int protocol_version); ("verb", J.String "metrics") ]
+  | Health ->
+      J.Obj [ ("v", J.Int protocol_version); ("verb", J.String "health") ]
+  | Shutdown ->
+      J.Obj [ ("v", J.Int protocol_version); ("verb", J.String "shutdown") ]
 
 let field name conv json =
   match Option.bind (J.member name json) conv with
@@ -354,5 +364,7 @@ and decode_request json =
       let* job = field "job" J.to_int json in
       Ok (Cancel job)
   | "stats" -> Ok Stats
+  | "metrics" -> Ok Metrics
+  | "health" -> Ok Health
   | "shutdown" -> Ok Shutdown
   | verb -> Error (Printf.sprintf "unknown verb %S" verb)

@@ -1,7 +1,7 @@
 (** The request/response vocabulary of the partition service, one layer
     above {!Codec}'s framing.
 
-    Every request is a JSON object [{"v": 1, "verb": ..., ...}]. Replies
+    Every request is a JSON object [{"v": 2, "verb": ..., ...}]. Replies
     are [{"ok": true, ...}] or [{"ok": false, "error": {"code", "msg"}}];
     the error codes are a closed vocabulary (below) so clients and the
     smoke tests can switch on them without string-matching messages.
@@ -24,10 +24,20 @@
     - [status]: ["job"] — reply ["state"] and, while queued,
       ["position"].
     - [result]: ["job"], optional ["wait"] (block until the job leaves
-      the queue/run states) — reply the scrubbed ["result"] document.
+      the queue/run states) — reply the scrubbed ["result"] document plus
+      a ["timings"] breakdown (v2): [decode_ms], [queue_wait_ms],
+      [run_ms], [encode_ms], [total_ms] — wall-clock, never part of the
+      cached result document.
     - [cancel]: ["job"] — request cooperative cancellation.
     - [stats]: server counters/timers/histograms as a schema-v3
       compatible document.
+    - [metrics] (v2): the server's OpenMetrics text exposition
+      ({!Obs.Metrics_export}) as a ["metrics"] string field — gauges,
+      SLO latency histograms, and every Obs counter/histogram.
+    - [health] (v2): liveness probe without submitting work — reply a
+      ["health"] object with ["state"] ("accepting" | "draining"),
+      ["protocol_version"], ["stats_schema_version"], ["uptime_secs"],
+      queue capacity/depth, inflight jobs and cache occupancy.
     - [shutdown]: graceful drain-then-exit. *)
 
 type format = Bench | Blif | Verilog
@@ -54,6 +64,8 @@ type request =
   | Result of { job : int; wait : bool }
   | Cancel of int
   | Stats
+  | Metrics
+  | Health
   | Shutdown
 
 val delta_to_json : Netlist.Delta.t -> Obs.Json.t
@@ -73,7 +85,8 @@ val request_of_json : Obs.Json.t -> (request, string * string) result
     option values {!Core.Kway.Options.make} rejects. *)
 
 val protocol_version : int
-(** The wire vocabulary this build speaks (1). Every request frame
+(** The wire vocabulary this build speaks (2 since the observability PR:
+    [metrics]/[health] verbs and reply ["timings"]). Every request frame
     carries it as ["v"]. *)
 
 (** {1 Error codes} *)

@@ -1,5 +1,7 @@
 module J = Obs.Json
 module P = Protocol
+module Log = Obs.Log
+module ME = Obs.Metrics_export
 
 type config = {
   socket_path : string;
@@ -7,10 +9,20 @@ type config = {
   cache_cap : int;
   timeout : float option;
   jobs : int;
+  log : Log.t;
+  trace_path : string option;
 }
 
 let default_config ~socket_path =
-  { socket_path; queue_cap = 16; cache_cap = 64; timeout = None; jobs = 1 }
+  {
+    socket_path;
+    queue_cap = 16;
+    cache_cap = 64;
+    timeout = None;
+    jobs = 1;
+    log = Log.null;
+    trace_path = None;
+  }
 
 type job_state =
   | Queued
@@ -35,7 +47,13 @@ type job = {
   hypergraph : Hypergraph.t;
   mode : mode;
   cancel : bool Atomic.t;
-  enqueued_at : float;
+  received_at : float;  (* Obs.Clock.wall at request decode start *)
+  decode_ms : int;  (* parse + canonicalise + map + digest *)
+  mutable enqueued_at : float;  (* Obs.Clock.wall at queue push *)
+  mutable queue_wait_ms : int;
+  mutable run_ms : int;
+  mutable encode_ms : int;
+  mutable total_ms : int;  (* received_at -> terminal state *)
   mutable state : job_state;
 }
 
@@ -57,6 +75,15 @@ type t = {
   cond : Condition.t;
       (* broadcast on every job state change, enqueue, and on stopping *)
   obs : Obs.t;
+  trace : Obs.t;
+      (* tracing sink for per-job lifecycle spans; Noop unless the config
+         carries a trace_path. Kept apart from [obs] so the trace artifact
+         never bleeds into svc-stats. *)
+  log : Log.t;
+  slo_queue_wait : ME.Slo.t;
+  slo_run : ME.Slo.t;
+  slo_e2e : ME.Slo.t;
+  started_at : float;
   jobs_tbl : (int, job) Hashtbl.t;
   queue : job Queue.t;
   cache : entry Lru.t;
@@ -65,10 +92,13 @@ type t = {
   mutable open_conns : Unix.file_descr list;
 }
 
-(* All shared state — queue, job states, the cache, and the Obs sink (its
-   single-writer contract) — is touched only under this lock. Handler
-   threads and the executor are systhreads on one domain, so contention
-   is negligible; the partition engine itself runs outside the lock. *)
+(* All shared state — queue, job states, the cache, the Obs sinks and SLO
+   histograms (their single-writer contracts) — is touched only under
+   this lock. Info-level lifecycle log lines are also emitted under it,
+   which gives a serialized workload a deterministic log line order.
+   Handler threads and the executor are systhreads on one domain, so
+   contention is negligible; the partition engine itself runs outside the
+   lock. *)
 let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
@@ -81,11 +111,48 @@ let state_string = function
   | Cancelled -> P.state_cancelled
 
 let ms_since t0 =
-  int_of_float (Float.round ((Unix.gettimeofday () -. t0) *. 1000.))
+  int_of_float (Float.round ((Obs.Clock.wall () -. t0) *. 1000.))
+
+(* Correlation id: content digest prefix + job id. Deterministic for a
+   deterministic workload (both components are), unique per job, and
+   greppable across every lifecycle line the job emits. *)
+let corr (job : job) =
+  let d =
+    if String.length job.key > 12 then String.sub job.key 0 12 else job.key
+  in
+  Printf.sprintf "%s:%d" d job.id
+
+let job_fields (job : job) =
+  [ ("job", J.Int job.id); ("corr", J.String (corr job)) ]
+
+(* Wall-clock reply breakdown (protocol v2). The parts and the total are
+   measured independently — the total spans received_at to the terminal
+   state — so clients can see scheduling gaps; the parts still sum to the
+   total within lock/wakeup latency. The _ms keys keep these out of any
+   scrubbed byte-compare surface (log scrub masks them; the cached result
+   document never contains them). *)
+let timings_json (job : job) =
+  J.Obj
+    [
+      ("decode_ms", J.Int job.decode_ms);
+      ("queue_wait_ms", J.Int job.queue_wait_ms);
+      ("run_ms", J.Int job.run_ms);
+      ("encode_ms", J.Int job.encode_ms);
+      ("total_ms", J.Int job.total_ms);
+    ]
+
+(* A job left the queue/run pipeline: stamp the total, feed the
+   end-to-end SLO histogram. Caller holds the lock. *)
+let finish_job t (job : job) =
+  job.total_ms <- ms_since job.received_at;
+  Obs.observe t.obs "service.e2e_ms" job.total_ms;
+  ME.Slo.observe t.slo_e2e job.total_ms
 
 (* The document a [result] request returns and the cache stores. Scrubbed
    ([_secs] fields nulled) so the bytes are a pure function of the job
-   key: the hit replies exactly what the miss computed. *)
+   key: the hit replies exactly what the miss computed. The wall-clock
+   [timings] object lives in the reply envelope, never in this document —
+   that is what keeps cache-hit replies byte-identical. *)
 let result_doc (job : job) result =
   Obs.Snapshot.scrub_elapsed
     (J.Obj
@@ -104,18 +171,18 @@ let result_doc (job : job) result =
 
 let run_job t (job : job) =
   let deadline =
-    Option.map (fun s -> Unix.gettimeofday () +. s) t.cfg.timeout
+    Option.map (fun s -> Obs.Clock.wall () +. s) t.cfg.timeout
   in
   let should_stop () =
     Atomic.get job.cancel
     || match deadline with
-       | Some d -> Unix.gettimeofday () > d
+       | Some d -> Obs.Clock.wall () > d
        | None -> false
   in
   let options =
     { job.options with Core.Kway.jobs = t.cfg.jobs; should_stop }
   in
-  let started = Unix.gettimeofday () in
+  let started = Obs.Clock.wall () in
   (* Per-job collecting sink: the engine's F-M telemetry rolls up into the
      service-wide throughput metrics below (the sink itself is discarded —
      svc-stats stays O(jobs), not O(moves)). *)
@@ -140,15 +207,22 @@ let run_job t (job : job) =
             warm_fell_back := true;
             cold ())
   in
-  let wall = Unix.gettimeofday () -. started in
+  let run_end = Obs.Clock.wall () in
+  let wall = run_end -. started in
   with_lock t (fun () ->
-      Obs.observe t.obs "service.run_ms" (ms_since started);
+      job.run_ms <- ms_since started;
+      Obs.observe t.obs "service.run_ms" job.run_ms;
+      ME.Slo.observe t.slo_run job.run_ms;
+      Obs.add_span ~pid:job.id t.trace "partition" ~begin_wall:started
+        ~end_wall:run_end;
       (match job.mode with
       | Cold -> ()
       | Warm _ ->
           Obs.observe t.obs "service.resubmit_run_ms" (ms_since started);
-          if !warm_fell_back then
-            Obs.incr t.obs "service.resubmit_warm_failed");
+          if !warm_fell_back then begin
+            Obs.incr t.obs "service.resubmit_warm_failed";
+            Log.warn t.log "job.warm_fallback" (job_fields job)
+          end);
       (let snap = Obs.snapshot job_obs in
        let counter k =
          try List.assoc k snap.Obs.Snapshot.counters with Not_found -> 0
@@ -166,7 +240,12 @@ let run_job t (job : job) =
        end);
       (match result with
       | Ok r ->
+          let encode_start = Obs.Clock.wall () in
           let doc = result_doc job r in
+          let encode_end = Obs.Clock.wall () in
+          job.encode_ms <- ms_since encode_start;
+          Obs.add_span ~pid:job.id t.trace "encode_reply"
+            ~begin_wall:encode_start ~end_wall:encode_end;
           job.state <- Done doc;
           Lru.add t.cache job.key
             {
@@ -179,11 +258,20 @@ let run_job t (job : job) =
                   b_options = job.options;
                 };
             };
-          Obs.incr t.obs "service.completed"
+          Obs.incr t.obs "service.completed";
+          finish_job t job;
+          Log.info t.log "job.done"
+            (job_fields job
+            @ [
+                ("run_ms", J.Int job.run_ms);
+                ("total_ms", J.Int job.total_ms);
+              ])
       | Error msg when String.equal msg Core.Kway.cancelled ->
           if Atomic.get job.cancel then (
             job.state <- Cancelled;
-            Obs.incr t.obs "service.cancelled")
+            Obs.incr t.obs "service.cancelled";
+            finish_job t job;
+            Log.info t.log "job.cancelled" (job_fields job))
           else (
             job.state <-
               Failed
@@ -191,10 +279,15 @@ let run_job t (job : job) =
                   code = P.code_timeout;
                   msg = "job exceeded the per-job timeout";
                 };
-            Obs.incr t.obs "service.timeouts")
+            Obs.incr t.obs "service.timeouts";
+            finish_job t job;
+            Log.warn t.log "job.timeout" (job_fields job))
       | Error msg ->
           job.state <- Failed { code = P.code_infeasible; msg };
-          Obs.incr t.obs "service.failed");
+          Obs.incr t.obs "service.failed";
+          finish_job t job;
+          Log.warn t.log "job.failed"
+            (job_fields job @ [ ("code", J.String P.code_infeasible) ]));
       Condition.broadcast t.cond)
 
 (* On [stopping] the loop keeps popping until the queue is empty — the
@@ -208,15 +301,23 @@ let rec executor t =
         if Queue.is_empty t.queue then None
         else
           let job = Queue.pop t.queue in
+          let dequeued = Obs.Clock.wall () in
+          job.queue_wait_ms <- ms_since job.enqueued_at;
+          Obs.observe t.obs "service.queue_wait_ms" job.queue_wait_ms;
+          ME.Slo.observe t.slo_queue_wait job.queue_wait_ms;
+          Obs.add_span ~pid:job.id t.trace "queue_wait"
+            ~begin_wall:job.enqueued_at ~end_wall:dequeued;
           if Atomic.get job.cancel then (
             job.state <- Cancelled;
             Obs.incr t.obs "service.cancelled";
+            finish_job t job;
+            Log.info t.log "job.cancelled" (job_fields job);
             Condition.broadcast t.cond;
             Some None)
           else (
             job.state <- Running;
-            Obs.observe t.obs "service.queue_wait_ms"
-              (ms_since job.enqueued_at);
+            Log.info t.log "job.dequeue"
+              (job_fields job @ [ ("queue_wait_ms", J.Int job.queue_wait_ms) ]);
             Condition.broadcast t.cond;
             Some (Some job)))
   in
@@ -240,10 +341,17 @@ let queue_position t id =
     t.queue;
   if !pos < 0 then None else Some !pos
 
+(* The wall-clock stamps a handler records on the way to [register_job]:
+   request receipt, end of netlist decode, end of
+   canonicalise-and-digest. They become the job's [decode_ms] and its
+   "decode"/"canonicalise" trace spans. *)
+type decode_stamps = { t_received : float; t_decoded : float; t_keyed : float }
+
 (* Register a job in the table (caller holds the lock). The table never
    evicts, which is what lets a resubmit recover its base's canonical
    circuit even after the LRU dropped the cached entry. *)
-let register_job t ~name ~key ~options ~circuit ~hypergraph ~mode state =
+let register_job t ~name ~key ~options ~circuit ~hypergraph ~mode ~stamps
+    state =
   let id = t.next_id in
   t.next_id <- id + 1;
   let job =
@@ -256,54 +364,98 @@ let register_job t ~name ~key ~options ~circuit ~hypergraph ~mode state =
       hypergraph;
       mode;
       cancel = Atomic.make false;
-      enqueued_at = Unix.gettimeofday ();
+      received_at = stamps.t_received;
+      decode_ms =
+        int_of_float
+          (Float.round ((stamps.t_keyed -. stamps.t_received) *. 1000.));
+      enqueued_at = stamps.t_keyed;
+      queue_wait_ms = 0;
+      run_ms = 0;
+      encode_ms = 0;
+      total_ms = 0;
       state;
     }
   in
   Hashtbl.replace t.jobs_tbl id job;
+  Obs.add_span ~pid:id t.trace "decode" ~begin_wall:stamps.t_received
+    ~end_wall:stamps.t_decoded;
+  Obs.add_span ~pid:id t.trace "canonicalise" ~begin_wall:stamps.t_decoded
+    ~end_wall:stamps.t_keyed;
   job
 
+(* A request answered from the cache: terminal on arrival. *)
+let cached_reply t (job : job) ~extra doc =
+  finish_job t job;
+  Log.info t.log "job.cache_hit"
+    (job_fields job @ [ ("digest", J.String job.key) ]);
+  P.ok
+    ([
+       ("job", J.Int job.id);
+       ("state", J.String P.state_done);
+       ("cached", J.Bool true);
+       ("digest", J.String job.key);
+     ]
+    @ extra
+    @ [ ("timings", timings_json job); ("result", doc) ])
+
 let handle_submit t ~name ~format ~netlist ~options =
+  let t_received = Obs.Clock.wall () in
   match P.parse_netlist format netlist with
-  | Error msg -> P.error ~code:P.code_bad_request ("netlist: " ^ msg)
+  | Error msg ->
+      with_lock t (fun () ->
+          Log.warn t.log "job.decode_failed" [ ("name", J.String name) ]);
+      P.error ~code:P.code_bad_request ("netlist: " ^ msg)
   | Ok circuit ->
+      let t_decoded = Obs.Clock.wall () in
       (* Canonicalise, then map the canonical form: the key and the
          computation see the same node order, so byte-permuted inputs
          share both the cache entry and the exact result bytes. *)
       let canonical = Digest.canonical_circuit circuit in
       let h = Techmap.Mapper.to_hypergraph (Techmap.Mapper.map canonical) in
       let key = Digest.job_key ~library:Fpga.Library.xc3000 ~options h in
+      let t_keyed = Obs.Clock.wall () in
+      let stamps = { t_received; t_decoded; t_keyed } in
       with_lock t (fun () ->
           let fresh_job =
             register_job t ~name ~key ~options ~circuit:canonical
-              ~hypergraph:h ~mode:Cold
+              ~hypergraph:h ~mode:Cold ~stamps
           in
           match Lru.find t.cache key with
           | Some { doc; _ } ->
               Obs.incr t.obs "service.cache_hit";
               let job = fresh_job (Done doc) in
-              P.ok
-                [
-                  ("job", J.Int job.id);
-                  ("state", J.String P.state_done);
-                  ("cached", J.Bool true);
-                  ("digest", J.String key);
-                  ("result", doc);
-                ]
+              cached_reply t job ~extra:[] doc
           | None ->
               Obs.incr t.obs "service.cache_miss";
-              if t.stopping then
+              if t.stopping then begin
+                Log.warn t.log "job.refused_draining"
+                  [ ("digest", J.String key) ];
                 P.error ~code:P.code_shutting_down
                   "server is draining; not accepting new jobs"
-              else if Queue.length t.queue >= t.cfg.queue_cap then (
+              end
+              else if Queue.length t.queue >= t.cfg.queue_cap then begin
                 Obs.incr t.obs "service.rejected";
+                Log.warn t.log "job.rejected"
+                  [
+                    ("digest", J.String key);
+                    ("queue_depth", J.Int (Queue.length t.queue));
+                  ];
                 P.error ~code:P.code_overloaded
                   (Printf.sprintf
                      "job queue is full (%d queued); resubmit later"
-                     (Queue.length t.queue)))
+                     (Queue.length t.queue))
+              end
               else begin
                 let job = fresh_job Queued in
+                job.enqueued_at <- Obs.Clock.wall ();
                 Queue.push job t.queue;
+                Log.info t.log "job.enqueue"
+                  (job_fields job
+                  @ [
+                      ("name", J.String name);
+                      ("digest", J.String key);
+                      ("position", J.Int (Queue.length t.queue - 1));
+                    ]);
                 Condition.broadcast t.cond;
                 P.ok
                   [
@@ -354,6 +506,7 @@ let resolve_base t base =
                    ("no job or cached result with digest " ^ key))))
 
 let handle_resubmit t ~name ~base ~delta ~options =
+  let t_received = Obs.Clock.wall () in
   let resolved =
     with_lock t (fun () ->
         Obs.incr t.obs "service.resubmit_requests";
@@ -400,29 +553,28 @@ let handle_resubmit t ~name ~base ~delta ~options =
              itself. Reply the cached document verbatim — byte-identical
              to the submit reply that populated it — without mapping or
              running anything (service.fm_applied_ops is untouched). *)
+          let t_keyed = Obs.Clock.wall () in
+          let stamps = { t_received; t_decoded = t_keyed; t_keyed } in
           with_lock t (fun () ->
               Obs.incr t.obs "service.resubmit_noop";
               Obs.incr t.obs "service.cache_hit";
               let job =
                 register_job t ~name ~key:base_key ~options
                   ~circuit:base_circuit ~hypergraph:entry.basis.b_hypergraph
-                  ~mode:Cold (Done entry.doc)
+                  ~mode:Cold ~stamps (Done entry.doc)
               in
-              P.ok
-                [
-                  ("job", J.Int job.id);
-                  ("state", J.String P.state_done);
-                  ("cached", J.Bool true);
-                  ("digest", J.String base_key);
-                  ("result", entry.doc);
-                ])
+              cached_reply t job ~extra:[] entry.doc)
       | _ -> (
           match Netlist.Delta.apply base_circuit delta with
           | Error e ->
-              with_lock t (fun () -> Obs.incr t.obs "service.bad_requests");
+              with_lock t (fun () ->
+                  Obs.incr t.obs "service.bad_requests";
+                  Log.warn t.log "job.decode_failed"
+                    [ ("name", J.String name); ("delta", J.Bool true) ]);
               P.error ~code:P.code_bad_request
                 ("delta: " ^ Netlist.Delta.error_to_string e)
           | Ok edited ->
+              let t_decoded = Obs.Clock.wall () in
               (* Delta.apply rebuilds canonically — the edited circuit is
                  already in digest node order, exactly like a submit's
                  canonicalised circuit. *)
@@ -474,34 +626,39 @@ let handle_resubmit t ~name ~base ~delta ~options =
               let cold_fallback =
                 match mode with Cold -> true | Warm _ -> false
               in
+              let t_keyed = Obs.Clock.wall () in
+              let stamps = { t_received; t_decoded; t_keyed } in
               with_lock t (fun () ->
                   match Lru.find t.cache key with
                   | Some { doc; _ } ->
                       Obs.incr t.obs "service.cache_hit";
                       let job =
                         register_job t ~name ~key ~options ~circuit:edited
-                          ~hypergraph:h ~mode:Cold (Done doc)
+                          ~hypergraph:h ~mode:Cold ~stamps (Done doc)
                       in
-                      P.ok
-                        [
-                          ("job", J.Int job.id);
-                          ("state", J.String P.state_done);
-                          ("cached", J.Bool true);
-                          ("digest", J.String key);
-                          ("cold_fallback", J.Bool cold_fallback);
-                          ("result", doc);
-                        ]
+                      cached_reply t job
+                        ~extra:[ ("cold_fallback", J.Bool cold_fallback) ]
+                        doc
                   | None ->
                       Obs.incr t.obs "service.cache_miss";
-                      if t.stopping then
+                      if t.stopping then begin
+                        Log.warn t.log "job.refused_draining"
+                          [ ("digest", J.String key) ];
                         P.error ~code:P.code_shutting_down
                           "server is draining; not accepting new jobs"
-                      else if Queue.length t.queue >= t.cfg.queue_cap then (
+                      end
+                      else if Queue.length t.queue >= t.cfg.queue_cap then begin
                         Obs.incr t.obs "service.rejected";
+                        Log.warn t.log "job.rejected"
+                          [
+                            ("digest", J.String key);
+                            ("queue_depth", J.Int (Queue.length t.queue));
+                          ];
                         P.error ~code:P.code_overloaded
                           (Printf.sprintf
                              "job queue is full (%d queued); resubmit later"
-                             (Queue.length t.queue)))
+                             (Queue.length t.queue))
+                      end
                       else begin
                         (match mode with
                         | Warm _ ->
@@ -517,9 +674,19 @@ let handle_resubmit t ~name ~base ~delta ~options =
                             Obs.incr t.obs "service.resubmit_cold_fallback");
                         let job =
                           register_job t ~name ~key ~options ~circuit:edited
-                            ~hypergraph:h ~mode Queued
+                            ~hypergraph:h ~mode ~stamps Queued
                         in
+                        job.enqueued_at <- Obs.Clock.wall ();
                         Queue.push job t.queue;
+                        Log.info t.log "job.enqueue"
+                          (job_fields job
+                          @ [
+                              ("name", J.String name);
+                              ("digest", J.String key);
+                              ("base", J.String base_key);
+                              ("cold_fallback", J.Bool cold_fallback);
+                              ("position", J.Int (Queue.length t.queue - 1));
+                            ]);
                         Condition.broadcast t.cond;
                         P.ok
                           [
@@ -576,6 +743,7 @@ let handle_result t ~id ~wait =
                 [
                   ("job", J.Int id);
                   ("state", J.String P.state_done);
+                  ("timings", timings_json job);
                   ("result", doc);
                 ]
           | Failed { code; msg } -> P.error ~code msg
@@ -588,23 +756,22 @@ let handle_cancel t id =
       match Hashtbl.find_opt t.jobs_tbl id with
       | None -> job_not_found id
       | Some job ->
-          (match job.state with
-          | Queued | Running ->
-              (* The executor notices: a queued job is skipped when
-                 popped, a running one aborts at the engine's next
-                 should_stop poll. *)
-              Atomic.set job.cancel true;
-              Condition.broadcast t.cond
-          | Done _ | Failed _ | Cancelled -> ());
+          let cancelling =
+            match job.state with Queued | Running -> true | _ -> false
+          in
+          if cancelling then begin
+            (* The executor notices: a queued job is skipped when
+               popped, a running one aborts at the engine's next
+               should_stop poll. *)
+            Atomic.set job.cancel true;
+            Log.info t.log "job.cancel" (job_fields job);
+            Condition.broadcast t.cond
+          end;
           P.ok
             [
               ("job", J.Int id);
               ("state", J.String (state_string job.state));
-              ( "cancelling",
-                J.Bool
-                  (match job.state with
-                  | Queued | Running -> true
-                  | _ -> false) );
+              ("cancelling", J.Bool cancelling);
             ])
 
 let handle_stats t =
@@ -629,9 +796,101 @@ let handle_stats t =
               ] );
         ])
 
+let inflight t =
+  Hashtbl.fold
+    (fun _ (j : job) acc -> match j.state with Running -> acc + 1 | _ -> acc)
+    t.jobs_tbl 0
+
+(* The OpenMetrics exposition (the [metrics] verb). Counters and
+   histograms come straight from the Obs snapshot; gauges are sampled
+   here, under the lock, so depth/inflight/cache readings are a
+   consistent cut of server state. *)
+let handle_metrics t =
+  with_lock t (fun () ->
+      let snap = Obs.snapshot t.obs in
+      let counter k =
+        try List.assoc k snap.Obs.Snapshot.counters with Not_found -> 0
+      in
+      let hits = counter "service.cache_hit" in
+      let misses = counter "service.cache_miss" in
+      let hit_ratio =
+        if hits + misses = 0 then 0.0
+        else float_of_int hits /. float_of_int (hits + misses)
+      in
+      let g = Gc.quick_stat () in
+      let gauge g_name g_help g_value = { ME.g_name; g_help; g_value } in
+      let gauges =
+        [
+          gauge "queue_depth" "Jobs queued and not yet running."
+            (float_of_int (Queue.length t.queue));
+          gauge "queue_capacity" "Queue bound; submits beyond it are refused."
+            (float_of_int t.cfg.queue_cap);
+          gauge "inflight_jobs" "Jobs currently running on the executor."
+            (float_of_int (inflight t));
+          gauge "cache_entries" "Result documents held by the LRU cache."
+            (float_of_int (Lru.length t.cache));
+          gauge "cache_capacity" "LRU cache bound."
+            (float_of_int (Lru.cap t.cache));
+          gauge "cache_hit_ratio" "Cache hits over hits + misses."
+            hit_ratio;
+          gauge "jobs_registered" "Jobs accepted since startup."
+            (float_of_int (t.next_id - 1));
+          gauge "uptime_seconds" "Wall-clock seconds since startup."
+            (Obs.Clock.wall () -. t.started_at);
+          gauge "gc_heap_words" "Gc.quick_stat heap words (live major heap)."
+            (float_of_int g.Gc.heap_words);
+          gauge "gc_major_collections" "Major GC cycles since startup."
+            (float_of_int g.Gc.major_collections);
+          gauge "gc_minor_collections" "Minor GC cycles since startup."
+            (float_of_int g.Gc.minor_collections);
+        ]
+      in
+      let slos =
+        [
+          ( "service_queue_wait_seconds",
+            "Time from enqueue to dequeue per executed job.",
+            t.slo_queue_wait );
+          ( "service_run_seconds",
+            "Partition engine wall time per executed job.",
+            t.slo_run );
+          ( "service_e2e_seconds",
+            "Request decode to terminal job state, end to end.",
+            t.slo_e2e );
+        ]
+      in
+      P.ok [ ("metrics", J.String (ME.render ~gauges ~slos snap)) ])
+
+let handle_health t =
+  with_lock t (fun () ->
+      P.ok
+        [
+          ( "health",
+            J.Obj
+              [
+                ( "state",
+                  J.String (if t.stopping then "draining" else "accepting") );
+                ("protocol_version", J.Int P.protocol_version);
+                ( "stats_schema_version",
+                  J.Int Experiments.Obs_report.schema_version );
+                ("uptime_secs", J.Float (Obs.Clock.wall () -. t.started_at));
+                ("queue_depth", J.Int (Queue.length t.queue));
+                ("queue_cap", J.Int t.cfg.queue_cap);
+                ("inflight", J.Int (inflight t));
+                ( "cache",
+                  J.Obj
+                    [
+                      ("len", J.Int (Lru.length t.cache));
+                      ("cap", J.Int (Lru.cap t.cache));
+                    ] );
+                ("jobs_total", J.Int (t.next_id - 1));
+              ] );
+        ])
+
 let handle_shutdown t =
   with_lock t (fun () ->
       t.stopping <- true;
+      Log.info t.log "server.drain"
+        [ ("queue_depth", J.Int (Queue.length t.queue)) ];
       Condition.broadcast t.cond;
       P.ok [ ("stopping", J.Bool true) ])
 
@@ -644,7 +903,20 @@ let dispatch t = function
   | P.Result { job; wait } -> handle_result t ~id:job ~wait
   | P.Cancel id -> handle_cancel t id
   | P.Stats -> handle_stats t
+  | P.Metrics -> handle_metrics t
+  | P.Health -> handle_health t
   | P.Shutdown -> handle_shutdown t
+
+let verb_name = function
+  | P.Submit _ -> "submit"
+  | P.Resubmit _ -> "resubmit"
+  | P.Status _ -> "status"
+  | P.Result _ -> "result"
+  | P.Cancel _ -> "cancel"
+  | P.Stats -> "stats"
+  | P.Metrics -> "metrics"
+  | P.Health -> "health"
+  | P.Shutdown -> "shutdown"
 
 (* ------------------------------------------------------------------ *)
 (* Connections                                                        *)
@@ -658,12 +930,17 @@ let forget_conn t fd =
 (* One thread per connection; frames are handled in order. A bad frame
    gets an error reply and the connection is closed (the stream position
    is unknowable); a bad *request* in a good frame only costs an error
-   reply — the connection survives. *)
+   reply — the connection survives. Accept/decode logging stays at debug:
+   its interleaving across handler threads is scheduling-dependent, so
+   only the info-level lifecycle stream (emitted under the state lock) is
+   held to the byte-determinism contract. *)
 let rec handle_conn t fd =
   match Codec.read_frame fd with
   | Error `Eof -> forget_conn t fd
   | Error err ->
-      with_lock t (fun () -> Obs.incr t.obs "service.bad_requests");
+      with_lock t (fun () ->
+          Obs.incr t.obs "service.bad_requests";
+          Log.warn t.log "request.bad_frame" []);
       (try
          Codec.write_frame fd
            (P.error ~code:P.code_bad_request (Codec.read_error_to_string err))
@@ -674,9 +951,14 @@ let rec handle_conn t fd =
       let reply =
         match P.request_of_json json with
         | Error (code, msg) ->
-            with_lock t (fun () -> Obs.incr t.obs "service.bad_requests");
+            with_lock t (fun () ->
+                Obs.incr t.obs "service.bad_requests";
+                Log.warn t.log "request.bad" [ ("code", J.String code) ]);
             P.error ~code msg
-        | Ok req -> dispatch t req
+        | Ok req ->
+            Log.debug t.log "request.decode"
+              [ ("verb", J.String (verb_name req)) ];
+            dispatch t req
       in
       match Codec.write_frame fd reply with
       | () -> handle_conn t fd
@@ -712,6 +994,15 @@ let run ?(on_ready = fun () -> ()) ?(external_stop = fun () -> false) cfg =
       mutex = Mutex.create ();
       cond = Condition.create ();
       obs = Obs.create ();
+      trace =
+        (match cfg.trace_path with
+        | Some _ -> Obs.create ~trace:true ()
+        | None -> Obs.noop);
+      log = cfg.log;
+      slo_queue_wait = ME.Slo.create ();
+      slo_run = ME.Slo.create ();
+      slo_e2e = ME.Slo.create ();
+      started_at = Obs.Clock.wall ();
       jobs_tbl = Hashtbl.create 64;
       queue = Queue.create ();
       cache = Lru.create ~cap:cfg.cache_cap;
@@ -725,11 +1016,20 @@ let run ?(on_ready = fun () -> ()) ?(external_stop = fun () -> false) cfg =
   | Ok sock ->
       let exec_thread = Thread.create executor t in
       let conn_threads = ref [] in
+      with_lock t (fun () ->
+          Log.info t.log "server.start"
+            [
+              ("protocol_version", J.Int P.protocol_version);
+              ("queue_cap", J.Int cfg.queue_cap);
+              ("cache_cap", J.Int cfg.cache_cap);
+            ]);
       on_ready ();
       let rec accept_loop () =
         if external_stop () then
           with_lock t (fun () ->
               t.stopping <- true;
+              Log.info t.log "server.drain"
+                [ ("queue_depth", J.Int (Queue.length t.queue)) ];
               Condition.broadcast t.cond)
         else if with_lock t (fun () -> t.stopping) then ()
         else
@@ -739,7 +1039,8 @@ let run ?(on_ready = fun () -> ()) ?(external_stop = fun () -> false) cfg =
               match Unix.accept sock with
               | fd, _ ->
                   with_lock t (fun () ->
-                      t.open_conns <- fd :: t.open_conns);
+                      t.open_conns <- fd :: t.open_conns;
+                      Log.debug t.log "conn.accept" []);
                   conn_threads :=
                     Thread.create (handle_conn t) fd :: !conn_threads;
                   accept_loop ()
@@ -763,4 +1064,10 @@ let run ?(on_ready = fun () -> ()) ?(external_stop = fun () -> false) cfg =
       List.iter Thread.join !conn_threads;
       (try Unix.close sock with Unix.Unix_error _ -> ());
       (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+      (match cfg.trace_path with
+      | Some path -> Obs.Trace.write ~path t.trace
+      | None -> ());
+      with_lock t (fun () ->
+          Log.info t.log "server.stopped"
+            [ ("jobs_total", J.Int (t.next_id - 1)) ]);
       Ok ()

@@ -27,7 +27,29 @@
     Every request, hit, miss, rejection, cancellation, timeout, and the
     queue-wait / run-time distributions are recorded through {!Obs} and
     exposed by the [stats] verb ([service.resubmit_*] counters cover the
-    incremental path).
+    incremental path). The [metrics] verb renders the same sink — plus
+    live gauges (queue depth, inflight, cache occupancy, GC) and SLO
+    latency histograms for queue-wait / run / end-to-end — as an
+    OpenMetrics text exposition ({!Obs.Metrics_export}), and [health]
+    answers a liveness probe without touching the queue.
+
+    Observability is layered on three channels, each with its own
+    determinism contract:
+    - {e Structured logs} ({!Obs.Log}): JSON lines with a per-job
+      correlation id ([corr] = digest prefix [:] job id) on every
+      lifecycle line. Info-level lifecycle events (cache_hit, enqueue,
+      dequeue, done/failed/timeout/cancelled, drain) are emitted under
+      the state lock, so a serialized workload logs them in a
+      deterministic order; with scrub on, the line bytes are
+      deterministic too. Accept/decode chatter stays at debug, outside
+      the contract.
+    - {e Reply timings} (protocol v2): every [result]/cached reply
+      carries a wall-clock [timings] breakdown in the reply envelope —
+      never inside the cached result document, which keeps cache-hit
+      byte-identity intact.
+    - {e Per-job trace} ([trace_path]): one span lane per job id with
+      the decode → canonicalise → queue_wait → partition → encode_reply
+      lifecycle, written as a Chrome trace-event file at shutdown.
 
     Shutdown (the [shutdown] verb, or SIGINT/SIGTERM via
     [external_stop]) is a graceful drain: no new connections or
@@ -44,10 +66,16 @@ type config = {
           job with the [timeout] error code (cooperatively — the engine
           stops at the next pass boundary) *)
   jobs : int;  (** domains per job, as [fpgapart partition --jobs] *)
+  log : Obs.Log.t;
+      (** structured-log sink; {!Obs.Log.null} silences the server *)
+  trace_path : string option;
+      (** when set, write the per-job lifecycle trace (Chrome
+          trace-event JSON) here at shutdown *)
 }
 
 val default_config : socket_path:string -> config
-(** [queue_cap = 16], [cache_cap = 64], no timeout, [jobs = 1]. *)
+(** [queue_cap = 16], [cache_cap = 64], no timeout, [jobs = 1], no log
+    sink, no trace. *)
 
 val run :
   ?on_ready:(unit -> unit) ->

@@ -626,6 +626,274 @@ let qcheck_json_roundtrip =
       | Ok doc' -> doc = doc'
       | Error e -> QCheck.Test.fail_reportf "no roundtrip: %s" e)
 
+(* ------------------------------------------------------------------ *)
+(* Structured logging                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_log_levels_and_shape () =
+  let module J = Obs.Json in
+  let buf = Buffer.create 256 in
+  let log = Obs.Log.to_buffer ~level:Obs.Log.Info buf in
+  Obs.Log.debug log "below.threshold" [];
+  Obs.Log.info log "job.enqueue" [ ("job", J.Int 1) ];
+  Obs.Log.warn log "job.rejected" [ ("queue_depth", J.Int 3) ];
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  checki "debug filtered below info" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match J.of_string line with
+      | Error e -> Alcotest.fail ("unparseable log line: " ^ e)
+      | Ok j ->
+          checkb "has ts_secs" true (J.member "ts_secs" j <> None);
+          checkb "has level" true (J.member "level" j <> None);
+          checkb "has event" true (J.member "event" j <> None))
+    lines;
+  (match J.of_string (List.nth lines 0) with
+  | Ok j ->
+      checkb "event field" true
+        (J.member "event" j = Some (J.String "job.enqueue"));
+      checkb "level field" true
+        (J.member "level" j = Some (J.String "info"));
+      checkb "payload field" true (J.member "job" j = Some (J.Int 1))
+  | Error e -> Alcotest.fail e);
+  (* Levels roundtrip through their wire names; "warning" is accepted. *)
+  List.iter
+    (fun l ->
+      checkb "level name roundtrip" true
+        (Obs.Log.level_of_string (Obs.Log.level_to_string l) = Some l))
+    [ Obs.Log.Debug; Obs.Log.Info; Obs.Log.Warn; Obs.Log.Error ];
+  checkb "warning alias" true
+    (Obs.Log.level_of_string "WARNING" = Some Obs.Log.Warn);
+  checkb "unknown level" true (Obs.Log.level_of_string "loud" = None)
+
+let test_log_scrub_masks_volatile_fields () =
+  let module J = Obs.Json in
+  let buf = Buffer.create 256 in
+  let log = Obs.Log.to_buffer ~scrub:true buf in
+  Obs.Log.info log "job.done"
+    [
+      ("job", J.Int 7);
+      ("run_ms", J.Int 1234);
+      ("nested", J.Obj [ ("wait_secs", J.Float 0.5); ("state", J.String "done") ]);
+    ];
+  (match J.of_string (String.trim (Buffer.contents buf)) with
+  | Error e -> Alcotest.fail e
+  | Ok j ->
+      checkb "ts_secs nulled" true (J.member "ts_secs" j = Some J.Null);
+      checkb "run_ms nulled" true (J.member "run_ms" j = Some J.Null);
+      checkb "stable field kept" true (J.member "job" j = Some (J.Int 7));
+      (match J.member "nested" j with
+      | Some nested ->
+          checkb "nested _secs nulled" true
+            (J.member "wait_secs" nested = Some J.Null);
+          checkb "nested stable kept" true
+            (J.member "state" nested = Some (J.String "done"))
+      | None -> Alcotest.fail "nested object dropped"));
+  (* The mask is exactly the suffix contract — nothing else. *)
+  let masked =
+    Obs.Log.scrub_fields
+      [
+        ("a_ms", J.Int 1);
+        ("b_secs", J.Float 2.0);
+        ("c_per_sec", J.Int 3);
+        ("d_util", J.Float 0.9);
+        ("milliseconds", J.Int 4);
+        ("ms", J.Int 5);
+      ]
+  in
+  checkb "suffix keys nulled" true
+    (List.for_all
+       (fun k -> List.assoc k masked = J.Null)
+       [ "a_ms"; "b_secs"; "c_per_sec"; "d_util" ]);
+  checkb "non-suffix keys kept" true
+    (List.assoc "milliseconds" masked = J.Int 4
+    && List.assoc "ms" masked = J.Int 5)
+
+(* The determinism contract behind tools/check_metrics.sh: two scrubbed
+   loggers fed the same records emit byte-identical streams, whatever
+   wall-clock values the volatile fields carried. *)
+let qcheck_scrubbed_log_deterministic =
+  let module J = Obs.Json in
+  let field =
+    QCheck.Gen.oneof
+      [
+        QCheck.Gen.map
+          (fun (k, v) -> ("f_" ^ k, J.Int v))
+          (QCheck.Gen.pair QCheck.Gen.string_printable QCheck.Gen.small_signed_int);
+        QCheck.Gen.map (fun v -> ("dur_ms", J.Int v)) QCheck.Gen.small_nat;
+        QCheck.Gen.map
+          (fun v -> ("t_secs", J.Float v))
+          (QCheck.Gen.float_bound_inclusive 100.);
+      ]
+  in
+  let record =
+    QCheck.Gen.pair QCheck.Gen.string_printable
+      (QCheck.Gen.list_size (QCheck.Gen.int_bound 5) field)
+  in
+  let records = QCheck.Gen.list_size (QCheck.Gen.int_bound 10) record in
+  QCheck.Test.make ~name:"scrubbed log streams are byte-deterministic"
+    ~count:100 (QCheck.make records) (fun records ->
+      let emit jitter =
+        let buf = Buffer.create 256 in
+        let log = Obs.Log.to_buffer ~scrub:true buf in
+        List.iter
+          (fun (event, fields) ->
+            (* A second "run" observes different wall-clock latencies;
+               scrub must erase the difference. *)
+            let fields =
+              List.map
+                (fun (k, v) ->
+                  match v with
+                  | J.Int n when k = "dur_ms" -> (k, J.Int (n + jitter))
+                  | v -> (k, v))
+                fields
+            in
+            Obs.Log.info log event fields)
+          records;
+        Buffer.contents buf
+      in
+      String.equal (emit 0) (emit 17))
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics export                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle s =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  go 0
+
+let test_slo_cumulativity () =
+  let module ME = Obs.Metrics_export in
+  let slo = ME.Slo.create ~buckets_ms:[ 10; 100; 1000 ] () in
+  List.iter (ME.Slo.observe slo) [ 0; 5; 10; 50; 500; 5000 ];
+  checki "count" 6 (ME.Slo.count slo);
+  checki "sum" 5565 (ME.Slo.sum_ms slo);
+  (match ME.Slo.buckets slo with
+  | [ (10, c10); (100, c100); (1000, c1000) ] ->
+      checki "le=10" 3 c10;
+      (* 0, 5, 10 *)
+      checki "le=100" 4 c100;
+      checki "le=1000" 5 c1000
+  | bs -> Alcotest.failf "unexpected bucket shape (%d)" (List.length bs));
+  (* Cumulative counts never decrease and never exceed the total. *)
+  let counts = List.map snd (ME.Slo.buckets slo) in
+  checkb "monotone" true
+    (List.for_all2 ( <= )
+       (List.filteri (fun i _ -> i < List.length counts - 1) counts)
+       (List.tl counts));
+  checkb "below +Inf" true
+    (List.for_all (fun c -> c <= ME.Slo.count slo) counts);
+  (* Bounds are sorted and deduplicated at creation. *)
+  let slo2 = ME.Slo.create ~buckets_ms:[ 100; 10; 100 ] () in
+  checkb "sorted unique bounds" true
+    (List.map fst (ME.Slo.buckets slo2) = [ 10; 100 ])
+
+let test_openmetrics_rendering () =
+  let module ME = Obs.Metrics_export in
+  let t = Obs.create () in
+  Obs.incr t ~by:3 "service.requests";
+  Obs.observe t "service.queue_wait_ms" 7;
+  Obs.observe t "service.queue_wait_ms" 120;
+  let slo = ME.Slo.create ~buckets_ms:[ 10; 1000 ] () in
+  ME.Slo.observe slo 7;
+  ME.Slo.observe slo 120;
+  let gauges =
+    [
+      {
+        ME.g_name = "queue_depth";
+        g_help = "Jobs queued\nand \\waiting.";
+        g_value = 4.0;
+      };
+      { ME.g_name = "cache_hit_ratio"; g_help = "ratio"; g_value = 0.25 };
+    ]
+  in
+  let doc =
+    ME.render ~gauges
+      ~slos:[ ("service_e2e_seconds", "End to end.", slo) ]
+      (Obs.snapshot t)
+  in
+  checkb "ends with EOF" true
+    (String.length doc >= 6 && String.sub doc (String.length doc - 6) 6 = "# EOF\n");
+  (* OpenMetrics: the TYPE line names the family, samples add _total. *)
+  checkb "counter family" true
+    (contains ~needle:"# TYPE fpgapart_service_requests counter" doc);
+  checkb "counter sample" true
+    (contains ~needle:"fpgapart_service_requests_total 3" doc);
+  checkb "gauge family" true
+    (contains ~needle:"# TYPE fpgapart_queue_depth gauge" doc);
+  checkb "integral gauge has no point" true
+    (contains ~needle:"fpgapart_queue_depth 4\n" doc);
+  checkb "fractional gauge" true
+    (contains ~needle:"fpgapart_cache_hit_ratio 0.25" doc);
+  (* HELP newlines and backslashes are escaped per the exposition
+     format. *)
+  checkb "help escaped" true
+    (contains ~needle:"Jobs queued\\nand \\\\waiting." doc);
+  (* SLO histogram: ms recorded, seconds exported, cumulative with +Inf
+     and sum/count. *)
+  checkb "slo bucket le=0.01" true
+    (contains ~needle:"fpgapart_service_e2e_seconds_bucket{le=\"0.01\"} 1" doc);
+  checkb "slo bucket le=1" true
+    (contains ~needle:"fpgapart_service_e2e_seconds_bucket{le=\"1\"} 2" doc);
+  checkb "slo +Inf" true
+    (contains ~needle:"fpgapart_service_e2e_seconds_bucket{le=\"+Inf\"} 2" doc);
+  checkb "slo count" true
+    (contains ~needle:"fpgapart_service_e2e_seconds_count 2" doc);
+  checkb "slo sum in seconds" true
+    (contains ~needle:"fpgapart_service_e2e_seconds_sum 0.127" doc);
+  (* The native signed-log2 histogram renders as a histogram family with
+     cumulative buckets. *)
+  checkb "native histogram family" true
+    (contains ~needle:"# TYPE fpgapart_service_queue_wait_ms histogram" doc);
+  checkb "native histogram count" true
+    (contains ~needle:"fpgapart_service_queue_wait_ms_count 2" doc);
+  (* Name sanitisation: Obs keys use dots, families must not. *)
+  checkb "no dotted family names" false
+    (contains ~needle:"fpgapart_service.requests" doc);
+  checks "sanitize punctuation" "service_queue_wait_ms"
+    (ME.sanitize "service.queue_wait_ms");
+  checks "sanitize leading digit" "_9lives" (ME.sanitize "9lives")
+
+(* Gauges are sampled by the caller per render: a new value shows up in
+   the next exposition (no caching inside the renderer). *)
+let test_gauge_freshness () =
+  let module ME = Obs.Metrics_export in
+  let snap = Obs.snapshot (Obs.create ()) in
+  let render v =
+    ME.render
+      ~gauges:[ { ME.g_name = "queue_depth"; g_help = "d"; g_value = v } ]
+      snap
+  in
+  checkb "first sample" true (contains ~needle:"fpgapart_queue_depth 2\n" (render 2.0));
+  checkb "second sample" true
+    (contains ~needle:"fpgapart_queue_depth 5\n" (render 5.0));
+  checkb "stale sample gone" false
+    (contains ~needle:"fpgapart_queue_depth 2\n" (render 5.0))
+
+(* Cumulativity holds for any observation set, in both histogram
+   flavours. *)
+let qcheck_render_cumulative =
+  let module ME = Obs.Metrics_export in
+  QCheck.Test.make ~name:"slo buckets are cumulative for any input"
+    ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_bound 50) (QCheck.int_bound 40_000))
+    (fun samples ->
+      let slo = ME.Slo.create () in
+      List.iter (ME.Slo.observe slo) samples;
+      let buckets = ME.Slo.buckets slo in
+      let rec monotone = function
+        | (_, a) :: ((_, b) :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      monotone buckets
+      && List.for_all (fun (_, c) -> c <= ME.Slo.count slo) buckets
+      && ME.Slo.count slo = List.length samples
+      && ME.Slo.sum_ms slo = List.fold_left ( + ) 0 samples)
+
 let () =
   Alcotest.run "obs"
     [
@@ -671,5 +939,21 @@ let () =
             test_scrub_elapsed_is_minimal;
           Alcotest.test_case "k-way determinism regression" `Quick
             test_kway_snapshot_deterministic;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "levels and line shape" `Quick
+            test_log_levels_and_shape;
+          Alcotest.test_case "scrub masks volatile fields" `Quick
+            test_log_scrub_masks_volatile_fields;
+          QCheck_alcotest.to_alcotest qcheck_scrubbed_log_deterministic;
+        ] );
+      ( "metrics export",
+        [
+          Alcotest.test_case "slo cumulativity" `Quick test_slo_cumulativity;
+          Alcotest.test_case "openmetrics rendering" `Quick
+            test_openmetrics_rendering;
+          Alcotest.test_case "gauge freshness" `Quick test_gauge_freshness;
+          QCheck_alcotest.to_alcotest qcheck_render_cumulative;
         ] );
     ]

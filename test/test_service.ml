@@ -202,7 +202,7 @@ let test_protocol_bad_requests () =
     | Error (code, _) -> checks "error code" expected code
   in
   let bad = bad_code Service.Protocol.code_bad_request in
-  let v = ("v", J.Int 1) in
+  let v = ("v", J.Int Service.Protocol.protocol_version) in
   bad (J.Obj [ v; ("verb", J.String "frobnicate") ]);
   bad (J.Obj [ v; ("verb", J.String "status") ]);
   (* missing job *)
@@ -234,7 +234,11 @@ let test_protocol_bad_requests () =
   unsupported J.Null;
   unsupported (J.Obj [ ("verb", J.String "stats") ]);
   unsupported (J.Obj [ ("v", J.Int 99); ("verb", J.String "stats") ]);
-  unsupported (J.Obj [ ("v", J.String "1"); ("verb", J.String "stats") ])
+  (* A v1 client is refused outright — the gate is strict equality, not
+     backward tolerance — so it can never see replies missing the v2
+     [timings] field. *)
+  unsupported (J.Obj [ ("v", J.Int 1); ("verb", J.String "stats") ]);
+  unsupported (J.Obj [ ("v", J.String "2"); ("verb", J.String "stats") ])
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end daemon tests                                            *)
@@ -754,6 +758,292 @@ let test_server_shutdown_refuses_new_work () =
           | Ok _ -> ()
           | Error (code, msg) -> Alcotest.failf "%s [%s]" msg code))
 
+(* ------------------------------------------------------------------ *)
+(* Observability: health, metrics, timings, lifecycle traces, logs    *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle s =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  go 0
+
+let test_server_health () =
+  with_server
+    ~config:(fun c -> { c with Service.Server.queue_cap = 7 })
+    (fun path ->
+      let health reply =
+        match J.member "health" reply with
+        | Some h -> h
+        | None -> Alcotest.fail "no health object"
+      in
+      let h = health (rpc_ok path Service.Protocol.Health) in
+      checks "accepting" "accepting" (str_field "state" h);
+      checki "protocol version" Service.Protocol.protocol_version
+        (int_field "protocol_version" h);
+      checki "stats schema version" Experiments.Obs_report.schema_version
+        (int_field "stats_schema_version" h);
+      checki "configured queue cap" 7 (int_field "queue_cap" h);
+      checki "idle queue depth" 0 (int_field "queue_depth" h);
+      checki "idle inflight" 0 (int_field "inflight" h);
+      checki "no jobs yet" 0 (int_field "jobs_total" h);
+      checkb "uptime present" true
+        (match Option.bind (J.member "uptime_secs" h) J.to_float with
+        | Some u -> u >= 0.0
+        | None -> false);
+      (* A completed job shows up in the registration count. *)
+      let text = Netlist.Bench_format.to_string (Netlist.Generator.c17 ()) in
+      let job = int_field "job" (rpc_ok path (submit_req "c17" text)) in
+      ignore (rpc_ok path (Service.Protocol.Result { job; wait = true }));
+      let h = health (rpc_ok path Service.Protocol.Health) in
+      checki "job counted" 1 (int_field "jobs_total" h);
+      checki "drained queue" 0 (int_field "queue_depth" h))
+
+let test_server_metrics_exposition () =
+  with_server (fun path ->
+      let text = Netlist.Bench_format.to_string (Netlist.Generator.c17 ()) in
+      let job = int_field "job" (rpc_ok path (submit_req "c17" text)) in
+      ignore (rpc_ok path (Service.Protocol.Result { job; wait = true }));
+      ignore (rpc_ok path (submit_req "c17" text));
+      (* cache hit *)
+      let reply = rpc_ok path Service.Protocol.Metrics in
+      let doc =
+        match Option.bind (J.member "metrics" reply) J.to_str with
+        | Some text -> text
+        | None -> Alcotest.fail "no metrics text"
+      in
+      checkb "EOF terminated" true
+        (String.length doc >= 6
+        && String.sub doc (String.length doc - 6) 6 = "# EOF\n");
+      (* The continuously-maintained gauges. *)
+      List.iter
+        (fun family ->
+          checkb (family ^ " gauge present") true
+            (contains ~needle:("# TYPE fpgapart_" ^ family ^ " gauge") doc))
+        [
+          "queue_depth"; "queue_capacity"; "inflight_jobs"; "cache_entries";
+          "cache_capacity"; "cache_hit_ratio"; "uptime_seconds";
+          "gc_heap_words"; "gc_major_collections";
+        ];
+      checkb "idle queue depth sample" true
+        (contains ~needle:"fpgapart_queue_depth 0\n" doc);
+      checkb "hit ratio sample" true
+        (contains ~needle:"fpgapart_cache_hit_ratio 0.5" doc);
+      (* SLO latency histograms, one observation per executed job (the
+         cache hit contributes to e2e only). *)
+      List.iter
+        (fun (family, expected) ->
+          checkb (family ^ " histogram present") true
+            (contains ~needle:("# TYPE fpgapart_" ^ family ^ " histogram") doc);
+          checkb (family ^ " count") true
+            (contains
+               ~needle:(Printf.sprintf "fpgapart_%s_count %d" family expected)
+               doc);
+          checkb (family ^ " +Inf cumulative") true
+            (contains
+               ~needle:
+                 (Printf.sprintf "fpgapart_%s_bucket{le=\"+Inf\"} %d" family
+                    expected)
+               doc))
+        [
+          ("service_queue_wait_seconds", 1);
+          ("service_run_seconds", 1);
+          ("service_e2e_seconds", 2);
+        ];
+      (* Counters from the Obs sink, renamed to the Prometheus charset. *)
+      checkb "requests counter" true
+        (contains ~needle:"fpgapart_service_requests_total" doc);
+      checkb "cache hit counter" true
+        (contains ~needle:"fpgapart_service_cache_hit_total 1" doc);
+      (* The queue-wait blind spot stays closed: the native histogram is
+         in the exposition too. *)
+      checkb "queue wait native histogram" true
+        (contains ~needle:"# TYPE fpgapart_service_queue_wait_ms histogram" doc))
+
+let timings_of reply =
+  match J.member "timings" reply with
+  | Some t ->
+      let f name = int_field name t in
+      (f "decode_ms", f "queue_wait_ms", f "run_ms", f "encode_ms", f "total_ms")
+  | None -> Alcotest.fail "reply lacks timings"
+
+let test_server_reply_timings () =
+  with_server (fun path ->
+      let text = Netlist.Bench_format.to_string (Netlist.Generator.c17 ()) in
+      let t0 = Unix.gettimeofday () in
+      let job = int_field "job" (rpc_ok path (submit_req "c17" text)) in
+      let reply = rpc_ok path (Service.Protocol.Result { job; wait = true }) in
+      let client_elapsed_ms =
+        int_of_float ((Unix.gettimeofday () -. t0) *. 1000.) + 1
+      in
+      let decode, queue_wait, run, encode, total = timings_of reply in
+      List.iter
+        (fun (name, v) -> checkb (name ^ " non-negative") true (v >= 0))
+        [
+          ("decode", decode); ("queue_wait", queue_wait); ("run", run);
+          ("encode", encode); ("total", total);
+        ];
+      (* The parts sum to the total within scheduling/lock tolerance, and
+         the total never exceeds what the client measured around the
+         whole round trip. *)
+      let parts = decode + queue_wait + run + encode in
+      checkb "parts sum to total (tolerance 100ms)" true
+        (abs (total - parts) <= 100);
+      checkb "total within client-observed latency" true
+        (total <= client_elapsed_ms + 100);
+      (* A cache hit replies with fresh timings: no run, no queue. *)
+      let hit = rpc_ok path (submit_req "c17" text) in
+      let _, queue_wait_h, run_h, encode_h, total_h = timings_of hit in
+      checki "cached queue wait" 0 queue_wait_h;
+      checki "cached run" 0 run_h;
+      checki "cached encode" 0 encode_h;
+      checkb "cached total small" true (total_h <= 1000);
+      (* The cached result document itself carries no timings — they live
+         in the envelope, preserving byte-identity. *)
+      (match J.member "result" hit with
+      | Some doc -> checkb "no timings inside result doc" true
+          (J.member "timings" doc = None)
+      | None -> Alcotest.fail "no result");
+      (* The queue-wait histogram saw the executed job. *)
+      let stats =
+        match J.member "stats" (rpc_ok path Service.Protocol.Stats) with
+        | Some s -> s
+        | None -> Alcotest.fail "no stats"
+      in
+      let hist_count name =
+        match
+          Option.bind (J.member "obs" stats) (fun obs ->
+              Option.bind (J.member "histograms" obs) (fun hs ->
+                  Option.bind (J.member name hs) (fun h ->
+                      Option.bind (J.member "count" h) J.to_int)))
+        with
+        | Some n -> n
+        | None -> 0
+      in
+      checki "queue wait observed once" 1 (hist_count "service.queue_wait_ms");
+      checki "e2e observed for run and hit" 2 (hist_count "service.e2e_ms"))
+
+let test_server_lifecycle_trace () =
+  let trace_path = Filename.temp_file "fpgapart_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove trace_path with Sys_error _ -> ())
+    (fun () ->
+      with_server
+        ~config:(fun c ->
+          { c with Service.Server.trace_path = Some trace_path })
+        (fun path ->
+          let text =
+            Netlist.Bench_format.to_string (Netlist.Generator.c17 ())
+          in
+          let wait_result name seed =
+            let job =
+              int_field "job" (rpc_ok path (submit_req ~seed name text))
+            in
+            ignore
+              (rpc_ok path (Service.Protocol.Result { job; wait = true }));
+            job
+          in
+          let j1 = wait_result "c17" 1 in
+          let j2 = wait_result "c17" 2 in
+          checkb "two distinct jobs" true (j1 <> j2));
+      (* The server wrote the trace during shutdown. *)
+      let ic = open_in_bin trace_path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let json =
+        match J.of_string text with
+        | Ok j -> j
+        | Error e -> Alcotest.fail ("trace not JSON: " ^ e)
+      in
+      let events =
+        match J.member "traceEvents" json with
+        | Some (J.List evs) -> evs
+        | _ -> Alcotest.fail "no traceEvents"
+      in
+      (* Per job (= pid lane): the complete lifecycle span set, each span
+         with a non-negative duration. *)
+      let lifecycle =
+        [ "decode"; "canonicalise"; "queue_wait"; "partition"; "encode_reply" ]
+      in
+      List.iter
+        (fun pid ->
+          let names =
+            List.filter_map
+              (fun ev ->
+                match
+                  ( Option.bind (J.member "ph" ev) J.to_str,
+                    Option.bind (J.member "pid" ev) J.to_int )
+                with
+                | Some "X", Some p when p = pid ->
+                    (match Option.bind (J.member "dur" ev) J.to_float with
+                    | Some d -> checkb "span duration >= 0" true (d >= 0.0)
+                    | None -> Alcotest.fail "complete event lacks dur");
+                    Option.bind (J.member "name" ev) J.to_str
+                | _ -> None)
+              events
+          in
+          List.iter
+            (fun span ->
+              checkb
+                (Printf.sprintf "job %d has span %s" pid span)
+                true
+                (List.mem span names))
+            lifecycle;
+          checki
+            (Printf.sprintf "job %d span count" pid)
+            (List.length lifecycle) (List.length names))
+        [ 1; 2 ])
+
+(* The end-to-end face of the log determinism contract: the same
+   serialized workload, run twice (and under a different engine --jobs),
+   emits byte-identical scrubbed info-level logs. *)
+let test_server_scrubbed_logs_deterministic () =
+  let capture jobs =
+    let buf = Buffer.create 1024 in
+    with_server
+      ~config:(fun c ->
+        {
+          c with
+          Service.Server.jobs;
+          log = Obs.Log.to_buffer ~scrub:true buf;
+        })
+      (fun path ->
+        let text =
+          Netlist.Bench_format.to_string (Netlist.Generator.c17 ())
+        in
+        let job = int_field "job" (rpc_ok path (submit_req "c17" text)) in
+        ignore (rpc_ok path (Service.Protocol.Result { job; wait = true }));
+        ignore (rpc_ok path (submit_req "c17" text));
+        ignore (rpc_ok path (Service.Protocol.Cancel job)));
+    Buffer.contents buf
+  in
+  let a = capture 1 in
+  let b = capture 1 in
+  let c = capture 2 in
+  checkb "log non-empty" true (String.length a > 0);
+  checks "identical runs, identical logs" a b;
+  checks "log independent of --jobs" a c;
+  (* Sanity: the lifecycle events are actually in there, in order. *)
+  let order =
+    [ "job.enqueue"; "job.dequeue"; "job.done"; "job.cache_hit" ]
+  in
+  ignore
+    (List.fold_left
+       (fun from event ->
+         let needle = Printf.sprintf "\"event\":\"%s\"" event in
+         let rec find i =
+           if i + String.length needle > String.length a then
+             Alcotest.failf "log lacks %s after offset %d" event from
+           else if String.sub a i (String.length needle) = needle then i
+           else find (i + 1)
+         in
+         find from)
+       0 order);
+  (* Every lifecycle line names its job correlation id. *)
+  checkb "correlation ids present" true (contains ~needle:"\"corr\":\"" a)
+
 let () =
   Alcotest.run "service"
     [
@@ -795,5 +1085,16 @@ let () =
             test_server_throughput_metrics;
           Alcotest.test_case "shutdown refuses new work" `Quick
             test_server_shutdown_refuses_new_work;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "health probe" `Quick test_server_health;
+          Alcotest.test_case "openmetrics exposition" `Quick
+            test_server_metrics_exposition;
+          Alcotest.test_case "reply timings" `Quick test_server_reply_timings;
+          Alcotest.test_case "per-job lifecycle trace" `Quick
+            test_server_lifecycle_trace;
+          Alcotest.test_case "scrubbed logs byte-deterministic" `Quick
+            test_server_scrubbed_logs_deterministic;
         ] );
     ]

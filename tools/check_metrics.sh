@@ -1,0 +1,215 @@
+#!/bin/sh
+# Observability acceptance gate: boot the daemon with structured logging
+# and tracing on, drive a small serialized workload, and check that
+# (1) `svc-metrics` emits a valid OpenMetrics exposition — parsed by a
+#     small validator: families declared before samples, counter samples
+#     under *_total, histogram buckets cumulative and +Inf == _count,
+#     "# EOF" terminator — including the queue/inflight/cache gauges and
+#     the queue-wait/run/e2e SLO histograms with one observation per
+#     executed job;
+# (2) `svc-health` reports accepting with the configured bounds;
+# (3) every result reply carries a wall-clock "timings" breakdown whose
+#     parts sum to its total within tolerance;
+# (4) the scrubbed info-level log stream is byte-identical across two
+#     identical runs — the log determinism contract;
+# (5) the per-job lifecycle trace holds the complete span set per job.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build --no-print-directory bin/fpgapart.exe
+FPGAPART=_build/default/bin/fpgapart.exe
+
+tmpdir=$(mktemp -d)
+cleanup() {
+    for s in "$tmpdir"/run*.sock; do
+        "$FPGAPART" svc-shutdown --socket "$s" >/dev/null 2>&1 || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+
+"$FPGAPART" generate c1355 "$tmpdir/c1355.bench" >/dev/null
+
+# One serialized workload against a fresh daemon: submit (miss), wait,
+# resubmit the same bytes (hit). Logs go scrubbed to a file; run 1 also
+# collects metrics, health, timings and the lifecycle trace.
+run_workload() {
+    n="$1"
+    sock="$tmpdir/run$n.sock"
+    "$FPGAPART" serve --socket "$sock" --queue-cap 4 \
+        --log-level info --log-scrub --log-file "$tmpdir/log$n.jsonl" \
+        --trace "$tmpdir/trace$n.json" >/dev/null &
+    pid=$!
+    i=0
+    while [ ! -S "$sock" ]; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && { echo "daemon never bound $sock" >&2; exit 1; }
+        sleep 0.1
+    done
+    "$FPGAPART" submit --socket "$sock" --bench "$tmpdir/c1355.bench" \
+        --runs 2 --seed 1 > "$tmpdir/reply$n.json" 2>/dev/null
+    "$FPGAPART" submit --socket "$sock" --bench "$tmpdir/c1355.bench" \
+        --runs 2 --seed 1 > "$tmpdir/hit$n.json" 2>/dev/null
+    if [ "$n" = 1 ]; then
+        "$FPGAPART" svc-health --socket "$sock" > "$tmpdir/health.json"
+        "$FPGAPART" svc-metrics --socket "$sock" > "$tmpdir/metrics.txt"
+        # Timings ride the reply envelope, not the submit stdout (which
+        # prints only the result document); fetch one over the raw wire.
+        python3 - "$sock" > "$tmpdir/timings.json" <<'PY'
+import json, socket, struct, sys
+
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+req = json.dumps({"v": 2, "verb": "result", "job": 1, "wait": True}).encode()
+s.sendall(struct.pack(">I", len(req)) + req)
+n = struct.unpack(">I", s.recv(4))[0]
+buf = b""
+while len(buf) < n:
+    buf += s.recv(n - len(buf))
+s.close()
+print(json.dumps(json.loads(buf)["timings"]))
+PY
+    fi
+    "$FPGAPART" svc-shutdown --socket "$sock" >/dev/null
+    wait "$pid"
+}
+
+run_workload 1
+run_workload 2
+
+# 1. Validate the exposition with a small OpenMetrics parser.
+python3 - "$tmpdir/metrics.txt" <<'PY'
+import re, sys
+
+lines = open(sys.argv[1]).read().splitlines(keepends=True)
+assert lines and lines[-1] == "# EOF\n", "missing # EOF terminator"
+
+types = {}      # family -> type
+samples = {}    # full sample name -> [(labels, value)]
+name_re = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$")
+for line in lines[:-1]:
+    line = line.rstrip("\n")
+    if line.startswith("# TYPE "):
+        _, _, family, typ = line.split(" ")
+        assert family not in types, f"family {family} declared twice"
+        types[family] = typ
+    elif line.startswith("# HELP ") or not line:
+        continue
+    else:
+        m = name_re.match(line)
+        assert m, f"unparseable sample line: {line!r}"
+        name, _, labels, value = m.groups()
+        samples.setdefault(name, []).append((labels, float(value)))
+
+def of(family, suffix=""):
+    assert family in types, f"family {family} never declared"
+    got = samples.get(family + suffix)
+    assert got, f"no samples for {family}{suffix}"
+    return got
+
+# Gauges the daemon maintains continuously.
+for g in ["fpgapart_queue_depth", "fpgapart_queue_capacity",
+          "fpgapart_inflight_jobs", "fpgapart_cache_entries",
+          "fpgapart_cache_capacity", "fpgapart_cache_hit_ratio",
+          "fpgapart_uptime_seconds", "fpgapart_gc_heap_words",
+          "fpgapart_gc_major_collections"]:
+    assert types.get(g) == "gauge", f"{g}: {types.get(g)}"
+    of(g)
+assert of("fpgapart_queue_depth")[0][1] == 0
+assert of("fpgapart_queue_capacity")[0][1] == 4
+assert of("fpgapart_cache_hit_ratio")[0][1] == 0.5  # one miss, one hit
+
+# Counters sample under *_total; every declared counter must.
+for family, typ in types.items():
+    if typ == "counter":
+        of(family, "_total")
+assert of("fpgapart_service_cache_hit", "_total")[0][1] == 1
+assert of("fpgapart_service_requests", "_total")[0][1] >= 2
+
+# Histograms: cumulative buckets, +Inf present and equal to _count.
+for family, typ in types.items():
+    if typ != "histogram":
+        continue
+    buckets = of(family, "_bucket")
+    count = of(family, "_count")[0][1]
+    of(family, "_sum")
+    prev, inf = 0.0, None
+    for labels, v in buckets:
+        assert v >= prev, f"{family}: non-cumulative bucket {labels}"
+        prev = v
+        if 'le="+Inf"' in (labels or ""):
+            inf = v
+    assert inf is not None, f"{family}: no +Inf bucket"
+    assert inf == count, f"{family}: +Inf {inf} != count {count}"
+
+# SLO latency histograms: one executed job, two end-to-end replies.
+assert of("fpgapart_service_queue_wait_seconds", "_count")[0][1] == 1
+assert of("fpgapart_service_run_seconds", "_count")[0][1] == 1
+assert of("fpgapart_service_e2e_seconds", "_count")[0][1] == 2
+
+print(f"metrics check: exposition ok ({len(types)} families)")
+PY
+
+# 2. Health: accepting, right bounds.
+python3 - "$tmpdir/health.json" <<'PY'
+import json, sys
+
+health = json.load(open(sys.argv[1]))
+assert health["state"] == "accepting", health
+assert health["protocol_version"] == 2, health
+assert health["queue_cap"] == 4, health
+print("metrics check: health ok")
+PY
+
+# 3. Timings: every part non-negative, parts sum to total within
+#    tolerance.
+python3 - "$tmpdir/timings.json" <<'PY'
+import json, sys
+
+t = json.load(open(sys.argv[1]))
+parts = ["decode_ms", "queue_wait_ms", "run_ms", "encode_ms"]
+assert all(t[k] >= 0 for k in parts + ["total_ms"]), t
+assert abs(t["total_ms"] - sum(t[k] for k in parts)) <= 100, t
+print("metrics check: timings ok", t)
+PY
+
+# 4. Scrubbed logs byte-identical across the two runs, and every
+#    lifecycle line a parseable JSON record with a correlation id.
+cmp "$tmpdir/log1.jsonl" "$tmpdir/log2.jsonl" || {
+    echo "scrubbed logs differ between identical runs" >&2
+    diff "$tmpdir/log1.jsonl" "$tmpdir/log2.jsonl" >&2 || true
+    exit 1
+}
+python3 - "$tmpdir/log1.jsonl" <<'PY'
+import json, sys
+
+events = []
+for line in open(sys.argv[1]):
+    rec = json.loads(line)
+    assert rec["ts_secs"] is None, f"unscrubbed timestamp: {rec}"
+    assert "event" in rec and "level" in rec, rec
+    events.append(rec["event"])
+    if rec["event"].startswith("job."):
+        assert "corr" in rec, f"lifecycle line without correlation id: {rec}"
+for needed in ["server.start", "job.enqueue", "job.dequeue", "job.done",
+               "job.cache_hit", "server.drain", "server.stopped"]:
+    assert needed in events, f"log lacks {needed}: {events}"
+assert events.index("job.enqueue") < events.index("job.dequeue") \
+    < events.index("job.done") < events.index("job.cache_hit"), events
+
+print(f"metrics check: logs ok ({len(events)} deterministic lines)")
+PY
+
+# 5. The lifecycle trace has the full span set on the job's lane.
+python3 - "$tmpdir/trace1.json" <<'PY'
+import json, sys
+
+events = json.load(open(sys.argv[1]))["traceEvents"]
+spans = {e["name"] for e in events if e.get("ph") == "X" and e.get("pid") == 1}
+needed = {"decode", "canonicalise", "queue_wait", "partition", "encode_reply"}
+assert needed <= spans, f"job 1 lifecycle incomplete: {spans}"
+print("metrics check: trace ok", sorted(spans))
+PY
+
+echo "metrics check: ok (exposition, health, timings, log determinism, trace)"

@@ -1,6 +1,7 @@
 #!/bin/sh
 # Service acceptance gate: boot the partitioning daemon on a throwaway
-# socket and drive the full client surface against it. Checks that (1) a
+# socket and drive the full client surface against it. Checks that (0)
+# the health probe answers accepting with the configured bounds, (1) a
 # byte-permuted but semantically identical netlist is answered from the
 # result cache with a byte-identical reply, (2) an in-flight job can be
 # cancelled, (3) the daemon survives a malformed frame, (4) an
@@ -41,6 +42,25 @@ while [ ! -S "$sock" ]; do
     [ "$i" -gt 100 ] && { echo "daemon never bound $sock" >&2; exit 1; }
     sleep 0.1
 done
+
+# 0. Health probe: the daemon reports itself accepting, with the
+#    configured queue bound, before any work is submitted.
+"$FPGAPART" svc-health --socket "$sock" > "$tmpdir/health.json"
+python3 - "$tmpdir/health.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    health = json.load(f)
+
+assert health["state"] == "accepting", health
+assert health["protocol_version"] == 2, health
+assert health["queue_cap"] == 4, health
+assert health["queue_depth"] == 0, health
+assert health["inflight"] == 0, health
+assert health["uptime_secs"] >= 0, health
+
+print("service check: health ok", health["state"])
+PY
 
 # 1. Original, then the permuted copy: the second reply must come out of
 #    the cache byte-for-byte identical (the key is a canonical content
