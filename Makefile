@@ -1,4 +1,4 @@
-.PHONY: all build test bench lint schema trace service metrics perf objectives ci clean
+.PHONY: all build test bench lint schema trace service metrics fleet perf objectives ci clean
 
 all: build
 
@@ -41,6 +41,16 @@ service: build
 metrics: build
 	sh tools/check_metrics.sh
 
+# Fleet gate: boots a 4-worker scheduler on a scratch socket, pushes
+# 1000 concurrent jobs across 4 tenants through it with the load
+# generator (zero lost / zero duplicated replies, p99 budget), SIGKILLs
+# a busy worker (exactly-once requeue, respawn), bounces the fleet to
+# prove the disk cache survives restarts, and byte-compares a
+# single-worker fleet reply against the plain daemon
+# (see tools/check_fleet.sh).
+fleet: build
+	sh tools/check_fleet.sh
+
 # Perf-regression smoke gate for the incremental F-M engine: the
 # hot-loop microbenchmark must run and report moves/sec plus
 # allocations/move, the stats JSON must export the v4 rescoring
@@ -75,6 +85,7 @@ ci: build lint
 	sh tools/check_trace.sh
 	sh tools/check_service.sh
 	sh tools/check_metrics.sh
+	sh tools/check_fleet.sh
 	sh tools/check_perf.sh
 	sh tools/check_objectives.sh
 	@echo "ci: scrubbed telemetry identical across FPGAPART_JOBS=1/4"

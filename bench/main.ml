@@ -261,6 +261,7 @@ let service_row () =
                    format = Service.Protocol.Bench;
                    netlist = text;
                    options;
+                   envelope = Service.Protocol.default_envelope;
                  })
           in
           let ( let* ) = Result.bind in
@@ -298,6 +299,170 @@ let service_row () =
                   ("cold_e2e_secs", Obs.Json.Float cold);
                   ("cache_hit_e2e_secs", Obs.Json.Float hit);
                 ] )))
+
+(* Fleet end-to-end latency at 1/2/4 workers: cold submit, cache hit,
+   and a portfolio race, each through a real scheduler fanning out to
+   forked worker processes. Needs the fpgapart binary (workers are
+   exec'd); resolved from FPGAPART_BIN or the default build path, and
+   the row is skipped when neither exists. All keys are *_secs. *)
+let fleet_worker_exe () =
+  match Sys.getenv_opt "FPGAPART_BIN" with
+  | Some p when Sys.file_exists p -> Some p
+  | _ ->
+      let guess = "_build/default/bin/fpgapart.exe" in
+      if Sys.file_exists guess then Some guess else None
+
+let fleet_row () =
+  let name = "c1355" in
+  match (Experiments.Suite.find name, fleet_worker_exe ()) with
+  | None, _ -> Error ("suite lacks " ^ name)
+  | _, None -> Error "fpgapart binary not built (workers are exec'd)"
+  | Some e, Some exe ->
+      let text =
+        Netlist.Bench_format.to_string (Lazy.force e.Experiments.Suite.circuit)
+      in
+      let measure workers =
+        let sock = Filename.temp_file "fpgapart_fleet_bench" ".sock" in
+        Sys.remove sock;
+        let cfg =
+          Fleet.Scheduler.default_config ~socket_path:sock ~workers
+            ~worker_exe:exe
+        in
+        let ready = Atomic.make false in
+        let sched =
+          Thread.create
+            (fun () ->
+              match
+                Fleet.Scheduler.run
+                  ~on_ready:(fun () -> Atomic.set ready true)
+                  cfg
+              with
+              | Ok () -> ()
+              | Error msg -> prerr_endline ("bench: fleet: " ^ msg))
+            ()
+        in
+        while not (Atomic.get ready) do
+          Thread.yield ()
+        done;
+        let finish () =
+          (match Service.Client.rpc ~socket:sock Service.Protocol.Shutdown with
+          | Ok _ | Error _ -> ());
+          Thread.join sched
+        in
+        Fun.protect ~finally:finish (fun () ->
+            let rpc req =
+              match Service.Client.rpc ~socket:sock req with
+              | Error msg -> Error msg
+              | Ok reply -> (
+                  match Service.Client.ok_or_error reply with
+                  | Ok reply -> Ok reply
+                  | Error (_, msg) -> Error msg)
+            in
+            (* Wait for the worker pool before timing anything, so the
+               cold number measures the job, not the fork+exec. *)
+            let deadline = Obs.Clock.wall () +. 30.0 in
+            let rec wait_up () =
+              let up =
+                match rpc Service.Protocol.Health with
+                | Error _ -> 0
+                | Ok reply -> (
+                    match
+                      Option.bind
+                        (Option.bind
+                           (Obs.Json.member "health" reply)
+                           (Obs.Json.member "workers_up"))
+                        Obs.Json.to_int
+                    with
+                    | Some n -> n
+                    | None -> 0)
+              in
+              if up >= workers then Ok ()
+              else if Obs.Clock.wall () > deadline then
+                Error "fleet workers never came up"
+              else begin
+                Thread.delay 0.05;
+                wait_up ()
+              end
+            in
+            let submit ~seed ~portfolio =
+              rpc
+                (Service.Protocol.Submit
+                   {
+                     name;
+                     format = Service.Protocol.Bench;
+                     netlist = text;
+                     options = Core.Kway.Options.make ~runs:!kway_runs ~seed ();
+                     envelope =
+                       {
+                         Service.Protocol.tenant = "bench";
+                         priority = 0;
+                         portfolio;
+                       };
+                   })
+            in
+            let ( let* ) = Result.bind in
+            let* () = wait_up () in
+            let round ~seed ~portfolio =
+              let t0 = Obs.Clock.wall () in
+              let* reply = submit ~seed ~portfolio in
+              let* () =
+                if
+                  Option.bind
+                    (Obs.Json.member "result" reply)
+                    (fun _ -> Some ())
+                  = Some ()
+                then Ok ()
+                else
+                  let* job =
+                    match
+                      Option.bind (Obs.Json.member "job" reply) Obs.Json.to_int
+                    with
+                    | Some id -> Ok id
+                    | None -> Error "submit reply lacks a job id"
+                  in
+                  let* _ =
+                    rpc (Service.Protocol.Result { job; wait = true })
+                  in
+                  Ok ()
+              in
+              Ok (Obs.Clock.wall () -. t0)
+            in
+            let* cold = round ~seed:1 ~portfolio:false in
+            let* hit = round ~seed:1 ~portfolio:false in
+            let* folio = round ~seed:2 ~portfolio:true in
+            Ok
+              ( cold,
+                hit,
+                folio,
+                Obs.Json.Obj
+                  [
+                    ("workers", Obs.Json.Int workers);
+                    ("cold_e2e_secs", Obs.Json.Float cold);
+                    ("cache_hit_e2e_secs", Obs.Json.Float hit);
+                    ("portfolio_e2e_secs", Obs.Json.Float folio);
+                  ] ))
+      in
+      let ( let* ) = Result.bind in
+      let* rows =
+        List.fold_left
+          (fun acc workers ->
+            let* acc = acc in
+            let* cold, hit, folio, row = measure workers in
+            Format.printf
+              "fleet %d worker%s: cold %.3fs / hit %.4fs / portfolio %.3fs@."
+              workers
+              (if workers = 1 then "" else "s")
+              cold hit folio;
+            Ok (row :: acc))
+          (Ok []) [ 1; 2; 4 ]
+      in
+      Ok
+        (Obs.Json.Obj
+           [
+             ("circuit", Obs.Json.String name);
+             ("runs", Obs.Json.Int !kway_runs);
+             ("scales", Obs.Json.List (List.rev rows));
+           ])
 
 let partition_stats () =
   section "BENCH_partition.json: k-way engine telemetry aggregate";
@@ -366,6 +531,20 @@ let partition_stats () =
         Format.printf "service e2e: cold %.3fs / cache hit %.4fs@." cold hit;
         match doc with
         | Obs.Json.Obj fields -> Obs.Json.Obj (fields @ [ ("service", row) ])
+        | other -> other)
+  in
+  (* Fleet scaling rides along: the same round trips through a real
+     multi-process scheduler at 1, 2 and 4 workers, plus a portfolio
+     race — the numbers behind the fleet SLOs. *)
+  let doc =
+    progress "fleet: scheduler + worker processes at 1/2/4 workers...";
+    match fleet_row () with
+    | Error msg ->
+        prerr_endline ("bench: fleet: " ^ msg);
+        doc
+    | Ok row -> (
+        match doc with
+        | Obs.Json.Obj fields -> Obs.Json.Obj (fields @ [ ("fleet", row) ])
         | other -> other)
   in
   (* Per-objective ablation rides along: every builtin cost objective on

@@ -434,6 +434,37 @@ let serve_cmd =
             "Per-job wall-clock budget; a job past it is stopped \
              cooperatively and fails with the $(b,timeout) error code.")
   in
+  let workers_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Run a fleet: a scheduler on the public socket fanning jobs out \
+             to $(docv) worker processes (each a full daemon on a private \
+             socket). 0 (the default) keeps the single-process daemon. \
+             With a fleet, $(b,--queue-cap) bounds each tenant's queue \
+             rather than the global one.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Fleet only: persist results to append-only segment files in \
+             $(docv) and reload them on startup, so cache hits (and their \
+             byte-identical replies) survive restarts.")
+  in
+  let tenant_weight_arg =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string int) []
+      & info [ "tenant-weight" ] ~docv:"TENANT=W"
+          ~doc:
+            "Fleet only: weighted fair-share for a tenant (repeatable). A \
+             tenant's turn serves up to W jobs before rotating; unlisted \
+             tenants weigh 1.")
+  in
   let log_level_arg = Cli_common.log_level () in
   let log_file_arg = Cli_common.log_file () in
   let log_scrub_arg = Cli_common.log_scrub () in
@@ -448,12 +479,25 @@ let serve_cmd =
              job id with its decode, canonicalise, queue_wait, partition \
              and encode_reply spans.")
   in
-  let run socket queue_cap cache_cap timeout jobs log_level log_file log_scrub
-      trace_path verbose =
+  let run socket queue_cap cache_cap timeout jobs workers cache_dir
+      tenant_weights log_level log_file log_scrub trace_path verbose =
     setup_logs verbose;
     if queue_cap <= 0 || cache_cap <= 0 then (
       prerr_endline "fpgapart: --queue-cap and --cache-cap must be positive";
       exit 1);
+    if workers < 0 then (
+      prerr_endline "fpgapart: --workers must be >= 0";
+      exit 1);
+    if workers = 0 && (cache_dir <> None || tenant_weights <> []) then (
+      prerr_endline
+        "fpgapart: --cache-dir and --tenant-weight need a fleet (--workers N)";
+      exit 1);
+    List.iter
+      (fun (tenant, w) ->
+        if w <= 0 || String.length tenant = 0 then (
+          prerr_endline "fpgapart: --tenant-weight wants TENANT=W with W >= 1";
+          exit 1))
+      tenant_weights;
     let stop = Service.Signals.install_stop_flag () in
     (* The log channel outlives Server.run (the final server.stopped line
        lands after the drain), so it is closed on the way out, not
@@ -467,22 +511,53 @@ let serve_cmd =
       Obs.Log.to_channel ~level:log_level ~scrub:log_scrub
         (Option.value log_oc ~default:stderr)
     in
-    let cfg =
-      {
-        Service.Server.socket_path = socket;
-        queue_cap;
-        cache_cap;
-        timeout;
-        jobs;
-        log;
-        trace_path;
-      }
+    let outcome =
+      if workers = 0 then begin
+        let cfg =
+          {
+            Service.Server.socket_path = socket;
+            queue_cap;
+            cache_cap;
+            timeout;
+            jobs;
+            log;
+            trace_path;
+          }
+        in
+        let on_ready () =
+          Format.printf
+            "fpgapart: listening on %s (queue %d, cache %d, jobs %d)@." socket
+            queue_cap cache_cap jobs
+        in
+        Service.Server.run ~on_ready ~external_stop:stop cfg
+      end
+      else begin
+        let cfg =
+          {
+            Fleet.Scheduler.socket_path = socket;
+            workers;
+            worker_exe = Sys.executable_name;
+            queue_cap;
+            tenant_weights;
+            cache_cap;
+            cache_dir;
+            timeout;
+            jobs;
+            log;
+          }
+        in
+        let on_ready () =
+          Format.printf
+            "fpgapart: fleet listening on %s (%d workers, tenant queue %d, \
+             cache %d%s)@."
+            socket workers queue_cap cache_cap
+            (match cache_dir with
+            | Some d -> Printf.sprintf ", disk %s" d
+            | None -> "")
+        in
+        Fleet.Scheduler.run ~on_ready ~external_stop:stop cfg
+      end
     in
-    let on_ready () =
-      Format.printf "fpgapart: listening on %s (queue %d, cache %d, jobs %d)@."
-        socket queue_cap cache_cap jobs
-    in
-    let outcome = Service.Server.run ~on_ready ~external_stop:stop cfg in
     Option.iter close_out log_oc;
     or_die outcome;
     Format.printf "fpgapart: daemon stopped@."
@@ -491,8 +566,8 @@ let serve_cmd =
     (Cmd.info "serve" ~doc)
     Term.(
       const run $ socket_arg $ queue_cap_arg $ cache_cap_arg $ timeout_arg
-      $ jobs_arg $ log_level_arg $ log_file_arg $ log_scrub_arg $ trace_arg
-      $ verbose_arg)
+      $ jobs_arg $ workers_arg $ cache_dir_arg $ tenant_weight_arg
+      $ log_level_arg $ log_file_arg $ log_scrub_arg $ trace_arg $ verbose_arg)
 
 let submit_cmd =
   let doc =
@@ -545,67 +620,104 @@ let submit_cmd =
     | None, None -> Error "need --bench FILE or --circuit NAME"
     | Some _, Some _ -> Error "--bench and --circuit are mutually exclusive"
   in
-  let run socket bench builtin seed threshold runs no_wait =
+  let tenant_arg =
+    Arg.(
+      value & opt string "default"
+      & info [ "tenant" ] ~docv:"ID"
+          ~doc:
+            "Fair-queue tenant id (1-64 chars); a fleet scheduler \
+             ($(b,serve --workers)) shares capacity fairly across \
+             tenants, a single-process daemon ignores it.")
+  in
+  let priority_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "priority" ] ~docv:"N"
+          ~doc:"Higher-priority jobs dequeue first within the tenant.")
+  in
+  let portfolio_arg =
+    Arg.(
+      value & flag
+      & info [ "portfolio" ]
+          ~doc:
+            "Ask a fleet scheduler to race the job across idle workers \
+             with derived seeds; the first feasible-and-cheapest result \
+             wins and the losers are cancelled.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry up to $(docv) times, with jittered exponential \
+             backoff, when the daemon refuses the connection or replies \
+             $(b,overloaded) (default 0: fail fast).")
+  in
+  let run socket bench builtin seed threshold runs no_wait tenant priority
+      portfolio retries =
     let name, format, netlist = or_die (load_netlist_text bench builtin) in
     let replication = Cli_common.replication_of_threshold threshold in
     let options = Core.Kway.Options.make ~runs ~seed ~replication () in
-    let conn = or_die (Service.Client.connect socket) in
-    Fun.protect
-      ~finally:(fun () -> Service.Client.close conn)
-      (fun () ->
-        let rpc req =
-          match Service.Client.request conn req with
-          | Error msg -> Error msg
-          | Ok reply -> (
-              match Service.Client.ok_or_error reply with
-              | Ok reply -> Ok reply
-              | Error (code, msg) ->
-                  Error (Printf.sprintf "%s [%s]" msg code))
-        in
-        let reply =
-          or_die
-            (rpc
-               (Service.Protocol.Submit { name; format; netlist; options }))
-        in
-        let int_field f = Option.bind (Obs.Json.member f reply) Obs.Json.to_int in
-        let job =
-          match int_field "job" with
-          | Some id -> id
-          | None ->
-              prerr_endline "fpgapart: malformed reply (no job id)";
-              exit 1
-        in
-        let cached =
-          Option.value ~default:false
-            (Option.bind (Obs.Json.member "cached" reply) Obs.Json.to_bool)
-        in
-        if cached then (
-          Format.eprintf "job %d: cache hit@." job;
-          match Obs.Json.member "result" reply with
-          | Some doc -> print_endline (Obs.Json.to_string doc)
-          | None ->
-              prerr_endline "fpgapart: malformed reply (no result)";
-              exit 1)
-        else if no_wait then (
-          (* Bare id on stdout so scripts can capture it. *)
-          Format.eprintf "job %d queued@." job;
-          Format.printf "%d@." job)
-        else (
-          Format.eprintf "job %d queued; waiting@." job;
-          let reply =
-            or_die (rpc (Service.Protocol.Result { job; wait = true }))
-          in
-          match Obs.Json.member "result" reply with
-          | Some doc -> print_endline (Obs.Json.to_string doc)
-          | None ->
-              prerr_endline "fpgapart: malformed reply (no result)";
-              exit 1))
+    let envelope = { Service.Protocol.tenant; priority; portfolio } in
+    let rpc req =
+      let raw =
+        if retries <= 0 then Service.Client.rpc ~socket req
+        else
+          Service.Client.rpc_retry
+            ~backoff:
+              { Service.Client.Backoff.default with attempts = retries + 1 }
+            ~socket req
+      in
+      match raw with
+      | Error msg -> Error msg
+      | Ok reply -> (
+          match Service.Client.ok_or_error reply with
+          | Ok reply -> Ok reply
+          | Error (code, msg) -> Error (Printf.sprintf "%s [%s]" msg code))
+    in
+    let reply =
+      or_die
+        (rpc
+           (Service.Protocol.Submit { name; format; netlist; options; envelope }))
+    in
+    let int_field f = Option.bind (Obs.Json.member f reply) Obs.Json.to_int in
+    let job =
+      match int_field "job" with
+      | Some id -> id
+      | None ->
+          prerr_endline "fpgapart: malformed reply (no job id)";
+          exit 1
+    in
+    let cached =
+      Option.value ~default:false
+        (Option.bind (Obs.Json.member "cached" reply) Obs.Json.to_bool)
+    in
+    if cached then (
+      Format.eprintf "job %d: cache hit@." job;
+      match Obs.Json.member "result" reply with
+      | Some doc -> print_endline (Obs.Json.to_string doc)
+      | None ->
+          prerr_endline "fpgapart: malformed reply (no result)";
+          exit 1)
+    else if no_wait then (
+      (* Bare id on stdout so scripts can capture it. *)
+      Format.eprintf "job %d queued@." job;
+      Format.printf "%d@." job)
+    else (
+      Format.eprintf "job %d queued; waiting@." job;
+      let reply = or_die (rpc (Service.Protocol.Result { job; wait = true })) in
+      match Obs.Json.member "result" reply with
+      | Some doc -> print_endline (Obs.Json.to_string doc)
+      | None ->
+          prerr_endline "fpgapart: malformed reply (no result)";
+          exit 1)
   in
   Cmd.v
     (Cmd.info "submit" ~doc)
     Term.(
       const run $ socket_arg $ bench_arg $ circuit_arg $ seed_arg
-      $ threshold_arg $ runs_arg $ no_wait_arg)
+      $ threshold_arg $ runs_arg $ no_wait_arg $ tenant_arg $ priority_arg
+      $ portfolio_arg $ retries_arg)
 
 let perturb_cmd =
   let doc =
@@ -804,6 +916,23 @@ let svc_stats_cmd =
   in
   Cmd.v (Cmd.info "svc-stats" ~doc) Term.(const run $ socket_arg)
 
+let fleet_stats_cmd =
+  let doc =
+    "Print a running fleet's topology and queue state as JSON: per-worker \
+     state/pid/restarts, per-tenant queue depth and weight, in-flight \
+     count, LRU and disk-cache occupancy, and the scheduler's counters. \
+     Fails against a single-process daemon."
+  in
+  let run socket =
+    let reply = or_die (svc_rpc socket Service.Protocol.Fleet_stats) in
+    match Obs.Json.member "fleet" reply with
+    | Some fleet -> print_endline (Obs.Json.to_string fleet)
+    | None ->
+        prerr_endline "fpgapart: malformed reply (no fleet)";
+        exit 1
+  in
+  Cmd.v (Cmd.info "fleet-stats" ~doc) Term.(const run $ socket_arg)
+
 let svc_metrics_cmd =
   let doc =
     "Dump a running daemon's OpenMetrics/Prometheus text exposition to \
@@ -873,8 +1002,8 @@ let main =
     [
       list_cmd; stats_cmd; map_cmd; psi_cmd; bipartition_cmd; partition_cmd;
       convert_cmd; generate_cmd; optimize_cmd; timing_cmd; serve_cmd;
-      submit_cmd; perturb_cmd; resubmit_cmd; svc_stats_cmd; svc_metrics_cmd;
-      svc_health_cmd; svc_cancel_cmd; svc_shutdown_cmd;
+      submit_cmd; perturb_cmd; resubmit_cmd; svc_stats_cmd; fleet_stats_cmd;
+      svc_metrics_cmd; svc_health_cmd; svc_cancel_cmd; svc_shutdown_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,70 @@
+(** The fleet scheduler: one process owning the public Unix socket,
+    fanning jobs out to a pool of forked/exec'd worker processes, each a
+    full single-process service engine ({!Service.Server}) on its own
+    private socket ([<socket>.worker<i>]).
+
+    The scheduler itself is I/O-only: it parses, canonicalises and
+    digests submissions (deterministic preprocessing — the same code
+    path the workers run, so a single-worker fleet replies
+    byte-identically to the single-process daemon), but every k-way
+    computation happens inside a worker. What the scheduler adds on
+    top of the PR 4–8 engine:
+
+    - {b Batched submission}: the [submit-batch] verb carries up to
+      1024 circuits in one frame and replies per item.
+    - {b Weighted fair queuing}: jobs queue per tenant
+      ({!Fair_queue}); backpressure ([overloaded]) is per tenant, so
+      one noisy tenant cannot starve or lock out the others.
+    - {b Persistent result cache}: an in-memory LRU over a
+      {!Disk_cache}; a restart reloads the disk index, keeping the hit
+      ratio (and its byte-identical replies) across fleet restarts.
+    - {b Portfolio racing}: a submission with [portfolio = true] misses
+      the cache onto {e all currently idle} workers at dispatch time,
+      each with a derived seed ([seed + i * 65537]); the first feasible
+      result cooperatively cancels the rest and the cheapest feasible
+      one wins. Portfolio results are not cached — the winner depends
+      on racing, not only on the key.
+    - {b Supervision}: dead workers (detected by [waitpid] and by
+      health probes of idle workers) are respawned with bounded
+      exponential backoff; a job in flight on a dead worker is requeued
+      {e exactly once} — a second loss fails it with the typed
+      [worker_lost] error, so a poison job cannot crash-loop the fleet
+      while the client always gets exactly one reply.
+
+    [resubmit] is forwarded to the worker that computed the base
+    (digest affinity); its warm context lives in that worker's memory,
+    so a worker lost mid-resubmit fails with [worker_lost] rather than
+    requeueing cold under warm-lineage semantics. *)
+
+type config = {
+  socket_path : string;  (** public socket; workers get [.worker<i>] *)
+  workers : int;  (** pool size, >= 1 *)
+  worker_exe : string;
+      (** binary spawned as [<exe> serve --socket <private> ...] — the
+          CLI passes its own [Sys.executable_name] *)
+  queue_cap : int;  (** {e per-tenant} queue bound *)
+  tenant_weights : (string * int) list;
+      (** fair-share weights; unlisted tenants weigh 1 *)
+  cache_cap : int;  (** in-memory LRU entries *)
+  cache_dir : string option;  (** persistent cache directory; [None] = off *)
+  timeout : float option;  (** per-job budget, enforced by the workers *)
+  jobs : int;  (** engine domains per worker *)
+  log : Obs.Log.t;
+}
+
+val default_config :
+  socket_path:string -> workers:int -> worker_exe:string -> config
+(** [queue_cap = 64] per tenant, no pinned weights, [cache_cap = 64],
+    no disk cache, no timeout, [jobs = 1], no log. *)
+
+val run :
+  ?on_ready:(unit -> unit) ->
+  ?external_stop:(unit -> bool) ->
+  config ->
+  (unit, string) result
+(** Bind the public socket ({!Service.Server.bind_socket} semantics),
+    spawn the workers, serve until shutdown (verb or [external_stop]),
+    then drain: finish queued and in-flight jobs, shut the workers down
+    gracefully (SIGKILL stragglers), close the disk cache, unlink the
+    sockets. [on_ready] fires once the public socket listens — workers
+    may still be starting; jobs queue until they come up. *)

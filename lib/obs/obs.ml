@@ -568,7 +568,12 @@ module Metrics_export = struct
       Array.to_list (Array.mapi (fun i b -> (b, t.cumulative.(i))) t.bounds)
   end
 
-  type gauge = { g_name : string; g_help : string; g_value : float }
+  type gauge = {
+    g_name : string;
+    g_help : string;
+    g_value : float;
+    g_labels : (string * string) list;
+  }
 
   (* Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; our keys use
      '.', '/' and '-' as separators. *)
@@ -621,11 +626,31 @@ module Metrics_export = struct
       pr "# HELP %s %s\n" n (escape_help help);
       pr "# TYPE %s %s\n" n typ
     in
+    (* Labeled samples of one family share one HELP/TYPE header, so
+       callers list them consecutively (fleet per-worker/per-tenant
+       gauges do). *)
+    let last_family = ref "" in
     List.iter
       (fun g ->
         let n = family g.g_name in
-        header n "gauge" g.g_help;
-        pr "%s %s\n" n (number g.g_value))
+        if not (String.equal !last_family n) then begin
+          header n "gauge" g.g_help;
+          last_family := n
+        end;
+        let labels =
+          match g.g_labels with
+          | [] -> ""
+          | ls ->
+              "{"
+              ^ String.concat ","
+                  (List.map
+                     (fun (k, v) ->
+                       Printf.sprintf "%s=\"%s\"" (sanitize k)
+                         (escape_label v))
+                     ls)
+              ^ "}"
+        in
+        pr "%s%s %s\n" n labels (number g.g_value))
       gauges;
     (* SLO histograms are recorded in integer ms but exported in base
        units (seconds), as the exposition format prescribes. *)

@@ -260,7 +260,16 @@ module Metrics_export : sig
         the implicit [+Inf] bucket is {!count}. *)
   end
 
-  type gauge = { g_name : string; g_help : string; g_value : float }
+  type gauge = {
+    g_name : string;
+    g_help : string;
+    g_value : float;
+    g_labels : (string * string) list;
+        (** rendered as [{k="v",...}] after the family name; label names
+            are sanitized, values escaped. Samples of one family (same
+            [g_name], different labels) must be listed consecutively —
+            they share a single HELP/TYPE header. *)
+  }
   (** A point-in-time sample (queue depth, heap words…). Integral values
       render without a decimal point. *)
 

@@ -22,6 +22,43 @@ val close : conn -> unit
 val rpc : socket:string -> Protocol.request -> (Obs.Json.t, string) result
 (** [connect], one {!request}, [close]. *)
 
+(** Jittered exponential backoff schedule for {!rpc_retry}. *)
+module Backoff : sig
+  type t = {
+    attempts : int;  (** total tries, including the first *)
+    base : float;  (** first retry delay, seconds *)
+    cap : float;  (** upper bound on any single delay *)
+    jitter : float;  (** fraction of each delay randomized away, 0..1 *)
+  }
+
+  val default : t
+  (** 5 attempts, 50 ms base doubling to a 2 s cap, 0.5 jitter. *)
+
+  val delay : rand:(unit -> float) -> t -> int -> float
+  (** [delay ~rand t i] is the sleep before retry [i] (0-based):
+      [min cap (base * 2^i)] minus a uniform jitter slice drawn from
+      [rand () ∈ \[0, 1)]. *)
+
+  val schedule : ?rand:(unit -> float) -> t -> float list
+  (** All [attempts - 1] delays in order; [rand] defaults to the
+      zero-jitter constant, making the schedule deterministic. *)
+end
+
+val rpc_retry :
+  ?backoff:Backoff.t ->
+  ?sleep:(float -> unit) ->
+  ?rand:(unit -> float) ->
+  socket:string ->
+  Protocol.request ->
+  (Obs.Json.t, string) result
+(** {!rpc} with bounded retries on the two transient failures: the
+    connect being refused (daemon not up yet, or its listen backlog
+    full) and the typed [overloaded] backpressure reply. Any other
+    outcome — success or not — returns immediately. Never used
+    implicitly: plain {!rpc} stays retry-free, so byte-identity gates on
+    existing tooling are unaffected; callers opt in (the CLI gates it
+    behind [--retries]). [sleep]/[rand] exist for deterministic tests. *)
+
 val ok_or_error : Obs.Json.t -> (Obs.Json.t, string * string) result
 (** Split a reply on its ["ok"] field: [Ok reply] when true, [Error
     (code, msg)] from the ["error"] object when false (with

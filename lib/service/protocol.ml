@@ -19,13 +19,31 @@ let parse_netlist format text =
   | Blif -> Netlist.Blif.parse text
   | Verilog -> Netlist.Verilog.parse text
 
+(* The submission envelope shared by [submit] and [submit-batch]: who is
+   asking (the fair-queue tenant), how urgently (priority within the
+   tenant's queue), and whether the fleet scheduler may race the job
+   across idle workers (portfolio mode). A single-process daemon accepts
+   and ignores all three — FIFO semantics are its contract. *)
+type envelope = { tenant : string; priority : int; portfolio : bool }
+
+let default_envelope = { tenant = "default"; priority = 0; portfolio = false }
+
+type batch_item = {
+  b_name : string;
+  b_format : format;
+  b_netlist : string;
+  b_options : Core.Kway.options;
+}
+
 type request =
   | Submit of {
       name : string;
       format : format;
       netlist : string;
       options : Core.Kway.options;
+      envelope : envelope;
     }
+  | Submit_batch of { items : batch_item list; envelope : envelope }
   | Resubmit of {
       name : string;
       base : [ `Job of int | `Digest of string ];
@@ -36,14 +54,16 @@ type request =
   | Result of { job : int; wait : bool }
   | Cancel of int
   | Stats
+  | Fleet_stats
   | Metrics
   | Health
   | Shutdown
 
-(* v2 (this PR): `metrics` and `health` verbs, and a `timings` breakdown
-   object on `result`/`resubmit` replies. The gate below is strict — a v1
-   client sees `unsupported_version`, not silently missing fields. *)
-let protocol_version = 2
+(* v3 (this PR): the `submit-batch` and `fleet-stats` verbs, and the
+   tenant/priority/portfolio submission envelope. The gate below is
+   strict — a v2 client sees `unsupported_version`, not silently ignored
+   envelope fields. *)
+let protocol_version = 3
 
 let code_bad_request = "bad_request"
 let code_unsupported_version = "unsupported_version"
@@ -54,6 +74,7 @@ let code_infeasible = "infeasible"
 let code_cancelled = "cancelled"
 let code_timeout = "timeout"
 let code_shutting_down = "shutting_down"
+let code_worker_lost = "worker_lost"
 
 let ok fields = J.Obj (("ok", J.Bool true) :: fields)
 
@@ -168,20 +189,49 @@ let delta_of_json json =
       |> Result.map List.rev
   | _ -> Error "delta: missing or ill-typed \"ops\""
 
+(* Envelope fields are serialised only when they differ from the
+   defaults, so a default submit frame is byte-identical to what a plain
+   (pre-fleet) client would send modulo the version field. *)
+let envelope_fields e =
+  (if String.equal e.tenant default_envelope.tenant then []
+   else [ ("tenant", J.String e.tenant) ])
+  @ (if e.priority = default_envelope.priority then []
+     else [ ("priority", J.Int e.priority) ])
+  @ if e.portfolio = default_envelope.portfolio then []
+    else [ ("portfolio", J.Bool e.portfolio) ]
+
+let batch_item_to_json { b_name; b_format; b_netlist; b_options } =
+  J.Obj
+    [
+      ("name", J.String b_name);
+      ("format", J.String (format_to_string b_format));
+      ("netlist", J.String b_netlist);
+      ("options", Experiments.Obs_report.options_to_json b_options);
+    ]
+
 (* The options wire encoding is the stats-schema encoding
    (Obs_report.options_to_json), so a client can lift the "options"
    object straight out of a stats document and resubmit with it. *)
 let request_to_json = function
-  | Submit { name; format; netlist; options } ->
+  | Submit { name; format; netlist; options; envelope } ->
       J.Obj
-        [
-          ("v", J.Int protocol_version);
-          ("verb", J.String "submit");
-          ("name", J.String name);
-          ("format", J.String (format_to_string format));
-          ("netlist", J.String netlist);
-          ("options", Experiments.Obs_report.options_to_json options);
-        ]
+        ([
+           ("v", J.Int protocol_version);
+           ("verb", J.String "submit");
+           ("name", J.String name);
+           ("format", J.String (format_to_string format));
+           ("netlist", J.String netlist);
+           ("options", Experiments.Obs_report.options_to_json options);
+         ]
+        @ envelope_fields envelope)
+  | Submit_batch { items; envelope } ->
+      J.Obj
+        ([
+           ("v", J.Int protocol_version);
+           ("verb", J.String "submit-batch");
+           ("items", J.List (List.map batch_item_to_json items));
+         ]
+        @ envelope_fields envelope)
   | Resubmit { name; base; delta; options } ->
       let base_field =
         match base with
@@ -215,6 +265,8 @@ let request_to_json = function
   | Cancel job ->
       J.Obj [ ("v", J.Int protocol_version); ("verb", J.String "cancel"); ("job", J.Int job) ]
   | Stats -> J.Obj [ ("v", J.Int protocol_version); ("verb", J.String "stats") ]
+  | Fleet_stats ->
+      J.Obj [ ("v", J.Int protocol_version); ("verb", J.String "fleet-stats") ]
   | Metrics ->
       J.Obj [ ("v", J.Int protocol_version); ("verb", J.String "metrics") ]
   | Health ->
@@ -307,24 +359,78 @@ let rec request_of_json json =
                  v%d)"
                 protocol_version ))
 
+and envelope_of_json json =
+  let* tenant =
+    opt_field "tenant" J.to_str ~default:default_envelope.tenant json
+  in
+  let* () =
+    if String.length tenant = 0 || String.length tenant > 64 then
+      Error "field \"tenant\" must be 1..64 characters"
+    else Ok ()
+  in
+  let* priority =
+    opt_field "priority" J.to_int ~default:default_envelope.priority json
+  in
+  let* portfolio =
+    opt_field "portfolio" J.to_bool ~default:default_envelope.portfolio json
+  in
+  Ok { tenant; priority; portfolio }
+
+and submit_body_of_json json =
+  let* name = field "name" J.to_str json in
+  let* format_s = field "format" J.to_str json in
+  let* format =
+    match format_of_string format_s with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "unknown netlist format %S" format_s)
+  in
+  let* netlist = field "netlist" J.to_str json in
+  let* options =
+    match J.member "options" json with
+    | None -> Ok Core.Kway.Options.default
+    | Some o -> options_of_json o
+  in
+  Ok { b_name = name; b_format = format; b_netlist = netlist; b_options = options }
+
 and decode_request json =
   let* verb = field "verb" J.to_str json in
   match verb with
   | "submit" ->
-      let* name = field "name" J.to_str json in
-      let* format_s = field "format" J.to_str json in
-      let* format =
-        match format_of_string format_s with
-        | Some f -> Ok f
-        | None -> Error (Printf.sprintf "unknown netlist format %S" format_s)
+      let* { b_name; b_format; b_netlist; b_options } =
+        submit_body_of_json json
       in
-      let* netlist = field "netlist" J.to_str json in
-      let* options =
-        match J.member "options" json with
-        | None -> Ok Core.Kway.Options.default
-        | Some o -> options_of_json o
+      let* envelope = envelope_of_json json in
+      Ok
+        (Submit
+           {
+             name = b_name;
+             format = b_format;
+             netlist = b_netlist;
+             options = b_options;
+             envelope;
+           })
+  | "submit-batch" ->
+      let* envelope = envelope_of_json json in
+      let* items =
+        match J.member "items" json with
+        | Some (J.List l) ->
+            let n = List.length l in
+            if n = 0 then Error "field \"items\" must be non-empty"
+            else if n > 1024 then
+              Error
+                (Printf.sprintf
+                   "field \"items\" carries %d items (the limit is 1024)" n)
+            else
+              List.fold_left
+                (fun acc item ->
+                  let* acc = acc in
+                  let* item = submit_body_of_json item in
+                  Ok (item :: acc))
+                (Ok []) l
+              |> Result.map List.rev
+        | _ -> Error "missing or ill-typed field \"items\""
       in
-      Ok (Submit { name; format; netlist; options })
+      Ok (Submit_batch { items; envelope })
   | "resubmit" ->
       let* name = field "name" J.to_str json in
       let* base =
@@ -364,6 +470,7 @@ and decode_request json =
       let* job = field "job" J.to_int json in
       Ok (Cancel job)
   | "stats" -> Ok Stats
+  | "fleet-stats" -> Ok Fleet_stats
   | "metrics" -> Ok Metrics
   | "health" -> Ok Health
   | "shutdown" -> Ok Shutdown

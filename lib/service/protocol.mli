@@ -1,7 +1,7 @@
 (** The request/response vocabulary of the partition service, one layer
     above {!Codec}'s framing.
 
-    Every request is a JSON object [{"v": 2, "verb": ..., ...}]. Replies
+    Every request is a JSON object [{"v": 3, "verb": ..., ...}]. Replies
     are [{"ok": true, ...}] or [{"ok": false, "error": {"code", "msg"}}];
     the error codes are a closed vocabulary (below) so clients and the
     smoke tests can switch on them without string-matching messages.
@@ -11,8 +11,19 @@
       ["netlist"] (the full netlist text) and an optional ["options"]
       object with the result-shaping knobs in the stats-schema encoding
       ([runs], [seed], [replication], [max_passes], [fm_attempts],
-      [refine_rounds]). Reply: ["job"] id, ["state"], ["cached"], and the
-      cached ["result"] document on a cache hit.
+      [refine_rounds]). Optional envelope fields (v3): ["tenant"] (fair-
+      queue tenant id, default "default"), ["priority"] (higher runs
+      first within the tenant, default 0) and ["portfolio"] (let a fleet
+      scheduler race the job across idle workers, default false). Reply:
+      ["job"] id, ["state"], ["cached"], and the cached ["result"]
+      document on a cache hit.
+    - [submit-batch] (v3): ["items"], a non-empty array (at most 1024)
+      of submit bodies (["name"]/["format"]/["netlist"]/optional
+      ["options"]) sharing one envelope, carried in a single frame.
+      Reply: ["items"], an array of per-item reply objects in request
+      order — each either a submit reply shape or [{"error": {"code",
+      "msg"}}] (one full item failing, e.g. on a tenant queue cap, never
+      poisons its siblings).
     - [resubmit]: ["name"], a base partition reference (["base_job"] id
       {e or} ["base_digest"] content digest, exactly one), a ["delta"]
       object ([{"ops": [...]}], see {!delta_to_json}) and an optional
@@ -31,6 +42,10 @@
     - [cancel]: ["job"] — request cooperative cancellation.
     - [stats]: server counters/timers/histograms as a schema-v3
       compatible document.
+    - [fleet-stats] (v3): the fleet scheduler's view — per-worker states
+      and restart counts, per-tenant queue depths, requeue/portfolio
+      counters and disk-cache occupancy. A single-process daemon answers
+      [bad_request]: there is no fleet to describe.
     - [metrics] (v2): the server's OpenMetrics text exposition
       ({!Obs.Metrics_export}) as a ["metrics"] string field — gauges,
       SLO latency histograms, and every Obs counter/histogram.
@@ -47,13 +62,36 @@ val format_of_string : string -> format option
 
 val parse_netlist : format -> string -> (Netlist.Circuit.t, string) result
 
+type envelope = {
+  tenant : string;  (** fair-queue tenant id, 1..64 chars *)
+  priority : int;  (** higher dequeues first within the tenant *)
+  portfolio : bool;  (** race across idle fleet workers *)
+}
+(** Submission envelope (v3). A single-process daemon accepts and
+    ignores it — strict FIFO is its documented behaviour; the fleet
+    scheduler routes on it. *)
+
+val default_envelope : envelope
+(** [{tenant = "default"; priority = 0; portfolio = false}] — what an
+    envelope-less frame decodes to, and the fields {!request_to_json}
+    omits from the wire. *)
+
+type batch_item = {
+  b_name : string;
+  b_format : format;
+  b_netlist : string;
+  b_options : Core.Kway.options;
+}
+
 type request =
   | Submit of {
       name : string;
       format : format;
       netlist : string;
       options : Core.Kway.options;
+      envelope : envelope;
     }
+  | Submit_batch of { items : batch_item list; envelope : envelope }
   | Resubmit of {
       name : string;
       base : [ `Job of int | `Digest of string ];
@@ -64,6 +102,7 @@ type request =
   | Result of { job : int; wait : bool }
   | Cancel of int
   | Stats
+  | Fleet_stats
   | Metrics
   | Health
   | Shutdown
@@ -85,8 +124,9 @@ val request_of_json : Obs.Json.t -> (request, string * string) result
     option values {!Core.Kway.Options.make} rejects. *)
 
 val protocol_version : int
-(** The wire vocabulary this build speaks (2 since the observability PR:
-    [metrics]/[health] verbs and reply ["timings"]). Every request frame
+(** The wire vocabulary this build speaks (3 since the fleet PR:
+    [submit-batch]/[fleet-stats] verbs and the
+    tenant/priority/portfolio submission envelope). Every request frame
     carries it as ["v"]. *)
 
 (** {1 Error codes} *)
@@ -117,6 +157,11 @@ val code_timeout : string
 
 val code_shutting_down : string
 (** submit refused during drain *)
+
+val code_worker_lost : string
+(** a fleet worker died while running the job and its single requeue
+    credit was already spent (or the job cannot be requeued, e.g. a
+    forwarded resubmit whose warm context died with the worker) *)
 
 (** {1 Replies} *)
 

@@ -467,6 +467,31 @@ let handle_submit t ~name ~format ~netlist ~options =
                   ]
               end)
 
+(* A batch is its items submitted in order, each with the full submit
+   semantics (cache lookup, backpressure) — one frame in, one reply
+   carrying a per-item array out. An item that fails (bad netlist, queue
+   full) contributes an {"error": ...} element without poisoning its
+   siblings; the client pairs items with replies by index. *)
+let handle_submit_batch t ~items =
+  let replies =
+    List.map
+      (fun { P.b_name; b_format; b_netlist; b_options } ->
+        (* Strip the per-item "ok" tag: the batch reply carries one
+           top-level ok; an item is a submit reply shape on success and
+           an {"error": ...} object on failure. *)
+        match
+          handle_submit t ~name:b_name ~format:b_format ~netlist:b_netlist
+            ~options:b_options
+        with
+        | J.Obj (("ok", J.Bool _) :: fields) -> J.Obj fields
+        | other -> other)
+      items
+  in
+  with_lock t (fun () ->
+      Obs.incr t.obs "service.batches";
+      Obs.observe t.obs "service.batch_size" (List.length items));
+  P.ok [ ("items", J.List replies) ]
+
 let job_not_found id =
   P.error ~code:P.code_not_found (Printf.sprintf "no such job: %d" id)
 
@@ -818,7 +843,9 @@ let handle_metrics t =
         else float_of_int hits /. float_of_int (hits + misses)
       in
       let g = Gc.quick_stat () in
-      let gauge g_name g_help g_value = { ME.g_name; g_help; g_value } in
+      let gauge g_name g_help g_value =
+        { ME.g_name; g_help; g_value; g_labels = [] }
+      in
       let gauges =
         [
           gauge "queue_depth" "Jobs queued and not yet running."
@@ -895,8 +922,14 @@ let handle_shutdown t =
       P.ok [ ("stopping", J.Bool true) ])
 
 let dispatch t = function
-  | P.Submit { name; format; netlist; options } ->
+  | P.Submit { name; format; netlist; options; envelope = _ } ->
+      (* The single-process daemon accepts the v3 envelope and ignores
+         it: strict FIFO is its documented behaviour. *)
       handle_submit t ~name ~format ~netlist ~options
+  | P.Submit_batch { items; envelope = _ } -> handle_submit_batch t ~items
+  | P.Fleet_stats ->
+      P.error ~code:P.code_bad_request
+        "fleet-stats requires a fleet scheduler (serve --workers N)"
   | P.Resubmit { name; base; delta; options } ->
       handle_resubmit t ~name ~base ~delta ~options
   | P.Status id -> handle_status t id
@@ -909,6 +942,8 @@ let dispatch t = function
 
 let verb_name = function
   | P.Submit _ -> "submit"
+  | P.Submit_batch _ -> "submit-batch"
+  | P.Fleet_stats -> "fleet-stats"
   | P.Resubmit _ -> "resubmit"
   | P.Status _ -> "status"
   | P.Result _ -> "result"
@@ -968,12 +1003,36 @@ let rec handle_conn t fd =
 (* Accept loop and lifecycle                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* A SIGKILLed daemon leaves its socket file behind, and blindly
+   unlinking it would clobber a *live* daemon's socket instead. Probe
+   with connect first: success means someone is accepting on the path
+   (refuse to bind); ECONNREFUSED means nothing is listening, so the
+   file is a stale leftover and safe to unlink. *)
 let bind_socket path =
-  (match Unix.lstat path with
-  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
-  | _ -> ()
-  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let probe_existing () =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+        let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close probe with Unix.Unix_error _ -> ())
+          (fun () ->
+            match Unix.connect probe (Unix.ADDR_UNIX path) with
+            | () -> `Live
+            | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> `Stale
+            | exception Unix.Unix_error _ -> `Leave))
+    | _ -> `Leave
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> `Absent
+  in
+  match probe_existing () with
+  | `Live ->
+      Error
+        (Printf.sprintf
+           "cannot bind %s: a live daemon is already accepting on it" path)
+  | (`Stale | `Leave | `Absent) as probed ->
+      (if probed = `Stale then
+         try Unix.unlink path with Unix.Unix_error _ -> ());
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   match Unix.bind sock (Unix.ADDR_UNIX path) with
   | () ->
       Unix.listen sock 16;

@@ -77,13 +77,22 @@ val default_config : socket_path:string -> config
 (** [queue_cap = 16], [cache_cap = 64], no timeout, [jobs = 1], no log
     sink, no trace. *)
 
+val bind_socket : string -> (Unix.file_descr, string) result
+(** Bind and listen on a Unix-domain socket path. An existing socket
+    file is connect-probed first: if a daemon answers, the bind is
+    refused ([Error], never clobbering the live socket); if the connect
+    is refused, the file is a stale leftover (e.g. from a SIGKILLed
+    process) and is unlinked before binding. The fleet scheduler reuses
+    this for its public and per-worker sockets. *)
+
 val run :
   ?on_ready:(unit -> unit) ->
   ?external_stop:(unit -> bool) ->
   config ->
   (unit, string) result
-(** Bind the socket (replacing a leftover socket file), serve until
-    shutdown, clean up, return. [on_ready] fires once the socket is
+(** Bind the socket ({!bind_socket}: stale leftovers are unlinked, a
+    live daemon's socket refuses the bind), serve until shutdown, clean
+    up, return. [on_ready] fires once the socket is
     listening — tests use it to know when to connect. [external_stop] is
     polled a few times a second by the accept loop; returning [true]
     triggers the same drain as the [shutdown] verb (the CLI passes the

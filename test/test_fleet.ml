@@ -1,0 +1,635 @@
+(* Tests for the fleet layer: the weighted fair queue, the persistent
+   disk cache (including corrupt-record and torn-tail recovery), the
+   client's retry backoff, the stale-socket bind probe, batched
+   submission through the single-process engine, and the scheduler
+   end-to-end — multi-worker fan-out over real forked worker processes,
+   SIGKILL fault injection with exactly-once requeue, portfolio racing,
+   and disk-cache persistence across a fleet restart.
+
+   The end-to-end tests spawn real worker processes and need the
+   fpgapart binary; dune passes its path in FPGAPART_BIN. *)
+
+module J = Obs.Json
+module P = Service.Protocol
+module C = Service.Client
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Fair queue                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let push_ok q ~tenant ?(priority = 0) v =
+  match Fleet.Fair_queue.push q ~tenant ~priority v with
+  | Ok () -> ()
+  | Error (`Tenant_full _) -> Alcotest.fail "unexpected Tenant_full"
+
+let test_fair_queue_weights () =
+  let q =
+    Fleet.Fair_queue.create ~weights:[ ("a", 2) ] ~cap:16 ()
+  in
+  (* Backlog both tenants, then pop everything: tenant a (weight 2)
+     gets two serves per turn, b (weight 1) one. *)
+  for i = 0 to 5 do
+    push_ok q ~tenant:"a" (Printf.sprintf "a%d" i)
+  done;
+  for i = 0 to 2 do
+    push_ok q ~tenant:"b" (Printf.sprintf "b%d" i)
+  done;
+  let order =
+    List.init 9 (fun _ ->
+        match Fleet.Fair_queue.pop q with
+        | Some v -> v
+        | None -> Alcotest.fail "queue drained early")
+  in
+  Alcotest.(check (list string))
+    "2:1 interleave"
+    [ "a0"; "a1"; "b0"; "a2"; "a3"; "b1"; "a4"; "a5"; "b2" ]
+    order;
+  checkb "empty" true (Fleet.Fair_queue.pop q = None)
+
+let test_fair_queue_priorities () =
+  let q = Fleet.Fair_queue.create ~cap:16 () in
+  push_ok q ~tenant:"t" ~priority:0 "low1";
+  push_ok q ~tenant:"t" ~priority:5 "high";
+  push_ok q ~tenant:"t" ~priority:0 "low2";
+  Alcotest.(check (list string))
+    "priority desc, FIFO within" [ "high"; "low1"; "low2" ]
+    (List.init 3 (fun _ -> Option.get (Fleet.Fair_queue.pop q)));
+  (* position reports the within-tenant index. *)
+  push_ok q ~tenant:"t" ~priority:0 "x";
+  push_ok q ~tenant:"t" ~priority:9 "y";
+  checkb "position of x" true
+    (Fleet.Fair_queue.position q ~tenant:"t" (String.equal "x") = Some 1);
+  checkb "position of y" true
+    (Fleet.Fair_queue.position q ~tenant:"t" (String.equal "y") = Some 0)
+
+let test_fair_queue_backpressure () =
+  let q = Fleet.Fair_queue.create ~cap:2 () in
+  push_ok q ~tenant:"noisy" 1;
+  push_ok q ~tenant:"noisy" 2;
+  (match Fleet.Fair_queue.push q ~tenant:"noisy" ~priority:0 3 with
+  | Error (`Tenant_full d) -> checki "full depth" 2 d
+  | Ok () -> Alcotest.fail "expected Tenant_full");
+  (* The cap is per tenant: a quiet tenant is unaffected. *)
+  push_ok q ~tenant:"quiet" 1;
+  checki "total" 3 (Fleet.Fair_queue.length q);
+  checki "noisy depth" 2 (Fleet.Fair_queue.depth q "noisy");
+  checki "quiet depth" 1 (Fleet.Fair_queue.depth q "quiet")
+
+(* Conservation property: whatever mix of tenants, priorities and
+   interleaved pushes, pops return every accepted item exactly once. *)
+let test_fair_queue_conservation =
+  QCheck.Test.make ~name:"fair queue loses and duplicates nothing" ~count:100
+    QCheck.(
+      list (pair (int_range 0 4) (int_range (-3) 3)))
+    (fun pushes ->
+      let q = Fleet.Fair_queue.create ~weights:[ ("t0", 3) ] ~cap:8 () in
+      let accepted = ref [] in
+      List.iteri
+        (fun i (tenant, priority) ->
+          let tenant = Printf.sprintf "t%d" tenant in
+          match Fleet.Fair_queue.push q ~tenant ~priority i with
+          | Ok () -> accepted := i :: !accepted
+          | Error (`Tenant_full _) -> ())
+        pushes;
+      let drained = Fleet.Fair_queue.drain q in
+      List.sort compare drained = List.sort compare !accepted
+      && Fleet.Fair_queue.length q = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Disk cache                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let temp_dir () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fpgapart-fleet-%d-%d" (Unix.getpid ()) (Random.int 100000))
+  in
+  dir
+
+let open_cache dir =
+  match Fleet.Disk_cache.open_dir dir with
+  | Ok d -> d
+  | Error e -> Alcotest.fail ("disk cache: " ^ e)
+
+let doc_of_int i = J.Obj [ ("v", J.Int i); ("payload", J.String (String.make 64 'x')) ]
+
+let test_disk_cache_roundtrip () =
+  let dir = temp_dir () in
+  let d = open_cache dir in
+  for i = 1 to 20 do
+    Fleet.Disk_cache.add d (Printf.sprintf "key%d" i) (doc_of_int i)
+  done;
+  checki "len" 20 (Fleet.Disk_cache.length d);
+  checkb "find" true (Fleet.Disk_cache.find d "key7" = Some (doc_of_int 7));
+  checkb "mem" true (Fleet.Disk_cache.mem d "key20");
+  checkb "miss" true (Fleet.Disk_cache.find d "absent" = None);
+  (* First write for a key wins; a duplicate add is a no-op. *)
+  Fleet.Disk_cache.add d "key7" (doc_of_int 999);
+  checkb "dup add ignored" true
+    (Fleet.Disk_cache.find d "key7" = Some (doc_of_int 7));
+  Fleet.Disk_cache.close d;
+  (* Reload from disk: the index comes back. *)
+  let d2 = open_cache dir in
+  checki "reloaded len" 20 (Fleet.Disk_cache.length d2);
+  checkb "reloaded find" true
+    (Fleet.Disk_cache.find d2 "key13" = Some (doc_of_int 13));
+  checki "no corruption" 0 (Fleet.Disk_cache.corrupt_skipped d2);
+  Fleet.Disk_cache.close d2
+
+let test_disk_cache_corrupt_record_skipped () =
+  let dir = temp_dir () in
+  let d = open_cache dir in
+  Fleet.Disk_cache.add d "alpha" (doc_of_int 1);
+  Fleet.Disk_cache.add d "beta" (doc_of_int 2);
+  Fleet.Disk_cache.add d "gamma" (doc_of_int 3);
+  Fleet.Disk_cache.close d;
+  (* Flip one byte inside the beta record's document body. The lengths
+     still frame the record, so the scan must skip exactly that record
+     (checksum mismatch) and keep serving alpha and gamma. *)
+  let seg = Filename.concat dir "cache-0.seg" in
+  let fd = Unix.openfile seg [ Unix.O_RDWR ] 0 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let record_len = size / 3 in
+  ignore (Unix.lseek fd (record_len + (record_len / 2)) Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "!") 0 1);
+  Unix.close fd;
+  let d2 = open_cache dir in
+  checki "one record skipped" 1 (Fleet.Disk_cache.corrupt_skipped d2);
+  checki "two keys survive" 2 (Fleet.Disk_cache.length d2);
+  checkb "alpha ok" true (Fleet.Disk_cache.find d2 "alpha" = Some (doc_of_int 1));
+  checkb "gamma ok" true (Fleet.Disk_cache.find d2 "gamma" = Some (doc_of_int 3));
+  checkb "beta gone" true (Fleet.Disk_cache.find d2 "beta" = None);
+  Fleet.Disk_cache.close d2
+
+let test_disk_cache_torn_tail () =
+  let dir = temp_dir () in
+  let d = open_cache dir in
+  Fleet.Disk_cache.add d "whole" (doc_of_int 1);
+  Fleet.Disk_cache.close d;
+  (* Append half a record: a plausible header whose lengths run past
+     EOF — the crash-mid-append shape. The scan must stop at the last
+     whole record, and new writes must rotate to a fresh segment so
+     index offsets keep matching the O_APPEND write position. *)
+  let seg = Filename.concat dir "cache-0.seg" in
+  let fd = Unix.openfile seg [ Unix.O_WRONLY; Unix.O_APPEND ] 0 in
+  let torn = Bytes.make 30 '\x01' in
+  ignore (Unix.write fd torn 0 (Bytes.length torn));
+  Unix.close fd;
+  let d2 = open_cache dir in
+  checkb "whole record survives" true
+    (Fleet.Disk_cache.find d2 "whole" = Some (doc_of_int 1));
+  checkb "torn tail counted" true (Fleet.Disk_cache.corrupt_skipped d2 >= 1);
+  Fleet.Disk_cache.add d2 "fresh" (doc_of_int 2);
+  checkb "fresh key lands" true
+    (Fleet.Disk_cache.find d2 "fresh" = Some (doc_of_int 2));
+  Fleet.Disk_cache.close d2;
+  (* And the whole thing reloads cleanly again. *)
+  let d3 = open_cache dir in
+  checki "both keys" 2 (Fleet.Disk_cache.length d3);
+  checkb "fresh reloads" true
+    (Fleet.Disk_cache.find d3 "fresh" = Some (doc_of_int 2));
+  Fleet.Disk_cache.close d3
+
+(* ------------------------------------------------------------------ *)
+(* Client retry backoff                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff_schedule () =
+  let b = { C.Backoff.attempts = 5; base = 0.1; cap = 0.5; jitter = 0.5 } in
+  (* Zero jitter (the default rand) makes the schedule the pure capped
+     exponential: 0.1, 0.2, 0.4, 0.5 (capped). *)
+  let sched = C.Backoff.schedule b in
+  checki "four delays for five attempts" 4 (List.length sched);
+  List.iter2
+    (fun want got -> checkb "delay" true (abs_float (want -. got) < 1e-9))
+    [ 0.1; 0.2; 0.4; 0.5 ] sched;
+  (* Full jitter pulls each delay down by up to [jitter * delay]. *)
+  let low = C.Backoff.schedule ~rand:(fun () -> 0.999999) b in
+  List.iter2
+    (fun full jittered ->
+      checkb "jittered below full" true (jittered < full);
+      checkb "jittered above floor" true (jittered >= full *. 0.5 -. 1e-6))
+    [ 0.1; 0.2; 0.4; 0.5 ] low;
+  (* Degenerate config: one attempt means no delays. *)
+  checki "single attempt" 0
+    (List.length (C.Backoff.schedule { b with attempts = 1 }))
+
+let test_retry_connection_refused () =
+  (* No listener: rpc_retry must try [attempts] times, sleeping the
+     schedule between tries, then surface the connect error. *)
+  let sleeps = ref [] in
+  let b = { C.Backoff.attempts = 3; base = 0.01; cap = 0.1; jitter = 0.0 } in
+  let sock = Filename.temp_file "fleet-retry" ".sock" in
+  Sys.remove sock;
+  (match
+     C.rpc_retry ~backoff:b
+       ~sleep:(fun s -> sleeps := s :: !sleeps)
+       ~socket:sock P.Health
+   with
+  | Ok _ -> Alcotest.fail "expected connect failure"
+  | Error _ -> ());
+  checki "slept between attempts" 2 (List.length !sleeps)
+
+(* ------------------------------------------------------------------ *)
+(* Stale socket probe                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_stale_socket_bind () =
+  let path = Filename.temp_file "fleet-stale" ".sock" in
+  Sys.remove path;
+  (* A socket file nobody is listening on — the corpse of a SIGKILLed
+     daemon. Binding must detect it dead (connect refused) and unlink. *)
+  let corpse = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind corpse (Unix.ADDR_UNIX path);
+  Unix.close corpse;  (* closed without listen: connects are refused *)
+  checkb "corpse exists" true (Sys.file_exists path);
+  (match Service.Server.bind_socket path with
+  | Ok fd -> Unix.close fd; Sys.remove path
+  | Error e -> Alcotest.fail ("stale socket not reclaimed: " ^ e));
+  (* A live listener must NOT be clobbered. *)
+  let live = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind live (Unix.ADDR_UNIX path);
+  Unix.listen live 1;
+  (match Service.Server.bind_socket path with
+  | Ok _ -> Alcotest.fail "bound over a live daemon"
+  | Error _ -> ());
+  checkb "live socket kept" true (Sys.file_exists path);
+  Unix.close live;
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Batched submission through the single-process engine               *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_bench =
+  "INPUT(a)\nINPUT(b)\nOUTPUT(f)\nc = AND(a, b)\nf = NOT(c)\n"
+
+let temp_socket () =
+  let path = Filename.temp_file "fpgapart-fleet-test" ".sock" in
+  Sys.remove path;
+  path
+
+let with_server ?(config = fun c -> c) f =
+  let path = temp_socket () in
+  let cfg = config (Service.Server.default_config ~socket_path:path) in
+  let ready = Mutex.create () and ready_cond = Condition.create () in
+  let is_ready = ref false in
+  let on_ready () =
+    Mutex.lock ready;
+    is_ready := true;
+    Condition.broadcast ready_cond;
+    Mutex.unlock ready
+  in
+  let server_result = ref (Ok ()) in
+  let server =
+    Thread.create (fun () -> server_result := Service.Server.run ~on_ready cfg) ()
+  in
+  Mutex.lock ready;
+  while not !is_ready do
+    Condition.wait ready_cond ready
+  done;
+  Mutex.unlock ready;
+  let shutdown () =
+    (match C.rpc ~socket:path P.Shutdown with Ok _ | Error _ -> ());
+    Thread.join server
+  in
+  Fun.protect ~finally:shutdown (fun () -> f path);
+  match !server_result with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("server: " ^ e)
+
+let rpc_ok path req =
+  match C.rpc ~socket:path req with
+  | Error e -> Alcotest.fail e
+  | Ok reply -> (
+      match C.ok_or_error reply with
+      | Ok reply -> reply
+      | Error (code, msg) -> Alcotest.failf "%s [%s]" msg code)
+
+let int_field name reply =
+  match Option.bind (J.member name reply) J.to_int with
+  | Some v -> v
+  | None -> Alcotest.failf "reply lacks int field %S" name
+
+let batch_item ?(seed = 1) name netlist =
+  {
+    P.b_name = name;
+    b_format = P.Bench;
+    b_netlist = netlist;
+    b_options = Core.Kway.Options.make ~runs:1 ~seed ();
+  }
+
+let test_submit_batch_roundtrip () =
+  with_server (fun path ->
+      let reply =
+        rpc_ok path
+          (P.Submit_batch
+             {
+               items =
+                 [
+                   batch_item "one" tiny_bench;
+                   batch_item "two" tiny_bench ~seed:2;
+                   batch_item "same-as-one" tiny_bench;
+                 ];
+               envelope = P.default_envelope;
+             })
+      in
+      let items =
+        match J.member "items" reply with
+        | Some (J.List l) -> l
+        | _ -> Alcotest.fail "no items list"
+      in
+      checki "one reply per item" 3 (List.length items);
+      (* Every item got its own job id; all three deliver a result. *)
+      let ids = List.map (int_field "job") items in
+      checki "distinct ids" 3 (List.length (List.sort_uniq compare ids));
+      List.iter
+        (fun id ->
+          let r = rpc_ok path (P.Result { job = id; wait = true }) in
+          checkb "has result" true (J.member "result" r <> None))
+        ids;
+      (* The batch counters advanced. *)
+      let stats = rpc_ok path P.Stats in
+      let counters =
+        Option.get
+          (Option.bind
+             (Option.bind (J.member "stats" stats) (J.member "obs"))
+             (J.member "counters"))
+      in
+      checkb "batch counter" true
+        (match Option.bind (J.member "service.batches" counters) J.to_int with
+        | Some n -> n >= 1
+        | None -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Fleet end-to-end (real worker processes)                           *)
+(* ------------------------------------------------------------------ *)
+
+let worker_exe () =
+  match Sys.getenv_opt "FPGAPART_BIN" with
+  | Some p when Sys.file_exists p -> Some p
+  | _ ->
+      (* dune runs tests from _build/default/test. *)
+      let guess = Filename.concat (Sys.getcwd ()) "../bin/fpgapart.exe" in
+      if Sys.file_exists guess then Some guess else None
+
+let with_fleet ?(config = fun c -> c) f =
+  match worker_exe () with
+  | None -> Alcotest.skip ()
+  | Some exe ->
+      let path = temp_socket () in
+      let cfg =
+        config
+          (Fleet.Scheduler.default_config ~socket_path:path ~workers:2
+             ~worker_exe:exe)
+      in
+      let ready = Mutex.create () and ready_cond = Condition.create () in
+      let is_ready = ref false in
+      let on_ready () =
+        Mutex.lock ready;
+        is_ready := true;
+        Condition.broadcast ready_cond;
+        Mutex.unlock ready
+      in
+      let result = ref (Ok ()) in
+      let sched =
+        Thread.create (fun () -> result := Fleet.Scheduler.run ~on_ready cfg) ()
+      in
+      Mutex.lock ready;
+      while not !is_ready do
+        Condition.wait ready_cond ready
+      done;
+      Mutex.unlock ready;
+      let shutdown () =
+        (match C.rpc ~socket:path P.Shutdown with Ok _ | Error _ -> ());
+        Thread.join sched
+      in
+      Fun.protect ~finally:shutdown (fun () -> f path);
+      match !result with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("scheduler: " ^ e)
+
+let wait_workers_up path n =
+  let deadline = Unix.gettimeofday () +. 20.0 in
+  let rec loop () =
+    let up =
+      match C.rpc ~socket:path P.Health with
+      | Error _ -> 0
+      | Ok reply -> (
+          match
+            Option.bind
+              (Option.bind (J.member "health" reply) (J.member "workers_up"))
+              J.to_int
+          with
+          | Some n -> n
+          | None -> 0)
+    in
+    if up >= n then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "only %d/%d workers came up" up n
+    else begin
+      Thread.delay 0.1;
+      loop ()
+    end
+  in
+  loop ()
+
+let fleet_counters path =
+  let reply = rpc_ok path P.Fleet_stats in
+  Option.get
+    (Option.bind
+       (Option.bind (J.member "fleet" reply) (J.member "obs"))
+       (J.member "counters"))
+
+let counter name counters =
+  Option.value ~default:0 (Option.bind (J.member name counters) J.to_int)
+
+let submit_req ?(runs = 1) ?(seed = 1) ?(envelope = P.default_envelope) name =
+  P.Submit
+    {
+      name;
+      format = P.Bench;
+      netlist = tiny_bench;
+      options = Core.Kway.Options.make ~runs ~seed ();
+      envelope;
+    }
+
+let await path id =
+  let r = rpc_ok path (P.Result { job = id; wait = true }) in
+  checkb "terminal result" true (J.member "result" r <> None);
+  r
+
+let test_fleet_end_to_end () =
+  with_fleet (fun path ->
+      wait_workers_up path 2;
+      (* Miss, compute on a worker, then hit — byte-identical replies
+         come free because cached replies re-serialize the same doc. *)
+      let r1 = rpc_ok path (submit_req "e2e" ~seed:5) in
+      let id1 = int_field "job" r1 in
+      ignore (await path id1);
+      let r2 = rpc_ok path (submit_req "e2e" ~seed:5) in
+      checkb "second submit cached" true
+        (Option.bind (J.member "cached" r2) J.to_bool = Some true);
+      let c = fleet_counters path in
+      checkb "dispatched" true (counter "fleet.dispatched" c >= 1);
+      checkb "one hit" true (counter "service.cache_hit" c >= 1))
+
+let test_fleet_portfolio () =
+  with_fleet (fun path ->
+      wait_workers_up path 2;
+      let envelope = { P.tenant = "race"; priority = 0; portfolio = true } in
+      let r = rpc_ok path (submit_req "folio" ~seed:31 ~envelope) in
+      let id = int_field "job" r in
+      ignore (await path id);
+      let c = fleet_counters path in
+      checkb "raced" true (counter "fleet.portfolio_races" c >= 1);
+      (* The portfolio result must not poison the cache: resubmitting
+         without portfolio misses (portfolio winners are not cached). *)
+      let r2 = rpc_ok path (submit_req "folio" ~seed:31) in
+      checkb "portfolio result not cached" true
+        (Option.bind (J.member "cached" r2) J.to_bool = Some false);
+      ignore (await path (int_field "job" r2)))
+
+let test_fleet_kill_worker_requeues_once () =
+  with_fleet (fun path ->
+      wait_workers_up path 2;
+      (* A job slow enough to catch mid-flight: many runs of the tiny
+         circuit are still fast, so use a bigger builtin. *)
+      let big =
+        match Experiments.Suite.find "s5378" with
+        | Some e ->
+            Netlist.Bench_format.to_string
+              (Lazy.force e.Experiments.Suite.circuit)
+        | None -> Alcotest.fail "builtin s5378 missing"
+      in
+      let submit =
+        P.Submit
+          {
+            name = "victim";
+            format = P.Bench;
+            netlist = big;
+            options = Core.Kway.Options.make ~runs:6 ~seed:3 ();
+            envelope = P.default_envelope;
+          }
+      in
+      let r = rpc_ok path submit in
+      let id = int_field "job" r in
+      (* Find the busy worker's pid from fleet-stats and SIGKILL it. *)
+      let rec find_busy tries =
+        if tries = 0 then Alcotest.fail "no worker went busy"
+        else
+          let reply = rpc_ok path P.Fleet_stats in
+          let workers =
+            match
+              Option.bind (J.member "fleet" reply) (J.member "workers")
+            with
+            | Some (J.List l) -> l
+            | _ -> []
+          in
+          let busy =
+            List.find_map
+              (fun w ->
+                match Option.bind (J.member "state" w) J.to_str with
+                | Some "busy" -> Option.bind (J.member "pid" w) J.to_int
+                | _ -> None)
+              workers
+          in
+          match busy with
+          | Some pid -> pid
+          | None ->
+              Thread.delay 0.05;
+              find_busy (tries - 1)
+      in
+      let pid = find_busy 100 in
+      Unix.kill pid Sys.sigkill;
+      (* Exactly one terminal reply, with a real result: the requeue
+         ran it on the surviving worker. *)
+      ignore (await path id);
+      checkb "requeued once" true
+        (counter "service.requeues" (fleet_counters path) >= 1);
+      (* The respawn happens after the supervisor's backoff, not before
+         the job's reply — poll for it. *)
+      let deadline = Unix.gettimeofday () +. 15.0 in
+      let rec wait_restart () =
+        if counter "service.worker_restarts" (fleet_counters path) >= 1 then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "worker never respawned"
+        else begin
+          Thread.delay 0.2;
+          wait_restart ()
+        end
+      in
+      wait_restart ())
+
+let test_fleet_disk_cache_restart () =
+  match worker_exe () with
+  | None -> Alcotest.skip ()
+  | Some _ ->
+      let dir = temp_dir () in
+      let config c = { c with Fleet.Scheduler.cache_dir = Some dir } in
+      with_fleet ~config (fun path ->
+          wait_workers_up path 2;
+          let r = rpc_ok path (submit_req "persist" ~seed:77) in
+          ignore (await path (int_field "job" r)));
+      (* Same cache dir, fresh fleet: the first submission must be
+         served from disk without touching a worker. *)
+      with_fleet ~config (fun path ->
+          wait_workers_up path 2;
+          let r = rpc_ok path (submit_req "persist" ~seed:77) in
+          checkb "served from disk" true
+            (Option.bind (J.member "cached" r) J.to_bool = Some true);
+          let c = fleet_counters path in
+          checkb "disk hit counted" true
+            (counter "fleet.disk_cache_hit" c >= 1))
+
+let () =
+  Random.self_init ();
+  Alcotest.run "fleet"
+    [
+      ( "fair queue",
+        [
+          Alcotest.test_case "weighted interleave" `Quick
+            test_fair_queue_weights;
+          Alcotest.test_case "priorities and position" `Quick
+            test_fair_queue_priorities;
+          Alcotest.test_case "per-tenant backpressure" `Quick
+            test_fair_queue_backpressure;
+          QCheck_alcotest.to_alcotest test_fair_queue_conservation;
+        ] );
+      ( "disk cache",
+        [
+          Alcotest.test_case "roundtrip and reload" `Quick
+            test_disk_cache_roundtrip;
+          Alcotest.test_case "corrupt record skipped" `Quick
+            test_disk_cache_corrupt_record_skipped;
+          Alcotest.test_case "torn tail recovery" `Quick
+            test_disk_cache_torn_tail;
+        ] );
+      ( "client retry",
+        [
+          Alcotest.test_case "backoff schedule" `Quick test_backoff_schedule;
+          Alcotest.test_case "connection refused retries" `Quick
+            test_retry_connection_refused;
+        ] );
+      ( "stale socket",
+        [ Alcotest.test_case "bind probe" `Quick test_stale_socket_bind ] );
+      ( "batch",
+        [
+          Alcotest.test_case "submit-batch roundtrip" `Slow
+            test_submit_batch_roundtrip;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "end to end with cache" `Slow
+            test_fleet_end_to_end;
+          Alcotest.test_case "portfolio racing" `Slow test_fleet_portfolio;
+          Alcotest.test_case "SIGKILL worker requeues once" `Slow
+            test_fleet_kill_worker_requeues_once;
+          Alcotest.test_case "disk cache survives restart" `Slow
+            test_fleet_disk_cache_restart;
+        ] );
+    ]

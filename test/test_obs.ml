@@ -807,8 +807,28 @@ let test_openmetrics_rendering () =
         ME.g_name = "queue_depth";
         g_help = "Jobs queued\nand \\waiting.";
         g_value = 4.0;
+        g_labels = [];
       };
-      { ME.g_name = "cache_hit_ratio"; g_help = "ratio"; g_value = 0.25 };
+      {
+        ME.g_name = "cache_hit_ratio";
+        g_help = "ratio";
+        g_value = 0.25;
+        g_labels = [];
+      };
+      (* Two samples of one labeled family: one HELP/TYPE header, two
+         sample lines, label values escaped. *)
+      {
+        ME.g_name = "fleet_worker_up";
+        g_help = "Per-worker liveness.";
+        g_value = 1.0;
+        g_labels = [ ("worker", "0") ];
+      };
+      {
+        ME.g_name = "fleet_worker_up";
+        g_help = "Per-worker liveness.";
+        g_value = 0.0;
+        g_labels = [ ("worker", "a\"b") ];
+      };
     ]
   in
   let doc =
@@ -829,6 +849,26 @@ let test_openmetrics_rendering () =
     (contains ~needle:"fpgapart_queue_depth 4\n" doc);
   checkb "fractional gauge" true
     (contains ~needle:"fpgapart_cache_hit_ratio 0.25" doc);
+  (* Labeled gauges: one header per family, labels on the samples. *)
+  checkb "labeled gauge family" true
+    (contains ~needle:"# TYPE fpgapart_fleet_worker_up gauge" doc);
+  checkb "labeled gauge header appears once" true
+    (let needle = "# TYPE fpgapart_fleet_worker_up gauge" in
+     let rec count from acc =
+       match String.index_from_opt doc from '#' with
+       | None -> acc
+       | Some i ->
+           let hit =
+             i + String.length needle <= String.length doc
+             && String.sub doc i (String.length needle) = needle
+           in
+           count (i + 1) (if hit then acc + 1 else acc)
+     in
+     count 0 0 = 1);
+  checkb "labeled gauge sample" true
+    (contains ~needle:"fpgapart_fleet_worker_up{worker=\"0\"} 1\n" doc);
+  checkb "label value escaped" true
+    (contains ~needle:"fpgapart_fleet_worker_up{worker=\"a\\\"b\"} 0\n" doc);
   (* HELP newlines and backslashes are escaped per the exposition
      format. *)
   checkb "help escaped" true
@@ -865,7 +905,8 @@ let test_gauge_freshness () =
   let snap = Obs.snapshot (Obs.create ()) in
   let render v =
     ME.render
-      ~gauges:[ { ME.g_name = "queue_depth"; g_help = "d"; g_value = v } ]
+      ~gauges:
+        [ { ME.g_name = "queue_depth"; g_help = "d"; g_value = v; g_labels = [] } ]
       snap
   in
   checkb "first sample" true (contains ~needle:"fpgapart_queue_depth 2\n" (render 2.0));

@@ -174,7 +174,42 @@ let test_protocol_roundtrip () =
           format = Service.Protocol.Bench;
           netlist = "INPUT(a)\nOUTPUT(a)\n";
           options = Core.Kway.Options.make ~runs:2 ~seed:3 ();
+          envelope = Service.Protocol.default_envelope;
         };
+      Service.Protocol.Submit
+        {
+          name = "c17";
+          format = Service.Protocol.Bench;
+          netlist = "INPUT(a)\nOUTPUT(a)\n";
+          options = Core.Kway.Options.make ~runs:2 ~seed:3 ();
+          envelope =
+            { Service.Protocol.tenant = "acme"; priority = 3; portfolio = true };
+        };
+      Service.Protocol.Submit_batch
+        {
+          items =
+            [
+              {
+                Service.Protocol.b_name = "c17";
+                b_format = Service.Protocol.Bench;
+                b_netlist = "INPUT(a)\nOUTPUT(a)\n";
+                b_options = Core.Kway.Options.make ~runs:2 ~seed:3 ();
+              };
+              {
+                Service.Protocol.b_name = "c17b";
+                b_format = Service.Protocol.Bench;
+                b_netlist = "INPUT(b)\nOUTPUT(b)\n";
+                b_options = Core.Kway.Options.make ~runs:1 ~seed:7 ();
+              };
+            ];
+          envelope =
+            {
+              Service.Protocol.tenant = "batch";
+              priority = -1;
+              portfolio = false;
+            };
+        };
+      Service.Protocol.Fleet_stats;
       Service.Protocol.Status 4;
       Service.Protocol.Result { job = 9; wait = true };
       Service.Protocol.Cancel 2;
@@ -297,13 +332,15 @@ let rpc_err path req =
       | Ok _ -> Alcotest.fail "expected a protocol error"
       | Error (code, _) -> code)
 
-let submit_req ?(runs = 2) ?(seed = 1) name text =
+let submit_req ?(runs = 2) ?(seed = 1)
+    ?(envelope = Service.Protocol.default_envelope) name text =
   Service.Protocol.Submit
     {
       name;
       format = Service.Protocol.Bench;
       netlist = text;
       options = Core.Kway.Options.make ~runs ~seed ();
+      envelope;
     }
 
 let int_field name reply =

@@ -12,7 +12,9 @@
 #     parts sum to its total within tolerance;
 # (4) the scrubbed info-level log stream is byte-identical across two
 #     identical runs — the log determinism contract;
-# (5) the per-job lifecycle trace holds the complete span set per job.
+# (5) a worker fleet scrapes as valid OpenMetrics too, with the labeled
+#     per-worker gauges (fleet_worker_up{worker=...}, restarts) present;
+# (6) the per-job lifecycle trace holds the complete span set per job.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -61,7 +63,7 @@ import json, socket, struct, sys
 
 s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
 s.connect(sys.argv[1])
-req = json.dumps({"v": 2, "verb": "result", "job": 1, "wait": True}).encode()
+req = json.dumps({"v": 3, "verb": "result", "job": 1, "wait": True}).encode()
 s.sendall(struct.pack(">I", len(req)) + req)
 n = struct.unpack(">I", s.recv(4))[0]
 buf = b""
@@ -157,7 +159,7 @@ import json, sys
 
 health = json.load(open(sys.argv[1]))
 assert health["state"] == "accepting", health
-assert health["protocol_version"] == 2, health
+assert health["protocol_version"] == 3, health
 assert health["queue_cap"] == 4, health
 print("metrics check: health ok")
 PY
@@ -201,7 +203,79 @@ assert events.index("job.enqueue") < events.index("job.dequeue") \
 print(f"metrics check: logs ok ({len(events)} deterministic lines)")
 PY
 
-# 5. The lifecycle trace has the full span set on the job's lane.
+# 5. Fleet exposition: a 2-worker fleet scrapes as valid OpenMetrics
+#    too, including the per-worker and per-tenant labeled gauges the
+#    scheduler maintains on top of the shared service families.
+fsock="$tmpdir/runfleet.sock"
+"$FPGAPART" serve --socket "$fsock" --workers 2 --queue-cap 8 \
+    >/dev/null 2>&1 &
+fpid=$!
+i=0
+while [ ! -S "$fsock" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 150 ] && { echo "fleet never bound $fsock" >&2; exit 1; }
+    sleep 0.1
+done
+i=0
+while :; do
+    up=$("$FPGAPART" svc-health --socket "$fsock" 2>/dev/null \
+        | python3 -c 'import json,sys; print(json.load(sys.stdin).get("workers_up", 0))' \
+        || echo 0)
+    [ "$up" -ge 2 ] && break
+    i=$((i + 1))
+    [ "$i" -gt 150 ] && { echo "fleet workers never came up" >&2; exit 1; }
+    sleep 0.1
+done
+"$FPGAPART" submit --socket "$fsock" --bench "$tmpdir/c1355.bench" \
+    --runs 2 --seed 1 >/dev/null 2>&1
+"$FPGAPART" svc-metrics --socket "$fsock" > "$tmpdir/fleet_metrics.txt"
+"$FPGAPART" svc-shutdown --socket "$fsock" >/dev/null
+wait "$fpid"
+python3 - "$tmpdir/fleet_metrics.txt" <<'PY'
+import re, sys
+
+lines = open(sys.argv[1]).read().splitlines(keepends=True)
+assert lines and lines[-1] == "# EOF\n", "missing # EOF terminator"
+
+types = {}
+samples = {}
+name_re = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$")
+for line in lines[:-1]:
+    line = line.rstrip("\n")
+    if line.startswith("# TYPE "):
+        _, _, family, typ = line.split(" ")
+        assert family not in types, f"family {family} declared twice"
+        types[family] = typ
+    elif line.startswith("# HELP ") or not line:
+        continue
+    else:
+        m = name_re.match(line)
+        assert m, f"unparseable sample line: {line!r}"
+        name, _, labels, value = m.groups()
+        samples.setdefault(name, []).append((labels, float(value)))
+
+# Labeled per-worker gauges: one sample per worker, one TYPE line per
+# family, every worker up after the drain-free workload.
+for fam in ["fpgapart_fleet_worker_up", "fpgapart_fleet_worker_restarts"]:
+    assert types.get(fam) == "gauge", f"{fam}: {types.get(fam)}"
+    got = samples.get(fam, [])
+    workers = {dict(re.findall(r'(\w+)="([^"]*)"', l or "")).get("worker")
+               for l, _ in got}
+    assert workers == {"0", "1"}, f"{fam} worker labels: {workers}"
+up = {l: v for l, v in samples["fpgapart_fleet_worker_up"]}
+assert all(v == 1.0 for v in up.values()), up
+
+# Unlabeled fleet-level gauges ride alongside.
+assert types.get("fpgapart_fleet_workers") == "gauge", types
+assert samples["fpgapart_fleet_workers"][0][1] == 2, samples
+
+# The scheduler serves the same SLO histograms the daemon does.
+assert types.get("fpgapart_service_e2e_seconds") == "histogram", types
+print("metrics check: fleet exposition ok "
+      f"({len(types)} families, {len(up)} workers)")
+PY
+
+# 6. The lifecycle trace has the full span set on the job's lane.
 python3 - "$tmpdir/trace1.json" <<'PY'
 import json, sys
 
@@ -212,4 +286,4 @@ assert needed <= spans, f"job 1 lifecycle incomplete: {spans}"
 print("metrics check: trace ok", sorted(spans))
 PY
 
-echo "metrics check: ok (exposition, health, timings, log determinism, trace)"
+echo "metrics check: ok (exposition, health, timings, log determinism, fleet, trace)"

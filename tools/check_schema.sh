@@ -95,4 +95,34 @@ if [ -n "${SCRUB_OUT:-}" ]; then
   cp "$tmpdir/a.scrubbed" "$SCRUB_OUT"
 fi
 
+# The fleet stats document is its own artifact with its own key set:
+# per-worker lifecycle rows, per-tenant fair-queue rows, and the
+# layered (memory + disk) cache summary.
+dune build --no-print-directory bin/fpgapart.exe
+FPGAPART=_build/default/bin/fpgapart.exe
+fsock="$tmpdir/fleet.sock"
+"$FPGAPART" serve --socket "$fsock" --workers 1 \
+    --cache-dir "$tmpdir/fleetcache" >/dev/null 2>&1 &
+fpid=$!
+i=0
+while [ ! -S "$fsock" ]; do
+  i=$((i + 1))
+  [ "$i" -gt 150 ] && { echo "schema check: fleet never bound" >&2; exit 1; }
+  sleep 0.1
+done
+"$FPGAPART" fleet-stats --socket "$fsock" > "$tmpdir/fleet.json"
+"$FPGAPART" svc-shutdown --socket "$fsock" >/dev/null
+wait "$fpid" 2>/dev/null || true
+for key in \
+  '"artifact": "service.fleet_stats"' '"workers"' '"tenants"' \
+  '"queue_len"' '"tenant_cap"' '"inflight"' '"cache"' '"disk_cache"' \
+  '"restarts"' '"segments"' '"corrupt_skipped"' '"obs"'
+do
+  if ! grep -qF "$key" "$tmpdir/fleet.json"; then
+    echo "schema check: missing $key in fleet stats JSON" >&2
+    exit 1
+  fi
+done
+echo "schema check: fleet stats keys ok"
+
 echo "schema check: ok"

@@ -53,7 +53,7 @@ with open(sys.argv[1]) as f:
     health = json.load(f)
 
 assert health["state"] == "accepting", health
-assert health["protocol_version"] == 2, health
+assert health["protocol_version"] == 3, health
 assert health["queue_cap"] == 4, health
 assert health["queue_depth"] == 0, health
 assert health["inflight"] == 0, health
