@@ -566,6 +566,68 @@ let partition_stats () =
           (fields @ [ ("objectives", Experiments.Objectives.rows_to_json rows) ])
     | other -> other
   in
+  (* Flat vs multilevel rides along: the V-cycle next to the flat driver
+     on the largest bundled circuit (the quality gate — multilevel must
+     land within a few percent), plus the seeded 100k-cell Rent-profile
+     circuit only the multilevel backbone can take in seconds.
+     FPGAPART_PERF_FULL=1 widens to the million-cell profile. *)
+  let doc =
+    let module J = Obs.Json in
+    let ml = Core.Kway.Multilevel Core.Kway.Options.default_multilevel in
+    let strategy_name = function
+      | Core.Kway.Flat -> "flat"
+      | Core.Kway.Multilevel _ -> "multilevel"
+    in
+    let row ~name ~library ~strategy =
+      match Experiments.Suite.find name with
+      | None ->
+          J.Obj
+            [
+              ("circuit", J.String name);
+              ("error", J.String "unknown circuit");
+            ]
+      | Some e -> (
+          progress "multilevel row: %s (%s)..." name (strategy_name strategy);
+          let hg = Lazy.force e.Experiments.Suite.hypergraph in
+          let options = Core.Kway.Options.make ~runs:1 ~seed:1 ~strategy () in
+          match Core.Kway.partition ~options ~library hg with
+          | Error msg ->
+              J.Obj [ ("circuit", J.String name); ("error", J.String msg) ]
+          | Ok r ->
+              let s = r.Core.Kway.summary in
+              Format.printf
+                "multilevel row %s (%s): %d devices, cost %.0f, %.2fs@." name
+                (strategy_name strategy) s.Fpga.Cost.num_partitions
+                s.Fpga.Cost.total_cost r.Core.Kway.wall_secs;
+              J.Obj
+                [
+                  ("circuit", J.String name);
+                  ("options", Experiments.Obs_report.options_to_json options);
+                  ("result", Experiments.Obs_report.result_to_json r);
+                ])
+    in
+    let rows =
+      [
+        row ~name:"s38584" ~library:Fpga.Library.xc3000
+          ~strategy:Core.Kway.Flat;
+        row ~name:"s38584" ~library:Fpga.Library.xc3000 ~strategy:ml;
+      ]
+    in
+    let rows =
+      match Fpga.Library.load "bench/scale_devices.json" with
+      | Error msg ->
+          prerr_endline ("bench: multilevel: scale_devices: " ^ msg);
+          rows
+      | Ok scale ->
+          let rows = rows @ [ row ~name:"gen100k" ~library:scale ~strategy:ml ] in
+          if Sys.getenv_opt "FPGAPART_PERF_FULL" <> None then
+            rows @ [ row ~name:"gen1m" ~library:scale ~strategy:ml ]
+          else rows
+    in
+    match doc with
+    | Obs.Json.Obj fields -> Obs.Json.Obj (fields @ [ ("multilevel", J.List rows) ])
+    | other -> other
+  in
   Experiments.Obs_report.write ~path:"BENCH_partition.json" doc;
   (match speedups with
   | [] -> ()

@@ -54,6 +54,24 @@ let load_circuit bench_file builtin =
   | None, None -> Error "need --bench FILE or --circuit NAME"
   | Some _, Some _ -> Error "--bench and --circuit are mutually exclusive"
 
+(* Built-in circuits map through their suite entry, which carries
+   per-entry mapper options (the scale circuits disable disjoint CLB
+   pairing) and memoises the result; file-loaded netlists use the default
+   mapper. *)
+let load_circuit_mapped bench_file builtin =
+  match (bench_file, builtin) with
+  | None, Some name -> (
+      match Experiments.Suite.find name with
+      | Some e ->
+          Ok
+            ( Lazy.force e.Experiments.Suite.circuit,
+              Lazy.force e.Experiments.Suite.mapped )
+      | None -> Error ("unknown built-in circuit: " ^ name))
+  | _ ->
+      Result.map
+        (fun c -> (c, Techmap.Mapper.map c))
+        (load_circuit bench_file builtin)
+
 let bench_arg =
   Arg.(
     value
@@ -80,6 +98,7 @@ let trace_arg = Cli_common.trace ()
 let jobs_arg = Cli_common.jobs ()
 let objective_arg = Cli_common.objective ()
 let device_lib_arg = Cli_common.device_lib ()
+let multilevel_arg = Cli_common.multilevel ()
 
 let verbose_arg =
   Arg.(
@@ -95,8 +114,6 @@ let or_die = function
   | Error msg ->
       prerr_endline ("fpgapart: " ^ msg);
       exit 1
-
-let mapped_of c = Techmap.Mapper.map c
 
 (* ------------------------------------------------------------------ *)
 (* Subcommands                                                        *)
@@ -116,9 +133,8 @@ let list_cmd =
 let stats_cmd =
   let doc = "Circuit statistics before and after XC3000 mapping." in
   let run bench builtin =
-    let c = or_die (load_circuit bench builtin) in
+    let c, m = or_die (load_circuit_mapped bench builtin) in
     Format.printf "%a@." Netlist.Stats.pp (Netlist.Stats.compute c);
-    let m = mapped_of c in
     Format.printf "after mapping: %a@." Techmap.Mapped.pp_stats
       (Techmap.Mapped.stats m)
   in
@@ -127,8 +143,7 @@ let stats_cmd =
 let map_cmd =
   let doc = "Map a circuit into XC3000 CLBs and describe every CLB." in
   let run bench builtin =
-    let c = or_die (load_circuit bench builtin) in
-    let m = mapped_of c in
+    let _, m = or_die (load_circuit_mapped bench builtin) in
     Format.printf "%a@." Techmap.Mapped.pp_stats (Techmap.Mapped.stats m);
     Array.iter
       (fun clb ->
@@ -154,8 +169,8 @@ let map_cmd =
 let psi_cmd =
   let doc = "Replication-potential (psi) distribution of the mapped cells." in
   let run bench builtin =
-    let c = or_die (load_circuit bench builtin) in
-    let h = Techmap.Mapper.to_hypergraph (mapped_of c) in
+    let _, m = or_die (load_circuit_mapped bench builtin) in
+    let h = Techmap.Mapper.to_hypergraph m in
     Format.printf "%a@." Core.Replication_potential.pp_distribution
       (Core.Replication_potential.distribution h)
   in
@@ -167,8 +182,8 @@ let bipartition_cmd =
      replication (the paper's first experiment)."
   in
   let run bench builtin seed threshold runs =
-    let c = or_die (load_circuit bench builtin) in
-    let h = Techmap.Mapper.to_hypergraph (mapped_of c) in
+    let _, m = or_die (load_circuit_mapped bench builtin) in
+    let h = Techmap.Mapper.to_hypergraph m in
     let total = Hypergraph.total_area h in
     let replication = Cli_common.replication_of_threshold threshold in
     let cfg = Core.Fm.balance_config ~replication ~total_area:total () in
@@ -202,17 +217,17 @@ let partition_cmd =
      device cost and interconnect (the paper's main flow)."
   in
   let run bench builtin seed threshold runs jobs verbose stats_json trace
-      objective device_lib =
+      objective device_lib strategy =
     setup_logs verbose;
     let library = or_die (Cli_common.library_of_path device_lib) in
-    let c = or_die (load_circuit bench builtin) in
+    let _, m = or_die (load_circuit_mapped bench builtin) in
     let name =
       match (builtin, bench) with
       | Some n, _ -> n
       | None, Some path -> Filename.remove_extension (Filename.basename path)
       | None, None -> "circuit"
     in
-    let h = Techmap.Mapper.to_hypergraph (mapped_of c) in
+    let h = Techmap.Mapper.to_hypergraph m in
     let replication = Cli_common.replication_of_threshold threshold in
     (* SIGINT/SIGTERM raise a flag the engine polls between passes: the
        run aborts at the next boundary and the artifacts below are still
@@ -220,7 +235,7 @@ let partition_cmd =
     let should_stop = Service.Signals.install_stop_flag () in
     let options =
       Core.Kway.Options.make ~runs ~seed ~replication ~jobs ~should_stop
-        ~objective ()
+        ~objective ~strategy ()
     in
     (* One sink serves both artifacts; tracing is enabled only when a trace
        file was requested, so --stats-json alone pays no wall-clock or GC
@@ -298,7 +313,7 @@ let partition_cmd =
     Term.(
       const run $ bench_arg $ circuit_arg $ seed_arg $ threshold_arg $ runs_arg
       $ jobs_arg $ verbose_arg $ stats_json_arg $ trace_arg $ objective_arg
-      $ device_lib_arg)
+      $ device_lib_arg $ multilevel_arg)
 
 
 let convert_cmd =
@@ -364,8 +379,7 @@ let timing_cmd =
      path, with and without functional replication."
   in
   let run bench builtin seed threshold runs jobs =
-    let c = or_die (load_circuit bench builtin) in
-    let m = mapped_of c in
+    let _, m = or_die (load_circuit_mapped bench builtin) in
     let h = Techmap.Mapper.to_hypergraph m in
     let analyze label replication =
       let options = Core.Kway.Options.make ~runs ~seed ~replication ~jobs () in
@@ -654,10 +668,12 @@ let submit_cmd =
              $(b,overloaded) (default 0: fail fast).")
   in
   let run socket bench builtin seed threshold runs no_wait tenant priority
-      portfolio retries =
+      portfolio retries strategy =
     let name, format, netlist = or_die (load_netlist_text bench builtin) in
     let replication = Cli_common.replication_of_threshold threshold in
-    let options = Core.Kway.Options.make ~runs ~seed ~replication () in
+    let options =
+      Core.Kway.Options.make ~runs ~seed ~replication ~strategy ()
+    in
     let envelope = { Service.Protocol.tenant; priority; portfolio } in
     let rpc req =
       let raw =
@@ -717,7 +733,7 @@ let submit_cmd =
     Term.(
       const run $ socket_arg $ bench_arg $ circuit_arg $ seed_arg
       $ threshold_arg $ runs_arg $ no_wait_arg $ tenant_arg $ priority_arg
-      $ portfolio_arg $ retries_arg)
+      $ portfolio_arg $ retries_arg $ multilevel_arg)
 
 let perturb_cmd =
   let doc =

@@ -104,6 +104,77 @@ let objective () =
               interposer crossing."
              (String.concat ", " Fpga.Objective.names)))
 
+(* The multilevel flags assemble straight into a Kway.strategy so both
+   frontends share the validation (ratio range via a dedicated conv, the
+   counts via positive_int) and the default knobs come from one place
+   (Kway.Options.default_multilevel). The tuning flags are accepted but
+   inert without --multilevel, like --replicate's threshold shape. *)
+let ratio_conv =
+  let parse s =
+    match Arg.conv_parser Arg.float s with
+    | Ok r when r > 0.0 && r < 1.0 -> Ok r
+    | Ok r ->
+        Error
+          (`Msg (Printf.sprintf "expected a ratio in (0, 1), got %g" r))
+    | Error _ as e -> e
+  in
+  Arg.conv ~docv:"R" (parse, Arg.conv_printer Arg.float)
+
+let multilevel () =
+  let default = Core.Kway.Options.default_multilevel in
+  let flag =
+    Arg.(
+      value & flag
+      & info [ "multilevel" ]
+          ~doc:
+            "Partition via the multilevel V-cycle: coarsen the netlist by \
+             heavy-edge matching, run the k-way device-selection driver \
+             on the coarsest graph, then uncoarsen level by level with \
+             F-M refinement restricted to boundary cells. Orders of \
+             magnitude faster on large (100k+ cell) circuits; without \
+             this flag the classic flat driver runs and output is \
+             byte-identical to previous releases.")
+  in
+  let max_levels =
+    Arg.(
+      value
+      & opt positive_int default.Core.Kway.max_levels
+      & info [ "ml-max-levels" ] ~docv:"N"
+          ~doc:
+            (Printf.sprintf
+               "Coarsening depth cap for $(b,--multilevel) (default %d)."
+               default.Core.Kway.max_levels))
+  in
+  let coarsen_ratio =
+    Arg.(
+      value
+      & opt ratio_conv default.Core.Kway.coarsen_ratio
+      & info [ "ml-coarsen-ratio" ] ~docv:"R"
+          ~doc:
+            (Printf.sprintf
+               "Coarsening stall threshold in (0, 1) for \
+                $(b,--multilevel): stop when a matching round keeps at \
+                least $(docv) of the cells (default %g)."
+               default.Core.Kway.coarsen_ratio))
+  in
+  let refine_passes =
+    Arg.(
+      value
+      & opt positive_int default.Core.Kway.refine_passes
+      & info [ "ml-refine-passes" ] ~docv:"N"
+          ~doc:
+            (Printf.sprintf
+               "Boundary-restricted refinement sweeps per uncoarsening \
+                level for $(b,--multilevel) (default %d)."
+               default.Core.Kway.refine_passes))
+  in
+  let build enabled max_levels coarsen_ratio refine_passes =
+    if enabled then
+      Core.Kway.Multilevel { Core.Kway.max_levels; coarsen_ratio; refine_passes }
+    else Core.Kway.Flat
+  in
+  Term.(const build $ flag $ max_levels $ coarsen_ratio $ refine_passes)
+
 let device_lib () =
   Arg.(
     value

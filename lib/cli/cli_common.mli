@@ -45,6 +45,15 @@ val objective : unit -> Fpga.Objective.t Cmdliner.Term.t
     {!Fpga.Objective.paper}). Parsed via {!Fpga.Objective.of_name}, so an
     unknown name is a Cmdliner parse error listing the valid names. *)
 
+val multilevel : unit -> Core.Kway.strategy Cmdliner.Term.t
+(** [--multilevel] plus its tuning flags [--ml-max-levels N],
+    [--ml-coarsen-ratio R] and [--ml-refine-passes N] — the
+    {!Core.Kway.strategy} for the run. Without [--multilevel] the term
+    evaluates to [Flat] and the tuning flags are inert; with it,
+    unspecified knobs come from {!Core.Kway.Options.default_multilevel}.
+    The ratio is validated into (0, 1) and the counts positive at parse
+    time, mirroring [--jobs]. *)
+
 val device_lib : unit -> string option Cmdliner.Term.t
 (** [--device-lib FILE] — JSON device library; absent means the built-in
     XC3000 family. *)

@@ -1,11 +1,98 @@
 (* Heavy-edge matching coarsening and the multilevel V-cycle. *)
 
-let coarsen ~rng (h : Hypergraph.t) =
+(* Per-axis weight guard for a candidate merge. Cluster demand vectors are
+   the per-axis sums of their members' vectors (zero-extended), so checking
+   every axis of [cap] — not just the scalar CLB weight — keeps coarse
+   clusters packable on vector devices: a BRAM-heavy pair whose CLB sum is
+   tiny must still refuse to merge past the BRAM cap. *)
+let weight_ok ~cap (h : Hypergraph.t) c0 c1 =
+  let d0 = (Hypergraph.cell h c0).Hypergraph.demand in
+  let d1 = (Hypergraph.cell h c1).Hypergraph.demand in
+  let axis d a = if a < Array.length d then d.(a) else 0 in
+  let ok = ref true in
+  for a = 0 to Array.length cap - 1 do
+    if axis d0 a + axis d1 a > cap.(a) then ok := false
+  done;
+  !ok
+
+(* Exact pin counts of a candidate merge: what the merged cluster's
+   surface will be. Driven nets whose every pin sits inside the pair
+   internalise (a net touches at most two distinct cells when all its
+   pins are in the pair, so the check is O(1)); inputs are the distinct
+   union of both cells' input nets minus anything driven inside the
+   pair. Far tighter than the per-cell pin-count sums when the pair
+   shares support or feeds itself — exactly the high-affinity case
+   heavy-edge matching favours. Without this, coarsening of
+   region-structured circuits stalls an order of magnitude above the
+   target: the sums hit the bit-mask width while the true surfaces are
+   still small. Uses two stamps from [seen]: [stamp] marks driven
+   nets, [stamp + 1] counted inputs. *)
+let merged_pin_counts (h : Hypergraph.t) seen stamp c0 c1 =
+  let pair_internal net =
+    (not h.Hypergraph.net_external.(net))
+    &&
+    let cells = h.Hypergraph.net_cells.(net) in
+    Array.length cells <= 2
+    && Array.for_all (fun c -> c = c0 || c = c1) cells
+  in
+  let outs = ref 0 in
+  let visit_out c =
+    Array.iter
+      (fun net ->
+        if seen.(net) <> stamp then begin
+          seen.(net) <- stamp;
+          if not (pair_internal net) then Stdlib.incr outs
+        end)
+      (Hypergraph.cell h c).Hypergraph.outputs
+  in
+  visit_out c0;
+  visit_out c1;
+  let ins = ref 0 in
+  let in_stamp = stamp + 1 in
+  let visit_in c =
+    Array.iter
+      (fun net ->
+        if seen.(net) <> stamp && seen.(net) <> in_stamp then begin
+          seen.(net) <- in_stamp;
+          Stdlib.incr ins
+        end)
+      (Hypergraph.cell h c).Hypergraph.inputs
+  in
+  visit_in c0;
+  visit_in c1;
+  (!ins, !outs)
+
+(* Distinct-net count of a candidate merge: |nets(c0) ∪ nets(c1)|. Both
+   full-net arrays are memoised on the cells, so this is O(degree). *)
+let merged_net_count (h : Hypergraph.t) seen stamp c0 c1 =
+  let count = ref 0 in
+  let visit c =
+    Array.iter
+      (fun net ->
+        if seen.(net) <> stamp then begin
+          seen.(net) <- stamp;
+          Stdlib.incr count
+        end)
+      (Hypergraph.cell_nets (Hypergraph.cell h c))
+  in
+  visit c0;
+  visit c1;
+  !count
+
+let coarsen ?max_weight ?max_nets ~rng (h : Hypergraph.t) =
   let n = Hypergraph.num_cells h in
+  (* Scratch for merged_net_count, stamped per query so it never needs
+     clearing. *)
+  let seen = Array.make h.Hypergraph.num_nets (-1) in
+  let stamp = ref 0 in
   (* Connectivity scores between cells sharing nets: the classic
-     1/(pins-1) weighting so huge nets contribute little. *)
+     1/(pins-1) weighting so huge nets contribute little. Scratch
+     arrays instead of a per-cell hash table — scoring runs once per
+     cell per level and is the coarsening hot loop at 100k cells. *)
+  let score_arr = Array.make n 0.0 in
+  let touched = Array.make n (-1) in
+  let touched_len = ref 0 in
   let score_with cell =
-    let scores = Hashtbl.create 16 in
     Array.iter
       (fun net ->
         let others = h.Hypergraph.net_cells.(net) in
@@ -14,13 +101,22 @@ let coarsen ~rng (h : Hypergraph.t) =
           let w = 1.0 /. float_of_int (pins - 1) in
           Array.iter
             (fun o ->
-              if o <> cell then
-                Hashtbl.replace scores o
-                  (w +. try Hashtbl.find scores o with Not_found -> 0.0))
+              if o <> cell then begin
+                if score_arr.(o) = 0.0 then begin
+                  touched.(!touched_len) <- o;
+                  Stdlib.incr touched_len
+                end;
+                score_arr.(o) <- score_arr.(o) +. w
+              end)
             others
         end)
-      (Hypergraph.cell_nets (Hypergraph.cell h cell));
-    scores
+      (Hypergraph.cell_nets (Hypergraph.cell h cell))
+  in
+  let clear_scores () =
+    for t = 0 to !touched_len - 1 do
+      score_arr.(touched.(t)) <- 0.0
+    done;
+    touched_len := 0
   in
   let cluster_of = Array.make n (-1) in
   let order = Array.init n Fun.id in
@@ -29,29 +125,66 @@ let coarsen ~rng (h : Hypergraph.t) =
   Array.iter
     (fun cell ->
       if cluster_of.(cell) < 0 then begin
-        let scores = score_with cell in
+        score_with cell;
         let pins c =
           let cc = Hypergraph.cell h c in
           ( Array.length cc.Hypergraph.inputs,
             Array.length cc.Hypergraph.outputs )
         in
         let in0, out0 = pins cell in
+        let deg0 =
+          Array.length (Hypergraph.cell_nets (Hypergraph.cell h cell))
+        in
         let best = ref None in
-        Hashtbl.iter
-          (fun other w ->
-            (* Merged clusters must stay within the bit-mask pin budget
-               (inputs can only shrink from the sum when nets are shared,
-               so the sum is a safe over-approximation). *)
-            let in1, out1 = pins other in
-            if
-              cluster_of.(other) < 0
-              && in0 + in1 <= Bitvec.max_width
-              && out0 + out1 <= Bitvec.max_width
-            then
-              match !best with
-              | Some (_, bw) when bw >= w -> ()
-              | _ -> best := Some (other, w))
-          scores;
+        for t = 0 to !touched_len - 1 do
+          let other = touched.(t) in
+          let w = score_arr.(other) in
+          (* The score comparison runs first: guards are only evaluated
+             on candidates that would displace the incumbent, which
+             turns the O(degree) net-union count from per-candidate into
+             per-improvement. The winner is the highest-scoring
+             candidate passing every guard; equal scores keep the
+             earliest candidate in discovery order. *)
+          let improves =
+            match !best with Some (_, bw) -> w > bw | None -> true
+          in
+          if improves && cluster_of.(other) < 0 then begin
+              (* Merged clusters must stay within the bit-mask pin
+                 budget. The pin-count sums are a cheap sufficient
+                 check; when they overflow the exact distinct unions
+                 decide (shared support and internally-driven inputs
+                 both shrink the true surface well below the sums). *)
+              let in1, out1 = pins other in
+              if
+                (in0 + in1 <= Bitvec.max_width
+                 && out0 + out1 <= Bitvec.max_width
+                || (stamp := !stamp + 2;
+                    let ins, outs =
+                      merged_pin_counts h seen !stamp cell other
+                    in
+                    ins <= Bitvec.max_width && outs <= Bitvec.max_width))
+                && (match max_weight with
+                   | None -> true
+                   | Some cap -> weight_ok ~cap h cell other)
+                && (match max_nets with
+                   | None -> true
+                   | Some cap ->
+                       (* Bounds before the exact count: the union is at
+                          least max(deg0, deg1) and at most their sum. *)
+                       let deg1 =
+                         Array.length
+                           (Hypergraph.cell_nets (Hypergraph.cell h other))
+                       in
+                       deg0 + deg1 <= cap
+                       || max deg0 deg1 <= cap
+                          && ((* advance past both stamps a preceding
+                                [merged_pin_counts] may have used *)
+                              stamp := !stamp + 2;
+                              merged_net_count h seen !stamp cell other <= cap))
+              then best := Some (other, w)
+          end
+        done;
+        clear_scores ();
         let id = !next_cluster in
         incr next_cluster;
         cluster_of.(cell) <- id;
@@ -163,22 +296,44 @@ let coarsen ~rng (h : Hypergraph.t) =
   in
   (coarse, cluster_of)
 
-let multilevel_init ?(coarsest = 150) ?(max_levels = 12) ~rng cfg h =
-  let plain_cfg = { cfg with Fm.replication = `None } in
-  (* Coarsening phase. *)
+type hierarchy = {
+  coarsest : Hypergraph.t;
+  levels : (Hypergraph.t * int array) list;
+}
+
+let num_levels hier = List.length hier.levels
+
+let project_labels ~map labels =
+  Array.init (Array.length map) (fun c -> labels.(map.(c)))
+
+let hierarchy ?(coarsest = 150) ?(max_levels = 12) ?(stall_ratio = 0.9)
+    ?max_weight ?max_nets ?(wrap = fun _ f -> f ()) ~rng h =
+  (* [levels] accumulates coarsest-side-first: the head pair's map sends
+     its (fine) graph's cells into the coarsest graph's clusters, and the
+     last pair's graph is the original [h] — exactly the order an
+     uncoarsening walk consumes. *)
   let rec build levels h_cur depth =
     if Hypergraph.num_cells h_cur <= coarsest || depth >= max_levels then
       (levels, h_cur)
     else begin
-      let coarse, map = coarsen ~rng h_cur in
-      if Hypergraph.num_cells coarse >= Hypergraph.num_cells h_cur * 9 / 10
+      let coarse, map =
+        wrap depth (fun () -> coarsen ?max_weight ?max_nets ~rng h_cur)
+      in
+      if
+        float_of_int (Hypergraph.num_cells coarse)
+        >= stall_ratio *. float_of_int (Hypergraph.num_cells h_cur)
       then (levels, h_cur) (* matching stalled *)
       else build ((h_cur, map) :: levels) coarse (depth + 1)
     end
   in
   let levels, coarsest_h = build [] h 0 in
+  { coarsest = coarsest_h; levels }
+
+let multilevel_init ?(coarsest = 150) ?(max_levels = 12) ~rng cfg h =
+  let plain_cfg = { cfg with Fm.replication = `None } in
+  let hier = hierarchy ~coarsest ~max_levels ~rng h in
   (* Initial partition of the coarsest graph: random halves + F-M. *)
-  let st = Fm.random_state rng coarsest_h in
+  let st = Fm.random_state rng hier.coarsest in
   ignore (Fm.run plain_cfg st);
   (* Uncoarsening: project the assignment, refine at each level. *)
   let rec project st_coarse = function
@@ -193,4 +348,4 @@ let multilevel_init ?(coarsest = 150) ?(max_levels = 12) ~rng cfg h =
         ignore (Fm.run plain_cfg st_fine);
         project st_fine rest
   in
-  project st levels
+  project st hier.levels

@@ -1,25 +1,86 @@
-(** Multilevel bipartitioning (extension).
+(** Heavy-edge matching coarsening and coarse-graph hierarchies.
 
     The paper's 1994 flat F-M struggles on the largest circuits; the
     multilevel scheme that later became standard (coarsen by heavy-edge
     matching, partition the small graph, project and refine level by
-    level) is implemented here as an extension and ablation baseline. It
-    composes with the paper's contribution: the multilevel phase produces
-    a high-quality {e plain} bipartition, and functional replication then
-    runs on the fine graph as usual ({!Fm.run_staged}).
+    level) is implemented here. Two consumers exist: {!multilevel_init}
+    keeps the historical role of seeding a single bipartition (the bench
+    ablation baseline), and {!hierarchy} feeds the k-way V-cycle driver
+    ([Kway] with [~strategy:(Multilevel _)]).
 
-    Coarse cells are clusters: their area is the summed CLB count and
-    their per-output supports are widened to all inputs (clusters are
-    never replicated — replication happens only at the finest level, where
-    the real adjacency vectors live). *)
+    Coarse cells are clusters: their area and demand vector are the
+    per-axis sums over their members and their per-output supports are
+    widened to all inputs. Clusters are therefore {e opaque} — every
+    output depends on every input — which is why functional replication
+    is only ever re-derived at the finest levels, where the real
+    adjacency vectors live. *)
 
 val coarsen :
-  rng:Netlist.Rng.t -> Hypergraph.t -> Hypergraph.t * int array
+  ?max_weight:int array ->
+  ?max_nets:int ->
+  rng:Netlist.Rng.t ->
+  Hypergraph.t ->
+  Hypergraph.t * int array
 (** One level of heavy-edge matching: each cell merges with its most
     connected unmatched neighbour (connectivity = sum over shared nets of
     [1 / (pins - 1)]). Returns the coarse hypergraph and the fine-to-coarse
     cell map. The coarse graph has at least half as many... at most the
-    same number of cells; callers should stop when the reduction stalls. *)
+    same number of cells; callers should stop when the reduction stalls.
+
+    [max_weight] caps cluster growth {e per demand axis}: a merge is
+    refused when any axis of the summed demand vectors (zero-extended to
+    the cap's length) would exceed the cap. Because cluster demand vectors
+    are themselves per-axis sums, the cap bounds clusters across repeated
+    coarsening levels, not just one matching round.
+
+    [max_nets] caps a cluster's {e net surface}: a merge is refused when
+    the union of the pair's distinct incident nets exceeds the cap. This
+    is the knob that keeps coarse graphs partitionable under tight
+    terminal budgets — a part assembled from clusters can never cut fewer
+    nets than its clusters' surfaces allow, so once cluster surfaces
+    approach the device terminal window, F-M on the coarse graph strands
+    outside feasibility however many clusters a part gets. Across levels
+    the cap steers matching towards high net-sharing merges (the union
+    shrinks only through shared nets), compounding the heavy-edge bias.
+
+    Without either cap (the default) only the pin budget limits
+    matching. *)
+
+type hierarchy = {
+  coarsest : Hypergraph.t;
+  levels : (Hypergraph.t * int array) list;
+      (** [(fine, map)] pairs ordered coarsest-side first: the head pair's
+          [map] sends cells of its [fine] graph into clusters of
+          [coarsest], each later pair refines the previous one, and the
+          last pair's [fine] is the original input graph. Empty when the
+          input was already at or below the [coarsest] threshold. *)
+}
+
+val hierarchy :
+  ?coarsest:int ->
+  ?max_levels:int ->
+  ?stall_ratio:float ->
+  ?max_weight:int array ->
+  ?max_nets:int ->
+  ?wrap:(int -> (unit -> Hypergraph.t * int array) -> Hypergraph.t * int array) ->
+  rng:Netlist.Rng.t ->
+  Hypergraph.t ->
+  hierarchy
+(** Repeated {!coarsen} until the graph has at most [coarsest] cells
+    (default 150), [max_levels] levels exist (default 12), or matching
+    stalls (the coarse graph keeps at least [stall_ratio] of the fine
+    cells, default 0.9). [wrap] is called around each coarsening step with
+    the 0-based level index — the k-way driver passes an [Obs.span] so
+    per-level [coarsenN] timings land in the trace. *)
+
+val num_levels : hierarchy -> int
+
+val project_labels : map:int array -> int array -> int array
+(** [project_labels ~map coarse_labels] pulls a per-cluster labelling down
+    one level: fine cell [c] gets [coarse_labels.(map.(c))]. Projection
+    preserves per-label areas, demand vectors and cut exactly — coarsening
+    drops only nets internal to one cluster, which are internal to one
+    label by construction. *)
 
 val multilevel_init :
   ?coarsest:int ->

@@ -23,6 +23,14 @@ type result = {
 
 let never_stop () = false
 
+type multilevel = {
+  max_levels : int;
+  coarsen_ratio : float;
+  refine_passes : int;
+}
+
+type strategy = Flat | Multilevel of multilevel
+
 type options = {
   runs : int;
   seed : int;
@@ -33,6 +41,7 @@ type options = {
   jobs : int;
   should_stop : unit -> bool;
   objective : Fpga.Objective.t;
+  strategy : strategy;
 }
 
 (* The objective's F-M preferences are structural variants (lib/fpga sits
@@ -53,6 +62,9 @@ let cancelled = "cancelled"
 module Options = struct
   type t = options
 
+  let default_multilevel =
+    { max_levels = 12; coarsen_ratio = 0.9; refine_passes = 2 }
+
   let default =
     {
       runs = 5;
@@ -64,14 +76,15 @@ module Options = struct
       jobs = 1;
       should_stop = never_stop;
       objective = Fpga.Objective.paper;
+      strategy = Flat;
     }
 
   let make ?(runs = default.runs) ?(seed = default.seed)
       ?(replication = default.replication) ?(max_passes = default.max_passes)
       ?(fm_attempts = default.fm_attempts)
       ?(refine_rounds = default.refine_rounds) ?(jobs = default.jobs)
-      ?(should_stop = default.should_stop) ?(objective = default.objective) ()
-      =
+      ?(should_stop = default.should_stop) ?(objective = default.objective)
+      ?(strategy = default.strategy) () =
     (* Fail loudly at construction: a zero or negative budget otherwise
        surfaces far downstream as "no feasible partition" (runs = 0), an
        empty restart loop (fm_attempts = 0) or a pool that silently runs
@@ -91,6 +104,16 @@ module Options = struct
         (Printf.sprintf
            "Kway.Options.make: refine_rounds must be non-negative (got %d)"
            refine_rounds);
+    (match strategy with
+    | Flat -> ()
+    | Multilevel m ->
+        positive "max_levels" m.max_levels;
+        positive "refine_passes" m.refine_passes;
+        if not (m.coarsen_ratio > 0.0 && m.coarsen_ratio < 1.0) then
+          invalid_arg
+            (Printf.sprintf
+               "Kway.Options.make: coarsen_ratio must be in (0, 1) (got %g)"
+               m.coarsen_ratio));
     {
       runs;
       seed;
@@ -101,6 +124,7 @@ module Options = struct
       jobs;
       should_stop;
       objective;
+      strategy;
     }
 end
 
@@ -195,7 +219,7 @@ let try_device ~opts ~attempt_jobs ~rng ~obs rest (dev : Fpga.Device.t) =
     Option.map snd !best
   end
 
-let run_once ~library ~opts ~attempt_jobs ~rng ~obs hg =
+let run_once ~library ~opts ~attempt_jobs ?device_limit ~rng ~obs hg =
   let obj = opts.objective in
   (* Cheapest device accepting a whole subcircuit: the paper's scalar
      test verbatim under [Primary], per-axis windows under [Vector]. *)
@@ -257,9 +281,21 @@ let run_once ~library ~opts ~attempt_jobs ~rng ~obs hg =
              the split with the best local cost efficiency (price of the
              device actually used per CLB covered), ties by cut. *)
           let step = List.length parts in
+          (* [device_limit] (multilevel coarse stage only): stop evaluating
+             candidate devices once that many feasible splits exist. The
+             list is in cost-efficiency order, so the first feasible
+             candidates are the ones the rate ranking below would almost
+             always pick anyway; on a ~k-device decomposition this turns
+             k × |library| F-M searches into ~k × limit. [None] (the flat
+             path) evaluates every device, byte-identical to before. *)
           let candidates =
             Obs.span obs (Printf.sprintf "split%d" step) (fun () ->
-                List.filter_map
+                let enough acc =
+                  match device_limit with
+                  | Some l -> List.length acc >= l
+                  | None -> false
+                in
+                let consider =
                   (fun dev ->
                     let attempt =
                       Obs.span obs ("dev-" ^ dev.Fpga.Device.name) (fun () ->
@@ -320,7 +356,16 @@ let run_once ~library ~opts ~attempt_jobs ~rng ~obs hg =
                         Some
                           ( (rate, Partition_state.cut st),
                             (dev, st, clbs, iobs, used) ))
-                  (Fpga.Library.by_efficiency library))
+                in
+                let rec gather acc = function
+                  | [] -> List.rev acc
+                  | _ when enough acc -> List.rev acc
+                  | dev :: devs -> (
+                      match consider dev with
+                      | None -> gather acc devs
+                      | Some c -> gather (c :: acc) devs)
+                in
+                gather [] (Fpga.Library.by_efficiency library))
           in
           match
             List.sort (fun (ka, _) (kb, _) -> compare ka kb) candidates
@@ -493,6 +538,16 @@ let refine ~opts ~obs ?dirty hg library parts =
   let k = Array.length parts in
   if k < 2 then Array.to_list parts
   else begin
+    (* Each [refine_pair] hauls every net touching the pair into an
+       induced subgraph, so on net-heavy graphs (coarse multilevel
+       clusters retain most of the original nets) the per-pair F-M gets
+       a tighter pass budget. Paper-suite graphs sit far below the
+       threshold and keep the caller's budget. *)
+    let opts =
+      if hg.Hypergraph.num_nets > 16384 then
+        { opts with max_passes = min opts.max_passes 4 }
+      else opts
+    in
     let net_counts =
       match dirty with
       | None -> None
@@ -543,7 +598,13 @@ let refine ~opts ~obs ?dirty hg library parts =
             l)
         touch;
       (* Most-connected pairs first; cap the sweep so refinement stays a
-         small fraction of the driver's own cost on many-part results. *)
+         small fraction of the driver's own cost on many-part results.
+         Each [refine_pair] hauls every net touching the pair into an
+         induced subgraph, so on net-heavy graphs (coarse multilevel
+         clusters carry most of the original nets) the sweep narrows to
+         the k best-connected pairs — the sorted order ensures those
+         carry most of the recoverable gain. Paper-suite graphs stay
+         far below the net threshold and keep the wide sweep. *)
       let pairs =
         Hashtbl.fold (fun p n acc -> (n, p) :: acc) shared []
         |> List.sort (fun a b -> compare b a)
@@ -599,6 +660,212 @@ let refine ~opts ~obs ?dirty hg library parts =
     Array.to_list parts
   end
 
+(* ------------------------------------------------------------------ *)
+(* Greedy boundary k-way refinement                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic greedy passes moving whole cells to the neighbouring
+   part that most reduces total terminal usage (eq. 2), under the fixed
+   per-part device windows. The multilevel walk uses this at scale:
+   [refine_pair] builds an induced subgraph and runs multi-pass F-M per
+   part pair, which is superlinear in level size, while a greedy sweep
+   costs O(pins) per pass — the only refinement shape that survives
+   100k-cell levels. Only [dirty] cells (the projected boundary) are
+   candidates; cells whose outputs are split across parts (replication
+   inherited from a coarser level) never move. Devices are kept as-is:
+   cell moves cannot make a part outgrow its device (the windows are
+   checked per move), and cheapening is the flat driver's job. *)
+let greedy_refine ~opts ~obs ~dirty ~rounds hg parts =
+  let parts = Array.of_list parts in
+  let k = Array.length parts in
+  if k < 2 then Array.to_list parts
+  else begin
+    let n = Hypergraph.num_cells hg in
+    let nn = hg.Hypergraph.num_nets in
+    let full_of c =
+      Bitvec.full (Array.length (Hypergraph.cell hg c).Hypergraph.outputs)
+    in
+    (* cell -> owning part; -2 marks split outputs (immovable). *)
+    let owner = Array.make n (-1) in
+    Array.iteri
+      (fun j p ->
+        List.iter
+          (fun (c, m) ->
+            if Bitvec.equal m (full_of c) && owner.(c) = -1 then
+              owner.(c) <- j
+            else owner.(c) <- -2)
+          p.members)
+      parts;
+    (* Per-part pin counts on every net, flattened [j * nn + net]. *)
+    let cnt = Array.make (k * nn) 0 in
+    Array.iteri
+      (fun j p ->
+        List.iter
+          (fun (c, m) ->
+            let cell = Hypergraph.cell hg c in
+            let nets =
+              if owner.(c) >= 0 then Hypergraph.cell_nets cell
+              else Hypergraph.connected_nets cell ~out_mask:m
+            in
+            Array.iter
+              (fun nt -> cnt.((j * nn) + nt) <- cnt.((j * nn) + nt) + 1)
+              nets)
+          p.members)
+      parts;
+    let touchers = Array.make nn 0 in
+    for nt = 0 to nn - 1 do
+      for j = 0 to k - 1 do
+        if cnt.((j * nn) + nt) > 0 then touchers.(nt) <- touchers.(nt) + 1
+      done
+    done;
+    let ext = hg.Hypergraph.net_external in
+    (* Live terminal counts per part (kept in sync with every move). *)
+    let terms = Array.make k 0 in
+    for j = 0 to k - 1 do
+      for nt = 0 to nn - 1 do
+        if cnt.((j * nn) + nt) > 0 && (ext.(nt) || touchers.(nt) >= 2) then
+          terms.(j) <- terms.(j) + 1
+      done
+    done;
+    let clbs = Array.map (fun p -> p.clbs) parts in
+    let used = Array.map (fun p -> Array.copy p.used) parts in
+    let max_clbs = Array.map (fun p -> Fpga.Device.max_clbs p.device) parts in
+    let res_max =
+      Array.map (fun p -> res_max_of opts.objective p.device) parts
+    in
+    let max_terms =
+      Array.map (fun p -> p.device.Fpga.Device.terminals) parts
+    in
+    (* Terminal delta for parts [i] (source) and [j] (target) when the
+       full cell [c] moves. Every other part keeps its pins and at
+       least as many co-touchers on each affected net, so only these
+       two change. *)
+    let deltas nets i j =
+      let di = ref 0 and dj = ref 0 in
+      Array.iter
+        (fun nt ->
+          let ci = cnt.((i * nn) + nt) and cj = cnt.((j * nn) + nt) in
+          let tc = touchers.(nt) in
+          let tc' =
+            tc - (if ci = 1 then 1 else 0) + (if cj = 0 then 1 else 0)
+          in
+          let outside tc = ext.(nt) || tc >= 2 in
+          if outside tc then Stdlib.decr di;
+          if ci > 1 && outside tc' then Stdlib.incr di;
+          if cj > 0 && outside tc then Stdlib.decr dj;
+          if outside tc' then Stdlib.incr dj)
+        nets;
+      (!di, !dj)
+    in
+    let adjacent = Array.make k false in
+    for round = 1 to rounds do
+      let moved = ref 0 in
+      let shed = ref 0 in
+      Obs.span obs (Printf.sprintf "greedy%d" round) (fun () ->
+          for c = 0 to n - 1 do
+            let i = owner.(c) in
+            if dirty.(c) && i >= 0 && not (opts.should_stop ()) then begin
+              let cell = Hypergraph.cell hg c in
+              let nets = Hypergraph.cell_nets cell in
+              let cands = ref [] in
+              Array.iter
+                (fun nt ->
+                  for j = 0 to k - 1 do
+                    if (not adjacent.(j)) && cnt.((j * nn) + nt) > 0 then begin
+                      adjacent.(j) <- true;
+                      if j <> i then cands := j :: !cands
+                    end
+                  done)
+                nets;
+              Array.fill adjacent 0 k false;
+              let a = cell.Hypergraph.area in
+              let d = cell.Hypergraph.demand in
+              let best = ref None in
+              List.iter
+                (fun j ->
+                  let di, dj = deltas nets i j in
+                  let fits =
+                    clbs.(j) + a <= max_clbs.(j)
+                    && clbs.(i) - a >= 1
+                    && terms.(j) + dj <= max_terms.(j)
+                    && terms.(i) + di <= max_terms.(i)
+                    && (let caps = res_max.(j) in
+                        let ok = ref true in
+                        for ax = 0 to Array.length caps - 1 do
+                          let dem = if ax < Array.length d then d.(ax) else 0 in
+                          if used.(j).(ax) + dem > caps.(ax) then ok := false
+                        done;
+                        !ok)
+                  in
+                  if fits && di + dj < 0 then
+                    match !best with
+                    | Some (_, _, bsum) when bsum <= di + dj -> ()
+                    | _ -> best := Some (j, (di, dj), di + dj))
+                (List.rev !cands)
+              ;
+              match !best with
+              | None -> ()
+              | Some (j, (di, dj), sum) ->
+                  owner.(c) <- j;
+                  clbs.(i) <- clbs.(i) - a;
+                  clbs.(j) <- clbs.(j) + a;
+                  for ax = 0 to Array.length d - 1 do
+                    used.(i).(ax) <- used.(i).(ax) - d.(ax);
+                    used.(j).(ax) <- used.(j).(ax) + d.(ax)
+                  done;
+                  terms.(i) <- terms.(i) + di;
+                  terms.(j) <- terms.(j) + dj;
+                  Array.iter
+                    (fun nt ->
+                      let ii = (i * nn) + nt and jj = (j * nn) + nt in
+                      cnt.(ii) <- cnt.(ii) - 1;
+                      if cnt.(ii) = 0 then touchers.(nt) <- touchers.(nt) - 1;
+                      if cnt.(jj) = 0 then touchers.(nt) <- touchers.(nt) + 1;
+                      cnt.(jj) <- cnt.(jj) + 1)
+                    nets;
+                  Stdlib.incr moved;
+                  shed := !shed - sum
+            end
+          done);
+      if Obs.enabled obs then begin
+        Obs.incr obs ~by:!moved "kway.greedy_moves";
+        Obs.event obs "kway.greedy_round"
+          [
+            ("round", Obs.Json.Int round);
+            ("moved", Obs.Json.Int !moved);
+            ("terminals_shed", Obs.Json.Int !shed);
+          ]
+      end
+    done;
+    (* Split-output masks stay with their original parts. *)
+    let split = Hashtbl.create 16 in
+    Array.iteri
+      (fun j p ->
+        List.iter
+          (fun (c, m) -> if owner.(c) = -2 then Hashtbl.replace split (j, c) m)
+          p.members)
+      parts;
+    Array.to_list
+      (Array.mapi
+         (fun j p ->
+           let members = ref [] in
+           for c = n - 1 downto 0 do
+             if owner.(c) = j then members := (c, full_of c) :: !members
+             else if owner.(c) = -2 then
+               match Hashtbl.find_opt split (j, c) with
+               | Some m -> members := (c, m) :: !members
+               | None -> ()
+           done;
+           {
+             p with
+             members = !members;
+             clbs = clbs.(j);
+             iobs = terms.(j);
+             used = used.(j);
+           })
+         parts)
+  end
+
 let summarize_parts hg parts =
   let placements =
     List.map
@@ -620,16 +887,34 @@ let summarize_parts hg parts =
   in
   (summary, replicated, Hypergraph.num_cells hg)
 
+(* Package externally produced parts as a result (for [check]ing a
+   partition built by hand, e.g. a projected labelling in the property
+   tests). The clocks and run counters describe no search, so they are
+   zero/one. *)
+let result_of_parts hg parts =
+  let summary, replicated, total = summarize_parts hg parts in
+  {
+    parts;
+    summary;
+    replicated_cells = replicated;
+    total_cells = total;
+    wall_secs = 0.0;
+    cpu_secs = 0.0;
+    runs = 1;
+    feasible_runs = 1;
+  }
+
 (* One multi-start run, self-contained: its own RNG derived from
    (seed, run index) and a private forked sink, so runs can execute on any
    domain in any order. The returned sink holds the run's whole telemetry,
    the ["kway.run"] summary event included. *)
-let run_trial ~library ~options ~attempt_jobs ~obs hg r =
+let run_trial ~library ~options ~attempt_jobs ?device_limit ~obs hg r =
   let child = Obs.fork ~pid:r ~track:(Parallel.Pool.worker_id ()) obs in
   let rng = Netlist.Rng.create (options.seed + (r * 7919)) in
   let outcome =
     Obs.span child (Printf.sprintf "run%d" r) (fun () ->
-        run_once ~library ~opts:options ~attempt_jobs ~rng ~obs:child hg)
+        run_once ~library ~opts:options ~attempt_jobs ?device_limit ~rng
+          ~obs:child hg)
   in
   if Obs.enabled child then Obs.incr child "kway.runs";
   match outcome with
@@ -658,7 +943,7 @@ let run_trial ~library ~options ~attempt_jobs ~obs hg r =
       end;
       (child, Some (parts, summary, replicated, total))
 
-let partition ?(obs = Obs.noop) ?(options = Options.default) ~library hg =
+let flat_partition ?device_limit ~obs ~options ~library hg =
   let w0 = Obs.Clock.wall () in
   let t0 = Obs.Clock.cpu () in
   let jobs = max 1 options.jobs in
@@ -669,7 +954,7 @@ let partition ?(obs = Obs.noop) ?(options = Options.default) ~library hg =
   in
   let trials =
     Parallel.Pool.run ~jobs options.runs
-      (run_trial ~library ~options ~attempt_jobs ~obs hg)
+      (run_trial ~library ~options ~attempt_jobs ?device_limit ~obs hg)
   in
   (* Merging the private sinks in run order reproduces the sequential event
      stream exactly; the winner fold below applies the sequential
@@ -943,6 +1228,356 @@ let warm_start ?(obs = Obs.noop) ?(options = Options.default) ~library ~warm hg
               feasible_runs = 1;
             }
   end
+
+(* ------------------------------------------------------------------ *)
+(* Multilevel V-cycle                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Materialise a whole-cell labelling into parts — the uncoarsening step
+   of the V-cycle, also exported for the projection property tests. The
+   accounting mirrors [warm_start]'s: per-part CLB/demand sums, IOBs
+   recounted from net touchers, devices kept unless the part outgrew them
+   (then the cheapest accepting device, lower window relaxed). Labels
+   carry no replication: every cell sits whole in its labelled part. *)
+let project_parts ?(options = Options.default) ~library ~labels
+    ~(devices : Fpga.Device.t array) hg =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let n = Hypergraph.num_cells hg in
+  let k = Array.length devices in
+  if Array.length labels <> n then
+    err "Kway.project_parts: labels cover %d cells, hypergraph has %d"
+      (Array.length labels) n
+  else if k = 0 then err "Kway.project_parts: empty device array"
+  else if Array.exists (fun l -> l < 0 || l >= k) labels then
+    err "Kway.project_parts: label out of range (only %d devices)" k
+  else begin
+    let parts_on_net = Array.make hg.Hypergraph.num_nets [] in
+    let clbs = Array.make k 0 in
+    let used = Array.make_matrix k Hypergraph.demand_arity 0 in
+    for c = 0 to n - 1 do
+      let cell = Hypergraph.cell hg c in
+      let p = labels.(c) in
+      clbs.(p) <- clbs.(p) + cell.Hypergraph.area;
+      let d = cell.Hypergraph.demand in
+      for a = 0 to Array.length d - 1 do
+        used.(p).(a) <- used.(p).(a) + d.(a)
+      done;
+      Array.iter
+        (fun nt ->
+          match parts_on_net.(nt) with
+          | q :: _ when q = p -> ()
+          | l -> if not (List.mem p l) then parts_on_net.(nt) <- p :: l)
+        (Hypergraph.cell_nets cell)
+    done;
+    let members = Array.make k [] in
+    for c = n - 1 downto 0 do
+      let full =
+        Bitvec.full (Array.length (Hypergraph.cell hg c).Hypergraph.outputs)
+      in
+      members.(labels.(c)) <- (c, full) :: members.(labels.(c))
+    done;
+    let iobs = Array.make k 0 in
+    Array.iteri
+      (fun nt touchers ->
+        List.iter
+          (fun j ->
+            let outside =
+              hg.Hypergraph.net_external.(nt)
+              || List.exists (fun q -> q <> j) touchers
+            in
+            if outside then iobs.(j) <- iobs.(j) + 1)
+          touchers)
+      parts_on_net;
+    let rec build p acc =
+      if p < 0 then Ok acc
+      else if members.(p) = [] then build (p - 1) acc
+      else
+        let cl = clbs.(p) and io = iobs.(p) in
+        let dev =
+          match options.objective.Fpga.Objective.feasibility with
+          | Fpga.Objective.Primary ->
+              if Fpga.Device.fits ~relax_low:true devices.(p) ~clbs:cl ~iobs:io
+              then Some devices.(p)
+              else
+                Fpga.Library.smallest_fitting ~relax_low:true library ~clbs:cl
+                  ~iobs:io
+          | Fpga.Objective.Vector ->
+              if
+                Fpga.Device.fits_demand ~relax_low:true devices.(p)
+                  ~demand:used.(p) ~iobs:io
+              then Some devices.(p)
+              else
+                Fpga.Library.smallest_fitting_demand ~relax_low:true library
+                  ~demand:used.(p) ~iobs:io
+        in
+        match dev with
+        | None ->
+            err "Kway.project_parts: no device accepts part %d (%d CLBs / %d \
+                 IOBs)"
+              p cl io
+        | Some device ->
+            build (p - 1)
+              ({ device; members = members.(p); clbs = cl; iobs = io;
+                 used = used.(p) }
+              :: acc)
+    in
+    build (k - 1) []
+  end
+
+(* Per-axis cluster weight caps for the coarsening: a fraction of the
+   {e smallest} per-axis device window in the library, so even a part on
+   the cheapest device is assembled from several clusters and the coarse
+   F-M retains packing freedom — capping by the largest window lets one
+   cluster swallow half an XC3090, which no XC3030-sized part can then
+   accept, and the IOB windows become unreachable at that granularity.
+   Under the paper's scalar feasibility only the CLB axis binds
+   (secondary axes are never checked there, and capping them would refuse
+   merges the model cannot reject); under vector feasibility every demand
+   axis is capped so coarse clusters stay placeable. *)
+let cluster_caps library (objective : Fpga.Objective.t) =
+  let devices = Fpga.Library.devices library in
+  let arity = Hypergraph.demand_arity in
+  let caps = Array.make arity max_int in
+  (* Devices without a resource (axis cap 0) don't constrain that axis:
+     parts needing it simply never land there. *)
+  let min_positive_axis f =
+    List.fold_left
+      (fun acc d ->
+        let v = f d in
+        if v > 0 then min acc v else acc)
+      max_int devices
+  in
+  let cap_of v = if v = max_int then max_int else max 1 (v / 4) in
+  caps.(0) <- cap_of (min_positive_axis Fpga.Device.max_clbs);
+  (match objective.Fpga.Objective.feasibility with
+  | Fpga.Objective.Primary -> ()
+  | Fpga.Objective.Vector ->
+      for a = 1 to arity - 1 do
+        caps.(a) <-
+          cap_of
+            (min_positive_axis (fun d ->
+                 let dc = Fpga.Device.demand_caps d in
+                 if a < Array.length dc then dc.(a) else 0))
+      done);
+  caps
+
+(* The V-cycle: coarsen under the weight caps, run the flat
+   heterogeneous-device k-way on the coarsest graph, then project the
+   labelling down level by level, refining each level with F-M restricted
+   to the boundary cells (the warm-start [active] machinery). Functional
+   replication only participates at the finest levels: coarse clusters
+   are opaque (every output depends on every input), so replication above
+   them has no adjacency slack to exploit — the RePart argument. *)
+let repl_fine_levels = 2
+
+(* Above this many cells in the finest graph, the V-cycle refines with
+   the greedy boundary mover instead of pairwise F-M: the pairwise
+   sweep costs an induced-subgraph F-M per part pair per level and
+   stops being affordable somewhere past a few thousand cells. Every
+   paper-suite circuit maps below the cap, so their refinement — and
+   results — are untouched. *)
+let pairwise_refine_cap = 4096
+
+let multilevel_run ~obs ~(options : options) ~ml ~library hg =
+  let w0 = Obs.Clock.wall () in
+  let t0 = Obs.Clock.cpu () in
+  let total = Hypergraph.total_area hg in
+  let devices = Fpga.Library.devices library in
+  let fold_windows op init =
+    List.fold_left (fun acc d -> op acc (max 1 (Fpga.Device.max_clbs d))) init
+      devices
+  in
+  let largest = fold_windows max 1 in
+  let smallest = fold_windows min max_int in
+  (* Lower bound on the part count (everything on the largest device):
+     drives the budget switch below. *)
+  let k_est = max 1 ((total + largest - 1) / largest) in
+  (* Upper bound (everything on the smallest device): drives the coarsest
+     size, because the driver may well choose many small devices (they are
+     often the cost-efficient pick under tight IOB windows) and the coarse
+     F-M needs ~8 movable clusters per part to hit device windows. *)
+  let k_upper = max 1 ((total + smallest - 1) / smallest) in
+  let coarsest_target = max 150 (8 * k_upper) in
+  (* Net-surface cap: the library's smallest terminal budget bounds how
+     much net surface a cluster may accumulate before coarse F-M strands
+     outside every device's terminal window — a part assembled from
+     clusters cannot cut fewer nets than its clusters' surfaces allow, so
+     quality falls off a cliff (2-4x device cost) once surfaces pass
+     roughly a tenth of the budget. The divisor is calibrated on the MCNC
+     suite against the flat driver: /9 keeps every circuit within 5% of
+     flat cost (most below it); /6 already tips s38584 over the cliff.
+     Generous terminal budgets (modern multi-thousand-pin parts) leave the
+     cap slack, letting coarsening run deep — which is exactly when deep
+     coarsening is safe. *)
+  let smallest_terminals =
+    List.fold_left
+      (fun acc (d : Fpga.Device.t) -> min acc d.Fpga.Device.terminals)
+      max_int devices
+  in
+  let max_nets = max 4 (smallest_terminals / 9) in
+  let rng = Netlist.Rng.create options.seed in
+  let hier =
+    Coarsen.hierarchy ~coarsest:coarsest_target ~max_levels:ml.max_levels
+      ~stall_ratio:ml.coarsen_ratio
+      ~max_weight:(cluster_caps library options.objective)
+      ~max_nets
+      ~wrap:(fun d f -> Obs.span obs (Printf.sprintf "coarsen%d" d) f)
+      ~rng hg
+  in
+  if Obs.enabled obs then begin
+    let rec emit depth = function
+      | [] -> ()
+      | (fine, _) :: rest ->
+          let coarse =
+            match rest with (nf, _) :: _ -> nf | [] -> hier.Coarsen.coarsest
+          in
+          let fc = Hypergraph.num_cells fine in
+          let cc = Hypergraph.num_cells coarse in
+          Obs.incr obs "ml.level";
+          Obs.observe obs "ml.cells_per_level" fc;
+          (* Percentage: the histogram buckets are integer-valued. *)
+          Obs.observe obs "ml.coarsen_ratio" (100 * cc / max 1 fc);
+          Obs.event obs "ml.coarsen"
+            [
+              ("level", Obs.Json.Int depth);
+              ("fine_cells", Obs.Json.Int fc);
+              ("coarse_cells", Obs.Json.Int cc);
+            ];
+          emit (depth + 1) rest
+    in
+    emit 0 (List.rev hier.Coarsen.levels);
+    Obs.observe obs "ml.cells_per_level"
+      (Hypergraph.num_cells hier.Coarsen.coarsest)
+  end;
+  if hier.Coarsen.levels = [] then
+    (* Already at coarse scale: the V-cycle adds nothing, run flat. *)
+    flat_partition ~obs ~options ~library hg
+  else begin
+    (* Coarse-stage budgets. At small k over a well-contracted graph the
+       caller's budgets apply unchanged; when the decomposition is wide
+       (large k) or coarsening stalled far from its target (many coarse
+       cells per eventual part — dense graphs pin-bound by the cluster
+       mask width), the split loop is O(k · n_coarse) per device per
+       restart per run, so the search narrows (one run, one restart, two
+       candidate devices per split, capped passes) and quality is
+       recovered by the per-level refinement below. The switch depends
+       only on the device library and the graph — deterministic. The 512
+       threshold clears the paper-suite circuits by ~2x (their coarse
+       graphs stay under ~260 cells per part), so their budgets — and
+       results — are untouched. *)
+    let cells_per_part =
+      Hypergraph.num_cells hier.Coarsen.coarsest / max 1 k_est
+    in
+    let coarse_options, device_limit =
+      if k_est <= 16 && cells_per_part <= 512 then
+        ({ options with strategy = Flat; replication = `None }, None)
+      else
+        ( {
+            options with
+            strategy = Flat;
+            replication = `None;
+            runs = 1;
+            fm_attempts = 1;
+            max_passes = min options.max_passes 6;
+            refine_rounds = min options.refine_rounds 1;
+          },
+          Some 2 )
+    in
+    match
+      flat_partition ?device_limit ~obs ~options:coarse_options ~library
+        hier.Coarsen.coarsest
+    with
+    | Error _ as e -> e
+    | Ok coarse_res ->
+        let nlev = List.length hier.Coarsen.levels in
+        let rec walk idx cur_h cur_parts = function
+          | [] -> Ok cur_parts
+          | (fine, map) :: rest ->
+              if options.should_stop () then Error cancelled
+              else begin
+                let coarse_labels, coarse_repl =
+                  labels_of_parts cur_h cur_parts
+                in
+                let labels = Coarsen.project_labels ~map coarse_labels in
+                let devices =
+                  Array.of_list (List.map (fun p -> p.device) cur_parts)
+                in
+                match project_parts ~options ~library ~labels ~devices fine with
+                | Error _ as e -> e
+                | Ok parts ->
+                    let dirty = Hypergraph.boundary fine ~labels in
+                    (* A cluster replicated at the coarser level was
+                       collapsed to its dominant part by labels_of_parts;
+                       mark its cells dirty so refinement re-decides the
+                       replication at this level's adjacency. *)
+                    if Array.exists Fun.id coarse_repl then
+                      Array.iteri
+                        (fun c cl -> if coarse_repl.(cl) then dirty.(c) <- true)
+                        map;
+                    let level_repl =
+                      if idx >= nlev - repl_fine_levels then options.replication
+                      else `None
+                    in
+                    let opts =
+                      {
+                        options with
+                        replication = level_repl;
+                        refine_rounds = ml.refine_passes;
+                      }
+                    in
+                    let parts =
+                      Obs.span obs (Printf.sprintf "refine%d" idx) (fun () ->
+                          if Hypergraph.num_cells hg <= pairwise_refine_cap
+                          then refine ~opts ~obs ~dirty fine library parts
+                          else
+                            greedy_refine ~opts ~obs ~dirty
+                              ~rounds:ml.refine_passes fine parts)
+                    in
+                    if Obs.enabled obs then
+                      Obs.event obs "ml.refine"
+                        [
+                          ("level", Obs.Json.Int idx);
+                          ("cells", Obs.Json.Int (Hypergraph.num_cells fine));
+                          ( "dirty",
+                            Obs.Json.Int
+                              (Array.fold_left
+                                 (fun a d -> if d then a + 1 else a)
+                                 0 dirty) );
+                          ("parts", Obs.Json.Int (List.length parts));
+                        ];
+                    walk (idx + 1) fine parts rest
+              end
+        in
+        (match walk 0 hier.Coarsen.coarsest coarse_res.parts hier.Coarsen.levels with
+        | Error _ as e -> e
+        | Ok parts ->
+            let summary, replicated, total_cells = summarize_parts hg parts in
+            let wall_secs = Obs.Clock.wall () -. w0 in
+            let cpu_secs = Obs.Clock.cpu () -. t0 in
+            if options.should_stop () then Error cancelled
+            else begin
+              Log.info (fun m ->
+                  m "multilevel (%d levels, %d coarse cells): %a" nlev
+                    (Hypergraph.num_cells hier.Coarsen.coarsest)
+                    Fpga.Cost.pp_summary summary);
+              Ok
+                {
+                  parts;
+                  summary;
+                  replicated_cells = replicated;
+                  total_cells;
+                  wall_secs;
+                  cpu_secs;
+                  runs = coarse_options.runs;
+                  feasible_runs = coarse_res.feasible_runs;
+                }
+            end)
+  end
+
+let partition ?(obs = Obs.noop) ?(options = Options.default) ~library hg =
+  match options.strategy with
+  | Flat -> flat_partition ~obs ~options ~library hg
+  | Multilevel ml -> multilevel_run ~obs ~options ~ml ~library hg
 
 let check hg result =
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in

@@ -50,6 +50,27 @@ type result = {
   feasible_runs : int;
 }
 
+type multilevel = {
+  max_levels : int;     (** coarsening depth cap (levels of the hierarchy) *)
+  coarsen_ratio : float;
+      (** stall threshold in (0, 1): coarsening stops when one matching
+          round keeps at least this fraction of the cells *)
+  refine_passes : int;
+      (** boundary-restricted refinement sweeps per uncoarsening level
+          (becomes [refine_rounds] for the per-level pairwise F-M) *)
+}
+
+type strategy =
+  | Flat  (** the classic driver: device-window F-M splits on the full
+              hypergraph — the default, byte-identical to the
+              pre-multilevel code path *)
+  | Multilevel of multilevel
+      (** V-cycle: coarsen by heavy-edge matching under per-axis cluster
+          weight caps, run the flat driver on the coarsest graph, then
+          project labels down level by level, refining each level with
+          F-M restricted to boundary cells. Functional replication is
+          applied only at the finest {!repl_fine_levels} levels. *)
+
 type options = {
   runs : int;          (** multi-start count (the paper generates 5
                            feasible partitions per run) *)
@@ -85,6 +106,11 @@ type options = {
           device test). Unlike [jobs]/[should_stop] it {e is} part of the
           result's identity, so the service serialises its [name] into
           options fingerprints and digests. *)
+  strategy : strategy;
+      (** {!Flat} (default) or {!Multilevel}. Like [objective] it is part
+          of the result's identity and is serialised (only when not
+          [Flat], so existing flat stats and digests stay
+          byte-identical). *)
 }
 (** @deprecated Constructing this record literally is deprecated: every new
     knob (like [jobs] or [should_stop]) is a breaking change for literal
@@ -103,7 +129,12 @@ module Options : sig
 
   val default : t
   (** 5 runs, seed 1, no replication, 10 passes, 3 attempts, 1 refinement
-      sweep, 1 job. *)
+      sweep, 1 job, flat strategy. *)
+
+  val default_multilevel : multilevel
+  (** 12 levels, stall ratio 0.9, 2 refinement passes per level — the
+      knobs [Multilevel default_multilevel] enables when the caller gives
+      no numbers (the CLI's bare [--multilevel]). *)
 
   val make :
     ?runs:int ->
@@ -115,6 +146,7 @@ module Options : sig
     ?jobs:int ->
     ?should_stop:(unit -> bool) ->
     ?objective:Fpga.Objective.t ->
+    ?strategy:strategy ->
     unit ->
     t
   (** Every argument defaults to its {!default} value, so adding future
@@ -124,7 +156,9 @@ module Options : sig
       or [jobs] is non-positive, or [refine_rounds] is negative: a bad
       budget otherwise fails far downstream ([runs = 0] surfaces as "no
       feasible partition", [fm_attempts = 0] as an empty restart loop)
-      where the cause is unrecoverable from the symptom. *)
+      where the cause is unrecoverable from the symptom. A [Multilevel]
+      strategy additionally requires positive [max_levels] and
+      [refine_passes] and a [coarsen_ratio] strictly inside [(0, 1)]. *)
 end
 
 val default_options : options
@@ -137,6 +171,20 @@ val partition :
   Hypergraph.t ->
   (result, string) Stdlib.result
 (** [Error] when no run produces a fully feasible k-way partition.
+
+    Dispatches on [options.strategy]: [Flat] runs the classic driver
+    described above; [Multilevel] coarsens first ({!Coarsen.hierarchy}
+    under per-axis cluster weight caps of half the largest device
+    window), runs the flat driver on the coarsest graph (with narrowed
+    search budgets when the estimated device count exceeds 16), then
+    uncoarsens V-cycle style — {!project_parts} per level, then pairwise
+    F-M refinement restricted to the labelling's boundary cells (the
+    warm-start [active] machinery), with [refine_passes] sweeps per
+    level. Multilevel telemetry adds counter ["ml.level"], histograms
+    ["ml.cells_per_level"] / ["ml.coarsen_ratio"] (percent), events
+    ["ml.coarsen"] / ["ml.refine"], and spans ["coarsen<l>"] /
+    ["refine<l>"]; the flat path emits none of these, and its event
+    stream is byte-identical to the pre-multilevel driver.
 
     With a collecting [obs] (default {!Obs.noop}: record nothing, cost
     nothing), the driver emits its full telemetry: each multi-start run
@@ -161,6 +209,36 @@ val partition :
     with [Obs.fork ~pid]) and [tid] the {!Parallel.Pool.worker_id} of the
     domain that executed it — lanes shape the trace only, never the
     scrubbed stats. *)
+
+val repl_fine_levels : int
+(** Number of finest uncoarsening levels (2) at which a [Multilevel] run
+    honours [options.replication]; every coarser level refines with
+    replication forced off, because coarse clusters are opaque (every
+    output depends on every input — see {!Coarsen}) and so offer
+    functional replication no adjacency slack to exploit. *)
+
+val result_of_parts : Hypergraph.t -> part list -> result
+(** Wrap a part list into a {!result} by recounting the summary and
+    replication figures from the members ([wall_secs]/[cpu_secs] zero,
+    [runs = feasible_runs = 1]) — the shape {!check} expects. Used by the
+    projection tests and the multilevel driver's level hand-offs. *)
+
+val project_parts :
+  ?options:options ->
+  library:Fpga.Library.t ->
+  labels:int array ->
+  devices:Fpga.Device.t array ->
+  Hypergraph.t ->
+  (part list, string) Stdlib.result
+(** Materialise a whole-cell labelling into parts — the uncoarsening step
+    of the V-cycle. [labels.(c)] indexes [devices]; every cell joins its
+    labelled part with its full output mask (no replication). Per-part
+    CLB/demand sums and IOBs are recounted from scratch; each part keeps
+    its given device when that still fits (lower utilisation window
+    relaxed, as {!check} allows) and otherwise takes the cheapest
+    accepting device under [options.objective]'s feasibility mode.
+    [Error] on a malformed labelling or when some part fits no library
+    device. *)
 
 val labels_of_parts : Hypergraph.t -> part list -> int array * bool array
 (** Flatten a finished partition to per-cell form for projection onto an

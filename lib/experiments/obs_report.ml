@@ -1,10 +1,20 @@
 module J = Obs.Json
 
-let schema_version = 5
+let schema_version = 6
 
 let replication_to_json = function
   | `None -> J.String "none"
   | `Functional t -> J.Obj [ ("functional_threshold", J.Int t) ]
+
+let strategy_to_json = function
+  | Core.Kway.Flat -> J.String "flat"
+  | Core.Kway.Multilevel m ->
+      J.Obj
+        [
+          ("max_levels", J.Int m.Core.Kway.max_levels);
+          ("coarsen_ratio", J.Float m.Core.Kway.coarsen_ratio);
+          ("refine_passes", J.Int m.Core.Kway.refine_passes);
+        ]
 
 (* [jobs] is deliberately absent: it is an execution knob that never
    shapes the result, and omitting it is what lets the determinism gate
@@ -22,6 +32,11 @@ let options_to_json (o : Core.Kway.options) =
          service's options fingerprint — the md5 of this rendering —
          separates cache entries produced under different objectives. *)
       ("objective", J.String o.Core.Kway.objective.Fpga.Objective.name);
+      (* New in v6: the partitioning strategy. "flat" or the multilevel
+         knob object; part of the fingerprint for the same reason as
+         [objective] — a flat and a multilevel run of one circuit are
+         different results. *)
+      ("strategy", strategy_to_json o.Core.Kway.strategy);
     ]
 
 let part_to_json (p : Core.Kway.part) =

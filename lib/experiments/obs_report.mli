@@ -1,13 +1,15 @@
 (** Aggregation of partitioning telemetry into the stable JSON document
     behind [fpgapart partition --stats-json] and [BENCH_partition.json].
 
-    Schema (version 5) of a per-circuit document:
-    - ["schema_version"]: [5];
+    Schema (version 6) of a per-circuit document:
+    - ["schema_version"]: [6];
     - ["circuit"], ["seed"]: identification;
     - ["options"]: the {!Core.Kway.options} used ([runs], [seed],
-      [replication], [max_passes], [fm_attempts], [refine_rounds] and —
-      new in v5 — ["objective"], the {!Fpga.Objective} name, which is part
-      of the result's identity and therefore of the service's options
+      [replication], [max_passes], [fm_attempts], [refine_rounds],
+      new in v5 ["objective"] — the {!Fpga.Objective} name — and new in
+      v6 ["strategy"] — ["flat"] or the multilevel knob object
+      [{max_levels; coarsen_ratio; refine_passes}]; both are part of
+      the result's identity and therefore of the service's options
       fingerprint). [jobs] is deliberately omitted: it is an execution
       knob that never shapes the result, and its absence is what lets the
       determinism gate require byte-identical scrubbed documents across

@@ -26,4 +26,9 @@ val all : unit -> entry list
     work. *)
 
 val find : string -> entry option
-(** Look up by [name] (without the [*]). *)
+(** Look up by [name] (without the [*]). Beyond {!all}, two scale
+    circuits resolve here by name only: [gen100k] and [gen1m],
+    hierarchical Rent-profile circuits of ~100k and ~1M mapped cells
+    ({!Netlist.Generator.scale}). They are deliberately not part of
+    {!all} — suite-wide runners iterate it and would grow 100x — and
+    exist for the multilevel perf gates and explicit CLI requests. *)

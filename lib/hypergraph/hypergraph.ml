@@ -226,6 +226,20 @@ let total_demand h =
     h.cells;
   acc
 
+let boundary h ~labels =
+  if Array.length labels <> num_cells h then
+    invalid_arg "Hypergraph.boundary: labels do not cover the cells";
+  let flags = Array.make (num_cells h) false in
+  Array.iter
+    (fun cells ->
+      if Array.length cells > 1 then begin
+        let l0 = labels.(cells.(0)) in
+        if Array.exists (fun c -> labels.(c) <> l0) cells then
+          Array.iter (fun c -> flags.(c) <- true) cells
+      end)
+    h.net_cells;
+  flags
+
 let max_cell_degree h =
   Array.fold_left (fun acc c -> max acc (Array.length (cell_nets c))) 0 h.cells
 

@@ -104,6 +104,13 @@ val connected_nets_traditional : cell -> out_mask:Bitvec.t -> int array
 val pins : t -> int
 (** Total pin count (all cell input and output pins). *)
 
+val boundary : t -> labels:int array -> bool array
+(** [boundary h ~labels] flags every cell incident to a net whose cells
+    carry at least two distinct labels — the cells whose moves can change
+    the cut of the labelling. Cells on single-label (internal) nets only
+    are left unflagged, external or not: an external net touched by one
+    part costs the same IOB wherever that part's cells sit. O(pins). *)
+
 val validate : t -> (unit, string) result
 
 (** {1 Derived hypergraphs} *)

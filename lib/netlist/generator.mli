@@ -60,6 +60,38 @@ val clustered : ?name:string -> clustered_params -> Circuit.t
     the result is always combinationally acyclic. Every primary input is
     used and every declared output is driven. *)
 
+type scale_params = {
+  sc_gates : int;             (** total combinational gates (the knob that
+                                  sets circuit size; mapped CLB-cell count
+                                  comes out at roughly half of
+                                  [gates + flip-flops]) *)
+  sc_block_gates : int;       (** gates per leaf block *)
+  sc_blocks_per_region : int; (** leaf blocks per region *)
+  sc_dffs_per_block : int;    (** flip-flops per leaf block *)
+  sc_region_imports : int;    (** signals imported into each block's pool *)
+  sc_global_fraction : float; (** share of imports from the global pool
+                                  (the rest come from the block's region) *)
+  sc_rent_exponent : float;   (** Rent exponent [r] of the pad count *)
+  sc_rent_coeff : float;      (** Rent coefficient [c]:
+                                  [pads = c * gates^r] each way *)
+  sc_seed : int;
+}
+
+val default_scale : scale_params
+(** 200k gates in 56-gate blocks, 24 blocks per region, Rent pads
+    [1.6 * gates^0.5] — the gen100k profile (~100k mapped cells). *)
+
+val scale : ?name:string -> scale_params -> Circuit.t
+(** Two-level hierarchical random circuit for the 100k-1M cell range:
+    leaf blocks (local random DAGs over imports and their own flip-flop
+    outputs, as in {!clustered}) grouped into regions; block imports are
+    mostly region-local with a [sc_global_fraction] minority from a global
+    export pool, and pad counts follow Rent's rule, so the connectivity
+    profile tracks the paper's Table II shape as size scales. Sequential
+    feedback flows through flip-flop [D] pins only (combinationally
+    acyclic); every primary input is read and every output driven.
+    Deterministic in the parameters and O([sc_gates]). *)
+
 val random : rng:Rng.t -> ?name:string -> num_inputs:int -> num_gates:int ->
   num_dff:int -> num_outputs:int -> unit -> Circuit.t
 (** Unstructured random circuit for property-based tests: arbitrary gate

@@ -295,6 +295,25 @@ let replication_of_json = function
       | None -> Error "ill-typed field \"replication\"")
   | _ -> Error "ill-typed field \"replication\""
 
+(* Mirrors Obs_report.strategy_to_json: "flat", or an object carrying
+   the multilevel knobs (absent knobs take the library defaults). *)
+let strategy_of_json = function
+  | J.String "flat" -> Ok Core.Kway.Flat
+  | J.Obj _ as o ->
+      let dm = Core.Kway.Options.default_multilevel in
+      let* max_levels =
+        opt_field "max_levels" J.to_int ~default:dm.Core.Kway.max_levels o
+      in
+      let* coarsen_ratio =
+        opt_field "coarsen_ratio" J.to_float ~default:dm.Core.Kway.coarsen_ratio
+          o
+      in
+      let* refine_passes =
+        opt_field "refine_passes" J.to_int ~default:dm.Core.Kway.refine_passes o
+      in
+      Ok (Core.Kway.Multilevel { Core.Kway.max_levels; coarsen_ratio; refine_passes })
+  | _ -> Error "ill-typed field \"strategy\""
+
 let options_of_json json =
   let d = Core.Kway.Options.default in
   let* runs = opt_field "runs" J.to_int ~default:d.Core.Kway.runs json in
@@ -319,9 +338,14 @@ let options_of_json json =
     | Some (J.String s) -> Fpga.Objective.of_name s
     | Some _ -> Error "ill-typed field \"objective\""
   in
+  let* strategy =
+    match J.member "strategy" json with
+    | None -> Ok d.Core.Kway.strategy
+    | Some s -> strategy_of_json s
+  in
   match
     Core.Kway.Options.make ~runs ~seed ~replication ~max_passes ~fm_attempts
-      ~refine_rounds ~objective ()
+      ~refine_rounds ~objective ~strategy ()
   with
   | options -> Ok options
   | exception Invalid_argument msg -> Error msg

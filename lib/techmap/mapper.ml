@@ -1,14 +1,18 @@
 type options = {
   lut_inputs : int;
   pair : bool;
+  pair_disjoint : bool;
 }
 
-let default_options = { lut_inputs = 4; pair = true }
+let default_options = { lut_inputs = 4; pair = true; pair_disjoint = true }
 
 let map ?(options = default_options) c =
   let decomposed = Decompose.run c in
   let cover = Cover.run ~k:options.lut_inputs decomposed in
-  let mapped = Pack.run ~pair:options.pair decomposed cover in
+  let mapped =
+    Pack.run ~pair:options.pair ~pair_disjoint:options.pair_disjoint
+      decomposed cover
+  in
   match Mapped.validate mapped with
   | Ok () -> mapped
   | Error msg -> invalid_arg ("Mapper.map: produced an illegal netlist: " ^ msg)

@@ -7,6 +7,13 @@
 type options = {
   lut_inputs : int;   (** LUT input budget; 4 for XC3000 *)
   pair : bool;        (** pack two outputs per CLB when they fit *)
+  pair_disjoint : bool;
+      (** let the pairing fall back to slots sharing {e no} input nets
+          when nothing better fits. Saves CLBs (the paper's device sizes
+          reward every saved cell) but each such CLB welds two unrelated
+          logic cones together; the scale suite turns it off because tens
+          of thousands of random welds erase the Rent profile the
+          partitioner is being measured on. *)
 }
 
 val default_options : options

@@ -11,7 +11,7 @@ type slot = {
 
 let identity_table = 0b10 (* f(x) = x *)
 
-let run ?(pair = true) c cover =
+let run ?(pair = true) ?(pair_disjoint = true) c cover =
   let num = Circuit.num_nodes c in
   let is_po = Array.make num false in
   Array.iter (fun o -> is_po.(o) <- true) c.Circuit.outputs;
@@ -165,11 +165,27 @@ let run ?(pair = true) c cover =
             (i :: (try Hashtbl.find by_net n with Not_found -> [])))
         sorted_nets.(i)
     done;
-    let small_slots =
-      List.filter
-        (fun i -> Array.length sorted_nets.(i) <= 2)
-        (List.init n_slots Fun.id)
+    (* Small slots (≤ 2 inputs) bucketed by input count, ascending slot
+       index, with a lazily advancing cursor per bucket. Scanning every
+       small slot for every candidate (the obvious formulation) is
+       O(slots x small-slots) — the pairing then dominates the whole
+       mapping at 100k+ cells. Only a bucket's first live member can ever
+       win from this pool, so considering just the heads is exact: a
+       candidate sharing a net with the current slot is already reached
+       through [by_net] (repeat consideration of the same slot cannot
+       displace an equal (shared, union) incumbent), and among the
+       zero-shared remainder the union size depends only on the bucket, so
+       the earliest live member beats every deeper one under the
+       keep-first tie-break. *)
+    let small_buckets =
+      let buckets = Array.make 3 [] in
+      for i = n_slots - 1 downto 0 do
+        let ni = Array.length sorted_nets.(i) in
+        if ni <= 2 then buckets.(ni) <- i :: buckets.(ni)
+      done;
+      Array.map Array.of_list buckets
     in
+    let cursors = Array.make 3 0 in
     for i = 0 to n_slots - 1 do
       if partner.(i) = -1 then begin
         let nets_i = sorted_nets.(i) in
@@ -189,7 +205,30 @@ let run ?(pair = true) c cover =
         Array.iter
           (fun n -> List.iter consider (Hashtbl.find by_net n))
           nets_i;
-        if ni + 2 <= Mapped.max_inputs then List.iter consider small_slots;
+        if pair_disjoint && ni + 2 <= Mapped.max_inputs then
+          for b = 0 to 2 do
+            let arr = small_buckets.(b) in
+            let len = Array.length arr in
+            (* Matched slots never revive, so the cursor only moves
+               forward; the scans below are amortised O(1). *)
+            while
+              cursors.(b) < len && partner.(arr.(cursors.(b))) <> -1
+            do
+              cursors.(b) <- cursors.(b) + 1
+            done;
+            if cursors.(b) < len then begin
+              let head = arr.(cursors.(b)) in
+              if head <> i then consider head
+              else begin
+                (* The head is the slot being matched: its first live
+                   successor stands in (without moving the cursor — [i]
+                   itself is still live). *)
+                let k = ref (cursors.(b) + 1) in
+                while !k < len && partner.(arr.(!k)) <> -1 do incr k done;
+                if !k < len then consider arr.(!k)
+              end
+            end
+          done;
         match !best with
         | Some (j, _, _) ->
             partner.(i) <- j;

@@ -9,7 +9,11 @@
       inputs. Pairing produces the two-output cells whose per-output
       supports drive functional replication. *)
 
-val run : ?pair:bool -> Netlist.Circuit.t -> Cover.cover -> Mapped.t
+val run :
+  ?pair:bool -> ?pair_disjoint:bool -> Netlist.Circuit.t -> Cover.cover ->
+  Mapped.t
 (** [run c cover] packs the cover of the (decomposed) circuit [c].
     [pair] defaults to [true]; with [false] every output gets its own CLB
-    (ablation baseline). *)
+    (ablation baseline). [pair_disjoint] (default [true]) additionally
+    allows pairing slots that share no input nets when their pin counts
+    fit; see {!Mapper.options}. *)

@@ -753,6 +753,143 @@ let test_multilevel_init_quality () =
   checkb "multilevel at least competitive" true
     (float_of_int ml <= 1.1 *. float_of_int flat)
 
+let test_coarsen_weight_caps () =
+  (* Per-axis cluster weight caps: a chain of BRAM-heavy cells (demand
+     8 on axis 2, cap 10) must not merge with each other — any pair
+     would weigh 16 on the BRAM axis — while a logic-only cell may
+     still fold into its BRAM neighbour. *)
+  let bram = [| 2; 0; 8; 0 |] in
+  let spec ?(demand = bram) name inputs outputs =
+    {
+      Hypergraph.s_name = name;
+      s_area = demand.(0);
+      s_demand = demand;
+      s_inputs = Array.of_list inputs;
+      s_outputs = Array.of_list outputs;
+      s_supports =
+        Array.of_list
+          (List.map
+             (fun _ -> Bitvec.of_list (List.mapi (fun i _ -> i) inputs))
+             outputs);
+    }
+  in
+  let h =
+    Hypergraph.create ~num_nets:6 ~external_nets:[ 4; 5 ]
+      [
+        spec "b0" [ 4 ] [ 0 ];
+        spec "b1" [ 0 ] [ 1 ];
+        spec "b2" [ 1 ] [ 2 ];
+        spec "b3" [ 2 ] [ 3 ];
+        spec ~demand:[| 1 |] "l" [ 3 ] [ 5 ];
+      ]
+  in
+  let axis j (c : Hypergraph.cell) =
+    if j < Array.length c.Hypergraph.demand then c.Hypergraph.demand.(j) else 0
+  in
+  let capped, _ =
+    Coarsen.coarsen ~max_weight:[| 100; 100; 10; 100 |]
+      ~rng:(Netlist.Rng.create 1) h
+  in
+  (* The only admissible merge is l into b3: four clusters remain and
+     every cluster obeys the BRAM cap. *)
+  checki "capped cells" 4 (Hypergraph.num_cells capped);
+  Array.iter
+    (fun c -> checkb "bram axis capped" true (axis 2 c <= 10))
+    capped.Hypergraph.cells;
+  checki "area conserved under caps" (Hypergraph.total_area h)
+    (Hypergraph.total_area capped);
+  (* Without the cap the same chain merges BRAM pairs and overshoots. *)
+  let free, _ = Coarsen.coarsen ~rng:(Netlist.Rng.create 1) h in
+  checkb "uncapped merges bram pairs" true
+    (Array.exists (fun c -> axis 2 c > 10) free.Hypergraph.cells)
+
+let qcheck_projection_sound =
+  (* The uncoarsening contract of the V-cycle: pulling the coarse
+     labelling down the hierarchy, every level materialises
+     ([Kway.project_parts]) into a feasible, [Kway.check]-clean result
+     whose interconnect never exceeds the coarse level's — coarsening
+     only hides nets internal to one cluster, which projection keeps
+     internal to one part. *)
+  QCheck.Test.make ~name:"V-cycle projection stays feasible and check-clean"
+    ~count:6
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let h =
+        mapped_hypergraph
+          (Netlist.Generator.clustered
+             { Netlist.Generator.default_clustered with clusters = 6; seed })
+      in
+      let hier =
+        Coarsen.hierarchy ~coarsest:60 ~rng:(Netlist.Rng.create (seed + 3)) h
+      in
+      let options = Kway.Options.make ~runs:2 ~seed:1 () in
+      match
+        Kway.partition ~options ~library:Fpga.Library.xc3000
+          hier.Coarsen.coarsest
+      with
+      | Error _ -> QCheck.assume_fail () (* infeasible coarsest: vacuous *)
+      | Ok coarse ->
+          let devices =
+            Array.of_list
+              (List.map (fun p -> p.Kway.device) coarse.Kway.parts)
+          in
+          let labels, _ =
+            Kway.labels_of_parts hier.Coarsen.coarsest coarse.Kway.parts
+          in
+          let ok = ref true in
+          let cut = ref coarse.Kway.summary.Fpga.Cost.total_iobs in
+          let _ =
+            List.fold_left
+              (fun labels (fine, map) ->
+                let labels = Coarsen.project_labels ~map labels in
+                (match
+                   Kway.project_parts ~options ~library:Fpga.Library.xc3000
+                     ~labels ~devices fine
+                 with
+                | Error _ -> ok := false
+                | Ok parts ->
+                    let r = Kway.result_of_parts fine parts in
+                    (match Kway.check fine r with
+                    | Ok () -> ()
+                    | Error _ -> ok := false);
+                    let iobs = r.Kway.summary.Fpga.Cost.total_iobs in
+                    if iobs > !cut then ok := false;
+                    cut := iobs);
+                labels)
+              labels hier.Coarsen.levels
+          in
+          !ok)
+
+let test_multilevel_jobs_stable () =
+  (* The multilevel driver's result must be independent of the worker
+     count, like the flat driver's: same circuit, same seed, jobs=1 vs
+     jobs=4 — identical devices, loads and cost. *)
+  let h =
+    mapped_hypergraph
+      (Netlist.Generator.clustered
+         { Netlist.Generator.default_clustered with clusters = 10; seed = 17 })
+  in
+  let run jobs =
+    let options =
+      Kway.Options.make ~runs:2 ~seed:1 ~jobs
+        ~strategy:(Kway.Multilevel Kway.Options.default_multilevel) ()
+    in
+    match Kway.partition ~options ~library:Fpga.Library.xc3000 h with
+    | Error e -> Alcotest.fail e
+    | Ok r ->
+        (match Kway.check h r with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail ("unsound: " ^ e));
+        ( r.Kway.summary.Fpga.Cost.total_cost,
+          List.map
+            (fun p -> (p.Kway.device.Fpga.Device.name, p.Kway.clbs, p.Kway.iobs))
+            r.Kway.parts )
+  in
+  let cost1, parts1 = run 1 in
+  let cost4, parts4 = run 4 in
+  Alcotest.check (Alcotest.float 0.0) "cost jobs-independent" cost1 cost4;
+  checkb "parts jobs-independent" true (parts1 = parts4)
+
 (* ------------------------------------------------------------------ *)
 (* k-way driver                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -1226,6 +1363,11 @@ let () =
           Alcotest.test_case "pin budget" `Quick test_coarsen_respects_pin_budget;
           Alcotest.test_case "multilevel init quality" `Quick
             test_multilevel_init_quality;
+          Alcotest.test_case "per-axis weight caps" `Quick
+            test_coarsen_weight_caps;
+          qc qcheck_projection_sound;
+          Alcotest.test_case "multilevel jobs-independent" `Quick
+            test_multilevel_jobs_stable;
         ] );
       ( "kway",
         [

@@ -82,4 +82,61 @@ else
   oracle_identity c6288
 fi
 
+# 4. Flat-path byte identity: with multilevel disabled (the default),
+#    every bundled circuit's objective-stable telemetry must still
+#    byte-match the scalar-era goldens in test/golden/. Unlike the
+#    check_objectives.sh loop this runs the pure defaults — no
+#    --objective flag — so it also gates the default-options plumbing
+#    (strategy = Flat) that the multilevel work threaded through the
+#    driver.
+echo "perf check: flat-path golden identity (9 circuits, defaults)..."
+for c in c1355 c5315 c6288 c7552 s5378 s9234 s13207 s15850 s38584; do
+  run "$c" "$tmpdir/flat.json"
+  python3 tools/extract_stable.py "$tmpdir/flat.json" > "$tmpdir/flat.stable"
+  if ! cmp -s "$tmpdir/flat.stable" "test/golden/$c.baseline.json"; then
+    echo "perf check: flat default run of $c drifted from test/golden/$c.baseline.json" >&2
+    diff "test/golden/$c.baseline.json" "$tmpdir/flat.stable" | head -20 >&2
+    exit 1
+  fi
+done
+
+# 5. Multilevel at scale: the V-cycle must take a seeded 100k-cell
+#    Rent-profile circuit to a feasible partition inside the wall
+#    budget. The partition phase on a typical desktop core lands in
+#    single-digit seconds; the default budget leaves headroom for slow
+#    CI hosts (override with FPGAPART_ML_BUDGET_SECS). Feasibility is
+#    asserted through the result itself: a partition error exits
+#    non-zero, and the stats document always carries the part list of a
+#    Kway.check-clean result.
+ml_budget=${FPGAPART_ML_BUDGET_SECS:-30}
+scale_gate() {
+  circuit=$1; budget=$2
+  echo "perf check: multilevel $circuit under ${budget}s partition wall..."
+  dune exec --no-print-directory bin/fpgapart.exe -- \
+    partition --circuit "$circuit" --device-lib bench/scale_devices.json \
+    --multilevel --stats-json "$tmpdir/ml.json" >/dev/null
+  python3 - "$tmpdir/ml.json" "$budget" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+budget = float(sys.argv[2])
+res = doc["result"]
+wall = res["wall_secs"]
+if not res["parts"]:
+    sys.exit("multilevel result carries no parts")
+if res["feasible_runs"] < 1:
+    sys.exit("multilevel result reports no feasible run")
+if wall > budget:
+    sys.exit(f"multilevel partition took {wall:.1f}s (budget {budget:.0f}s)")
+print(f"  {len(res['parts'])} devices, ${res['total_cost']:.0f}, {wall:.1f}s partition wall")
+EOF
+}
+scale_gate gen100k "$ml_budget"
+
+# FPGAPART_PERF_FULL widens the scale gate to the million-cell
+# generator profile (several minutes of generation + mapping on top of
+# the partition itself).
+if [ -n "${FPGAPART_PERF_FULL:-}" ]; then
+  scale_gate gen1m "${FPGAPART_ML_BUDGET_1M_SECS:-300}"
+fi
+
 echo "perf check: ok"

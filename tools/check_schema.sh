@@ -24,15 +24,17 @@ run() {
 
 run "$tmpdir/a.json"
 
-# Every key the README documents as schema v5 must be present, including
+# Every key the README documents as schema v6 must be present, including
 # the per-pass F-M event fields, the per-split device-window attempts,
 # the split wall/CPU timing of the result, the v3 histograms (name ->
 # {count; sum; buckets}) of F-M gains and bucket-scan lengths, the
 # v4 incremental-rescoring telemetry (fm.rescored_cells counter,
-# fm.moves_per_sec rate histogram), and the v5 objective name in the
-# options plus the per-axis resource_util object in the result.
+# fm.moves_per_sec rate histogram), the v5 objective name in the
+# options plus the per-axis resource_util object in the result, and
+# the v6 strategy field ("flat" here; the multilevel knob object is
+# checked by the dedicated multilevel run below).
 for key in \
-  '"schema_version": 5' '"circuit"' '"seed"' '"options"' '"result"' \
+  '"schema_version": 6' '"circuit"' '"seed"' '"options"' '"result"' \
   '"obs"' '"counters"' '"timers"' '"events"' \
   '"parts"' '"wall_secs"' '"cpu_secs"' \
   '"event": "fm.pass"' '"event": "kway.device_attempt"' \
@@ -44,7 +46,8 @@ for key in \
   '"objective": "paper"' '"resource_util"' '"clb_util"' '"io_util"' \
   '"histograms"' '"fm.gain"' '"fm.scan_len"' '"fm.moves_per_sec"' \
   '"kway.attempt_cut"' '"kway.split_cut"' \
-  '"count"' '"sum"' '"buckets"'
+  '"count"' '"sum"' '"buckets"' \
+  '"strategy": "flat"'
 do
   if ! grep -qF "$key" "$tmpdir/a.json"; then
     echo "schema check: missing $key in stats JSON" >&2
@@ -93,6 +96,36 @@ fi
 if [ -n "${SCRUB_OUT:-}" ]; then
   mkdir -p "$(dirname "$SCRUB_OUT")"
   cp "$tmpdir/a.scrubbed" "$SCRUB_OUT"
+fi
+
+# Multilevel telemetry (v6): a --multilevel run on a circuit that
+# actually coarsens must export the V-cycle counters/histograms, the
+# multilevel knob object in the options, and obey the same
+# jobs-independence contract as the flat driver.
+mlrun() {
+  out=$1; shift
+  dune exec --no-print-directory bin/fpgapart.exe -- \
+    partition --circuit s9234 --seed 1 --multilevel --stats-json "$out" \
+    "$@" >/dev/null
+}
+echo "schema check: multilevel telemetry (s9234)..."
+mlrun "$tmpdir/ml.json"
+for key in \
+  '"ml.level"' '"ml.cells_per_level"' '"ml.coarsen_ratio"' \
+  '"event": "ml.coarsen"' '"event": "ml.refine"' \
+  '"max_levels"' '"coarsen_ratio"' '"refine_passes"'
+do
+  if ! grep -qF "$key" "$tmpdir/ml.json"; then
+    echo "schema check: multilevel stats JSON lacks $key" >&2
+    exit 1
+  fi
+done
+mlrun "$tmpdir/ml4.json" --jobs 4
+scrub "$tmpdir/ml.json" > "$tmpdir/ml.scrubbed"
+scrub "$tmpdir/ml4.json" > "$tmpdir/ml4.scrubbed"
+if ! cmp -s "$tmpdir/ml.scrubbed" "$tmpdir/ml4.scrubbed"; then
+  echo "schema check: multilevel --jobs 4 telemetry differs from --jobs 1 beyond *_secs/*_per_sec/*_util fields" >&2
+  exit 1
 fi
 
 # The fleet stats document is its own artifact with its own key set:
